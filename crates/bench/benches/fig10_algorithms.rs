@@ -1,0 +1,54 @@
+//! Criterion bench for Figure 10: algorithm comparison while varying `k`.
+//!
+//! Figure 10(a) compares LP-CTA against the RTOPK sweep on 2-dimensional
+//! data; Figure 10(b) compares CTA, P-CTA, LP-CTA and the iMaxRank baseline
+//! on the default 4-dimensional workload.  Workloads are intentionally small
+//! so `cargo bench` stays fast; the `experiments` binary runs the
+//! paper-shaped sweeps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_fig10a(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10a_d2");
+    group.sample_size(10);
+    for k in [5usize, 10] {
+        let w = Workload::synthetic(Distribution::Independent, 800, 2, k, 11);
+        let focal = w.focals(1).remove(0);
+        let config = KsprConfig::default();
+        for alg in [Algorithm::LpCta, Algorithm::Rtopk] {
+            group.bench_with_input(
+                BenchmarkId::new(alg.label(), k),
+                &k,
+                |b, &k| b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_fig10b(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10b_d4");
+    group.sample_size(10);
+    let k = 5usize;
+    let w = Workload::synthetic(Distribution::Independent, 600, 4, k, 12);
+    let focal = w.focals(1).remove(0);
+    let config = KsprConfig::default();
+    for alg in [Algorithm::Cta, Algorithm::Pcta, Algorithm::LpCta] {
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+        });
+    }
+    // iMaxRank on a much smaller instance, as in the paper.
+    let wb = Workload::synthetic(Distribution::Independent, 40, 3, k, 12);
+    let bfocal = wb.focals(1).remove(0);
+    group.bench_function("iMaxRank_small", |b| {
+        b.iter(|| kspr::run(Algorithm::IMaxRank, &wb.dataset, &bfocal, k, &config))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10a, bench_fig10b);
+criterion_main!(benches);

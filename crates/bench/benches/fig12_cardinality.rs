@@ -1,0 +1,27 @@
+//! Criterion bench for Figure 12: effect of the dataset cardinality `n`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_cardinality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_cardinality");
+    group.sample_size(10);
+    let k = 5usize;
+    for n in [400usize, 800, 1_600] {
+        let w = Workload::synthetic(Distribution::Independent, n, 4, k, 14);
+        let focal = w.focals(1).remove(0);
+        let config = KsprConfig::default();
+        group.throughput(Throughput::Elements(n as u64));
+        for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), n), &n, |b, _| {
+                b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cardinality);
+criterion_main!(benches);

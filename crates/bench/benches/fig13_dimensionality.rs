@@ -1,0 +1,26 @@
+//! Criterion bench for Figure 13: effect of the data dimensionality `d`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_dimensionality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig13_dimensionality");
+    group.sample_size(10);
+    let k = 5usize;
+    for d in [2usize, 3, 4] {
+        let w = Workload::synthetic(Distribution::Independent, 600, d, k, 15);
+        let focal = w.focals(1).remove(0);
+        let config = KsprConfig::default();
+        for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), d), &d, |b, _| {
+                b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dimensionality);
+criterion_main!(benches);

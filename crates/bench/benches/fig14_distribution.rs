@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 14: effect of the data distribution
+//! (IND / COR / ANTI) on LP-CTA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_distribution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_distribution");
+    group.sample_size(10);
+    let k = 5usize;
+    for dist in Distribution::all() {
+        let w = Workload::synthetic(dist, 800, 4, k, 16);
+        let focal = w.focals(1).remove(0);
+        let config = KsprConfig::default();
+        group.bench_with_input(BenchmarkId::new("LP-CTA", dist.label()), &dist, |b, _| {
+            b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_distribution);
+criterion_main!(benches);

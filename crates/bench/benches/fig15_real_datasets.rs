@@ -1,0 +1,30 @@
+//! Criterion bench for Figure 15: the real-dataset surrogates
+//! (HOTEL / HOUSE / NBA).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+
+fn bench_real_datasets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig15_real_datasets");
+    group.sample_size(10);
+    let k = 5usize;
+    let workloads = [
+        ("HOTEL", Workload::hotel(800, k, 21)),
+        ("HOUSE", Workload::house(600, k, 22)),
+        ("NBA", Workload::nba(400, k, 23)),
+    ];
+    for (name, w) in &workloads {
+        let focal = w.focals(1).remove(0);
+        let config = KsprConfig::default();
+        for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+            group.bench_with_input(BenchmarkId::new(alg.label(), name), name, |b, _| {
+                b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_real_datasets);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench for Figure 16: LP-based feasibility test versus exact
+//! halfspace intersection (the qhull-style alternative).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::PreferenceSpace;
+use kspr_geometry::{polytope, ConstraintSystem, Hyperplane, Polytope, Sign};
+
+/// Builds a cell description: `m` hyperplanes oriented around an interior point.
+fn build_cell(m: usize, d: usize, seed: u64) -> (ConstraintSystem, usize) {
+    let space = PreferenceSpace::transformed(d);
+    let raw = kspr_datagen::generate(kspr_datagen::Distribution::Independent, m * 2, d, seed);
+    let focal = vec![0.5; d];
+    let point = vec![0.9 / (d as f64); d - 1];
+    let mut sys = ConstraintSystem::new(space);
+    let mut added = 0;
+    for r in raw.iter() {
+        if added == m {
+            break;
+        }
+        if kspr_spatial::dominates(r, &focal) || kspr_spatial::dominates(&focal, r) {
+            continue;
+        }
+        let h = Hyperplane::separating(r, &focal, &space);
+        let sign = match h.side(&point) {
+            Some(Sign::Positive) => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        sys.push_halfspace(&h, sign);
+        added += 1;
+    }
+    (sys, space.work_dim())
+}
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig16_feasibility");
+    group.sample_size(10);
+    for m in [50usize, 150] {
+        let (sys, dim) = build_cell(m, 4, 31);
+        group.bench_with_input(BenchmarkId::new("lp_test", m), &m, |b, _| {
+            b.iter(|| sys.is_feasible())
+        });
+        group.bench_with_input(BenchmarkId::new("qhull_style", m), &m, |b, _| {
+            b.iter(|| {
+                let reduced = polytope::reduce_constraints(sys.constraints(), dim);
+                Polytope::from_constraints(&reduced, dim)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

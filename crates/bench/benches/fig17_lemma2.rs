@@ -1,0 +1,38 @@
+//! Criterion bench for Figure 17: the effect of eliminating inconsequential
+//! halfspaces (Lemma 2) from the LP feasibility tests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_lemma2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig17_lemma2");
+    group.sample_size(10);
+    let k = 5usize;
+    let w = Workload::synthetic(Distribution::Independent, 800, 4, k, 17);
+    let focal = w.focals(1).remove(0);
+    for (label, use_lemma2) in [("with_lemma2", true), ("without_lemma2", false)] {
+        let config = KsprConfig {
+            use_lemma2,
+            ..KsprConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("LP-CTA", label), &label, |b, _| {
+            b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, &config))
+        });
+    }
+    // Companion ablation: the witness-point reuse of Section 4.3.2.
+    for (label, use_witness) in [("with_witness", true), ("without_witness", false)] {
+        let config = KsprConfig {
+            use_witness,
+            ..KsprConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("LP-CTA", label), &label, |b, _| {
+            b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lemma2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench for Figure 18: record vs group vs fast look-ahead bounds
+//! in LP-CTA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, BoundMode, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_bound_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig18_bounds");
+    group.sample_size(10);
+    let k = 5usize;
+    let w = Workload::synthetic(Distribution::Independent, 800, 4, k, 18);
+    let focal = w.focals(1).remove(0);
+    for (label, mode) in [
+        ("fast_bounds", BoundMode::Fast),
+        ("group_bounds", BoundMode::Group),
+        ("record_bounds", BoundMode::Record),
+    ] {
+        let config = KsprConfig::with_bound_mode(mode);
+        group.bench_with_input(BenchmarkId::new("LP-CTA", label), &label, |b, _| {
+            b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bound_modes);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 20 (Appendix B): P-CTA versus the
+//! k-skyband + CTA approach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_skyband(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig20_skyband");
+    group.sample_size(10);
+    let k = 5usize;
+    let w = Workload::synthetic(Distribution::Independent, 800, 4, k, 24);
+    let focal = w.focals(1).remove(0);
+    let config = KsprConfig::default();
+    for alg in [Algorithm::Pcta, Algorithm::KSkyband] {
+        group.bench_function(alg.label(), |b| {
+            b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_skyband);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for Figure 22 (Appendix C): processing in the transformed
+//! versus the original preference space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kspr::{Algorithm, KsprConfig};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_original_space(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig22_original_space");
+    group.sample_size(10);
+    let k = 5usize;
+    let w = Workload::synthetic(Distribution::Independent, 600, 4, k, 25);
+    let focal = w.focals(1).remove(0);
+    let transformed = KsprConfig::default();
+    let original = KsprConfig::original_space();
+    for (label, config) in [
+        ("P-CTA", &transformed),
+        ("OP-CTA", &original),
+    ] {
+        group.bench_with_input(BenchmarkId::new("pcta", label), &label, |b, _| {
+            b.iter(|| kspr::run(Algorithm::Pcta, &w.dataset, &focal, k, config))
+        });
+    }
+    for (label, config) in [
+        ("LP-CTA", &transformed),
+        ("OLP-CTA", &original),
+    ] {
+        group.bench_with_input(BenchmarkId::new("lpcta", label), &label, |b, _| {
+            b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, config))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_original_space);
+criterion_main!(benches);

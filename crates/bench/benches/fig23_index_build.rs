@@ -1,0 +1,24 @@
+//! Criterion bench for Figure 23 (Appendix D): aggregate R-tree construction
+//! cost as the dataset grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr_spatial::{AggregateRTree, Record};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig23_index_build");
+    group.sample_size(10);
+    for n in [1_000usize, 5_000, 20_000] {
+        let raw = kspr_datagen::generate(kspr_datagen::Distribution::Independent, n, 4, 26);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("bulk_load", n), &n, |b, _| {
+            b.iter(|| {
+                let records = Record::from_raw(raw.clone());
+                AggregateRTree::bulk_load(records, 32)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

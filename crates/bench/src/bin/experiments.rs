@@ -1,0 +1,730 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p kspr-bench --bin experiments -- <experiment> [scale]
+//! ```
+//!
+//! * `<experiment>` is one of `fig9`, `fig10a`, `fig10b`, `fig11`, `fig12`,
+//!   `fig13`, `fig14`, `fig15`, `fig16`, `fig17`, `fig18`, `fig19`, `fig20`,
+//!   `fig22`, `fig23`, `fig24`, or `all`.
+//! * `[scale]` is `quick` (default) or `full`; the parameter values for each
+//!   scale are documented in `EXPERIMENTS.md`.
+//!
+//! Every experiment prints the same rows / series the corresponding figure of
+//! the paper reports (response time, result size, processed records, …), so
+//! the output can be compared shape-for-shape with the published plots.
+
+use kspr::{Algorithm, BoundMode, Dataset, KsprConfig, PreferenceSpace};
+use kspr_bench::{fmt_secs, measure, Scale, Workload};
+use kspr_datagen::Distribution;
+use kspr_geometry::{ConstraintSystem, Hyperplane, Polytope, Sign};
+use kspr_spatial::{AggregateRTree, IoCostModel, Record};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(|s| s.as_str()).unwrap_or("all");
+    let scale = Scale::parse(args.get(2).map(|s| s.as_str()).unwrap_or("quick"));
+    let start = Instant::now();
+    run_experiment(which, scale);
+    eprintln!(
+        "\n[experiments] total wall-clock: {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
+}
+
+fn run_experiment(which: &str, scale: Scale) {
+    match which {
+        "fig9" => fig9(scale),
+        "fig10a" => fig10a(scale),
+        "fig10b" => fig10b(scale),
+        "fig11" => fig11(scale),
+        "fig12" => fig12(scale),
+        "fig13" => fig13(scale),
+        "fig14" => fig14(scale),
+        "fig15" => fig15(scale),
+        "fig16" => fig16(scale),
+        "fig17" => fig17(scale),
+        "fig18" => fig18(scale),
+        "fig19" => fig19(scale),
+        "fig20" => fig20(scale),
+        "fig22" => fig22(scale),
+        "fig23" => fig23(scale),
+        "fig24" => fig24(scale),
+        "all" => {
+            for e in [
+                "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+                "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24",
+            ] {
+                run_experiment(e, scale);
+                println!();
+            }
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Shared parameter sets per scale.
+struct Params {
+    n_default: usize,
+    d_default: usize,
+    k_default: usize,
+    k_values: Vec<usize>,
+    n_values: Vec<usize>,
+    d_values: Vec<usize>,
+    queries: usize,
+}
+
+fn params(scale: Scale) -> Params {
+    match scale {
+        Scale::Quick => Params {
+            n_default: 1_500,
+            d_default: 4,
+            k_default: 10,
+            k_values: vec![5, 10, 15, 20],
+            n_values: vec![500, 1_000, 2_000, 4_000],
+            d_values: vec![2, 3, 4, 5],
+            queries: 3,
+        },
+        Scale::Full => Params {
+            n_default: 20_000,
+            d_default: 4,
+            k_default: 30,
+            k_values: vec![10, 30, 50, 70, 90],
+            n_values: vec![2_000, 5_000, 10_000, 20_000, 50_000],
+            d_values: vec![2, 3, 4, 5, 6],
+            queries: 10,
+        },
+    }
+}
+
+fn header(title: &str, paper_item: &str) {
+    println!("================================================================");
+    println!("{title}");
+    println!("(reproduces {paper_item})");
+    println!("================================================================");
+}
+
+// ---------------------------------------------------------------------------
+// Section 7.2 — case study
+// ---------------------------------------------------------------------------
+
+fn fig9(_scale: Scale) {
+    header(
+        "Case study: focal player's kSPR regions across two seasons",
+        "Figure 9 (Section 7.2), on surrogate NBA data",
+    );
+    let k = 3;
+    let league = kspr_datagen::nba_seasons(250, 7);
+    for (label, season) in [("2014-2015", &league.season1), ("2015-2016", &league.season2)] {
+        let focal = season[league.focal].clone();
+        let competitors: Vec<Vec<f64>> = season
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != league.focal)
+            .map(|(_, v)| v.clone())
+            .collect();
+        let dataset = Dataset::new(competitors);
+        let result = kspr::run(Algorithm::LpCta, &dataset, &focal, k, &KsprConfig::default());
+        // Area-weighted centroid over (points weight, rebounds weight).
+        let mut area = 0.0;
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for r in &result.regions {
+            if let Some(p) = &r.polytope {
+                let a = p.volume(0, 0);
+                let c = p.centroid();
+                area += a;
+                cx += a * c[0];
+                cy += a * c[1];
+            }
+        }
+        let (cx, cy) = if area > 0.0 { (cx / area, cy / area) } else { (0.0, 0.0) };
+        println!(
+            "season {label}: regions={:>4}  impact={:>6.2}%  region-centre (w_points, w_rebounds) = ({:.2}, {:.2})",
+            result.num_regions(),
+            100.0 * result.impact(50_000, 1),
+            cx,
+            cy
+        );
+    }
+    println!(
+        "expected shape: both seasons competitive; centre moves from high w_points to high w_rebounds"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Section 7.3 — performance evaluation
+// ---------------------------------------------------------------------------
+
+fn fig10a(scale: Scale) {
+    header("LP-CTA vs RTOPK on 2-dimensional data, varying k", "Figure 10(a)");
+    let p = params(scale);
+    println!("{:<6} {:>14} {:>14}", "k", "LP-CTA (s)", "RTOPK (s)");
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, 2, k, 11);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        let lp = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config);
+        let rt = measure(Algorithm::Rtopk, &w.dataset, &focals, k, &config);
+        println!("{:<6} {:>14} {:>14}", k, fmt_secs(lp.avg_time), fmt_secs(rt.avg_time));
+    }
+    println!(
+        "expected shape: both fast; RTOPK scans every non-dominated record, LP-CTA a small subset"
+    );
+}
+
+fn fig10b(scale: Scale) {
+    header(
+        "CTA / P-CTA / LP-CTA / iMaxRank, varying k (IND, d = 4)",
+        "Figure 10(b)",
+    );
+    let p = params(scale);
+    // The iMaxRank baseline explodes quickly; the paper itself fails to finish
+    // it beyond small settings.  We run it on a reduced dataset.
+    let baseline_n = match scale {
+        Scale::Quick => 60,
+        Scale::Full => 150,
+    };
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>20}",
+        "k", "CTA (s)", "P-CTA (s)", "LP-CTA (s)", "iMaxRank (s)"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 12);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        let cta = measure(Algorithm::Cta, &w.dataset, &focals, k, &config);
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &config);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config);
+        let wb = Workload::synthetic(Distribution::Independent, baseline_n, 3, k, 12);
+        let bfocals = wb.focals(p.queries.min(2));
+        let imax = measure(Algorithm::IMaxRank, &wb.dataset, &bfocals, k, &config);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12} (n={})",
+            k,
+            fmt_secs(cta.avg_time),
+            fmt_secs(pcta.avg_time),
+            fmt_secs(lpcta.avg_time),
+            fmt_secs(imax.avg_time),
+            baseline_n,
+        );
+    }
+    println!(
+        "expected shape: LP-CTA <= P-CTA << CTA; iMaxRank slowest even on a much smaller dataset"
+    );
+}
+
+fn fig11(scale: Scale) {
+    header(
+        "Processed records and CellTree nodes, varying k (IND, d = 4)",
+        "Figure 11",
+    );
+    let p = params(scale);
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>12} {:>12} {:>12}",
+        "k", "rec CTA", "rec P", "rec LP", "nodes CTA", "nodes P", "nodes LP"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 13);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        let cta = measure(Algorithm::Cta, &w.dataset, &focals, k, &config);
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &config);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config);
+        println!(
+            "{:<6} {:>10.0} {:>10.0} {:>10.0} {:>12.0} {:>12.0} {:>12.0}",
+            k,
+            cta.avg_processed,
+            pcta.avg_processed,
+            lpcta.avg_processed,
+            cta.avg_nodes,
+            pcta.avg_nodes,
+            lpcta.avg_nodes
+        );
+    }
+    println!(
+        "expected shape: P-CTA/LP-CTA process far fewer records and nodes than CTA"
+    );
+}
+
+fn fig12(scale: Scale) {
+    header(
+        "Response time and CellTree size, varying dataset cardinality n (IND)",
+        "Figure 12",
+    );
+    let p = params(scale);
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>14}",
+        "n", "CTA (s)", "P-CTA (s)", "LP-CTA (s)", "LP nodes"
+    );
+    for &n in &p.n_values {
+        let w = Workload::synthetic(Distribution::Independent, n, p.d_default, p.k_default, 14);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        // CTA becomes impractical quickly; cap it at the smaller cardinalities
+        // just as the paper stops plotting methods that exceed the time budget.
+        let cta_time = if n <= p.n_values[1] {
+            fmt_secs(measure(Algorithm::Cta, &w.dataset, &focals, p.k_default, &config).avg_time)
+        } else {
+            ">budget".to_string()
+        };
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, p.k_default, &config);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, p.k_default, &config);
+        println!(
+            "{:<8} {:>12} {:>12} {:>12} {:>14.0}",
+            n,
+            cta_time,
+            fmt_secs(pcta.avg_time),
+            fmt_secs(lpcta.avg_time),
+            lpcta.avg_nodes
+        );
+    }
+    println!("expected shape: LP-CTA scales best with n; the gap to P-CTA widens as n grows");
+}
+
+fn fig13(scale: Scale) {
+    header(
+        "Response time and result size, varying dimensionality d (IND)",
+        "Figure 13 (incl. the result-size table of Fig. 13b)",
+    );
+    let p = params(scale);
+    println!(
+        "{:<6} {:>12} {:>12} {:>14}",
+        "d", "P-CTA (s)", "LP-CTA (s)", "result size"
+    );
+    for &d in &p.d_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, d, p.k_default, 15);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, p.k_default, &config);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, p.k_default, &config);
+        println!(
+            "{:<6} {:>12} {:>12} {:>14.2}",
+            d,
+            fmt_secs(pcta.avg_time),
+            fmt_secs(lpcta.avg_time),
+            lpcta.avg_regions
+        );
+    }
+    println!("expected shape: result size and response time grow quickly with d");
+}
+
+fn fig14(scale: Scale) {
+    header(
+        "LP-CTA response time and result size per data distribution, varying k",
+        "Figure 14",
+    );
+    let p = params(scale);
+    println!("{:<6} {:>6} {:>14} {:>14}", "dist", "k", "LP-CTA (s)", "result size");
+    for dist in Distribution::all() {
+        for &k in &p.k_values {
+            let w = Workload::synthetic(dist, p.n_default, p.d_default, k, 16);
+            let focals = w.focals(p.queries);
+            let m = measure(Algorithm::LpCta, &w.dataset, &focals, k, &KsprConfig::default());
+            println!(
+                "{:<6} {:>6} {:>14} {:>14.2}",
+                dist.label(),
+                k,
+                fmt_secs(m.avg_time),
+                m.avg_regions
+            );
+        }
+    }
+    println!("expected shape: ANTI slowest with the most regions, COR fastest with the fewest");
+}
+
+fn fig15(scale: Scale) {
+    header("P-CTA vs LP-CTA on the real-data surrogates, varying k", "Figure 15");
+    let p = params(scale);
+    let (hotel_n, house_n, nba_n) = match scale {
+        Scale::Quick => (2_000, 1_500, 1_000),
+        Scale::Full => (40_000, 30_000, 20_000),
+    };
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>14}",
+        "dataset", "k", "P-CTA (s)", "LP-CTA (s)", "result size"
+    );
+    for &k in &p.k_values {
+        for (name, w) in [
+            ("HOTEL", Workload::hotel(hotel_n, k, 21)),
+            ("HOUSE", Workload::house(house_n, k, 22)),
+            ("NBA", Workload::nba(nba_n, k, 23)),
+        ] {
+            let focals = w.focals(p.queries);
+            let config = KsprConfig::default();
+            let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &config);
+            let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config);
+            println!(
+                "{:<8} {:>6} {:>12} {:>12} {:>14.2}",
+                name,
+                k,
+                fmt_secs(pcta.avg_time),
+                fmt_secs(lpcta.avg_time),
+                lpcta.avg_regions
+            );
+        }
+    }
+    println!("expected shape: LP-CTA at or below P-CTA on every dataset");
+}
+
+// ---------------------------------------------------------------------------
+// Section 7.4 — effectiveness of individual optimizations
+// ---------------------------------------------------------------------------
+
+/// Builds `cells` random cell descriptions from an arrangement of `m`
+/// hyperplanes: each description is the full set of planes together with an
+/// interior point that fixes the sign of every plane (mimicking the setup of
+/// Figures 16 and 17, where random CellTree leaves are examined).
+fn random_cells(m: usize, d: usize, cells: usize, seed: u64) -> (Vec<Hyperplane>, Vec<Vec<f64>>) {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let space = PreferenceSpace::transformed(d);
+    let raw = kspr_datagen::generate(Distribution::Independent, m * 3, d, seed);
+    let focal = vec![0.5; d];
+    let planes: Vec<Hyperplane> = raw
+        .iter()
+        .filter(|r| !kspr_spatial::dominates(r, &focal) && !kspr_spatial::dominates(&focal, r))
+        .take(m)
+        .map(|r| Hyperplane::separating(r, &focal, &space))
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xC311);
+    let mut points = Vec::with_capacity(cells);
+    while points.len() < cells {
+        let point: Vec<f64> = (0..d - 1).map(|_| rng.gen_range(0.01..0.99)).collect();
+        if point.iter().sum::<f64>() < 0.99 {
+            points.push(point);
+        }
+    }
+    (planes, points)
+}
+
+fn fig16(scale: Scale) {
+    header(
+        "Feasibility test: LP (lp_solve-style) vs exact halfspace intersection (qhull-style)",
+        "Figure 16",
+    );
+    let p = params(scale);
+    let cells = match scale {
+        Scale::Quick => 20,
+        Scale::Full => 100,
+    };
+    let m_values: Vec<usize> = match scale {
+        Scale::Quick => vec![50, 100, 200],
+        Scale::Full => vec![500, 1_000, 5_000, 10_000],
+    };
+    println!("-- effect of the number of inserted hyperplanes m (d = {}) --", p.d_default);
+    println!("{:<8} {:>16} {:>16}", "m", "LP test (s)", "qhull-style (s)");
+    for &m in &m_values {
+        let (t_lp, t_geom) = feasibility_comparison(m, p.d_default, cells, 31);
+        println!("{:<8} {:>16.4} {:>16.4}", m, t_lp, t_geom);
+    }
+    println!("-- effect of dimensionality d (m = {}) --", m_values[0]);
+    println!("{:<8} {:>16} {:>16}", "d", "LP test (s)", "qhull-style (s)");
+    for &d in &p.d_values {
+        if d < 3 {
+            continue;
+        }
+        let (t_lp, t_geom) = feasibility_comparison(m_values[0], d, cells, 32);
+        println!("{:<8} {:>16.4} {:>16.4}", d, t_lp, t_geom);
+    }
+    println!(
+        "expected shape: the LP test is one to two orders of magnitude faster, and the gap widens with d"
+    );
+}
+
+/// Total time to test `cells` random cells of an `m`-plane arrangement for
+/// feasibility with (a) the LP test and (b) exact vertex enumeration on the
+/// reduced constraint set.
+fn feasibility_comparison(m: usize, d: usize, cells: usize, seed: u64) -> (f64, f64) {
+    let (planes, points) = random_cells(m, d, cells, seed);
+    let space = PreferenceSpace::transformed(d);
+    let mut lp_total = 0.0;
+    let mut geom_total = 0.0;
+    for point in &points {
+        let mut sys = ConstraintSystem::new(space);
+        for h in &planes {
+            let sign = match h.side(point) {
+                Some(Sign::Positive) => Sign::Positive,
+                _ => Sign::Negative,
+            };
+            sys.push_halfspace(h, sign);
+        }
+        let t = Instant::now();
+        let _ = sys.is_feasible();
+        lp_total += t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let reduced =
+            kspr_geometry::polytope::reduce_constraints(sys.constraints(), space.work_dim());
+        let _ = Polytope::from_constraints(&reduced, space.work_dim());
+        geom_total += t.elapsed().as_secs_f64();
+    }
+    (lp_total, geom_total)
+}
+
+fn fig17(scale: Scale) {
+    header("Effect of Lemma 2 (eliminating inconsequential halfspaces)", "Figure 17");
+    let p = params(scale);
+    println!(
+        "{:<8} {:>18} {:>18} {:>14} {:>14}",
+        "k", "constraints/LP", "constraints/LP", "time (s)", "time (s)"
+    );
+    println!(
+        "{:<8} {:>18} {:>18} {:>14} {:>14}",
+        "", "with Lemma 2", "without", "with", "without"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 17);
+        let focals = w.focals(p.queries);
+        let with = measure(Algorithm::LpCta, &w.dataset, &focals, k, &KsprConfig::default());
+        let without_cfg = KsprConfig {
+            use_lemma2: false,
+            ..KsprConfig::default()
+        };
+        let without = measure(Algorithm::LpCta, &w.dataset, &focals, k, &without_cfg);
+        println!(
+            "{:<8} {:>18.1} {:>18.1} {:>14} {:>14}",
+            k,
+            with.avg_constraints,
+            without.avg_constraints,
+            fmt_secs(with.avg_time),
+            fmt_secs(without.avg_time)
+        );
+    }
+    println!(
+        "expected shape: Lemma 2 sharply cuts the constraint count per LP call and the response time"
+    );
+}
+
+fn fig18(scale: Scale) {
+    header("Effectiveness of record / group / fast bounds in LP-CTA", "Figure 18");
+    let p = params(scale);
+    println!(
+        "{:<6} {:>16} {:>16} {:>16}",
+        "k", "fast_bounds (s)", "group_bounds (s)", "record_bounds (s)"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 18);
+        let focals = w.focals(p.queries);
+        let fast = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            k,
+            &KsprConfig::with_bound_mode(BoundMode::Fast),
+        );
+        let group = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            k,
+            &KsprConfig::with_bound_mode(BoundMode::Group),
+        );
+        let record = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            k,
+            &KsprConfig::with_bound_mode(BoundMode::Record),
+        );
+        println!(
+            "{:<6} {:>16} {:>16} {:>16}",
+            k,
+            fmt_secs(fast.avg_time),
+            fmt_secs(group.avg_time),
+            fmt_secs(record.avg_time)
+        );
+    }
+    println!("-- effect of dimensionality (k = {}) --", p.k_default);
+    println!(
+        "{:<6} {:>16} {:>16} {:>16}",
+        "d", "fast_bounds (s)", "group_bounds (s)", "record_bounds (s)"
+    );
+    for &d in &p.d_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, d, p.k_default, 19);
+        let focals = w.focals(p.queries);
+        let fast = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            p.k_default,
+            &KsprConfig::with_bound_mode(BoundMode::Fast),
+        );
+        let group = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            p.k_default,
+            &KsprConfig::with_bound_mode(BoundMode::Group),
+        );
+        let record = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            p.k_default,
+            &KsprConfig::with_bound_mode(BoundMode::Record),
+        );
+        println!(
+            "{:<6} {:>16} {:>16} {:>16}",
+            d,
+            fmt_secs(fast.avg_time),
+            fmt_secs(group.avg_time),
+            fmt_secs(record.avg_time)
+        );
+    }
+    println!("expected shape: fast <= group <= record bounds in response time");
+}
+
+// ---------------------------------------------------------------------------
+// Appendices
+// ---------------------------------------------------------------------------
+
+fn fig19(scale: Scale) {
+    header("Disk-based scenario: CPU time + simulated I/O time", "Figure 19 (Appendix A)");
+    let p = params(scale);
+    let config_io = KsprConfig {
+        io_model: Some(IoCostModel::default()),
+        ..KsprConfig::default()
+    };
+    println!(
+        "{:<6} {:>14} {:>12} {:>14} {:>12}",
+        "k", "P-CTA cpu(s)", "P-CTA io(s)", "LP-CTA cpu(s)", "LP-CTA io(s)"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 20);
+        let focals = w.focals(p.queries);
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &config_io);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config_io);
+        println!(
+            "{:<6} {:>14} {:>12.4} {:>14} {:>12.4}",
+            k,
+            fmt_secs(pcta.avg_time),
+            pcta.avg_io_ms / 1000.0,
+            fmt_secs(lpcta.avg_time),
+            lpcta.avg_io_ms / 1000.0
+        );
+    }
+    println!(
+        "expected shape: LP-CTA incurs more I/O (it consults the data index per cell) but lower total time"
+    );
+}
+
+fn fig20(scale: Scale) {
+    header("P-CTA vs the k-skyband approach, varying k", "Figure 20 (Appendix B)");
+    let p = params(scale);
+    println!(
+        "{:<6} {:>14} {:>14} {:>14} {:>14}",
+        "k", "P-CTA rec", "skyband rec", "P-CTA (s)", "skyband (s)"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 24);
+        let focals = w.focals(p.queries);
+        let config = KsprConfig::default();
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &config);
+        let band = measure(Algorithm::KSkyband, &w.dataset, &focals, k, &config);
+        println!(
+            "{:<6} {:>14.0} {:>14.0} {:>14} {:>14}",
+            k,
+            pcta.avg_processed,
+            band.avg_processed,
+            fmt_secs(pcta.avg_time),
+            fmt_secs(band.avg_time)
+        );
+    }
+    println!(
+        "expected shape: the k-skyband contains many more records than P-CTA processes, and is slower"
+    );
+}
+
+fn fig22(scale: Scale) {
+    header(
+        "Transformed vs original preference space (P-CTA/LP-CTA vs OP-CTA/OLP-CTA)",
+        "Figure 22 (Appendix C)",
+    );
+    let p = params(scale);
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>12}",
+        "k", "P-CTA (s)", "OP-CTA (s)", "LP-CTA (s)", "OLP-CTA (s)"
+    );
+    for &k in &p.k_values {
+        let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 25);
+        let focals = w.focals(p.queries);
+        let transformed = KsprConfig::default();
+        let original = KsprConfig::original_space();
+        let pcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &transformed);
+        let opcta = measure(Algorithm::Pcta, &w.dataset, &focals, k, &original);
+        let lpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &transformed);
+        let olpcta = measure(Algorithm::LpCta, &w.dataset, &focals, k, &original);
+        println!(
+            "{:<6} {:>12} {:>12} {:>12} {:>12}",
+            k,
+            fmt_secs(pcta.avg_time),
+            fmt_secs(opcta.avg_time),
+            fmt_secs(lpcta.avg_time),
+            fmt_secs(olpcta.avg_time)
+        );
+    }
+    println!("expected shape: the original-space variants are consistently slower");
+}
+
+fn fig23(scale: Scale) {
+    header(
+        "Index construction cost (aggregate R-tree bulk load)",
+        "Figure 23 (Appendix D)",
+    );
+    let p = params(scale);
+    println!("{:<8} {:>18}", "n", "aR-tree build (s)");
+    for &n in &p.n_values {
+        let raw = kspr_datagen::generate(Distribution::Independent, n, p.d_default, 26);
+        let records = Record::from_raw(raw);
+        let t = Instant::now();
+        let tree = AggregateRTree::bulk_load(records, 32);
+        let secs = t.elapsed().as_secs_f64();
+        println!("{:<8} {:>18.4}   (nodes: {})", n, secs, tree.num_nodes());
+    }
+    println!("{:<8} {:>18}", "d", "aR-tree build (s)");
+    for &d in &p.d_values {
+        let raw = kspr_datagen::generate(Distribution::Independent, p.n_default, d, 27);
+        let records = Record::from_raw(raw);
+        let t = Instant::now();
+        let tree = AggregateRTree::bulk_load(records, 32);
+        let secs = t.elapsed().as_secs_f64();
+        println!("{:<8} {:>18.4}   (nodes: {})", d, secs, tree.num_nodes());
+    }
+    println!("expected shape: build time grows linearly with n and mildly with d");
+}
+
+fn fig24(scale: Scale) {
+    header(
+        "Amortized response time (index construction amortized over the query workload)",
+        "Figure 24 (Appendix D)",
+    );
+    let p = params(scale);
+    println!("{:<8} {:>14} {:>20}", "n", "LP-CTA (s)", "LP-CTA+amortized (s)");
+    for &n in &p.n_values {
+        let raw = kspr_datagen::generate(Distribution::Independent, n, p.d_default, 28);
+        let t = Instant::now();
+        let w = Workload::from_raw("IND", raw, p.k_default);
+        let build = t.elapsed().as_secs_f64();
+        let focals = w.focals(p.queries);
+        let m = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            p.k_default,
+            &KsprConfig::default(),
+        );
+        // The paper amortizes one index build over a 1000-query workload.
+        let amortized = m.avg_time.as_secs_f64() + build / 1000.0;
+        println!("{:<8} {:>14} {:>20.4}", n, fmt_secs(m.avg_time), amortized);
+    }
+    println!(
+        "expected shape: amortizing the one-off index construction changes response times only marginally"
+    );
+}

@@ -1,0 +1,183 @@
+//! Approximate kSPR processing (the paper's future-work direction).
+//!
+//! The conclusion of the paper names "approximate kSPR algorithms, with
+//! accuracy guarantees, for the purpose of faster processing" as future work.
+//! This module provides the natural Monte-Carlo baseline for that direction:
+//! instead of deriving the exact arrangement cells, it estimates
+//!
+//! * the **market impact** (the probability that the focal record is in the
+//!   top-`k` for a uniformly random preference vector), with a Hoeffding
+//!   confidence interval, and
+//! * an **approximate region membership oracle** backed by the sampled
+//!   preferences, useful for quick exploratory analysis before running one of
+//!   the exact algorithms.
+//!
+//! The estimator evaluates the query definition directly (a top-`k` probe per
+//! sample), so its cost is `O(samples · n)` and independent of the arrangement
+//! complexity — it stays cheap exactly where the exact algorithms become
+//! expensive (large `k`, high dimensionality, anti-correlated data).
+
+use crate::dataset::Dataset;
+use crate::naive;
+use kspr_geometry::PreferenceSpace;
+
+/// Result of the Monte-Carlo kSPR approximation.
+#[derive(Debug, Clone)]
+pub struct ApproxImpact {
+    /// Point estimate of the market impact in `[0, 1]`.
+    pub impact: f64,
+    /// Half-width of the two-sided confidence interval at the requested
+    /// confidence level (Hoeffding bound, distribution-free).
+    pub half_width: f64,
+    /// Number of samples used.
+    pub samples: usize,
+    /// The sampled working-space preferences for which the focal record was
+    /// in the top-`k` (a discrete sketch of the kSPR regions).
+    pub hits: Vec<Vec<f64>>,
+}
+
+impl ApproxImpact {
+    /// Lower end of the confidence interval (clamped to `[0, 1]`).
+    pub fn lower(&self) -> f64 {
+        (self.impact - self.half_width).max(0.0)
+    }
+
+    /// Upper end of the confidence interval (clamped to `[0, 1]`).
+    pub fn upper(&self) -> f64 {
+        (self.impact + self.half_width).min(1.0)
+    }
+}
+
+/// Estimates the market impact of `focal` by sampling `samples` preference
+/// vectors uniformly from the transformed preference space.
+///
+/// `confidence` is the two-sided confidence level of the reported interval
+/// (e.g. `0.95`); the half-width follows from Hoeffding's inequality:
+/// `sqrt(ln(2 / (1 - confidence)) / (2 · samples))`.
+///
+/// # Panics
+/// Panics if `samples == 0`, `k == 0`, or `confidence` is not in `(0, 1)`.
+pub fn approximate_impact(
+    dataset: &Dataset,
+    focal: &[f64],
+    k: usize,
+    samples: usize,
+    confidence: f64,
+    seed: u64,
+) -> ApproxImpact {
+    assert!(samples > 0, "at least one sample is required");
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    let space = PreferenceSpace::transformed(focal.len());
+    let raw: Vec<Vec<f64>> = dataset.records().iter().map(|r| r.values.clone()).collect();
+    let points = naive::sample_weights(&space, samples, seed);
+    let mut hits = Vec::new();
+    for w in points {
+        let full = space.to_full_weight(&w);
+        if naive::is_top_k(&raw, focal, &full, k) {
+            hits.push(w);
+        }
+    }
+    let impact = hits.len() as f64 / samples as f64;
+    let half_width = ((2.0 / (1.0 - confidence)).ln() / (2.0 * samples as f64)).sqrt();
+    ApproxImpact {
+        impact,
+        half_width,
+        samples,
+        hits,
+    }
+}
+
+/// Number of samples needed so the Hoeffding half-width is at most `epsilon`
+/// at the given confidence level.
+pub fn samples_for_accuracy(epsilon: f64, confidence: f64) -> usize {
+    assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    ((2.0 / (1.0 - confidence)).ln() / (2.0 * epsilon * epsilon)).ceil() as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::run_lpcta;
+    use crate::config::KsprConfig;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(n: usize, d: usize, seed: u64) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        Dataset::new(
+            (0..n)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn unbeatable_record_has_impact_one() {
+        let dataset = Dataset::new(vec![vec![0.1, 0.1], vec![0.2, 0.3]]);
+        let approx = approximate_impact(&dataset, &[0.9, 0.9], 1, 500, 0.95, 1);
+        assert_eq!(approx.impact, 1.0);
+        assert_eq!(approx.hits.len(), 500);
+        assert!(approx.upper() <= 1.0 && approx.lower() >= 0.0);
+    }
+
+    #[test]
+    fn hopeless_record_has_impact_zero() {
+        let dataset = Dataset::new(vec![vec![0.9, 0.9], vec![0.8, 0.95]]);
+        let approx = approximate_impact(&dataset, &[0.1, 0.1], 1, 500, 0.95, 2);
+        assert_eq!(approx.impact, 0.0);
+        assert!(approx.hits.is_empty());
+    }
+
+    #[test]
+    fn estimate_brackets_the_exact_impact() {
+        let dataset = random_dataset(300, 3, 3);
+        let focal = vec![0.75, 0.7, 0.72];
+        let k = 8;
+        let exact = run_lpcta(&dataset, &focal, k, &KsprConfig::default()).impact(50_000, 5);
+        let approx = approximate_impact(&dataset, &focal, k, 4_000, 0.99, 7);
+        assert!(
+            exact >= approx.lower() - 0.02 && exact <= approx.upper() + 0.02,
+            "exact {exact} outside approx interval [{}, {}]",
+            approx.lower(),
+            approx.upper()
+        );
+    }
+
+    #[test]
+    fn every_hit_is_actually_a_top_k_preference() {
+        let dataset = random_dataset(200, 3, 9);
+        let focal = vec![0.8, 0.7, 0.75];
+        let k = 5;
+        let raw: Vec<Vec<f64>> = dataset.records().iter().map(|r| r.values.clone()).collect();
+        let space = PreferenceSpace::transformed(3);
+        let approx = approximate_impact(&dataset, &focal, k, 1_000, 0.95, 11);
+        for w in &approx.hits {
+            assert!(naive::is_top_k(&raw, &focal, &space.to_full_weight(w), k));
+        }
+    }
+
+    #[test]
+    fn sample_size_calculator_matches_half_width() {
+        let eps = 0.01;
+        let conf = 0.95;
+        let n = samples_for_accuracy(eps, conf);
+        let dataset = Dataset::new(vec![vec![0.5, 0.4], vec![0.4, 0.5]]);
+        let approx = approximate_impact(&dataset, &[0.45, 0.45], 1, n, conf, 13);
+        assert!(approx.half_width <= eps + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_invalid_confidence() {
+        let dataset = Dataset::new(vec![vec![0.5, 0.5]]);
+        approximate_impact(&dataset, &[0.4, 0.4], 1, 10, 1.5, 1);
+    }
+}

@@ -1,0 +1,704 @@
+//! The CellTree (Section 4 of the paper).
+//!
+//! The CellTree incrementally maintains the arrangement of the hyperplanes
+//! inserted so far.  It is a binary tree: the root corresponds to the whole
+//! (transformed) preference space, and every inserted hyperplane either
+//!
+//! * covers a node entirely on one side — the corresponding halfspace is
+//!   appended to the node's **cover set** (cases I / II of the insertion
+//!   algorithm), or
+//! * cuts through a leaf — the leaf is **split** into two children whose
+//!   edges are labelled with the two halfspaces (case III).
+//!
+//! Nodes never store their exact geometry.  A node is implicitly the
+//! intersection of the halfspaces labelling the edges on its root path, its
+//! own cover set, and the cover sets of its ancestors; by Lemma 2 only the
+//! *edge labels* can bound the node, so feasibility tests (LP, Section 4.2)
+//! use the edge labels only, which is what makes them cheap.
+//!
+//! The rank of a node is one plus the number of positive halfspaces among its
+//! edge labels and (own + ancestor) cover sets (Lemma 1).  Nodes whose rank
+//! exceeds `k` are eliminated together with their subtrees.
+
+use crate::hyperplanes::HyperplaneStore;
+use crate::stats::QueryStats;
+use kspr_geometry::{ConstraintSystem, Halfspace, PreferenceSpace, Sign};
+use kspr_lp::{interior_point, LinearConstraint};
+use std::collections::HashSet;
+
+/// One node of the CellTree.
+#[derive(Debug, Clone)]
+pub struct CellNode {
+    /// Parent node index (`None` for the root).
+    pub parent: Option<usize>,
+    /// Halfspace labelling the edge from the parent to this node.
+    pub edge: Option<Halfspace>,
+    /// Cover set: halfspaces that fully cover this node and were inserted
+    /// after the node was created.
+    pub cover: Vec<Halfspace>,
+    /// Number of positive halfspaces in `cover` (cached).
+    pos_cover: usize,
+    /// Children `(negative side, positive side)` if the node has been split.
+    pub children: Option<(usize, usize)>,
+    /// True once the node (and implicitly its subtree) has been pruned.
+    pub eliminated: bool,
+    /// True once the node has been reported as part of the kSPR result.
+    pub reported: bool,
+    /// True once LP-CTA has computed look-ahead rank bounds for this leaf.
+    pub bounds_checked: bool,
+    /// Cached interior witness point (Section 4.3.2).
+    pub witness: Option<Vec<f64>>,
+}
+
+impl CellNode {
+    fn new(parent: Option<usize>, edge: Option<Halfspace>) -> Self {
+        Self {
+            parent,
+            edge,
+            cover: Vec::new(),
+            pos_cover: 0,
+            children: None,
+            eliminated: false,
+            reported: false,
+            bounds_checked: false,
+            witness: None,
+        }
+    }
+
+    /// Number of positive halfspaces contributed by this node itself
+    /// (its edge label plus its cover set).
+    fn own_positives(&self) -> usize {
+        let edge_pos = usize::from(matches!(
+            self.edge,
+            Some(Halfspace {
+                sign: Sign::Positive,
+                ..
+            })
+        ));
+        edge_pos + self.pos_cover
+    }
+
+    /// True iff the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// The incremental arrangement index of Section 4.
+#[derive(Debug, Clone)]
+pub struct CellTree {
+    nodes: Vec<CellNode>,
+    root: usize,
+    space: PreferenceSpace,
+    boundary: Vec<LinearConstraint>,
+    k: usize,
+    use_lemma2: bool,
+    use_witness: bool,
+}
+
+impl CellTree {
+    /// Creates a CellTree over `space` for a query with effective rank
+    /// threshold `k`.
+    pub fn new(space: PreferenceSpace, k: usize, use_lemma2: bool, use_witness: bool) -> Self {
+        let boundary = space.boundary_constraints();
+        Self {
+            nodes: vec![CellNode::new(None, None)],
+            root: 0,
+            space,
+            boundary,
+            k,
+            use_lemma2,
+            use_witness,
+        }
+    }
+
+    /// The rank threshold the tree prunes against.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The preference space the tree partitions.
+    pub fn space(&self) -> &PreferenceSpace {
+        &self.space
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total number of nodes created so far.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, idx: usize) -> &CellNode {
+        &self.nodes[idx]
+    }
+
+    /// True once the root has been eliminated (the whole preference space is
+    /// pruned, so the kSPR result is empty).
+    pub fn is_exhausted(&self) -> bool {
+        self.nodes[self.root].eliminated
+    }
+
+    /// Rank of a node: 1 + positive halfspaces on its root path (edge labels
+    /// and cover sets of the node and all ancestors) — Lemma 1.
+    pub fn rank(&self, idx: usize) -> usize {
+        let mut positives = 0;
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            positives += self.nodes[i].own_positives();
+            cur = self.nodes[i].parent;
+        }
+        positives + 1
+    }
+
+    /// Marks a leaf as reported (part of the kSPR result); it is ignored by
+    /// all subsequent operations.
+    pub fn report(&mut self, idx: usize) {
+        self.nodes[idx].reported = true;
+    }
+
+    /// Eliminates a node (and implicitly its subtree).
+    pub fn eliminate(&mut self, idx: usize) {
+        self.nodes[idx].eliminated = true;
+        self.propagate_elimination(idx);
+    }
+
+    /// Marks a leaf as having had its look-ahead bounds computed.
+    pub fn mark_bounds_checked(&mut self, idx: usize) {
+        self.nodes[idx].bounds_checked = true;
+    }
+
+    /// When both children of a parent are eliminated (or reported) the parent
+    /// itself can be eliminated, which propagates further up.
+    fn propagate_elimination(&mut self, idx: usize) {
+        let mut cur = self.nodes[idx].parent;
+        while let Some(p) = cur {
+            let (l, r) = match self.nodes[p].children {
+                Some(c) => c,
+                None => break,
+            };
+            let closed = |n: &CellNode| n.eliminated || n.reported;
+            if closed(&self.nodes[l]) && closed(&self.nodes[r]) && !self.nodes[p].eliminated {
+                self.nodes[p].eliminated = true;
+                cur = self.nodes[p].parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The halfspaces labelling the edges on the root path of `idx`
+    /// (the only halfspaces that can bound the node — Lemma 2).
+    pub fn path_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
+        let mut out = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            if let Some(edge) = self.nodes[i].edge {
+                out.push(edge);
+            }
+            cur = self.nodes[i].parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// The full halfspace set of a node: edge labels plus the cover sets of
+    /// the node and all its ancestors.  Every hyperplane inserted while the
+    /// node was live appears exactly once in this set.
+    pub fn full_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
+        let mut out = Vec::new();
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            if let Some(edge) = self.nodes[i].edge {
+                out.push(edge);
+            }
+            out.extend(self.nodes[i].cover.iter().copied());
+            cur = self.nodes[i].parent;
+        }
+        out
+    }
+
+    /// All live, not-yet-reported leaves whose rank does not exceed `k`
+    /// ("promising cells" in the paper's terminology).
+    pub fn promising_leaves(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| {
+                let n = &self.nodes[i];
+                n.is_leaf() && !n.eliminated && !n.reported && !self.ancestor_closed(i)
+            })
+            .filter(|&i| self.rank(i) <= self.k)
+            .collect()
+    }
+
+    /// True if any ancestor of `idx` is eliminated (the node is then dead even
+    /// if its own flag was never set).
+    fn ancestor_closed(&self, idx: usize) -> bool {
+        let mut cur = self.nodes[idx].parent;
+        while let Some(i) = cur {
+            if self.nodes[i].eliminated {
+                return true;
+            }
+            cur = self.nodes[i].parent;
+        }
+        false
+    }
+
+    /// The cached witness point of a node, if any.
+    pub fn witness(&self, idx: usize) -> Option<&[f64]> {
+        self.nodes[idx].witness.as_deref()
+    }
+
+    /// A constraint system describing the cell of node `idx`: the space
+    /// boundary plus the bounding (edge-label) halfspaces.
+    pub fn cell_system(&self, idx: usize, store: &HyperplaneStore) -> ConstraintSystem {
+        let mut sys = ConstraintSystem::new(self.space);
+        for h in self.path_halfspaces(idx) {
+            sys.push_halfspace(store.plane(h.plane), h.sign);
+        }
+        sys
+    }
+
+    /// Inserts hyperplane `plane` (an index into `store`) into the tree.
+    ///
+    /// `dominator_planes` contains the indices of already-inserted hyperplanes
+    /// whose source records dominate the record of `plane`; when any of them
+    /// contributes a *negative* halfspace to a node, the new hyperplane's
+    /// negative halfspace is guaranteed to cover that node too (the P-CTA
+    /// optimization backed by Lemma 4/5).  Pass an empty set to disable the
+    /// optimization (plain CTA).
+    pub fn insert(
+        &mut self,
+        store: &HyperplaneStore,
+        plane: usize,
+        dominator_planes: &HashSet<usize>,
+        stats: &mut QueryStats,
+    ) {
+        let mut path_strict: Vec<LinearConstraint> = Vec::new();
+        let mut cover_strict: Vec<LinearConstraint> = Vec::new();
+        self.insert_rec(
+            self.root,
+            store,
+            plane,
+            dominator_planes,
+            0,
+            false,
+            &mut path_strict,
+            &mut cover_strict,
+            stats,
+        );
+        stats.celltree_nodes = self.nodes.len();
+    }
+
+    /// Recursive insertion.  `acc_pos` counts positive halfspaces contributed
+    /// by the ancestors of `idx`; `dominator_negative` is true when some
+    /// dominator of the incoming record already contributes a negative
+    /// halfspace on the path.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_rec(
+        &mut self,
+        idx: usize,
+        store: &HyperplaneStore,
+        plane: usize,
+        dominator_planes: &HashSet<usize>,
+        acc_pos: usize,
+        dominator_negative: bool,
+        path_strict: &mut Vec<LinearConstraint>,
+        cover_strict: &mut Vec<LinearConstraint>,
+        stats: &mut QueryStats,
+    ) {
+        if self.nodes[idx].eliminated || self.nodes[idx].reported {
+            return;
+        }
+        // If both children are already closed, close this node as well
+        // (Algorithm 1, line 12).
+        if let Some((l, r)) = self.nodes[idx].children {
+            let closed = |n: &CellNode| n.eliminated || n.reported;
+            if closed(&self.nodes[l]) && closed(&self.nodes[r]) {
+                self.nodes[idx].eliminated = true;
+                return;
+            }
+        }
+
+        let rank_here = acc_pos + self.nodes[idx].own_positives() + 1;
+        if rank_here > self.k {
+            self.nodes[idx].eliminated = true;
+            return;
+        }
+
+        // Dominance shortcut (P-CTA): a processed dominator already confines
+        // this node to its negative halfspace, so the new record's negative
+        // halfspace covers the node as well.
+        let mut dominator_negative = dominator_negative
+            || self.halfspace_from_dominator(&self.nodes[idx].edge.into_iter().collect::<Vec<_>>(), dominator_planes)
+            || self.halfspace_from_dominator(&self.nodes[idx].cover, dominator_planes);
+        if dominator_negative {
+            self.nodes[idx].cover.push(Halfspace::negative(plane));
+            return;
+        }
+
+        // Witness-based shortcuts (Section 4.3.2).
+        let mut case1_possible = true; // N ∩ h⁻ = ∅ (node inside h⁺)
+        let mut case2_possible = true; // N ∩ h⁺ = ∅ (node inside h⁻)
+        if self.use_witness {
+            if let Some(w) = &self.nodes[idx].witness {
+                match store.side(plane, w) {
+                    Some(Sign::Negative) => {
+                        case1_possible = false;
+                        stats.witness_hits += 1;
+                    }
+                    Some(Sign::Positive) => {
+                        case2_possible = false;
+                        stats.witness_hits += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        // Witness points discovered by the feasibility tests below; reused to
+        // seed the children if the node ends up split.
+        let mut witness_negative: Option<Vec<f64>> = None;
+        let mut witness_positive: Option<Vec<f64>> = None;
+
+        if case1_possible {
+            match self.feasibility_test(idx, store, plane, Sign::Negative, path_strict, cover_strict, stats)
+            {
+                None => {
+                    // Case I: the node lies entirely inside h⁺.
+                    self.nodes[idx].cover.push(Halfspace::positive(plane));
+                    self.nodes[idx].pos_cover += 1;
+                    if rank_here + 1 > self.k {
+                        self.nodes[idx].eliminated = true;
+                    }
+                    return;
+                }
+                Some(w) => {
+                    if self.nodes[idx].witness.is_none() {
+                        self.nodes[idx].witness = Some(w.clone());
+                    }
+                    witness_negative = Some(w);
+                }
+            }
+        }
+        if case2_possible {
+            match self.feasibility_test(idx, store, plane, Sign::Positive, path_strict, cover_strict, stats)
+            {
+                None => {
+                    // Case II: the node lies entirely inside h⁻.
+                    self.nodes[idx].cover.push(Halfspace::negative(plane));
+                    return;
+                }
+                Some(w) => {
+                    if self.nodes[idx].witness.is_none() {
+                        self.nodes[idx].witness = Some(w.clone());
+                    }
+                    witness_positive = Some(w);
+                }
+            }
+        }
+
+        // Case III: the hyperplane cuts through the node.
+        if self.nodes[idx].is_leaf() {
+            let neg_child = self.nodes.len();
+            let mut neg_node = CellNode::new(Some(idx), Some(Halfspace::negative(plane)));
+            neg_node.witness = witness_negative;
+            self.nodes.push(neg_node);
+            let pos_child = self.nodes.len();
+            let mut pos_node = CellNode::new(Some(idx), Some(Halfspace::positive(plane)));
+            pos_node.witness = witness_positive;
+            self.nodes.push(pos_node);
+            self.nodes[idx].children = Some((neg_child, pos_child));
+            // The positive child's rank is one higher; prune it immediately if
+            // it already exceeds k.
+            if rank_here + 1 > self.k {
+                self.nodes[pos_child].eliminated = true;
+            }
+        } else {
+            let (l, r) = self.nodes[idx].children.expect("internal node has children");
+            // The dominance flag may become true deeper down; recompute per child.
+            dominator_negative = false;
+            let acc_here = acc_pos + self.nodes[idx].own_positives();
+            if !self.use_lemma2 {
+                for h in self.nodes[idx].cover.clone() {
+                    cover_strict.push(store.constraint(h, true));
+                }
+            }
+            let cover_pushed = if self.use_lemma2 {
+                0
+            } else {
+                self.nodes[idx].cover.len()
+            };
+            for child in [l, r] {
+                let edge = self.nodes[child].edge.expect("non-root node has an edge");
+                path_strict.push(store.constraint(edge, true));
+                self.insert_rec(
+                    child,
+                    store,
+                    plane,
+                    dominator_planes,
+                    acc_here,
+                    dominator_negative,
+                    path_strict,
+                    cover_strict,
+                    stats,
+                );
+                path_strict.pop();
+            }
+            for _ in 0..cover_pushed {
+                cover_strict.pop();
+            }
+            // Bubble elimination up if both children got closed.
+            let closed = |n: &CellNode| n.eliminated || n.reported;
+            if closed(&self.nodes[l]) && closed(&self.nodes[r]) {
+                self.nodes[idx].eliminated = true;
+            }
+        }
+    }
+
+    /// True iff any of `halves` is a negative halfspace produced by one of the
+    /// dominator planes.
+    fn halfspace_from_dominator(
+        &self,
+        halves: &[Halfspace],
+        dominator_planes: &HashSet<usize>,
+    ) -> bool {
+        if dominator_planes.is_empty() {
+            return false;
+        }
+        halves
+            .iter()
+            .any(|h| h.sign == Sign::Negative && dominator_planes.contains(&h.plane))
+    }
+
+    /// Runs the LP feasibility test "is `node ∩ (side of plane)` empty?"
+    /// and returns a strictly interior witness if it is not.
+    ///
+    /// Constraints: the space boundary, the edge labels on the node's root
+    /// path (always), the cover sets on the path (only when Lemma 2 is
+    /// disabled), and the tested halfspace.
+    #[allow(clippy::too_many_arguments)]
+    fn feasibility_test(
+        &self,
+        _idx: usize,
+        store: &HyperplaneStore,
+        plane: usize,
+        sign: Sign,
+        path_strict: &[LinearConstraint],
+        cover_strict: &[LinearConstraint],
+        stats: &mut QueryStats,
+    ) -> Option<Vec<f64>> {
+        let extra = store.plane(plane).constraint(sign, true);
+        let mut constraints = Vec::with_capacity(
+            self.boundary.len() + path_strict.len() + cover_strict.len() + 1,
+        );
+        constraints.extend_from_slice(&self.boundary);
+        constraints.extend_from_slice(path_strict);
+        if !self.use_lemma2 {
+            constraints.extend_from_slice(cover_strict);
+        }
+        constraints.push(extra);
+        stats.feasibility_tests += 1;
+        stats.lp_constraints += path_strict.len()
+            + if self.use_lemma2 { 0 } else { cover_strict.len() }
+            + 1;
+        interior_point(&constraints, self.space.work_dim()).map(|s| s.point)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr_geometry::PreferenceSpace;
+
+    /// Builds the running example of Figures 1–4 of the paper: restaurants
+    /// with (value, service, ambiance), focal record Kyma.
+    fn demo() -> (HyperplaneStore, Vec<Vec<f64>>) {
+        let space = PreferenceSpace::transformed(3);
+        let focal = vec![5.0, 5.0, 7.0];
+        let records = vec![
+            vec![3.0, 8.0, 8.0], // r1 L'Entrecôte
+            vec![9.0, 4.0, 4.0], // r2 Beirut Grill
+            vec![8.0, 3.0, 4.0], // r3 El Coyote
+            vec![4.0, 3.0, 6.0], // r4 La Braceria
+        ];
+        (HyperplaneStore::new(space, focal), records)
+    }
+
+    fn insert_all(k: usize) -> (CellTree, HyperplaneStore, Vec<Vec<f64>>, QueryStats) {
+        let (mut store, records) = demo();
+        let mut tree = CellTree::new(*store.space(), k, true, true);
+        let mut stats = QueryStats::new();
+        let empty = HashSet::new();
+        for (i, r) in records.iter().enumerate() {
+            let plane = store.add(i, r);
+            tree.insert(&store, plane, &empty, &mut stats);
+        }
+        (tree, store, records, stats)
+    }
+
+    /// Oracle: rank of the focal record at working-space point `w`.
+    fn rank_at(records: &[Vec<f64>], focal: &[f64], space: &PreferenceSpace, w: &[f64]) -> usize {
+        let full = space.to_full_weight(w);
+        let score = |r: &[f64]| -> f64 { r.iter().zip(&full).map(|(v, wi)| v * wi).sum() };
+        let sp = score(focal);
+        1 + records.iter().filter(|r| score(r) > sp).count()
+    }
+
+    #[test]
+    fn root_starts_live_and_unsplit() {
+        let space = PreferenceSpace::transformed(3);
+        let tree = CellTree::new(space, 3, true, true);
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(!tree.is_exhausted());
+        assert_eq!(tree.rank(tree.root()), 1);
+        assert_eq!(tree.promising_leaves(), vec![0]);
+    }
+
+    #[test]
+    fn promising_leaves_have_correct_ranks() {
+        let k = 3;
+        let (tree, store, records, _) = insert_all(k);
+        let focal = store.focal().to_vec();
+        let space = *store.space();
+        for leaf in tree.promising_leaves() {
+            let leaf_rank = tree.rank(leaf);
+            assert!(leaf_rank <= k);
+            // The CellTree rank must equal the oracle rank at the witness (or
+            // any interior point) of the leaf.
+            let sys = tree.cell_system(leaf, &store);
+            let w = sys.interior_point().expect("promising leaf is non-empty").point;
+            assert_eq!(leaf_rank, rank_at(&records, &focal, &space, &w), "leaf {leaf}");
+        }
+    }
+
+    #[test]
+    fn every_feasible_point_is_classified_consistently() {
+        // Sample a grid of points; the union of promising leaves (rank <= k)
+        // must contain exactly the points whose oracle rank is <= k.
+        let k = 3;
+        let (tree, store, records, _) = insert_all(k);
+        let focal = store.focal().to_vec();
+        let space = *store.space();
+        let leaves = tree.promising_leaves();
+        for a in 1..20 {
+            for b in 1..(20 - a) {
+                let w = vec![a as f64 / 20.0, b as f64 / 20.0];
+                // Skip points (numerically) on a hyperplane: they belong to no
+                // open cell and the oracle's strict comparison is ambiguous.
+                let on_plane = (0..store.len()).any(|i| {
+                    store.plane(i).signed_distance(&w).abs() < 1e-6
+                });
+                if on_plane {
+                    continue;
+                }
+                let oracle_in = rank_at(&records, &focal, &space, &w) <= k;
+                let in_some_leaf = leaves.iter().any(|&leaf| {
+                    tree.cell_system(leaf, &store).contains(&w, 1e-9)
+                });
+                assert_eq!(oracle_in, in_some_leaf, "w = {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_one_pruning_eliminates_everything() {
+        // With k = 1 and records that each beat the focal somewhere, large
+        // parts of the tree get eliminated; the surviving leaves must still
+        // be exactly the rank-1 cells.
+        let (tree, store, records, _) = {
+            let (mut store, records) = demo();
+            let mut tree = CellTree::new(*store.space(), 1, true, true);
+            let mut stats = QueryStats::new();
+            let empty = HashSet::new();
+            for (i, r) in records.iter().enumerate() {
+                let plane = store.add(i, r);
+                tree.insert(&store, plane, &empty, &mut stats);
+            }
+            (tree, store, records, stats)
+        };
+        let focal = store.focal().to_vec();
+        let space = *store.space();
+        for leaf in tree.promising_leaves() {
+            let sys = tree.cell_system(leaf, &store);
+            let w = sys.interior_point().unwrap().point;
+            assert_eq!(rank_at(&records, &focal, &space, &w), 1);
+        }
+    }
+
+    #[test]
+    fn lemma2_and_witness_toggles_do_not_change_the_result() {
+        let configs = [(true, true), (true, false), (false, true), (false, false)];
+        let mut signatures = Vec::new();
+        for (lemma2, witness) in configs {
+            let (mut store, records) = demo();
+            let mut tree = CellTree::new(*store.space(), 3, lemma2, witness);
+            let mut stats = QueryStats::new();
+            let empty = HashSet::new();
+            for (i, r) in records.iter().enumerate() {
+                let plane = store.add(i, r);
+                tree.insert(&store, plane, &empty, &mut stats);
+            }
+            // Signature: sorted ranks of promising leaves plus classification
+            // of a probe grid.
+            let mut ranks: Vec<usize> =
+                tree.promising_leaves().iter().map(|&l| tree.rank(l)).collect();
+            ranks.sort_unstable();
+            let mut grid = Vec::new();
+            for a in 1..10 {
+                for b in 1..(10 - a) {
+                    let w = vec![a as f64 / 10.0, b as f64 / 10.0];
+                    grid.push(
+                        tree.promising_leaves()
+                            .iter()
+                            .any(|&l| tree.cell_system(l, &store).contains(&w, 1e-9)),
+                    );
+                }
+            }
+            signatures.push((ranks, grid));
+        }
+        assert!(signatures.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn witness_reuse_skips_feasibility_tests() {
+        let (_, _, _, stats_with) = insert_all(3);
+        let (mut store, records) = demo();
+        let mut tree = CellTree::new(*store.space(), 3, true, false);
+        let mut stats_without = QueryStats::new();
+        let empty = HashSet::new();
+        for (i, r) in records.iter().enumerate() {
+            let plane = store.add(i, r);
+            tree.insert(&store, plane, &empty, &mut stats_without);
+        }
+        assert!(stats_with.witness_hits > 0);
+        assert_eq!(stats_without.witness_hits, 0);
+        assert!(stats_with.feasibility_tests <= stats_without.feasibility_tests);
+    }
+
+    #[test]
+    fn report_and_eliminate_propagate() {
+        let (mut tree, ..) = insert_all(3);
+        let leaves = tree.promising_leaves();
+        assert!(!leaves.is_empty());
+        for &leaf in &leaves {
+            tree.report(leaf);
+        }
+        assert!(tree.promising_leaves().is_empty());
+    }
+
+    #[test]
+    fn full_halfspaces_cover_every_inserted_plane() {
+        let (tree, ..) = insert_all(3);
+        for leaf in tree.promising_leaves() {
+            let full = tree.full_halfspaces(leaf);
+            let mut planes: Vec<usize> = full.iter().map(|h| h.plane).collect();
+            planes.sort_unstable();
+            planes.dedup();
+            assert_eq!(planes, vec![0, 1, 2, 3], "leaf {leaf} misses a plane");
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Query configuration: every optimization of the paper can be toggled so the
+//! ablation experiments (Figures 16–18, 22) can isolate its effect.
+
+use kspr_geometry::Space;
+use kspr_spatial::IoCostModel;
+
+/// Which look-ahead bounds LP-CTA uses when computing the rank bounds of a
+/// cell (Section 6 of the paper; ablated in Figure 18).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BoundMode {
+    /// Per-record score bounds only (Section 6.1, `record_bounds` in Fig. 18).
+    Record,
+    /// Aggregate R-tree group bounds (Section 6.2, `group_bounds`).
+    Group,
+    /// Group bounds plus the cheap min/max-vector filter (Section 6.3,
+    /// `fast_bounds`) — the full LP-CTA configuration.
+    #[default]
+    Fast,
+}
+
+/// Configuration shared by all kSPR algorithms.
+#[derive(Debug, Clone)]
+pub struct KsprConfig {
+    /// Work in the transformed (`d-1`-dimensional) or original space.
+    /// The original space yields the OP-CTA / OLP-CTA variants of Appendix C.
+    pub space: Space,
+    /// Apply Lemma 2: drop cover-set halfspaces (inconsequential) from every
+    /// feasibility test.  Disabling this reproduces the `lp_solve`-only bars
+    /// of Figure 17.
+    pub use_lemma2: bool,
+    /// Cache a witness point per CellTree node and use it to skip feasibility
+    /// tests (Section 4.3.2).
+    pub use_witness: bool,
+    /// Look-ahead bound tier used by LP-CTA.
+    pub bound_mode: BoundMode,
+    /// Fanout of the query-local aggregate R-tree built over the records that
+    /// remain after the dominance-based preprocessing of Section 3.1.
+    pub rtree_fanout: usize,
+    /// Simulated I/O cost model (Appendix A).  `None` disables I/O accounting
+    /// in the reported statistics.
+    pub io_model: Option<IoCostModel>,
+    /// Monte-Carlo sample count used when finalized regions need volume
+    /// estimates in three or more working dimensions.
+    pub volume_samples: usize,
+    /// Whether the finalization step (exact geometry of every result cell via
+    /// halfspace intersection) is executed.  The paper includes this step in
+    /// all reported response times.
+    pub finalize: bool,
+}
+
+impl Default for KsprConfig {
+    fn default() -> Self {
+        Self {
+            space: Space::Transformed,
+            use_lemma2: true,
+            use_witness: true,
+            bound_mode: BoundMode::Fast,
+            rtree_fanout: 32,
+            io_model: None,
+            volume_samples: 20_000,
+            finalize: true,
+        }
+    }
+}
+
+impl KsprConfig {
+    /// Configuration for the original-space variants (OP-CTA / OLP-CTA).
+    ///
+    /// The fast bounds of Section 6.3 do not apply in the original space
+    /// (the min-vector of every cone is the origin), so the bound mode is
+    /// capped at [`BoundMode::Group`].
+    pub fn original_space() -> Self {
+        Self {
+            space: Space::Original,
+            bound_mode: BoundMode::Group,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience: the default configuration with a specific bound mode.
+    pub fn with_bound_mode(mode: BoundMode) -> Self {
+        Self {
+            bound_mode: mode,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience: disable the finalization step (useful in micro-benchmarks
+    /// that isolate the CellTree work).
+    pub fn without_finalization(mut self) -> Self {
+        self.finalize = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration_matches_paper_defaults() {
+        let c = KsprConfig::default();
+        assert_eq!(c.space, Space::Transformed);
+        assert!(c.use_lemma2);
+        assert!(c.use_witness);
+        assert_eq!(c.bound_mode, BoundMode::Fast);
+        assert!(c.finalize);
+    }
+
+    #[test]
+    fn original_space_config_caps_bound_mode() {
+        let c = KsprConfig::original_space();
+        assert_eq!(c.space, Space::Original);
+        assert_eq!(c.bound_mode, BoundMode::Group);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = KsprConfig::with_bound_mode(BoundMode::Record).without_finalization();
+        assert_eq!(c.bound_mode, BoundMode::Record);
+        assert!(!c.finalize);
+    }
+}

@@ -1,0 +1,90 @@
+//! The indexed dataset a kSPR query runs against.
+
+use kspr_spatial::{AggregateRTree, Record};
+
+/// A dataset of options, indexed by an aggregate R-tree.
+///
+/// Attribute values follow the paper's convention: every attribute is
+/// "larger is better".  The generators in `kspr-datagen` produce values in
+/// `(0, 1)`, but any non-negative range works.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    tree: AggregateRTree,
+}
+
+impl Dataset {
+    /// Builds a dataset (and its index) from raw attribute vectors with the
+    /// default R-tree fanout.
+    ///
+    /// # Panics
+    /// Panics if `raw` is empty or the rows have inconsistent arities.
+    pub fn new(raw: Vec<Vec<f64>>) -> Self {
+        Self::with_fanout(raw, AggregateRTree::DEFAULT_FANOUT)
+    }
+
+    /// Builds a dataset with an explicit R-tree fanout.
+    pub fn with_fanout(raw: Vec<Vec<f64>>, fanout: usize) -> Self {
+        let records = Record::from_raw(raw);
+        Self {
+            tree: AggregateRTree::bulk_load(records, fanout),
+        }
+    }
+
+    /// Wraps an already-built index.
+    pub fn from_tree(tree: AggregateRTree) -> Self {
+        Self { tree }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// True iff the dataset contains no records (cannot happen after
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Number of attributes per record.
+    pub fn dim(&self) -> usize {
+        self.tree.dim()
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[Record] {
+        self.tree.records()
+    }
+
+    /// The underlying aggregate R-tree.
+    pub fn tree(&self) -> &AggregateRTree {
+        &self.tree
+    }
+
+    /// Attribute values of record `id`.
+    pub fn values(&self, id: usize) -> &[f64] {
+        &self.tree.record(id).values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let d = Dataset::new(vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.values(1), &[0.3, 0.4]);
+        assert_eq!(d.records().len(), 3);
+        assert_eq!(d.tree().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_data() {
+        Dataset::new(vec![]);
+    }
+}

@@ -1,0 +1,119 @@
+//! The hyperplane store: one separating hyperplane per processed record.
+//!
+//! Cells of the CellTree reference hyperplanes by index (a [`Halfspace`] is a
+//! `(plane index, sign)` pair), so all hyperplanes live in a central store
+//! that also remembers which record produced each of them.
+
+use kspr_geometry::{Halfspace, Hyperplane, PreferenceSpace, Sign};
+use kspr_lp::LinearConstraint;
+use kspr_spatial::RecordId;
+
+/// Central store of record-induced hyperplanes.
+#[derive(Debug, Clone)]
+pub struct HyperplaneStore {
+    space: PreferenceSpace,
+    focal: Vec<f64>,
+    planes: Vec<Hyperplane>,
+    /// Record (filtered id) that produced each plane.
+    sources: Vec<RecordId>,
+}
+
+impl HyperplaneStore {
+    /// Creates an empty store for a given focal record and space.
+    pub fn new(space: PreferenceSpace, focal: Vec<f64>) -> Self {
+        assert_eq!(focal.len(), space.data_dim, "focal arity mismatch");
+        Self {
+            space,
+            focal,
+            planes: Vec::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    /// The working preference space.
+    pub fn space(&self) -> &PreferenceSpace {
+        &self.space
+    }
+
+    /// The focal record.
+    pub fn focal(&self) -> &[f64] {
+        &self.focal
+    }
+
+    /// Number of stored hyperplanes.
+    pub fn len(&self) -> usize {
+        self.planes.len()
+    }
+
+    /// True iff no hyperplane has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.planes.is_empty()
+    }
+
+    /// Adds the hyperplane separating `record` from the focal record and
+    /// returns its index.
+    pub fn add(&mut self, record_id: RecordId, record_values: &[f64]) -> usize {
+        let plane = Hyperplane::separating(record_values, &self.focal, &self.space);
+        self.planes.push(plane);
+        self.sources.push(record_id);
+        self.planes.len() - 1
+    }
+
+    /// The hyperplane with index `idx`.
+    pub fn plane(&self, idx: usize) -> &Hyperplane {
+        &self.planes[idx]
+    }
+
+    /// The (filtered) record id that produced plane `idx`.
+    pub fn source(&self, idx: usize) -> RecordId {
+        self.sources[idx]
+    }
+
+    /// The LP constraint for one side of plane `idx`.
+    pub fn constraint(&self, half: Halfspace, strict: bool) -> LinearConstraint {
+        self.planes[half.plane].constraint(half.sign, strict)
+    }
+
+    /// The side of plane `idx` on which a working-space point lies
+    /// (`None` if the point is on the plane).
+    pub fn side(&self, idx: usize, point: &[f64]) -> Option<Sign> {
+        self.planes[idx].side(point)
+    }
+
+    /// Materializes the `(hyperplane, sign)` pairs for a halfspace list —
+    /// used when packaging result regions.
+    pub fn materialize(&self, halves: &[Halfspace]) -> Vec<(Hyperplane, Sign)> {
+        halves
+            .iter()
+            .map(|h| (self.planes[h.plane].clone(), h.sign))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr_geometry::Sign;
+
+    #[test]
+    fn store_round_trip() {
+        let space = PreferenceSpace::transformed(3);
+        let mut store = HyperplaneStore::new(space, vec![0.5, 0.5, 0.7]);
+        assert!(store.is_empty());
+        let idx = store.add(7, &[0.3, 0.8, 0.8]);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.source(idx), 7);
+        assert_eq!(store.plane(idx).dim(), 2);
+        let c = store.constraint(Halfspace::negative(idx), true);
+        assert_eq!(c.coeffs.len(), 2);
+        let mats = store.materialize(&[Halfspace::positive(idx)]);
+        assert_eq!(mats.len(), 1);
+        assert_eq!(mats[0].1, Sign::Positive);
+    }
+
+    #[test]
+    #[should_panic(expected = "focal arity mismatch")]
+    fn rejects_wrong_focal_arity() {
+        HyperplaneStore::new(PreferenceSpace::transformed(3), vec![0.5, 0.5]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Brute-force oracles used by tests, examples and the benchmark harness.
+//!
+//! None of these functions is part of the kSPR algorithms themselves; they
+//! evaluate the *definition* of the query directly (score every record under
+//! a concrete weight vector) and are therefore trustworthy reference answers
+//! for correctness checks and for the probabilistic market-impact estimates
+//! shown in the examples.
+
+use crate::result::KsprResult;
+use kspr_geometry::PreferenceSpace;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Rank of the focal record among `records` under the full `d`-dimensional
+/// weight vector `w`: one plus the number of records with a strictly higher
+/// score.
+pub fn rank_of(records: &[Vec<f64>], focal: &[f64], w: &[f64]) -> usize {
+    let score = |r: &[f64]| -> f64 { r.iter().zip(w).map(|(v, wi)| v * wi).sum() };
+    let focal_score = score(focal);
+    1 + records
+        .iter()
+        .filter(|r| score(r) > focal_score + 1e-12)
+        .count()
+}
+
+/// True iff the focal record is in the top-`k` under weight vector `w`.
+pub fn is_top_k(records: &[Vec<f64>], focal: &[f64], w: &[f64], k: usize) -> bool {
+    rank_of(records, focal, w) <= k
+}
+
+/// Samples `n` working-space points uniformly from the preference space.
+pub fn sample_weights(space: &PreferenceSpace, n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let dim = space.work_dim();
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        let w: Vec<f64> = (0..dim).map(|_| rng.gen_range(1e-6..1.0)).collect();
+        if space.contains(&w) {
+            out.push(w);
+        }
+    }
+    out
+}
+
+/// Fraction of sampled weight vectors on which a kSPR result agrees with the
+/// brute-force definition of the query.
+///
+/// A correct result yields agreement 1.0 (up to points that fall numerically
+/// on cell boundaries, which have probability ~0 under random sampling).
+pub fn classification_agreement(
+    result: &KsprResult,
+    records: &[Vec<f64>],
+    focal: &[f64],
+    k: usize,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let points = sample_weights(&result.space, samples, seed);
+    let mut agree = 0usize;
+    for w in &points {
+        let full = result.space.to_full_weight(w);
+        let oracle = is_top_k(records, focal, &full, k);
+        if oracle == result.contains(w) {
+            agree += 1;
+        }
+    }
+    agree as f64 / points.len() as f64
+}
+
+/// Monte-Carlo estimate of the market impact (probability that the focal
+/// record is in the top-`k` for a uniformly random preference), computed
+/// directly from the query definition.  Used to validate
+/// [`KsprResult::impact`].
+pub fn impact_monte_carlo(
+    records: &[Vec<f64>],
+    focal: &[f64],
+    k: usize,
+    space: &PreferenceSpace,
+    samples: usize,
+    seed: u64,
+) -> f64 {
+    let points = sample_weights(space, samples, seed);
+    let hits = points
+        .iter()
+        .filter(|w| is_top_k(records, focal, &space.to_full_weight(w), k))
+        .count();
+    hits as f64 / points.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_strictly_better_records() {
+        let records = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.6, 0.6]];
+        let focal = vec![0.5, 0.5];
+        let w = vec![0.5, 0.5];
+        // Scores: 0.5, 0.5, 0.6 vs focal 0.5 -> only one strictly better.
+        assert_eq!(rank_of(&records, &focal, &w), 2);
+        assert!(is_top_k(&records, &focal, &w, 2));
+        assert!(!is_top_k(&records, &focal, &w, 1));
+    }
+
+    #[test]
+    fn sampled_weights_lie_in_space() {
+        let t = PreferenceSpace::transformed(4);
+        for w in sample_weights(&t, 200, 1) {
+            assert!(t.contains(&w));
+        }
+        let o = PreferenceSpace::original(3);
+        for w in sample_weights(&o, 200, 1) {
+            assert!(o.contains(&w));
+        }
+    }
+
+    #[test]
+    fn monte_carlo_impact_of_unbeatable_record_is_one() {
+        let records = vec![vec![0.1, 0.1], vec![0.2, 0.3]];
+        let focal = vec![0.9, 0.9];
+        let space = PreferenceSpace::transformed(2);
+        let p = impact_monte_carlo(&records, &focal, 1, &space, 500, 3);
+        assert_eq!(p, 1.0);
+    }
+}

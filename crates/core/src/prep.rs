@@ -1,0 +1,183 @@
+//! Dominance-based preprocessing (Section 3.1 of the paper).
+//!
+//! Records that dominate the focal record `p` score higher than `p` for every
+//! weight vector, so the kSPR answer on `D` equals the answer on
+//! `D` minus those records with `k` reduced by their number.  Records that
+//! `p` dominates (or ties with exactly) can never outrank `p` and are dropped
+//! outright.  The remaining records are re-indexed in a query-local aggregate
+//! R-tree used by the skyline batching of P-CTA and the group bounds of
+//! LP-CTA.
+
+use crate::stats::QueryStats;
+use kspr_spatial::{dominates, AggregateRTree, Record};
+
+/// Outcome of preprocessing a query.
+#[derive(Debug)]
+pub enum Prepared {
+    /// The focal record can never be in the top-`k`: at least `k` records
+    /// dominate it, so the result is empty.
+    Empty {
+        /// Number of records dominating the focal record.
+        dominators: usize,
+    },
+    /// The focal record is in the top-`k` for *every* weight vector: after
+    /// removing dominators and dominated records no competitor remains and
+    /// fewer than `k` dominators exist.
+    WholeSpace {
+        /// Number of records dominating the focal record.
+        dominators: usize,
+    },
+    /// The general case: the filtered competitors and the effective `k`.
+    Filtered(FilteredQuery),
+}
+
+/// The filtered competitor set for the general case.
+#[derive(Debug)]
+pub struct FilteredQuery {
+    /// Competitors that neither dominate nor are dominated by the focal
+    /// record, re-identified with sequential ids.
+    pub records: Vec<Record>,
+    /// Original dataset ids of the filtered records (`original_ids[i]` is the
+    /// dataset id of filtered record `i`).
+    pub original_ids: Vec<usize>,
+    /// Query-local aggregate R-tree over the filtered records.
+    pub tree: AggregateRTree,
+    /// Effective `k` after accounting for dominators of the focal record.
+    pub k_effective: usize,
+    /// Number of records dominating the focal record.
+    pub dominators: usize,
+}
+
+/// Runs the Section 3.1 preprocessing.
+///
+/// * Records identical to `focal` are treated as ties and ignored (the paper
+///   ignores ties "for ease of presentation").
+/// * `stats` receives the dominator / dominated counts.
+///
+/// # Panics
+/// Panics if `k == 0` or if `focal` does not match the dataset arity.
+pub fn prepare(
+    records: &[Record],
+    focal: &[f64],
+    k: usize,
+    fanout: usize,
+    stats: &mut QueryStats,
+) -> Prepared {
+    assert!(k >= 1, "k must be at least 1");
+    assert!(
+        records.iter().all(|r| r.dim() == focal.len()),
+        "focal record arity must match the dataset"
+    );
+
+    let mut dominators = 0usize;
+    let mut dominated = 0usize;
+    let mut kept: Vec<Record> = Vec::new();
+    let mut original_ids: Vec<usize> = Vec::new();
+
+    for r in records {
+        if r.values == focal {
+            // Tie with the focal record: ignored.
+            continue;
+        }
+        if dominates(&r.values, focal) {
+            dominators += 1;
+        } else if dominates(focal, &r.values) {
+            dominated += 1;
+        } else {
+            original_ids.push(r.id);
+            kept.push(Record::new(kept.len(), r.values.clone()));
+        }
+    }
+
+    stats.dominating_records = dominators;
+    stats.dominated_records = dominated;
+
+    if dominators >= k {
+        return Prepared::Empty { dominators };
+    }
+    if kept.is_empty() {
+        return Prepared::WholeSpace { dominators };
+    }
+    let tree = AggregateRTree::bulk_load(kept.clone(), fanout);
+    Prepared::Filtered(FilteredQuery {
+        records: kept,
+        original_ids,
+        tree,
+        k_effective: k - dominators,
+        dominators,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn records(raw: &[Vec<f64>]) -> Vec<Record> {
+        raw.iter()
+            .enumerate()
+            .map(|(i, v)| Record::new(i, v.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn filters_dominators_and_dominated() {
+        let data = records(&[
+            vec![0.9, 0.9], // dominates focal
+            vec![0.1, 0.1], // dominated by focal
+            vec![0.9, 0.1], // incomparable
+            vec![0.5, 0.5], // tie (identical)
+        ]);
+        let mut stats = QueryStats::new();
+        let prep = prepare(&data, &[0.5, 0.5], 3, 8, &mut stats);
+        match prep {
+            Prepared::Filtered(f) => {
+                assert_eq!(f.records.len(), 1);
+                assert_eq!(f.original_ids, vec![2]);
+                assert_eq!(f.k_effective, 2);
+                assert_eq!(f.dominators, 1);
+            }
+            other => panic!("expected Filtered, got {other:?}"),
+        }
+        assert_eq!(stats.dominating_records, 1);
+        assert_eq!(stats.dominated_records, 1);
+    }
+
+    #[test]
+    fn too_many_dominators_yields_empty() {
+        let data = records(&[vec![0.9, 0.9], vec![0.8, 0.8], vec![0.7, 0.7]]);
+        let mut stats = QueryStats::new();
+        match prepare(&data, &[0.5, 0.5], 2, 8, &mut stats) {
+            Prepared::Empty { dominators } => assert_eq!(dominators, 3),
+            other => panic!("expected Empty, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_competitors_yields_whole_space() {
+        let data = records(&[vec![0.1, 0.1], vec![0.2, 0.2]]);
+        let mut stats = QueryStats::new();
+        match prepare(&data, &[0.5, 0.5], 1, 8, &mut stats) {
+            Prepared::WholeSpace { dominators } => assert_eq!(dominators, 0),
+            other => panic!("expected WholeSpace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn rejects_zero_k() {
+        let data = records(&[vec![0.1, 0.1]]);
+        prepare(&data, &[0.5, 0.5], 0, 8, &mut QueryStats::new());
+    }
+
+    #[test]
+    fn filtered_ids_are_sequential() {
+        let data = records(&[vec![0.9, 0.1], vec![0.1, 0.9], vec![0.6, 0.4]]);
+        let mut stats = QueryStats::new();
+        if let Prepared::Filtered(f) = prepare(&data, &[0.5, 0.5], 2, 8, &mut stats) {
+            assert!(f.records.iter().enumerate().all(|(i, r)| r.id == i));
+            assert_eq!(f.original_ids.len(), f.records.len());
+        } else {
+            panic!("expected Filtered");
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! kSPR results: regions of the preference space, finalization, and the
+//! market-impact measure.
+//!
+//! Each [`Region`] is one cell of the hyperplane arrangement in which the
+//! focal record ranks within the top-`k`.  During query processing regions are
+//! represented implicitly by their bounding halfspaces; the *finalization*
+//! step (end of Section 4.2 of the paper) computes their exact geometry by
+//! halfspace intersection, which enables the volume-based market-impact
+//! probability discussed in the paper's introduction.
+
+use crate::stats::QueryStats;
+use kspr_geometry::{Hyperplane, Polytope, PreferenceSpace, Sign};
+use kspr_lp::LinearConstraint;
+
+/// One region of the preference space where the focal record is in the top-`k`.
+#[derive(Debug, Clone)]
+pub struct Region {
+    /// Rank of the focal record inside the region at the time the region was
+    /// confirmed (for progressively reported regions this is the rank with
+    /// respect to the records processed so far, which is a lower bound on —
+    /// and usually equal to — the final rank; it never exceeds `k`).
+    pub rank: usize,
+    /// Bounding halfspaces of the region (excluding the space boundary).
+    pub halfspaces: Vec<(Hyperplane, Sign)>,
+    /// Exact geometry, available after finalization.
+    pub polytope: Option<Polytope>,
+}
+
+impl Region {
+    /// Creates an unfinalized region.
+    pub fn new(rank: usize, halfspaces: Vec<(Hyperplane, Sign)>) -> Self {
+        Self {
+            rank,
+            halfspaces,
+            polytope: None,
+        }
+    }
+
+    /// The closed constraint set of the region, including the space boundary.
+    pub fn constraints(&self, space: &PreferenceSpace) -> Vec<LinearConstraint> {
+        let mut out = space.boundary_constraints();
+        out.extend(
+            self.halfspaces
+                .iter()
+                .map(|(plane, sign)| plane.constraint(*sign, false)),
+        );
+        out
+    }
+
+    /// True iff the working-space point `w` lies in (the closure of) the region.
+    pub fn contains(&self, w: &[f64], space: &PreferenceSpace) -> bool {
+        self.constraints(space).iter().all(|c| {
+            let v = c.eval(w);
+            match c.op.closure() {
+                kspr_lp::Relation::LessEq => v <= c.rhs + 1e-9,
+                kspr_lp::Relation::GreaterEq => v >= c.rhs - 1e-9,
+                _ => unreachable!("closure is never strict"),
+            }
+        })
+    }
+
+    /// Computes the exact geometry of the region (the paper's finalization
+    /// step: halfspace intersection of the bounding halfspaces, ignoring
+    /// redundant ones).
+    pub fn finalize(&mut self, space: &PreferenceSpace) {
+        let constraints = self.constraints(space);
+        self.polytope = Polytope::from_constraints_reduced(&constraints, space.work_dim());
+    }
+
+    /// Volume of the region.  Uses the finalized polytope if available,
+    /// otherwise finalizes a temporary copy.
+    pub fn volume(&self, space: &PreferenceSpace, samples: usize, seed: u64) -> f64 {
+        match &self.polytope {
+            Some(p) => p.volume(samples, seed),
+            None => {
+                let constraints = self.constraints(space);
+                Polytope::from_constraints(&constraints, space.work_dim())
+                    .map(|p| p.volume(samples, seed))
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+}
+
+/// The complete answer to a kSPR query.
+#[derive(Debug, Clone)]
+pub struct KsprResult {
+    /// The preference space the regions live in.
+    pub space: PreferenceSpace,
+    /// The result regions (disjoint cells of the arrangement).
+    pub regions: Vec<Region>,
+    /// Statistics collected while answering the query.
+    pub stats: QueryStats,
+}
+
+impl KsprResult {
+    /// An empty result (the focal record is never in the top-`k`).
+    pub fn empty(space: PreferenceSpace, stats: QueryStats) -> Self {
+        Self {
+            space,
+            regions: Vec::new(),
+            stats,
+        }
+    }
+
+    /// A result covering the whole preference space (the focal record is in
+    /// the top-`k` for every weight vector).
+    pub fn whole_space(space: PreferenceSpace, rank: usize, mut stats: QueryStats) -> Self {
+        stats.result_regions = 1;
+        Self {
+            space,
+            regions: vec![Region::new(rank, Vec::new())],
+            stats,
+        }
+    }
+
+    /// Number of result regions.
+    pub fn num_regions(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// True iff the result is empty.
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// True iff the working-space point `w` lies in some result region, i.e.
+    /// the focal record is in the top-`k` for that preference.
+    pub fn contains(&self, w: &[f64]) -> bool {
+        self.regions.iter().any(|r| r.contains(w, &self.space))
+    }
+
+    /// True iff the full, normalized `d`-dimensional weight vector `w` lies in
+    /// some result region.
+    pub fn contains_full_weight(&self, w: &[f64]) -> bool {
+        self.contains(&self.space.from_full_weight(w))
+    }
+
+    /// Finalizes every region (computes exact geometries).
+    pub fn finalize(&mut self) {
+        let space = self.space;
+        for r in &mut self.regions {
+            r.finalize(&space);
+        }
+    }
+
+    /// Total volume of the result regions.
+    pub fn total_volume(&self, samples: usize, seed: u64) -> f64 {
+        self.regions
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r.volume(&self.space, samples, seed.wrapping_add(i as u64)))
+            .sum()
+    }
+
+    /// Market impact: the probability that the focal record is in the top-`k`
+    /// for a weight vector drawn uniformly from the preference space
+    /// (total region volume divided by the space volume).
+    pub fn impact(&self, samples: usize, seed: u64) -> f64 {
+        (self.total_volume(samples, seed) / self.space.volume()).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr_geometry::Hyperplane;
+
+    fn space2() -> PreferenceSpace {
+        PreferenceSpace::transformed(3)
+    }
+
+    #[test]
+    fn whole_space_result() {
+        let r = KsprResult::whole_space(space2(), 1, QueryStats::new());
+        assert_eq!(r.num_regions(), 1);
+        assert!(r.contains(&[0.3, 0.3]));
+        assert!(r.contains_full_weight(&[0.2, 0.3, 0.5]));
+        let vol = r.total_volume(0, 0);
+        assert!((vol - 0.5).abs() < 1e-9, "triangle area 1/2, got {vol}");
+        assert!((r.impact(0, 0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_result() {
+        let r = KsprResult::empty(space2(), QueryStats::new());
+        assert!(r.is_empty());
+        assert!(!r.contains(&[0.3, 0.3]));
+        assert_eq!(r.impact(0, 0), 0.0);
+    }
+
+    #[test]
+    fn halfspace_bounded_region() {
+        // Region w1 <= 0.5 inside the transformed 2-d simplex.
+        let plane = Hyperplane {
+            coeffs: vec![1.0, 0.0],
+            rhs: 0.5,
+        };
+        let mut region = Region::new(1, vec![(plane, Sign::Negative)]);
+        assert!(region.contains(&[0.3, 0.3], &space2()));
+        assert!(!region.contains(&[0.7, 0.1], &space2()));
+        region.finalize(&space2());
+        let poly = region.polytope.as_ref().expect("finalized");
+        assert!(!poly.vertices().is_empty());
+        // Area: the simplex (1/2) minus the triangle beyond w1 = 0.5 (1/8).
+        let vol = region.volume(&space2(), 0, 0);
+        assert!((vol - 0.375).abs() < 1e-9, "got {vol}");
+    }
+
+    #[test]
+    fn impact_sums_region_volumes() {
+        let left = Hyperplane {
+            coeffs: vec![1.0, 0.0],
+            rhs: 0.25,
+        };
+        let right = Hyperplane {
+            coeffs: vec![1.0, 0.0],
+            rhs: 0.75,
+        };
+        let result = KsprResult {
+            space: space2(),
+            regions: vec![
+                Region::new(1, vec![(left, Sign::Negative)]),
+                Region::new(2, vec![(right, Sign::Positive)]),
+            ],
+            stats: QueryStats::new(),
+        };
+        let vol = result.total_volume(0, 0);
+        // Left part: simplex left of w1=0.25; right part: simplex right of 0.75.
+        let expected = (0.5 - 0.75 * 0.75 / 2.0) + (0.25 * 0.25 / 2.0);
+        assert!((vol - expected).abs() < 1e-9, "got {vol}, expected {expected}");
+        assert!(result.impact(0, 0) > 0.0 && result.impact(0, 0) < 1.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Per-query statistics.
+//!
+//! The paper's evaluation reports, next to response time, several side
+//! metrics: the number of processed records (hyperplanes inserted into the
+//! CellTree, Figure 11a), the number of CellTree nodes (Figure 11b), LP-call
+//! counts and constraint counts (Figure 17), and simulated I/O (Figure 19).
+//! [`QueryStats`] collects all of them for a single kSPR query.
+
+/// Counters collected while answering one kSPR query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryStats {
+    /// Records whose hyperplane was inserted into the CellTree.
+    pub processed_records: usize,
+    /// Records removed by the dominance preprocessing of Section 3.1
+    /// (dominators of the focal record).
+    pub dominating_records: usize,
+    /// Records removed because the focal record dominates them.
+    pub dominated_records: usize,
+    /// Total number of CellTree nodes created.
+    pub celltree_nodes: usize,
+    /// Number of LP feasibility tests executed.
+    pub feasibility_tests: usize,
+    /// Feasibility tests skipped thanks to the cached witness point (§4.3.2).
+    pub witness_hits: usize,
+    /// Total number of record-induced constraints passed to the LP solver
+    /// across all feasibility tests (used for the Figure 17 ablation).
+    pub lp_constraints: usize,
+    /// Number of LP optimizations run for look-ahead score bounds (§6).
+    pub bound_lp_calls: usize,
+    /// Cells pruned early because their lower rank bound exceeded `k` (§6.1).
+    pub cells_pruned_by_bounds: usize,
+    /// Cells reported early because their upper rank bound was at most `k`.
+    pub cells_reported_by_bounds: usize,
+    /// Cells reported early by the pivot-based test of Lemma 5 (P-CTA).
+    pub cells_reported_by_pivots: usize,
+    /// Number of record batches processed (P-CTA / LP-CTA).
+    pub batches: usize,
+    /// Simulated page reads on the data R-tree.
+    pub io_reads: u64,
+    /// Simulated I/O time in milliseconds (0 unless an I/O model is set).
+    pub io_time_ms: f64,
+    /// Number of regions in the final result.
+    pub result_regions: usize,
+}
+
+impl QueryStats {
+    /// A zeroed statistics block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Average number of constraints per feasibility test.
+    pub fn avg_constraints_per_test(&self) -> f64 {
+        if self.feasibility_tests == 0 {
+            0.0
+        } else {
+            self.lp_constraints as f64 / self.feasibility_tests as f64
+        }
+    }
+
+    /// Merges another statistics block into this one (used when a harness
+    /// aggregates several queries).
+    pub fn merge(&mut self, other: &QueryStats) {
+        self.processed_records += other.processed_records;
+        self.dominating_records += other.dominating_records;
+        self.dominated_records += other.dominated_records;
+        self.celltree_nodes += other.celltree_nodes;
+        self.feasibility_tests += other.feasibility_tests;
+        self.witness_hits += other.witness_hits;
+        self.lp_constraints += other.lp_constraints;
+        self.bound_lp_calls += other.bound_lp_calls;
+        self.cells_pruned_by_bounds += other.cells_pruned_by_bounds;
+        self.cells_reported_by_bounds += other.cells_reported_by_bounds;
+        self.cells_reported_by_pivots += other.cells_reported_by_pivots;
+        self.batches += other.batches;
+        self.io_reads += other.io_reads;
+        self.io_time_ms += other.io_time_ms;
+        self.result_regions += other.result_regions;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_constraints() {
+        let mut s = QueryStats::new();
+        assert_eq!(s.avg_constraints_per_test(), 0.0);
+        s.feasibility_tests = 4;
+        s.lp_constraints = 10;
+        assert!((s.avg_constraints_per_test() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = QueryStats {
+            processed_records: 3,
+            io_reads: 5,
+            ..Default::default()
+        };
+        let b = QueryStats {
+            processed_records: 2,
+            io_reads: 7,
+            result_regions: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.processed_records, 5);
+        assert_eq!(a.io_reads, 12);
+        assert_eq!(a.result_regions, 1);
+    }
+}

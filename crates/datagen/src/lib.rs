@@ -1,0 +1,38 @@
+//! Synthetic benchmark data generators.
+//!
+//! The paper evaluates on the standard preference-query benchmarks of
+//! Börzsönyi et al. — **Independent (IND)**, **Correlated (COR)** and
+//! **Anti-correlated (ANTI)** — plus three real datasets (HOTEL, HOUSE, NBA).
+//! The real datasets are not redistributable, so this crate provides
+//! surrogates with the same dimensionality and correlation structure
+//! (documented in `DESIGN.md`); every generator is deterministic given a seed.
+//!
+//! All attribute values are normalized to `(0, 1)` and follow the
+//! "larger is better" convention used throughout the reproduction.
+
+pub mod real;
+pub mod synthetic;
+
+pub use real::{hotel_like, house_like, nba_like, nba_seasons, NbaSeasons};
+pub use synthetic::{generate, Distribution};
+
+/// A plain data record: one value per attribute, each in `(0, 1)`.
+pub type RawRecord = Vec<f64>;
+
+/// Clamps a value into the open unit interval, keeping generators safe against
+/// occasional excursions of the underlying noise distributions.
+pub(crate) fn clamp_unit(x: f64) -> f64 {
+    x.clamp(1e-6, 1.0 - 1e-6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamp_unit_bounds() {
+        assert!(clamp_unit(-1.0) > 0.0);
+        assert!(clamp_unit(2.0) < 1.0);
+        assert_eq!(clamp_unit(0.5), 0.5);
+    }
+}

@@ -1,0 +1,213 @@
+//! Surrogates for the real datasets used in the paper's evaluation.
+//!
+//! The paper uses three real datasets (Table 1): HOTEL (418K × 4, from
+//! hotels-base.com), HOUSE (315K × 6, from ipums.org) and NBA (22K × 8, from
+//! basketball-reference.com).  Those datasets are not redistributable, so this
+//! module generates synthetic surrogates that preserve the properties the
+//! evaluation actually depends on — dimensionality, relative cardinality,
+//! value skew, and the correlation structure between attributes — as
+//! documented in `DESIGN.md`.
+
+use crate::{clamp_unit, RawRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn approx_normal(rng: &mut SmallRng, mean: f64, std: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    mean + (sum - 6.0) * std
+}
+
+/// HOTEL surrogate: 4 attributes (stars, price attractiveness, rooms,
+/// facilities).  Star rating is discrete; price and facilities correlate
+/// positively with the star rating, room count is largely independent.
+pub fn hotel_like(n: usize, seed: u64) -> Vec<RawRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4f54454c);
+    (0..n)
+        .map(|_| {
+            // Discrete star ratings mapped to {0.1, 0.3, 0.5, 0.7, 0.9} so the
+            // values stay strictly inside the open unit interval.
+            let stars = (rng.gen_range(1..=5) as f64 - 0.5) / 5.0;
+            let facilities = clamp_unit(0.6 * stars + approx_normal(&mut rng, 0.2, 0.12));
+            // "Price attractiveness": cheaper is better, and high-star hotels
+            // tend to be less attractive price-wise (mild anti-correlation).
+            let price = clamp_unit(1.0 - 0.5 * stars + approx_normal(&mut rng, 0.0, 0.15));
+            let rooms = clamp_unit(rng.gen_range(0.02..1.0));
+            vec![stars, price, rooms, facilities]
+        })
+        .collect()
+}
+
+/// HOUSE surrogate: 6 attributes (gas, electricity, water, heating, insurance,
+/// property tax), modelled as per-household spending attractiveness.  Spending
+/// categories are mildly correlated through a per-household wealth factor and
+/// individually skewed (many small spenders, few large ones).
+pub fn house_like(n: usize, seed: u64) -> Vec<RawRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x484f555345);
+    (0..n)
+        .map(|_| {
+            let wealth = clamp_unit(approx_normal(&mut rng, 0.45, 0.2));
+            (0..6)
+                .map(|_| {
+                    let skewed = rng.gen_range(0.0..1.0f64).powf(1.7);
+                    clamp_unit(0.4 * wealth + 0.6 * skewed)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// NBA surrogate: 8 attributes (games, rebounds, assists, steals, blocks,
+/// turnover avoidance, foul avoidance, points).  Player quality drives most
+/// attributes; the big-man / guard split makes rebounds+blocks anti-correlate
+/// with assists+steals, which is what produces the interesting kSPR structure
+/// the paper's case study highlights.
+pub fn nba_like(n: usize, seed: u64) -> Vec<RawRecord> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x4e4241);
+    (0..n).map(|_| nba_player(&mut rng, None)).collect()
+}
+
+fn nba_player(rng: &mut SmallRng, role_bias: Option<f64>) -> RawRecord {
+    // quality in (0,1): overall player strength; role in (0,1): 0 = guard
+    // (assists/steals), 1 = center (rebounds/blocks).
+    let quality = clamp_unit(rng.gen_range(0.0..1.0f64).powf(1.5));
+    let role = role_bias.unwrap_or_else(|| rng.gen_range(0.0..1.0));
+    let noise = |rng: &mut SmallRng| approx_normal(rng, 0.0, 0.08);
+    let games = clamp_unit(0.3 + 0.6 * quality + noise(rng));
+    let rebounds = clamp_unit(quality * (0.35 + 0.6 * role) + noise(rng));
+    let assists = clamp_unit(quality * (0.35 + 0.6 * (1.0 - role)) + noise(rng));
+    let steals = clamp_unit(quality * (0.3 + 0.5 * (1.0 - role)) + noise(rng));
+    let blocks = clamp_unit(quality * (0.25 + 0.6 * role) + noise(rng));
+    let turnover_avoid = clamp_unit(0.5 + 0.3 * (1.0 - quality) + noise(rng));
+    let foul_avoid = clamp_unit(0.5 + 0.25 * (1.0 - role) + noise(rng));
+    let points = clamp_unit(quality * 0.9 + noise(rng));
+    vec![
+        games,
+        rebounds,
+        assists,
+        steals,
+        blocks,
+        turnover_avoid,
+        foul_avoid,
+        points,
+    ]
+}
+
+/// Data for the Section 7.2 case study: two "seasons" of three-attribute
+/// player statistics (points, rebounds, assists) plus the index of the focal
+/// player, whose profile shifts from attack-oriented in season one to
+/// defense-oriented in season two — mirroring the Dwight Howard example.
+#[derive(Debug, Clone)]
+pub struct NbaSeasons {
+    /// Season-one records: `(points, rebounds, assists)` per player.
+    pub season1: Vec<RawRecord>,
+    /// Season-two records for the same players.
+    pub season2: Vec<RawRecord>,
+    /// Index of the focal player in both seasons.
+    pub focal: usize,
+}
+
+/// Generates the two-season case-study data with `n_players` players.
+///
+/// # Panics
+/// Panics if `n_players < 10`.
+pub fn nba_seasons(n_players: usize, seed: u64) -> NbaSeasons {
+    assert!(n_players >= 10, "the case study needs a reasonable league size");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x484f574152);
+    let noise = |rng: &mut SmallRng| approx_normal(rng, 0.0, 0.06);
+    let mut season1 = Vec::with_capacity(n_players);
+    let mut season2 = Vec::with_capacity(n_players);
+    for _ in 0..n_players {
+        let quality = clamp_unit(rng.gen_range(0.0..1.0f64).powf(1.4));
+        let role = rng.gen_range(0.0..1.0);
+        // Season-to-season stability with small drift.
+        for season in [&mut season1, &mut season2] {
+            let points = clamp_unit(quality * 0.9 + noise(&mut rng));
+            let rebounds = clamp_unit(quality * (0.3 + 0.6 * role) + noise(&mut rng));
+            let assists = clamp_unit(quality * (0.3 + 0.6 * (1.0 - role)) + noise(&mut rng));
+            season.push(vec![points, rebounds, assists]);
+        }
+    }
+    // The focal player: a strong center whose season-one value comes from
+    // scoring and whose season-two value comes from rebounding.
+    let focal = season1.len();
+    season1.push(vec![0.93, 0.62, 0.25]);
+    season2.push(vec![0.60, 0.95, 0.27]);
+    NbaSeasons {
+        season1,
+        season2,
+        focal,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn in_unit(records: &[RawRecord], d: usize) {
+        for r in records {
+            assert_eq!(r.len(), d);
+            assert!(r.iter().all(|&v| (0.0..1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn hotel_shape() {
+        let data = hotel_like(500, 1);
+        assert_eq!(data.len(), 500);
+        in_unit(&data, 4);
+        // Star ratings are discrete (five distinct levels).
+        assert!(data
+            .iter()
+            .all(|r| ((r[0] * 10.0).round() - r[0] * 10.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn house_shape() {
+        let data = house_like(400, 2);
+        assert_eq!(data.len(), 400);
+        in_unit(&data, 6);
+    }
+
+    #[test]
+    fn nba_shape_and_role_structure() {
+        let data = nba_like(2_000, 3);
+        in_unit(&data, 8);
+        // Rebounds (idx 1) and assists (idx 2) should be less correlated than
+        // rebounds and blocks (idx 4), reflecting the role split.
+        let pear = |i: usize, j: usize| {
+            let xi: Vec<f64> = data.iter().map(|r| r[i]).collect();
+            let xj: Vec<f64> = data.iter().map(|r| r[j]).collect();
+            let mi = xi.iter().sum::<f64>() / xi.len() as f64;
+            let mj = xj.iter().sum::<f64>() / xj.len() as f64;
+            let cov: f64 = xi.iter().zip(&xj).map(|(a, b)| (a - mi) * (b - mj)).sum();
+            let vi: f64 = xi.iter().map(|a| (a - mi).powi(2)).sum();
+            let vj: f64 = xj.iter().map(|b| (b - mj).powi(2)).sum();
+            cov / (vi.sqrt() * vj.sqrt())
+        };
+        assert!(pear(1, 4) > pear(1, 2), "rebounds should track blocks more than assists");
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(hotel_like(50, 9), hotel_like(50, 9));
+        assert_eq!(house_like(50, 9), house_like(50, 9));
+        assert_eq!(nba_like(50, 9), nba_like(50, 9));
+    }
+
+    #[test]
+    fn case_study_focal_player_shifts_profile() {
+        let seasons = nba_seasons(100, 5);
+        assert_eq!(seasons.season1.len(), 101);
+        assert_eq!(seasons.season2.len(), 101);
+        let p1 = &seasons.season1[seasons.focal];
+        let p2 = &seasons.season2[seasons.focal];
+        assert!(p1[0] > p1[1], "season 1: points-driven");
+        assert!(p2[1] > p2[0], "season 2: rebounds-driven");
+    }
+
+    #[test]
+    #[should_panic(expected = "league size")]
+    fn case_study_requires_enough_players() {
+        nba_seasons(3, 1);
+    }
+}

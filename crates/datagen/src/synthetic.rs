@@ -1,0 +1,162 @@
+//! IND / COR / ANTI generators (Börzsönyi et al. style).
+
+use crate::{clamp_unit, RawRecord};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The three standard synthetic data distributions used in the paper's
+/// evaluation (Section 7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Distribution {
+    /// Attribute values drawn independently and uniformly.
+    Independent,
+    /// Attribute values positively correlated: records good in one dimension
+    /// tend to be good in the others (small skylines, few kSPR regions).
+    Correlated,
+    /// Attribute values negatively correlated: records good in one dimension
+    /// tend to be poor in the others (large skylines, many kSPR regions).
+    AntiCorrelated,
+}
+
+impl Distribution {
+    /// Short label matching the paper's terminology.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Distribution::Independent => "IND",
+            Distribution::Correlated => "COR",
+            Distribution::AntiCorrelated => "ANTI",
+        }
+    }
+
+    /// All three distributions, in the order the paper plots them.
+    pub fn all() -> [Distribution; 3] {
+        [
+            Distribution::AntiCorrelated,
+            Distribution::Independent,
+            Distribution::Correlated,
+        ]
+    }
+}
+
+/// Generates `n` records with `d` attributes from `dist`, deterministically
+/// from `seed`.
+///
+/// # Panics
+/// Panics if `d == 0`.
+pub fn generate(dist: Distribution, n: usize, d: usize, seed: u64) -> Vec<RawRecord> {
+    assert!(d > 0, "records need at least one attribute");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| match dist {
+            Distribution::Independent => independent(&mut rng, d),
+            Distribution::Correlated => correlated(&mut rng, d),
+            Distribution::AntiCorrelated => anti_correlated(&mut rng, d),
+        })
+        .collect()
+}
+
+fn independent(rng: &mut SmallRng, d: usize) -> RawRecord {
+    (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()
+}
+
+/// Approximate normal sample via the sum of uniforms (Irwin–Hall), which is
+/// plenty for data generation and avoids a dependency on `rand_distr`.
+fn approx_normal(rng: &mut SmallRng, mean: f64, std: f64) -> f64 {
+    let sum: f64 = (0..12).map(|_| rng.gen_range(0.0..1.0)).sum();
+    mean + (sum - 6.0) * std
+}
+
+fn correlated(rng: &mut SmallRng, d: usize) -> RawRecord {
+    // Pick a point on the diagonal, then perturb each attribute slightly.
+    let base = clamp_unit(approx_normal(rng, 0.5, 0.18));
+    (0..d)
+        .map(|_| clamp_unit(base + approx_normal(rng, 0.0, 0.05)))
+        .collect()
+}
+
+fn anti_correlated(rng: &mut SmallRng, d: usize) -> RawRecord {
+    // Pick a hyperplane Σ v_i ≈ const, then spread mass across the attributes
+    // so that good values in one dimension come with poor values in others.
+    let total = clamp_unit(approx_normal(rng, 0.5, 0.08)) * d as f64;
+    // Random split of `total` across d attributes via a Dirichlet-like draw.
+    let mut weights: Vec<f64> = (0..d).map(|_| -rng.gen_range(1e-9..1.0f64).ln()).collect();
+    let wsum: f64 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= wsum);
+    weights
+        .into_iter()
+        .map(|w| clamp_unit(w * total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(values: &[f64]) -> f64 {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+        let mx = mean(xs);
+        let my = mean(ys);
+        let cov: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+
+    fn column(records: &[RawRecord], i: usize) -> Vec<f64> {
+        records.iter().map(|r| r[i]).collect()
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        for dist in Distribution::all() {
+            let a = generate(dist, 100, 4, 7);
+            let b = generate(dist, 100, 4, 7);
+            assert_eq!(a, b, "{dist:?} must be deterministic");
+            let c = generate(dist, 100, 4, 8);
+            assert_ne!(a, c, "{dist:?} must vary with the seed");
+        }
+    }
+
+    #[test]
+    fn records_have_requested_shape_and_range() {
+        for dist in Distribution::all() {
+            let data = generate(dist, 500, 5, 1);
+            assert_eq!(data.len(), 500);
+            for r in &data {
+                assert_eq!(r.len(), 5);
+                assert!(r.iter().all(|&v| (0.0..1.0).contains(&v)));
+            }
+        }
+    }
+
+    #[test]
+    fn correlated_data_is_positively_correlated() {
+        let data = generate(Distribution::Correlated, 3_000, 2, 3);
+        let rho = pearson(&column(&data, 0), &column(&data, 1));
+        assert!(rho > 0.5, "expected strong positive correlation, got {rho}");
+    }
+
+    #[test]
+    fn anti_correlated_data_is_negatively_correlated() {
+        let data = generate(Distribution::AntiCorrelated, 3_000, 2, 3);
+        let rho = pearson(&column(&data, 0), &column(&data, 1));
+        assert!(rho < -0.3, "expected negative correlation, got {rho}");
+    }
+
+    #[test]
+    fn independent_data_is_roughly_uncorrelated() {
+        let data = generate(Distribution::Independent, 3_000, 2, 3);
+        let rho = pearson(&column(&data, 0), &column(&data, 1));
+        assert!(rho.abs() < 0.1, "expected near-zero correlation, got {rho}");
+    }
+
+    #[test]
+    fn distribution_labels() {
+        assert_eq!(Distribution::Independent.label(), "IND");
+        assert_eq!(Distribution::Correlated.label(), "COR");
+        assert_eq!(Distribution::AntiCorrelated.label(), "ANTI");
+    }
+}

@@ -1,0 +1,275 @@
+//! Record-induced hyperplanes and signed halfspaces.
+//!
+//! For a competing record `r` and the focal record `p`, the locus of weight
+//! vectors for which the two score equally, `S(r) = S(p)`, is a hyperplane in
+//! preference space (Section 3.2 of the paper).  Its **positive** halfspace is
+//! where `S(r) > S(p)` (i.e. `r` beats `p`), the **negative** one where
+//! `S(r) < S(p)`.
+
+use crate::space::{PreferenceSpace, Space};
+use crate::{dot, GEOM_EPS};
+use kspr_lp::{LinearConstraint, Relation};
+
+/// Side of a hyperplane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sign {
+    /// `S(r) < S(p)` — the competing record loses to the focal record.
+    Negative,
+    /// `S(r) > S(p)` — the competing record beats the focal record.
+    Positive,
+}
+
+impl Sign {
+    /// The opposite side.
+    pub fn flip(self) -> Sign {
+        match self {
+            Sign::Negative => Sign::Positive,
+            Sign::Positive => Sign::Negative,
+        }
+    }
+
+    /// True for [`Sign::Positive`].
+    pub fn is_positive(self) -> bool {
+        matches!(self, Sign::Positive)
+    }
+}
+
+/// Degenerate classification of a record-vs-focal comparison.
+///
+/// When the induced hyperplane has (numerically) zero coefficients the score
+/// difference does not depend on the weight vector at all, so no hyperplane is
+/// needed: the record either always or never outranks the focal record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlaneKind {
+    /// A proper separating hyperplane that intersects the preference space.
+    Proper,
+    /// `S(r) > S(p)` for every weight vector (e.g. `r` dominates `p`).
+    AlwaysPositive,
+    /// `S(r) < S(p)` for every weight vector (e.g. `p` dominates `r`).
+    AlwaysNegative,
+    /// `S(r) = S(p)` for every weight vector (`r` ties with `p` everywhere).
+    Coincident,
+}
+
+/// A hyperplane `coeffs · w = rhs` in the working preference space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hyperplane {
+    /// Coefficients of the working-space weights.
+    pub coeffs: Vec<f64>,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Hyperplane {
+    /// Builds the separating hyperplane between `record` and `focal` in the
+    /// given preference space.
+    ///
+    /// In the transformed space (Section 3.2) the equation is
+    /// `Σ_{i<d} (r_i - r_d - p_i + p_d) w_i = p_d - r_d`.
+    /// In the original space (Appendix C) it is `Σ_i (r_i - p_i) w_i = 0`,
+    /// which always passes through the origin.
+    ///
+    /// # Panics
+    /// Panics if the record and focal arities do not match `space.data_dim`.
+    pub fn separating(record: &[f64], focal: &[f64], space: &PreferenceSpace) -> Self {
+        assert_eq!(record.len(), space.data_dim, "record arity mismatch");
+        assert_eq!(focal.len(), space.data_dim, "focal arity mismatch");
+        let d = space.data_dim;
+        match space.space {
+            Space::Transformed => {
+                let last = d - 1;
+                let coeffs = (0..last)
+                    .map(|i| (record[i] - record[last]) - (focal[i] - focal[last]))
+                    .collect();
+                Hyperplane {
+                    coeffs,
+                    rhs: focal[last] - record[last],
+                }
+            }
+            Space::Original => Hyperplane {
+                coeffs: (0..d).map(|i| record[i] - focal[i]).collect(),
+                rhs: 0.0,
+            },
+        }
+    }
+
+    /// Dimensionality of the working space this hyperplane lives in.
+    pub fn dim(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Signed evaluation `coeffs · w - rhs`.
+    pub fn signed_distance(&self, w: &[f64]) -> f64 {
+        dot(&self.coeffs, w) - self.rhs
+    }
+
+    /// The side of the hyperplane the point `w` lies on, or `None` if it lies
+    /// (numerically) on the hyperplane itself.
+    pub fn side(&self, w: &[f64]) -> Option<Sign> {
+        let v = self.signed_distance(w);
+        if v > GEOM_EPS {
+            Some(Sign::Positive)
+        } else if v < -GEOM_EPS {
+            Some(Sign::Negative)
+        } else {
+            None
+        }
+    }
+
+    /// Classifies the hyperplane: proper, or degenerate (constant-sign).
+    pub fn kind(&self) -> PlaneKind {
+        let zero = self.coeffs.iter().all(|c| c.abs() < GEOM_EPS);
+        if !zero {
+            return PlaneKind::Proper;
+        }
+        if self.rhs > GEOM_EPS {
+            // coeffs·w = 0 < rhs everywhere, so S(r) - S(p) < 0 never reaches 0:
+            // the "positive" side coeffs·w > rhs is empty.
+            PlaneKind::AlwaysNegative
+        } else if self.rhs < -GEOM_EPS {
+            PlaneKind::AlwaysPositive
+        } else {
+            PlaneKind::Coincident
+        }
+    }
+
+    /// The linear constraint describing one side of this hyperplane.
+    ///
+    /// `strict` selects the open halfspace (used for feasibility of open
+    /// cells) versus its closure (used for score-bound optimization).
+    pub fn constraint(&self, sign: Sign, strict: bool) -> LinearConstraint {
+        let op = match (sign, strict) {
+            (Sign::Positive, true) => Relation::Greater,
+            (Sign::Positive, false) => Relation::GreaterEq,
+            (Sign::Negative, true) => Relation::Less,
+            (Sign::Negative, false) => Relation::LessEq,
+        };
+        LinearConstraint::new(self.coeffs.clone(), op, self.rhs)
+    }
+}
+
+/// A reference to one side of a stored hyperplane.
+///
+/// The kSPR algorithms keep all hyperplanes in a central store and represent
+/// cells implicitly as sets of `(hyperplane id, sign)` pairs; this type is
+/// that pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Halfspace {
+    /// Index of the hyperplane in the caller's hyperplane store.
+    pub plane: usize,
+    /// Which side of the hyperplane.
+    pub sign: Sign,
+}
+
+impl Halfspace {
+    /// The positive side of hyperplane `plane`.
+    pub fn positive(plane: usize) -> Self {
+        Self {
+            plane,
+            sign: Sign::Positive,
+        }
+    }
+
+    /// The negative side of hyperplane `plane`.
+    pub fn negative(plane: usize) -> Self {
+        Self {
+            plane,
+            sign: Sign::Negative,
+        }
+    }
+
+    /// True iff this is a positive halfspace (the competing record wins).
+    pub fn is_positive(&self) -> bool {
+        self.sign.is_positive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn score(r: &[f64], w: &[f64]) -> f64 {
+        dot(r, w)
+    }
+
+    #[test]
+    fn transformed_hyperplane_matches_score_comparison() {
+        // Restaurants from Figure 1 of the paper (value, service, ambiance).
+        let p = vec![5.0, 5.0, 7.0]; // Kyma
+        let r1 = vec![3.0, 8.0, 8.0]; // L'Entrecôte
+        let space = PreferenceSpace::transformed(3);
+        let h = Hyperplane::separating(&r1, &p, &space);
+        // Check consistency on a grid of weight vectors.
+        for a in 1..9 {
+            for b in 1..(9 - a) {
+                let w_work = vec![a as f64 / 10.0, b as f64 / 10.0];
+                let w_full = space.to_full_weight(&w_work);
+                let diff = score(&r1, &w_full) - score(&p, &w_full);
+                match h.side(&w_work) {
+                    Some(Sign::Positive) => assert!(diff > 0.0, "w={w_work:?}"),
+                    Some(Sign::Negative) => assert!(diff < 0.0, "w={w_work:?}"),
+                    None => assert!(diff.abs() < 1e-9),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn original_hyperplane_passes_through_origin() {
+        let space = PreferenceSpace::original(3);
+        let h = Hyperplane::separating(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0], &space);
+        assert_eq!(h.rhs, 0.0);
+        assert_eq!(h.coeffs, vec![-2.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn original_hyperplane_matches_score_comparison() {
+        let space = PreferenceSpace::original(3);
+        let r = vec![4.0, 1.0, 7.0];
+        let p = vec![5.0, 5.0, 5.0];
+        let h = Hyperplane::separating(&r, &p, &space);
+        for w in [[0.2, 0.3, 0.5], [0.7, 0.2, 0.1], [0.1, 0.1, 0.8]] {
+            let diff = score(&r, &w) - score(&p, &w);
+            match h.side(&w) {
+                Some(Sign::Positive) => assert!(diff > 0.0),
+                Some(Sign::Negative) => assert!(diff < 0.0),
+                None => assert!(diff.abs() < 1e-9),
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_classifications() {
+        let space = PreferenceSpace::transformed(2);
+        // Record strictly better in every attribute by the same margin.
+        let better = Hyperplane::separating(&[5.0, 5.0], &[3.0, 3.0], &space);
+        assert_eq!(better.kind(), PlaneKind::AlwaysPositive);
+        let worse = Hyperplane::separating(&[3.0, 3.0], &[5.0, 5.0], &space);
+        assert_eq!(worse.kind(), PlaneKind::AlwaysNegative);
+        let tie = Hyperplane::separating(&[4.0, 4.0], &[4.0, 4.0], &space);
+        assert_eq!(tie.kind(), PlaneKind::Coincident);
+        let proper = Hyperplane::separating(&[5.0, 3.0], &[3.0, 5.0], &space);
+        assert_eq!(proper.kind(), PlaneKind::Proper);
+    }
+
+    #[test]
+    fn constraint_generation() {
+        let h = Hyperplane {
+            coeffs: vec![1.0, -2.0],
+            rhs: 0.5,
+        };
+        let c = h.constraint(Sign::Positive, true);
+        assert_eq!(c.op, Relation::Greater);
+        assert_eq!(c.rhs, 0.5);
+        let c = h.constraint(Sign::Negative, false);
+        assert_eq!(c.op, Relation::LessEq);
+    }
+
+    #[test]
+    fn sign_flip_and_halfspace_helpers() {
+        assert_eq!(Sign::Positive.flip(), Sign::Negative);
+        assert!(Halfspace::positive(3).is_positive());
+        assert!(!Halfspace::negative(3).is_positive());
+        assert_eq!(Halfspace::positive(7).plane, 7);
+    }
+}

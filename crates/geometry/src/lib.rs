@@ -1,0 +1,51 @@
+//! Preference-space geometry for the kSPR reproduction.
+//!
+//! The kSPR algorithms model the interaction between a focal record `p` and a
+//! competing record `r` as a hyperplane `S(r) = S(p)` in *preference space*
+//! (the space of weight vectors).  This crate provides:
+//!
+//! * [`space`] — the two working spaces of the paper: the **transformed**
+//!   preference space of Section 3.2 (dimensionality `d - 1`, obtained from
+//!   the normalization `Σ w_i = 1`) and the **original** space of Appendix C.
+//! * [`hyperplane`] — the record → hyperplane mapping and signed halfspaces.
+//! * [`system`] — constraint systems assembled from halfspaces plus the space
+//!   boundary, with LP-backed feasibility tests and score-bound optimization.
+//! * [`polytope`] — the `qhull` substitute: exact vertex enumeration of a cell
+//!   from its bounding halfspaces, plus area/volume computation used for the
+//!   market-impact measure discussed in the paper's introduction.
+//! * [`linalg`] — small dense linear-system solving used by the vertex
+//!   enumeration.
+
+pub mod hyperplane;
+pub mod linalg;
+pub mod polytope;
+pub mod space;
+pub mod system;
+
+pub use hyperplane::{Halfspace, Hyperplane, PlaneKind, Sign};
+pub use polytope::Polytope;
+pub use space::{PreferenceSpace, Space};
+pub use system::ConstraintSystem;
+
+/// Numerical tolerance for geometric predicates.
+pub const GEOM_EPS: f64 = 1e-9;
+
+/// Computes the dot product of two slices.
+///
+/// # Panics
+/// Panics (in debug builds) if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_product_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

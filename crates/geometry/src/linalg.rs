@@ -1,0 +1,173 @@
+//! Small dense linear-algebra helpers.
+//!
+//! Vertex enumeration intersects `d'` hyperplanes at a time, which requires
+//! solving `d' × d'` linear systems (`d' ≤ 6` in every experiment).  Gaussian
+//! elimination with partial pivoting is exact enough and keeps this crate free
+//! of external dependencies.
+
+use crate::GEOM_EPS;
+
+/// Solves the square linear system `A x = b` with Gaussian elimination and
+/// partial pivoting.
+///
+/// Returns `None` when the matrix is (numerically) singular.
+///
+/// # Panics
+/// Panics if `a` is not square or `b` has a mismatched length.
+#[allow(clippy::needless_range_loop)] // indexing two rows of the same matrix
+pub fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert_eq!(b.len(), n, "rhs length must match matrix size");
+    for row in a {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+
+    // Augmented matrix [A | b].
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+
+    for col in 0..n {
+        // Partial pivoting: pick the row with the largest absolute entry.
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() < GEOM_EPS {
+            return None;
+        }
+        m.swap(col, pivot_row);
+        let pivot = m[col][col];
+        for row in (col + 1)..n {
+            let factor = m[row][col] / pivot;
+            if factor != 0.0 {
+                for k in col..=n {
+                    m[row][k] -= factor * m[col][k];
+                }
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for col in (row + 1)..n {
+            acc -= m[row][col] * x[col];
+        }
+        x[row] = acc / m[row][row];
+    }
+    Some(x)
+}
+
+/// Computes the determinant of a square matrix (used for simplex volumes).
+#[allow(clippy::needless_range_loop)] // indexing two rows of the same matrix
+pub fn determinant(a: &[Vec<f64>]) -> f64 {
+    let n = a.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let mut m: Vec<Vec<f64>> = a.to_vec();
+    let mut det = 1.0;
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&i, &j| {
+                m[i][col]
+                    .abs()
+                    .partial_cmp(&m[j][col].abs())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty range");
+        if m[pivot_row][col].abs() < GEOM_EPS {
+            return 0.0;
+        }
+        if pivot_row != col {
+            m.swap(col, pivot_row);
+            det = -det;
+        }
+        det *= m[col][col];
+        let pivot = m[col][col];
+        for row in (col + 1)..n {
+            let factor = m[row][col] / pivot;
+            if factor != 0.0 {
+                for k in col..n {
+                    m[row][k] -= factor * m[col][k];
+                }
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve_linear_system(&a, &[3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // 2x + y = 5, x - y = 1  ->  x = 2, y = 1
+        let a = vec![vec![2.0, 1.0], vec![1.0, -1.0]];
+        let x = solve_linear_system(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve_linear_system(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn empty_system() {
+        assert_eq!(solve_linear_system(&[], &[]), Some(vec![]));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve_linear_system(&a, &[7.0, 9.0]).unwrap();
+        assert!((x[0] - 9.0).abs() < 1e-12);
+        assert!((x[1] - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn determinant_of_known_matrices() {
+        assert!((determinant(&[vec![2.0]]) - 2.0).abs() < 1e-12);
+        assert!((determinant(&[vec![1.0, 2.0], vec![3.0, 4.0]]) + 2.0).abs() < 1e-12);
+        assert_eq!(determinant(&[vec![1.0, 2.0], vec![2.0, 4.0]]), 0.0);
+    }
+
+    #[test]
+    fn three_by_three_system() {
+        let a = vec![
+            vec![1.0, 1.0, 1.0],
+            vec![0.0, 2.0, 5.0],
+            vec![2.0, 5.0, -1.0],
+        ];
+        let x = solve_linear_system(&a, &[6.0, -4.0, 27.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 2.0).abs() < 1e-9);
+    }
+}

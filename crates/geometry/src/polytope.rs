@@ -1,0 +1,423 @@
+//! Exact cell geometry: the `qhull` substitute.
+//!
+//! The paper computes the exact geometry of result cells only in a final
+//! *finalization* step (end of Section 4.2), by intersecting the bounding
+//! halfspaces with the `qhull` library.  This module provides an in-tree
+//! replacement:
+//!
+//! * **Vertex enumeration** — every subset of `d'` constraint hyperplanes is
+//!   intersected (a small dense linear system); intersection points that
+//!   satisfy all remaining constraints are vertices of the cell.  This is
+//!   exponential in `d'` but exact, and `d' ≤ 6` with a few dozen constraints
+//!   per cell in all experiments (Lemma 2 removes ≥ 96 % of the constraints
+//!   before this step).
+//! * **Volume** — exact for `d' ≤ 2` (interval length / polygon area via the
+//!   shoelace formula), Monte-Carlo estimation with a deterministic seed for
+//!   higher dimensions.  Volumes feed the *market impact* probability
+//!   discussed in the paper's introduction.
+
+use crate::linalg::solve_linear_system;
+use crate::GEOM_EPS;
+use kspr_lp::{maximize, LinearConstraint, LpOutcome, Relation};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Tolerance used when testing whether an intersection point satisfies the
+/// remaining constraints (looser than [`GEOM_EPS`] to absorb the conditioning
+/// of nearly-parallel hyperplanes).
+const VERTEX_TOL: f64 = 1e-6;
+
+/// A convex polytope given by both its bounding constraints and its vertices.
+#[derive(Debug, Clone)]
+pub struct Polytope {
+    dim: usize,
+    constraints: Vec<LinearConstraint>,
+    vertices: Vec<Vec<f64>>,
+}
+
+impl Polytope {
+    /// Computes the polytope bounded by the closure of `constraints`.
+    ///
+    /// Returns `None` when the constraint set has no intersection points at
+    /// all (e.g. an empty or unbounded degenerate system).  A polytope with
+    /// fewer than `dim + 1` vertices has zero volume but is still returned so
+    /// that callers can inspect the degenerate geometry.
+    ///
+    /// The constraints should describe a *bounded* region; the preference-
+    /// space boundary constraints guarantee this for every kSPR cell.
+    pub fn from_constraints(constraints: &[LinearConstraint], dim: usize) -> Option<Self> {
+        assert!(dim >= 1, "polytope dimension must be at least 1");
+        for c in constraints {
+            assert_eq!(c.coeffs.len(), dim, "constraint arity mismatch");
+        }
+        let vertices = enumerate_vertices(constraints, dim);
+        if vertices.is_empty() {
+            return None;
+        }
+        Some(Self {
+            dim,
+            constraints: constraints.to_vec(),
+            vertices,
+        })
+    }
+
+    /// Like [`Polytope::from_constraints`] but first removes redundant
+    /// constraints with one LP per constraint.
+    ///
+    /// Vertex enumeration is exponential in the number of constraints, so for
+    /// cells whose implicit description carries many non-binding halfspaces
+    /// (long CellTree paths) this is dramatically faster while producing the
+    /// same polytope.  This mirrors the paper's remark that the finalization
+    /// step intersects the bounding halfspaces "ignoring the inconsequential
+    /// ones".
+    pub fn from_constraints_reduced(constraints: &[LinearConstraint], dim: usize) -> Option<Self> {
+        let reduced = reduce_constraints(constraints, dim);
+        Self::from_constraints(&reduced, dim)
+    }
+
+    /// Working-space dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The enumerated vertices.
+    pub fn vertices(&self) -> &[Vec<f64>] {
+        &self.vertices
+    }
+
+    /// The bounding constraints (closure form).
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Arithmetic mean of the vertices.
+    pub fn centroid(&self) -> Vec<f64> {
+        let mut c = vec![0.0; self.dim];
+        for v in &self.vertices {
+            for (ci, vi) in c.iter_mut().zip(v) {
+                *ci += vi;
+            }
+        }
+        let n = self.vertices.len() as f64;
+        c.iter_mut().for_each(|ci| *ci /= n);
+        c
+    }
+
+    /// True iff `point` satisfies every bounding constraint (closure, with
+    /// tolerance `tol`).
+    pub fn contains(&self, point: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| {
+            let v = c.eval(point);
+            match c.op.closure() {
+                Relation::LessEq => v <= c.rhs + tol,
+                Relation::GreaterEq => v >= c.rhs - tol,
+                _ => unreachable!(),
+            }
+        })
+    }
+
+    /// Axis-aligned bounding box of the vertices as `(min, max)` per axis.
+    pub fn bounding_box(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![f64::INFINITY; self.dim];
+        let mut hi = vec![f64::NEG_INFINITY; self.dim];
+        for v in &self.vertices {
+            for i in 0..self.dim {
+                lo[i] = lo[i].min(v[i]);
+                hi[i] = hi[i].max(v[i]);
+            }
+        }
+        (lo, hi)
+    }
+
+    /// Volume of the polytope.
+    ///
+    /// Exact for one and two dimensions; a deterministic Monte-Carlo estimate
+    /// with `samples` points for three or more dimensions.
+    pub fn volume(&self, samples: usize, seed: u64) -> f64 {
+        match self.dim {
+            1 => {
+                let (lo, hi) = self.bounding_box();
+                (hi[0] - lo[0]).max(0.0)
+            }
+            2 => self.polygon_area(),
+            _ => self.monte_carlo_volume(samples, seed),
+        }
+    }
+
+    /// Exact area for two-dimensional polytopes (shoelace over the convex
+    /// hull ordering of the vertices).
+    fn polygon_area(&self) -> f64 {
+        if self.vertices.len() < 3 {
+            return 0.0;
+        }
+        let centroid = self.centroid();
+        let mut ordered: Vec<&Vec<f64>> = self.vertices.iter().collect();
+        ordered.sort_by(|a, b| {
+            let aa = (a[1] - centroid[1]).atan2(a[0] - centroid[0]);
+            let ab = (b[1] - centroid[1]).atan2(b[0] - centroid[0]);
+            aa.partial_cmp(&ab).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut area = 0.0;
+        for i in 0..ordered.len() {
+            let a = ordered[i];
+            let b = ordered[(i + 1) % ordered.len()];
+            area += a[0] * b[1] - b[0] * a[1];
+        }
+        area.abs() / 2.0
+    }
+
+    /// Monte-Carlo volume estimate: samples are drawn uniformly from the
+    /// bounding box of the vertices and tested against the constraints.
+    fn monte_carlo_volume(&self, samples: usize, seed: u64) -> f64 {
+        let (lo, hi) = self.bounding_box();
+        let box_volume: f64 = lo
+            .iter()
+            .zip(&hi)
+            .map(|(l, h)| (h - l).max(0.0))
+            .product();
+        if box_volume <= 0.0 || samples == 0 {
+            return 0.0;
+        }
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut inside = 0usize;
+        let mut point = vec![0.0; self.dim];
+        for _ in 0..samples {
+            for i in 0..self.dim {
+                point[i] = rng.gen_range(lo[i]..=hi[i]);
+            }
+            if self.contains(&point, GEOM_EPS) {
+                inside += 1;
+            }
+        }
+        box_volume * inside as f64 / samples as f64
+    }
+}
+
+/// Removes constraints that are redundant with respect to the rest of the
+/// system: constraint `a·w ≤ b` is redundant when the maximum of `a·w` over
+/// the remaining constraints (in closure form, with variables implicitly
+/// bounded to `w ≥ 0`) does not exceed `b`.
+///
+/// The non-negativity of the working-space weights is part of every kSPR cell
+/// (the space boundary), which is what makes the plain `maximize` call sound
+/// here.
+pub fn reduce_constraints(constraints: &[LinearConstraint], dim: usize) -> Vec<LinearConstraint> {
+    if constraints.len() <= dim + 1 {
+        return constraints.to_vec();
+    }
+    let mut keep: Vec<bool> = vec![true; constraints.len()];
+    for i in 0..constraints.len() {
+        // Normalize the tested constraint to "a·w ≤ b" form.
+        let (obj, rhs) = match constraints[i].op.closure() {
+            Relation::LessEq => (constraints[i].coeffs.clone(), constraints[i].rhs),
+            Relation::GreaterEq => (
+                constraints[i].coeffs.iter().map(|c| -c).collect(),
+                -constraints[i].rhs,
+            ),
+            _ => unreachable!(),
+        };
+        let others: Vec<LinearConstraint> = constraints
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| *j != i && keep[*j])
+            .map(|(_, c)| c.clone())
+            .collect();
+        match maximize(&obj, &others, dim) {
+            LpOutcome::Optimal { objective, .. } if objective <= rhs + 1e-9 => {
+                keep[i] = false;
+            }
+            _ => {}
+        }
+    }
+    let mut reduced: Vec<LinearConstraint> = constraints
+        .iter()
+        .zip(&keep)
+        .filter(|(_, &k)| k)
+        .map(|(c, _)| c.clone())
+        .collect();
+    // The redundancy test above relies on the solver's implicit `w ≥ 0`
+    // bounds (which every kSPR cell satisfies through the space boundary), so
+    // those bounds must be part of the reduced description for the geometry
+    // to stay correct.
+    for j in 0..dim {
+        let mut e = vec![0.0; dim];
+        e[j] = 1.0;
+        reduced.push(LinearConstraint::new(e, Relation::GreaterEq, 0.0));
+    }
+    reduced
+}
+
+/// Enumerates the vertices of the polyhedron `{ w : constraints }` by
+/// intersecting every combination of `dim` constraint hyperplanes.
+fn enumerate_vertices(constraints: &[LinearConstraint], dim: usize) -> Vec<Vec<f64>> {
+    let m = constraints.len();
+    if m < dim {
+        return Vec::new();
+    }
+    let mut vertices: Vec<Vec<f64>> = Vec::new();
+    let mut combo: Vec<usize> = (0..dim).collect();
+    loop {
+        // Solve the dim x dim system formed by the selected hyperplanes.
+        let a: Vec<Vec<f64>> = combo
+            .iter()
+            .map(|&i| constraints[i].coeffs.clone())
+            .collect();
+        let b: Vec<f64> = combo.iter().map(|&i| constraints[i].rhs).collect();
+        if let Some(point) = solve_linear_system(&a, &b) {
+            let feasible = constraints.iter().all(|c| {
+                let v = c.eval(&point);
+                match c.op.closure() {
+                    Relation::LessEq => v <= c.rhs + VERTEX_TOL,
+                    Relation::GreaterEq => v >= c.rhs - VERTEX_TOL,
+                    _ => unreachable!(),
+                }
+            });
+            if feasible && !vertices.iter().any(|v| points_equal(v, &point)) {
+                vertices.push(point);
+            }
+        }
+        if !advance_combination(&mut combo, m) {
+            break;
+        }
+    }
+    vertices
+}
+
+/// Advances `combo` to the next lexicographic combination of indices in
+/// `0..m`; returns `false` when exhausted.
+fn advance_combination(combo: &mut [usize], m: usize) -> bool {
+    let k = combo.len();
+    let mut i = k;
+    while i > 0 {
+        i -= 1;
+        if combo[i] < m - (k - i) {
+            combo[i] += 1;
+            for j in (i + 1)..k {
+                combo[j] = combo[j - 1] + 1;
+            }
+            return true;
+        }
+    }
+    false
+}
+
+fn points_equal(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() < 1e-7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr_lp::Relation;
+
+    fn le(coeffs: Vec<f64>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coeffs, Relation::LessEq, rhs)
+    }
+
+    fn ge(coeffs: Vec<f64>, rhs: f64) -> LinearConstraint {
+        LinearConstraint::new(coeffs, Relation::GreaterEq, rhs)
+    }
+
+    fn unit_square() -> Vec<LinearConstraint> {
+        vec![
+            ge(vec![1.0, 0.0], 0.0),
+            le(vec![1.0, 0.0], 1.0),
+            ge(vec![0.0, 1.0], 0.0),
+            le(vec![0.0, 1.0], 1.0),
+        ]
+    }
+
+    #[test]
+    fn unit_square_vertices_and_area() {
+        let p = Polytope::from_constraints(&unit_square(), 2).unwrap();
+        assert_eq!(p.vertices().len(), 4);
+        assert!((p.volume(0, 0) - 1.0).abs() < 1e-9);
+        let c = p.centroid();
+        assert!((c[0] - 0.5).abs() < 1e-9 && (c[1] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_simplex_area() {
+        // w >= 0, sum <= 1 in 2-d: area 1/2.
+        let cs = vec![
+            ge(vec![1.0, 0.0], 0.0),
+            ge(vec![0.0, 1.0], 0.0),
+            le(vec![1.0, 1.0], 1.0),
+        ];
+        let p = Polytope::from_constraints(&cs, 2).unwrap();
+        assert_eq!(p.vertices().len(), 3);
+        assert!((p.volume(0, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_length_in_one_dimension() {
+        let cs = vec![ge(vec![1.0], 0.25), le(vec![1.0], 0.75)];
+        let p = Polytope::from_constraints(&cs, 1).unwrap();
+        assert!((p.volume(0, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_intersection_returns_none() {
+        let cs = vec![le(vec![1.0, 0.0], 0.0), ge(vec![1.0, 0.0], 1.0)];
+        assert!(Polytope::from_constraints(&cs, 2).is_none());
+    }
+
+    #[test]
+    fn cube_volume_monte_carlo() {
+        let mut cs = Vec::new();
+        for i in 0..3 {
+            let mut c = vec![0.0; 3];
+            c[i] = 1.0;
+            cs.push(ge(c.clone(), 0.0));
+            cs.push(le(c, 0.5));
+        }
+        let p = Polytope::from_constraints(&cs, 3).unwrap();
+        assert_eq!(p.vertices().len(), 8);
+        let v = p.volume(20_000, 42);
+        assert!((v - 0.125).abs() < 0.01, "volume estimate {v}");
+    }
+
+    #[test]
+    fn simplex_volume_monte_carlo() {
+        // 3-d simplex w >= 0, sum <= 1 has volume 1/6.
+        let mut cs = Vec::new();
+        for i in 0..3 {
+            let mut c = vec![0.0; 3];
+            c[i] = 1.0;
+            cs.push(ge(c, 0.0));
+        }
+        cs.push(le(vec![1.0, 1.0, 1.0], 1.0));
+        let p = Polytope::from_constraints(&cs, 3).unwrap();
+        assert_eq!(p.vertices().len(), 4);
+        let v = p.volume(40_000, 7);
+        assert!((v - 1.0 / 6.0).abs() < 0.02, "volume estimate {v}");
+    }
+
+    #[test]
+    fn contains_and_bounding_box() {
+        let p = Polytope::from_constraints(&unit_square(), 2).unwrap();
+        assert!(p.contains(&[0.5, 0.5], 0.0));
+        assert!(!p.contains(&[1.5, 0.5], 0.0));
+        let (lo, hi) = p.bounding_box();
+        assert_eq!(lo, vec![0.0, 0.0]);
+        assert_eq!(hi, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn redundant_constraints_do_not_add_vertices() {
+        let mut cs = unit_square();
+        cs.push(le(vec![1.0, 1.0], 5.0)); // redundant
+        let p = Polytope::from_constraints(&cs, 2).unwrap();
+        assert_eq!(p.vertices().len(), 4);
+    }
+
+    #[test]
+    fn combination_iterator_covers_all_pairs() {
+        let mut combo = vec![0, 1];
+        let mut count = 1;
+        while advance_combination(&mut combo, 4) {
+            count += 1;
+        }
+        assert_eq!(count, 6); // C(4, 2)
+    }
+}

@@ -1,0 +1,243 @@
+//! The two preference spaces used by the paper.
+//!
+//! * **Transformed space** (Section 3.2): because weight vectors are
+//!   normalized (`Σ w_i = 1`, `w_i > 0`), the last weight is implied and the
+//!   algorithms work in the `(d-1)`-dimensional space of `w_1 … w_{d-1}`,
+//!   bounded by `w_j > 0` and `Σ w_j < 1`.
+//! * **Original space** (Appendix C): the full `d`-dimensional space with
+//!   `w_i > 0`.  Every record-vs-focal hyperplane passes through the origin,
+//!   so cells are polyhedral cones; for LP purposes the space is additionally
+//!   capped by `w_i ≤ 1`, which does not change any score comparison because
+//!   rankings are invariant to positive scaling of `w`.
+
+use kspr_lp::{LinearConstraint, Relation};
+
+/// Which preference space the algorithms operate in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Space {
+    /// The `(d-1)`-dimensional transformed space of Section 3.2 (default).
+    #[default]
+    Transformed,
+    /// The full `d`-dimensional space of Appendix C.
+    Original,
+}
+
+/// A concrete preference space for records with `data_dim` attributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreferenceSpace {
+    /// Number of data attributes `d`.
+    pub data_dim: usize,
+    /// Transformed or original space.
+    pub space: Space,
+}
+
+impl PreferenceSpace {
+    /// The transformed `(d-1)`-dimensional space for `d`-dimensional records.
+    ///
+    /// # Panics
+    /// Panics if `data_dim < 2`; a one-attribute dataset has no preference
+    /// trade-off to analyse.
+    pub fn transformed(data_dim: usize) -> Self {
+        assert!(data_dim >= 2, "kSPR needs at least two data attributes");
+        Self {
+            data_dim,
+            space: Space::Transformed,
+        }
+    }
+
+    /// The original `d`-dimensional space for `d`-dimensional records.
+    pub fn original(data_dim: usize) -> Self {
+        assert!(data_dim >= 2, "kSPR needs at least two data attributes");
+        Self {
+            data_dim,
+            space: Space::Original,
+        }
+    }
+
+    /// Creates the space of the requested kind.
+    pub fn new(data_dim: usize, space: Space) -> Self {
+        match space {
+            Space::Transformed => Self::transformed(data_dim),
+            Space::Original => Self::original(data_dim),
+        }
+    }
+
+    /// Dimensionality of the working space (`d-1` for transformed, `d` for original).
+    pub fn work_dim(&self) -> usize {
+        match self.space {
+            Space::Transformed => self.data_dim - 1,
+            Space::Original => self.data_dim,
+        }
+    }
+
+    /// Strict boundary constraints of the space (`Ψ_S` in the paper's
+    /// pseudocode): `w_j > 0`, `w_j < 1` and, in the transformed space,
+    /// `Σ w_j < 1`.
+    pub fn boundary_constraints(&self) -> Vec<LinearConstraint> {
+        let dim = self.work_dim();
+        let mut out = Vec::with_capacity(2 * dim + 1);
+        for j in 0..dim {
+            let mut coeffs = vec![0.0; dim];
+            coeffs[j] = 1.0;
+            out.push(LinearConstraint::new(coeffs.clone(), Relation::Greater, 0.0));
+            out.push(LinearConstraint::new(coeffs, Relation::Less, 1.0));
+        }
+        if self.space == Space::Transformed {
+            out.push(LinearConstraint::new(vec![1.0; dim], Relation::Less, 1.0));
+        }
+        out
+    }
+
+    /// True iff `w` (a working-space point) lies strictly inside the space.
+    pub fn contains(&self, w: &[f64]) -> bool {
+        if w.len() != self.work_dim() {
+            return false;
+        }
+        let all_in_unit = w.iter().all(|&x| x > 0.0 && x < 1.0);
+        match self.space {
+            Space::Transformed => all_in_unit && w.iter().sum::<f64>() < 1.0,
+            Space::Original => all_in_unit,
+        }
+    }
+
+    /// Lifts a working-space point to a full, normalized `d`-dimensional
+    /// weight vector (`Σ w_i = 1`).
+    ///
+    /// In the transformed space the implied last weight `w_d = 1 - Σ w_j` is
+    /// appended; in the original space the vector is normalized by its sum
+    /// (score rankings are invariant to that scaling).
+    pub fn to_full_weight(&self, w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.work_dim(), "working-space point arity mismatch");
+        match self.space {
+            Space::Transformed => {
+                let mut full = w.to_vec();
+                let last = 1.0 - w.iter().sum::<f64>();
+                full.push(last);
+                full
+            }
+            Space::Original => {
+                let sum: f64 = w.iter().sum();
+                if sum <= 0.0 {
+                    return vec![1.0 / self.data_dim as f64; self.data_dim];
+                }
+                w.iter().map(|&x| x / sum).collect()
+            }
+        }
+    }
+
+    /// Projects a full `d`-dimensional weight vector into the working space.
+    pub fn from_full_weight(&self, w: &[f64]) -> Vec<f64> {
+        assert_eq!(w.len(), self.data_dim, "full weight vector arity mismatch");
+        match self.space {
+            Space::Transformed => w[..self.data_dim - 1].to_vec(),
+            Space::Original => w.to_vec(),
+        }
+    }
+
+    /// The exact volume of the working space.
+    ///
+    /// The transformed space is the open simplex `{w > 0, Σ w < 1}` of volume
+    /// `1 / d'!`; the original space is the open unit hypercube of volume 1.
+    pub fn volume(&self) -> f64 {
+        match self.space {
+            Space::Transformed => {
+                let mut fact = 1.0;
+                for i in 1..=self.work_dim() {
+                    fact *= i as f64;
+                }
+                1.0 / fact
+            }
+            Space::Original => 1.0,
+        }
+    }
+
+    /// The centroid of the working space (a convenient canonical weight
+    /// vector, e.g. for examples and sanity checks).
+    pub fn centroid(&self) -> Vec<f64> {
+        let dim = self.work_dim();
+        match self.space {
+            Space::Transformed => vec![1.0 / (dim as f64 + 1.0); dim],
+            Space::Original => vec![0.5; dim],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transformed_space_dimensions() {
+        let s = PreferenceSpace::transformed(4);
+        assert_eq!(s.work_dim(), 3);
+        assert_eq!(s.data_dim, 4);
+    }
+
+    #[test]
+    fn original_space_dimensions() {
+        let s = PreferenceSpace::original(4);
+        assert_eq!(s.work_dim(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_attribute() {
+        PreferenceSpace::transformed(1);
+    }
+
+    #[test]
+    fn boundary_constraint_counts() {
+        let t = PreferenceSpace::transformed(4);
+        assert_eq!(t.boundary_constraints().len(), 2 * 3 + 1);
+        let o = PreferenceSpace::original(4);
+        assert_eq!(o.boundary_constraints().len(), 2 * 4);
+    }
+
+    #[test]
+    fn containment_checks() {
+        let t = PreferenceSpace::transformed(3);
+        assert!(t.contains(&[0.3, 0.3]));
+        assert!(!t.contains(&[0.6, 0.6])); // sum > 1
+        assert!(!t.contains(&[0.0, 0.5])); // boundary
+        assert!(!t.contains(&[0.5])); // wrong arity
+
+        let o = PreferenceSpace::original(3);
+        assert!(o.contains(&[0.6, 0.6, 0.9]));
+        assert!(!o.contains(&[1.1, 0.5, 0.5]));
+    }
+
+    #[test]
+    fn full_weight_round_trip_transformed() {
+        let t = PreferenceSpace::transformed(3);
+        let full = t.to_full_weight(&[0.2, 0.3]);
+        assert_eq!(full.len(), 3);
+        assert!((full.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((full[2] - 0.5).abs() < 1e-12);
+        assert_eq!(t.from_full_weight(&full), vec![0.2, 0.3]);
+    }
+
+    #[test]
+    fn full_weight_normalizes_original() {
+        let o = PreferenceSpace::original(2);
+        let full = o.to_full_weight(&[0.4, 0.4]);
+        assert!((full.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((full[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simplex_volume() {
+        assert!((PreferenceSpace::transformed(3).volume() - 0.5).abs() < 1e-12);
+        assert!((PreferenceSpace::transformed(4).volume() - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(PreferenceSpace::original(4).volume(), 1.0);
+    }
+
+    #[test]
+    fn centroid_is_inside() {
+        for d in 2..=7 {
+            let t = PreferenceSpace::transformed(d);
+            assert!(t.contains(&t.centroid()));
+            let o = PreferenceSpace::original(d);
+            assert!(o.contains(&o.centroid()));
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Constraint systems: the implicit representation of CellTree cells.
+//!
+//! A cell of the arrangement is the intersection of signed halfspaces with
+//! the preference-space boundary.  A [`ConstraintSystem`] gathers those
+//! constraints and answers the two questions the kSPR algorithms ask:
+//!
+//! * *Is the cell non-empty?* — [`ConstraintSystem::interior_point`], the
+//!   LP-based feasibility test of Section 4.2.
+//! * *What is the min / max of a linear score over the cell?* —
+//!   [`ConstraintSystem::minimize`] / [`ConstraintSystem::maximize`], used by
+//!   the look-ahead bounds of Section 6.
+
+use crate::hyperplane::{Hyperplane, Sign};
+use crate::space::PreferenceSpace;
+use kspr_lp::{interior_point, maximize, minimize, InteriorSolution, LinearConstraint, LpOutcome};
+
+/// A set of linear constraints over a preference space.
+#[derive(Debug, Clone)]
+pub struct ConstraintSystem {
+    space: PreferenceSpace,
+    constraints: Vec<LinearConstraint>,
+    /// Number of constraints contributed by the space boundary (always kept).
+    boundary_len: usize,
+}
+
+impl ConstraintSystem {
+    /// A system containing only the space-boundary constraints.
+    pub fn new(space: PreferenceSpace) -> Self {
+        let constraints = space.boundary_constraints();
+        let boundary_len = constraints.len();
+        Self {
+            space,
+            constraints,
+            boundary_len,
+        }
+    }
+
+    /// The preference space the system lives in.
+    pub fn space(&self) -> &PreferenceSpace {
+        &self.space
+    }
+
+    /// Dimensionality of the working space.
+    pub fn dim(&self) -> usize {
+        self.space.work_dim()
+    }
+
+    /// Adds one side of a hyperplane as a *strict* constraint.
+    pub fn push_halfspace(&mut self, plane: &Hyperplane, sign: Sign) {
+        self.constraints.push(plane.constraint(sign, true));
+    }
+
+    /// Adds an arbitrary constraint.
+    pub fn push_constraint(&mut self, constraint: LinearConstraint) {
+        self.constraints.push(constraint);
+    }
+
+    /// All constraints, boundary first.
+    pub fn constraints(&self) -> &[LinearConstraint] {
+        &self.constraints
+    }
+
+    /// Number of record-induced (non-boundary) constraints.
+    pub fn num_halfspace_constraints(&self) -> usize {
+        self.constraints.len() - self.boundary_len
+    }
+
+    /// Total number of constraints, including the space boundary.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if no record-induced constraints have been added.
+    pub fn is_empty(&self) -> bool {
+        self.num_halfspace_constraints() == 0
+    }
+
+    /// LP feasibility test of the *open* cell (Section 4.2).
+    ///
+    /// Returns a strictly interior witness point if the cell has non-zero
+    /// extent, `None` otherwise.
+    pub fn interior_point(&self) -> Option<InteriorSolution> {
+        interior_point(&self.constraints, self.dim())
+    }
+
+    /// True iff the open cell has non-zero extent.
+    pub fn is_feasible(&self) -> bool {
+        self.interior_point().is_some()
+    }
+
+    /// Minimizes `objective · w` over the closure of the cell.
+    ///
+    /// Returns `(minimum, argmin)` or `None` if even the closure is empty.
+    pub fn minimize(&self, objective: &[f64]) -> Option<(f64, Vec<f64>)> {
+        match minimize(objective, &self.constraints, self.dim()) {
+            LpOutcome::Optimal { point, objective } => Some((objective, point)),
+            _ => None,
+        }
+    }
+
+    /// Maximizes `objective · w` over the closure of the cell.
+    pub fn maximize(&self, objective: &[f64]) -> Option<(f64, Vec<f64>)> {
+        match maximize(objective, &self.constraints, self.dim()) {
+            LpOutcome::Optimal { point, objective } => Some((objective, point)),
+            _ => None,
+        }
+    }
+
+    /// True iff `w` satisfies every constraint (strict ones with margin `tol`).
+    pub fn contains(&self, w: &[f64], tol: f64) -> bool {
+        self.constraints.iter().all(|c| c.satisfied_by(w, tol))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Hyperplane;
+
+    fn demo_space() -> PreferenceSpace {
+        PreferenceSpace::transformed(3)
+    }
+
+    fn plane(r: &[f64], p: &[f64]) -> Hyperplane {
+        Hyperplane::separating(r, p, &demo_space())
+    }
+
+    #[test]
+    fn empty_system_is_feasible() {
+        let sys = ConstraintSystem::new(demo_space());
+        assert!(sys.is_feasible());
+        assert!(sys.is_empty());
+        assert_eq!(sys.num_halfspace_constraints(), 0);
+    }
+
+    #[test]
+    fn single_halfspace_cell_is_feasible() {
+        let p = [5.0, 5.0, 7.0];
+        let r = [3.0, 8.0, 8.0];
+        let mut sys = ConstraintSystem::new(demo_space());
+        sys.push_halfspace(&plane(&r, &p), Sign::Negative);
+        let sol = sys.interior_point().expect("feasible");
+        assert!(sys.contains(&sol.point, 0.0));
+        assert_eq!(sys.num_halfspace_constraints(), 1);
+    }
+
+    #[test]
+    fn contradictory_halfspaces_are_infeasible() {
+        let p = [5.0, 5.0, 7.0];
+        let r = [3.0, 8.0, 8.0];
+        let h = plane(&r, &p);
+        let mut sys = ConstraintSystem::new(demo_space());
+        sys.push_halfspace(&h, Sign::Negative);
+        sys.push_halfspace(&h, Sign::Positive);
+        assert!(!sys.is_feasible());
+    }
+
+    #[test]
+    fn score_bounds_over_whole_space() {
+        // Focal record score S(p) = p_d + Σ (p_i - p_d) w_i over the
+        // transformed space; for p = (5,5,7) the max is 7 (w -> (0,0)) and the
+        // min is 5 (w_1 -> 1).
+        let p = [5.0, 5.0, 7.0];
+        let sys = ConstraintSystem::new(demo_space());
+        let objective = vec![p[0] - p[2], p[1] - p[2]];
+        let (max_v, _) = sys.maximize(&objective).unwrap();
+        let (min_v, _) = sys.minimize(&objective).unwrap();
+        assert!((max_v + p[2] - 7.0).abs() < 1e-6);
+        assert!((min_v + p[2] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn witness_lies_in_cell() {
+        let p = [5.0, 5.0, 7.0];
+        let records = [
+            [3.0, 8.0, 8.0],
+            [9.0, 4.0, 4.0],
+            [8.0, 3.0, 4.0],
+        ];
+        let mut sys = ConstraintSystem::new(demo_space());
+        for r in &records {
+            sys.push_halfspace(&plane(r, &p), Sign::Negative);
+        }
+        if let Some(sol) = sys.interior_point() {
+            assert!(sys.contains(&sol.point, 0.0));
+            assert!(demo_space().contains(&sol.point));
+        }
+    }
+}

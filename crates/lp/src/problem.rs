@@ -1,0 +1,332 @@
+//! A small modelling layer over the raw simplex solver.
+//!
+//! The kSPR algorithms express everything as linear constraints over the
+//! weight vector `w` of the (transformed or original) preference space:
+//! record-induced halfspaces `S(r) < S(p)` / `S(r) > S(p)` and the boundary
+//! constraints of the space itself.  This module provides:
+//!
+//! * [`LinearConstraint`] — a single constraint `coeffs · w  (op)  rhs`, where
+//!   the relation may be strict (used for feasibility of *open* cells) or
+//!   non-strict (used when optimizing score bounds over the cell closure).
+//! * [`maximize`] / [`minimize`] — optimize a linear objective over the
+//!   closure of the constraint set.
+//! * [`interior_point`] — the feasibility test of Section 4.2 of the paper:
+//!   decide whether the *open* polyhedron has non-empty interior, and if so
+//!   return a witness point strictly inside it (used by the witness-reuse
+//!   optimization of Section 4.3.2).
+
+use crate::simplex::{solve_standard_form, SimplexOutcome};
+use crate::INTERIOR_MARGIN;
+
+/// Relation of a [`LinearConstraint`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · w ≤ rhs`
+    LessEq,
+    /// `coeffs · w ≥ rhs`
+    GreaterEq,
+    /// `coeffs · w < rhs` (strict)
+    Less,
+    /// `coeffs · w > rhs` (strict)
+    Greater,
+}
+
+impl Relation {
+    /// The non-strict relation with the same direction.
+    pub fn closure(self) -> Relation {
+        match self {
+            Relation::Less | Relation::LessEq => Relation::LessEq,
+            Relation::Greater | Relation::GreaterEq => Relation::GreaterEq,
+        }
+    }
+
+    /// True if the relation is strict.
+    pub fn is_strict(self) -> bool {
+        matches!(self, Relation::Less | Relation::Greater)
+    }
+}
+
+/// A single linear constraint `coeffs · w (op) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Coefficient per decision variable.
+    pub coeffs: Vec<f64>,
+    /// Relation between the linear form and `rhs`.
+    pub op: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl LinearConstraint {
+    /// Creates a new constraint.
+    pub fn new(coeffs: Vec<f64>, op: Relation, rhs: f64) -> Self {
+        Self { coeffs, op, rhs }
+    }
+
+    /// Evaluates the linear form at `point`.
+    pub fn eval(&self, point: &[f64]) -> f64 {
+        self.coeffs.iter().zip(point).map(|(c, x)| c * x).sum()
+    }
+
+    /// True iff `point` satisfies the constraint with tolerance `tol`
+    /// (strict constraints are required to clear the bound by `tol`).
+    pub fn satisfied_by(&self, point: &[f64], tol: f64) -> bool {
+        let v = self.eval(point);
+        match self.op {
+            Relation::LessEq => v <= self.rhs + tol,
+            Relation::GreaterEq => v >= self.rhs - tol,
+            Relation::Less => v < self.rhs - tol,
+            Relation::Greater => v > self.rhs + tol,
+        }
+    }
+
+    /// Returns this constraint normalized into `a · w ≤ b` form
+    /// (strictness is dropped; callers that care about strictness use
+    /// [`interior_point`]).
+    fn as_leq(&self) -> (Vec<f64>, f64) {
+        match self.op.closure() {
+            Relation::LessEq => (self.coeffs.clone(), self.rhs),
+            Relation::GreaterEq => (
+                self.coeffs.iter().map(|c| -c).collect(),
+                -self.rhs,
+            ),
+            _ => unreachable!("closure() never returns a strict relation"),
+        }
+    }
+}
+
+/// Outcome of an optimization call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimum exists.
+    Optimal {
+        /// Optimal point.
+        point: Vec<f64>,
+        /// Optimal objective value.
+        objective: f64,
+    },
+    /// The (closed) constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The optimal objective value, if any.
+    pub fn objective(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { objective, .. } => Some(*objective),
+            _ => None,
+        }
+    }
+
+    /// The optimal point, if any.
+    pub fn point(&self) -> Option<&[f64]> {
+        match self {
+            LpOutcome::Optimal { point, .. } => Some(point),
+            _ => None,
+        }
+    }
+}
+
+/// A strictly interior feasible point together with its clearance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteriorSolution {
+    /// The witness point, strictly inside every strict constraint.
+    pub point: Vec<f64>,
+    /// How far the witness clears the tightest constraint.
+    pub margin: f64,
+}
+
+/// Maximizes `objective · w` over the closure of `constraints` with `w ≥ 0`.
+///
+/// All constraints are interpreted non-strictly (their closure).  Callers are
+/// responsible for adding any box/boundary constraints they need; the only
+/// implicit constraint is non-negativity of the variables, which matches the
+/// preference-space semantics of the paper (`w_i > 0`).
+pub fn maximize(
+    objective: &[f64],
+    constraints: &[LinearConstraint],
+    num_vars: usize,
+) -> LpOutcome {
+    assert!(objective.len() == num_vars, "objective length must equal num_vars");
+    let mut a = Vec::with_capacity(constraints.len());
+    let mut b = Vec::with_capacity(constraints.len());
+    for c in constraints {
+        assert_eq!(c.coeffs.len(), num_vars, "constraint arity mismatch");
+        let (row, rhs) = c.as_leq();
+        a.push(row);
+        b.push(rhs);
+    }
+    match solve_standard_form(&a, &b, objective) {
+        SimplexOutcome::Optimal { x, objective } => LpOutcome::Optimal { point: x, objective },
+        SimplexOutcome::Infeasible => LpOutcome::Infeasible,
+        SimplexOutcome::Unbounded => LpOutcome::Unbounded,
+    }
+}
+
+/// Minimizes `objective · w` over the closure of `constraints` with `w ≥ 0`.
+pub fn minimize(
+    objective: &[f64],
+    constraints: &[LinearConstraint],
+    num_vars: usize,
+) -> LpOutcome {
+    let negated: Vec<f64> = objective.iter().map(|c| -c).collect();
+    match maximize(&negated, constraints, num_vars) {
+        LpOutcome::Optimal { point, objective } => LpOutcome::Optimal {
+            point,
+            objective: -objective,
+        },
+        other => other,
+    }
+}
+
+/// Tests whether the *open* polyhedron described by `constraints` has a
+/// non-empty interior, returning a strictly interior witness point if so.
+///
+/// This is the feasibility test of Section 4.2 of the paper.  Strict and
+/// non-strict constraints are both required to hold with a positive margin
+/// `t`; the solver maximizes `t` and declares the cell feasible iff the
+/// optimal margin exceeds [`INTERIOR_MARGIN`].  The returned witness is used
+/// by the CellTree to skip subsequent feasibility tests (Section 4.3.2).
+pub fn interior_point(
+    constraints: &[LinearConstraint],
+    num_vars: usize,
+) -> Option<InteriorSolution> {
+    // Variables: w_0 .. w_{num_vars-1}, t  (all ≥ 0).
+    let total_vars = num_vars + 1;
+    let mut a = Vec::with_capacity(constraints.len() + 1);
+    let mut b = Vec::with_capacity(constraints.len() + 1);
+    for c in constraints {
+        assert_eq!(c.coeffs.len(), num_vars, "constraint arity mismatch");
+        // a·w < rhs  ->  a·w + s t ≤ rhs   where s scales the margin by the
+        // constraint norm so that the margin is geometric, not coefficient-
+        // dependent.
+        let norm: f64 = c.coeffs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let (mut row, rhs) = c.as_leq();
+        row.push(norm);
+        a.push(row);
+        b.push(rhs);
+    }
+    // Keep t bounded so the LP is never unbounded.
+    let mut t_bound = vec![0.0; total_vars];
+    t_bound[num_vars] = 1.0;
+    a.push(t_bound);
+    b.push(1.0);
+
+    let mut objective = vec![0.0; total_vars];
+    objective[num_vars] = 1.0;
+
+    match solve_standard_form(&a, &b, &objective) {
+        SimplexOutcome::Optimal { x, objective } if objective > INTERIOR_MARGIN => {
+            let point = x[..num_vars].to_vec();
+            Some(InteriorSolution {
+                point,
+                margin: objective,
+            })
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_box(d: usize) -> Vec<LinearConstraint> {
+        // 0 < w_i < 1 and sum w_i < 1 — the transformed preference space.
+        let mut cs = Vec::new();
+        for i in 0..d {
+            let mut coeffs = vec![0.0; d];
+            coeffs[i] = 1.0;
+            cs.push(LinearConstraint::new(coeffs.clone(), Relation::Less, 1.0));
+            cs.push(LinearConstraint::new(coeffs, Relation::Greater, 0.0));
+        }
+        cs.push(LinearConstraint::new(vec![1.0; d], Relation::Less, 1.0));
+        cs
+    }
+
+    #[test]
+    fn interior_of_preference_space_exists() {
+        for d in 1..=6 {
+            let sol = interior_point(&unit_box(d), d).expect("space has interior");
+            assert!(sol.margin > 0.0);
+            let s: f64 = sol.point.iter().sum();
+            assert!(s < 1.0);
+            assert!(sol.point.iter().all(|&w| w > 0.0 && w < 1.0));
+        }
+    }
+
+    #[test]
+    fn empty_open_cell_is_detected() {
+        // w_0 > 0.5 and w_0 < 0.5 cannot both hold strictly.
+        let mut cs = unit_box(2);
+        cs.push(LinearConstraint::new(vec![1.0, 0.0], Relation::Greater, 0.5));
+        cs.push(LinearConstraint::new(vec![1.0, 0.0], Relation::Less, 0.5));
+        assert!(interior_point(&cs, 2).is_none());
+    }
+
+    #[test]
+    fn degenerate_touching_halfspaces_have_no_interior() {
+        // w_0 + w_1 > 1 intersected with the transformed space touches only
+        // on the diagonal boundary — zero extent.
+        let mut cs = unit_box(2);
+        cs.push(LinearConstraint::new(vec![1.0, 1.0], Relation::Greater, 1.0));
+        assert!(interior_point(&cs, 2).is_none());
+    }
+
+    #[test]
+    fn witness_point_satisfies_all_constraints() {
+        let mut cs = unit_box(3);
+        cs.push(LinearConstraint::new(vec![1.0, -1.0, 0.0], Relation::Less, 0.2));
+        cs.push(LinearConstraint::new(vec![0.0, 1.0, -2.0], Relation::Greater, -0.4));
+        let sol = interior_point(&cs, 3).expect("feasible");
+        for c in &cs {
+            assert!(
+                c.satisfied_by(&sol.point, 0.0),
+                "witness violates {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn maximize_score_over_cell() {
+        // maximize w_0 + 2 w_1 over the transformed 2-d space: optimum at w = (0, 1).
+        let cs = unit_box(2);
+        let out = maximize(&[1.0, 2.0], &cs, 2);
+        let obj = out.objective().expect("optimal");
+        assert!((obj - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_matches_negated_maximize() {
+        let cs = unit_box(3);
+        let min = minimize(&[1.0, 1.0, 1.0], &cs, 3).objective().unwrap();
+        assert!(min.abs() < 1e-6, "minimum of the sum over the simplex is 0");
+    }
+
+    #[test]
+    fn infeasible_closed_system_reported() {
+        let cs = vec![
+            LinearConstraint::new(vec![1.0], Relation::LessEq, 1.0),
+            LinearConstraint::new(vec![1.0], Relation::GreaterEq, 2.0),
+        ];
+        assert_eq!(maximize(&[1.0], &cs, 1), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn relation_closure_and_strictness() {
+        assert_eq!(Relation::Less.closure(), Relation::LessEq);
+        assert_eq!(Relation::Greater.closure(), Relation::GreaterEq);
+        assert!(Relation::Less.is_strict());
+        assert!(!Relation::LessEq.is_strict());
+    }
+
+    #[test]
+    fn constraint_eval_and_satisfaction() {
+        let c = LinearConstraint::new(vec![2.0, -1.0], Relation::LessEq, 1.0);
+        assert!((c.eval(&[1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!(c.satisfied_by(&[1.0, 1.0], 1e-9));
+        assert!(!c.satisfied_by(&[1.0, 0.0], 1e-9));
+    }
+}

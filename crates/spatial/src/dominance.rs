@@ -1,0 +1,130 @@
+//! Dominance tests and the dominance graph of P-CTA.
+//!
+//! A record `a` dominates a record `b` (written `a ≺ b` in the skyline
+//! literature, but remember our attributes are "larger is better") iff `a` is
+//! no worse than `b` in every attribute and strictly better in at least one.
+//! P-CTA maintains a *dominance graph* over the records it has already
+//! processed (Section 5) and uses it to shortcut hyperplane insertions: if a
+//! processed dominator of the incoming record already contributes a negative
+//! halfspace to a node, the incoming record's negative halfspace covers that
+//! node as well (the reasoning of Lemma 5).
+
+use crate::record::RecordId;
+use std::collections::HashMap;
+
+/// True iff `a` dominates `b`: `a_i ≥ b_i` for every attribute and `a_i > b_i`
+/// for at least one.
+///
+/// # Panics
+/// Panics (in debug builds) if the two slices have different lengths.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly_better = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Dominance relationships among the records processed so far.
+///
+/// Only the "who dominates me" direction is stored, because that is the only
+/// query P-CTA issues (Algorithm 2, line 9).
+#[derive(Debug, Default, Clone)]
+pub struct DominanceGraph {
+    /// Attribute values of each member, keyed by record id.
+    members: Vec<(RecordId, Vec<f64>)>,
+    /// For each member, the ids of the previously-inserted members that
+    /// dominate it.
+    dominators: HashMap<RecordId, Vec<RecordId>>,
+}
+
+impl DominanceGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of records in the graph.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff the graph has no members.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// True iff `id` has been inserted.
+    pub fn contains(&self, id: RecordId) -> bool {
+        self.dominators.contains_key(&id)
+    }
+
+    /// Inserts a record, computing its dominators among the current members
+    /// and recording the record for future insertions.
+    ///
+    /// Under P-CTA's Invariant 1 every dominator of a record is processed
+    /// before the record itself, so computing dominators only against earlier
+    /// members is sufficient.
+    pub fn insert(&mut self, id: RecordId, values: &[f64]) {
+        let doms: Vec<RecordId> = self
+            .members
+            .iter()
+            .filter(|(_, other)| dominates(other, values))
+            .map(|(other_id, _)| *other_id)
+            .collect();
+        self.dominators.insert(id, doms);
+        self.members.push((id, values.to_vec()));
+    }
+
+    /// The previously-inserted records that dominate `id` (empty if unknown).
+    pub fn dominators_of(&self, id: RecordId) -> &[RecordId] {
+        self.dominators
+            .get(&id)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
+        assert!(dominates(&[2.0, 3.0], &[1.0, 2.0]));
+        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal records do not dominate");
+        assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]), "incomparable records");
+        assert!(!dominates(&[1.0, 2.0], &[2.0, 2.0]));
+    }
+
+    #[test]
+    fn graph_tracks_dominators_of_later_insertions() {
+        let mut g = DominanceGraph::new();
+        g.insert(0, &[5.0, 5.0]);
+        g.insert(1, &[4.0, 6.0]);
+        g.insert(2, &[3.0, 4.0]); // dominated by both 0 and 1
+        assert_eq!(g.dominators_of(0), &[] as &[RecordId]);
+        assert_eq!(g.dominators_of(1), &[] as &[RecordId]);
+        let mut d2 = g.dominators_of(2).to_vec();
+        d2.sort_unstable();
+        assert_eq!(d2, vec![0, 1]);
+        assert_eq!(g.len(), 3);
+        assert!(g.contains(2));
+        assert!(!g.contains(7));
+        assert_eq!(g.dominators_of(7), &[] as &[RecordId]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DominanceGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.len(), 0);
+    }
+}

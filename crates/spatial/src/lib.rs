@@ -1,0 +1,35 @@
+//! Spatial substrate for the kSPR reproduction.
+//!
+//! The paper assumes the dataset is indexed by an (aggregate) R-tree and uses
+//! the index for three purposes:
+//!
+//! 1. Branch-and-bound skyline (BBS) computation to drive the processing
+//!    order of P-CTA (Section 5).
+//! 2. Group score bounds for the look-ahead techniques of LP-CTA
+//!    (Section 6.2): each internal entry carries its MBR and the number of
+//!    records below it.
+//! 3. Disk-based experiments (Appendix A), where every node access is an I/O.
+//!
+//! This crate implements those pieces from scratch:
+//!
+//! * [`record`] — data records and dominance in "larger is better" semantics.
+//! * [`mbr`] — minimum bounding rectangles and corner score bounds.
+//! * [`rtree`] — an aggregate R-tree bulk-loaded with the Sort-Tile-Recursive
+//!   (STR) algorithm, with built-in I/O accounting.
+//! * [`skyline`] — BBS skyline, skyline-with-exclusions and the k-skyband.
+//! * [`dominance`] — the dominance graph maintained by P-CTA.
+//! * [`io`] — the simulated I/O cost model of Appendix A.
+
+pub mod dominance;
+pub mod io;
+pub mod mbr;
+pub mod record;
+pub mod rtree;
+pub mod skyline;
+
+pub use dominance::{dominates, DominanceGraph};
+pub use io::{IoCostModel, IoStats};
+pub use mbr::Mbr;
+pub use record::{Record, RecordId};
+pub use rtree::{AggregateRTree, Node, NodeEntries};
+pub use skyline::{bbs_skyline, k_skyband, naive_skyline, skyline_excluding};

@@ -1,0 +1,150 @@
+//! Minimum bounding rectangles.
+//!
+//! The aggregate R-tree stores an MBR per entry; the look-ahead techniques of
+//! LP-CTA use the MBR corners to bound the score of every record underneath
+//! an entry (Section 6.2 of the paper): for any record `r` in the subtree and
+//! any weight vector, `S(G^L) ≤ S(r) ≤ S(G^U)` where `G^L` / `G^U` are the
+//! min- and max-corners of the entry's MBR.
+
+/// An axis-aligned minimum bounding rectangle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mbr {
+    /// Per-dimension minimum ("min-corner", `G^L` in the paper).
+    pub min: Vec<f64>,
+    /// Per-dimension maximum ("max-corner", `G^U` in the paper).
+    pub max: Vec<f64>,
+}
+
+impl Mbr {
+    /// The MBR of a single point.
+    pub fn from_point(p: &[f64]) -> Self {
+        Self {
+            min: p.to_vec(),
+            max: p.to_vec(),
+        }
+    }
+
+    /// The MBR of a non-empty collection of points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    pub fn from_points<'a, I>(mut points: I) -> Self
+    where
+        I: Iterator<Item = &'a [f64]>,
+    {
+        let first = points.next().expect("MBR of an empty point set");
+        let mut mbr = Mbr::from_point(first);
+        for p in points {
+            mbr.expand_point(p);
+        }
+        mbr
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.min.len()
+    }
+
+    /// Grows the MBR to contain `p`.
+    #[allow(clippy::needless_range_loop)] // three parallel slices are indexed together
+    pub fn expand_point(&mut self, p: &[f64]) {
+        debug_assert_eq!(p.len(), self.dim());
+        for i in 0..self.dim() {
+            self.min[i] = self.min[i].min(p[i]);
+            self.max[i] = self.max[i].max(p[i]);
+        }
+    }
+
+    /// Grows the MBR to contain another MBR.
+    pub fn expand_mbr(&mut self, other: &Mbr) {
+        self.expand_point(&other.min);
+        self.expand_point(&other.max);
+    }
+
+    /// The min-corner `G^L`.
+    pub fn lower_corner(&self) -> &[f64] {
+        &self.min
+    }
+
+    /// The max-corner `G^U`.
+    pub fn upper_corner(&self) -> &[f64] {
+        &self.max
+    }
+
+    /// True iff the point lies inside the MBR (closed).
+    pub fn contains(&self, p: &[f64]) -> bool {
+        debug_assert_eq!(p.len(), self.dim());
+        p.iter()
+            .enumerate()
+            .all(|(i, &v)| v >= self.min[i] && v <= self.max[i])
+    }
+
+    /// Lower bound on the score of any point in the MBR under weights `w ≥ 0`.
+    pub fn min_score(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.dim());
+        self.min.iter().zip(w).map(|(v, wi)| v * wi).sum()
+    }
+
+    /// Upper bound on the score of any point in the MBR under weights `w ≥ 0`.
+    pub fn max_score(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.dim());
+        self.max.iter().zip(w).map(|(v, wi)| v * wi).sum()
+    }
+
+    /// Sum of the max-corner coordinates; used as the BBS priority key.
+    pub fn upper_sum(&self) -> f64 {
+        self.max.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_and_expansion() {
+        let pts = [vec![0.1, 0.9], vec![0.5, 0.2], vec![0.3, 0.4]];
+        let mbr = Mbr::from_points(pts.iter().map(|p| p.as_slice()));
+        assert_eq!(mbr.min, vec![0.1, 0.2]);
+        assert_eq!(mbr.max, vec![0.5, 0.9]);
+        assert!(mbr.contains(&[0.3, 0.5]));
+        assert!(!mbr.contains(&[0.6, 0.5]));
+    }
+
+    #[test]
+    fn expand_with_other_mbr() {
+        let mut a = Mbr::from_point(&[0.2, 0.2]);
+        let b = Mbr::from_point(&[0.8, 0.1]);
+        a.expand_mbr(&b);
+        assert_eq!(a.min, vec![0.2, 0.1]);
+        assert_eq!(a.max, vec![0.8, 0.2]);
+    }
+
+    #[test]
+    fn score_bounds_bracket_contained_points() {
+        let pts = [vec![0.1, 0.9], vec![0.5, 0.2]];
+        let mbr = Mbr::from_points(pts.iter().map(|p| p.as_slice()));
+        let w = [0.7, 0.3];
+        for p in &pts {
+            let s: f64 = p.iter().zip(&w).map(|(v, wi)| v * wi).sum();
+            assert!(s >= mbr.min_score(&w) - 1e-12);
+            assert!(s <= mbr.max_score(&w) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn upper_sum() {
+        let mbr = Mbr {
+            min: vec![0.0, 0.0],
+            max: vec![0.4, 0.6],
+        };
+        assert!((mbr.upper_sum() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty point set")]
+    fn from_points_rejects_empty_input() {
+        let empty: Vec<Vec<f64>> = vec![];
+        Mbr::from_points(empty.iter().map(|p| p.as_slice()));
+    }
+}

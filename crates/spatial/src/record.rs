@@ -1,0 +1,65 @@
+//! Data records.
+//!
+//! Records follow the paper's convention: every attribute is "larger is
+//! better" and the score of a record under a weight vector `w` is the dot
+//! product `S(r) = r · w` (Equation 1).
+
+/// Identifier of a record within a dataset (its index in the original input).
+pub type RecordId = usize;
+
+/// A data record: an identifier plus one value per attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Stable identifier (index in the input dataset).
+    pub id: RecordId,
+    /// Attribute values, "larger is better".
+    pub values: Vec<f64>,
+}
+
+impl Record {
+    /// Creates a record.
+    pub fn new(id: RecordId, values: Vec<f64>) -> Self {
+        Self { id, values }
+    }
+
+    /// Number of attributes.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Linear score `r · w` (Equation 1 of the paper).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `w` has a different arity than the record.
+    pub fn score(&self, w: &[f64]) -> f64 {
+        debug_assert_eq!(w.len(), self.values.len());
+        self.values.iter().zip(w).map(|(v, wi)| v * wi).sum()
+    }
+
+    /// Wraps raw attribute vectors into records, assigning sequential ids.
+    pub fn from_raw(raw: Vec<Vec<f64>>) -> Vec<Record> {
+        raw.into_iter()
+            .enumerate()
+            .map(|(id, values)| Record::new(id, values))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn score_is_dot_product() {
+        let r = Record::new(0, vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.score(&[0.5, 0.25, 0.25]), 1.75);
+        assert_eq!(r.dim(), 3);
+    }
+
+    #[test]
+    fn from_raw_assigns_sequential_ids() {
+        let records = Record::from_raw(vec![vec![1.0], vec![2.0], vec![3.0]]);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().enumerate().all(|(i, r)| r.id == i));
+    }
+}

@@ -1,0 +1,405 @@
+//! Aggregate R-tree bulk-loaded with Sort-Tile-Recursive (STR).
+//!
+//! Each node stores its MBR and the number of records in its subtree (the
+//! "aggregate" part, §6.2 of the paper).  Records live in leaves; internal
+//! nodes reference child nodes by index in a flat arena.  Every node access
+//! through [`AggregateRTree::node`] is counted as a simulated page read for
+//! the disk-based experiments of Appendix A.
+
+use crate::io::IoStats;
+use crate::mbr::Mbr;
+use crate::record::{Record, RecordId};
+
+/// Children of a node: either child node indices or record ids.
+#[derive(Debug, Clone)]
+pub enum NodeEntries {
+    /// Indices of child nodes in the tree arena.
+    Internal(Vec<usize>),
+    /// Ids of the records stored in this leaf.
+    Leaf(Vec<RecordId>),
+}
+
+/// One R-tree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Minimum bounding rectangle of everything below this node.
+    pub mbr: Mbr,
+    /// Number of records in the subtree (`G.num` in the paper).
+    pub count: usize,
+    /// Children.
+    pub entries: NodeEntries,
+}
+
+impl Node {
+    /// True iff this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.entries, NodeEntries::Leaf(_))
+    }
+}
+
+/// An aggregate R-tree over a fixed set of records.
+#[derive(Debug, Clone)]
+pub struct AggregateRTree {
+    dim: usize,
+    fanout: usize,
+    records: Vec<Record>,
+    nodes: Vec<Node>,
+    root: usize,
+    io: IoStats,
+}
+
+impl AggregateRTree {
+    /// Default node fanout used by the experiments.
+    pub const DEFAULT_FANOUT: usize = 32;
+
+    /// Bulk-loads a tree over `records` with the given `fanout` using STR.
+    ///
+    /// # Panics
+    /// Panics if `records` is empty, if `fanout < 2`, or if the records do
+    /// not all share the same arity.
+    pub fn bulk_load(records: Vec<Record>, fanout: usize) -> Self {
+        assert!(!records.is_empty(), "cannot index an empty dataset");
+        assert!(fanout >= 2, "fanout must be at least 2");
+        let dim = records[0].dim();
+        assert!(
+            records.iter().all(|r| r.dim() == dim),
+            "all records must have the same arity"
+        );
+        assert!(
+            records.iter().enumerate().all(|(i, r)| r.id == i),
+            "record ids must equal their position in the input slice"
+        );
+
+        let mut nodes: Vec<Node> = Vec::new();
+
+        // --- Build the leaf level with STR ---------------------------------
+        let ids: Vec<RecordId> = (0..records.len()).collect();
+        let leaf_groups = str_partition(&ids, dim, fanout, &|id, axis| records[*id].values[axis]);
+        let mut current_level: Vec<usize> = Vec::with_capacity(leaf_groups.len());
+        for group in leaf_groups {
+            let mbr = Mbr::from_points(group.iter().map(|&id| records[id].values.as_slice()));
+            let count = group.len();
+            nodes.push(Node {
+                mbr,
+                count,
+                entries: NodeEntries::Leaf(group),
+            });
+            current_level.push(nodes.len() - 1);
+        }
+
+        // --- Build internal levels until a single root remains -------------
+        while current_level.len() > 1 {
+            let groups = str_partition(&current_level, dim, fanout, &|node_idx, axis| {
+                let m = &nodes[*node_idx].mbr;
+                (m.min[axis] + m.max[axis]) / 2.0
+            });
+            let mut next_level = Vec::with_capacity(groups.len());
+            for group in groups {
+                let mut mbr = nodes[group[0]].mbr.clone();
+                let mut count = 0;
+                for &child in &group {
+                    mbr.expand_mbr(&nodes[child].mbr);
+                    count += nodes[child].count;
+                }
+                nodes.push(Node {
+                    mbr,
+                    count,
+                    entries: NodeEntries::Internal(group),
+                });
+                next_level.push(nodes.len() - 1);
+            }
+            current_level = next_level;
+        }
+
+        let root = current_level[0];
+        Self {
+            dim,
+            fanout,
+            records,
+            nodes,
+            root,
+            io: IoStats::new(),
+        }
+    }
+
+    /// Bulk-loads with the default fanout.
+    pub fn from_records(records: Vec<Record>) -> Self {
+        Self::bulk_load(records, Self::DEFAULT_FANOUT)
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the tree indexes no records (never the case after
+    /// construction, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record arity.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Node fanout used at construction time.
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Total number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Accesses a node, counting one simulated page read.
+    pub fn node(&self, idx: usize) -> &Node {
+        self.io.record_read();
+        &self.nodes[idx]
+    }
+
+    /// Accesses a node without I/O accounting (used by tests and internal
+    /// bookkeeping that would not be a page read in a disk-resident setting).
+    pub fn node_no_io(&self, idx: usize) -> &Node {
+        &self.nodes[idx]
+    }
+
+    /// All indexed records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// A record by id.
+    pub fn record(&self, id: RecordId) -> &Record {
+        &self.records[id]
+    }
+
+    /// The I/O counter (shared by all traversals over this tree).
+    pub fn io(&self) -> &IoStats {
+        &self.io
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx].entries {
+                NodeEntries::Leaf(_) => return h,
+                NodeEntries::Internal(children) => {
+                    idx = children[0];
+                    h += 1;
+                }
+            }
+        }
+    }
+
+    /// Returns `Some(record id)` for a record that is **not** dominated by any
+    /// of `pivots` and is not in `excluded`, or `None` if every such record is
+    /// dominated.
+    ///
+    /// This is the look-ahead used by P-CTA to decide whether a promising
+    /// cell can already be reported (Lemma 5): a subtree can be skipped when
+    /// its MBR's max-corner is dominated by some pivot, because then every
+    /// record underneath is dominated too.
+    pub fn find_not_dominated(
+        &self,
+        pivots: &[&[f64]],
+        excluded: &dyn Fn(RecordId) -> bool,
+    ) -> Option<RecordId> {
+        self.find_not_dominated_rec(self.root, pivots, excluded)
+    }
+
+    fn find_not_dominated_rec(
+        &self,
+        idx: usize,
+        pivots: &[&[f64]],
+        excluded: &dyn Fn(RecordId) -> bool,
+    ) -> Option<RecordId> {
+        let node = self.node(idx);
+        if pivots
+            .iter()
+            .any(|p| crate::dominance::dominates(p, node.mbr.upper_corner()))
+        {
+            return None;
+        }
+        match &node.entries {
+            NodeEntries::Leaf(ids) => ids
+                .iter()
+                .copied()
+                .find(|&id| {
+                    !excluded(id)
+                        && !pivots
+                            .iter()
+                            .any(|p| crate::dominance::dominates(p, &self.records[id].values))
+                }),
+            NodeEntries::Internal(children) => children
+                .iter()
+                .find_map(|&c| self.find_not_dominated_rec(c, pivots, excluded)),
+        }
+    }
+}
+
+/// Sort-Tile-Recursive partitioning of `items` into groups of at most
+/// `fanout`, using `key(item, axis)` as the coordinate accessor.
+fn str_partition<T: Clone>(
+    items: &[T],
+    dim: usize,
+    fanout: usize,
+    key: &dyn Fn(&T, usize) -> f64,
+) -> Vec<Vec<T>> {
+    let mut slabs: Vec<Vec<T>> = vec![items.to_vec()];
+    // Successively slice along each axis; the number of slices per axis is
+    // chosen so that the final tiles hold at most `fanout` items.
+    for axis in 0..dim {
+        let remaining_axes = dim - axis;
+        let mut next: Vec<Vec<T>> = Vec::new();
+        for slab in slabs {
+            let n = slab.len();
+            if n <= fanout {
+                next.push(slab);
+                continue;
+            }
+            let total_groups = n.div_ceil(fanout);
+            // Number of slices for this axis: the (remaining_axes)-th root of
+            // the number of groups still needed.
+            let slices = (total_groups as f64)
+                .powf(1.0 / remaining_axes as f64)
+                .ceil() as usize;
+            let slices = slices.max(1);
+            let per_slice = n.div_ceil(slices);
+            let mut sorted = slab;
+            sorted.sort_by(|a, b| {
+                key(a, axis)
+                    .partial_cmp(&key(b, axis))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for chunk in sorted.chunks(per_slice.max(1)) {
+                next.push(chunk.to_vec());
+            }
+        }
+        slabs = next;
+    }
+    // Final pass: every slab must respect the fanout.
+    let mut groups = Vec::new();
+    for slab in slabs {
+        if slab.len() <= fanout {
+            groups.push(slab);
+        } else {
+            for chunk in slab.chunks(fanout) {
+                groups.push(chunk.to_vec());
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_records(n: usize, d: usize, seed: u64) -> Vec<Record> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| Record::new(id, (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_counts_and_mbrs_are_consistent() {
+        let records = random_records(1_000, 4, 1);
+        let tree = AggregateRTree::bulk_load(records.clone(), 16);
+        assert_eq!(tree.len(), 1_000);
+        assert_eq!(tree.node_no_io(tree.root()).count, 1_000);
+        // Every record is inside the root MBR and inside its leaf MBR.
+        let root_mbr = &tree.node_no_io(tree.root()).mbr;
+        for r in &records {
+            assert!(root_mbr.contains(&r.values));
+        }
+        // Sum of leaf counts equals n, and node counts equal subtree sizes.
+        let mut leaf_total = 0;
+        for idx in 0..tree.num_nodes() {
+            let node = tree.node_no_io(idx);
+            match &node.entries {
+                NodeEntries::Leaf(ids) => {
+                    assert_eq!(node.count, ids.len());
+                    leaf_total += ids.len();
+                    for &id in ids {
+                        assert!(node.mbr.contains(&tree.record(id).values));
+                    }
+                }
+                NodeEntries::Internal(children) => {
+                    let child_sum: usize =
+                        children.iter().map(|&c| tree.node_no_io(c).count).sum();
+                    assert_eq!(node.count, child_sum);
+                }
+            }
+        }
+        assert_eq!(leaf_total, 1_000);
+    }
+
+    #[test]
+    fn fanout_is_respected() {
+        let records = random_records(500, 3, 2);
+        let tree = AggregateRTree::bulk_load(records, 8);
+        for idx in 0..tree.num_nodes() {
+            match &tree.node_no_io(idx).entries {
+                NodeEntries::Leaf(ids) => assert!(ids.len() <= 8),
+                NodeEntries::Internal(children) => assert!(children.len() <= 8 + 1),
+            }
+        }
+        assert!(tree.height() >= 2);
+    }
+
+    #[test]
+    fn single_record_tree() {
+        let tree = AggregateRTree::from_records(vec![Record::new(0, vec![0.5, 0.5])]);
+        assert_eq!(tree.height(), 1);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.node_no_io(tree.root()).count, 1);
+    }
+
+    #[test]
+    fn io_counter_tracks_node_accesses() {
+        let records = random_records(100, 2, 3);
+        let tree = AggregateRTree::bulk_load(records, 8);
+        tree.io().reset();
+        let _ = tree.node(tree.root());
+        let _ = tree.node(tree.root());
+        assert_eq!(tree.io().reads(), 2);
+        let _ = tree.node_no_io(tree.root());
+        assert_eq!(tree.io().reads(), 2);
+    }
+
+    #[test]
+    fn find_not_dominated_respects_pivots_and_exclusions() {
+        // Three records; pivot dominates two of them.
+        let records = vec![
+            Record::new(0, vec![0.9, 0.9]),
+            Record::new(1, vec![0.2, 0.3]),
+            Record::new(2, vec![0.1, 0.1]),
+        ];
+        let tree = AggregateRTree::bulk_load(records, 4);
+        let pivot = vec![0.5, 0.5];
+        let pivots: Vec<&[f64]> = vec![&pivot];
+        let found = tree.find_not_dominated(&pivots, &|_| false);
+        assert_eq!(found, Some(0));
+        // Excluding record 0 leaves only dominated records.
+        let found = tree.find_not_dominated(&pivots, &|id| id == 0);
+        assert_eq!(found, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn rejects_empty_input() {
+        AggregateRTree::from_records(vec![]);
+    }
+}

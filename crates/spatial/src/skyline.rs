@@ -1,0 +1,278 @@
+//! Skyline and k-skyband computation.
+//!
+//! P-CTA drives its processing order with skyline batches (Section 5 of the
+//! paper): the first batch is the skyline of `D`, subsequent batches are the
+//! skylines of `D` minus the non-pivot records of the promising cells.  The
+//! k-skyband (records dominated by fewer than `k` others) is used by the
+//! Appendix-B baseline.
+//!
+//! The skyline is computed with a branch-and-bound traversal of the aggregate
+//! R-tree (BBS, Papadias et al.): entries are popped in decreasing order of
+//! the coordinate sum of their MBR max-corner, which guarantees that any
+//! potential dominator of a record is examined before the record itself.
+
+use crate::dominance::dominates;
+use crate::record::{Record, RecordId};
+use crate::rtree::{AggregateRTree, NodeEntries};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Heap entry for the BBS traversal, ordered by key (max-corner sum).
+struct HeapEntry {
+    key: f64,
+    item: HeapItem,
+}
+
+enum HeapItem {
+    Node(usize),
+    Record(RecordId),
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .partial_cmp(&other.key)
+            .unwrap_or(Ordering::Equal)
+    }
+}
+
+/// Computes the skyline of the indexed dataset with BBS.
+///
+/// The result contains the ids of all records not dominated by any other
+/// record, in the order they were confirmed (roughly decreasing coordinate
+/// sum).
+pub fn bbs_skyline(tree: &AggregateRTree) -> Vec<RecordId> {
+    skyline_excluding(tree, &HashSet::new())
+}
+
+/// Computes the skyline of the dataset **ignoring** the records in `exclude`:
+/// excluded records neither appear in the result nor prune other records.
+///
+/// This is the "recompute the skyline of `D` by ignoring the records in the
+/// union of non-pivots" step of P-CTA (Section 5).
+pub fn skyline_excluding(tree: &AggregateRTree, exclude: &HashSet<RecordId>) -> Vec<RecordId> {
+    let mut heap = BinaryHeap::new();
+    heap.push(HeapEntry {
+        key: tree.node_no_io(tree.root()).mbr.upper_sum(),
+        item: HeapItem::Node(tree.root()),
+    });
+    let mut skyline: Vec<RecordId> = Vec::new();
+
+    let dominated_by_skyline = |skyline: &[RecordId], values: &[f64]| {
+        skyline
+            .iter()
+            .any(|&s| dominates(&tree.record(s).values, values))
+    };
+
+    while let Some(entry) = heap.pop() {
+        match entry.item {
+            HeapItem::Node(idx) => {
+                let node = tree.node(idx);
+                if dominated_by_skyline(&skyline, node.mbr.upper_corner()) {
+                    continue;
+                }
+                match &node.entries {
+                    NodeEntries::Internal(children) => {
+                        for &c in children {
+                            let child = tree.node_no_io(c);
+                            if !dominated_by_skyline(&skyline, child.mbr.upper_corner()) {
+                                heap.push(HeapEntry {
+                                    key: child.mbr.upper_sum(),
+                                    item: HeapItem::Node(c),
+                                });
+                            }
+                        }
+                    }
+                    NodeEntries::Leaf(ids) => {
+                        for &id in ids {
+                            if exclude.contains(&id) {
+                                continue;
+                            }
+                            let values = &tree.record(id).values;
+                            if !dominated_by_skyline(&skyline, values) {
+                                heap.push(HeapEntry {
+                                    key: values.iter().sum(),
+                                    item: HeapItem::Record(id),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            HeapItem::Record(id) => {
+                let values = &tree.record(id).values;
+                if !dominated_by_skyline(&skyline, values) {
+                    skyline.push(id);
+                }
+            }
+        }
+    }
+    skyline
+}
+
+/// Straightforward O(n²) skyline over a record slice, used as a test oracle
+/// and for small inputs.
+pub fn naive_skyline(records: &[Record]) -> Vec<RecordId> {
+    records
+        .iter()
+        .filter(|r| {
+            !records
+                .iter()
+                .any(|other| other.id != r.id && dominates(&other.values, &r.values))
+        })
+        .map(|r| r.id)
+        .collect()
+}
+
+/// Computes the k-skyband: the ids of all records dominated by fewer than `k`
+/// other records.
+///
+/// Records are scanned in decreasing coordinate-sum order; a dominator always
+/// has a coordinate sum at least as large as the record it dominates, so only
+/// earlier records need to be checked, and the scan for a record stops as soon
+/// as `k` dominators are found.
+pub fn k_skyband(records: &[Record], k: usize) -> Vec<RecordId> {
+    let mut order: Vec<usize> = (0..records.len()).collect();
+    let sums: Vec<f64> = records.iter().map(|r| r.values.iter().sum()).collect();
+    order.sort_by(|&a, &b| {
+        sums[b]
+            .partial_cmp(&sums[a])
+            .unwrap_or(Ordering::Equal)
+    });
+    let mut result = Vec::new();
+    for (pos, &idx) in order.iter().enumerate() {
+        let mut dominators = 0;
+        for &other in &order[..pos] {
+            if dominates(&records[other].values, &records[idx].values) {
+                dominators += 1;
+                if dominators >= k {
+                    break;
+                }
+            }
+        }
+        if dominators < k {
+            result.push(records[idx].id);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_records(n: usize, d: usize, seed: u64) -> Vec<Record> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|id| Record::new(id, (0..d).map(|_| rng.gen_range(0.0..1.0)).collect()))
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<RecordId>) -> Vec<RecordId> {
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn bbs_matches_naive_skyline() {
+        for seed in 0..5 {
+            for d in [2, 3, 4] {
+                let records = random_records(300, d, seed);
+                let tree = AggregateRTree::bulk_load(records.clone(), 8);
+                let bbs = sorted(bbs_skyline(&tree));
+                let naive = sorted(naive_skyline(&records));
+                assert_eq!(bbs, naive, "seed {seed}, d {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_excluding_ignores_excluded_records() {
+        // Record 0 dominates everything; once excluded, the rest surfaces.
+        let records = vec![
+            Record::new(0, vec![0.9, 0.9]),
+            Record::new(1, vec![0.8, 0.2]),
+            Record::new(2, vec![0.2, 0.8]),
+            Record::new(3, vec![0.1, 0.1]),
+        ];
+        let tree = AggregateRTree::bulk_load(records, 4);
+        assert_eq!(sorted(bbs_skyline(&tree)), vec![0]);
+        let exclude: HashSet<RecordId> = [0].into_iter().collect();
+        assert_eq!(sorted(skyline_excluding(&tree, &exclude)), vec![1, 2]);
+    }
+
+    #[test]
+    fn skyline_excluding_matches_naive_on_filtered_input() {
+        for seed in 10..13 {
+            let records = random_records(200, 3, seed);
+            let tree = AggregateRTree::bulk_load(records.clone(), 8);
+            let exclude: HashSet<RecordId> = (0..50).collect();
+            let filtered: Vec<Record> = records
+                .iter()
+                .filter(|r| !exclude.contains(&r.id))
+                .cloned()
+                .collect();
+            assert_eq!(
+                sorted(skyline_excluding(&tree, &exclude)),
+                sorted(naive_skyline(&filtered)),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_skyband_contains_skyline_and_respects_k() {
+        let records = random_records(400, 3, 42);
+        let skyline = sorted(naive_skyline(&records));
+        let band1 = sorted(k_skyband(&records, 1));
+        assert_eq!(skyline, band1, "1-skyband is exactly the skyline");
+        let band5 = k_skyband(&records, 5);
+        assert!(band5.len() >= band1.len());
+        // Oracle check: every record in the 5-skyband has < 5 dominators.
+        for &id in &band5 {
+            let dominators = records
+                .iter()
+                .filter(|r| dominates(&r.values, &records[id].values))
+                .count();
+            assert!(dominators < 5);
+        }
+        // And every record not in the band has >= 5 dominators.
+        let band_set: HashSet<RecordId> = band5.into_iter().collect();
+        for r in &records {
+            if !band_set.contains(&r.id) {
+                let dominators = records
+                    .iter()
+                    .filter(|o| dominates(&o.values, &r.values))
+                    .count();
+                assert!(dominators >= 5);
+            }
+        }
+    }
+
+    #[test]
+    fn skyline_of_identical_records_keeps_all() {
+        // Identical records do not dominate each other, so all are skyline.
+        let records = vec![
+            Record::new(0, vec![0.5, 0.5]),
+            Record::new(1, vec![0.5, 0.5]),
+            Record::new(2, vec![0.5, 0.5]),
+        ];
+        let tree = AggregateRTree::bulk_load(records.clone(), 4);
+        assert_eq!(sorted(bbs_skyline(&tree)), vec![0, 1, 2]);
+        assert_eq!(sorted(naive_skyline(&records)), vec![0, 1, 2]);
+    }
+}

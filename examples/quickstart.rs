@@ -1,0 +1,64 @@
+//! Quickstart: the restaurant example from Figure 1 of the paper.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! The dataset contains four competing restaurants rated on value, service
+//! and ambiance; the focal record is the restaurant "Kyma".  The kSPR query
+//! asks: *for which user preferences is Kyma among the top-3 recommended
+//! restaurants?*
+
+use kspr_repro::kspr::{algorithms, Dataset, KsprConfig};
+
+fn main() {
+    // Ratings on a 1–10 scale: (value, service, ambiance), as in Figure 1(a).
+    let restaurants = [
+        ("L'Entrecôte", vec![3.0, 8.0, 8.0]),
+        ("Beirut Grill", vec![9.0, 4.0, 4.0]),
+        ("El Coyote", vec![8.0, 3.0, 4.0]),
+        ("La Braceria", vec![4.0, 3.0, 6.0]),
+    ];
+    let kyma = vec![5.0, 5.0, 7.0];
+    let k = 3;
+
+    let dataset = Dataset::new(restaurants.iter().map(|(_, r)| r.clone()).collect());
+    let config = KsprConfig::default();
+    let result = algorithms::run_lpcta(&dataset, &kyma, k, &config);
+
+    println!("kSPR query: in which preference regions is Kyma among the top-{k}?");
+    println!("Competitors: {}", restaurants.len());
+    println!("Result regions: {}", result.num_regions());
+    println!(
+        "Market impact (share of all preferences where Kyma is top-{k}): {:.1}%",
+        100.0 * result.impact(50_000, 42)
+    );
+    println!();
+
+    // The regions live in the transformed preference space (w1 = weight of
+    // value, w2 = weight of service; the ambiance weight is 1 - w1 - w2).
+    for (i, region) in result.regions.iter().enumerate() {
+        println!("Region {i} (rank of Kyma inside: {})", region.rank);
+        if let Some(poly) = &region.polytope {
+            let verts: Vec<String> = poly
+                .vertices()
+                .iter()
+                .map(|v| format!("({:.3}, {:.3})", v[0], v[1]))
+                .collect();
+            println!("  vertices in (w_value, w_service): {}", verts.join(", "));
+        }
+    }
+    println!();
+
+    // Spot-check a few concrete user profiles.
+    let profiles = [
+        ("balanced diner", [1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]),
+        ("value hunter", [0.8, 0.1, 0.1]),
+        ("romantic dinner (ambiance)", [0.1, 0.1, 0.8]),
+    ];
+    for (name, w) in profiles {
+        let inside = result.contains_full_weight(&w);
+        println!(
+            "{name:<30} weights {w:?} -> Kyma in top-{k}: {}",
+            if inside { "yes" } else { "no" }
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Umbrella crate for the kSPR reproduction workspace.
+//!
+//! This crate re-exports the public API of the member crates so that the
+//! examples under `examples/` and the integration tests under `tests/` can use
+//! a single dependency. Library users should normally depend on the
+//! individual crates (`kspr`, `kspr-spatial`, `kspr-datagen`, ...) directly.
+
+pub use kspr;
+pub use kspr_datagen as datagen;
+pub use kspr_geometry as geometry;
+pub use kspr_lp as lp;
+pub use kspr_spatial as spatial;

@@ -1,0 +1,202 @@
+//! Cross-crate integration tests: every kSPR algorithm must agree with the
+//! brute-force definition of the query and with every other algorithm.
+
+use kspr_repro::datagen::{generate, Distribution};
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig};
+
+/// Picks a focal record with a non-trivial result: values around the 70-80th
+/// percentile, so it is beaten by some records but not by all.
+fn focal_for(d: usize) -> Vec<f64> {
+    (0..d).map(|i| 0.72 + 0.03 * (i as f64 % 3.0)).collect()
+}
+
+fn check_agreement(
+    alg: Algorithm,
+    dist: Distribution,
+    n: usize,
+    d: usize,
+    k: usize,
+    config: &KsprConfig,
+    seed: u64,
+) {
+    let raw = generate(dist, n, d, seed);
+    let dataset = Dataset::new(raw.clone());
+    let focal = focal_for(d);
+    let result = kspr_repro::kspr::run(alg, &dataset, &focal, k, config);
+    let agreement = naive::classification_agreement(&result, &raw, &focal, k, 300, seed ^ 0xABCD);
+    assert!(
+        agreement > 0.99,
+        "{alg:?} on {dist:?} n={n} d={d} k={k}: agreement {agreement}"
+    );
+}
+
+#[test]
+fn celltree_algorithms_match_oracle_across_distributions() {
+    let config = KsprConfig::default();
+    for dist in Distribution::all() {
+        for alg in [Algorithm::Cta, Algorithm::Pcta, Algorithm::LpCta, Algorithm::KSkyband] {
+            check_agreement(alg, dist, 120, 3, 5, &config, 42);
+        }
+    }
+}
+
+#[test]
+fn algorithms_match_oracle_in_four_dimensions() {
+    let config = KsprConfig::default();
+    for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+        check_agreement(alg, Distribution::Independent, 150, 4, 8, &config, 7);
+        check_agreement(alg, Distribution::AntiCorrelated, 100, 4, 5, &config, 8);
+    }
+}
+
+#[test]
+fn rtopk_matches_oracle_on_two_dimensions() {
+    let config = KsprConfig::default();
+    for k in [1, 4, 8] {
+        check_agreement(Algorithm::Rtopk, Distribution::Independent, 200, 2, k, &config, 3);
+    }
+}
+
+#[test]
+fn imaxrank_matches_oracle_on_small_instances() {
+    let config = KsprConfig::default();
+    check_agreement(Algorithm::IMaxRank, Distribution::Independent, 40, 3, 3, &config, 5);
+}
+
+#[test]
+fn original_space_variants_match_transformed_space() {
+    let raw = generate(Distribution::Independent, 120, 3, 11);
+    let dataset = Dataset::new(raw.clone());
+    let focal = focal_for(3);
+    let k = 5;
+    let transformed = kspr_repro::kspr::run(
+        Algorithm::LpCta,
+        &dataset,
+        &focal,
+        k,
+        &KsprConfig::default(),
+    );
+    let original = kspr_repro::kspr::run(
+        Algorithm::LpCta,
+        &dataset,
+        &focal,
+        k,
+        &KsprConfig::original_space(),
+    );
+    // The two results live in different working spaces; compare them through
+    // full (normalized) weight vectors.
+    let space = transformed.space;
+    for w in naive::sample_weights(&space, 300, 13) {
+        let full = space.to_full_weight(&w);
+        assert_eq!(
+            transformed.contains_full_weight(&full),
+            original.contains_full_weight(&full),
+            "disagreement at {full:?}"
+        );
+    }
+}
+
+#[test]
+fn all_bound_modes_produce_the_same_result() {
+    use kspr_repro::kspr::BoundMode;
+    let raw = generate(Distribution::Independent, 150, 3, 17);
+    let dataset = Dataset::new(raw.clone());
+    let focal = focal_for(3);
+    let k = 6;
+    let results: Vec<_> = [BoundMode::Record, BoundMode::Group, BoundMode::Fast]
+        .into_iter()
+        .map(|mode| {
+            kspr_repro::kspr::run(
+                Algorithm::LpCta,
+                &dataset,
+                &focal,
+                k,
+                &KsprConfig::with_bound_mode(mode),
+            )
+        })
+        .collect();
+    let space = results[0].space;
+    for w in naive::sample_weights(&space, 300, 19) {
+        let memberships: Vec<bool> = results.iter().map(|r| r.contains(&w)).collect();
+        assert!(
+            memberships.iter().all(|&m| m == memberships[0]),
+            "bound modes disagree at {w:?}: {memberships:?}"
+        );
+    }
+}
+
+#[test]
+fn lemma2_and_witness_ablations_produce_the_same_result() {
+    let raw = generate(Distribution::Independent, 120, 3, 23);
+    let dataset = Dataset::new(raw.clone());
+    let focal = focal_for(3);
+    let k = 5;
+    let configs = [
+        KsprConfig::default(),
+        KsprConfig {
+            use_lemma2: false,
+            ..KsprConfig::default()
+        },
+        KsprConfig {
+            use_witness: false,
+            ..KsprConfig::default()
+        },
+    ];
+    let results: Vec<_> = configs
+        .iter()
+        .map(|c| kspr_repro::kspr::run(Algorithm::Pcta, &dataset, &focal, k, c))
+        .collect();
+    let space = results[0].space;
+    for w in naive::sample_weights(&space, 300, 29) {
+        let memberships: Vec<bool> = results.iter().map(|r| r.contains(&w)).collect();
+        assert!(
+            memberships.iter().all(|&m| m == memberships[0]),
+            "ablations disagree at {w:?}"
+        );
+    }
+}
+
+#[test]
+fn exact_impact_matches_monte_carlo_estimate() {
+    let raw = generate(Distribution::AntiCorrelated, 200, 3, 31);
+    let dataset = Dataset::new(raw.clone());
+    let focal = focal_for(3);
+    let k = 10;
+    let result = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, k, &KsprConfig::default());
+    let exact = result.impact(50_000, 3);
+    let sampled = naive::impact_monte_carlo(&raw, &focal, k, &result.space, 10_000, 4);
+    assert!(
+        (exact - sampled).abs() < 0.03,
+        "exact {exact} vs sampled {sampled}"
+    );
+}
+
+#[test]
+fn progressive_methods_do_more_with_less_work_than_cta() {
+    let raw = generate(Distribution::Independent, 250, 3, 37);
+    let dataset = Dataset::new(raw);
+    let focal = focal_for(3);
+    let k = 6;
+    let config = KsprConfig::default();
+    let cta = kspr_repro::kspr::run(Algorithm::Cta, &dataset, &focal, k, &config);
+    let pcta = kspr_repro::kspr::run(Algorithm::Pcta, &dataset, &focal, k, &config);
+    let lpcta = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, k, &config);
+    assert!(pcta.stats.processed_records <= cta.stats.processed_records);
+    assert!(lpcta.stats.processed_records <= cta.stats.processed_records);
+    assert!(pcta.stats.celltree_nodes <= cta.stats.celltree_nodes);
+}
+
+#[test]
+fn disk_mode_reports_io_statistics() {
+    use kspr_repro::spatial::IoCostModel;
+    let raw = generate(Distribution::Independent, 200, 3, 41);
+    let dataset = Dataset::new(raw);
+    let focal = focal_for(3);
+    let config = KsprConfig {
+        io_model: Some(IoCostModel::default()),
+        ..KsprConfig::default()
+    };
+    let result = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, 5, &config);
+    assert!(result.stats.io_reads > 0, "LP-CTA must touch the data index");
+    assert!(result.stats.io_time_ms > 0.0);
+}

@@ -1,0 +1,233 @@
+//! Property-based tests (proptest) on the core data structures and the
+//! invariants the kSPR algorithms rely on.
+
+use kspr_repro::geometry::{Hyperplane, Polytope, PreferenceSpace, Sign};
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig};
+use kspr_repro::lp::{interior_point, maximize, LinearConstraint, LpOutcome, Relation};
+use kspr_repro::spatial::{dominates, k_skyband, naive_skyline, AggregateRTree, Record};
+use proptest::prelude::*;
+
+/// Strategy: a record with `d` attributes in (0, 1).
+fn record_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..0.99, d)
+}
+
+/// Strategy: a small dataset of `d`-dimensional records.
+fn dataset_strategy(d: usize, max_n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(record_strategy(d), 5..max_n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // ---------------- LP solver ----------------
+
+    /// The LP optimum of a maximization over random box constraints is an
+    /// upper bound for the objective at any sampled feasible point.
+    #[test]
+    fn lp_optimum_dominates_feasible_points(
+        coeffs in prop::collection::vec(-1.0f64..1.0, 3),
+        bounds in prop::collection::vec(0.2f64..1.0, 3),
+    ) {
+        let constraints: Vec<LinearConstraint> = (0..3)
+            .map(|i| {
+                let mut e = vec![0.0; 3];
+                e[i] = 1.0;
+                LinearConstraint::new(e, Relation::LessEq, bounds[i])
+            })
+            .collect();
+        match maximize(&coeffs, &constraints, 3) {
+            LpOutcome::Optimal { objective, point } => {
+                // The optimum itself must be feasible...
+                for c in &constraints {
+                    prop_assert!(c.satisfied_by(&point, 1e-7));
+                }
+                // ... and at least as good as the box corners.
+                for mask in 0..8u32 {
+                    let corner: Vec<f64> = (0..3)
+                        .map(|i| if mask & (1 << i) != 0 { bounds[i] } else { 0.0 })
+                        .collect();
+                    let v: f64 = corner.iter().zip(&coeffs).map(|(x, c)| x * c).sum();
+                    prop_assert!(v <= objective + 1e-7);
+                }
+            }
+            other => prop_assert!(false, "box-constrained LP must have an optimum, got {other:?}"),
+        }
+    }
+
+    /// `interior_point` returns a witness strictly satisfying every constraint,
+    /// and never returns a witness for a contradictory system.
+    #[test]
+    fn interior_point_witness_is_valid(
+        a in prop::collection::vec(-1.0f64..1.0, 2),
+        b in -0.5f64..0.5,
+    ) {
+        let space = PreferenceSpace::transformed(3);
+        let mut constraints = space.boundary_constraints();
+        constraints.push(LinearConstraint::new(a.clone(), Relation::Less, b));
+        if let Some(sol) = interior_point(&constraints, 2) {
+            for c in &constraints {
+                prop_assert!(c.satisfied_by(&sol.point, 0.0), "witness violates {c:?}");
+            }
+        }
+        // Adding the opposite strict constraint makes the system empty.
+        constraints.push(LinearConstraint::new(a, Relation::Greater, b));
+        prop_assert!(interior_point(&constraints, 2).is_none());
+    }
+
+    // ---------------- geometry ----------------
+
+    /// The separating hyperplane agrees with direct score comparison at
+    /// random weight vectors (both spaces).
+    #[test]
+    fn hyperplane_sides_match_score_comparison(
+        r in record_strategy(4),
+        p in record_strategy(4),
+        w_seed in 0u64..1000,
+    ) {
+        for space in [PreferenceSpace::transformed(4), PreferenceSpace::original(4)] {
+            let h = Hyperplane::separating(&r, &p, &space);
+            for w in naive::sample_weights(&space, 8, w_seed) {
+                let full = space.to_full_weight(&w);
+                let diff: f64 = r.iter().zip(&full).map(|(x, wi)| x * wi).sum::<f64>()
+                    - p.iter().zip(&full).map(|(x, wi)| x * wi).sum::<f64>();
+                match h.side(&w) {
+                    Some(Sign::Positive) => prop_assert!(diff > -1e-7),
+                    Some(Sign::Negative) => prop_assert!(diff < 1e-7),
+                    None => {}
+                }
+            }
+        }
+    }
+
+    /// Lemma 4: if record `a` dominates record `b`, then wherever `b` beats
+    /// the focal record, `a` beats it too (h_a^+ covers h_b^+).
+    #[test]
+    fn dominance_implies_halfspace_containment(
+        base in record_strategy(3),
+        bump in prop::collection::vec(0.0f64..0.3, 3),
+        p in record_strategy(3),
+        w_seed in 0u64..1000,
+    ) {
+        let a: Vec<f64> = base.iter().zip(&bump).map(|(x, d)| (x + d).min(0.999)).collect();
+        prop_assume!(dominates(&a, &base));
+        let space = PreferenceSpace::transformed(3);
+        let ha = Hyperplane::separating(&a, &p, &space);
+        let hb = Hyperplane::separating(&base, &p, &space);
+        for w in naive::sample_weights(&space, 16, w_seed) {
+            if hb.side(&w) == Some(Sign::Positive) {
+                prop_assert_ne!(ha.side(&w), Some(Sign::Negative), "Lemma 4 violated at {:?}", w);
+            }
+        }
+    }
+
+    /// Every vertex reported by the polytope enumeration satisfies all of the
+    /// defining constraints, and the polytope contains its own centroid.
+    #[test]
+    fn polytope_vertices_satisfy_constraints(
+        cuts in prop::collection::vec((prop::collection::vec(-1.0f64..1.0, 2), -0.5f64..0.5), 1..4),
+    ) {
+        let space = PreferenceSpace::transformed(3);
+        let mut constraints = space.boundary_constraints();
+        for (coeffs, rhs) in &cuts {
+            constraints.push(LinearConstraint::new(coeffs.clone(), Relation::LessEq, *rhs));
+        }
+        if let Some(poly) = Polytope::from_constraints(&constraints, 2) {
+            for v in poly.vertices() {
+                prop_assert!(poly.contains(v, 1e-6));
+            }
+            if poly.vertices().len() >= 3 {
+                prop_assert!(poly.contains(&poly.centroid(), 1e-6));
+            }
+        }
+    }
+
+    // ---------------- spatial substrate ----------------
+
+    /// BBS skyline equals the naive skyline on random datasets.
+    #[test]
+    fn bbs_skyline_matches_naive(raw in dataset_strategy(3, 60)) {
+        let records = Record::from_raw(raw);
+        let tree = AggregateRTree::bulk_load(records.clone(), 8);
+        let mut bbs = kspr_repro::spatial::bbs_skyline(&tree);
+        let mut naive_sl = naive_skyline(&records);
+        bbs.sort_unstable();
+        naive_sl.sort_unstable();
+        prop_assert_eq!(bbs, naive_sl);
+    }
+
+    /// The k-skyband is monotone in k and every member has fewer than k
+    /// dominators.
+    #[test]
+    fn k_skyband_is_monotone_and_correct(raw in dataset_strategy(3, 60), k in 1usize..6) {
+        let records = Record::from_raw(raw);
+        let band_k = k_skyband(&records, k);
+        let band_k1 = k_skyband(&records, k + 1);
+        prop_assert!(band_k.len() <= band_k1.len());
+        for &id in &band_k {
+            let dominators = records
+                .iter()
+                .filter(|o| dominates(&o.values, &records[id].values))
+                .count();
+            prop_assert!(dominators < k);
+        }
+    }
+
+    /// Every record is contained in the MBR of the R-tree leaf that stores it,
+    /// and subtree counts add up.
+    #[test]
+    fn rtree_structure_invariants(raw in dataset_strategy(4, 80)) {
+        let records = Record::from_raw(raw);
+        let n = records.len();
+        let tree = AggregateRTree::bulk_load(records, 6);
+        prop_assert_eq!(tree.node_no_io(tree.root()).count, n);
+        let mut total = 0;
+        for idx in 0..tree.num_nodes() {
+            let node = tree.node_no_io(idx);
+            if let kspr_repro::spatial::NodeEntries::Leaf(ids) = &node.entries {
+                total += ids.len();
+                for &id in ids {
+                    prop_assert!(node.mbr.contains(&tree.record(id).values));
+                }
+            }
+        }
+        prop_assert_eq!(total, n);
+    }
+
+    // ---------------- end-to-end ----------------
+
+    /// LP-CTA agrees with the brute-force top-k test on random small inputs.
+    #[test]
+    fn lpcta_matches_oracle_on_random_inputs(
+        raw in dataset_strategy(3, 40),
+        focal in record_strategy(3),
+        k in 1usize..6,
+    ) {
+        let dataset = Dataset::new(raw.clone());
+        let result = kspr_repro::kspr::run(
+            Algorithm::LpCta,
+            &dataset,
+            &focal,
+            k,
+            &KsprConfig::default(),
+        );
+        let agreement = naive::classification_agreement(&result, &raw, &focal, k, 60, 99);
+        prop_assert!(agreement > 0.97, "agreement {agreement}");
+    }
+
+    /// P-CTA and LP-CTA always classify sampled preferences identically.
+    #[test]
+    fn pcta_and_lpcta_are_equivalent(
+        raw in dataset_strategy(3, 40),
+        focal in record_strategy(3),
+        k in 1usize..6,
+    ) {
+        let dataset = Dataset::new(raw);
+        let config = KsprConfig::default();
+        let a = kspr_repro::kspr::run(Algorithm::Pcta, &dataset, &focal, k, &config);
+        let b = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, k, &config);
+        for w in naive::sample_weights(&a.space, 40, 123) {
+            prop_assert_eq!(a.contains(&w), b.contains(&w));
+        }
+    }
+}
