@@ -1,0 +1,40 @@
+//! Criterion bench (beyond the paper): batched query serving.
+//!
+//! Compares a sequential per-query loop against `QueryEngine::run_batch`,
+//! which runs the same focal set with parallel workers and shared
+//! preprocessing.  On a single-core machine the two are expected to be close
+//! (batch mode still saves the shared k-skyband / dominance-graph work); with
+//! four or more cores the batch side should win by well over 1.5×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, KsprConfig, QueryEngine};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch_throughput");
+    group.sample_size(10);
+    let k = 5usize;
+    for queries in [4usize, 16] {
+        let w = Workload::synthetic(Distribution::Independent, 800, 4, k, 33);
+        let focals = w.focals(queries);
+        let config = KsprConfig::default();
+        let engine = QueryEngine::new(&w.dataset, config.clone());
+        group.throughput(Throughput::Elements(focals.len() as u64));
+        group.bench_with_input(BenchmarkId::new("sequential", queries), &queries, |b, _| {
+            b.iter(|| {
+                focals
+                    .iter()
+                    .map(|f| engine.run(Algorithm::LpCta, f, k))
+                    .collect::<Vec<_>>()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("run_batch", queries), &queries, |b, _| {
+            b.iter(|| engine.run_batch(Algorithm::LpCta, &focals, k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -19,11 +19,9 @@ fn bench_fig10a(c: &mut Criterion) {
         let focal = w.focals(1).remove(0);
         let config = KsprConfig::default();
         for alg in [Algorithm::LpCta, Algorithm::Rtopk] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), k),
-                &k,
-                |b, &k| b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config)),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), k), &k, |b, &k| {
+                b.iter(|| kspr::run(alg, &w.dataset, &focal, k, &config))
+            });
         }
     }
     group.finish();

@@ -14,18 +14,12 @@ fn bench_original_space(c: &mut Criterion) {
     let focal = w.focals(1).remove(0);
     let transformed = KsprConfig::default();
     let original = KsprConfig::original_space();
-    for (label, config) in [
-        ("P-CTA", &transformed),
-        ("OP-CTA", &original),
-    ] {
+    for (label, config) in [("P-CTA", &transformed), ("OP-CTA", &original)] {
         group.bench_with_input(BenchmarkId::new("pcta", label), &label, |b, _| {
             b.iter(|| kspr::run(Algorithm::Pcta, &w.dataset, &focal, k, config))
         });
     }
-    for (label, config) in [
-        ("LP-CTA", &transformed),
-        ("OLP-CTA", &original),
-    ] {
+    for (label, config) in [("LP-CTA", &transformed), ("OLP-CTA", &original)] {
         group.bench_with_input(BenchmarkId::new("lpcta", label), &label, |b, _| {
             b.iter(|| kspr::run(Algorithm::LpCta, &w.dataset, &focal, k, config))
         });

@@ -8,7 +8,8 @@
 //!
 //! * `<experiment>` is one of `fig9`, `fig10a`, `fig10b`, `fig11`, `fig12`,
 //!   `fig13`, `fig14`, `fig15`, `fig16`, `fig17`, `fig18`, `fig19`, `fig20`,
-//!   `fig22`, `fig23`, `fig24`, or `all`.
+//!   `fig22`, `fig23`, `fig24`, `batch` (beyond-the-paper: sequential loop
+//!   vs `QueryEngine::run_batch`), or `all`.
 //! * `[scale]` is `quick` (default) or `full`; the parameter values for each
 //!   scale are documented in `EXPERIMENTS.md`.
 //!
@@ -17,7 +18,7 @@
 //! the output can be compared shape-for-shape with the published plots.
 
 use kspr::{Algorithm, BoundMode, Dataset, KsprConfig, PreferenceSpace};
-use kspr_bench::{fmt_secs, measure, Scale, Workload};
+use kspr_bench::{fmt_secs, measure, measure_batch, Scale, Workload};
 use kspr_datagen::Distribution;
 use kspr_geometry::{ConstraintSystem, Hyperplane, Polytope, Sign};
 use kspr_spatial::{AggregateRTree, IoCostModel, Record};
@@ -53,10 +54,11 @@ fn run_experiment(which: &str, scale: Scale) {
         "fig22" => fig22(scale),
         "fig23" => fig23(scale),
         "fig24" => fig24(scale),
+        "batch" => batch(scale),
         "all" => {
             for e in [
                 "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-                "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24",
+                "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24", "batch",
             ] {
                 run_experiment(e, scale);
                 println!();
@@ -120,8 +122,11 @@ fn fig9(_scale: Scale) {
         "Figure 9 (Section 7.2), on surrogate NBA data",
     );
     let k = 3;
-    let league = kspr_datagen::nba_seasons(250, 7);
-    for (label, season) in [("2014-2015", &league.season1), ("2015-2016", &league.season2)] {
+    let league = kspr_datagen::nba_seasons(250, 42);
+    for (label, season) in [
+        ("2014-2015", &league.season1),
+        ("2015-2016", &league.season2),
+    ] {
         let focal = season[league.focal].clone();
         let competitors: Vec<Vec<f64>> = season
             .iter()
@@ -130,7 +135,13 @@ fn fig9(_scale: Scale) {
             .map(|(_, v)| v.clone())
             .collect();
         let dataset = Dataset::new(competitors);
-        let result = kspr::run(Algorithm::LpCta, &dataset, &focal, k, &KsprConfig::default());
+        let result = kspr::run(
+            Algorithm::LpCta,
+            &dataset,
+            &focal,
+            k,
+            &KsprConfig::default(),
+        );
         // Area-weighted centroid over (points weight, rebounds weight).
         let mut area = 0.0;
         let mut cx = 0.0;
@@ -144,7 +155,11 @@ fn fig9(_scale: Scale) {
                 cy += a * c[1];
             }
         }
-        let (cx, cy) = if area > 0.0 { (cx / area, cy / area) } else { (0.0, 0.0) };
+        let (cx, cy) = if area > 0.0 {
+            (cx / area, cy / area)
+        } else {
+            (0.0, 0.0)
+        };
         println!(
             "season {label}: regions={:>4}  impact={:>6.2}%  region-centre (w_points, w_rebounds) = ({:.2}, {:.2})",
             result.num_regions(),
@@ -163,7 +178,10 @@ fn fig9(_scale: Scale) {
 // ---------------------------------------------------------------------------
 
 fn fig10a(scale: Scale) {
-    header("LP-CTA vs RTOPK on 2-dimensional data, varying k", "Figure 10(a)");
+    header(
+        "LP-CTA vs RTOPK on 2-dimensional data, varying k",
+        "Figure 10(a)",
+    );
     let p = params(scale);
     println!("{:<6} {:>14} {:>14}", "k", "LP-CTA (s)", "RTOPK (s)");
     for &k in &p.k_values {
@@ -172,7 +190,12 @@ fn fig10a(scale: Scale) {
         let config = KsprConfig::default();
         let lp = measure(Algorithm::LpCta, &w.dataset, &focals, k, &config);
         let rt = measure(Algorithm::Rtopk, &w.dataset, &focals, k, &config);
-        println!("{:<6} {:>14} {:>14}", k, fmt_secs(lp.avg_time), fmt_secs(rt.avg_time));
+        println!(
+            "{:<6} {:>14} {:>14}",
+            k,
+            fmt_secs(lp.avg_time),
+            fmt_secs(rt.avg_time)
+        );
     }
     println!(
         "expected shape: both fast; RTOPK scans every non-dominated record, LP-CTA a small subset"
@@ -248,9 +271,7 @@ fn fig11(scale: Scale) {
             lpcta.avg_nodes
         );
     }
-    println!(
-        "expected shape: P-CTA/LP-CTA process far fewer records and nodes than CTA"
-    );
+    println!("expected shape: P-CTA/LP-CTA process far fewer records and nodes than CTA");
 }
 
 fn fig12(scale: Scale) {
@@ -321,12 +342,21 @@ fn fig14(scale: Scale) {
         "Figure 14",
     );
     let p = params(scale);
-    println!("{:<6} {:>6} {:>14} {:>14}", "dist", "k", "LP-CTA (s)", "result size");
+    println!(
+        "{:<6} {:>6} {:>14} {:>14}",
+        "dist", "k", "LP-CTA (s)", "result size"
+    );
     for dist in Distribution::all() {
         for &k in &p.k_values {
             let w = Workload::synthetic(dist, p.n_default, p.d_default, k, 16);
             let focals = w.focals(p.queries);
-            let m = measure(Algorithm::LpCta, &w.dataset, &focals, k, &KsprConfig::default());
+            let m = measure(
+                Algorithm::LpCta,
+                &w.dataset,
+                &focals,
+                k,
+                &KsprConfig::default(),
+            );
             println!(
                 "{:<6} {:>6} {:>14} {:>14.2}",
                 dist.label(),
@@ -340,7 +370,10 @@ fn fig14(scale: Scale) {
 }
 
 fn fig15(scale: Scale) {
-    header("P-CTA vs LP-CTA on the real-data surrogates, varying k", "Figure 15");
+    header(
+        "P-CTA vs LP-CTA on the real-data surrogates, varying k",
+        "Figure 15",
+    );
     let p = params(scale);
     let (hotel_n, house_n, nba_n) = match scale {
         Scale::Quick => (2_000, 1_500, 1_000),
@@ -418,7 +451,10 @@ fn fig16(scale: Scale) {
         Scale::Quick => vec![50, 100, 200],
         Scale::Full => vec![500, 1_000, 5_000, 10_000],
     };
-    println!("-- effect of the number of inserted hyperplanes m (d = {}) --", p.d_default);
+    println!(
+        "-- effect of the number of inserted hyperplanes m (d = {}) --",
+        p.d_default
+    );
     println!("{:<8} {:>16} {:>16}", "m", "LP test (s)", "qhull-style (s)");
     for &m in &m_values {
         let (t_lp, t_geom) = feasibility_comparison(m, p.d_default, cells, 31);
@@ -469,7 +505,10 @@ fn feasibility_comparison(m: usize, d: usize, cells: usize, seed: u64) -> (f64, 
 }
 
 fn fig17(scale: Scale) {
-    header("Effect of Lemma 2 (eliminating inconsequential halfspaces)", "Figure 17");
+    header(
+        "Effect of Lemma 2 (eliminating inconsequential halfspaces)",
+        "Figure 17",
+    );
     let p = params(scale);
     println!(
         "{:<8} {:>18} {:>18} {:>14} {:>14}",
@@ -482,7 +521,13 @@ fn fig17(scale: Scale) {
     for &k in &p.k_values {
         let w = Workload::synthetic(Distribution::Independent, p.n_default, p.d_default, k, 17);
         let focals = w.focals(p.queries);
-        let with = measure(Algorithm::LpCta, &w.dataset, &focals, k, &KsprConfig::default());
+        let with = measure(
+            Algorithm::LpCta,
+            &w.dataset,
+            &focals,
+            k,
+            &KsprConfig::default(),
+        );
         let without_cfg = KsprConfig {
             use_lemma2: false,
             ..KsprConfig::default()
@@ -503,7 +548,10 @@ fn fig17(scale: Scale) {
 }
 
 fn fig18(scale: Scale) {
-    header("Effectiveness of record / group / fast bounds in LP-CTA", "Figure 18");
+    header(
+        "Effectiveness of record / group / fast bounds in LP-CTA",
+        "Figure 18",
+    );
     let p = params(scale);
     println!(
         "{:<6} {:>16} {:>16} {:>16}",
@@ -586,7 +634,10 @@ fn fig18(scale: Scale) {
 // ---------------------------------------------------------------------------
 
 fn fig19(scale: Scale) {
-    header("Disk-based scenario: CPU time + simulated I/O time", "Figure 19 (Appendix A)");
+    header(
+        "Disk-based scenario: CPU time + simulated I/O time",
+        "Figure 19 (Appendix A)",
+    );
     let p = params(scale);
     let config_io = KsprConfig {
         io_model: Some(IoCostModel::default()),
@@ -616,7 +667,10 @@ fn fig19(scale: Scale) {
 }
 
 fn fig20(scale: Scale) {
-    header("P-CTA vs the k-skyband approach, varying k", "Figure 20 (Appendix B)");
+    header(
+        "P-CTA vs the k-skyband approach, varying k",
+        "Figure 20 (Appendix B)",
+    );
     let p = params(scale);
     println!(
         "{:<6} {:>14} {:>14} {:>14} {:>14}",
@@ -700,13 +754,60 @@ fn fig23(scale: Scale) {
     println!("expected shape: build time grows linearly with n and mildly with d");
 }
 
+fn batch(scale: Scale) {
+    header(
+        "Batched query serving: sequential loop vs QueryEngine::run_batch",
+        "beyond the paper — parallel workers + shared preprocessing (see EXPERIMENTS.md)",
+    );
+    let p = params(scale);
+    let queries = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 32,
+    };
+    println!(
+        "cores: {}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    println!(
+        "{:<10} {:>8} {:>16} {:>16} {:>10}",
+        "algorithm", "queries", "sequential (s)", "batch (s)", "speedup"
+    );
+    let w = Workload::synthetic(
+        Distribution::Independent,
+        p.n_default,
+        p.d_default,
+        p.k_default,
+        33,
+    );
+    let focals = w.focals(queries);
+    let config = KsprConfig::default();
+    for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+        let seq = measure(alg, &w.dataset, &focals, p.k_default, &config);
+        let batch = measure_batch(alg, &w.dataset, &focals, p.k_default, &config);
+        let seq_total = seq.avg_time.as_secs_f64() * focals.len() as f64;
+        let batch_total = batch.avg_time.as_secs_f64() * focals.len() as f64;
+        println!(
+            "{:<10} {:>8} {:>16.4} {:>16.4} {:>9.2}x",
+            alg.label(),
+            focals.len(),
+            seq_total,
+            batch_total,
+            seq_total / batch_total.max(1e-12),
+        );
+    }
+    println!("expected shape: speedup approaches the core count for CPU-bound workloads");
+}
+
 fn fig24(scale: Scale) {
     header(
         "Amortized response time (index construction amortized over the query workload)",
         "Figure 24 (Appendix D)",
     );
     let p = params(scale);
-    println!("{:<8} {:>14} {:>20}", "n", "LP-CTA (s)", "LP-CTA+amortized (s)");
+    println!(
+        "{:<8} {:>14} {:>20}",
+        "n", "LP-CTA (s)", "LP-CTA+amortized (s)"
+    );
     for &n in &p.n_values {
         let raw = kspr_datagen::generate(Distribution::Independent, n, p.d_default, 28);
         let t = Instant::now();

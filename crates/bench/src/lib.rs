@@ -30,7 +30,7 @@
 //! in some top-`k`), which concentrates measurement on the non-trivial
 //! queries.  This substitution is documented in `EXPERIMENTS.md`.
 
-use kspr::{Algorithm, Dataset, KsprConfig, KsprResult};
+use kspr::{Algorithm, Dataset, KsprConfig, KsprResult, QueryEngine};
 use kspr_datagen::Distribution;
 use kspr_spatial::{k_skyband, Record};
 use std::time::{Duration, Instant};
@@ -166,7 +166,8 @@ pub struct Measurement {
     pub queries: usize,
 }
 
-/// Runs `algorithm` for every focal record and averages the results.
+/// Runs `algorithm` for every focal record (sequentially, through one shared
+/// [`QueryEngine`]) and averages the results.
 pub fn measure(
     algorithm: Algorithm,
     dataset: &Dataset,
@@ -174,17 +175,49 @@ pub fn measure(
     k: usize,
     config: &KsprConfig,
 ) -> Measurement {
+    let engine = QueryEngine::new(dataset, config.clone());
     let mut total_time = Duration::ZERO;
+    let mut results = Vec::with_capacity(focals.len());
+    for focal in focals {
+        let start = Instant::now();
+        let result = engine.run(algorithm, focal, k);
+        total_time += start.elapsed();
+        results.push(result);
+    }
+    summarize(algorithm, total_time, &results, focals.len())
+}
+
+/// Runs `algorithm` for every focal record through
+/// [`QueryEngine::run_batch`] (parallel workers + shared preprocessing) and
+/// averages the results.  `avg_time` is the *batch wall-clock divided by the
+/// number of queries*, i.e. the effective per-query latency of batch mode.
+pub fn measure_batch(
+    algorithm: Algorithm,
+    dataset: &Dataset,
+    focals: &[Vec<f64>],
+    k: usize,
+    config: &KsprConfig,
+) -> Measurement {
+    let engine = QueryEngine::new(dataset, config.clone());
+    let start = Instant::now();
+    let results = engine.run_batch(algorithm, focals, k);
+    let total_time = start.elapsed();
+    summarize(algorithm, total_time, &results, focals.len())
+}
+
+fn summarize(
+    algorithm: Algorithm,
+    total_time: Duration,
+    results: &[KsprResult],
+    queries: usize,
+) -> Measurement {
     let mut processed = 0usize;
     let mut nodes = 0usize;
     let mut regions = 0usize;
     let mut io_ms = 0.0f64;
     let mut tests = 0usize;
     let mut constraints = 0usize;
-    for focal in focals {
-        let start = Instant::now();
-        let result = kspr::run(algorithm, dataset, focal, k, config);
-        total_time += start.elapsed();
+    for result in results {
         processed += result.stats.processed_records;
         nodes += result.stats.celltree_nodes;
         regions += result.num_regions();
@@ -192,7 +225,7 @@ pub fn measure(
         tests += result.stats.feasibility_tests;
         constraints += result.stats.lp_constraints;
     }
-    let q = focals.len().max(1);
+    let q = queries.max(1);
     Measurement {
         algorithm,
         avg_time: total_time / q as u32,
@@ -206,7 +239,7 @@ pub fn measure(
         } else {
             constraints as f64 / tests as f64
         },
-        queries: focals.len(),
+        queries,
     }
 }
 
@@ -290,6 +323,19 @@ mod tests {
         );
         assert_eq!(m.queries, focals.len());
         assert!(m.avg_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn measure_batch_agrees_with_sequential_measure() {
+        let w = Workload::synthetic(Distribution::Independent, 300, 3, 5, 2);
+        let focals = w.focals(3);
+        let config = KsprConfig::default();
+        let seq = measure(Algorithm::LpCta, &w.dataset, &focals, 5, &config);
+        let batch = measure_batch(Algorithm::LpCta, &w.dataset, &focals, 5, &config);
+        assert_eq!(seq.queries, batch.queries);
+        assert_eq!(seq.avg_regions, batch.avg_regions);
+        assert_eq!(seq.avg_processed, batch.avg_processed);
+        assert_eq!(seq.avg_nodes, batch.avg_nodes);
     }
 
     #[test]

@@ -1,20 +1,15 @@
-//! The kSPR algorithms: CTA (§4), P-CTA (§5), LP-CTA (§6) and the
-//! k-skyband baseline (Appendix B), plus a dispatcher over all methods.
+//! The kSPR algorithm catalogue and its classic free-function entry points.
+//!
+//! All CellTree-based methods (CTA, P-CTA, LP-CTA, k-skyband) are thin
+//! wrappers over the unified [`crate::engine::QueryEngine`], where the single
+//! shared traversal loop and the per-algorithm [`crate::engine::ExpansionPolicy`]
+//! strategies live.  The sweep-based baselines (RTOPK, iMaxRank) keep their
+//! self-contained drivers in [`crate::rtopk`] and [`crate::maxrank`].
 
-use crate::bounds::{rank_bounds, BoundDecision};
-use crate::celltree::CellTree;
 use crate::config::KsprConfig;
 use crate::dataset::Dataset;
-use crate::hyperplanes::HyperplaneStore;
-use crate::maxrank::run_imaxrank;
-use crate::prep::{prepare, FilteredQuery, Prepared};
-use crate::result::{KsprResult, Region};
-use crate::rtopk::run_rtopk;
-use crate::stats::QueryStats;
-use kspr_geometry::{PlaneKind, PreferenceSpace, Sign};
-use kspr_geometry::hyperplane::Hyperplane;
-use kspr_spatial::{bbs_skyline, k_skyband, skyline_excluding, DominanceGraph, RecordId};
-use std::collections::{HashMap, HashSet};
+use crate::engine::QueryEngine;
+use crate::result::KsprResult;
 
 /// Every method implemented by this crate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -60,367 +55,45 @@ pub fn run(
     k: usize,
     config: &KsprConfig,
 ) -> KsprResult {
-    match algorithm {
-        Algorithm::Cta => run_cta(dataset, focal, k, config),
-        Algorithm::Pcta => run_pcta(dataset, focal, k, config),
-        Algorithm::LpCta => run_lpcta(dataset, focal, k, config),
-        Algorithm::KSkyband => run_skyband(dataset, focal, k, config),
-        Algorithm::Rtopk => run_rtopk(dataset, focal, k, config),
-        Algorithm::IMaxRank => run_imaxrank(dataset, focal, k, config),
-    }
+    QueryEngine::new(dataset, config.clone()).run(algorithm, focal, k)
 }
 
-/// Shared per-query context for the CellTree-based algorithms.
-struct Engine<'a> {
-    filtered: &'a FilteredQuery,
-    focal: &'a [f64],
-    config: &'a KsprConfig,
-    space: PreferenceSpace,
-    store: HyperplaneStore,
-    tree: CellTree,
-    stats: QueryStats,
-    regions: Vec<Region>,
-    /// plane index per processed (filtered) record id.
-    plane_of: HashMap<RecordId, usize>,
-    processed: HashSet<RecordId>,
-    dominance: DominanceGraph,
-}
-
-impl<'a> Engine<'a> {
-    fn new(
-        filtered: &'a FilteredQuery,
-        focal: &'a [f64],
-        config: &'a KsprConfig,
-        stats: QueryStats,
-    ) -> Self {
-        let dim = focal.len();
-        let space = PreferenceSpace::new(dim, config.space);
-        let store = HyperplaneStore::new(space, focal.to_vec());
-        let tree = CellTree::new(
-            space,
-            filtered.k_effective,
-            config.use_lemma2,
-            config.use_witness,
-        );
-        Self {
-            filtered,
-            focal,
-            config,
-            space,
-            store,
-            tree,
-            stats,
-            regions: Vec::new(),
-            plane_of: HashMap::new(),
-            processed: HashSet::new(),
-            dominance: DominanceGraph::new(),
-        }
-    }
-
-    /// Inserts one record's hyperplane into the CellTree (using the dominance
-    /// graph shortcut when `use_dominance` is set).
-    fn process_record(&mut self, id: RecordId, use_dominance: bool) {
-        if self.processed.contains(&id) {
-            return;
-        }
-        let values = self.filtered.records[id].values.clone();
-        let plane_probe = Hyperplane::separating(&values, self.focal, &self.space);
-        self.processed.insert(id);
-        self.stats.processed_records += 1;
-        match plane_probe.kind() {
-            PlaneKind::Coincident => return, // ties are ignored (Section 3.1)
-            PlaneKind::AlwaysNegative => return, // can never outrank the focal record
-            PlaneKind::AlwaysPositive | PlaneKind::Proper => {}
-        }
-        let plane = self.store.add(id, &values);
-        self.plane_of.insert(id, plane);
-        let dominator_planes: HashSet<usize> = if use_dominance {
-            self.dominance.insert(id, &values);
-            self.dominance
-                .dominators_of(id)
-                .iter()
-                .filter_map(|d| self.plane_of.get(d))
-                .copied()
-                .collect()
-        } else {
-            HashSet::new()
-        };
-        self.tree
-            .insert(&self.store, plane, &dominator_planes, &mut self.stats);
-    }
-
-    /// Wraps a live leaf into a result region (rank is reported with respect
-    /// to the *full* dataset, i.e. including the dominators removed by
-    /// preprocessing).
-    fn region_of(&self, leaf: usize) -> Region {
-        let rank = self.tree.rank(leaf) + self.filtered.dominators;
-        let halves = self.tree.path_halfspaces(leaf);
-        Region::new(rank, self.store.materialize(&halves))
-    }
-
-    /// Reports a leaf: adds it to the result and removes it from play.
-    fn report_leaf(&mut self, leaf: usize) {
-        self.regions.push(self.region_of(leaf));
-        self.tree.report(leaf);
-    }
-
-    /// Collects every remaining promising leaf into the result (used when the
-    /// algorithm terminates with the arrangement fully built).
-    fn collect_remaining(&mut self) {
-        for leaf in self.tree.promising_leaves() {
-            self.regions.push(self.region_of(leaf));
-            self.tree.report(leaf);
-        }
-    }
-
-    /// Finishes the query: packaging, finalization, I/O accounting.
-    fn finish(mut self) -> KsprResult {
-        self.stats.io_reads = self.filtered.tree.io().reads();
-        if let Some(model) = &self.config.io_model {
-            self.stats.io_time_ms = model.io_time_ms(self.stats.io_reads);
-        }
-        self.stats.result_regions = self.regions.len();
-        self.stats.celltree_nodes = self.tree.num_nodes();
-        let mut result = KsprResult {
-            space: self.space,
-            regions: self.regions,
-            stats: self.stats,
-        };
-        if self.config.finalize {
-            result.finalize();
-        }
-        result
-    }
-}
-
-/// Handles the degenerate outcomes of preprocessing; returns the filtered
-/// query in the general case.
-enum PrepOutcome {
-    Done(KsprResult),
-    Go(FilteredQuery, QueryStats),
-}
-
-fn preprocess(
+/// Runs `algorithm` for every focal record in parallel, with shared
+/// preprocessing — the free-function form of
+/// [`QueryEngine::run_batch`](crate::engine::QueryEngine::run_batch).
+///
+/// Results are returned in input order and are identical to calling [`run`]
+/// once per focal record.
+pub fn run_batch(
+    algorithm: Algorithm,
     dataset: &Dataset,
-    focal: &[f64],
+    focals: &[Vec<f64>],
     k: usize,
     config: &KsprConfig,
-) -> PrepOutcome {
-    let mut stats = QueryStats::new();
-    let space = PreferenceSpace::new(focal.len(), config.space);
-    match prepare(
-        dataset.records(),
-        focal,
-        k,
-        config.rtree_fanout,
-        &mut stats,
-    ) {
-        Prepared::Empty { .. } => PrepOutcome::Done(KsprResult::empty(space, stats)),
-        Prepared::WholeSpace { dominators } => {
-            let mut result = KsprResult::whole_space(space, dominators + 1, stats);
-            if config.finalize {
-                result.finalize();
-            }
-            PrepOutcome::Done(result)
-        }
-        Prepared::Filtered(f) => PrepOutcome::Go(f, stats),
-    }
+) -> Vec<KsprResult> {
+    QueryEngine::new(dataset, config.clone()).run_batch(algorithm, focals, k)
 }
 
 /// CTA — Algorithm 1 of the paper: insert every record's hyperplane into the
 /// CellTree (in dataset order) and report the surviving cells.
 pub fn run_cta(dataset: &Dataset, focal: &[f64], k: usize, config: &KsprConfig) -> KsprResult {
-    let (filtered, stats) = match preprocess(dataset, focal, k, config) {
-        PrepOutcome::Done(r) => return r,
-        PrepOutcome::Go(f, stats) => (f, stats),
-    };
-    let mut engine = Engine::new(&filtered, focal, config, stats);
-    for id in 0..filtered.records.len() {
-        engine.process_record(id, false);
-        if engine.tree.is_exhausted() {
-            break;
-        }
-    }
-    if !engine.tree.is_exhausted() {
-        engine.collect_remaining();
-    }
-    engine.finish()
+    run(Algorithm::Cta, dataset, focal, k, config)
 }
 
 /// k-skyband baseline (Appendix B): run CTA restricted to the k-skyband of
 /// the competitor set — by Lemma 6 no other record can affect the result.
 pub fn run_skyband(dataset: &Dataset, focal: &[f64], k: usize, config: &KsprConfig) -> KsprResult {
-    let (filtered, stats) = match preprocess(dataset, focal, k, config) {
-        PrepOutcome::Done(r) => return r,
-        PrepOutcome::Go(f, stats) => (f, stats),
-    };
-    let band = k_skyband(&filtered.records, filtered.k_effective);
-    let mut engine = Engine::new(&filtered, focal, config, stats);
-    for id in band {
-        engine.process_record(id, false);
-        if engine.tree.is_exhausted() {
-            break;
-        }
-    }
-    if !engine.tree.is_exhausted() {
-        engine.collect_remaining();
-    }
-    engine.finish()
+    run(Algorithm::KSkyband, dataset, focal, k, config)
 }
 
 /// P-CTA — Algorithm 2 of the paper.
 pub fn run_pcta(dataset: &Dataset, focal: &[f64], k: usize, config: &KsprConfig) -> KsprResult {
-    run_progressive(dataset, focal, k, config, false)
+    run(Algorithm::Pcta, dataset, focal, k, config)
 }
 
 /// LP-CTA — Algorithm 3 of the paper (P-CTA plus look-ahead rank bounds).
 pub fn run_lpcta(dataset: &Dataset, focal: &[f64], k: usize, config: &KsprConfig) -> KsprResult {
-    run_progressive(dataset, focal, k, config, true)
-}
-
-fn run_progressive(
-    dataset: &Dataset,
-    focal: &[f64],
-    k: usize,
-    config: &KsprConfig,
-    use_bounds: bool,
-) -> KsprResult {
-    let (filtered, stats) = match preprocess(dataset, focal, k, config) {
-        PrepOutcome::Done(r) => return r,
-        PrepOutcome::Go(f, stats) => (f, stats),
-    };
-    let k_eff = filtered.k_effective;
-    let data_tree = &filtered.tree;
-    let mut engine = Engine::new(&filtered, focal, config, stats);
-
-    // First batch: the skyline of the competitor set (Invariant 1).
-    let mut batch: Vec<RecordId> = bbs_skyline(data_tree);
-
-    loop {
-        engine.stats.batches += 1;
-        for &id in &batch {
-            engine.process_record(id, true);
-        }
-        if engine.tree.is_exhausted() {
-            break;
-        }
-
-        // LP-CTA look-ahead: bound the rank of every not-yet-checked
-        // promising cell, pruning or reporting it outright when possible.
-        if use_bounds {
-            for leaf in engine.tree.promising_leaves() {
-                if engine.tree.node(leaf).bounds_checked {
-                    continue;
-                }
-                let sys = engine.tree.cell_system(leaf, &engine.store);
-                let (_, decision) = rank_bounds(
-                    &sys,
-                    focal,
-                    data_tree,
-                    &filtered.records,
-                    k_eff,
-                    config.bound_mode,
-                    &mut engine.stats,
-                );
-                match decision {
-                    BoundDecision::Prune => {
-                        engine.tree.eliminate(leaf);
-                        engine.stats.cells_pruned_by_bounds += 1;
-                    }
-                    BoundDecision::Report => {
-                        engine.report_leaf(leaf);
-                        engine.stats.cells_reported_by_bounds += 1;
-                    }
-                    BoundDecision::Undecided => engine.tree.mark_bounds_checked(leaf),
-                }
-            }
-            if engine.tree.is_exhausted() {
-                break;
-            }
-        }
-
-        let promising = engine.tree.promising_leaves();
-        if promising.is_empty() {
-            break;
-        }
-
-        // Pivot-based reporting (Lemma 5) and collection of the non-pivot
-        // union that drives the next skyline recomputation.
-        let mut non_pivot_union: HashSet<RecordId> = HashSet::new();
-        let mut unreported = Vec::new();
-        for leaf in promising {
-            let full = engine.tree.full_halfspaces(leaf);
-            let mut pivots: Vec<RecordId> = Vec::new();
-            let mut non_pivots: Vec<RecordId> = Vec::new();
-            for h in &full {
-                let source = engine.store.source(h.plane);
-                match h.sign {
-                    Sign::Negative => pivots.push(source),
-                    Sign::Positive => non_pivots.push(source),
-                }
-            }
-            let pivot_values: Vec<&[f64]> = pivots
-                .iter()
-                .map(|&id| filtered.records[id].values.as_slice())
-                .collect();
-            let processed = &engine.processed;
-            let witness =
-                data_tree.find_not_dominated(&pivot_values, &|rid| processed.contains(&rid));
-            match witness {
-                None => {
-                    // No unprocessed record can affect this cell: report it.
-                    engine.report_leaf(leaf);
-                    engine.stats.cells_reported_by_pivots += 1;
-                }
-                Some(_) => {
-                    non_pivot_union.extend(non_pivots);
-                    unreported.push(leaf);
-                }
-            }
-        }
-        if unreported.is_empty() {
-            break;
-        }
-
-        // Next batch: unprocessed records in the skyline of D minus the
-        // non-pivot union (Section 5).
-        let skyline = skyline_excluding(data_tree, &non_pivot_union);
-        let mut next: Vec<RecordId> = skyline
-            .into_iter()
-            .filter(|id| !engine.processed.contains(id))
-            .collect();
-        if next.is_empty() {
-            // Safety net (should not trigger — see the argument in Section 5):
-            // process any witnesses that keep the remaining cells unreported.
-            for leaf in unreported {
-                let full = engine.tree.full_halfspaces(leaf);
-                let pivots: Vec<&[f64]> = full
-                    .iter()
-                    .filter(|h| h.sign == Sign::Negative)
-                    .map(|h| filtered.records[engine.store.source(h.plane)].values.as_slice())
-                    .collect();
-                let processed = &engine.processed;
-                if let Some(w) =
-                    data_tree.find_not_dominated(&pivots, &|rid| processed.contains(&rid))
-                {
-                    next.push(w);
-                }
-            }
-            next.sort_unstable();
-            next.dedup();
-            if next.is_empty() {
-                // Every record is processed; the remaining promising cells
-                // are final.
-                break;
-            }
-        }
-        batch = next;
-    }
-
-    if !engine.tree.is_exhausted() {
-        engine.collect_remaining();
-    }
-    engine.finish()
+    run(Algorithm::LpCta, dataset, focal, k, config)
 }
 
 #[cfg(test)]
@@ -450,12 +123,8 @@ mod tests {
         ] {
             for k in 1..=4 {
                 let result = run(alg, &dataset, &focal, k, &config);
-                let agreement =
-                    naive::classification_agreement(&result, &raw, &focal, k, 400, 7);
-                assert!(
-                    agreement > 0.995,
-                    "{alg:?} k={k}: agreement {agreement}"
-                );
+                let agreement = naive::classification_agreement(&result, &raw, &focal, k, 400, 7);
+                assert!(agreement > 0.995, "{alg:?} k={k}: agreement {agreement}");
             }
         }
     }
@@ -473,11 +142,7 @@ mod tests {
 
     #[test]
     fn empty_result_when_focal_is_dominated_k_times() {
-        let raw = vec![
-            vec![0.9, 0.9],
-            vec![0.8, 0.8],
-            vec![0.7, 0.7],
-        ];
+        let raw = vec![vec![0.9, 0.9], vec![0.8, 0.8], vec![0.7, 0.7]];
         let dataset = Dataset::new(raw);
         let focal = vec![0.5, 0.5];
         let result = run_lpcta(&dataset, &focal, 2, &KsprConfig::default());

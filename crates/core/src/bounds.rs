@@ -62,10 +62,7 @@ fn score_objective(space: Space, dim: usize, q: &[f64]) -> (Vec<f64>, f64) {
     match space {
         Space::Transformed => {
             let last = dim - 1;
-            (
-                (0..last).map(|i| q[i] - q[last]).collect(),
-                q[last],
-            )
+            ((0..last).map(|i| q[i] - q[last]).collect(), q[last])
         }
         Space::Original => (q.to_vec(), 0.0),
     }
@@ -371,7 +368,14 @@ fn process_record(state: &mut BoundState<'_>, values: &[f64], stats: &mut QueryS
             None => IntervalOutcome::AlwaysBelow,
         }
     } else {
-        match diff_interval(state.sys, state.space, state.dim, values, state.focal, stats) {
+        match diff_interval(
+            state.sys,
+            state.space,
+            state.dim,
+            values,
+            state.focal,
+            stats,
+        ) {
             Some((lo, hi)) => state.classify_diff(lo, hi),
             None => IntervalOutcome::AlwaysBelow,
         }
@@ -422,8 +426,20 @@ fn descend(
     // min-corner's score and the maximum of the max-corner's score (one LP
     // each), exactly as Section 6.2 prescribes.
     let outcome = if state.space == Space::Transformed {
-        let lo = score_min(state.sys, state.space, state.dim, node.mbr.lower_corner(), stats);
-        let hi = score_max(state.sys, state.space, state.dim, node.mbr.upper_corner(), stats);
+        let lo = score_min(
+            state.sys,
+            state.space,
+            state.dim,
+            node.mbr.lower_corner(),
+            stats,
+        );
+        let hi = score_max(
+            state.sys,
+            state.space,
+            state.dim,
+            node.mbr.upper_corner(),
+            stats,
+        );
         match (lo, hi) {
             (Some(lo), Some(hi)) => state.classify(lo, hi),
             _ => IntervalOutcome::AlwaysBelow,
@@ -493,7 +509,12 @@ mod tests {
         ];
         let records = Record::from_raw(raw);
         let tree = AggregateRTree::bulk_load(records.clone(), 4);
-        (records, tree, vec![5.0, 5.0, 7.0], PreferenceSpace::transformed(3))
+        (
+            records,
+            tree,
+            vec![5.0, 5.0, 7.0],
+            PreferenceSpace::transformed(3),
+        )
     }
 
     #[test]
@@ -506,7 +527,10 @@ mod tests {
             // Over the whole space Kyma's rank ranges between 1 and 4
             // (it can be beaten by at most 3 of the 4 restaurants at once,
             // and is the top record near the ambiance-heavy corner).
-            assert!(bounds.lower >= 1 && bounds.lower <= 2, "{mode:?}: {bounds:?}");
+            assert!(
+                bounds.lower >= 1 && bounds.lower <= 2,
+                "{mode:?}: {bounds:?}"
+            );
             assert!(bounds.upper >= 3, "{mode:?}: {bounds:?}");
             assert!(bounds.lower <= bounds.upper);
             assert!(stats.bound_lp_calls > 0);
@@ -525,8 +549,15 @@ mod tests {
             0.8,
         ));
         let mut stats = QueryStats::new();
-        let (bounds, decision) =
-            rank_bounds(&sys, &focal, &tree, &records, 1, BoundMode::Fast, &mut stats);
+        let (bounds, decision) = rank_bounds(
+            &sys,
+            &focal,
+            &tree,
+            &records,
+            1,
+            BoundMode::Fast,
+            &mut stats,
+        );
         // With k = 1 and at least two records always above, the cell is pruned.
         assert!(bounds.lower >= 2, "{bounds:?}");
         assert_eq!(decision, BoundDecision::Prune);
@@ -544,8 +575,15 @@ mod tests {
             0.05,
         ));
         let mut stats = QueryStats::new();
-        let (bounds, decision) =
-            rank_bounds(&sys, &focal, &tree, &records, 3, BoundMode::Fast, &mut stats);
+        let (bounds, decision) = rank_bounds(
+            &sys,
+            &focal,
+            &tree,
+            &records,
+            3,
+            BoundMode::Fast,
+            &mut stats,
+        );
         assert!(bounds.upper <= 3, "{bounds:?}");
         assert_eq!(decision, BoundDecision::Report);
     }
@@ -583,9 +621,25 @@ mod tests {
             0.05,
         ));
         let mut s_group = QueryStats::new();
-        rank_bounds(&sys, &focal, &tree, &records, 3, BoundMode::Group, &mut s_group);
+        rank_bounds(
+            &sys,
+            &focal,
+            &tree,
+            &records,
+            3,
+            BoundMode::Group,
+            &mut s_group,
+        );
         let mut s_record = QueryStats::new();
-        rank_bounds(&sys, &focal, &tree, &records, 3, BoundMode::Record, &mut s_record);
+        rank_bounds(
+            &sys,
+            &focal,
+            &tree,
+            &records,
+            3,
+            BoundMode::Record,
+            &mut s_record,
+        );
         // Record bounds need 2 LPs per record (plus the focal interval);
         // group/fast bounds should never need more than that on this tiny
         // dataset and typically need fewer.
@@ -605,8 +659,15 @@ mod tests {
         let space = PreferenceSpace::original(3);
         let sys = ConstraintSystem::new(space);
         let mut stats = QueryStats::new();
-        let (bounds, _) =
-            rank_bounds(&sys, &focal, &tree, &records, 2, BoundMode::Group, &mut stats);
+        let (bounds, _) = rank_bounds(
+            &sys,
+            &focal,
+            &tree,
+            &records,
+            2,
+            BoundMode::Group,
+            &mut stats,
+        );
         assert!(bounds.lower >= 1);
         assert!(bounds.upper <= 1 + records.len());
         assert!(bounds.lower <= bounds.upper);

@@ -333,7 +333,10 @@ impl CellTree {
         // this node to its negative halfspace, so the new record's negative
         // halfspace covers the node as well.
         let mut dominator_negative = dominator_negative
-            || self.halfspace_from_dominator(&self.nodes[idx].edge.into_iter().collect::<Vec<_>>(), dominator_planes)
+            || self.halfspace_from_dominator(
+                &self.nodes[idx].edge.into_iter().collect::<Vec<_>>(),
+                dominator_planes,
+            )
             || self.halfspace_from_dominator(&self.nodes[idx].cover, dominator_planes);
         if dominator_negative {
             self.nodes[idx].cover.push(Halfspace::negative(plane));
@@ -365,8 +368,15 @@ impl CellTree {
         let mut witness_positive: Option<Vec<f64>> = None;
 
         if case1_possible {
-            match self.feasibility_test(idx, store, plane, Sign::Negative, path_strict, cover_strict, stats)
-            {
+            match self.feasibility_test(
+                idx,
+                store,
+                plane,
+                Sign::Negative,
+                path_strict,
+                cover_strict,
+                stats,
+            ) {
                 None => {
                     // Case I: the node lies entirely inside h⁺.
                     self.nodes[idx].cover.push(Halfspace::positive(plane));
@@ -385,8 +395,15 @@ impl CellTree {
             }
         }
         if case2_possible {
-            match self.feasibility_test(idx, store, plane, Sign::Positive, path_strict, cover_strict, stats)
-            {
+            match self.feasibility_test(
+                idx,
+                store,
+                plane,
+                Sign::Positive,
+                path_strict,
+                cover_strict,
+                stats,
+            ) {
                 None => {
                     // Case II: the node lies entirely inside h⁻.
                     self.nodes[idx].cover.push(Halfspace::negative(plane));
@@ -418,7 +435,9 @@ impl CellTree {
                 self.nodes[pos_child].eliminated = true;
             }
         } else {
-            let (l, r) = self.nodes[idx].children.expect("internal node has children");
+            let (l, r) = self.nodes[idx]
+                .children
+                .expect("internal node has children");
             // The dominance flag may become true deeper down; recompute per child.
             dominator_negative = false;
             let acc_here = acc_pos + self.nodes[idx].own_positives();
@@ -492,9 +511,8 @@ impl CellTree {
         stats: &mut QueryStats,
     ) -> Option<Vec<f64>> {
         let extra = store.plane(plane).constraint(sign, true);
-        let mut constraints = Vec::with_capacity(
-            self.boundary.len() + path_strict.len() + cover_strict.len() + 1,
-        );
+        let mut constraints =
+            Vec::with_capacity(self.boundary.len() + path_strict.len() + cover_strict.len() + 1);
         constraints.extend_from_slice(&self.boundary);
         constraints.extend_from_slice(path_strict);
         if !self.use_lemma2 {
@@ -503,7 +521,11 @@ impl CellTree {
         constraints.push(extra);
         stats.feasibility_tests += 1;
         stats.lp_constraints += path_strict.len()
-            + if self.use_lemma2 { 0 } else { cover_strict.len() }
+            + if self.use_lemma2 {
+                0
+            } else {
+                cover_strict.len()
+            }
             + 1;
         interior_point(&constraints, self.space.work_dim()).map(|s| s.point)
     }
@@ -570,8 +592,15 @@ mod tests {
             // The CellTree rank must equal the oracle rank at the witness (or
             // any interior point) of the leaf.
             let sys = tree.cell_system(leaf, &store);
-            let w = sys.interior_point().expect("promising leaf is non-empty").point;
-            assert_eq!(leaf_rank, rank_at(&records, &focal, &space, &w), "leaf {leaf}");
+            let w = sys
+                .interior_point()
+                .expect("promising leaf is non-empty")
+                .point;
+            assert_eq!(
+                leaf_rank,
+                rank_at(&records, &focal, &space, &w),
+                "leaf {leaf}"
+            );
         }
     }
 
@@ -589,16 +618,15 @@ mod tests {
                 let w = vec![a as f64 / 20.0, b as f64 / 20.0];
                 // Skip points (numerically) on a hyperplane: they belong to no
                 // open cell and the oracle's strict comparison is ambiguous.
-                let on_plane = (0..store.len()).any(|i| {
-                    store.plane(i).signed_distance(&w).abs() < 1e-6
-                });
+                let on_plane =
+                    (0..store.len()).any(|i| store.plane(i).signed_distance(&w).abs() < 1e-6);
                 if on_plane {
                     continue;
                 }
                 let oracle_in = rank_at(&records, &focal, &space, &w) <= k;
-                let in_some_leaf = leaves.iter().any(|&leaf| {
-                    tree.cell_system(leaf, &store).contains(&w, 1e-9)
-                });
+                let in_some_leaf = leaves
+                    .iter()
+                    .any(|&leaf| tree.cell_system(leaf, &store).contains(&w, 1e-9));
                 assert_eq!(oracle_in, in_some_leaf, "w = {w:?}");
             }
         }
@@ -644,8 +672,11 @@ mod tests {
             }
             // Signature: sorted ranks of promising leaves plus classification
             // of a probe grid.
-            let mut ranks: Vec<usize> =
-                tree.promising_leaves().iter().map(|&l| tree.rank(l)).collect();
+            let mut ranks: Vec<usize> = tree
+                .promising_leaves()
+                .iter()
+                .map(|&l| tree.rank(l))
+                .collect();
             ranks.sort_unstable();
             let mut grid = Vec::new();
             for a in 1..10 {

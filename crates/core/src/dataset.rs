@@ -1,15 +1,20 @@
 //! The indexed dataset a kSPR query runs against.
 
 use kspr_spatial::{AggregateRTree, Record};
+use std::sync::Arc;
 
 /// A dataset of options, indexed by an aggregate R-tree.
 ///
 /// Attribute values follow the paper's convention: every attribute is
 /// "larger is better".  The generators in `kspr-datagen` produce values in
 /// `(0, 1)`, but any non-negative range works.
+///
+/// The index is reference-counted so that the query engine can share it with
+/// per-query state (and across the worker threads of
+/// [`crate::engine::QueryEngine::run_batch`]) without copying it.
 #[derive(Debug, Clone)]
 pub struct Dataset {
-    tree: AggregateRTree,
+    tree: Arc<AggregateRTree>,
 }
 
 impl Dataset {
@@ -26,13 +31,21 @@ impl Dataset {
     pub fn with_fanout(raw: Vec<Vec<f64>>, fanout: usize) -> Self {
         let records = Record::from_raw(raw);
         Self {
-            tree: AggregateRTree::bulk_load(records, fanout),
+            tree: Arc::new(AggregateRTree::bulk_load(records, fanout)),
         }
     }
 
     /// Wraps an already-built index.
     pub fn from_tree(tree: AggregateRTree) -> Self {
-        Self { tree }
+        Self {
+            tree: Arc::new(tree),
+        }
+    }
+
+    /// A shared handle to the index (used by the query engine to reuse the
+    /// dataset R-tree instead of rebuilding a query-local copy).
+    pub fn shared_index(&self) -> Arc<AggregateRTree> {
+        Arc::clone(&self.tree)
     }
 
     /// Number of records.

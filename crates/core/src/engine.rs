@@ -1,0 +1,899 @@
+//! The unified kSPR query engine.
+//!
+//! Every CellTree-based kSPR method of the paper — CTA (§4), P-CTA (§5),
+//! LP-CTA (§6) and the k-skyband baseline (Appendix B) — runs the *same*
+//! traversal loop:
+//!
+//! 1. preprocess the dataset against the focal record (Section 3.1),
+//! 2. insert batches of record hyperplanes into the [`CellTree`],
+//! 3. optionally prune / report cells early with look-ahead rank bounds,
+//! 4. optionally report cells with the pivot test of Lemma 5 and derive the
+//!    next batch from a constrained skyline,
+//! 5. collect the surviving promising cells into the result.
+//!
+//! What distinguishes the methods is only *which records are expanded, in
+//! what order, and which of the optional stages run* — exactly the knobs the
+//! [`ExpansionPolicy`] trait exposes.  [`QueryEngine`] owns the shared loop;
+//! the policies ([`CtaPolicy`], [`SkybandPolicy`], [`ProgressivePolicy`]) are
+//! small, stateless strategy objects.  Earlier revisions of this crate kept
+//! three copies of the traversal in `algorithms.rs`; they now all route
+//! through this module.
+//!
+//! # Batched execution
+//!
+//! [`QueryEngine::run_batch`] answers many focal-record queries over the same
+//! dataset and `k` in parallel (one worker per core, via `rayon`), sharing
+//! the preprocessing work that does not depend on the focal record:
+//!
+//! * **R-tree reuse** — the dataset index is reference-counted and shared
+//!   with every worker; additionally, queries whose Section-3.1 filter
+//!   removes no record reuse it outright instead of bulk-loading a
+//!   query-local copy (see [`crate::prep::prepare_with_index`]).
+//! * **Skyband filter** — the dataset-level k-skyband is computed once; the
+//!   per-query band of [`SkybandPolicy`] is provably contained in it, so the
+//!   per-query computation only scans the precomputed candidates.
+//! * **Dominance graph** — the dominator lists of all skyband members are
+//!   computed once; per-query traversals translate them through the
+//!   preprocessing id mapping instead of re-deriving them pairwise.
+//!
+//! All three shortcuts are result-preserving: `run_batch` returns exactly
+//! what [`QueryEngine::run`] returns for each focal record individually
+//! (`tests/batch_consistency.rs` in the umbrella crate asserts this).
+
+use crate::algorithms::Algorithm;
+use crate::bounds::{rank_bounds, BoundDecision};
+use crate::celltree::CellTree;
+use crate::config::KsprConfig;
+use crate::dataset::Dataset;
+use crate::hyperplanes::HyperplaneStore;
+use crate::maxrank::run_imaxrank;
+use crate::prep::{prepare_with_index, FilteredQuery, Prepared};
+use crate::result::{KsprResult, Region};
+use crate::rtopk::run_rtopk;
+use crate::stats::QueryStats;
+use kspr_geometry::hyperplane::Hyperplane;
+use kspr_geometry::{PlaneKind, PreferenceSpace, Sign};
+use kspr_spatial::{
+    bbs_skyline, dominates, k_skyband, k_skyband_restricted, skyline_excluding, DominanceGraph,
+    RecordId,
+};
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+// ---------------------------------------------------------------------------
+// Expansion policies
+// ---------------------------------------------------------------------------
+
+/// A prepared (focal-filtered) query, handed to policies when they decide
+/// which records to expand.
+pub struct PreparedQuery<'a> {
+    /// The filtered competitor set (Section 3.1 preprocessing output).
+    pub filtered: &'a FilteredQuery,
+    /// Batch-shared preprocessing, when running under
+    /// [`QueryEngine::run_batch`].
+    pub shared: Option<&'a SharedPrep>,
+    /// The original (pre-preprocessing) rank threshold `k`.
+    pub k: usize,
+}
+
+/// The strategy axis along which CTA, P-CTA, LP-CTA and the k-skyband
+/// baseline differ: which records are expanded into the CellTree, in what
+/// order, and which optional pruning stages run between batches.
+///
+/// Implementations must be stateless (`&self` methods only) so a single
+/// policy value can serve many concurrent queries in batch mode.
+pub trait ExpansionPolicy: Sync {
+    /// The algorithm this policy implements.
+    fn algorithm(&self) -> Algorithm;
+
+    /// The first batch of (filtered) record ids to expand.
+    fn initial_batch(&self, query: &PreparedQuery<'_>) -> Vec<RecordId>;
+
+    /// Use the dominance-graph insertion shortcut of Lemma 4/5?
+    fn use_dominance(&self) -> bool {
+        false
+    }
+
+    /// Run the look-ahead rank-bound stage (Section 6) after each batch?
+    fn use_rank_bounds(&self) -> bool {
+        false
+    }
+
+    /// Run the pivot-based reporting of Lemma 5 between batches and keep
+    /// expanding constrained skylines until every cell is decided?
+    fn progressive(&self) -> bool {
+        false
+    }
+
+    /// Can this policy exploit batch-shared preprocessing?  When it cannot
+    /// (e.g. plain CTA expands everything in dataset order and never consults
+    /// the skyband or the dominance graph), [`QueryEngine::run_batch`] skips
+    /// computing [`SharedPrep`] altogether.
+    fn uses_shared_prep(&self) -> bool {
+        self.use_dominance()
+    }
+}
+
+/// CTA (Algorithm 1): expand every competitor in dataset order, one batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CtaPolicy;
+
+impl ExpansionPolicy for CtaPolicy {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::Cta
+    }
+
+    fn initial_batch(&self, query: &PreparedQuery<'_>) -> Vec<RecordId> {
+        (0..query.filtered.records.len()).collect()
+    }
+}
+
+/// The k-skyband baseline (Appendix B): CTA restricted to the k-skyband of
+/// the competitor set — by Lemma 6 no other record can affect the result.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SkybandPolicy;
+
+impl ExpansionPolicy for SkybandPolicy {
+    fn algorithm(&self) -> Algorithm {
+        Algorithm::KSkyband
+    }
+
+    fn uses_shared_prep(&self) -> bool {
+        true
+    }
+
+    fn initial_batch(&self, query: &PreparedQuery<'_>) -> Vec<RecordId> {
+        let filtered = query.filtered;
+        match query.shared {
+            // Batch mode: only scan candidates inside the precomputed
+            // dataset-level band.  Membership argument: a filtered record
+            // with fewer than `k_effective` dominators among the filtered
+            // competitors has fewer than `k_effective + dominators(focal) =
+            // k` dominators in the full dataset (records the focal record
+            // dominates cannot dominate it, and ties are excluded), hence it
+            // belongs to the dataset-level k-skyband.
+            Some(shared) if shared.k() == query.k => {
+                k_skyband_restricted(&filtered.records, filtered.k_effective, |id| {
+                    shared.in_skyband(filtered.original_ids[id])
+                })
+            }
+            _ => k_skyband(&filtered.records, filtered.k_effective),
+        }
+    }
+}
+
+/// P-CTA (Algorithm 2) and LP-CTA (Algorithm 3): expand skyline batches,
+/// report cells through pivots, and — for LP-CTA — prune/report cells with
+/// look-ahead rank bounds first.
+#[derive(Debug, Clone, Copy)]
+pub struct ProgressivePolicy {
+    look_ahead: bool,
+}
+
+impl ProgressivePolicy {
+    /// The P-CTA configuration (no look-ahead bounds).
+    pub fn pcta() -> Self {
+        Self { look_ahead: false }
+    }
+
+    /// The LP-CTA configuration (with look-ahead bounds).
+    pub fn lpcta() -> Self {
+        Self { look_ahead: true }
+    }
+}
+
+impl ExpansionPolicy for ProgressivePolicy {
+    fn algorithm(&self) -> Algorithm {
+        if self.look_ahead {
+            Algorithm::LpCta
+        } else {
+            Algorithm::Pcta
+        }
+    }
+
+    fn initial_batch(&self, query: &PreparedQuery<'_>) -> Vec<RecordId> {
+        // Invariant 1: the first batch is the skyline of the competitor set.
+        bbs_skyline(&query.filtered.tree)
+    }
+
+    fn use_dominance(&self) -> bool {
+        true
+    }
+
+    fn use_rank_bounds(&self) -> bool {
+        self.look_ahead
+    }
+
+    fn progressive(&self) -> bool {
+        true
+    }
+}
+
+/// The policy implementing `algorithm`, for the CellTree-based methods
+/// (`None` for the sweep-based baselines RTOPK and iMaxRank, which do not
+/// use the CellTree traversal loop).
+pub fn policy_for(algorithm: Algorithm) -> Option<Box<dyn ExpansionPolicy>> {
+    match algorithm {
+        Algorithm::Cta => Some(Box::new(CtaPolicy)),
+        Algorithm::Pcta => Some(Box::new(ProgressivePolicy::pcta())),
+        Algorithm::LpCta => Some(Box::new(ProgressivePolicy::lpcta())),
+        Algorithm::KSkyband => Some(Box::new(SkybandPolicy)),
+        Algorithm::Rtopk | Algorithm::IMaxRank => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch-shared preprocessing
+// ---------------------------------------------------------------------------
+
+/// Focal-independent preprocessing shared by every query of a batch.
+///
+/// Built once per [`QueryEngine::run_batch`] call; all contents depend only
+/// on the dataset and `k`, never on a focal record, so sharing them cannot
+/// change any query's result.
+#[derive(Debug)]
+pub struct SharedPrep {
+    k: usize,
+    /// The dataset-level k-skyband (original ids, decreasing coordinate-sum
+    /// order as produced by [`k_skyband`]).
+    skyband: Vec<RecordId>,
+    skyband_set: HashSet<RecordId>,
+    /// Full dominance adjacency among skyband members, keyed by original id.
+    ///
+    /// Built by inserting members in skyband order (decreasing coordinate
+    /// sum).  A dominator always has a strictly larger coordinate sum than
+    /// the records it dominates and — for band members — is itself a band
+    /// member, so every member's complete dominator list is present.
+    dominance: DominanceGraph,
+}
+
+impl SharedPrep {
+    /// Computes the shared structures for queries with rank threshold `k`.
+    pub fn compute(dataset: &Dataset, k: usize) -> Self {
+        let skyband = k_skyband(dataset.records(), k);
+        let mut dominance = DominanceGraph::new();
+        for &id in &skyband {
+            dominance.insert(id, &dataset.records()[id].values);
+        }
+        let skyband_set = skyband.iter().copied().collect();
+        Self {
+            k,
+            skyband,
+            skyband_set,
+            dominance,
+        }
+    }
+
+    /// The `k` the structures were computed for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The dataset-level k-skyband (original ids).
+    pub fn skyband(&self) -> &[RecordId] {
+        &self.skyband
+    }
+
+    /// True iff the original id belongs to the dataset-level k-skyband.
+    pub fn in_skyband(&self, original_id: RecordId) -> bool {
+        self.skyband_set.contains(&original_id)
+    }
+
+    /// The precomputed dominators (original ids) of a skyband member, or
+    /// `None` when the record is not a band member.
+    pub fn dominators_of(&self, original_id: RecordId) -> Option<&[RecordId]> {
+        if self.dominance.contains(original_id) {
+            Some(self.dominance.dominators_of(original_id))
+        } else {
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The unified executor for kSPR queries over one dataset.
+///
+/// ```
+/// use kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
+///
+/// let dataset = Dataset::new(vec![
+///     vec![0.3, 0.8, 0.8],
+///     vec![0.9, 0.4, 0.4],
+///     vec![0.8, 0.3, 0.4],
+///     vec![0.4, 0.3, 0.6],
+/// ]);
+/// let engine = QueryEngine::new(&dataset, KsprConfig::default());
+///
+/// // One query ...
+/// let single = engine.run(Algorithm::LpCta, &[0.5, 0.5, 0.7], 3);
+///
+/// // ... or many at once, in parallel, with shared preprocessing.
+/// let focals = vec![vec![0.5, 0.5, 0.7], vec![0.6, 0.6, 0.5]];
+/// let batch = engine.run_batch(Algorithm::LpCta, &focals, 3);
+/// assert_eq!(batch[0].num_regions(), single.num_regions());
+/// ```
+pub struct QueryEngine<'a> {
+    dataset: &'a Dataset,
+    config: KsprConfig,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Creates an engine over `dataset` with the given configuration.
+    pub fn new(dataset: &'a Dataset, config: KsprConfig) -> Self {
+        Self { dataset, config }
+    }
+
+    /// The dataset this engine queries.
+    pub fn dataset(&self) -> &Dataset {
+        self.dataset
+    }
+
+    /// The configuration applied to every query.
+    pub fn config(&self) -> &KsprConfig {
+        &self.config
+    }
+
+    /// Runs one kSPR query.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, if the focal arity does not match the dataset, or
+    /// if [`Algorithm::Rtopk`] is requested on non-2-dimensional data.
+    pub fn run(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult {
+        self.run_shared(algorithm, focal, k, None)
+    }
+
+    /// Runs one kSPR query under an explicit expansion policy.
+    pub fn run_with_policy(
+        &self,
+        policy: &dyn ExpansionPolicy,
+        focal: &[f64],
+        k: usize,
+    ) -> KsprResult {
+        self.run_policy(policy, focal, k, None)
+    }
+
+    /// Runs the query for every focal record in parallel, sharing the
+    /// focal-independent preprocessing (dataset index, k-skyband, dominance
+    /// graph) across all of them.
+    ///
+    /// Results are returned in input order and are identical to calling
+    /// [`QueryEngine::run`] once per focal record.
+    pub fn run_batch(
+        &self,
+        algorithm: Algorithm,
+        focals: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<KsprResult> {
+        let shared = policy_for(algorithm)
+            .filter(|policy| policy.uses_shared_prep())
+            .map(|_| SharedPrep::compute(self.dataset, k));
+        focals
+            .par_iter()
+            .map(|focal| self.run_shared(algorithm, focal, k, shared.as_ref()))
+            .collect()
+    }
+
+    /// Runs the query for every focal record in parallel under an explicit
+    /// expansion policy (the policy analogue of [`QueryEngine::run_batch`]).
+    pub fn run_batch_with_policy(
+        &self,
+        policy: &(dyn ExpansionPolicy + Sync),
+        focals: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<KsprResult> {
+        let shared = policy
+            .uses_shared_prep()
+            .then(|| SharedPrep::compute(self.dataset, k));
+        focals
+            .par_iter()
+            .map(|focal| self.run_policy(policy, focal, k, shared.as_ref()))
+            .collect()
+    }
+
+    fn run_shared(
+        &self,
+        algorithm: Algorithm,
+        focal: &[f64],
+        k: usize,
+        shared: Option<&SharedPrep>,
+    ) -> KsprResult {
+        match policy_for(algorithm) {
+            Some(policy) => self.run_policy(policy.as_ref(), focal, k, shared),
+            // The sweep-based baselines have self-contained drivers.
+            None => match algorithm {
+                Algorithm::Rtopk => run_rtopk(self.dataset, focal, k, &self.config),
+                Algorithm::IMaxRank => run_imaxrank(self.dataset, focal, k, &self.config),
+                _ => unreachable!("policy_for covers all CellTree algorithms"),
+            },
+        }
+    }
+
+    /// The shared CellTree traversal loop (steps 2–5 of the module docs).
+    fn run_policy(
+        &self,
+        policy: &dyn ExpansionPolicy,
+        focal: &[f64],
+        k: usize,
+        shared: Option<&SharedPrep>,
+    ) -> KsprResult {
+        let mut stats = QueryStats::new();
+        let space = PreferenceSpace::new(focal.len(), self.config.space);
+
+        // Step 1: Section 3.1 preprocessing (with dataset-index reuse).
+        let filtered = match prepare_with_index(
+            self.dataset,
+            focal,
+            k,
+            self.config.rtree_fanout,
+            &mut stats,
+        ) {
+            Prepared::Empty { .. } => return KsprResult::empty(space, stats),
+            Prepared::WholeSpace { dominators } => {
+                let mut result = KsprResult::whole_space(space, dominators + 1, stats);
+                if self.config.finalize {
+                    result.finalize();
+                }
+                return result;
+            }
+            Prepared::Filtered(f) => f,
+        };
+
+        let query = PreparedQuery {
+            filtered: &filtered,
+            shared,
+            k,
+        };
+        let mut traversal = Traversal::new(&filtered, focal, &self.config, stats, shared);
+        let mut batch = policy.initial_batch(&query);
+
+        'expansion: loop {
+            // Step 2: expand the batch into the CellTree.
+            traversal.stats.batches += 1;
+            for &id in &batch {
+                traversal.process_record(id, policy.use_dominance());
+                if traversal.tree.is_exhausted() {
+                    break 'expansion;
+                }
+            }
+
+            // Step 3: look-ahead rank bounds (LP-CTA).
+            if policy.use_rank_bounds() {
+                traversal.apply_rank_bounds();
+                if traversal.tree.is_exhausted() {
+                    break;
+                }
+            }
+
+            // Step 4: pivot-based reporting and the next skyline batch.
+            if !policy.progressive() {
+                break;
+            }
+            match traversal.pivot_stage() {
+                Some(next) => batch = next,
+                None => break,
+            }
+        }
+
+        // Step 5: whatever survived is part of the result.
+        if !traversal.tree.is_exhausted() {
+            traversal.collect_remaining();
+        }
+        traversal.finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-query traversal state
+// ---------------------------------------------------------------------------
+
+/// Mutable per-query state of the shared traversal loop: the CellTree, the
+/// hyperplane store, the processed-record bookkeeping and the accumulated
+/// result regions.
+struct Traversal<'a> {
+    filtered: &'a FilteredQuery,
+    focal: &'a [f64],
+    config: &'a KsprConfig,
+    shared: Option<&'a SharedPrep>,
+    space: PreferenceSpace,
+    store: HyperplaneStore,
+    tree: CellTree,
+    stats: QueryStats,
+    regions: Vec<Region>,
+    /// plane index per processed (filtered) record id.
+    plane_of: HashMap<RecordId, usize>,
+    processed: HashSet<RecordId>,
+}
+
+impl<'a> Traversal<'a> {
+    fn new(
+        filtered: &'a FilteredQuery,
+        focal: &'a [f64],
+        config: &'a KsprConfig,
+        stats: QueryStats,
+        shared: Option<&'a SharedPrep>,
+    ) -> Self {
+        let dim = focal.len();
+        let space = PreferenceSpace::new(dim, config.space);
+        let store = HyperplaneStore::new(space, focal.to_vec());
+        let tree = CellTree::new(
+            space,
+            filtered.k_effective,
+            config.use_lemma2,
+            config.use_witness,
+        );
+        Self {
+            filtered,
+            focal,
+            config,
+            shared,
+            space,
+            store,
+            tree,
+            stats,
+            regions: Vec::new(),
+            plane_of: HashMap::new(),
+            processed: HashSet::new(),
+        }
+    }
+
+    /// Inserts one record's hyperplane into the CellTree (using the dominance
+    /// shortcut of Lemma 4/5 when `use_dominance` is set).
+    fn process_record(&mut self, id: RecordId, use_dominance: bool) {
+        if self.processed.contains(&id) {
+            return;
+        }
+        let values = self.filtered.records[id].values.clone();
+        let plane_probe = Hyperplane::separating(&values, self.focal, &self.space);
+        self.processed.insert(id);
+        self.stats.processed_records += 1;
+        match plane_probe.kind() {
+            PlaneKind::Coincident => return, // ties are ignored (Section 3.1)
+            PlaneKind::AlwaysNegative => return, // can never outrank the focal record
+            PlaneKind::AlwaysPositive | PlaneKind::Proper => {}
+        }
+        let plane = self.store.add(id, &values);
+        self.plane_of.insert(id, plane);
+        let dominator_planes = if use_dominance {
+            self.dominator_planes_of(id, &values)
+        } else {
+            HashSet::new()
+        };
+        self.tree
+            .insert(&self.store, plane, &dominator_planes, &mut self.stats);
+    }
+
+    /// The planes of the already-processed dominators of record `id` — the
+    /// "dominance graph" lookup backing the Lemma 4/5 insertion shortcut.
+    ///
+    /// In batch mode the dominator list of a skyband member comes from the
+    /// precomputed [`SharedPrep`] adjacency (translated through the
+    /// preprocessing id mapping); otherwise it is derived pairwise against
+    /// the processed records, which reproduces the incremental dominance
+    /// graph P-CTA maintains (Invariant 1 guarantees dominators are processed
+    /// before the records they dominate, so both derivations agree).
+    fn dominator_planes_of(&self, id: RecordId, values: &[f64]) -> HashSet<usize> {
+        if let Some(shared) = self.shared {
+            let original = self.filtered.original_ids[id];
+            if let Some(dominators) = shared.dominators_of(original) {
+                return dominators
+                    .iter()
+                    .filter_map(|&orig| self.filtered.filtered_id_of(orig))
+                    .filter_map(|fid| self.plane_of.get(&fid))
+                    .copied()
+                    .collect();
+            }
+        }
+        self.plane_of
+            .iter()
+            .filter(|(&other, _)| dominates(&self.filtered.records[other].values, values))
+            .map(|(_, &plane)| plane)
+            .collect()
+    }
+
+    /// The look-ahead rank-bound stage of LP-CTA (Section 6): bound the rank
+    /// of every not-yet-checked promising cell, pruning or reporting it
+    /// outright when the bounds are conclusive.
+    fn apply_rank_bounds(&mut self) {
+        let k_eff = self.filtered.k_effective;
+        for leaf in self.tree.promising_leaves() {
+            if self.tree.node(leaf).bounds_checked {
+                continue;
+            }
+            let sys = self.tree.cell_system(leaf, &self.store);
+            let (_, decision) = rank_bounds(
+                &sys,
+                self.focal,
+                &self.filtered.tree,
+                &self.filtered.records,
+                k_eff,
+                self.config.bound_mode,
+                &mut self.stats,
+            );
+            match decision {
+                BoundDecision::Prune => {
+                    self.tree.eliminate(leaf);
+                    self.stats.cells_pruned_by_bounds += 1;
+                }
+                BoundDecision::Report => {
+                    self.report_leaf(leaf);
+                    self.stats.cells_reported_by_bounds += 1;
+                }
+                BoundDecision::Undecided => self.tree.mark_bounds_checked(leaf),
+            }
+        }
+    }
+
+    /// The pivot stage of P-CTA (Lemma 5): report every promising cell whose
+    /// pivots dominate all unprocessed records, and compute the next batch —
+    /// the unprocessed skyline of the dataset minus the non-pivot union.
+    ///
+    /// Returns `None` when the traversal is complete (no promising cell left,
+    /// or every remaining cell is final).
+    fn pivot_stage(&mut self) -> Option<Vec<RecordId>> {
+        let promising = self.tree.promising_leaves();
+        if promising.is_empty() {
+            return None;
+        }
+
+        let data_tree = &self.filtered.tree;
+        let mut non_pivot_union: HashSet<RecordId> = HashSet::new();
+        let mut unreported = Vec::new();
+        for leaf in promising {
+            let full = self.tree.full_halfspaces(leaf);
+            let mut pivots: Vec<RecordId> = Vec::new();
+            let mut non_pivots: Vec<RecordId> = Vec::new();
+            for h in &full {
+                let source = self.store.source(h.plane);
+                match h.sign {
+                    Sign::Negative => pivots.push(source),
+                    Sign::Positive => non_pivots.push(source),
+                }
+            }
+            let pivot_values: Vec<&[f64]> = pivots
+                .iter()
+                .map(|&id| self.filtered.records[id].values.as_slice())
+                .collect();
+            let processed = &self.processed;
+            let witness =
+                data_tree.find_not_dominated(&pivot_values, &|rid| processed.contains(&rid));
+            match witness {
+                None => {
+                    // No unprocessed record can affect this cell: report it.
+                    self.report_leaf(leaf);
+                    self.stats.cells_reported_by_pivots += 1;
+                }
+                Some(_) => {
+                    non_pivot_union.extend(non_pivots);
+                    unreported.push(leaf);
+                }
+            }
+        }
+        if unreported.is_empty() {
+            return None;
+        }
+
+        // Next batch: unprocessed records in the skyline of D minus the
+        // non-pivot union (Section 5).
+        let skyline = skyline_excluding(data_tree, &non_pivot_union);
+        let mut next: Vec<RecordId> = skyline
+            .into_iter()
+            .filter(|id| !self.processed.contains(id))
+            .collect();
+        if next.is_empty() {
+            // Safety net (should not trigger — see the argument in Section 5):
+            // process any witnesses that keep the remaining cells unreported.
+            for leaf in unreported {
+                let full = self.tree.full_halfspaces(leaf);
+                let pivots: Vec<&[f64]> = full
+                    .iter()
+                    .filter(|h| h.sign == Sign::Negative)
+                    .map(|h| {
+                        self.filtered.records[self.store.source(h.plane)]
+                            .values
+                            .as_slice()
+                    })
+                    .collect();
+                let processed = &self.processed;
+                if let Some(w) =
+                    data_tree.find_not_dominated(&pivots, &|rid| processed.contains(&rid))
+                {
+                    next.push(w);
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            if next.is_empty() {
+                // Every record is processed; the remaining promising cells
+                // are final.
+                return None;
+            }
+        }
+        Some(next)
+    }
+
+    /// Wraps a live leaf into a result region (rank is reported with respect
+    /// to the *full* dataset, i.e. including the dominators removed by
+    /// preprocessing).
+    fn region_of(&self, leaf: usize) -> Region {
+        let rank = self.tree.rank(leaf) + self.filtered.dominators;
+        let halves = self.tree.path_halfspaces(leaf);
+        Region::new(rank, self.store.materialize(&halves))
+    }
+
+    /// Reports a leaf: adds it to the result and removes it from play.
+    fn report_leaf(&mut self, leaf: usize) {
+        self.regions.push(self.region_of(leaf));
+        self.tree.report(leaf);
+    }
+
+    /// Collects every remaining promising leaf into the result (used when the
+    /// traversal terminates with the arrangement fully built).
+    fn collect_remaining(&mut self) {
+        for leaf in self.tree.promising_leaves() {
+            self.regions.push(self.region_of(leaf));
+            self.tree.report(leaf);
+        }
+    }
+
+    /// Finishes the query: packaging, finalization, I/O accounting.
+    fn finish(mut self) -> KsprResult {
+        self.stats.io_reads = self
+            .filtered
+            .tree
+            .io()
+            .reads()
+            .saturating_sub(self.filtered.io_base);
+        if let Some(model) = &self.config.io_model {
+            self.stats.io_time_ms = model.io_time_ms(self.stats.io_reads);
+        }
+        self.stats.result_regions = self.regions.len();
+        self.stats.celltree_nodes = self.tree.num_nodes();
+        let mut result = KsprResult {
+            space: self.space,
+            regions: self.regions,
+            stats: self.stats,
+        };
+        if self.config.finalize {
+            result.finalize();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive;
+
+    fn figure1() -> (Dataset, Vec<Vec<f64>>, Vec<f64>) {
+        let raw = vec![
+            vec![3.0, 8.0, 8.0],
+            vec![9.0, 4.0, 4.0],
+            vec![8.0, 3.0, 4.0],
+            vec![4.0, 3.0, 6.0],
+        ];
+        (Dataset::new(raw.clone()), raw, vec![5.0, 5.0, 7.0])
+    }
+
+    #[test]
+    fn policies_expose_their_algorithm() {
+        assert_eq!(CtaPolicy.algorithm(), Algorithm::Cta);
+        assert_eq!(SkybandPolicy.algorithm(), Algorithm::KSkyband);
+        assert_eq!(ProgressivePolicy::pcta().algorithm(), Algorithm::Pcta);
+        assert_eq!(ProgressivePolicy::lpcta().algorithm(), Algorithm::LpCta);
+        assert!(!CtaPolicy.progressive());
+        assert!(!CtaPolicy.use_dominance());
+        assert!(ProgressivePolicy::lpcta().use_rank_bounds());
+        assert!(!ProgressivePolicy::pcta().use_rank_bounds());
+        // Shared preprocessing is only computed for policies that read it.
+        assert!(!CtaPolicy.uses_shared_prep());
+        assert!(SkybandPolicy.uses_shared_prep());
+        assert!(ProgressivePolicy::pcta().uses_shared_prep());
+        assert!(ProgressivePolicy::lpcta().uses_shared_prep());
+        for alg in [
+            Algorithm::Cta,
+            Algorithm::Pcta,
+            Algorithm::LpCta,
+            Algorithm::KSkyband,
+        ] {
+            assert_eq!(policy_for(alg).unwrap().algorithm(), alg);
+        }
+        assert!(policy_for(Algorithm::Rtopk).is_none());
+        assert!(policy_for(Algorithm::IMaxRank).is_none());
+    }
+
+    #[test]
+    fn engine_matches_oracle_for_every_policy() {
+        let (dataset, raw, focal) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        for alg in [
+            Algorithm::Cta,
+            Algorithm::Pcta,
+            Algorithm::LpCta,
+            Algorithm::KSkyband,
+        ] {
+            for k in 1..=4 {
+                let result = engine.run(alg, &focal, k);
+                let agreement = naive::classification_agreement(&result, &raw, &focal, k, 400, 7);
+                assert!(agreement > 0.995, "{alg:?} k={k}: agreement {agreement}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs_on_figure1() {
+        let (dataset, _, _) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let focals = vec![
+            vec![5.0, 5.0, 7.0],
+            vec![6.0, 6.0, 5.0],
+            vec![3.5, 4.0, 7.5],
+            vec![9.5, 9.5, 9.5], // dominates everything -> whole space
+            vec![1.0, 1.0, 1.0], // dominated by everything -> empty
+        ];
+        for alg in [
+            Algorithm::Cta,
+            Algorithm::Pcta,
+            Algorithm::LpCta,
+            Algorithm::KSkyband,
+        ] {
+            let batch = engine.run_batch(alg, &focals, 2);
+            assert_eq!(batch.len(), focals.len());
+            for (focal, from_batch) in focals.iter().zip(&batch) {
+                let alone = engine.run(alg, focal, 2);
+                assert_eq!(from_batch.num_regions(), alone.num_regions(), "{alg:?}");
+                assert_eq!(
+                    from_batch.stats.processed_records,
+                    alone.stats.processed_records
+                );
+                assert_eq!(from_batch.stats.celltree_nodes, alone.stats.celltree_nodes);
+                for w in naive::sample_weights(&alone.space, 60, 5) {
+                    assert_eq!(
+                        from_batch.contains(&w),
+                        alone.contains(&w),
+                        "{alg:?} at {w:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prep_dominance_adjacency_is_complete() {
+        let (dataset, raw, _) = figure1();
+        let shared = SharedPrep::compute(&dataset, 2);
+        for &id in shared.skyband() {
+            let expected: Vec<usize> = (0..raw.len())
+                .filter(|&other| dominates(&raw[other], &raw[id]))
+                .collect();
+            let mut got = shared.dominators_of(id).unwrap().to_vec();
+            got.sort_unstable();
+            assert_eq!(got, expected, "record {id}");
+        }
+        assert_eq!(shared.k(), 2);
+    }
+
+    #[test]
+    fn custom_policy_runs_through_the_engine() {
+        /// Expands records in reverse dataset order — still correct, because
+        /// CTA-style one-shot policies insert every competitor.
+        struct ReverseCta;
+        impl ExpansionPolicy for ReverseCta {
+            fn algorithm(&self) -> Algorithm {
+                Algorithm::Cta
+            }
+            fn initial_batch(&self, query: &PreparedQuery<'_>) -> Vec<RecordId> {
+                (0..query.filtered.records.len()).rev().collect()
+            }
+        }
+
+        let (dataset, raw, focal) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let result = engine.run_with_policy(&ReverseCta, &focal, 3);
+        let agreement = naive::classification_agreement(&result, &raw, &focal, 3, 400, 13);
+        assert!(agreement > 0.995, "agreement {agreement}");
+    }
+}

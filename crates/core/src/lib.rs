@@ -27,6 +27,15 @@
 //! through [`KsprConfig::space`], which yields the paper's OP-CTA / OLP-CTA
 //! variants.
 //!
+//! ## Architecture
+//!
+//! The CellTree-based methods share a single traversal loop in the
+//! [`engine`] module: each algorithm is an [`engine::ExpansionPolicy`]
+//! plugged into [`engine::QueryEngine`].  The engine also offers
+//! [`engine::QueryEngine::run_batch`], which answers many focal-record
+//! queries in parallel with shared, focal-independent preprocessing —
+//! the entry point for serving query workloads rather than single lookups.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -56,6 +65,7 @@ pub mod bounds;
 pub mod celltree;
 pub mod config;
 pub mod dataset;
+pub mod engine;
 pub mod hyperplanes;
 pub mod maxrank;
 pub mod naive;
@@ -64,9 +74,13 @@ pub mod result;
 pub mod rtopk;
 pub mod stats;
 
-pub use algorithms::{run, Algorithm};
+pub use algorithms::{run, run_batch, Algorithm};
 pub use config::{BoundMode, KsprConfig};
 pub use dataset::Dataset;
+pub use engine::{
+    CtaPolicy, ExpansionPolicy, PreparedQuery, ProgressivePolicy, QueryEngine, SharedPrep,
+    SkybandPolicy,
+};
 pub use result::{KsprResult, Region};
 pub use stats::QueryStats;
 

@@ -121,7 +121,11 @@ impl QuadBox {
         for i in 0..dim {
             let mut e = vec![0.0; dim];
             e[i] = 1.0;
-            out.push(LinearConstraint::new(e.clone(), Relation::GreaterEq, self.lo[i]));
+            out.push(LinearConstraint::new(
+                e.clone(),
+                Relation::GreaterEq,
+                self.lo[i],
+            ));
             out.push(LinearConstraint::new(e, Relation::LessEq, self.hi[i]));
         }
         out
@@ -232,7 +236,16 @@ fn process_box(
     }
     if cutting.len() > LEAF_CUT_THRESHOLD && depth < MAX_DEPTH {
         for child in bx.children() {
-            process_box(child_ref(&child), depth + 1, planes, space, k, dominators, regions, stats);
+            process_box(
+                child_ref(&child),
+                depth + 1,
+                planes,
+                space,
+                k,
+                dominators,
+                regions,
+                stats,
+            );
         }
         return;
     }

@@ -8,8 +8,10 @@
 //! R-tree used by the skyline batching of P-CTA and the group bounds of
 //! LP-CTA.
 
+use crate::dataset::Dataset;
 use crate::stats::QueryStats;
 use kspr_spatial::{dominates, AggregateRTree, Record};
+use std::sync::Arc;
 
 /// Outcome of preprocessing a query.
 #[derive(Debug)]
@@ -38,14 +40,30 @@ pub struct FilteredQuery {
     /// record, re-identified with sequential ids.
     pub records: Vec<Record>,
     /// Original dataset ids of the filtered records (`original_ids[i]` is the
-    /// dataset id of filtered record `i`).
+    /// dataset id of filtered record `i`).  Always ascending, so the inverse
+    /// mapping is a binary search.
     pub original_ids: Vec<usize>,
-    /// Query-local aggregate R-tree over the filtered records.
-    pub tree: AggregateRTree,
+    /// Aggregate R-tree over the filtered records.  Usually query-local;
+    /// when preprocessing removes no record the dataset index is reused
+    /// (shared) instead of being rebuilt.
+    pub tree: Arc<AggregateRTree>,
     /// Effective `k` after accounting for dominators of the focal record.
     pub k_effective: usize,
     /// Number of records dominating the focal record.
     pub dominators: usize,
+    /// Snapshot of the index's simulated-I/O counter taken when the query
+    /// started; per-query I/O is reported as the delta against it.  (For a
+    /// shared index serving concurrent queries the delta is approximate —
+    /// it only affects statistics, never results.)
+    pub io_base: u64,
+}
+
+impl FilteredQuery {
+    /// The filtered dataset id corresponding to an original dataset id, if
+    /// the record survived preprocessing.
+    pub fn filtered_id_of(&self, original_id: usize) -> Option<usize> {
+        self.original_ids.binary_search(&original_id).ok()
+    }
 }
 
 /// Runs the Section 3.1 preprocessing.
@@ -62,6 +80,33 @@ pub fn prepare(
     k: usize,
     fanout: usize,
     stats: &mut QueryStats,
+) -> Prepared {
+    prepare_impl(records, focal, k, fanout, stats, None)
+}
+
+/// Like [`prepare`], but with access to the dataset's prebuilt index: when
+/// preprocessing removes no record and the dataset index was built with the
+/// requested fanout, the (identical) dataset R-tree is reused instead of
+/// being bulk-loaded again.  The reused index is shared — across queries and,
+/// in batch mode, across threads — which is safe because all traversals are
+/// read-only.
+pub fn prepare_with_index(
+    dataset: &Dataset,
+    focal: &[f64],
+    k: usize,
+    fanout: usize,
+    stats: &mut QueryStats,
+) -> Prepared {
+    prepare_impl(dataset.records(), focal, k, fanout, stats, Some(dataset))
+}
+
+fn prepare_impl(
+    records: &[Record],
+    focal: &[f64],
+    k: usize,
+    fanout: usize,
+    stats: &mut QueryStats,
+    dataset: Option<&Dataset>,
 ) -> Prepared {
     assert!(k >= 1, "k must be at least 1");
     assert!(
@@ -98,13 +143,25 @@ pub fn prepare(
     if kept.is_empty() {
         return Prepared::WholeSpace { dominators };
     }
-    let tree = AggregateRTree::bulk_load(kept.clone(), fanout);
+    let tree = match dataset {
+        // Fast path: nothing was filtered out, so the filtered set *is* the
+        // dataset (same records, same sequential ids — `bulk_load` asserts
+        // every indexed record's id equals its position, so the dataset index
+        // can never disagree with the re-id'd `kept` vector here) and the
+        // prebuilt index can be shared as-is.  Bulk loading is deterministic,
+        // so a rebuilt tree would be identical — reuse changes no observable
+        // behavior.
+        Some(d) if kept.len() == records.len() && d.tree().fanout() == fanout => d.shared_index(),
+        _ => Arc::new(AggregateRTree::bulk_load(kept.clone(), fanout)),
+    };
+    let io_base = tree.io().reads();
     Prepared::Filtered(FilteredQuery {
         records: kept,
         original_ids,
         tree,
         k_effective: k - dominators,
         dominators,
+        io_base,
     })
 }
 
@@ -167,6 +224,56 @@ mod tests {
     fn rejects_zero_k() {
         let data = records(&[vec![0.1, 0.1]]);
         prepare(&data, &[0.5, 0.5], 0, 8, &mut QueryStats::new());
+    }
+
+    #[test]
+    fn index_reuse_when_nothing_is_filtered() {
+        use crate::dataset::Dataset;
+        // Pairwise-incomparable records and an incomparable focal record:
+        // preprocessing keeps everything, so the dataset index is shared.
+        let dataset = Dataset::new(vec![vec![0.9, 0.1], vec![0.1, 0.9], vec![0.6, 0.35]]);
+        let mut stats = QueryStats::new();
+        let prep = prepare_with_index(
+            &dataset,
+            &[0.5, 0.5],
+            2,
+            AggregateRTree::DEFAULT_FANOUT,
+            &mut stats,
+        );
+        match prep {
+            Prepared::Filtered(f) => {
+                assert!(
+                    Arc::ptr_eq(&f.tree, &dataset.shared_index()),
+                    "index must be shared"
+                );
+                assert_eq!(f.records.len(), dataset.len());
+                assert_eq!(f.filtered_id_of(2), Some(2));
+            }
+            other => panic!("expected Filtered, got {other:?}"),
+        }
+        // A different fanout forces a query-local rebuild.
+        let mut stats = QueryStats::new();
+        if let Prepared::Filtered(f) = prepare_with_index(&dataset, &[0.5, 0.5], 2, 4, &mut stats) {
+            assert!(!Arc::ptr_eq(&f.tree, &dataset.shared_index()));
+            assert_eq!(f.tree.fanout(), 4);
+        } else {
+            panic!("expected Filtered");
+        }
+    }
+
+    #[test]
+    fn filtered_id_mapping_round_trips() {
+        let data = records(&[vec![0.9, 0.1], vec![0.9, 0.9], vec![0.1, 0.9]]);
+        let mut stats = QueryStats::new();
+        if let Prepared::Filtered(f) = prepare(&data, &[0.5, 0.5], 2, 8, &mut stats) {
+            // Record 1 dominates the focal record and is filtered out.
+            assert_eq!(f.original_ids, vec![0, 2]);
+            assert_eq!(f.filtered_id_of(0), Some(0));
+            assert_eq!(f.filtered_id_of(1), None);
+            assert_eq!(f.filtered_id_of(2), Some(1));
+        } else {
+            panic!("expected Filtered");
+        }
     }
 
     #[test]

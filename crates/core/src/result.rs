@@ -146,11 +146,11 @@ impl KsprResult {
 
     /// Total volume of the result regions.
     pub fn total_volume(&self, samples: usize, seed: u64) -> f64 {
-        self.regions
-            .iter()
-            .enumerate()
-            .map(|(i, r)| r.volume(&self.space, samples, seed.wrapping_add(i as u64)))
-            .sum()
+        // fold (not sum): `Iterator::sum::<f64>()` yields -0.0 for an empty
+        // iterator, which survives `clamp` and prints as "-0.00".
+        self.regions.iter().enumerate().fold(0.0, |acc, (i, r)| {
+            acc + r.volume(&self.space, samples, seed.wrapping_add(i as u64))
+        })
     }
 
     /// Market impact: the probability that the focal record is in the top-`k`
@@ -187,6 +187,9 @@ mod tests {
         assert!(r.is_empty());
         assert!(!r.contains(&[0.3, 0.3]));
         assert_eq!(r.impact(0, 0), 0.0);
+        // ... and specifically not -0.0, which would format as "-0.00".
+        assert!(r.impact(0, 0).is_sign_positive());
+        assert!(r.total_volume(0, 0).is_sign_positive());
     }
 
     #[test]
@@ -228,7 +231,10 @@ mod tests {
         let vol = result.total_volume(0, 0);
         // Left part: simplex left of w1=0.25; right part: simplex right of 0.75.
         let expected = (0.5 - 0.75 * 0.75 / 2.0) + (0.25 * 0.25 / 2.0);
-        assert!((vol - expected).abs() < 1e-9, "got {vol}, expected {expected}");
+        assert!(
+            (vol - expected).abs() < 1e-9,
+            "got {vol}, expected {expected}"
+        );
         assert!(result.impact(0, 0) > 0.0 && result.impact(0, 0) < 1.0);
     }
 }

@@ -111,7 +111,10 @@ pub struct NbaSeasons {
 /// # Panics
 /// Panics if `n_players < 10`.
 pub fn nba_seasons(n_players: usize, seed: u64) -> NbaSeasons {
-    assert!(n_players >= 10, "the case study needs a reasonable league size");
+    assert!(
+        n_players >= 10,
+        "the case study needs a reasonable league size"
+    );
     let mut rng = SmallRng::seed_from_u64(seed ^ 0x484f574152);
     let noise = |rng: &mut SmallRng| approx_normal(rng, 0.0, 0.06);
     let mut season1 = Vec::with_capacity(n_players);
@@ -184,7 +187,10 @@ mod tests {
             let vj: f64 = xj.iter().map(|b| (b - mj).powi(2)).sum();
             cov / (vi.sqrt() * vj.sqrt())
         };
-        assert!(pear(1, 4) > pear(1, 2), "rebounds should track blocks more than assists");
+        assert!(
+            pear(1, 4) > pear(1, 2),
+            "rebounds should track blocks more than assists"
+        );
     }
 
     #[test]

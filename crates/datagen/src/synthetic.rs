@@ -82,10 +82,7 @@ fn anti_correlated(rng: &mut SmallRng, d: usize) -> RawRecord {
     let mut weights: Vec<f64> = (0..d).map(|_| -rng.gen_range(1e-9..1.0f64).ln()).collect();
     let wsum: f64 = weights.iter().sum();
     weights.iter_mut().for_each(|w| *w /= wsum);
-    weights
-        .into_iter()
-        .map(|w| clamp_unit(w * total))
-        .collect()
+    weights.into_iter().map(|w| clamp_unit(w * total)).collect()
 }
 
 #[cfg(test)]

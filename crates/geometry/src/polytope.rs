@@ -170,11 +170,7 @@ impl Polytope {
     /// bounding box of the vertices and tested against the constraints.
     fn monte_carlo_volume(&self, samples: usize, seed: u64) -> f64 {
         let (lo, hi) = self.bounding_box();
-        let box_volume: f64 = lo
-            .iter()
-            .zip(&hi)
-            .map(|(l, h)| (h - l).max(0.0))
-            .product();
+        let box_volume: f64 = lo.iter().zip(&hi).map(|(l, h)| (h - l).max(0.0)).product();
         if box_volume <= 0.0 || samples == 0 {
             return 0.0;
         }

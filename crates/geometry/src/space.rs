@@ -79,7 +79,11 @@ impl PreferenceSpace {
         for j in 0..dim {
             let mut coeffs = vec![0.0; dim];
             coeffs[j] = 1.0;
-            out.push(LinearConstraint::new(coeffs.clone(), Relation::Greater, 0.0));
+            out.push(LinearConstraint::new(
+                coeffs.clone(),
+                Relation::Greater,
+                0.0,
+            ));
             out.push(LinearConstraint::new(coeffs, Relation::Less, 1.0));
         }
         if self.space == Space::Transformed {
@@ -107,7 +111,11 @@ impl PreferenceSpace {
     /// appended; in the original space the vector is normalized by its sum
     /// (score rankings are invariant to that scaling).
     pub fn to_full_weight(&self, w: &[f64]) -> Vec<f64> {
-        assert_eq!(w.len(), self.work_dim(), "working-space point arity mismatch");
+        assert_eq!(
+            w.len(),
+            self.work_dim(),
+            "working-space point arity mismatch"
+        );
         match self.space {
             Space::Transformed => {
                 let mut full = w.to_vec();

@@ -172,11 +172,7 @@ mod tests {
     #[test]
     fn witness_lies_in_cell() {
         let p = [5.0, 5.0, 7.0];
-        let records = [
-            [3.0, 8.0, 8.0],
-            [9.0, 4.0, 4.0],
-            [8.0, 3.0, 4.0],
-        ];
+        let records = [[3.0, 8.0, 8.0], [9.0, 4.0, 4.0], [8.0, 3.0, 4.0]];
         let mut sys = ConstraintSystem::new(demo_space());
         for r in &records {
             sys.push_halfspace(&plane(r, &p), Sign::Negative);

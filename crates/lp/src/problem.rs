@@ -86,10 +86,7 @@ impl LinearConstraint {
     fn as_leq(&self) -> (Vec<f64>, f64) {
         match self.op.closure() {
             Relation::LessEq => (self.coeffs.clone(), self.rhs),
-            Relation::GreaterEq => (
-                self.coeffs.iter().map(|c| -c).collect(),
-                -self.rhs,
-            ),
+            Relation::GreaterEq => (self.coeffs.iter().map(|c| -c).collect(), -self.rhs),
             _ => unreachable!("closure() never returns a strict relation"),
         }
     }
@@ -144,12 +141,11 @@ pub struct InteriorSolution {
 /// responsible for adding any box/boundary constraints they need; the only
 /// implicit constraint is non-negativity of the variables, which matches the
 /// preference-space semantics of the paper (`w_i > 0`).
-pub fn maximize(
-    objective: &[f64],
-    constraints: &[LinearConstraint],
-    num_vars: usize,
-) -> LpOutcome {
-    assert!(objective.len() == num_vars, "objective length must equal num_vars");
+pub fn maximize(objective: &[f64], constraints: &[LinearConstraint], num_vars: usize) -> LpOutcome {
+    assert!(
+        objective.len() == num_vars,
+        "objective length must equal num_vars"
+    );
     let mut a = Vec::with_capacity(constraints.len());
     let mut b = Vec::with_capacity(constraints.len());
     for c in constraints {
@@ -159,18 +155,17 @@ pub fn maximize(
         b.push(rhs);
     }
     match solve_standard_form(&a, &b, objective) {
-        SimplexOutcome::Optimal { x, objective } => LpOutcome::Optimal { point: x, objective },
+        SimplexOutcome::Optimal { x, objective } => LpOutcome::Optimal {
+            point: x,
+            objective,
+        },
         SimplexOutcome::Infeasible => LpOutcome::Infeasible,
         SimplexOutcome::Unbounded => LpOutcome::Unbounded,
     }
 }
 
 /// Minimizes `objective · w` over the closure of `constraints` with `w ≥ 0`.
-pub fn minimize(
-    objective: &[f64],
-    constraints: &[LinearConstraint],
-    num_vars: usize,
-) -> LpOutcome {
+pub fn minimize(objective: &[f64], constraints: &[LinearConstraint], num_vars: usize) -> LpOutcome {
     let negated: Vec<f64> = objective.iter().map(|c| -c).collect();
     match maximize(&negated, constraints, num_vars) {
         LpOutcome::Optimal { point, objective } => LpOutcome::Optimal {
@@ -202,7 +197,13 @@ pub fn interior_point(
         // a·w < rhs  ->  a·w + s t ≤ rhs   where s scales the margin by the
         // constraint norm so that the margin is geometric, not coefficient-
         // dependent.
-        let norm: f64 = c.coeffs.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-12);
+        let norm: f64 = c
+            .coeffs
+            .iter()
+            .map(|v| v * v)
+            .sum::<f64>()
+            .sqrt()
+            .max(1e-12);
         let (mut row, rhs) = c.as_leq();
         row.push(norm);
         a.push(row);
@@ -261,7 +262,11 @@ mod tests {
     fn empty_open_cell_is_detected() {
         // w_0 > 0.5 and w_0 < 0.5 cannot both hold strictly.
         let mut cs = unit_box(2);
-        cs.push(LinearConstraint::new(vec![1.0, 0.0], Relation::Greater, 0.5));
+        cs.push(LinearConstraint::new(
+            vec![1.0, 0.0],
+            Relation::Greater,
+            0.5,
+        ));
         cs.push(LinearConstraint::new(vec![1.0, 0.0], Relation::Less, 0.5));
         assert!(interior_point(&cs, 2).is_none());
     }
@@ -271,21 +276,30 @@ mod tests {
         // w_0 + w_1 > 1 intersected with the transformed space touches only
         // on the diagonal boundary — zero extent.
         let mut cs = unit_box(2);
-        cs.push(LinearConstraint::new(vec![1.0, 1.0], Relation::Greater, 1.0));
+        cs.push(LinearConstraint::new(
+            vec![1.0, 1.0],
+            Relation::Greater,
+            1.0,
+        ));
         assert!(interior_point(&cs, 2).is_none());
     }
 
     #[test]
     fn witness_point_satisfies_all_constraints() {
         let mut cs = unit_box(3);
-        cs.push(LinearConstraint::new(vec![1.0, -1.0, 0.0], Relation::Less, 0.2));
-        cs.push(LinearConstraint::new(vec![0.0, 1.0, -2.0], Relation::Greater, -0.4));
+        cs.push(LinearConstraint::new(
+            vec![1.0, -1.0, 0.0],
+            Relation::Less,
+            0.2,
+        ));
+        cs.push(LinearConstraint::new(
+            vec![0.0, 1.0, -2.0],
+            Relation::Greater,
+            -0.4,
+        ));
         let sol = interior_point(&cs, 3).expect("feasible");
         for c in &cs {
-            assert!(
-                c.satisfied_by(&sol.point, 0.0),
-                "witness violates {c:?}"
-            );
+            assert!(c.satisfied_by(&sol.point, 0.0), "witness violates {c:?}");
         }
     }
 
@@ -312,6 +326,57 @@ mod tests {
             LinearConstraint::new(vec![1.0], Relation::GreaterEq, 2.0),
         ];
         assert_eq!(maximize(&[1.0], &cs, 1), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_objective_reported() {
+        // Only a lower bound on w_0: maximizing it is unbounded, minimizing
+        // is not.
+        let cs = vec![LinearConstraint::new(vec![1.0], Relation::GreaterEq, 2.0)];
+        assert_eq!(maximize(&[1.0], &cs, 1), LpOutcome::Unbounded);
+        let min = minimize(&[1.0], &cs, 1).objective().expect("bounded below");
+        assert!((min - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_point_cell_optimizes_but_has_no_interior() {
+        // The closed cell {w_0 = 0.3} is a single point: optimization over
+        // the closure works, the open cell has no interior.
+        let cs = vec![
+            LinearConstraint::new(vec![1.0], Relation::LessEq, 0.3),
+            LinearConstraint::new(vec![1.0], Relation::GreaterEq, 0.3),
+        ];
+        let max = maximize(&[1.0], &cs, 1).objective().expect("optimal");
+        assert!((max - 0.3).abs() < 1e-6);
+        let strict = vec![
+            LinearConstraint::new(vec![1.0], Relation::Less, 0.3),
+            LinearConstraint::new(vec![1.0], Relation::Greater, 0.3),
+        ];
+        assert!(interior_point(&strict, 1).is_none());
+    }
+
+    #[test]
+    fn sliver_cell_below_margin_is_rejected() {
+        // An open slab of width well below INTERIOR_MARGIN: numerically a
+        // degenerate cell, must be rejected by the margin test.
+        let width = crate::INTERIOR_MARGIN / 10.0;
+        let cs = vec![
+            LinearConstraint::new(vec![1.0], Relation::Greater, 0.5),
+            LinearConstraint::new(vec![1.0], Relation::Less, 0.5 + width),
+        ];
+        assert!(interior_point(&cs, 1).is_none());
+    }
+
+    #[test]
+    fn interior_point_ignores_redundant_constraints() {
+        let mut cs = unit_box(2);
+        // The same halfspace three times must not shrink the margin to zero.
+        for _ in 0..3 {
+            cs.push(LinearConstraint::new(vec![1.0, 0.0], Relation::Less, 0.6));
+        }
+        let sol = interior_point(&cs, 2).expect("feasible");
+        assert!(sol.point[0] < 0.6);
+        assert!(sol.margin > 0.0);
     }
 
     #[test]

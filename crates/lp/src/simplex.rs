@@ -107,8 +107,7 @@ impl Tableau {
         // Bland's rule it should never be hit for well-posed inputs.
         let max_iters = 200 * (self.num_cols + self.data.len() + 16);
         for _ in 0..max_iters {
-            let entering = (0..self.num_cols)
-                .find(|&c| !self.banned[c] && self.obj[c] > EPSILON);
+            let entering = (0..self.num_cols).find(|&c| !self.banned[c] && self.obj[c] > EPSILON);
             let Some(col) = entering else {
                 return Ok(());
             };
@@ -157,7 +156,11 @@ struct Unbounded;
 pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
     assert_eq!(a.len(), b.len(), "matrix rows must match rhs length");
     for row in a {
-        assert_eq!(row.len(), c.len(), "every row must have one coeff per variable");
+        assert_eq!(
+            row.len(),
+            c.len(),
+            "every row must have one coeff per variable"
+        );
     }
     let m = a.len();
     let n = c.len();
@@ -234,8 +237,7 @@ pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutco
         let mut row = 0;
         while row < tableau.data.len() {
             if artificial_cols.contains(&tableau.basis[row]) {
-                let pivot_col = (0..n + m)
-                    .find(|&cidx| tableau.data[row][cidx].abs() > 1e-7);
+                let pivot_col = (0..n + m).find(|&cidx| tableau.data[row][cidx].abs() > 1e-7);
                 match pivot_col {
                     Some(cidx) => tableau.pivot(row, cidx),
                     None => {
@@ -291,11 +293,7 @@ mod tests {
     #[test]
     fn simple_two_variable_maximization() {
         // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![3.0, 2.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
         let b = vec![4.0, 12.0, 18.0];
         let c = vec![3.0, 5.0];
         let out = solve_standard_form(&a, &b, &c);
@@ -371,15 +369,99 @@ mod tests {
 
     #[test]
     fn redundant_rows_are_tolerated() {
-        let a = vec![
-            vec![1.0, 0.0],
-            vec![1.0, 0.0],
-            vec![-1.0, 0.0],
-        ];
+        let a = vec![vec![1.0, 0.0], vec![1.0, 0.0], vec![-1.0, 0.0]];
         let b = vec![2.0, 2.0, -1.0];
         let c = vec![1.0, 1.0];
         // y is unconstrained above -> unbounded.
         assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn contradictory_equalities_are_infeasible() {
+        // x + y = 1 and x + y = 2, each encoded as a <=/>= pair.
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+            vec![1.0, 1.0],
+            vec![-1.0, -1.0],
+        ];
+        let b = vec![1.0, -1.0, 2.0, -2.0];
+        let c = vec![1.0, 0.0];
+        assert!(solve_standard_form(&a, &b, &c).is_infeasible());
+    }
+
+    #[test]
+    fn infeasible_beats_unbounded_direction() {
+        // The objective direction is unbounded over x >= 0, but the
+        // constraints are contradictory: infeasibility must be detected in
+        // phase 1, before the unbounded direction can matter.
+        let a = vec![vec![-1.0, 0.0], vec![1.0, 0.0]];
+        let b = vec![-3.0, 1.0]; // x >= 3 and x <= 1
+        let c = vec![0.0, 1.0]; // maximize the unconstrained y
+        assert!(solve_standard_form(&a, &b, &c).is_infeasible());
+    }
+
+    #[test]
+    fn degenerate_vertex_with_many_tight_constraints() {
+        // Four constraints all tight at the optimum (2, 0): heavy degeneracy
+        // in the ratio test; Bland's rule must still terminate at the right
+        // optimum.
+        let a = vec![
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![1.0, 3.0],
+            vec![1.0, -1.0],
+        ];
+        let b = vec![2.0, 2.0, 2.0, 2.0];
+        let c = vec![1.0, 0.0];
+        let out = solve_standard_form(&a, &b, &c);
+        assert_close(out.objective().expect("optimal"), 2.0);
+        let x = out.point().unwrap();
+        assert_close(x[0], 2.0);
+        assert_close(x[1], 0.0);
+    }
+
+    #[test]
+    fn degenerate_zero_rhs_rows_terminate() {
+        // All right-hand sides zero: the origin is the only feasible point of
+        // x + y <= 0 with x, y >= 0, and every pivot is degenerate.
+        let a = vec![vec![1.0, 1.0], vec![1.0, -1.0], vec![-1.0, 1.0]];
+        let b = vec![0.0, 0.0, 0.0];
+        let c = vec![5.0, 3.0];
+        let out = solve_standard_form(&a, &b, &c);
+        assert_close(out.objective().expect("optimal"), 0.0);
+    }
+
+    #[test]
+    fn unbounded_after_nontrivial_phase_one() {
+        // Phase 1 is needed (negative rhs) and succeeds; phase 2 is then
+        // unbounded along y.
+        let a = vec![vec![-1.0, 0.0]];
+        let b = vec![-2.0]; // x >= 2
+        let c = vec![0.0, 1.0];
+        assert_eq!(solve_standard_form(&a, &b, &c), SimplexOutcome::Unbounded);
+    }
+
+    #[test]
+    fn fixed_point_feasible_region() {
+        // x = 1.5 exactly (pair of inequalities); any objective is bounded.
+        let a = vec![vec![1.0], vec![-1.0]];
+        let b = vec![1.5, -1.5];
+        let out = solve_standard_form(&a, &b, &[-7.0]);
+        assert_close(out.objective().expect("optimal"), -10.5);
+        assert_close(out.point().unwrap()[0], 1.5);
+    }
+
+    #[test]
+    fn no_constraints_bounded_only_by_nonnegativity() {
+        // max -x - y over x, y >= 0: optimum at the origin.
+        let out = solve_standard_form(&[], &[], &[-1.0, -1.0]);
+        assert_close(out.objective().expect("optimal"), 0.0);
+        // ... while max x over the same region is unbounded.
+        assert_eq!(
+            solve_standard_form(&[], &[], &[1.0]),
+            SimplexOutcome::Unbounded
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! and (iii) the efficiency statistics that differentiate the algorithms.
 
 use kspr_repro::datagen::{generate, Distribution};
-use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig, PreferenceSpace};
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig, PreferenceSpace, QueryEngine};
 use std::time::Instant;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     let k = 10;
     let raw = generate(Distribution::AntiCorrelated, n, d, 99);
     let dataset = Dataset::new(raw.clone());
-    let config = KsprConfig::default();
+    let engine = QueryEngine::new(&dataset, KsprConfig::default());
 
     // Focal record: a strong but beatable option.
     let focal = vec![0.74, 0.70, 0.78, 0.72];
@@ -29,7 +29,7 @@ fn main() {
     let mut results = Vec::new();
     for alg in [Algorithm::Pcta, Algorithm::LpCta] {
         let start = Instant::now();
-        let result = kspr_repro::kspr::run(alg, &dataset, &focal, k, &config);
+        let result = engine.run(alg, &focal, k);
         let elapsed = start.elapsed();
         println!(
             "{:<8} time {:>8.3}s | regions {:>4} | processed records {:>5} | CellTree nodes {:>6} | LP tests {:>6}",
@@ -49,8 +49,14 @@ fn main() {
     let (_, lpcta_result) = &results[1];
     let exact = lpcta_result.impact(100_000, 5);
     let sampled = naive::impact_monte_carlo(&raw, &focal, k, &space, 20_000, 6);
-    println!("market impact (exact region volumes):   {:.3}%", 100.0 * exact);
-    println!("market impact (Monte-Carlo, 20k draws): {:.3}%", 100.0 * sampled);
+    println!(
+        "market impact (exact region volumes):   {:.3}%",
+        100.0 * exact
+    );
+    println!(
+        "market impact (Monte-Carlo, 20k draws): {:.3}%",
+        100.0 * sampled
+    );
 
     // Cross-validate the two algorithms point by point.
     let probes = naive::sample_weights(&space, 2_000, 11);

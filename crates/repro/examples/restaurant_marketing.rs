@@ -10,7 +10,7 @@
 //! an upgrade.
 
 use kspr_repro::datagen;
-use kspr_repro::kspr::{algorithms, Dataset, KsprConfig};
+use kspr_repro::kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
 
 fn describe(result: &kspr_repro::kspr::KsprResult, label: &str, k: usize) {
     println!("--- {label} ---");
@@ -30,30 +30,37 @@ fn describe(result: &kspr_repro::kspr::KsprResult, label: &str, k: usize) {
 
 fn main() {
     let k = 10;
-    // A city with 2 000 competing restaurants rated on value, service and
-    // ambiance (independently distributed ratings).
-    let competitors = datagen::generate(datagen::Distribution::Independent, 2_000, 3, 2024);
+    // A neighbourhood with 150 competing restaurants rated on value, service
+    // and ambiance (independently distributed ratings).  The market size is
+    // chosen so the owner's restaurant is actually competitive: in a much
+    // denser market a top-10 ambition is hopeless for a mid-table restaurant
+    // and the kSPR answer is (correctly) empty for every scenario.
+    let competitors = datagen::generate(datagen::Distribution::Independent, 150, 3, 2024);
     let dataset = Dataset::new(competitors.clone());
-    let config = KsprConfig::default();
+    let engine = QueryEngine::new(&dataset, KsprConfig::default());
 
-    // The owner's restaurant today: strong ambiance, mediocre value/service.
-    let today = vec![0.55, 0.60, 0.93];
-    let result_today = algorithms::run_lpcta(&dataset, &today, k, &config);
+    // The three what-if scenarios are independent queries over the same
+    // marketplace, so they run as one parallel batch with shared
+    // preprocessing (`QueryEngine::run_batch`).
+    let scenarios = vec![
+        vec![0.55, 0.60, 0.93], // today: strong ambiance, mediocre value/service
+        vec![0.55, 0.80, 0.93], // option A: service training (+0.2 service)
+        vec![0.75, 0.60, 0.93], // option B: price cut (+0.2 value)
+    ];
+    let results = engine.run_batch(Algorithm::LpCta, &scenarios, k);
+    let (result_today, result_service, result_value) = (&results[0], &results[1], &results[2]);
+
     describe(
-        &result_today,
+        result_today,
         "Current ratings (value 0.55, service 0.60, ambiance 0.93)",
         k,
     );
-
-    // Option A: invest in service training (+0.2 service).
-    let service_upgrade = vec![0.55, 0.80, 0.93];
-    let result_service = algorithms::run_lpcta(&dataset, &service_upgrade, k, &config);
-    describe(&result_service, "After service upgrade (service 0.60 -> 0.80)", k);
-
-    // Option B: cut prices (+0.2 value).
-    let value_upgrade = vec![0.75, 0.60, 0.93];
-    let result_value = algorithms::run_lpcta(&dataset, &value_upgrade, k, &config);
-    describe(&result_value, "After price cut (value 0.55 -> 0.75)", k);
+    describe(
+        result_service,
+        "After service upgrade (service 0.60 -> 0.80)",
+        k,
+    );
+    describe(result_value, "After price cut (value 0.55 -> 0.75)", k);
 
     println!();
     println!("Summary:");

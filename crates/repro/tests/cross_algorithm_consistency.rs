@@ -34,7 +34,12 @@ fn check_agreement(
 fn celltree_algorithms_match_oracle_across_distributions() {
     let config = KsprConfig::default();
     for dist in Distribution::all() {
-        for alg in [Algorithm::Cta, Algorithm::Pcta, Algorithm::LpCta, Algorithm::KSkyband] {
+        for alg in [
+            Algorithm::Cta,
+            Algorithm::Pcta,
+            Algorithm::LpCta,
+            Algorithm::KSkyband,
+        ] {
             check_agreement(alg, dist, 120, 3, 5, &config, 42);
         }
     }
@@ -53,14 +58,30 @@ fn algorithms_match_oracle_in_four_dimensions() {
 fn rtopk_matches_oracle_on_two_dimensions() {
     let config = KsprConfig::default();
     for k in [1, 4, 8] {
-        check_agreement(Algorithm::Rtopk, Distribution::Independent, 200, 2, k, &config, 3);
+        check_agreement(
+            Algorithm::Rtopk,
+            Distribution::Independent,
+            200,
+            2,
+            k,
+            &config,
+            3,
+        );
     }
 }
 
 #[test]
 fn imaxrank_matches_oracle_on_small_instances() {
     let config = KsprConfig::default();
-    check_agreement(Algorithm::IMaxRank, Distribution::Independent, 40, 3, 3, &config, 5);
+    check_agreement(
+        Algorithm::IMaxRank,
+        Distribution::Independent,
+        40,
+        3,
+        3,
+        &config,
+        5,
+    );
 }
 
 #[test]
@@ -162,7 +183,13 @@ fn exact_impact_matches_monte_carlo_estimate() {
     let dataset = Dataset::new(raw.clone());
     let focal = focal_for(3);
     let k = 10;
-    let result = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, k, &KsprConfig::default());
+    let result = kspr_repro::kspr::run(
+        Algorithm::LpCta,
+        &dataset,
+        &focal,
+        k,
+        &KsprConfig::default(),
+    );
     let exact = result.impact(50_000, 3);
     let sampled = naive::impact_monte_carlo(&raw, &focal, k, &result.space, 10_000, 4);
     assert!(
@@ -197,6 +224,9 @@ fn disk_mode_reports_io_statistics() {
         ..KsprConfig::default()
     };
     let result = kspr_repro::kspr::run(Algorithm::LpCta, &dataset, &focal, 5, &config);
-    assert!(result.stats.io_reads > 0, "LP-CTA must touch the data index");
+    assert!(
+        result.stats.io_reads > 0,
+        "LP-CTA must touch the data index"
+    );
     assert!(result.stats.io_time_ms > 0.0);
 }

@@ -99,7 +99,10 @@ mod tests {
     fn dominance_basic_cases() {
         assert!(dominates(&[2.0, 2.0], &[1.0, 2.0]));
         assert!(dominates(&[2.0, 3.0], &[1.0, 2.0]));
-        assert!(!dominates(&[1.0, 2.0], &[1.0, 2.0]), "equal records do not dominate");
+        assert!(
+            !dominates(&[1.0, 2.0], &[1.0, 2.0]),
+            "equal records do not dominate"
+        );
         assert!(!dominates(&[2.0, 1.0], &[1.0, 2.0]), "incomparable records");
         assert!(!dominates(&[1.0, 2.0], &[2.0, 2.0]));
     }

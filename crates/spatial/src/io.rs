@@ -5,15 +5,18 @@
 //! index in memory but counts node accesses through [`IoStats`] and converts
 //! them to simulated I/O time through [`IoCostModel`].
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A counter of simulated page reads.
 ///
 /// Interior mutability lets read-only tree traversals account their accesses
-/// without threading a mutable reference everywhere.
+/// without threading a mutable reference everywhere.  The counter is atomic
+/// so that one index can serve concurrent queries (the batch mode of the
+/// `kspr` query engine); relaxed ordering suffices because the value is a
+/// statistic, not a synchronization point.
 #[derive(Debug, Default)]
 pub struct IoStats {
-    reads: Cell<u64>,
+    reads: AtomicU64,
 }
 
 impl IoStats {
@@ -24,24 +27,24 @@ impl IoStats {
 
     /// Records one page read.
     pub fn record_read(&self) {
-        self.reads.set(self.reads.get() + 1);
+        self.reads.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Number of page reads recorded so far.
     pub fn reads(&self) -> u64 {
-        self.reads.get()
+        self.reads.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero.
     pub fn reset(&self) {
-        self.reads.set(0);
+        self.reads.store(0, Ordering::Relaxed);
     }
 }
 
 impl Clone for IoStats {
     fn clone(&self) -> Self {
         let c = IoStats::new();
-        c.reads.set(self.reads.get());
+        c.reads.store(self.reads(), Ordering::Relaxed);
         c
     }
 }

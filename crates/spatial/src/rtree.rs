@@ -230,15 +230,12 @@ impl AggregateRTree {
             return None;
         }
         match &node.entries {
-            NodeEntries::Leaf(ids) => ids
-                .iter()
-                .copied()
-                .find(|&id| {
-                    !excluded(id)
-                        && !pivots
-                            .iter()
-                            .any(|p| crate::dominance::dominates(p, &self.records[id].values))
-                }),
+            NodeEntries::Leaf(ids) => ids.iter().copied().find(|&id| {
+                !excluded(id)
+                    && !pivots
+                        .iter()
+                        .any(|p| crate::dominance::dominates(p, &self.records[id].values))
+            }),
             NodeEntries::Internal(children) => children
                 .iter()
                 .find_map(|&c| self.find_not_dominated_rec(c, pivots, excluded)),
@@ -337,8 +334,7 @@ mod tests {
                     }
                 }
                 NodeEntries::Internal(children) => {
-                    let child_sum: usize =
-                        children.iter().map(|&c| tree.node_no_io(c).count).sum();
+                    let child_sum: usize = children.iter().map(|&c| tree.node_no_io(c).count).sum();
                     assert_eq!(node.count, child_sum);
                 }
             }

@@ -42,9 +42,7 @@ impl PartialOrd for HeapEntry {
 }
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.key
-            .partial_cmp(&other.key)
-            .unwrap_or(Ordering::Equal)
+        self.key.partial_cmp(&other.key).unwrap_or(Ordering::Equal)
     }
 }
 
@@ -144,15 +142,30 @@ pub fn naive_skyline(records: &[Record]) -> Vec<RecordId> {
 /// earlier records need to be checked, and the scan for a record stops as soon
 /// as `k` dominators are found.
 pub fn k_skyband(records: &[Record], k: usize) -> Vec<RecordId> {
+    k_skyband_restricted(records, k, |_| true)
+}
+
+/// Computes the k-skyband restricted to the records accepted by `candidate`.
+///
+/// Dominator counts are still taken against **all** records, so the result is
+/// exactly `k_skyband(records, k)` intersected with the candidate set (in the
+/// same order); only the per-candidate dominator scans are saved.  The `kspr`
+/// query engine uses this with a precomputed dataset-level skyband as the
+/// candidate set: the per-query band is provably contained in it, so the
+/// restriction never changes the result.
+pub fn k_skyband_restricted(
+    records: &[Record],
+    k: usize,
+    candidate: impl Fn(RecordId) -> bool,
+) -> Vec<RecordId> {
     let mut order: Vec<usize> = (0..records.len()).collect();
     let sums: Vec<f64> = records.iter().map(|r| r.values.iter().sum()).collect();
-    order.sort_by(|&a, &b| {
-        sums[b]
-            .partial_cmp(&sums[a])
-            .unwrap_or(Ordering::Equal)
-    });
+    order.sort_by(|&a, &b| sums[b].partial_cmp(&sums[a]).unwrap_or(Ordering::Equal));
     let mut result = Vec::new();
     for (pos, &idx) in order.iter().enumerate() {
+        if !candidate(records[idx].id) {
+            continue;
+        }
         let mut dominators = 0;
         for &other in &order[..pos] {
             if dominates(&records[other].values, &records[idx].values) {
@@ -261,6 +274,31 @@ mod tests {
                 assert!(dominators >= 5);
             }
         }
+    }
+
+    #[test]
+    fn restricted_skyband_equals_band_intersection() {
+        let records = random_records(300, 3, 9);
+        let k = 4;
+        let full = k_skyband(&records, k);
+        // Restricting to a superset of the band must not change anything.
+        let superset: HashSet<RecordId> = k_skyband(&records, k + 3).into_iter().collect();
+        assert_eq!(
+            k_skyband_restricted(&records, k, |id| superset.contains(&id)),
+            full
+        );
+        // Restricting to an arbitrary candidate set yields the intersection,
+        // in band order.
+        let candidates: HashSet<RecordId> = (0..150).collect();
+        let expected: Vec<RecordId> = full
+            .iter()
+            .copied()
+            .filter(|id| candidates.contains(id))
+            .collect();
+        assert_eq!(
+            k_skyband_restricted(&records, k, |id| candidates.contains(&id)),
+            expected
+        );
     }
 
     #[test]

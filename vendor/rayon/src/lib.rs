@@ -1,0 +1,192 @@
+//! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
+//!
+//! Implements the API subset the kSPR workspace uses — `par_iter()` over
+//! slices and `Vec`s, `map`, `collect`, plus [`join`] and
+//! [`current_num_threads`] — on top of `std::thread::scope`.  Work is split
+//! into one contiguous chunk per available core; there is no work stealing,
+//! which is adequate for the coarse-grained, per-query parallelism the
+//! workspace needs.  Swapping back to the real crate is a one-line change in
+//! the workspace manifest.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel iterator will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+        (ra, rb)
+    })
+}
+
+/// Types that can produce a parallel iterator over references to their items.
+pub trait IntoParallelRefIterator<'a> {
+    /// The item type iterated over.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over `&Self::Item`.
+    fn par_iter(&'a self) -> SliceParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> SliceParIter<'a, T> {
+        SliceParIter { items: self }
+    }
+}
+
+/// A parallel iterator over the items of a slice.
+pub struct SliceParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> SliceParIter<'a, T> {
+    /// Maps every item through `f`, in parallel.
+    pub fn map<R, F>(self, f: F) -> Map<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&'a T) -> R + Sync,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<'a, T: Sync + Send> ParallelIterator for SliceParIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// A mapped parallel iterator (the result of [`SliceParIter::map`]).
+pub struct Map<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+/// The driving end of this crate's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// The item type produced.
+    type Item: Send;
+
+    /// Executes the pipeline and returns the results in input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Executes the pipeline and collects the results (in input order).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Number of items produced (executes the pipeline).
+    fn count(self) -> usize {
+        self.drive().len()
+    }
+}
+
+impl<'a, T, R, F> ParallelIterator for Map<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let n = self.items.len();
+        let workers = current_num_threads().min(n.max(1));
+        if workers <= 1 {
+            return self.items.iter().map(&self.f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        // One scoped thread per contiguous chunk; chunk order preserves input
+        // order in the flattened result.
+        thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .items
+                .chunks(chunk)
+                .map(|c| scope.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1_000).collect();
+        let out: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u64> = Vec::new();
+        let out: Vec<u64> = input.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panics_propagate() {
+        let input: Vec<u64> = (0..16).collect();
+        let _: Vec<u64> = input
+            .par_iter()
+            .map(|x| {
+                if *x == 7 {
+                    panic!("boom");
+                }
+                *x
+            })
+            .collect();
+    }
+}
