@@ -1,0 +1,59 @@
+//! Criterion bench (beyond the paper): dynamic update throughput.
+//!
+//! Compares one (insert + `run_batch`, delete + `run_batch`) cycle through
+//! the two maintenance strategies:
+//!
+//! * `incremental` — a long-lived `QueryEngine` whose R-tree and cached
+//!   shared prep (k-skyband + dominance graph) are patched in place by
+//!   `insert` / `delete`;
+//! * `rebuild` — every update bulk-reloads the dataset index and constructs
+//!   a fresh engine, whose first batch recomputes the shared prep.
+//!
+//! The query mix is the "negative lookup" steady state (deeply dominated
+//! focal records), so the measured gap is the maintenance cost itself:
+//! O(log n + band) per cycle versus O(n log n + n·k).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("update_throughput");
+    group.sample_size(10);
+    let k = 10usize;
+    let alg = Algorithm::LpCta;
+    for n in [1_000usize, 4_000] {
+        let w = Workload::synthetic(Distribution::Independent, n, 4, k, 61);
+        let focals = w.lookup_focals(4);
+        let config = KsprConfig::default();
+        let record = vec![0.42; 4];
+        group.throughput(Throughput::Elements(2)); // two updates per cycle
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            let mut engine = QueryEngine::new(&w.dataset, config.clone());
+            engine.run_batch(alg, &focals, k); // prime the prep cache
+            b.iter(|| {
+                let id = engine.insert(record.clone());
+                let with = engine.run_batch(alg, &focals, k);
+                engine.delete(id);
+                let without = engine.run_batch(alg, &focals, k);
+                (with, without)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter(|| {
+                let mut raw = w.raw.clone();
+                raw.push(record.clone());
+                let engine = QueryEngine::new(&Dataset::new(raw), config.clone());
+                let with = engine.run_batch(alg, &focals, k);
+                let engine = QueryEngine::new(&Dataset::new(w.raw.clone()), config.clone());
+                let without = engine.run_batch(alg, &focals, k);
+                (with, without)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

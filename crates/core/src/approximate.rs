@@ -72,7 +72,7 @@ pub fn approximate_impact(
         "confidence must be in (0, 1)"
     );
     let space = PreferenceSpace::transformed(focal.len());
-    let raw: Vec<Vec<f64>> = dataset.records().iter().map(|r| r.values.clone()).collect();
+    let raw: Vec<Vec<f64>> = dataset.live_records().map(|r| r.values.clone()).collect();
     let points = naive::sample_weights(&space, samples, seed);
     let mut hits = Vec::new();
     for w in points {

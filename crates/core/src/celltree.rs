@@ -24,6 +24,7 @@ use crate::hyperplanes::HyperplaneStore;
 use crate::stats::QueryStats;
 use kspr_geometry::{ConstraintSystem, Halfspace, PreferenceSpace, Sign};
 use kspr_lp::{interior_point, LinearConstraint};
+use std::cell::RefCell;
 use std::collections::HashSet;
 
 /// One node of the CellTree.
@@ -94,6 +95,16 @@ pub struct CellTree {
     k: usize,
     use_lemma2: bool,
     use_witness: bool,
+    /// Live-leaf index: candidate leaves for [`CellTree::promising_leaves`].
+    ///
+    /// Every leaf enters exactly once (at creation); entries whose node has
+    /// since been split, reported, eliminated or buried under an eliminated
+    /// ancestor are lazily dropped on the next `promising_leaves` call.  This
+    /// keeps the per-round cost proportional to the number of *candidate*
+    /// leaves instead of the O(total nodes) arena scan it replaces.  Interior
+    /// mutability (`RefCell`) lets the read path self-compact; the tree is
+    /// per-query state and never crosses threads.
+    live_leaves: RefCell<Vec<usize>>,
 }
 
 impl CellTree {
@@ -109,6 +120,7 @@ impl CellTree {
             k,
             use_lemma2,
             use_witness,
+            live_leaves: RefCell::new(vec![0]),
         }
     }
 
@@ -224,12 +236,23 @@ impl CellTree {
 
     /// All live, not-yet-reported leaves whose rank does not exceed `k`
     /// ("promising cells" in the paper's terminology).
+    ///
+    /// Served from the live-leaf index: instead of scanning the whole node
+    /// arena, only current candidates are examined, and candidates that died
+    /// since the last call (split, reported, eliminated, or under an
+    /// eliminated ancestor) are permanently dropped along the way.
     pub fn promising_leaves(&self) -> Vec<usize> {
-        (0..self.nodes.len())
-            .filter(|&i| {
-                let n = &self.nodes[i];
-                n.is_leaf() && !n.eliminated && !n.reported && !self.ancestor_closed(i)
-            })
+        let mut candidates = self.live_leaves.borrow_mut();
+        candidates.retain(|&i| {
+            let n = &self.nodes[i];
+            n.is_leaf() && !n.eliminated && !n.reported && !self.ancestor_closed(i)
+        });
+        // Rank filtering is *not* a drop criterion: it is re-evaluated per
+        // call (rank only ever grows, but such leaves are eliminated by the
+        // next insertion touching them, so keeping them here is cheap).
+        candidates
+            .iter()
+            .copied()
             .filter(|&i| self.rank(i) <= self.k)
             .collect()
     }
@@ -429,6 +452,9 @@ impl CellTree {
             pos_node.witness = witness_positive;
             self.nodes.push(pos_node);
             self.nodes[idx].children = Some((neg_child, pos_child));
+            // Register the new leaves with the live-leaf index (the split
+            // parent is lazily dropped on the next `promising_leaves` call).
+            self.live_leaves.borrow_mut().extend([neg_child, pos_child]);
             // The positive child's rank is one higher; prune it immediately if
             // it already exceeds k.
             if rank_here + 1 > self.k {
@@ -719,6 +745,52 @@ mod tests {
             tree.report(leaf);
         }
         assert!(tree.promising_leaves().is_empty());
+    }
+
+    #[test]
+    fn live_leaf_index_matches_full_arena_scan() {
+        // Oracle: the O(nodes) scan the index replaced.
+        fn scan(tree: &CellTree) -> Vec<usize> {
+            (0..tree.num_nodes())
+                .filter(|&i| {
+                    let n = tree.node(i);
+                    n.is_leaf() && !n.eliminated && !n.reported && {
+                        let mut cur = n.parent;
+                        let mut open = true;
+                        while let Some(p) = cur {
+                            if tree.node(p).eliminated {
+                                open = false;
+                                break;
+                            }
+                            cur = tree.node(p).parent;
+                        }
+                        open
+                    }
+                })
+                .filter(|&i| tree.rank(i) <= tree.k())
+                .collect()
+        }
+
+        for k in 1..=4 {
+            let (mut store, records) = demo();
+            let mut tree = CellTree::new(*store.space(), k, true, true);
+            let mut stats = QueryStats::new();
+            let empty = HashSet::new();
+            for (i, r) in records.iter().enumerate() {
+                let plane = store.add(i, r);
+                tree.insert(&store, plane, &empty, &mut stats);
+                assert_eq!(tree.promising_leaves(), scan(&tree), "k={k} after {i}");
+            }
+            // Reporting and eliminating keep the index in sync too.
+            let leaves = tree.promising_leaves();
+            if let Some((&first, rest)) = leaves.split_first() {
+                tree.report(first);
+                if let Some(&second) = rest.first() {
+                    tree.eliminate(second);
+                }
+                assert_eq!(tree.promising_leaves(), scan(&tree), "k={k} after close");
+            }
+        }
     }
 
     #[test]

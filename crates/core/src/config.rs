@@ -36,6 +36,11 @@ pub struct KsprConfig {
     /// Fanout of the query-local aggregate R-tree built over the records that
     /// remain after the dominance-based preprocessing of Section 3.1.
     pub rtree_fanout: usize,
+    /// Cache the focal-independent shared preprocessing (k-skyband +
+    /// dominance graph) on the engine across `run_batch` calls, keyed by `k`
+    /// and patched incrementally on dataset updates.  Disabling it restores
+    /// the compute-per-batch behavior (useful to ablate the cache).
+    pub cache_shared_prep: bool,
     /// Simulated I/O cost model (Appendix A).  `None` disables I/O accounting
     /// in the reported statistics.
     pub io_model: Option<IoCostModel>,
@@ -56,6 +61,7 @@ impl Default for KsprConfig {
             use_witness: true,
             bound_mode: BoundMode::Fast,
             rtree_fanout: 32,
+            cache_shared_prep: true,
             io_model: None,
             volume_samples: 20_000,
             finalize: true,
@@ -91,6 +97,13 @@ impl KsprConfig {
         self.finalize = false;
         self
     }
+
+    /// Convenience: disable the engine-level shared-prep cache (compute the
+    /// batch preprocessing from scratch on every `run_batch` call).
+    pub fn without_prep_cache(mut self) -> Self {
+        self.cache_shared_prep = false;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -104,6 +117,7 @@ mod tests {
         assert!(c.use_lemma2);
         assert!(c.use_witness);
         assert_eq!(c.bound_mode, BoundMode::Fast);
+        assert!(c.cache_shared_prep);
         assert!(c.finalize);
     }
 
@@ -116,8 +130,11 @@ mod tests {
 
     #[test]
     fn builder_helpers() {
-        let c = KsprConfig::with_bound_mode(BoundMode::Record).without_finalization();
+        let c = KsprConfig::with_bound_mode(BoundMode::Record)
+            .without_finalization()
+            .without_prep_cache();
         assert_eq!(c.bound_mode, BoundMode::Record);
         assert!(!c.finalize);
+        assert!(!c.cache_shared_prep);
     }
 }

@@ -1,6 +1,7 @@
-//! The indexed dataset a kSPR query runs against.
+//! The indexed dataset a kSPR query runs against, and the mutable,
+//! epoch-versioned [`DatasetStore`] that maintains it under updates.
 
-use kspr_spatial::{AggregateRTree, Record};
+use kspr_spatial::{AggregateRTree, Record, RecordId};
 use std::sync::Arc;
 
 /// A dataset of options, indexed by an aggregate R-tree.
@@ -48,13 +49,13 @@ impl Dataset {
         Arc::clone(&self.tree)
     }
 
-    /// Number of records.
+    /// Number of live records.
     pub fn len(&self) -> usize {
         self.tree.len()
     }
 
-    /// True iff the dataset contains no records (cannot happen after
-    /// construction; provided for API completeness).
+    /// True iff the dataset contains no live record (possible once a
+    /// [`DatasetStore`] has deleted everything).
     pub fn is_empty(&self) -> bool {
         self.tree.is_empty()
     }
@@ -64,9 +65,27 @@ impl Dataset {
         self.tree.dim()
     }
 
-    /// All records.
+    /// All record slots, indexed by id.  After deletions through a
+    /// [`DatasetStore`] this still contains the tombstoned records — use
+    /// [`Dataset::live_records`] / [`Dataset::is_live`] when liveness
+    /// matters.
     pub fn records(&self) -> &[Record] {
         self.tree.records()
+    }
+
+    /// Iterates over the live records, in id order.
+    pub fn live_records(&self) -> impl Iterator<Item = &Record> {
+        self.tree.live_records()
+    }
+
+    /// True iff record slot `id` exists and has not been deleted.
+    pub fn is_live(&self, id: RecordId) -> bool {
+        self.tree.is_live(id)
+    }
+
+    /// True iff some record has been deleted (ids are then non-contiguous).
+    pub fn has_tombstones(&self) -> bool {
+        self.tree.has_tombstones()
     }
 
     /// The underlying aggregate R-tree.
@@ -77,6 +96,73 @@ impl Dataset {
     /// Attribute values of record `id`.
     pub fn values(&self, id: usize) -> &[f64] {
         &self.tree.record(id).values
+    }
+}
+
+/// A mutable, versioned dataset handle.
+///
+/// Wraps a [`Dataset`] and maintains its aggregate R-tree **incrementally**
+/// under [`DatasetStore::insert`] / [`DatasetStore::delete`] — no bulk
+/// reload.  Every successful update bumps the store's **epoch**, the
+/// monotone version counter that caches built on top of the dataset (most
+/// importantly the [`crate::engine::QueryEngine`] shared-prep cache) compare
+/// against to detect staleness.
+///
+/// Queries that are still holding the shared index (`Arc`) when an update
+/// lands keep reading the pre-update snapshot: the store copies-on-write in
+/// that case, so updates never race readers.  In the common serve-loop
+/// pattern — updates between batches — the handle is unique and maintenance
+/// is in-place.
+#[derive(Debug, Clone)]
+pub struct DatasetStore {
+    dataset: Dataset,
+    epoch: u64,
+}
+
+impl DatasetStore {
+    /// Wraps a dataset at epoch 0.
+    pub fn new(dataset: Dataset) -> Self {
+        Self { dataset, epoch: 0 }
+    }
+
+    /// Builds a store (and the index) from raw attribute vectors.
+    ///
+    /// # Panics
+    /// Panics if `raw` is empty or the rows have inconsistent arities.
+    pub fn from_raw(raw: Vec<Vec<f64>>) -> Self {
+        Self::new(Dataset::new(raw))
+    }
+
+    /// The current dataset view.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// The version counter: incremented by every successful update.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Inserts a record, maintaining the R-tree in place, and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the dataset arity.
+    pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
+        let id = Arc::make_mut(&mut self.dataset.tree).insert(values);
+        self.epoch += 1;
+        id
+    }
+
+    /// Deletes record `id`, returning its attribute values if it was live.
+    pub fn delete(&mut self, id: RecordId) -> Option<Vec<f64>> {
+        if !self.dataset.is_live(id) {
+            return None;
+        }
+        let values = self.dataset.values(id).to_vec();
+        let removed = Arc::make_mut(&mut self.dataset.tree).delete(id);
+        debug_assert!(removed, "live record must be deletable");
+        self.epoch += 1;
+        Some(values)
     }
 }
 
@@ -99,5 +185,34 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn rejects_empty_data() {
         Dataset::new(vec![]);
+    }
+
+    #[test]
+    fn store_updates_bump_the_epoch_and_keep_ids_stable() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        assert_eq!(store.epoch(), 0);
+        let id = store.insert(vec![0.5, 0.6]);
+        assert_eq!(id, 2);
+        assert_eq!(store.epoch(), 1);
+        assert_eq!(store.dataset().len(), 3);
+
+        assert_eq!(store.delete(0), Some(vec![0.1, 0.2]));
+        assert_eq!(store.epoch(), 2);
+        assert_eq!(store.delete(0), None, "double delete is a no-op");
+        assert_eq!(store.epoch(), 2, "failed updates do not bump the epoch");
+        assert!(store.dataset().has_tombstones());
+        assert!(!store.dataset().is_live(0));
+        assert_eq!(store.dataset().len(), 2);
+        let live: Vec<usize> = store.dataset().live_records().map(|r| r.id).collect();
+        assert_eq!(live, vec![1, 2]);
+    }
+
+    #[test]
+    fn store_copy_on_write_leaves_snapshots_untouched() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let snapshot = store.dataset().shared_index();
+        store.insert(vec![0.5, 0.6]);
+        assert_eq!(snapshot.len(), 2, "pre-update snapshot is immutable");
+        assert_eq!(store.dataset().len(), 3);
     }
 }

@@ -39,12 +39,29 @@
 //! All three shortcuts are result-preserving: `run_batch` returns exactly
 //! what [`QueryEngine::run`] returns for each focal record individually
 //! (`tests/batch_consistency.rs` in the umbrella crate asserts this).
+//!
+//! # Dynamic datasets
+//!
+//! The engine owns a [`crate::dataset::DatasetStore`] — a mutable,
+//! epoch-versioned dataset handle — and a **shared-prep cache**:
+//!
+//! * [`QueryEngine::insert`] / [`QueryEngine::delete`] maintain the dataset
+//!   R-tree *and* every cached [`SharedPrep`] incrementally (an insert can
+//!   only evict band members, a delete can only promote outsiders), so a
+//!   steady stream of updates never triggers a from-scratch rebuild.
+//! * The cache is keyed by `k` with the prefix property of the k-skyband:
+//!   the band for `k' <= k` is exactly the members with fewer than `k'`
+//!   dominators, so one computed band serves every smaller `k` through
+//!   [`SharedPrep::view_for`].
+//! * [`QueryEngine::run_batch`] on an unchanged dataset therefore performs
+//!   **zero** shared-prep recomputations; the
+//!   [`QueryEngine::shared_prep_computes`] counter asserts this in tests.
 
 use crate::algorithms::Algorithm;
 use crate::bounds::{rank_bounds, BoundDecision};
 use crate::celltree::CellTree;
 use crate::config::KsprConfig;
-use crate::dataset::Dataset;
+use crate::dataset::{Dataset, DatasetStore};
 use crate::hyperplanes::HyperplaneStore;
 use crate::maxrank::run_imaxrank;
 use crate::prep::{prepare_with_index, FilteredQuery, Prepared};
@@ -54,11 +71,13 @@ use crate::stats::QueryStats;
 use kspr_geometry::hyperplane::Hyperplane;
 use kspr_geometry::{PlaneKind, PreferenceSpace, Sign};
 use kspr_spatial::{
-    bbs_skyline, dominates, k_skyband, k_skyband_restricted, skyline_excluding, DominanceGraph,
-    RecordId,
+    bbs_skyline, dominates, k_skyband, k_skyband_live, k_skyband_restricted, skyline_excluding,
+    DominanceGraph, RecordId,
 };
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 // ---------------------------------------------------------------------------
 // Expansion policies
@@ -228,10 +247,12 @@ pub fn policy_for(algorithm: Algorithm) -> Option<Box<dyn ExpansionPolicy>> {
 
 /// Focal-independent preprocessing shared by every query of a batch.
 ///
-/// Built once per [`QueryEngine::run_batch`] call; all contents depend only
-/// on the dataset and `k`, never on a focal record, so sharing them cannot
-/// change any query's result.
-#[derive(Debug)]
+/// All contents depend only on the dataset and `k`, never on a focal record,
+/// so sharing them cannot change any query's result.  Instances live in the
+/// engine's per-`k` cache and are **maintained incrementally** across
+/// updates ([`SharedPrep::apply_insert`] / [`SharedPrep::apply_delete`])
+/// rather than recomputed per batch.
+#[derive(Debug, Clone)]
 pub struct SharedPrep {
     k: usize,
     /// The dataset-level k-skyband (original ids, decreasing coordinate-sum
@@ -250,7 +271,7 @@ pub struct SharedPrep {
 impl SharedPrep {
     /// Computes the shared structures for queries with rank threshold `k`.
     pub fn compute(dataset: &Dataset, k: usize) -> Self {
-        let skyband = k_skyband(dataset.records(), k);
+        let skyband = k_skyband_live(dataset.records(), k, |id| dataset.is_live(id));
         let mut dominance = DominanceGraph::new();
         for &id in &skyband {
             dominance.insert(id, &dataset.records()[id].values);
@@ -288,13 +309,167 @@ impl SharedPrep {
             None
         }
     }
+
+    // -----------------------------------------------------------------------
+    // Incremental maintenance
+    //
+    // Correctness rests on two facts about the k-skyband:
+    //
+    // 1. *Closure*: every dominator of a band member is itself a band member
+    //    (if `a` dominates `b` then `D(a) ∪ {a} ⊆ D(b)`, so a non-member
+    //    dominator with ≥ k dominators would give `b` more than k).  The
+    //    graph's dominator counts are therefore *total* dominator counts.
+    // 2. *Witnesses*: a record outside the band has at least k dominators
+    //    **inside** the band (take its dominator `z` of maximal coordinate
+    //    sum among non-member dominators: `z`'s own ≥ k dominators all have
+    //    larger sums and all dominate the record, hence are members).
+    //
+    // Together they make "fewer than k dominators among the current members"
+    // an exact membership test, computable without touching the rest of the
+    // dataset.
+    // -----------------------------------------------------------------------
+
+    /// Patches the band for a record freshly inserted into the dataset.
+    ///
+    /// An insert can only *evict*: existing members dominated by the new
+    /// record gain one dominator and drop out when they reach `k`.  (Every
+    /// record evictable through transitivity is directly dominated by the new
+    /// record, so one pass suffices.)  The new record itself joins iff fewer
+    /// than `k` members dominate it.
+    pub fn apply_insert(&mut self, id: RecordId, values: &[f64]) {
+        let doms = self.dominance.dominating_members(values);
+        if doms.len() >= self.k {
+            // The new record is outside the band; by closure it then cannot
+            // dominate any member, so nothing changes.
+            debug_assert!(self.dominance.dominated_members(values).is_empty());
+            return;
+        }
+        for m in self.dominance.dominated_members(values) {
+            if self.dominance.dominator_count(m) + 1 >= self.k {
+                self.remove_member(m);
+            } else {
+                self.dominance.add_dominator(m, id);
+            }
+        }
+        self.dominance.insert_with_dominators(id, values, doms);
+        let sum: f64 = values.iter().sum();
+        let pos = self.skyband.partition_point(|&m| self.member_sum(m) > sum);
+        self.skyband.insert(pos, id);
+        self.skyband_set.insert(id);
+    }
+
+    /// Patches the band for a record just deleted from the dataset.
+    ///
+    /// A delete can only *promote*: records the deleted member dominated lose
+    /// one dominator and may fall under `k`.  Deleting a non-member changes
+    /// nothing (its dominance never reached into the band).  Candidates are
+    /// re-tested against the current members (fact 2 above) in decreasing
+    /// coordinate-sum order, so promotions that dominate later candidates are
+    /// visible when those candidates are tested.
+    pub fn apply_delete(&mut self, id: RecordId, values: &[f64], dataset: &Dataset) {
+        if !self.skyband_set.contains(&id) {
+            return;
+        }
+        self.remove_member(id);
+        let mut candidates: Vec<(f64, RecordId)> = dataset
+            .live_records()
+            .filter(|r| !self.skyband_set.contains(&r.id) && dominates(values, &r.values))
+            .map(|r| (r.values.iter().sum(), r.id))
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        for (sum, rid) in candidates {
+            let vals = &dataset.records()[rid].values;
+            let doms = self.dominance.dominating_members(vals);
+            if doms.len() < self.k {
+                self.dominance.insert_with_dominators(rid, vals, doms);
+                let pos = self.skyband.partition_point(|&m| self.member_sum(m) > sum);
+                self.skyband.insert(pos, rid);
+                self.skyband_set.insert(rid);
+            }
+        }
+    }
+
+    /// The band for a smaller rank threshold, derived by the prefix property:
+    /// the `k'`-skyband is exactly the members with fewer than `k'`
+    /// dominators, with their dominator lists unchanged.
+    ///
+    /// # Panics
+    /// Panics if `k > self.k()` (a larger band cannot be derived).
+    pub fn view_for(&self, k: usize) -> SharedPrep {
+        assert!(
+            k <= self.k,
+            "cannot derive a {k}-skyband from a {}-skyband",
+            self.k
+        );
+        let skyband: Vec<RecordId> = self
+            .skyband
+            .iter()
+            .copied()
+            .filter(|&m| self.dominance.dominator_count(m) < k)
+            .collect();
+        let mut dominance = DominanceGraph::new();
+        for &m in &skyband {
+            let values = self
+                .dominance
+                .member_values(m)
+                .expect("band member has values")
+                .to_vec();
+            // Dominators of a member with < k dominators have strictly fewer
+            // dominators themselves, so the list carries over verbatim.
+            let doms = self.dominance.dominators_of(m).to_vec();
+            dominance.insert_with_dominators(m, &values, doms);
+        }
+        let skyband_set = skyband.iter().copied().collect();
+        SharedPrep {
+            k,
+            skyband,
+            skyband_set,
+            dominance,
+        }
+    }
+
+    /// Coordinate sum of a member (the band's sort key).
+    fn member_sum(&self, id: RecordId) -> f64 {
+        self.dominance
+            .member_values(id)
+            .expect("band member has values")
+            .iter()
+            .sum()
+    }
+
+    /// Drops a member from the band, the set and the dominance graph.
+    fn remove_member(&mut self, id: RecordId) {
+        self.skyband.retain(|&m| m != id);
+        self.skyband_set.remove(&id);
+        self.dominance.remove(id);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // The engine
 // ---------------------------------------------------------------------------
 
-/// The unified executor for kSPR queries over one dataset.
+/// The engine's shared-prep cache: one *primary* band (the largest `k`
+/// computed so far, patched in place by updates) plus derived smaller-`k`
+/// views, all tagged with the dataset epoch they are valid for.
+#[derive(Debug, Default)]
+struct PrepCache {
+    /// Dataset epoch the cached structures reflect.
+    epoch: u64,
+    /// The band computed for the largest `k` requested so far.
+    primary: Option<Arc<SharedPrep>>,
+    /// Views derived from `primary` for smaller `k` (and retired primaries).
+    views: HashMap<usize, Arc<SharedPrep>>,
+}
+
+impl PrepCache {
+    fn clear(&mut self) {
+        self.primary = None;
+        self.views.clear();
+    }
+}
+
+/// The unified executor for kSPR queries over one (mutable) dataset.
 ///
 /// ```
 /// use kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
@@ -305,7 +480,7 @@ impl SharedPrep {
 ///     vec![0.8, 0.3, 0.4],
 ///     vec![0.4, 0.3, 0.6],
 /// ]);
-/// let engine = QueryEngine::new(&dataset, KsprConfig::default());
+/// let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
 ///
 /// // One query ...
 /// let single = engine.run(Algorithm::LpCta, &[0.5, 0.5, 0.7], 3);
@@ -314,26 +489,145 @@ impl SharedPrep {
 /// let focals = vec![vec![0.5, 0.5, 0.7], vec![0.6, 0.6, 0.5]];
 /// let batch = engine.run_batch(Algorithm::LpCta, &focals, 3);
 /// assert_eq!(batch[0].num_regions(), single.num_regions());
+///
+/// // The dataset is mutable: updates patch the index and every cached
+/// // shared-prep structure incrementally instead of rebuilding them.
+/// let id = engine.insert(vec![0.7, 0.7, 0.7]);
+/// let after_insert = engine.run_batch(Algorithm::LpCta, &focals, 3);
+/// engine.delete(id);
+/// let after_delete = engine.run_batch(Algorithm::LpCta, &focals, 3);
+/// assert_eq!(after_delete[0].num_regions(), batch[0].num_regions());
+/// # let _ = after_insert;
 /// ```
-pub struct QueryEngine<'a> {
-    dataset: &'a Dataset,
+pub struct QueryEngine {
+    store: DatasetStore,
     config: KsprConfig,
+    cache: Mutex<PrepCache>,
+    prep_computes: AtomicU64,
 }
 
-impl<'a> QueryEngine<'a> {
-    /// Creates an engine over `dataset` with the given configuration.
-    pub fn new(dataset: &'a Dataset, config: KsprConfig) -> Self {
-        Self { dataset, config }
+impl QueryEngine {
+    /// Creates an engine over a snapshot-shared handle to `dataset` with the
+    /// given configuration.  (The handle is reference-counted; cloning it
+    /// copies no records.)
+    pub fn new(dataset: &Dataset, config: KsprConfig) -> Self {
+        Self::with_store(DatasetStore::new(dataset.clone()), config)
+    }
+
+    /// Creates an engine that takes ownership of a mutable dataset store.
+    pub fn with_store(store: DatasetStore, config: KsprConfig) -> Self {
+        Self {
+            store,
+            config,
+            cache: Mutex::new(PrepCache::default()),
+            prep_computes: AtomicU64::new(0),
+        }
     }
 
     /// The dataset this engine queries.
     pub fn dataset(&self) -> &Dataset {
-        self.dataset
+        self.store.dataset()
+    }
+
+    /// The mutable dataset store (for epoch inspection).
+    pub fn store(&self) -> &DatasetStore {
+        &self.store
     }
 
     /// The configuration applied to every query.
     pub fn config(&self) -> &KsprConfig {
         &self.config
+    }
+
+    /// How many times the engine computed a [`SharedPrep`] from scratch.
+    ///
+    /// Steady-state serving on an unchanged dataset keeps this constant:
+    /// cache hits, smaller-`k` views and update patches all cost zero
+    /// recomputations.
+    pub fn shared_prep_computes(&self) -> u64 {
+        self.prep_computes.load(Ordering::Relaxed)
+    }
+
+    // -----------------------------------------------------------------------
+    // Updates
+    // -----------------------------------------------------------------------
+
+    /// Inserts a record, patching the R-tree and every cached shared-prep
+    /// structure in place, and returns its id.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the dataset arity.
+    pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
+        let id = self.store.insert(values.clone());
+        let cache = self.cache.get_mut().expect("prep cache lock poisoned");
+        if let Some(primary) = &mut cache.primary {
+            Arc::make_mut(primary).apply_insert(id, &values);
+        }
+        // Derived views are cheap to re-derive; drop them instead of patching
+        // each one.
+        cache.views.clear();
+        cache.epoch = self.store.epoch();
+        id
+    }
+
+    /// Deletes record `id` (returns `false` if it does not exist or was
+    /// already deleted), patching the R-tree and every cached shared-prep
+    /// structure in place.
+    pub fn delete(&mut self, id: RecordId) -> bool {
+        let Some(values) = self.store.delete(id) else {
+            return false;
+        };
+        let cache = self.cache.get_mut().expect("prep cache lock poisoned");
+        if let Some(primary) = &mut cache.primary {
+            Arc::make_mut(primary).apply_delete(id, &values, self.store.dataset());
+        }
+        cache.views.clear();
+        cache.epoch = self.store.epoch();
+        true
+    }
+
+    /// Fetches (or computes) the shared prep for rank threshold `k`.
+    ///
+    /// Cache discipline: an exact-`k` hit is free; a larger cached band
+    /// serves `k` through an `O(band)` view; only a genuinely larger `k`
+    /// recomputes (and the old primary is retired into the view map, staying
+    /// servable).  With [`KsprConfig::cache_shared_prep`] disabled this
+    /// recomputes per call — the pre-cache behavior, kept for ablations.
+    fn shared_prep(&self, k: usize) -> Arc<SharedPrep> {
+        let compute = || {
+            self.prep_computes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(SharedPrep::compute(self.store.dataset(), k))
+        };
+        if !self.config.cache_shared_prep {
+            return compute();
+        }
+        let mut cache = self.cache.lock().expect("prep cache lock poisoned");
+        // Updates patch the cache synchronously, so a stale epoch can only be
+        // seen if the store was swapped out from under us; drop everything.
+        if cache.epoch != self.store.epoch() {
+            cache.clear();
+            cache.epoch = self.store.epoch();
+        }
+        match &cache.primary {
+            Some(primary) if primary.k() == k => Arc::clone(primary),
+            Some(primary) if primary.k() > k => {
+                if let Some(view) = cache.views.get(&k) {
+                    return Arc::clone(view);
+                }
+                let view = Arc::new(primary.view_for(k));
+                cache.views.insert(k, Arc::clone(&view));
+                view
+            }
+            _ => {
+                let prep = compute();
+                if let Some(old) = cache.primary.take() {
+                    // The retired primary is still the exact band for its k.
+                    cache.views.insert(old.k(), old);
+                }
+                cache.primary = Some(Arc::clone(&prep));
+                prep
+            }
+        }
     }
 
     /// Runs one kSPR query.
@@ -369,10 +663,10 @@ impl<'a> QueryEngine<'a> {
     ) -> Vec<KsprResult> {
         let shared = policy_for(algorithm)
             .filter(|policy| policy.uses_shared_prep())
-            .map(|_| SharedPrep::compute(self.dataset, k));
+            .map(|_| self.shared_prep(k));
         focals
             .par_iter()
-            .map(|focal| self.run_shared(algorithm, focal, k, shared.as_ref()))
+            .map(|focal| self.run_shared(algorithm, focal, k, shared.as_deref()))
             .collect()
     }
 
@@ -384,12 +678,10 @@ impl<'a> QueryEngine<'a> {
         focals: &[Vec<f64>],
         k: usize,
     ) -> Vec<KsprResult> {
-        let shared = policy
-            .uses_shared_prep()
-            .then(|| SharedPrep::compute(self.dataset, k));
+        let shared = policy.uses_shared_prep().then(|| self.shared_prep(k));
         focals
             .par_iter()
-            .map(|focal| self.run_policy(policy, focal, k, shared.as_ref()))
+            .map(|focal| self.run_policy(policy, focal, k, shared.as_deref()))
             .collect()
     }
 
@@ -404,8 +696,8 @@ impl<'a> QueryEngine<'a> {
             Some(policy) => self.run_policy(policy.as_ref(), focal, k, shared),
             // The sweep-based baselines have self-contained drivers.
             None => match algorithm {
-                Algorithm::Rtopk => run_rtopk(self.dataset, focal, k, &self.config),
-                Algorithm::IMaxRank => run_imaxrank(self.dataset, focal, k, &self.config),
+                Algorithm::Rtopk => run_rtopk(self.store.dataset(), focal, k, &self.config),
+                Algorithm::IMaxRank => run_imaxrank(self.store.dataset(), focal, k, &self.config),
                 _ => unreachable!("policy_for covers all CellTree algorithms"),
             },
         }
@@ -424,7 +716,7 @@ impl<'a> QueryEngine<'a> {
 
         // Step 1: Section 3.1 preprocessing (with dataset-index reuse).
         let filtered = match prepare_with_index(
-            self.dataset,
+            self.store.dataset(),
             focal,
             k,
             self.config.rtree_fanout,
@@ -874,6 +1166,163 @@ mod tests {
             assert_eq!(got, expected, "record {id}");
         }
         assert_eq!(shared.k(), 2);
+    }
+
+    #[test]
+    fn steady_state_batches_never_recompute_shared_prep() {
+        let (dataset, _, _) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let focals = vec![vec![5.0, 5.0, 7.0], vec![6.0, 6.0, 5.0]];
+
+        assert_eq!(engine.shared_prep_computes(), 0);
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        assert_eq!(engine.shared_prep_computes(), 1, "first batch computes");
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        engine.run_batch(Algorithm::Pcta, &focals, 3);
+        engine.run_batch(Algorithm::KSkyband, &focals, 3);
+        assert_eq!(
+            engine.shared_prep_computes(),
+            1,
+            "unchanged dataset + same k must be pure cache hits"
+        );
+        // Smaller k is served as a view of the cached band.
+        engine.run_batch(Algorithm::LpCta, &focals, 2);
+        engine.run_batch(Algorithm::LpCta, &focals, 1);
+        assert_eq!(engine.shared_prep_computes(), 1, "k' <= k is derived");
+        // A larger k genuinely needs a new band ...
+        engine.run_batch(Algorithm::LpCta, &focals, 4);
+        assert_eq!(engine.shared_prep_computes(), 2);
+        // ... after which the old k is still served without recomputation.
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        engine.run_batch(Algorithm::LpCta, &focals, 4);
+        assert_eq!(engine.shared_prep_computes(), 2);
+        // CTA does not consult the shared prep at all.
+        engine.run_batch(Algorithm::Cta, &focals, 5);
+        assert_eq!(engine.shared_prep_computes(), 2);
+    }
+
+    #[test]
+    fn updates_patch_the_cached_prep_without_recomputation() {
+        let (dataset, _, _) = figure1();
+        let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let focals = vec![vec![5.0, 5.0, 7.0], vec![6.0, 6.0, 5.0]];
+        let k = 2;
+        engine.run_batch(Algorithm::LpCta, &focals, k);
+        assert_eq!(engine.shared_prep_computes(), 1);
+
+        let id = engine.insert(vec![7.0, 7.0, 7.0]);
+        let after_insert = engine.run_batch(Algorithm::LpCta, &focals, k);
+        engine.delete(id);
+        engine.delete(1);
+        let after_deletes = engine.run_batch(Algorithm::LpCta, &focals, k);
+        assert_eq!(
+            engine.shared_prep_computes(),
+            1,
+            "updates must patch the cached prep, not invalidate it"
+        );
+
+        // Every post-update batch matches a from-scratch engine over the same
+        // live records.
+        for (results, live_raw) in [
+            (
+                &after_insert,
+                vec![
+                    vec![3.0, 8.0, 8.0],
+                    vec![9.0, 4.0, 4.0],
+                    vec![8.0, 3.0, 4.0],
+                    vec![4.0, 3.0, 6.0],
+                    vec![7.0, 7.0, 7.0],
+                ],
+            ),
+            (
+                &after_deletes,
+                vec![
+                    vec![3.0, 8.0, 8.0],
+                    vec![8.0, 3.0, 4.0],
+                    vec![4.0, 3.0, 6.0],
+                ],
+            ),
+        ] {
+            let fresh = QueryEngine::new(&Dataset::new(live_raw), KsprConfig::default());
+            let expected = fresh.run_batch(Algorithm::LpCta, &focals, k);
+            for (got, want) in results.iter().zip(&expected) {
+                assert_eq!(got.num_regions(), want.num_regions());
+                assert_eq!(got.stats.processed_records, want.stats.processed_records);
+                for w in naive::sample_weights(&got.space, 60, 17) {
+                    assert_eq!(got.contains(&w), want.contains(&w));
+                }
+            }
+        }
+    }
+
+    /// Sorted (member, sorted dominators) signature of a band, for equality
+    /// checks between incrementally patched and recomputed preps.
+    fn band_signature(prep: &SharedPrep) -> Vec<(RecordId, Vec<RecordId>)> {
+        let mut sig: Vec<(RecordId, Vec<RecordId>)> = prep
+            .skyband()
+            .iter()
+            .map(|&id| {
+                let mut doms = prep.dominators_of(id).unwrap().to_vec();
+                doms.sort_unstable();
+                (id, doms)
+            })
+            .collect();
+        sig.sort();
+        sig
+    }
+
+    #[test]
+    fn incremental_prep_equals_recomputation_under_random_updates() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..3 {
+            let mut rng = SmallRng::seed_from_u64(1000 + seed);
+            let d = 3;
+            let raw: Vec<Vec<f64>> = (0..80)
+                .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+                .collect();
+            let mut store = DatasetStore::from_raw(raw);
+            let k = 4;
+            let mut prep = SharedPrep::compute(store.dataset(), k);
+            for _ in 0..120 {
+                if rng.gen_range(0..3) == 0 && store.dataset().len() > 5 {
+                    let live: Vec<RecordId> =
+                        store.dataset().live_records().map(|r| r.id).collect();
+                    let victim = live[rng.gen_range(0..live.len())];
+                    let values = store.delete(victim).unwrap();
+                    prep.apply_delete(victim, &values, store.dataset());
+                } else {
+                    let values: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                    let id = store.insert(values.clone());
+                    prep.apply_insert(id, &values);
+                }
+                let recomputed = SharedPrep::compute(store.dataset(), k);
+                assert_eq!(
+                    band_signature(&prep),
+                    band_signature(&recomputed),
+                    "seed {seed}: patched band diverged from recomputation"
+                );
+                // The smaller-k views derived from the patched band must also
+                // match direct computation.
+                for smaller in 1..k {
+                    assert_eq!(
+                        band_signature(&prep.view_for(smaller)),
+                        band_signature(&SharedPrep::compute(store.dataset(), smaller)),
+                        "seed {seed}: k={smaller} view diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disabling_the_prep_cache_recomputes_per_batch() {
+        let (dataset, _, _) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default().without_prep_cache());
+        let focals = vec![vec![5.0, 5.0, 7.0]];
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        assert_eq!(engine.shared_prep_computes(), 2);
     }
 
     #[test]

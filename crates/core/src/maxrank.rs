@@ -18,7 +18,7 @@
 
 use crate::config::KsprConfig;
 use crate::dataset::Dataset;
-use crate::prep::{prepare, Prepared};
+use crate::prep::{prepare_with_index, Prepared};
 use crate::result::{KsprResult, Region};
 use crate::stats::QueryStats;
 use kspr_geometry::{Hyperplane, Polytope, PreferenceSpace, Sign};
@@ -39,7 +39,7 @@ pub fn run_imaxrank(dataset: &Dataset, focal: &[f64], k: usize, config: &KsprCon
     let dim = space.work_dim();
     let mut stats = QueryStats::new();
 
-    let filtered = match prepare(dataset.records(), focal, k, config.rtree_fanout, &mut stats) {
+    let filtered = match prepare_with_index(dataset, focal, k, config.rtree_fanout, &mut stats) {
         Prepared::Empty { .. } => return KsprResult::empty(space, stats),
         Prepared::WholeSpace { dominators } => {
             let mut r = KsprResult::whole_space(space, dominators + 1, stats);

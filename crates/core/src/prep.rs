@@ -120,6 +120,13 @@ fn prepare_impl(
     let mut original_ids: Vec<usize> = Vec::new();
 
     for r in records {
+        if let Some(d) = dataset {
+            // Record slots deleted through a `DatasetStore` stay in the slice
+            // (ids are stable) but must not act as competitors.
+            if !d.is_live(r.id) {
+                continue;
+            }
+        }
         if r.values == focal {
             // Tie with the focal record: ignored.
             continue;
@@ -148,9 +155,13 @@ fn prepare_impl(
         // dataset (same records, same sequential ids — `bulk_load` asserts
         // every indexed record's id equals its position, so the dataset index
         // can never disagree with the re-id'd `kept` vector here) and the
-        // prebuilt index can be shared as-is.  Bulk loading is deterministic,
-        // so a rebuilt tree would be identical — reuse changes no observable
-        // behavior.
+        // prebuilt index can be shared as-is.  Sharing is result-preserving:
+        // an index grown by incremental inserts may differ in *shape* from
+        // the STR tree a rebuild would produce, which can shift traversal
+        // statistics (node reads, bound tightness) but never the record set
+        // or the query result.  `kept.len() == records.len()` compares
+        // against the raw slot count, so a dataset with tombstones (where
+        // surviving ids are no longer sequential) can never take this path.
         Some(d) if kept.len() == records.len() && d.tree().fanout() == fanout => d.shared_index(),
         _ => Arc::new(AggregateRTree::bulk_load(kept.clone(), fanout)),
     };
@@ -259,6 +270,42 @@ mod tests {
         } else {
             panic!("expected Filtered");
         }
+    }
+
+    #[test]
+    fn tombstoned_records_are_not_competitors() {
+        use crate::dataset::DatasetStore;
+        // Record 1 dominates the focal record; once deleted it must stop
+        // counting, and the query-local tree must be rebuilt (no fast-path
+        // sharing of an index with id gaps).
+        let mut store = DatasetStore::from_raw(vec![
+            vec![0.9, 0.1],
+            vec![0.9, 0.9],
+            vec![0.1, 0.9],
+            vec![0.6, 0.4],
+        ]);
+        store.delete(1);
+        let mut stats = QueryStats::new();
+        let prep = prepare_with_index(
+            store.dataset(),
+            &[0.5, 0.5],
+            2,
+            AggregateRTree::DEFAULT_FANOUT,
+            &mut stats,
+        );
+        match prep {
+            Prepared::Filtered(f) => {
+                assert_eq!(f.original_ids, vec![0, 2, 3]);
+                assert_eq!(f.k_effective, 2, "the deleted dominator is gone");
+                assert!(
+                    !Arc::ptr_eq(&f.tree, &store.dataset().shared_index()),
+                    "an index with tombstones must not be shared"
+                );
+                assert!(f.records.iter().enumerate().all(|(i, r)| r.id == i));
+            }
+            other => panic!("expected Filtered, got {other:?}"),
+        }
+        assert_eq!(stats.dominating_records, 0);
     }
 
     #[test]

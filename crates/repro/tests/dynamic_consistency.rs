@@ -1,0 +1,87 @@
+//! Dynamic correctness: random interleavings of insert / delete / query on a
+//! long-lived engine must return results identical to an engine rebuilt from
+//! scratch over the surviving records at every step.
+//!
+//! This exercises the whole incremental stack at once — R-tree insert/delete,
+//! tombstone-aware preprocessing, and the cached, update-patched `SharedPrep`
+//! (the queries go through `run_batch`, which is the path that consults the
+//! cache).
+
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig, QueryEngine};
+use proptest::prelude::*;
+
+/// Strategy: a record with `d` attributes in (0, 1).
+fn record_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..0.99, d)
+}
+
+/// One scripted update: `kind % 2 == 0` inserts `record`, otherwise `pick`
+/// selects a live record to delete.
+fn op_strategy(d: usize) -> impl Strategy<Value = (u8, Vec<f64>, usize)> {
+    (0u8..4, record_strategy(d), 0usize..1 << 16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn interleaved_updates_match_rebuild_from_scratch(
+        raw in prop::collection::vec(record_strategy(3), 6..20),
+        ops in prop::collection::vec(op_strategy(3), 1..8),
+        focal in record_strategy(3),
+        k in 1usize..4,
+    ) {
+        let config = KsprConfig::default();
+        let mut engine = QueryEngine::new(&Dataset::new(raw.clone()), config.clone());
+        // Mirror of the store: slot -> live values (None = tombstoned).
+        let mut mirror: Vec<Option<Vec<f64>>> = raw.into_iter().map(Some).collect();
+        let focals = vec![focal];
+
+        // Prime the shared-prep cache so every update exercises the
+        // incremental patch path rather than a fresh computation.
+        engine.run_batch(Algorithm::LpCta, &focals, k);
+        let primed = engine.shared_prep_computes();
+
+        for (kind, values, pick) in ops {
+            let live_ids: Vec<usize> = mirror
+                .iter()
+                .enumerate()
+                .filter_map(|(id, v)| v.as_ref().map(|_| id))
+                .collect();
+            if kind % 2 == 0 || live_ids.len() <= 2 {
+                let id = engine.insert(values.clone());
+                prop_assert_eq!(id, mirror.len(), "ids are dense and never reused");
+                mirror.push(Some(values));
+            } else {
+                let id = live_ids[pick % live_ids.len()];
+                prop_assert!(engine.delete(id));
+                prop_assert!(!engine.delete(id), "double delete must fail");
+                mirror[id] = None;
+            }
+
+            // Rebuild an engine from scratch over the surviving records and
+            // compare: region count, per-query work, and the classification
+            // of sampled preference vectors must all agree.
+            let live_raw: Vec<Vec<f64>> = mirror.iter().flatten().cloned().collect();
+            let fresh = QueryEngine::new(&Dataset::new(live_raw), config.clone());
+            for alg in [Algorithm::LpCta, Algorithm::KSkyband] {
+                let incremental = engine.run_batch(alg, &focals, k);
+                let rebuilt = fresh.run_batch(alg, &focals, k);
+                let (a, b) = (&incremental[0], &rebuilt[0]);
+                prop_assert_eq!(a.num_regions(), b.num_regions(), "{:?}", alg);
+                prop_assert_eq!(
+                    a.stats.processed_records,
+                    b.stats.processed_records,
+                    "{:?}",
+                    alg
+                );
+                for w in naive::sample_weights(&a.space, 24, 7) {
+                    prop_assert_eq!(a.contains(&w), b.contains(&w), "{:?} at {:?}", alg, w);
+                }
+            }
+        }
+        // The long-lived engine served the whole interleaving from its
+        // patched cache: zero shared-prep recomputations after priming.
+        prop_assert_eq!(engine.shared_prep_computes(), primed);
+    }
+}

@@ -89,6 +89,72 @@ impl DominanceGraph {
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
+
+    // -----------------------------------------------------------------------
+    // Delta maintenance (incremental skyband upkeep)
+    // -----------------------------------------------------------------------
+
+    /// Inserts a member with an externally computed dominator list, without
+    /// relying on P-CTA's Invariant-1 insertion order.
+    ///
+    /// Used by incremental k-skyband maintenance, where a record can join the
+    /// graph after records it dominates are already present.
+    pub fn insert_with_dominators(&mut self, id: RecordId, values: &[f64], doms: Vec<RecordId>) {
+        debug_assert!(!self.contains(id), "record {id} is already a member");
+        self.dominators.insert(id, doms);
+        self.members.push((id, values.to_vec()));
+    }
+
+    /// Removes a member entirely: its own entry, its dominator list, and its
+    /// occurrences in every other member's dominator list.
+    pub fn remove(&mut self, id: RecordId) {
+        self.members.retain(|(m, _)| *m != id);
+        self.dominators.remove(&id);
+        for doms in self.dominators.values_mut() {
+            doms.retain(|&d| d != id);
+        }
+    }
+
+    /// Appends `dom` to the dominator list of member `id`.
+    pub fn add_dominator(&mut self, id: RecordId, dom: RecordId) {
+        self.dominators.entry(id).or_default().push(dom);
+    }
+
+    /// Number of recorded dominators of member `id` (0 if unknown).
+    pub fn dominator_count(&self, id: RecordId) -> usize {
+        self.dominators.get(&id).map_or(0, Vec::len)
+    }
+
+    /// Attribute values of member `id`, if present.
+    pub fn member_values(&self, id: RecordId) -> Option<&[f64]> {
+        self.members
+            .iter()
+            .find(|(m, _)| *m == id)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// Ids of all current members, in insertion order.
+    pub fn member_ids(&self) -> impl Iterator<Item = RecordId> + '_ {
+        self.members.iter().map(|(id, _)| *id)
+    }
+
+    /// Members that dominate the given values.
+    pub fn dominating_members(&self, values: &[f64]) -> Vec<RecordId> {
+        self.members
+            .iter()
+            .filter(|(_, v)| dominates(v, values))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Members that are dominated by the given values.
+    pub fn dominated_members(&self, values: &[f64]) -> Vec<RecordId> {
+        self.members
+            .iter()
+            .filter(|(_, v)| dominates(values, v))
+            .map(|(id, _)| *id)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -129,5 +195,36 @@ mod tests {
         let g = DominanceGraph::new();
         assert!(g.is_empty());
         assert_eq!(g.len(), 0);
+    }
+
+    #[test]
+    fn delta_maintenance_round_trip() {
+        let mut g = DominanceGraph::new();
+        g.insert(0, &[5.0, 5.0]);
+        g.insert(1, &[3.0, 4.0]); // dominated by 0
+        assert_eq!(g.dominator_count(1), 1);
+
+        // Out-of-order member insertion: 2 dominates everything.
+        g.insert_with_dominators(2, &[6.0, 6.0], vec![]);
+        g.add_dominator(0, 2);
+        g.add_dominator(1, 2);
+        assert_eq!(g.dominator_count(0), 1);
+        assert_eq!(g.dominator_count(1), 2);
+        assert_eq!(g.member_values(2), Some(&[6.0, 6.0][..]));
+        assert_eq!(g.member_ids().collect::<Vec<_>>(), vec![0, 1, 2]);
+
+        let mut dominated = g.dominated_members(&[7.0, 7.0]);
+        dominated.sort_unstable();
+        assert_eq!(dominated, vec![0, 1, 2]);
+        let dominating = g.dominating_members(&[4.0, 4.5]);
+        assert_eq!(dominating.len(), 2, "0 and 2 dominate (4, 4.5)");
+
+        // Removal strips the member from every dominator list.
+        g.remove(2);
+        assert!(!g.contains(2));
+        assert_eq!(g.member_values(2), None);
+        assert_eq!(g.dominator_count(0), 0);
+        assert_eq!(g.dominator_count(1), 1);
+        assert_eq!(g.len(), 2);
     }
 }

@@ -32,4 +32,6 @@ pub use io::{IoCostModel, IoStats};
 pub use mbr::Mbr;
 pub use record::{Record, RecordId};
 pub use rtree::{AggregateRTree, Node, NodeEntries};
-pub use skyline::{bbs_skyline, k_skyband, k_skyband_restricted, naive_skyline, skyline_excluding};
+pub use skyline::{
+    bbs_skyline, k_skyband, k_skyband_live, k_skyband_restricted, naive_skyline, skyline_excluding,
+};

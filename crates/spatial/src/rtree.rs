@@ -1,10 +1,23 @@
-//! Aggregate R-tree bulk-loaded with Sort-Tile-Recursive (STR).
+//! Aggregate R-tree bulk-loaded with Sort-Tile-Recursive (STR), with
+//! incremental insert / delete maintenance.
 //!
 //! Each node stores its MBR and the number of records in its subtree (the
 //! "aggregate" part, §6.2 of the paper).  Records live in leaves; internal
 //! nodes reference child nodes by index in a flat arena.  Every node access
 //! through [`AggregateRTree::node`] is counted as a simulated page read for
 //! the disk-based experiments of Appendix A.
+//!
+//! # Updates
+//!
+//! Beyond the one-shot STR bulk load, the tree supports single-record
+//! [`AggregateRTree::insert`] (Guttman-style choose-subtree descent with a
+//! quadratic split on overflow) and [`AggregateRTree::delete`] (leaf removal
+//! with exact MBR tightening and empty-branch condensation on the root
+//! path).  Record slots are never reused: a deleted record keeps its id but
+//! is tombstoned, so ids handed out to callers stay stable across any update
+//! sequence.  [`AggregateRTree::records`] therefore returns the *raw* slot
+//! slice — iterate [`AggregateRTree::live_records`] or check
+//! [`AggregateRTree::is_live`] when the tree may have seen deletions.
 
 use crate::io::IoStats;
 use crate::mbr::Mbr;
@@ -37,13 +50,21 @@ impl Node {
     }
 }
 
-/// An aggregate R-tree over a fixed set of records.
+/// An aggregate R-tree over a dynamic set of records.
 #[derive(Debug, Clone)]
 pub struct AggregateRTree {
     dim: usize,
     fanout: usize,
+    /// Record slots; `records[id].id == id` always.  Deleted slots are kept
+    /// (ids stay stable) and flagged dead in `live`.
     records: Vec<Record>,
+    /// Liveness flag per record slot.
+    live: Vec<bool>,
+    /// Number of live records.
+    live_count: usize,
     nodes: Vec<Node>,
+    /// Node slots released by delete-condensation, available for reuse.
+    free_nodes: Vec<usize>,
     root: usize,
     io: IoStats,
 }
@@ -112,11 +133,16 @@ impl AggregateRTree {
         }
 
         let root = current_level[0];
+        let live = vec![true; records.len()];
+        let live_count = records.len();
         Self {
             dim,
             fanout,
             records,
+            live,
+            live_count,
             nodes,
+            free_nodes: Vec::new(),
             root,
             io: IoStats::new(),
         }
@@ -127,15 +153,35 @@ impl AggregateRTree {
         Self::bulk_load(records, Self::DEFAULT_FANOUT)
     }
 
-    /// Number of indexed records.
+    /// Number of **live** indexed records.
     pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// True iff the tree indexes no live record (possible once every record
+    /// has been [`AggregateRTree::delete`]d).
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Number of record slots ever allocated (live + tombstoned).
+    pub fn num_slots(&self) -> usize {
         self.records.len()
     }
 
-    /// True iff the tree indexes no records (never the case after
-    /// construction, provided for API completeness).
-    pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+    /// True iff record slot `id` exists and has not been deleted.
+    pub fn is_live(&self, id: RecordId) -> bool {
+        self.live.get(id).copied().unwrap_or(false)
+    }
+
+    /// True iff some record has been deleted (ids are then non-contiguous).
+    pub fn has_tombstones(&self) -> bool {
+        self.live_count != self.records.len()
+    }
+
+    /// Iterates over the live records, in id order.
+    pub fn live_records(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter().filter(|r| self.live[r.id])
     }
 
     /// Record arity.
@@ -170,7 +216,10 @@ impl AggregateRTree {
         &self.nodes[idx]
     }
 
-    /// All indexed records.
+    /// All record **slots**, indexed by id.  After deletions this slice still
+    /// contains the tombstoned records; pair it with
+    /// [`AggregateRTree::is_live`] or use
+    /// [`AggregateRTree::live_records`] when liveness matters.
     pub fn records(&self) -> &[Record] {
         &self.records
     }
@@ -200,6 +249,327 @@ impl AggregateRTree {
         }
     }
 
+    // -----------------------------------------------------------------------
+    // Incremental maintenance
+    // -----------------------------------------------------------------------
+
+    /// Inserts a record and returns its (fresh, never-reused) id.
+    ///
+    /// Descends from the root choosing the child whose MBR needs the least
+    /// enlargement (ties: smaller MBR, then smaller subtree), then splits
+    /// overflowing nodes on the way back up with Guttman's quadratic split.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the tree's arity.
+    pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
+        assert_eq!(
+            values.len(),
+            self.dim,
+            "inserted record arity must match the tree"
+        );
+        let id = self.records.len();
+        self.records.push(Record::new(id, values));
+        self.live.push(true);
+        self.live_count += 1;
+
+        if self.live_count == 1 {
+            // The tree was (or had become) empty: restart from a fresh root
+            // leaf holding just this record.
+            let mbr = Mbr::from_point(&self.records[id].values);
+            self.nodes[self.root] = Node {
+                mbr,
+                count: 1,
+                entries: NodeEntries::Leaf(vec![id]),
+            };
+            return id;
+        }
+
+        // Choose-subtree descent, remembering the root path.
+        let mut path = vec![self.root];
+        loop {
+            let cur = *path.last().expect("path is never empty");
+            let next = match &self.nodes[cur].entries {
+                NodeEntries::Leaf(_) => break,
+                NodeEntries::Internal(children) => {
+                    self.choose_child(children, &self.records[id].values)
+                }
+            };
+            path.push(next);
+        }
+
+        let leaf = *path.last().expect("path is never empty");
+        if let NodeEntries::Leaf(ids) = &mut self.nodes[leaf].entries {
+            ids.push(id);
+        }
+        let point = self.records[id].values.clone();
+        for &n in &path {
+            self.nodes[n].count += 1;
+            self.nodes[n].mbr.expand_point(&point);
+        }
+        self.split_overflows(path);
+        id
+    }
+
+    /// Deletes record `id`, returning `true` if it existed and was live.
+    ///
+    /// Removes the entry from its leaf, tightens every MBR on the root path
+    /// to the exact bounds of the remaining entries, drops emptied branches,
+    /// and shrinks the root while it has a single child.  The record slot is
+    /// tombstoned: its id is never handed out again.
+    pub fn delete(&mut self, id: RecordId) -> bool {
+        if !self.is_live(id) {
+            return false;
+        }
+        let point = self.records[id].values.clone();
+        let mut path = Vec::new();
+        let found = self.find_leaf_of(self.root, id, &point, &mut path);
+        debug_assert!(found, "live record {id} must be stored in some leaf");
+        if !found {
+            return false;
+        }
+        self.live[id] = false;
+        self.live_count -= 1;
+
+        let leaf = *path.last().expect("found implies a non-empty path");
+        if let NodeEntries::Leaf(ids) = &mut self.nodes[leaf].entries {
+            ids.retain(|&x| x != id);
+        }
+        // Bottom-up: fix counts, drop emptied children, tighten MBRs.
+        for i in (0..path.len()).rev() {
+            let n = path[i];
+            self.nodes[n].count -= 1;
+            if i + 1 < path.len() {
+                let child = path[i + 1];
+                if self.nodes[child].count == 0 {
+                    if let NodeEntries::Internal(ch) = &mut self.nodes[n].entries {
+                        ch.retain(|&c| c != child);
+                    }
+                    self.free_node(child);
+                }
+            }
+            self.recompute_mbr(n);
+        }
+
+        if self.live_count == 0 {
+            // Collapse to a single empty root leaf.
+            let root = self.root;
+            self.nodes[root].entries = NodeEntries::Leaf(Vec::new());
+            self.nodes[root].count = 0;
+            return true;
+        }
+        // Root condensation: promote a lone child.
+        loop {
+            let promote = match &self.nodes[self.root].entries {
+                NodeEntries::Internal(ch) if ch.len() == 1 => Some(ch[0]),
+                _ => None,
+            };
+            match promote {
+                Some(child) => {
+                    let old_root = self.root;
+                    self.free_node(old_root);
+                    self.root = child;
+                }
+                None => break,
+            }
+        }
+        true
+    }
+
+    /// The child of `children` whose MBR needs the least (margin) enlargement
+    /// to absorb `point`.
+    fn choose_child(&self, children: &[usize], point: &[f64]) -> usize {
+        let mut best = children[0];
+        let mut best_key = (f64::INFINITY, f64::INFINITY, usize::MAX);
+        for &c in children {
+            let mbr = &self.nodes[c].mbr;
+            let mut enlarged = mbr.clone();
+            enlarged.expand_point(point);
+            let key = (
+                margin(&enlarged) - margin(mbr),
+                margin(mbr),
+                self.nodes[c].count,
+            );
+            if key < best_key {
+                best_key = key;
+                best = c;
+            }
+        }
+        best
+    }
+
+    /// Finds the leaf storing `id`, pushing the root path onto `path`.
+    fn find_leaf_of(&self, idx: usize, id: RecordId, point: &[f64], path: &mut Vec<usize>) -> bool {
+        if !self.nodes[idx].mbr.contains(point) {
+            return false;
+        }
+        path.push(idx);
+        match &self.nodes[idx].entries {
+            NodeEntries::Leaf(ids) => {
+                if ids.contains(&id) {
+                    return true;
+                }
+            }
+            NodeEntries::Internal(children) => {
+                for &c in children {
+                    if self.find_leaf_of(c, id, point, path) {
+                        return true;
+                    }
+                }
+            }
+        }
+        path.pop();
+        false
+    }
+
+    /// Splits every overflowing node on `path`, deepest first, linking the
+    /// split-off sibling into the parent (or a new root).
+    fn split_overflows(&mut self, mut path: Vec<usize>) {
+        while let Some(idx) = path.pop() {
+            let over = match &self.nodes[idx].entries {
+                NodeEntries::Leaf(ids) => ids.len() > self.fanout,
+                NodeEntries::Internal(ch) => ch.len() > self.fanout,
+            };
+            if !over {
+                // Nothing split here, so no ancestor gained an entry either.
+                break;
+            }
+            let sibling = self.split_node(idx);
+            match path.last() {
+                Some(&parent) => {
+                    if let NodeEntries::Internal(ch) = &mut self.nodes[parent].entries {
+                        ch.push(sibling);
+                    }
+                    // The parent's MBR already covers both halves.
+                }
+                None => {
+                    // The root split: grow the tree by one level.
+                    let mut mbr = self.nodes[idx].mbr.clone();
+                    mbr.expand_mbr(&self.nodes[sibling].mbr);
+                    let count = self.nodes[idx].count + self.nodes[sibling].count;
+                    let new_root = self.alloc_node(Node {
+                        mbr,
+                        count,
+                        entries: NodeEntries::Internal(vec![idx, sibling]),
+                    });
+                    self.root = new_root;
+                }
+            }
+        }
+    }
+
+    /// Quadratic split of node `idx`: keeps one group in place, returns the
+    /// index of a new node holding the other group.
+    fn split_node(&mut self, idx: usize) -> usize {
+        let is_leaf = self.nodes[idx].is_leaf();
+        let handles: Vec<usize> = match &self.nodes[idx].entries {
+            NodeEntries::Leaf(ids) => ids.clone(),
+            NodeEntries::Internal(ch) => ch.clone(),
+        };
+        let mbrs: Vec<Mbr> = handles
+            .iter()
+            .map(|&h| {
+                if is_leaf {
+                    Mbr::from_point(&self.records[h].values)
+                } else {
+                    self.nodes[h].mbr.clone()
+                }
+            })
+            .collect();
+        let min_fill = (self.fanout / 2).max(1);
+        let (group_a, group_b) = quadratic_partition(&mbrs, min_fill);
+
+        let pick = |group: &[usize]| -> Vec<usize> { group.iter().map(|&g| handles[g]).collect() };
+        let (handles_a, handles_b) = (pick(&group_a), pick(&group_b));
+        let node_b = self.alloc_split_half(handles_b, is_leaf);
+        self.replace_entries(idx, handles_a, is_leaf);
+        node_b
+    }
+
+    /// Allocates the split-off sibling with the given entry handles.
+    fn alloc_split_half(&mut self, handles: Vec<usize>, is_leaf: bool) -> usize {
+        let (mbr, count) = self.summarize_entries(&handles, is_leaf);
+        let entries = if is_leaf {
+            NodeEntries::Leaf(handles)
+        } else {
+            NodeEntries::Internal(handles)
+        };
+        self.alloc_node(Node {
+            mbr,
+            count,
+            entries,
+        })
+    }
+
+    /// Resets node `idx` to exactly the given entry handles.
+    fn replace_entries(&mut self, idx: usize, handles: Vec<usize>, is_leaf: bool) {
+        let (mbr, count) = self.summarize_entries(&handles, is_leaf);
+        self.nodes[idx].mbr = mbr;
+        self.nodes[idx].count = count;
+        self.nodes[idx].entries = if is_leaf {
+            NodeEntries::Leaf(handles)
+        } else {
+            NodeEntries::Internal(handles)
+        };
+    }
+
+    /// Exact MBR and record count of a non-empty entry-handle set.
+    fn summarize_entries(&self, handles: &[usize], is_leaf: bool) -> (Mbr, usize) {
+        if is_leaf {
+            let mbr = Mbr::from_points(handles.iter().map(|&h| self.records[h].values.as_slice()));
+            (mbr, handles.len())
+        } else {
+            let mut mbr = self.nodes[handles[0]].mbr.clone();
+            let mut count = 0;
+            for &h in handles {
+                mbr.expand_mbr(&self.nodes[h].mbr);
+                count += self.nodes[h].count;
+            }
+            (mbr, count)
+        }
+    }
+
+    /// Recomputes the exact MBR of a (non-empty) node from its entries.
+    fn recompute_mbr(&mut self, idx: usize) {
+        let mbr = match &self.nodes[idx].entries {
+            NodeEntries::Leaf(ids) if !ids.is_empty() => Some(Mbr::from_points(
+                ids.iter().map(|&id| self.records[id].values.as_slice()),
+            )),
+            NodeEntries::Internal(ch) if !ch.is_empty() => {
+                let mut mbr = self.nodes[ch[0]].mbr.clone();
+                for &c in &ch[1..] {
+                    mbr.expand_mbr(&self.nodes[c].mbr);
+                }
+                Some(mbr)
+            }
+            _ => None,
+        };
+        if let Some(mbr) = mbr {
+            self.nodes[idx].mbr = mbr;
+        }
+    }
+
+    /// Takes a node slot off the free list or grows the arena.
+    fn alloc_node(&mut self, node: Node) -> usize {
+        match self.free_nodes.pop() {
+            Some(idx) => {
+                self.nodes[idx] = node;
+                idx
+            }
+            None => {
+                self.nodes.push(node);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Releases a node slot.  The slot is scrubbed to an empty leaf so that
+    /// full-arena scans (tests, invariant checks) see no stale entries.
+    fn free_node(&mut self, idx: usize) {
+        self.nodes[idx].entries = NodeEntries::Leaf(Vec::new());
+        self.nodes[idx].count = 0;
+        self.free_nodes.push(idx);
+    }
+
     /// Returns `Some(record id)` for a record that is **not** dominated by any
     /// of `pivots` and is not in `excluded`, or `None` if every such record is
     /// dominated.
@@ -213,6 +583,9 @@ impl AggregateRTree {
         pivots: &[&[f64]],
         excluded: &dyn Fn(RecordId) -> bool,
     ) -> Option<RecordId> {
+        if self.is_empty() {
+            return None;
+        }
         self.find_not_dominated_rec(self.root, pivots, excluded)
     }
 
@@ -241,6 +614,90 @@ impl AggregateRTree {
                 .find_map(|&c| self.find_not_dominated_rec(c, pivots, excluded)),
         }
     }
+}
+
+/// Margin (sum of side lengths) of an MBR — the split heuristic's size
+/// measure.  Unlike the volume it stays informative for the degenerate
+/// (point / flat) rectangles that dominate leaf-level splits.
+fn margin(mbr: &Mbr) -> f64 {
+    mbr.min.iter().zip(&mbr.max).map(|(lo, hi)| hi - lo).sum()
+}
+
+/// Guttman's quadratic split over entry MBRs: picks the pair of seeds that
+/// wastes the most space when grouped together, then greedily assigns every
+/// remaining entry to the group whose MBR grows the least (honouring the
+/// `min_fill` lower bound on group size).  Returns the two groups as index
+/// sets into `mbrs`.
+fn quadratic_partition(mbrs: &[Mbr], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
+    let n = mbrs.len();
+    debug_assert!(n >= 2, "cannot split fewer than two entries");
+    // Seed selection.
+    let (mut seed_a, mut seed_b) = (0, 1);
+    let mut worst = f64::NEG_INFINITY;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut union = mbrs[i].clone();
+            union.expand_mbr(&mbrs[j]);
+            let waste = margin(&union) - margin(&mbrs[i]) - margin(&mbrs[j]);
+            if waste > worst {
+                worst = waste;
+                (seed_a, seed_b) = (i, j);
+            }
+        }
+    }
+    let mut group_a = vec![seed_a];
+    let mut group_b = vec![seed_b];
+    let mut mbr_a = mbrs[seed_a].clone();
+    let mut mbr_b = mbrs[seed_b].clone();
+    let mut rest: Vec<usize> = (0..n).filter(|&x| x != seed_a && x != seed_b).collect();
+
+    while !rest.is_empty() {
+        // Min-fill guarantee: hand everything left to a starving group.
+        if group_a.len() + rest.len() <= min_fill {
+            group_a.append(&mut rest);
+            break;
+        }
+        if group_b.len() + rest.len() <= min_fill {
+            group_b.append(&mut rest);
+            break;
+        }
+        // Pick the entry with the strongest preference for one group.
+        let mut pick = 0;
+        let mut pick_diff = f64::NEG_INFINITY;
+        for (pos, &e) in rest.iter().enumerate() {
+            let grow = |g: &Mbr| {
+                let mut u = g.clone();
+                u.expand_mbr(&mbrs[e]);
+                margin(&u) - margin(g)
+            };
+            let diff = (grow(&mbr_a) - grow(&mbr_b)).abs();
+            if diff > pick_diff {
+                pick_diff = diff;
+                pick = pos;
+            }
+        }
+        let e = rest.swap_remove(pick);
+        let mut ua = mbr_a.clone();
+        ua.expand_mbr(&mbrs[e]);
+        let mut ub = mbr_b.clone();
+        ub.expand_mbr(&mbrs[e]);
+        let da = margin(&ua) - margin(&mbr_a);
+        let db = margin(&ub) - margin(&mbr_b);
+        let to_a = match da.partial_cmp(&db) {
+            Some(std::cmp::Ordering::Less) => true,
+            Some(std::cmp::Ordering::Greater) => false,
+            // Ties: smaller group first, then group A.
+            _ => group_a.len() <= group_b.len(),
+        };
+        if to_a {
+            group_a.push(e);
+            mbr_a = ua;
+        } else {
+            group_b.push(e);
+            mbr_b = ub;
+        }
+    }
+    (group_a, group_b)
 }
 
 /// Sort-Tile-Recursive partitioning of `items` into groups of at most
@@ -397,5 +854,144 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn rejects_empty_input() {
         AggregateRTree::from_records(vec![]);
+    }
+
+    /// Walks the tree from the root and checks every structural invariant:
+    /// counts aggregate, MBRs are exact, fanout is respected, and the set of
+    /// stored ids is exactly the live id set.
+    fn check_invariants(tree: &AggregateRTree) {
+        fn walk(tree: &AggregateRTree, idx: usize, found: &mut Vec<RecordId>) -> usize {
+            let node = tree.node_no_io(idx);
+            match &node.entries {
+                NodeEntries::Leaf(ids) => {
+                    assert_eq!(node.count, ids.len(), "leaf count mismatch at {idx}");
+                    for &id in ids {
+                        assert!(tree.is_live(id), "leaf stores dead record {id}");
+                        assert!(
+                            node.mbr.contains(&tree.record(id).values),
+                            "record {id} outside its leaf MBR"
+                        );
+                        found.push(id);
+                    }
+                    ids.len()
+                }
+                NodeEntries::Internal(children) => {
+                    assert!(!children.is_empty(), "internal node {idx} has no children");
+                    let mut total = 0;
+                    for &c in children {
+                        let child = tree.node_no_io(c);
+                        assert!(
+                            node.mbr.contains(child.mbr.lower_corner())
+                                && node.mbr.contains(child.mbr.upper_corner()),
+                            "child MBR escapes parent at {idx}"
+                        );
+                        total += walk(tree, c, found);
+                    }
+                    assert_eq!(node.count, total, "aggregate count mismatch at {idx}");
+                    total
+                }
+            }
+        }
+        let mut found = Vec::new();
+        let total = walk(tree, tree.root(), &mut found);
+        assert_eq!(total, tree.len());
+        found.sort_unstable();
+        let live: Vec<RecordId> = tree.live_records().map(|r| r.id).collect();
+        assert_eq!(found, live);
+        // Fanout bound (the root alone may be under-filled).
+        for idx in 0..tree.num_nodes() {
+            match &tree.node_no_io(idx).entries {
+                NodeEntries::Leaf(ids) => assert!(ids.len() <= tree.fanout()),
+                NodeEntries::Internal(ch) => assert!(ch.len() <= tree.fanout()),
+            }
+        }
+    }
+
+    #[test]
+    fn insert_grows_the_tree_and_preserves_invariants() {
+        let records = random_records(40, 3, 7);
+        let mut tree = AggregateRTree::bulk_load(records, 4);
+        let mut rng = SmallRng::seed_from_u64(70);
+        for _ in 0..200 {
+            let values: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let id = tree.insert(values.clone());
+            assert_eq!(&tree.record(id).values, &values);
+            assert!(tree.is_live(id));
+        }
+        assert_eq!(tree.len(), 240);
+        assert!(tree.height() >= 3);
+        check_invariants(&tree);
+    }
+
+    #[test]
+    fn delete_tightens_and_condenses() {
+        let records = random_records(150, 2, 8);
+        let mut tree = AggregateRTree::bulk_load(records, 4);
+        let mut rng = SmallRng::seed_from_u64(80);
+        let mut live: Vec<RecordId> = (0..150).collect();
+        while live.len() > 3 {
+            let victim = live.swap_remove(rng.gen_range(0..live.len()));
+            assert!(tree.delete(victim));
+            assert!(!tree.delete(victim), "double delete must fail");
+            assert!(!tree.is_live(victim));
+        }
+        assert_eq!(tree.len(), 3);
+        assert!(tree.has_tombstones());
+        check_invariants(&tree);
+        // Deleting everything leaves a valid empty tree ...
+        for id in live {
+            assert!(tree.delete(id));
+        }
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        // ... into which inserts work again.
+        let id = tree.insert(vec![0.5, 0.5]);
+        assert_eq!(tree.len(), 1);
+        assert!(tree.is_live(id));
+        check_invariants(&tree);
+    }
+
+    #[test]
+    fn mixed_updates_match_bulk_loaded_skyline() {
+        use crate::skyline::{bbs_skyline, naive_skyline};
+        let mut rng = SmallRng::seed_from_u64(90);
+        let records = random_records(120, 3, 9);
+        let mut tree = AggregateRTree::bulk_load(records, 8);
+        for step in 0..300 {
+            if step % 3 == 0 && tree.len() > 10 {
+                // Delete a random live record.
+                let live: Vec<RecordId> = tree.live_records().map(|r| r.id).collect();
+                let victim = live[rng.gen_range(0..live.len())];
+                assert!(tree.delete(victim));
+            } else {
+                let values: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+                tree.insert(values);
+            }
+        }
+        check_invariants(&tree);
+        // The BBS skyline over the updated tree equals the naive skyline over
+        // the live records.
+        let live: Vec<Record> = tree.live_records().cloned().collect();
+        let mut expected: Vec<RecordId> = naive_skyline(&live);
+        let mut got = bbs_skyline(&tree);
+        got.sort_unstable();
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn deleted_ids_are_never_reused() {
+        let mut tree = AggregateRTree::bulk_load(
+            vec![
+                Record::new(0, vec![0.2, 0.2]),
+                Record::new(1, vec![0.8, 0.8]),
+            ],
+            4,
+        );
+        assert!(tree.delete(0));
+        let id = tree.insert(vec![0.4, 0.4]);
+        assert_eq!(id, 2, "tombstoned slot 0 must not be recycled");
+        assert_eq!(tree.num_slots(), 3);
+        assert_eq!(tree.len(), 2);
     }
 }

@@ -61,6 +61,9 @@ pub fn bbs_skyline(tree: &AggregateRTree) -> Vec<RecordId> {
 /// This is the "recompute the skyline of `D` by ignoring the records in the
 /// union of non-pivots" step of P-CTA (Section 5).
 pub fn skyline_excluding(tree: &AggregateRTree, exclude: &HashSet<RecordId>) -> Vec<RecordId> {
+    if tree.is_empty() {
+        return Vec::new();
+    }
     let mut heap = BinaryHeap::new();
     heap.push(HeapEntry {
         key: tree.node_no_io(tree.root()).mbr.upper_sum(),
@@ -142,7 +145,23 @@ pub fn naive_skyline(records: &[Record]) -> Vec<RecordId> {
 /// earlier records need to be checked, and the scan for a record stops as soon
 /// as `k` dominators are found.
 pub fn k_skyband(records: &[Record], k: usize) -> Vec<RecordId> {
-    k_skyband_restricted(records, k, |_| true)
+    k_skyband_live(records, k, |_| true)
+}
+
+/// Computes the k-skyband of the **live** subset of a record-slot slice.
+///
+/// `alive` decides which slots participate: dead slots neither appear in the
+/// result nor count as dominators, so the result is exactly
+/// `k_skyband(live records, k)`.  This is the entry point for datasets whose
+/// index has seen deletions (tombstoned record slots).
+pub fn k_skyband_live(
+    records: &[Record],
+    k: usize,
+    alive: impl Fn(RecordId) -> bool,
+) -> Vec<RecordId> {
+    // Dead slots neither compete nor dominate, so they are excluded from the
+    // scan order outright (which also makes every survivor a candidate).
+    k_skyband_impl(records, k, alive, |_| true)
 }
 
 /// Computes the k-skyband restricted to the records accepted by `candidate`.
@@ -158,7 +177,26 @@ pub fn k_skyband_restricted(
     k: usize,
     candidate: impl Fn(RecordId) -> bool,
 ) -> Vec<RecordId> {
-    let mut order: Vec<usize> = (0..records.len()).collect();
+    k_skyband_impl(records, k, |_| true, candidate)
+}
+
+/// The shared band scan behind every k-skyband variant.
+///
+/// `dominator` decides which record slots participate at all (excluded slots
+/// neither appear in the result nor count as dominators); `candidate`
+/// additionally restricts which participating records are *tested and
+/// reported* (their dominator scans are skipped, but they still dominate
+/// others).  Participants are scanned in decreasing coordinate-sum order, so
+/// only earlier participants can dominate and each scan stops at `k`.
+fn k_skyband_impl(
+    records: &[Record],
+    k: usize,
+    dominator: impl Fn(RecordId) -> bool,
+    candidate: impl Fn(RecordId) -> bool,
+) -> Vec<RecordId> {
+    let mut order: Vec<usize> = (0..records.len())
+        .filter(|&i| dominator(records[i].id))
+        .collect();
     let sums: Vec<f64> = records.iter().map(|r| r.values.iter().sum()).collect();
     order.sort_by(|&a, &b| sums[b].partial_cmp(&sums[a]).unwrap_or(Ordering::Equal));
     let mut result = Vec::new();
@@ -298,6 +336,28 @@ mod tests {
         assert_eq!(
             k_skyband_restricted(&records, k, |id| candidates.contains(&id)),
             expected
+        );
+    }
+
+    #[test]
+    fn live_skyband_equals_band_of_live_subset() {
+        let records = random_records(250, 3, 21);
+        let k = 3;
+        // Kill every fourth record; the live band must equal the band of the
+        // compacted live subset (dead records stop counting as dominators).
+        let dead: HashSet<RecordId> = (0..250).filter(|id| id % 4 == 0).collect();
+        let live: Vec<Record> = records
+            .iter()
+            .filter(|r| !dead.contains(&r.id))
+            .cloned()
+            .collect();
+        let expected = sorted(k_skyband_live(&live, k, |_| true));
+        let got = sorted(k_skyband_live(&records, k, |id| !dead.contains(&id)));
+        assert_eq!(got, expected);
+        // With everything alive it is the plain k-skyband.
+        assert_eq!(
+            sorted(k_skyband_live(&records, k, |_| true)),
+            sorted(k_skyband(&records, k))
         );
     }
 
