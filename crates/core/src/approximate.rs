@@ -156,11 +156,49 @@ mod tests {
         let dataset = random_dataset(200, 3, 9);
         let focal = vec![0.8, 0.7, 0.75];
         let k = 5;
-        let raw: Vec<Vec<f64>> = dataset.records().iter().map(|r| r.values.clone()).collect();
+        // Validate against the *live* view — the same record set the
+        // estimator samples against.  (On a freshly built dataset the two
+        // coincide; on a tombstoned store they must not be confused, see
+        // `tombstoned_records_never_influence_the_estimate`.)
+        let raw: Vec<Vec<f64>> = dataset.live_records().map(|r| r.values.clone()).collect();
         let space = PreferenceSpace::transformed(3);
         let approx = approximate_impact(&dataset, &focal, k, 1_000, 0.95, 11);
         for w in &approx.hits {
             assert!(naive::is_top_k(&raw, &focal, &space.to_full_weight(w), k));
+        }
+    }
+
+    #[test]
+    fn tombstoned_records_never_influence_the_estimate() {
+        use crate::dataset::DatasetStore;
+        // Record 0 dominates the focal record, so while it is live the focal
+        // record can never be top-1 (impact 0); once deleted, the focal
+        // record beats everything that is left (impact 1).
+        let mut store = DatasetStore::from_raw(vec![vec![0.9, 0.9], vec![0.2, 0.2]]);
+        let focal = vec![0.5, 0.5];
+        let before = approximate_impact(store.dataset(), &focal, 1, 400, 0.95, 21);
+        assert_eq!(before.impact, 0.0);
+        assert!(before.hits.is_empty());
+
+        assert_eq!(store.delete(0), Some(vec![0.9, 0.9]));
+        let after = approximate_impact(store.dataset(), &focal, 1, 400, 0.95, 21);
+        assert_eq!(
+            after.impact, 1.0,
+            "a deleted dominator must not suppress the estimate"
+        );
+        assert_eq!(after.hits.len(), 400);
+
+        // The hit-validation invariant holds on the live view even with
+        // tombstones present: every hit is a genuine top-k preference of the
+        // surviving records.
+        let live: Vec<Vec<f64>> = store
+            .dataset()
+            .live_records()
+            .map(|r| r.values.clone())
+            .collect();
+        let space = PreferenceSpace::transformed(2);
+        for w in &after.hits {
+            assert!(naive::is_top_k(&live, &focal, &space.to_full_weight(w), 1));
         }
     }
 

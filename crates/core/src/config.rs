@@ -41,6 +41,12 @@ pub struct KsprConfig {
     /// and patched incrementally on dataset updates.  Disabling it restores
     /// the compute-per-batch behavior (useful to ablate the cache).
     pub cache_shared_prep: bool,
+    /// Number of dataset shards the serving front-end (`kspr-serve`)
+    /// partitions the dataset into.  `1` (the default) serves every query
+    /// through a single [`crate::engine::QueryEngine`]; larger values fan
+    /// updates out to per-shard engines and answer queries through a merged
+    /// candidate engine.  The plain `QueryEngine` ignores this knob.
+    pub shards: usize,
     /// Simulated I/O cost model (Appendix A).  `None` disables I/O accounting
     /// in the reported statistics.
     pub io_model: Option<IoCostModel>,
@@ -62,6 +68,7 @@ impl Default for KsprConfig {
             bound_mode: BoundMode::Fast,
             rtree_fanout: 32,
             cache_shared_prep: true,
+            shards: 1,
             io_model: None,
             volume_samples: 20_000,
             finalize: true,
@@ -104,6 +111,17 @@ impl KsprConfig {
         self.cache_shared_prep = false;
         self
     }
+
+    /// Convenience: the default configuration with `shards` dataset shards
+    /// (consumed by the `kspr-serve` front-end).
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard is required");
+        self.shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -119,6 +137,18 @@ mod tests {
         assert_eq!(c.bound_mode, BoundMode::Fast);
         assert!(c.cache_shared_prep);
         assert!(c.finalize);
+        assert_eq!(c.shards, 1, "serving defaults to a single shard");
+    }
+
+    #[test]
+    fn shards_builder() {
+        assert_eq!(KsprConfig::default().with_shards(4).shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn rejects_zero_shards() {
+        let _ = KsprConfig::default().with_shards(0);
     }
 
     #[test]

@@ -4,6 +4,83 @@
 use kspr_spatial::{AggregateRTree, Record, RecordId};
 use std::sync::Arc;
 
+/// Why a record fails ingest validation (see [`check_record`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IngestError {
+    /// The row has no attributes.
+    Empty,
+    /// The row's arity does not match the dataset's.
+    ArityMismatch {
+        /// The dataset arity.
+        expected: usize,
+        /// The row's arity.
+        got: usize,
+    },
+    /// The row contains a NaN or infinite value.
+    NonFinite {
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Empty => write!(f, "has no attributes (empty rows are not allowed)"),
+            IngestError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "has {got} attributes, but the dataset arity is {expected}"
+                )
+            }
+            IngestError::NonFinite { value } => write!(
+                f,
+                "contains a non-finite attribute value ({value}); all values must be finite"
+            ),
+        }
+    }
+}
+
+/// Checks one record's attribute vector against the ingest rules.
+///
+/// Every value must be finite: NaN values break the total orders the engine
+/// relies on (skyband sorting, expansion order, dominance tests all use
+/// `partial_cmp`), which silently yields nondeterministic results rather than
+/// an error.  `expected_dim` is the dataset arity (`None` for the first row,
+/// which defines it).
+///
+/// This is the single source of truth for ingest validation — the serving
+/// layer (`kspr-serve`) uses it too, mapping violations to request errors
+/// instead of panics.
+pub fn check_record(values: &[f64], expected_dim: Option<usize>) -> Result<(), IngestError> {
+    if let Some(expected) = expected_dim {
+        if values.len() != expected {
+            return Err(IngestError::ArityMismatch {
+                expected,
+                got: values.len(),
+            });
+        }
+    }
+    if values.is_empty() {
+        return Err(IngestError::Empty);
+    }
+    if let Some(&value) = values.iter().find(|v| !v.is_finite()) {
+        return Err(IngestError::NonFinite { value });
+    }
+    Ok(())
+}
+
+/// Panicking form of [`check_record`], used at the library ingest boundary.
+///
+/// # Panics
+/// Panics with a descriptive message on a non-finite value, an empty row, or
+/// an arity mismatch.
+pub fn validate_record(values: &[f64], expected_dim: Option<usize>, id: usize) {
+    if let Err(err) = check_record(values, expected_dim) {
+        panic!("record {id} {err}");
+    }
+}
+
 /// A dataset of options, indexed by an aggregate R-tree.
 ///
 /// Attribute values follow the paper's convention: every attribute is
@@ -23,13 +100,22 @@ impl Dataset {
     /// default R-tree fanout.
     ///
     /// # Panics
-    /// Panics if `raw` is empty or the rows have inconsistent arities.
+    /// Panics if `raw` is empty, the rows have inconsistent arities, or any
+    /// value is non-finite (NaN / ±∞).
     pub fn new(raw: Vec<Vec<f64>>) -> Self {
         Self::with_fanout(raw, AggregateRTree::DEFAULT_FANOUT)
     }
 
     /// Builds a dataset with an explicit R-tree fanout.
+    ///
+    /// # Panics
+    /// Panics if `raw` is empty, the rows have inconsistent arities, or any
+    /// value is non-finite (NaN / ±∞).
     pub fn with_fanout(raw: Vec<Vec<f64>>, fanout: usize) -> Self {
+        let dim = raw.first().map(|r| r.len());
+        for (id, row) in raw.iter().enumerate() {
+            validate_record(row, dim, id);
+        }
         let records = Record::from_raw(raw);
         Self {
             tree: Arc::new(AggregateRTree::bulk_load(records, fanout)),
@@ -146,8 +232,14 @@ impl DatasetStore {
     /// Inserts a record, maintaining the R-tree in place, and returns its id.
     ///
     /// # Panics
-    /// Panics if `values` does not match the dataset arity.
+    /// Panics if `values` does not match the dataset arity or contains a
+    /// non-finite value (NaN / ±∞).
     pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
+        validate_record(
+            &values,
+            Some(self.dataset.dim()),
+            self.dataset.records().len(),
+        );
         let id = Arc::make_mut(&mut self.dataset.tree).insert(values);
         self.epoch += 1;
         id
@@ -185,6 +277,60 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn rejects_empty_data() {
         Dataset::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite attribute value")]
+    fn rejects_nan_in_constructor() {
+        Dataset::new(vec![vec![0.1, 0.2], vec![0.3, f64::NAN]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite attribute value")]
+    fn rejects_infinity_in_constructor() {
+        Dataset::new(vec![vec![f64::INFINITY, 0.2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes, but the dataset arity")]
+    fn rejects_mismatched_arity_in_constructor() {
+        Dataset::new(vec![vec![0.1, 0.2], vec![0.3, 0.4, 0.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty rows are not allowed")]
+    fn rejects_empty_row() {
+        Dataset::new(vec![vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite attribute value")]
+    fn store_insert_rejects_nan() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2]]);
+        store.insert(vec![0.3, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "attributes, but the dataset arity")]
+    fn store_insert_rejects_mismatched_arity() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2]]);
+        store.insert(vec![0.3, 0.4, 0.5]);
+    }
+
+    #[test]
+    fn failed_insert_does_not_bump_the_epoch() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2]]);
+        let before = store.epoch();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            store.insert(vec![f64::NAN, 0.4])
+        }));
+        assert!(result.is_err());
+        assert_eq!(
+            store.epoch(),
+            before,
+            "rejected ingest must not version-bump"
+        );
+        assert_eq!(store.dataset().len(), 1);
     }
 
     #[test]

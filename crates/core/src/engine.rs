@@ -559,7 +559,7 @@ impl QueryEngine {
     /// Panics if `values` does not match the dataset arity.
     pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
         let id = self.store.insert(values.clone());
-        let cache = self.cache.get_mut().expect("prep cache lock poisoned");
+        let cache = Self::recovering_get_mut(&mut self.cache);
         if let Some(primary) = &mut cache.primary {
             Arc::make_mut(primary).apply_insert(id, &values);
         }
@@ -577,13 +577,58 @@ impl QueryEngine {
         let Some(values) = self.store.delete(id) else {
             return false;
         };
-        let cache = self.cache.get_mut().expect("prep cache lock poisoned");
+        let cache = Self::recovering_get_mut(&mut self.cache);
         if let Some(primary) = &mut cache.primary {
             Arc::make_mut(primary).apply_delete(id, &values, self.store.dataset());
         }
         cache.views.clear();
         cache.epoch = self.store.epoch();
         true
+    }
+
+    /// Recovers the cache from a poisoned lock.
+    ///
+    /// The shared-prep cache is a pure accelerator: every entry can be
+    /// recomputed from the dataset, so a panic that poisoned the `Mutex`
+    /// (e.g. a panicking query inside the locked region, under `rayon` or
+    /// otherwise) must not take the engine down with it.  The poisoned
+    /// contents are dropped — a panic mid-update could have left a
+    /// half-patched band behind — and the poison flag is cleared so later
+    /// queries cache normally again.
+    fn recovering_get_mut(cache: &mut Mutex<PrepCache>) -> &mut PrepCache {
+        if cache.is_poisoned() {
+            cache.clear_poison();
+            if let Ok(inner) = cache.get_mut() {
+                inner.clear();
+            }
+        }
+        cache.get_mut().expect("prep cache poison was just cleared")
+    }
+
+    /// Locks the cache, recovering (and discarding) poisoned contents.
+    fn lock_cache(&self) -> std::sync::MutexGuard<'_, PrepCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                self.cache.clear_poison();
+                let mut guard = poisoned.into_inner();
+                guard.clear();
+                guard
+            }
+        }
+    }
+
+    /// The engine's cached shared preprocessing for rank threshold `k` — the
+    /// dataset-level k-skyband and the dominance adjacency of its members.
+    ///
+    /// This is the shard-aware entry point used by the `kspr-serve` front-end:
+    /// each shard exposes its (incrementally patched) band through this method
+    /// and the serving layer merges the per-shard bands into a global
+    /// candidate set.  Served from the per-`k` cache; computes at most once
+    /// per (dataset epoch, `k`).
+    pub fn shared_prep_for(&self, k: usize) -> Arc<SharedPrep> {
+        assert!(k >= 1, "k must be at least 1");
+        self.shared_prep(k)
     }
 
     /// Fetches (or computes) the shared prep for rank threshold `k`.
@@ -601,7 +646,7 @@ impl QueryEngine {
         if !self.config.cache_shared_prep {
             return compute();
         }
-        let mut cache = self.cache.lock().expect("prep cache lock poisoned");
+        let mut cache = self.lock_cache();
         // Updates patch the cache synchronously, so a stale epoch can only be
         // seen if the store was swapped out from under us; drop everything.
         if cache.epoch != self.store.epoch() {
@@ -1313,6 +1358,68 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn poisoned_prep_cache_recovers_instead_of_locking_up() {
+        let (dataset, _, _) = figure1();
+        let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let focals = vec![vec![5.0, 5.0, 7.0], vec![6.0, 6.0, 5.0]];
+        let before_poison = engine.run_batch(Algorithm::LpCta, &focals, 3);
+        assert_eq!(engine.shared_prep_computes(), 1);
+
+        // Poison the cache mutex the way a panicking query would: panic while
+        // holding the lock.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.cache.lock().unwrap();
+            panic!("query panicked while holding the prep cache");
+        }));
+        assert!(result.is_err());
+        assert!(engine.cache.is_poisoned());
+
+        // Every later query must still be served (the poisoned cache contents
+        // are discarded and rebuilt), with identical results ...
+        let after_poison = engine.run_batch(Algorithm::LpCta, &focals, 3);
+        for (a, b) in before_poison.iter().zip(&after_poison) {
+            assert_eq!(a.num_regions(), b.num_regions());
+        }
+        assert_eq!(
+            engine.shared_prep_computes(),
+            2,
+            "the dropped cache is recomputed once"
+        );
+        // ... and caching resumes normally (no recompute-per-call lockstep).
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        assert_eq!(engine.shared_prep_computes(), 2);
+        assert!(!engine.cache.is_poisoned(), "poison flag must be cleared");
+
+        // The update path recovers too.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = engine.cache.lock().unwrap();
+            panic!("poison again");
+        }));
+        assert!(result.is_err());
+        let id = engine.insert(vec![7.0, 7.0, 7.0]);
+        assert!(engine.delete(id));
+        engine.run_batch(Algorithm::LpCta, &focals, 3);
+        for (a, b) in before_poison
+            .iter()
+            .zip(&engine.run_batch(Algorithm::LpCta, &focals, 3))
+        {
+            assert_eq!(a.num_regions(), b.num_regions());
+        }
+    }
+
+    #[test]
+    fn shared_prep_for_serves_from_the_cache() {
+        let (dataset, _, _) = figure1();
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let a = engine.shared_prep_for(3);
+        let b = engine.shared_prep_for(3);
+        assert!(Arc::ptr_eq(&a, &b), "same k must be a cache hit");
+        assert_eq!(engine.shared_prep_computes(), 1);
+        assert_eq!(engine.shared_prep_for(2).k(), 2, "smaller k is a view");
+        assert_eq!(engine.shared_prep_computes(), 1);
     }
 
     #[test]

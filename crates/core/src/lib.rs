@@ -76,7 +76,7 @@ pub mod stats;
 
 pub use algorithms::{run, run_batch, Algorithm};
 pub use config::{BoundMode, KsprConfig};
-pub use dataset::{Dataset, DatasetStore};
+pub use dataset::{check_record, Dataset, DatasetStore, IngestError};
 pub use engine::{
     CtaPolicy, ExpansionPolicy, PreparedQuery, ProgressivePolicy, QueryEngine, SharedPrep,
     SkybandPolicy,

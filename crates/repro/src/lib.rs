@@ -9,4 +9,5 @@ pub use kspr;
 pub use kspr_datagen as datagen;
 pub use kspr_geometry as geometry;
 pub use kspr_lp as lp;
+pub use kspr_serve as serve;
 pub use kspr_spatial as spatial;

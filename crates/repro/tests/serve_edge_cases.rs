@@ -1,0 +1,111 @@
+//! Serving edge cases, end to end through the public `kspr_serve` API:
+//! `k = 0` rejection, an empty dataset, a shard deleted down to nothing, and
+//! the single-shard configuration matching the plain engine bit for bit.
+
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig, QueryEngine};
+use kspr_repro::serve::{ServeError, ServeOptions, Server, ShardedEngine};
+
+#[test]
+fn zero_k_is_rejected_with_an_error_not_a_panic() {
+    let engine = ShardedEngine::new(
+        vec![vec![0.2, 0.8], vec![0.8, 0.2]],
+        KsprConfig::default().with_shards(2),
+    );
+    let server = Server::start(engine, ServeOptions::default());
+    let handle = server.handle();
+    assert_eq!(
+        handle.submit(vec![0.5, 0.5], 0).wait().unwrap_err(),
+        ServeError::InvalidK
+    );
+    // The dispatcher survives and keeps serving.
+    assert!(handle.submit(vec![0.5, 0.5], 2).wait().is_ok());
+    let (_, stats) = server.shutdown();
+    assert_eq!((stats.rejected, stats.queries), (1, 1));
+}
+
+#[test]
+fn empty_dataset_serves_whole_space_until_records_arrive() {
+    let server = Server::start(
+        ShardedEngine::empty(3, KsprConfig::default().with_shards(4)),
+        ServeOptions::default(),
+    );
+    let handle = server.handle();
+    let result = handle.submit(vec![0.4, 0.5, 0.6], 2).wait().unwrap();
+    assert_eq!(result.num_regions(), 1, "no competitors: trivially top-k");
+    assert!(result.contains_full_weight(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]));
+
+    // Records arriving later are picked up by the very next query.
+    handle.insert(vec![0.9, 0.9, 0.9]).wait().unwrap();
+    let beaten = handle.submit(vec![0.4, 0.5, 0.6], 1).wait().unwrap();
+    assert_eq!(beaten.num_regions(), 0, "the new dominator blocks top-1");
+    drop(handle);
+    let (engine, _) = server.shutdown();
+    assert_eq!(engine.len(), 1);
+}
+
+#[test]
+fn a_shard_deleted_to_empty_keeps_the_pool_consistent() {
+    // Two shards, round-robin: records 0 and 2 land in shard 0, record 1 in
+    // shard 1.  Deleting 0 and 2 empties shard 0 entirely.
+    let raw = vec![
+        vec![0.9, 0.2, 0.3],
+        vec![0.3, 0.8, 0.5],
+        vec![0.5, 0.5, 0.9],
+    ];
+    let mut sharded = ShardedEngine::new(raw, KsprConfig::default().with_shards(2));
+    assert!(sharded.delete(0));
+    assert!(sharded.delete(2));
+    assert_eq!(sharded.shard_sizes(), vec![0, 1]);
+
+    let single = QueryEngine::new(
+        &Dataset::new(vec![vec![0.3, 0.8, 0.5]]),
+        KsprConfig::default(),
+    );
+    for alg in [Algorithm::Cta, Algorithm::LpCta, Algorithm::KSkyband] {
+        for k in 1..=2 {
+            let focal = vec![0.5, 0.5, 0.6];
+            let got = sharded.run(alg, &focal, k);
+            let want = single.run(alg, &focal, k);
+            assert_eq!(got.num_regions(), want.num_regions(), "{alg:?} k={k}");
+            for w in naive::sample_weights(&got.space, 24, 3) {
+                assert_eq!(got.contains(&w), want.contains(&w), "{alg:?} k={k}");
+            }
+        }
+    }
+
+    // Refilling the emptied shard works too (the round-robin cursor still
+    // rotates over every shard).
+    let id = sharded.insert(vec![0.7, 0.7, 0.7]);
+    assert_eq!(id, 3);
+    assert_eq!(sharded.len(), 2);
+}
+
+#[test]
+fn single_shard_config_is_equivalent_to_the_plain_engine() {
+    let raw: Vec<Vec<f64>> = (0..40)
+        .map(|i| {
+            let x = (i as f64 * 0.61803) % 1.0;
+            let y = (i as f64 * 0.32471) % 1.0;
+            vec![0.05 + 0.9 * x, 0.05 + 0.9 * y, 0.05 + 0.9 * ((x + y) % 1.0)]
+        })
+        .collect();
+    let config = KsprConfig::default(); // shards = 1
+    let sharded = ShardedEngine::new(raw.clone(), config.clone());
+    assert_eq!(sharded.num_shards(), 1);
+    let plain = QueryEngine::new(&Dataset::new(raw.clone()), config);
+    let focals = vec![raw[5].clone(), raw[17].clone(), vec![0.95, 0.95, 0.95]];
+    for alg in [Algorithm::Cta, Algorithm::Pcta, Algorithm::LpCta] {
+        let got = sharded.run_batch(alg, &focals, 3);
+        let want = plain.run_batch(alg, &focals, 3);
+        for (a, b) in got.iter().zip(&want) {
+            // The single-shard path forwards to the inner engine, so even
+            // the work counters are identical, not just the results.
+            assert_eq!(a.num_regions(), b.num_regions(), "{alg:?}");
+            assert_eq!(a.stats.processed_records, b.stats.processed_records);
+            assert_eq!(a.stats.celltree_nodes, b.stats.celltree_nodes);
+            for w in naive::sample_weights(&a.space, 24, 11) {
+                assert_eq!(a.contains(&w), b.contains(&w), "{alg:?}");
+            }
+        }
+    }
+}

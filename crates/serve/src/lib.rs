@@ -1,0 +1,54 @@
+//! # kspr-serve — sharded batch serving for the kSPR engine
+//!
+//! The `kspr` crate answers kSPR queries through a single
+//! [`kspr::QueryEngine`] over a single dataset copy.  This crate turns that
+//! library call into a **service**:
+//!
+//! * [`ShardedEngine`] partitions the dataset (round-robin or by R-tree
+//!   subtrees) into a pool of `QueryEngine` shards.  Updates route to the
+//!   owning shard and patch its R-tree and shared-prep cache incrementally;
+//!   queries fan out over the per-shard k-skybands and run on a merged,
+//!   cached candidate engine.  The merge is result-preserving — see the
+//!   correctness argument in the [`sharded`] module docs.
+//! * [`Server`] / [`ServeHandle`] put a request queue in front of the
+//!   sharded engine: clients `submit` queries (receiving [`Ticket`]s they
+//!   can wait on), the dispatcher batches consecutive requests into
+//!   [`ShardedEngine::run_batch`] calls, and updates are serialized with the
+//!   queries around them.  Malformed requests (`k == 0`, arity mismatches,
+//!   non-finite values) come back as [`ServeError`]s instead of panicking
+//!   the serving thread.
+//!
+//! ```
+//! use kspr::{Algorithm, KsprConfig};
+//! use kspr_serve::{ServeOptions, Server, ShardedEngine};
+//!
+//! let engine = ShardedEngine::new(
+//!     vec![
+//!         vec![0.3, 0.8, 0.8],
+//!         vec![0.9, 0.4, 0.4],
+//!         vec![0.8, 0.3, 0.4],
+//!         vec![0.4, 0.3, 0.6],
+//!     ],
+//!     KsprConfig::default().with_shards(2),
+//! );
+//! let server = Server::start(engine, ServeOptions::default());
+//! let handle = server.handle();
+//!
+//! // Queries resolve through tickets; updates are first-class requests.
+//! let pending = handle.submit(vec![0.5, 0.5, 0.7], 3);
+//! let id = handle.insert(vec![0.7, 0.7, 0.7]).wait().unwrap();
+//! let result = pending.wait().unwrap();
+//! assert!(result.num_regions() >= 1);
+//! assert!(handle.delete(id).wait().unwrap());
+//!
+//! let (engine, stats) = server.shutdown();
+//! assert_eq!(stats.queries, 1);
+//! assert_eq!(stats.updates, 2);
+//! assert_eq!(engine.len(), 4);
+//! ```
+
+pub mod server;
+pub mod sharded;
+
+pub use server::{ServeError, ServeHandle, ServeOptions, ServeStats, Server, Ticket};
+pub use sharded::{ShardStrategy, ShardedEngine};

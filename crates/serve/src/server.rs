@@ -1,0 +1,591 @@
+//! The serving front-end: a request queue feeding a dispatcher that batches
+//! queries into [`ShardedEngine::run_batch`] and applies updates in arrival
+//! order.
+//!
+//! [`Server::start`] moves a [`ShardedEngine`] onto a dispatcher thread and
+//! returns a handle factory.  Clients talk to the engine exclusively through
+//! cloneable [`ServeHandle`]s:
+//!
+//! * [`ServeHandle::submit`] enqueues one query and returns a [`Ticket`] —
+//!   a future-like receiver resolved when the dispatcher answers;
+//! * [`ServeHandle::submit_many`] enqueues a whole batch at once;
+//! * [`ServeHandle::insert`] / [`ServeHandle::delete`] enqueue updates,
+//!   serialized with the queries around them (a query submitted after an
+//!   insert sees the inserted record).
+//!
+//! The dispatcher drains the queue greedily: consecutive pending queries are
+//! grouped by `(algorithm, k)` and answered through one
+//! [`ShardedEngine::run_batch`] call each — the batched-dequeue pattern —
+//! while the shared candidate engine and the per-shard prep caches carry over
+//! between batches.  Invalid requests (`k == 0`, arity mismatch, non-finite
+//! focal values) are rejected with a [`ServeError`] instead of panicking the
+//! serving thread.
+
+use crate::sharded::ShardedEngine;
+use kspr::{Algorithm, KsprResult, RecordId};
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+
+/// Why a request was rejected (or lost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `k` must be at least 1.
+    InvalidK,
+    /// The focal record / inserted record does not match the dataset arity.
+    ArityMismatch {
+        /// The dataset arity.
+        expected: usize,
+        /// The request's arity.
+        got: usize,
+    },
+    /// The request contains a NaN or infinite value.
+    NonFinite,
+    /// The requested algorithm cannot run on this dataset (RTOPK is
+    /// 2-dimensional only).
+    UnsupportedAlgorithm,
+    /// The query panicked inside the engine; the server recovered and keeps
+    /// serving (the engine caches rebuild themselves after a poisoning).
+    QueryFailed,
+    /// An update panicked inside the engine.  Unlike queries, a half-applied
+    /// update is not rebuildable in place, so the server stops serving
+    /// (subsequent tickets resolve [`ServeError::ServerClosed`] and
+    /// [`Server::shutdown`] returns normally) rather than risk corrupt
+    /// answers.
+    UpdateFailed,
+    /// The server shut down before (or while) answering.
+    ServerClosed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidK => write!(f, "k must be at least 1"),
+            ServeError::ArityMismatch { expected, got } => {
+                write!(
+                    f,
+                    "arity mismatch: got {got} attributes, dataset has {expected}"
+                )
+            }
+            ServeError::NonFinite => write!(f, "values must be finite"),
+            ServeError::UnsupportedAlgorithm => {
+                write!(f, "the algorithm does not support this dataset's arity")
+            }
+            ServeError::QueryFailed => write!(f, "the query panicked inside the engine"),
+            ServeError::UpdateFailed => {
+                write!(
+                    f,
+                    "an update panicked inside the engine; the server stopped"
+                )
+            }
+            ServeError::ServerClosed => write!(f, "the server has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A pending response: resolves once the dispatcher has processed the
+/// request.  Dropping a ticket discards the response.
+pub struct Ticket<T> {
+    rx: mpsc::Receiver<Result<T, ServeError>>,
+}
+
+impl<T> Ticket<T> {
+    fn new() -> (mpsc::Sender<Result<T, ServeError>>, Self) {
+        let (tx, rx) = mpsc::channel();
+        (tx, Ticket { rx })
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> Result<T, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ServerClosed))
+    }
+}
+
+/// One enqueued query.
+struct QueryJob {
+    algorithm: Algorithm,
+    focal: Vec<f64>,
+    k: usize,
+    tx: mpsc::Sender<Result<KsprResult, ServeError>>,
+}
+
+enum Msg {
+    Query(QueryJob),
+    Batch(Vec<QueryJob>),
+    Insert {
+        values: Vec<f64>,
+        tx: mpsc::Sender<Result<RecordId, ServeError>>,
+    },
+    Delete {
+        id: RecordId,
+        tx: mpsc::Sender<Result<bool, ServeError>>,
+    },
+    Shutdown,
+}
+
+/// Serving-side counters, returned by [`Server::shutdown`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered successfully.
+    pub queries: u64,
+    /// Requests rejected with a [`ServeError`].
+    pub rejected: u64,
+    /// `run_batch` invocations (every batch answers >= 1 query).
+    pub batches: u64,
+    /// Largest query batch executed at once.
+    pub largest_batch: usize,
+    /// Updates (inserts + deletes) applied.
+    pub updates: u64,
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Algorithm used by [`ServeHandle::submit`] (override per request with
+    /// [`ServeHandle::submit_with`]).
+    pub algorithm: Algorithm,
+    /// Maximum number of queries merged into one `run_batch` call when
+    /// draining the queue.  (An explicit [`ServeHandle::submit_many`] batch
+    /// is always answered through a single call, whatever its size.)
+    pub batch_limit: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            algorithm: Algorithm::LpCta,
+            batch_limit: 64,
+        }
+    }
+}
+
+/// A cloneable client handle onto a running [`Server`].
+#[derive(Clone)]
+pub struct ServeHandle {
+    tx: mpsc::Sender<Msg>,
+    algorithm: Algorithm,
+}
+
+impl ServeHandle {
+    /// Enqueues one query with the server's default algorithm.
+    pub fn submit(&self, focal: Vec<f64>, k: usize) -> Ticket<KsprResult> {
+        self.submit_with(self.algorithm, focal, k)
+    }
+
+    /// Enqueues one query with an explicit algorithm.
+    pub fn submit_with(
+        &self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+    ) -> Ticket<KsprResult> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Query(QueryJob {
+            algorithm,
+            focal,
+            k,
+            tx,
+        }));
+        ticket
+    }
+
+    /// Enqueues a whole batch of same-`k` queries at once; the dispatcher
+    /// answers them through a single [`ShardedEngine::run_batch`] call.
+    pub fn submit_many(&self, focals: Vec<Vec<f64>>, k: usize) -> Vec<Ticket<KsprResult>> {
+        let mut jobs = Vec::with_capacity(focals.len());
+        let mut tickets = Vec::with_capacity(focals.len());
+        for focal in focals {
+            let (tx, ticket) = Ticket::new();
+            jobs.push(QueryJob {
+                algorithm: self.algorithm,
+                focal,
+                k,
+                tx,
+            });
+            tickets.push(ticket);
+        }
+        let _ = self.tx.send(Msg::Batch(jobs));
+        tickets
+    }
+
+    /// Enqueues an insert; resolves to the new record's global id.
+    pub fn insert(&self, values: Vec<f64>) -> Ticket<RecordId> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Insert { values, tx });
+        ticket
+    }
+
+    /// Enqueues a delete; resolves to whether a live record was removed.
+    pub fn delete(&self, id: RecordId) -> Ticket<bool> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Delete { id, tx });
+        ticket
+    }
+}
+
+/// A running serving loop that owns a [`ShardedEngine`].
+pub struct Server {
+    tx: mpsc::Sender<Msg>,
+    algorithm: Algorithm,
+    join: Option<JoinHandle<(ShardedEngine, ServeStats)>>,
+}
+
+impl Server {
+    /// Moves `engine` onto a dispatcher thread and starts serving.
+    pub fn start(engine: ShardedEngine, options: ServeOptions) -> Self {
+        assert!(options.batch_limit >= 1, "batch limit must be at least 1");
+        let (tx, rx) = mpsc::channel();
+        let join = std::thread::spawn(move || dispatch(engine, rx, options.batch_limit));
+        Self {
+            tx,
+            algorithm: options.algorithm,
+            join: Some(join),
+        }
+    }
+
+    /// A new client handle.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            tx: self.tx.clone(),
+            algorithm: self.algorithm,
+        }
+    }
+
+    /// Stops the dispatcher (after it drains requests already dequeued) and
+    /// returns the engine with the serving counters.
+    pub fn shutdown(mut self) -> (ShardedEngine, ServeStats) {
+        let _ = self.tx.send(Msg::Shutdown);
+        self.join
+            .take()
+            .expect("shutdown consumes the only join handle")
+            .join()
+            .expect("the dispatcher thread panicked")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(join) = self.join.take() {
+            let _ = self.tx.send(Msg::Shutdown);
+            let _ = join.join();
+        }
+    }
+}
+
+/// Maps a core ingest violation to the request-level error.
+fn ingest_error(err: kspr::IngestError) -> ServeError {
+    match err {
+        // Unreachable here (the engine arity is always >= 1, so an empty row
+        // surfaces as an arity mismatch first), kept for exhaustiveness.
+        kspr::IngestError::Empty => ServeError::ArityMismatch {
+            expected: 0,
+            got: 0,
+        },
+        kspr::IngestError::ArityMismatch { expected, got } => {
+            ServeError::ArityMismatch { expected, got }
+        }
+        kspr::IngestError::NonFinite { .. } => ServeError::NonFinite,
+    }
+}
+
+/// Validates a query against the engine's arity rules (the focal record must
+/// satisfy the same shape rules as ingested records).
+fn validate_query(engine: &ShardedEngine, job: &QueryJob) -> Result<(), ServeError> {
+    if job.k == 0 {
+        return Err(ServeError::InvalidK);
+    }
+    if job.algorithm == Algorithm::Rtopk && engine.dim() != 2 {
+        return Err(ServeError::UnsupportedAlgorithm);
+    }
+    kspr::check_record(&job.focal, Some(engine.dim())).map_err(ingest_error)
+}
+
+/// Validates an insert payload.
+fn validate_insert(engine: &ShardedEngine, values: &[f64]) -> Result<(), ServeError> {
+    kspr::check_record(values, Some(engine.dim())).map_err(ingest_error)
+}
+
+/// Executes a batch of dequeued queries: rejects invalid jobs, groups the
+/// valid ones by `(algorithm, k)` and answers each group with one
+/// `run_batch` call.
+fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats) {
+    let mut groups: Vec<((Algorithm, usize), Vec<QueryJob>)> = Vec::new();
+    for job in jobs {
+        if let Err(err) = validate_query(engine, &job) {
+            stats.rejected += 1;
+            let _ = job.tx.send(Err(err));
+            continue;
+        }
+        let key = (job.algorithm, job.k);
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, group)) => group.push(job),
+            None => groups.push((key, vec![job])),
+        }
+    }
+    for ((algorithm, k), group) in groups {
+        let (focals, txs): (Vec<Vec<f64>>, Vec<_>) =
+            group.into_iter().map(|j| (j.focal, j.tx)).unzip();
+        // Defense in depth: a panic inside the engine must not take the
+        // dispatcher thread (and with it every pending ticket) down.  The
+        // engine's caches recover from lock poisoning by rebuilding, so
+        // serving continues after a failed batch.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_batch(algorithm, &focals, k)
+        }));
+        match outcome {
+            Ok(results) => {
+                stats.batches += 1;
+                stats.queries += focals.len() as u64;
+                stats.largest_batch = stats.largest_batch.max(focals.len());
+                for (tx, result) in txs.into_iter().zip(results) {
+                    let _ = tx.send(Ok(result));
+                }
+            }
+            Err(_) => {
+                stats.rejected += focals.len() as u64;
+                for tx in txs {
+                    let _ = tx.send(Err(ServeError::QueryFailed));
+                }
+            }
+        }
+    }
+}
+
+/// The dispatcher loop: drain the queue, batch consecutive queries, apply
+/// updates in arrival order.
+fn dispatch(
+    mut engine: ShardedEngine,
+    rx: mpsc::Receiver<Msg>,
+    batch_limit: usize,
+) -> (ShardedEngine, ServeStats) {
+    let mut stats = ServeStats::default();
+    let mut carry: VecDeque<Msg> = VecDeque::new();
+    loop {
+        let msg = match carry.pop_front() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                // Every handle (and the Server) is gone: stop serving.
+                Err(mpsc::RecvError) => return (engine, stats),
+            },
+        };
+        match msg {
+            Msg::Shutdown => return (engine, stats),
+            Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
+                Ok(()) => {
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        engine.insert(values)
+                    }));
+                    match outcome {
+                        Ok(id) => {
+                            stats.updates += 1;
+                            let _ = tx.send(Ok(id));
+                        }
+                        Err(_) => {
+                            // A panic mid-update may have left shard state
+                            // half-applied; stop serving cleanly instead of
+                            // risking corrupt answers (see UpdateFailed).
+                            let _ = tx.send(Err(ServeError::UpdateFailed));
+                            return (engine, stats);
+                        }
+                    }
+                }
+                Err(err) => {
+                    stats.rejected += 1;
+                    let _ = tx.send(Err(err));
+                }
+            },
+            Msg::Delete { id, tx } => {
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.delete(id)));
+                match outcome {
+                    Ok(deleted) => {
+                        stats.updates += 1;
+                        let _ = tx.send(Ok(deleted));
+                    }
+                    Err(_) => {
+                        let _ = tx.send(Err(ServeError::UpdateFailed));
+                        return (engine, stats);
+                    }
+                }
+            }
+            Msg::Query(job) => {
+                // Batched dequeue: greedily pull further *consecutive*
+                // queries (updates act as barriers, preserving FIFO
+                // semantics between queries and updates).
+                let mut batch = vec![job];
+                while batch.len() < batch_limit {
+                    match rx.try_recv() {
+                        Ok(Msg::Query(next)) => batch.push(next),
+                        Ok(other) => {
+                            // A Batch keeps its own identity (absorbing it
+                            // here could blow past `batch_limit`); updates
+                            // act as barriers.  Either way FIFO between the
+                            // drained queries and what follows is preserved.
+                            carry.push_back(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                run_jobs(&engine, batch, &mut stats);
+            }
+            Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr::KsprConfig;
+
+    fn demo_engine(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(
+            vec![
+                vec![0.3, 0.8, 0.8],
+                vec![0.9, 0.4, 0.4],
+                vec![0.8, 0.3, 0.4],
+                vec![0.4, 0.3, 0.6],
+            ],
+            KsprConfig::default().with_shards(shards),
+        )
+    }
+
+    #[test]
+    fn submit_answers_queries_and_counts_them() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let a = handle.submit(vec![0.5, 0.5, 0.7], 3);
+        let b = handle.submit_with(Algorithm::Pcta, vec![0.6, 0.6, 0.5], 2);
+        let ra = a.wait().expect("query a");
+        let rb = b.wait().expect("query b");
+        assert!(ra.num_regions() >= 1);
+        assert!(rb.num_regions() >= 1);
+        let (engine, stats) = server.shutdown();
+        assert_eq!(stats.queries, 2);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(
+            stats.batches, 2,
+            "distinct (algorithm, k) pairs never merge"
+        );
+        assert_eq!(engine.len(), 4);
+    }
+
+    #[test]
+    fn submit_many_runs_as_one_batch() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let focals: Vec<Vec<f64>> = (0..6)
+            .map(|i| vec![0.4 + 0.05 * i as f64, 0.5, 0.6])
+            .collect();
+        let tickets = handle.submit_many(focals.clone(), 3);
+        let results: Vec<KsprResult> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("batched query"))
+            .collect();
+        // Batched answers equal direct engine answers, in order.
+        let oracle = demo_engine(2);
+        let expected = oracle.run_batch(Algorithm::LpCta, &focals, 3);
+        for (got, want) in results.iter().zip(&expected) {
+            assert_eq!(got.num_regions(), want.num_regions());
+        }
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.largest_batch, 6, "one run_batch served all six");
+        assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn invalid_requests_are_rejected_not_fatal() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        assert_eq!(
+            handle.submit(vec![0.5, 0.5, 0.7], 0).wait().unwrap_err(),
+            ServeError::InvalidK
+        );
+        assert_eq!(
+            handle.submit(vec![0.5, 0.5], 2).wait().unwrap_err(),
+            ServeError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            handle
+                .submit(vec![0.5, f64::NAN, 0.7], 2)
+                .wait()
+                .unwrap_err(),
+            ServeError::NonFinite
+        );
+        assert_eq!(
+            handle.insert(vec![0.5, f64::INFINITY, 0.7]).wait(),
+            Err(ServeError::NonFinite)
+        );
+        assert_eq!(
+            handle.insert(vec![0.5]).wait(),
+            Err(ServeError::ArityMismatch {
+                expected: 3,
+                got: 1
+            })
+        );
+        // RTOPK is 2-D only; on 3-D data it must be rejected up front, not
+        // allowed to panic the dispatcher thread.
+        assert_eq!(
+            handle
+                .submit_with(Algorithm::Rtopk, vec![0.5, 0.5, 0.7], 2)
+                .wait()
+                .unwrap_err(),
+            ServeError::UnsupportedAlgorithm
+        );
+        // The server is still healthy afterwards.
+        let ok = handle.submit(vec![0.5, 0.5, 0.7], 3).wait();
+        assert!(ok.expect("server must survive rejections").num_regions() >= 1);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejected, 6);
+        assert_eq!(stats.queries, 1);
+    }
+
+    #[test]
+    fn updates_are_serialized_with_queries() {
+        let server = Server::start(
+            ShardedEngine::empty(2, KsprConfig::default().with_shards(2)),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        // Empty dataset: whole preference space.
+        let empty = handle
+            .submit(vec![0.5, 0.5], 1)
+            .wait()
+            .expect("empty query");
+        assert_eq!(empty.num_regions(), 1);
+
+        // Insert a dominator; a query submitted afterwards must see it.
+        let id = handle.insert(vec![0.9, 0.9]).wait().expect("insert");
+        let beaten = handle.submit(vec![0.5, 0.5], 1).wait().expect("query");
+        assert_eq!(beaten.num_regions(), 0, "the dominator blocks top-1");
+
+        // Delete it again (emptying the shard): back to whole space.
+        assert_eq!(handle.delete(id).wait(), Ok(true));
+        assert_eq!(handle.delete(id).wait(), Ok(false));
+        let restored = handle.submit(vec![0.5, 0.5], 1).wait().expect("query");
+        assert_eq!(restored.num_regions(), 1);
+
+        let (engine, stats) = server.shutdown();
+        assert!(engine.is_empty());
+        assert_eq!(stats.updates, 3, "insert + two deletes (one a no-op)");
+    }
+
+    #[test]
+    fn tickets_resolve_to_server_closed_after_shutdown() {
+        let server = Server::start(demo_engine(1), ServeOptions::default());
+        let handle = server.handle();
+        drop(server); // Drop joins the dispatcher.
+        assert_eq!(
+            handle.submit(vec![0.5, 0.5, 0.7], 2).wait().unwrap_err(),
+            ServeError::ServerClosed
+        );
+    }
+}

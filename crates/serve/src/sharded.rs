@@ -1,0 +1,640 @@
+//! The sharded kSPR engine: one dataset partitioned across a pool of
+//! [`QueryEngine`] shards, answered through a result-preserving merge.
+//!
+//! # Architecture
+//!
+//! The dataset is partitioned into `S` shards — either round-robin or by
+//! R-tree subtrees ([`ShardStrategy`]) — and each shard owns a full
+//! [`QueryEngine`]: its own record partition, its own incrementally
+//! maintained R-tree, and its own per-`k` [`kspr::SharedPrep`] cache.
+//! Updates route to the owning shard ([`ShardedEngine::insert`] round-robins
+//! over shards, [`ShardedEngine::delete`] follows the global-id map), so the
+//! per-update maintenance cost — including the `O(shard)` promotion scan a
+//! band-member delete needs — is bounded by the shard size, not the dataset
+//! size.
+//!
+//! # The merge, and why it preserves results
+//!
+//! A query fans out to every shard's preprocessing pipeline and merges the
+//! per-shard outputs into a global **candidate engine**:
+//!
+//! 1. every shard exposes its dataset-level k-skyband (cached, incrementally
+//!    patched across updates) through [`QueryEngine::shared_prep_for`];
+//! 2. the per-shard bands are merged — deduplicated by global record id and
+//!    re-sorted into global id order — into one small candidate dataset;
+//! 3. the query (or query batch) runs on a `QueryEngine` over that candidate
+//!    dataset, sharing it across all queries until the next update.
+//!
+//! The merge is *result-preserving*: the kSPR result over the candidate union
+//! is geometrically identical to the result over the full dataset, because a
+//! record `y` excluded from its shard's band has at least `k` dominators
+//! inside that band (the skyband witness property), all of which are
+//! candidates.  Wherever `y` outscores the focal record, so do its `k`
+//! dominators, hence the focal record is already out of the top-`k` there; on
+//! the flip side, inside any reported region no excluded record can outscore
+//! the focal record, so neither the regions, their ranks, nor the
+//! empty/whole-space classification can change.  (The same argument bounds
+//! the focal record's dominator count: it reaches `k` within the candidate
+//! union iff it does in the full dataset.)  The
+//! `shard_consistency` property test in the umbrella crate checks this
+//! equivalence under random insert/delete/query interleavings.
+//!
+//! With a single shard the engine skips the merge entirely and passes
+//! queries straight to the shard's `QueryEngine`, making the `shards = 1`
+//! configuration bit-for-bit identical to the plain engine.
+
+use kspr::{
+    Algorithm, Dataset, DatasetStore, KsprConfig, KsprResult, PreferenceSpace, QueryEngine,
+    QueryStats, RecordId,
+};
+use kspr_spatial::{AggregateRTree, Record};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// How the initial dataset is partitioned across shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardStrategy {
+    /// Record `i` goes to shard `i % S`.  Spreads any data distribution
+    /// evenly, so shard bands stay balanced.
+    #[default]
+    RoundRobin,
+    /// Records are split along the STR tile order of a bulk-loaded R-tree
+    /// ([`AggregateRTree::partition_subtrees`]): each shard holds a
+    /// spatially contiguous slab of the dataset.
+    Subtrees,
+}
+
+/// One engine shard: the engine itself (lazily created — a shard that has
+/// never held a record has none) and the local-to-global id mapping.
+struct Shard {
+    engine: Option<QueryEngine>,
+    /// `globals[local_id]` is the global id of the shard's record slot
+    /// `local_id` (slots are dense and never reused, mirroring the store).
+    globals: Vec<RecordId>,
+}
+
+/// The merged candidate engines, keyed by `k` and invalidated whenever any
+/// shard's epoch moves.
+#[derive(Default)]
+struct MergedCache {
+    /// Per-shard epochs the cached engines were built against (`None` for a
+    /// shard that does not exist yet).
+    epochs: Vec<Option<u64>>,
+    engines: HashMap<usize, Arc<QueryEngine>>,
+}
+
+/// A pool of [`QueryEngine`] shards over one partitioned dataset, with
+/// update routing and a result-preserving query merge (see the module docs).
+pub struct ShardedEngine {
+    shards: Vec<Shard>,
+    /// `locs[global_id]` is the owning `(shard, local_id)` of a record.
+    locs: Vec<(usize, usize)>,
+    dim: usize,
+    config: KsprConfig,
+    /// Round-robin cursor for insert routing.
+    next_shard: usize,
+    merged: Mutex<MergedCache>,
+}
+
+impl ShardedEngine {
+    /// Partitions `raw` into [`KsprConfig::shards`] shards with the default
+    /// strategy and builds one engine per (non-empty) shard.
+    ///
+    /// # Panics
+    /// Panics if `raw` is empty (use [`ShardedEngine::empty`] to start with
+    /// no records), if rows have inconsistent arities, or if any value is
+    /// non-finite.
+    pub fn new(raw: Vec<Vec<f64>>, config: KsprConfig) -> Self {
+        Self::with_strategy(raw, config, ShardStrategy::default())
+    }
+
+    /// Like [`ShardedEngine::new`] with an explicit partitioning strategy.
+    pub fn with_strategy(raw: Vec<Vec<f64>>, config: KsprConfig, strategy: ShardStrategy) -> Self {
+        assert!(
+            !raw.is_empty(),
+            "cannot partition an empty dataset; use ShardedEngine::empty"
+        );
+        let dim = raw[0].len();
+        for (id, row) in raw.iter().enumerate() {
+            kspr::dataset::validate_record(row, Some(dim), id);
+        }
+        let s = config.shards;
+        assert!(s >= 1, "at least one shard is required");
+
+        // Global id -> shard assignment.
+        let groups: Vec<Vec<RecordId>> = match strategy {
+            ShardStrategy::RoundRobin => {
+                let mut groups = vec![Vec::new(); s];
+                for (i, group) in (0..raw.len()).map(|i| (i, i % s)) {
+                    groups[group].push(i);
+                }
+                groups
+            }
+            ShardStrategy::Subtrees => {
+                let records = Record::from_raw(raw.clone());
+                AggregateRTree::bulk_load(records, config.rtree_fanout).partition_subtrees(s)
+            }
+        };
+
+        let mut locs = vec![(usize::MAX, usize::MAX); raw.len()];
+        let mut shards = Vec::with_capacity(s);
+        for (shard_idx, group) in groups.into_iter().enumerate() {
+            for (local, &global) in group.iter().enumerate() {
+                locs[global] = (shard_idx, local);
+            }
+            let engine = if group.is_empty() {
+                None
+            } else {
+                let rows: Vec<Vec<f64>> = group.iter().map(|&g| raw[g].clone()).collect();
+                Some(QueryEngine::with_store(
+                    DatasetStore::from_raw(rows),
+                    config.clone(),
+                ))
+            };
+            shards.push(Shard {
+                engine,
+                globals: group,
+            });
+        }
+        debug_assert!(locs.iter().all(|&(s, _)| s != usize::MAX));
+
+        Self {
+            shards,
+            locs,
+            dim,
+            config,
+            next_shard: raw.len() % s,
+            merged: Mutex::new(MergedCache::default()),
+        }
+    }
+
+    /// An engine with no records yet: `dim` fixes the arity every later
+    /// insert and query must match.
+    pub fn empty(dim: usize, config: KsprConfig) -> Self {
+        assert!(dim >= 1, "the dataset arity must be at least 1");
+        let s = config.shards;
+        assert!(s >= 1, "at least one shard is required");
+        Self {
+            shards: (0..s)
+                .map(|_| Shard {
+                    engine: None,
+                    globals: Vec::new(),
+                })
+                .collect(),
+            locs: Vec::new(),
+            dim,
+            config,
+            next_shard: 0,
+            merged: Mutex::new(MergedCache::default()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of live records across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.engine.as_ref())
+            .map(|e| e.dataset().len())
+            .sum()
+    }
+
+    /// True iff no live record exists in any shard.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dataset arity.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The configuration shared by every shard.
+    pub fn config(&self) -> &KsprConfig {
+        &self.config
+    }
+
+    /// Live record count per shard (serving telemetry).
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.engine.as_ref().map_or(0, |e| e.dataset().len()))
+            .collect()
+    }
+
+    /// Size of the candidate set a `k`-query would run against (`0` when no
+    /// live record exists).  Builds (and caches) the merged engine on a cold
+    /// cache; note that when an engine built for a *larger* `k` is already
+    /// cached, queries for `k` are served from that superset (equally
+    /// correct, see the module docs) and this reports the superset's size —
+    /// the value reflects what actually runs, not the minimal `k`-union.
+    pub fn merged_candidates(&self, k: usize) -> usize {
+        self.merged_engine(k).map_or(0, |e| e.dataset().len())
+    }
+
+    // -----------------------------------------------------------------------
+    // Updates
+    // -----------------------------------------------------------------------
+
+    /// Inserts a record into the next shard (round-robin) and returns its
+    /// global id.  The owning shard patches its R-tree and shared-prep cache
+    /// incrementally; the other shards are untouched.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the arity or contains a non-finite
+    /// value.
+    pub fn insert(&mut self, values: Vec<f64>) -> RecordId {
+        kspr::dataset::validate_record(&values, Some(self.dim), self.locs.len());
+        let shard_idx = self.next_shard;
+        self.next_shard = (self.next_shard + 1) % self.shards.len();
+        let shard = &mut self.shards[shard_idx];
+        let local = match &mut shard.engine {
+            Some(engine) => engine.insert(values),
+            None => {
+                shard.engine = Some(QueryEngine::with_store(
+                    DatasetStore::from_raw(vec![values]),
+                    self.config.clone(),
+                ));
+                0
+            }
+        };
+        debug_assert_eq!(local, shard.globals.len(), "shard ids are dense");
+        let global = self.locs.len();
+        shard.globals.push(global);
+        self.locs.push((shard_idx, local));
+        global
+    }
+
+    /// Deletes the record with the given global id, returning `false` if it
+    /// never existed or was already deleted.  Routed to the owning shard.
+    pub fn delete(&mut self, id: RecordId) -> bool {
+        let Some(&(shard_idx, local)) = self.locs.get(id) else {
+            return false;
+        };
+        match &mut self.shards[shard_idx].engine {
+            Some(engine) => engine.delete(local),
+            None => false,
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // Queries
+    // -----------------------------------------------------------------------
+
+    /// Runs one kSPR query across the shard pool.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or the focal arity does not match the dataset.
+    pub fn run(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            focal.len() == self.dim,
+            "focal record arity must match the dataset"
+        );
+        if let Some(single) = self.single_shard_engine() {
+            return single.run(algorithm, focal, k);
+        }
+        match self.merged_engine(k) {
+            Some(engine) => engine.run(algorithm, focal, k),
+            None => self.no_competitor_result(focal),
+        }
+    }
+
+    /// Runs a batch of queries (shared candidate engine, parallel workers via
+    /// [`QueryEngine::run_batch`]); results are in input order and identical
+    /// to running [`ShardedEngine::run`] once per focal record.
+    pub fn run_batch(
+        &self,
+        algorithm: Algorithm,
+        focals: &[Vec<f64>],
+        k: usize,
+    ) -> Vec<KsprResult> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            focals.iter().all(|f| f.len() == self.dim),
+            "focal record arity must match the dataset"
+        );
+        if let Some(single) = self.single_shard_engine() {
+            return single.run_batch(algorithm, focals, k);
+        }
+        match self.merged_engine(k) {
+            Some(engine) => engine.run_batch(algorithm, focals, k),
+            None => focals
+                .iter()
+                .map(|f| self.no_competitor_result(f))
+                .collect(),
+        }
+    }
+
+    /// The pass-through engine of the `shards = 1` configuration, if any.
+    fn single_shard_engine(&self) -> Option<&QueryEngine> {
+        match &self.shards[..] {
+            [only] => only.engine.as_ref(),
+            _ => None,
+        }
+    }
+
+    /// The result of a query against zero live records: the focal record is
+    /// trivially top-1 everywhere.
+    fn no_competitor_result(&self, focal: &[f64]) -> KsprResult {
+        let space = PreferenceSpace::new(focal.len(), self.config.space);
+        let mut result = KsprResult::whole_space(space, 1, QueryStats::new());
+        if self.config.finalize {
+            result.finalize();
+        }
+        result
+    }
+
+    /// Upper bound on the number of cached merged engines.  `k` is
+    /// client-supplied, so without a cap a stream cycling `k` values would
+    /// retain one full candidate engine (dataset + R-tree + prep cache) per
+    /// distinct `k` until the next update.
+    const MERGED_CACHE_MAX: usize = 8;
+
+    /// Fetches (or builds) the merged candidate engine for rank threshold
+    /// `k`: the union of the per-shard k-skybands, deduplicated by global id
+    /// and indexed as a fresh dataset.  Returns `None` when no shard holds a
+    /// live record.  Cached until any shard's epoch moves.
+    fn merged_engine(&self, k: usize) -> Option<Arc<QueryEngine>> {
+        let epochs: Vec<Option<u64>> = self
+            .shards
+            .iter()
+            .map(|s| s.engine.as_ref().map(|e| e.store().epoch()))
+            .collect();
+        // Poison recovery mirrors the engine's prep cache: the merged engines
+        // are rebuildable, so a panicking query must not lock serving up.
+        let mut cache = self.merged.lock().unwrap_or_else(PoisonError::into_inner);
+        if cache.epochs != epochs {
+            cache.engines.clear();
+            cache.epochs = epochs;
+        }
+        if let Some(engine) = cache.engines.get(&k) {
+            return Some(Arc::clone(engine));
+        }
+        // An engine built for a larger k serves k as well: its candidate set
+        // is a *superset* of the k-union, and the witness argument (module
+        // docs) only needs every excluded record to keep >= k dominators
+        // among the candidates — which it has, since exclusion from a
+        // k'-band (k' > k) already implies >= k' >= k in-band dominators.
+        // Pick the tightest such engine to keep the candidate set small.
+        if let Some((_, engine)) = cache
+            .engines
+            .iter()
+            .filter(|(&cached_k, _)| cached_k > k)
+            .min_by_key(|(&cached_k, _)| cached_k)
+        {
+            return Some(Arc::clone(engine));
+        }
+
+        // Fan out: every shard contributes its (cached, incrementally
+        // patched) k-skyband, translated to global ids.
+        let mut members: Vec<(RecordId, Vec<f64>)> = self
+            .shards
+            .par_iter()
+            .map(|shard| {
+                let Some(engine) = &shard.engine else {
+                    return Vec::new();
+                };
+                if engine.dataset().is_empty() {
+                    return Vec::new();
+                }
+                engine
+                    .shared_prep_for(k)
+                    .skyband()
+                    .iter()
+                    .map(|&local| {
+                        (
+                            shard.globals[local],
+                            engine.dataset().values(local).to_vec(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        // Global id order keeps the candidate dataset deterministic no matter
+        // how records are spread over shards.
+        members.sort_by_key(|&(global, _)| global);
+        let raw: Vec<Vec<f64>> = members.into_iter().map(|(_, values)| values).collect();
+        let engine = Arc::new(QueryEngine::new(&Dataset::new(raw), self.config.clone()));
+        if cache.engines.len() >= Self::MERGED_CACHE_MAX {
+            // Evict only the largest cached k — it holds the biggest
+            // candidate set — and keep the other hot entries warm (a full
+            // clear would force every k to rebuild on its next query).
+            if let Some(&evict) = cache.engines.keys().max() {
+                cache.engines.remove(&evict);
+            }
+        }
+        cache.engines.insert(k, Arc::clone(&engine));
+        Some(engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr::naive;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_raw(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.01..0.99)).collect())
+            .collect()
+    }
+
+    /// Sharded and single-engine results must agree: same region count and
+    /// the same classification of sampled preference vectors.
+    fn assert_equivalent(sharded: &KsprResult, single: &KsprResult, ctx: &str) {
+        assert_eq!(sharded.num_regions(), single.num_regions(), "{ctx}");
+        for w in naive::sample_weights(&single.space, 32, 99) {
+            assert_eq!(sharded.contains(&w), single.contains(&w), "{ctx} at {w:?}");
+        }
+    }
+
+    #[test]
+    fn sharded_matches_single_engine_for_both_strategies() {
+        let raw = random_raw(120, 3, 5);
+        let k = 3;
+        let single = QueryEngine::new(&Dataset::new(raw.clone()), KsprConfig::default());
+        let focals = vec![
+            raw[7].clone(),
+            raw[41].clone(),
+            vec![0.95, 0.95, 0.95],
+            vec![0.02, 0.02, 0.02],
+        ];
+        for strategy in [ShardStrategy::RoundRobin, ShardStrategy::Subtrees] {
+            for shards in [2, 3, 4] {
+                let sharded = ShardedEngine::with_strategy(
+                    raw.clone(),
+                    KsprConfig::default().with_shards(shards),
+                    strategy,
+                );
+                for alg in [
+                    Algorithm::Cta,
+                    Algorithm::Pcta,
+                    Algorithm::LpCta,
+                    Algorithm::KSkyband,
+                ] {
+                    let batch = sharded.run_batch(alg, &focals, k);
+                    for (focal, got) in focals.iter().zip(&batch) {
+                        let want = single.run(alg, focal, k);
+                        assert_equivalent(got, &want, &format!("{strategy:?} S={shards} {alg:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merged_candidates_is_a_small_union_of_shard_bands() {
+        let raw = random_raw(400, 3, 9);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(4));
+        let k = 4;
+        let candidates = sharded.merged_candidates(k);
+        assert!(candidates > 0);
+        assert!(
+            candidates < raw.len() / 2,
+            "the candidate union ({candidates}) must prune most of n={}",
+            raw.len()
+        );
+        // The union contains the dataset-level band (the merge's correctness
+        // backbone: every global band member is in its shard's band).
+        let single = QueryEngine::new(&Dataset::new(raw), KsprConfig::default());
+        assert!(candidates >= single.shared_prep_for(k).skyband().len());
+    }
+
+    #[test]
+    fn merged_cache_reuses_larger_k_and_stays_bounded() {
+        let raw = random_raw(100, 3, 17);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(3));
+        let single = QueryEngine::new(&Dataset::new(raw), KsprConfig::default());
+        let focal = vec![0.7, 0.7, 0.7];
+        // Query a large k first; every smaller k is then served from the same
+        // candidate engine (a superset of its own union) — results must still
+        // match the single engine exactly.
+        let _ = sharded.run(Algorithm::LpCta, &focal, 4);
+        assert_eq!(sharded.merged.lock().unwrap().engines.len(), 1);
+        for k in 1..=4 {
+            assert_equivalent(
+                &sharded.run(Algorithm::LpCta, &focal, k),
+                &single.run(Algorithm::LpCta, &focal, k),
+                &format!("k={k} via larger-k candidate engine"),
+            );
+        }
+        assert_eq!(
+            sharded.merged.lock().unwrap().engines.len(),
+            1,
+            "k' <= k must reuse the cached engine, not build new ones"
+        );
+        // A sweep over many distinct (ascending) k values stays bounded.
+        // Queries through merged_candidates only exercise the cache, not a
+        // full query, which keeps this cheap.
+        for k in 5..=(2 * ShardedEngine::MERGED_CACHE_MAX) {
+            let _ = sharded.merged_candidates(k);
+        }
+        assert!(
+            sharded.merged.lock().unwrap().engines.len() <= ShardedEngine::MERGED_CACHE_MAX,
+            "client-supplied k must not grow the merged cache without bound"
+        );
+    }
+
+    #[test]
+    fn updates_route_to_owning_shards_and_invalidate_the_merge() {
+        let raw = random_raw(60, 3, 11);
+        let mut sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(3));
+        let mut mirror = raw;
+        let focal = vec![0.6, 0.6, 0.6];
+        let k = 3;
+
+        let id = sharded.insert(vec![0.97, 0.96, 0.95]);
+        assert_eq!(id, mirror.len());
+        mirror.push(vec![0.97, 0.96, 0.95]);
+        let single = QueryEngine::new(&Dataset::new(mirror.clone()), KsprConfig::default());
+        assert_equivalent(
+            &sharded.run(Algorithm::LpCta, &focal, k),
+            &single.run(Algorithm::LpCta, &focal, k),
+            "after insert",
+        );
+
+        assert!(sharded.delete(id));
+        assert!(!sharded.delete(id), "double delete must fail");
+        assert!(!sharded.delete(9_999), "unknown id must fail");
+        mirror.pop();
+        let single = QueryEngine::new(&Dataset::new(mirror), KsprConfig::default());
+        assert_equivalent(
+            &sharded.run(Algorithm::LpCta, &focal, k),
+            &single.run(Algorithm::LpCta, &focal, k),
+            "after delete",
+        );
+        assert_eq!(sharded.len(), 60);
+        assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn single_shard_is_a_passthrough() {
+        let raw = random_raw(40, 3, 13);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default());
+        assert_eq!(sharded.num_shards(), 1);
+        let single = QueryEngine::new(&Dataset::new(raw.clone()), KsprConfig::default());
+        let focal = raw[11].clone();
+        for alg in [Algorithm::Cta, Algorithm::LpCta] {
+            let a = sharded.run(alg, &focal, 3);
+            let b = single.run(alg, &focal, 3);
+            // Bit-for-bit identical execution, not just equivalent results.
+            assert_eq!(a.num_regions(), b.num_regions());
+            assert_eq!(a.stats.processed_records, b.stats.processed_records);
+            assert_eq!(a.stats.celltree_nodes, b.stats.celltree_nodes);
+        }
+    }
+
+    #[test]
+    fn empty_engine_and_emptied_shards_answer_whole_space() {
+        let mut sharded = ShardedEngine::empty(2, KsprConfig::default().with_shards(2));
+        assert!(sharded.is_empty());
+        let result = sharded.run(Algorithm::LpCta, &[0.5, 0.5], 2);
+        assert_eq!(result.num_regions(), 1);
+        assert!(result.contains_full_weight(&[0.5, 0.5]));
+
+        // Populate, then delete everything again: still serving.  (With one
+        // of the two records beating the focal record on either side of
+        // w = 0.5, top-1 is unreachable but top-2 always holds.)
+        let a = sharded.insert(vec![0.9, 0.1]);
+        let b = sharded.insert(vec![0.1, 0.9]);
+        assert_eq!(
+            sharded.run(Algorithm::LpCta, &[0.5, 0.5], 1).num_regions(),
+            0
+        );
+        assert!(sharded.run(Algorithm::LpCta, &[0.5, 0.5], 2).num_regions() >= 1);
+        assert!(sharded.delete(a));
+        assert!(sharded.delete(b));
+        assert!(sharded.is_empty());
+        let result = sharded.run(Algorithm::LpCta, &[0.5, 0.5], 1);
+        assert_eq!(result.num_regions(), 1, "no competitor left: whole space");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite attribute value")]
+    fn insert_rejects_non_finite_values() {
+        let mut sharded = ShardedEngine::empty(2, KsprConfig::default().with_shards(2));
+        sharded.insert(vec![0.5, f64::NAN]);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn run_rejects_zero_k() {
+        let sharded = ShardedEngine::new(vec![vec![0.4, 0.6]], KsprConfig::default());
+        sharded.run(Algorithm::LpCta, &[0.5, 0.5], 0);
+    }
+}
