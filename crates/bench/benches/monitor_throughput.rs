@@ -1,0 +1,74 @@
+//! Criterion bench (beyond the paper): standing-query maintenance
+//! throughput.
+//!
+//! Compares one (insert + refresh all standing queries, delete + refresh)
+//! cycle through the two refresh strategies:
+//!
+//! * `patched` — a `kspr-monitor` `MonitoredEngine`: each update is
+//!   classified per standing query (unaffected / patched in place / rerun)
+//!   and only the must-rerun queries touch the engine;
+//! * `naive_rerun` — the same incremental engine, re-running every standing
+//!   query after every update.
+//!
+//! The standing set is the mixed serving blend: mostly deeply dominated
+//! "lookup" focals under LP-CTA (whose empty results classify away under
+//! any update) plus a couple of competitive ones under the
+//! schedule-invariant P-CTA policy (whose region-rich results survive
+//! witnessed updates without a rerun).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, KsprConfig, KsprResult, QueryEngine};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+use kspr_monitor::MonitoredEngine;
+
+fn bench_monitor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_throughput");
+    group.sample_size(10);
+    let k = 10usize;
+    for n in [1_000usize, 4_000] {
+        let w = Workload::synthetic(Distribution::Independent, n, 4, k, 71);
+        let mut queries: Vec<(Algorithm, Vec<f64>)> = w
+            .lookup_focals(8)
+            .into_iter()
+            .map(|f| (Algorithm::LpCta, f))
+            .collect();
+        queries.extend(w.focals(2).into_iter().map(|f| (Algorithm::Pcta, f)));
+        let config = KsprConfig::default();
+        let record = vec![0.42; 4];
+        group.throughput(Throughput::Elements(2)); // two updates per cycle
+        group.bench_with_input(BenchmarkId::new("patched", n), &n, |b, _| {
+            let mut monitored = MonitoredEngine::new(QueryEngine::new(&w.dataset, config.clone()));
+            for (alg, focal) in &queries {
+                monitored
+                    .register(*alg, focal.clone(), k)
+                    .expect("valid standing query");
+            }
+            b.iter(|| {
+                let (id, with) = monitored.insert(record.clone());
+                let (_, without) = monitored.delete(id);
+                (with, without)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("naive_rerun", n), &n, |b, _| {
+            let mut engine = QueryEngine::new(&w.dataset, config.clone());
+            b.iter(|| {
+                let id = engine.insert(record.clone());
+                let with: Vec<KsprResult> = queries
+                    .iter()
+                    .map(|(alg, f)| engine.run(*alg, f, k))
+                    .collect();
+                engine.delete(id);
+                let without: Vec<KsprResult> = queries
+                    .iter()
+                    .map(|(alg, f)| engine.run(*alg, f, k))
+                    .collect();
+                (with, without)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitor);
+criterion_main!(benches);

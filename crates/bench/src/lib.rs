@@ -458,6 +458,149 @@ pub fn measure_sharded_serving(
     }
 }
 
+/// Outcome of one standing-query maintenance comparison
+/// ([`measure_monitor_refresh`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorComparison {
+    /// Average seconds per update on the monitored engine: the update itself
+    /// plus classification, in-place patches and selective re-runs.
+    pub patched: f64,
+    /// Average seconds per update when every standing query is naively
+    /// re-run after every update (same long-lived incremental engine
+    /// underneath, so the gap is purely refresh strategy).
+    pub naive: f64,
+    /// Number of standing queries maintained.
+    pub queries: usize,
+    /// Number of updates applied to each side.
+    pub updates: usize,
+    /// The monitor's classification counters.
+    pub stats: kspr_monitor::MonitorStats,
+}
+
+impl MonitorComparison {
+    /// How many times faster the monitor keeps the standing results fresh.
+    pub fn speedup(&self) -> f64 {
+        self.naive / self.patched.max(1e-12)
+    }
+}
+
+/// Measures `rounds` × (insert a random record, then delete it) against a
+/// set of standing queries through two refresh strategies and reports the
+/// average per-update cost of each:
+///
+/// * **patched** — a [`kspr_monitor::MonitoredEngine`]: each update is
+///   classified per standing query (unaffected / patched / rerun) and only
+///   the must-rerun queries touch the engine;
+/// * **naive** — the same incremental engine, but every standing query is
+///   re-run after every update.
+///
+/// Each standing query is an `(algorithm, focal)` pair (standing registries
+/// mix policies in practice: LP-CTA answers lookups fastest, while P-CTA's
+/// schedule-invariant reporting lets the monitor classify witnessed updates
+/// away even for region-rich results — see the `kspr-monitor` docs).  Both
+/// sides apply the identical update stream, so the only difference is the
+/// refresh strategy.  After every update the two sides' results are asserted
+/// equal (region counts, rank signatures, sampled classification).
+///
+/// # Panics
+/// Panics if the monitored and naively refreshed results ever diverge.
+pub fn measure_monitor_refresh(
+    workload: &Workload,
+    queries: &[(Algorithm, Vec<f64>)],
+    k: usize,
+    config: &KsprConfig,
+    rounds: usize,
+    seed: u64,
+) -> MonitorComparison {
+    use kspr_monitor::MonitoredEngine;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    let d = workload.dataset.dim();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let updates: Vec<Vec<f64>> = (0..rounds)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0)).collect())
+        .collect();
+
+    let mut monitored = MonitoredEngine::new(QueryEngine::new(&workload.dataset, config.clone()));
+    let ids: Vec<kspr_monitor::QueryId> = queries
+        .iter()
+        .map(|(algorithm, focal)| {
+            monitored
+                .register(*algorithm, focal.clone(), k)
+                .expect("valid standing query")
+        })
+        .collect();
+
+    let mut naive_engine = QueryEngine::new(&workload.dataset, config.clone());
+    let mut naive_results: Vec<KsprResult> = queries
+        .iter()
+        .map(|(algorithm, focal)| naive_engine.run(*algorithm, focal, k))
+        .collect();
+
+    let verify = |monitored: &MonitoredEngine, naive_results: &[KsprResult], ctx: &str| {
+        for (id, naive) in ids.iter().zip(naive_results) {
+            let maintained = monitored.result(*id).expect("registered");
+            assert_eq!(
+                maintained.num_regions(),
+                naive.num_regions(),
+                "monitored and naively refreshed results disagree {ctx}"
+            );
+            assert_eq!(
+                maintained.rank_signature(),
+                naive.rank_signature(),
+                "monitored and naively refreshed ranks disagree {ctx}"
+            );
+            for w in kspr::naive::sample_weights(&naive.space, 16, seed ^ 0x5afe) {
+                assert_eq!(
+                    maintained.contains(&w),
+                    naive.contains(&w),
+                    "monitored and naively refreshed regions disagree {ctx} at {w:?}"
+                );
+            }
+        }
+    };
+    let refresh_naive = |engine: &QueryEngine, naive_results: &mut [KsprResult]| {
+        for (slot, (algorithm, focal)) in naive_results.iter_mut().zip(queries) {
+            *slot = engine.run(*algorithm, focal, k);
+        }
+    };
+
+    let mut patched_secs = 0.0f64;
+    let mut naive_secs = 0.0f64;
+    for record in &updates {
+        // Insert, both sides, then verify (verification is untimed).
+        let start = Instant::now();
+        let (id, _) = monitored.insert(record.clone());
+        patched_secs += start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let naive_id = naive_engine.insert(record.clone());
+        refresh_naive(&naive_engine, &mut naive_results);
+        naive_secs += start.elapsed().as_secs_f64();
+        assert_eq!(id, naive_id, "both sides see the same id sequence");
+        verify(&monitored, &naive_results, "after insert");
+
+        // Delete it again, both sides, then verify.
+        let start = Instant::now();
+        let (removed, _) = monitored.delete(id);
+        patched_secs += start.elapsed().as_secs_f64();
+        assert!(removed);
+        let start = Instant::now();
+        naive_engine.delete(naive_id);
+        refresh_naive(&naive_engine, &mut naive_results);
+        naive_secs += start.elapsed().as_secs_f64();
+        verify(&monitored, &naive_results, "after delete");
+    }
+
+    let updates_applied = 2 * rounds;
+    MonitorComparison {
+        patched: patched_secs / updates_applied.max(1) as f64,
+        naive: naive_secs / updates_applied.max(1) as f64,
+        queries: queries.len(),
+        updates: updates_applied,
+        stats: monitored.monitor().stats(),
+    }
+}
+
 /// Runs one query and returns the result together with its wall-clock time.
 pub fn timed_query(
     algorithm: Algorithm,
@@ -640,6 +783,63 @@ mod tests {
             best.sharded,
             best.candidates,
             best.records
+        );
+    }
+
+    #[test]
+    fn monitor_patching_beats_naive_rerun() {
+        // The acceptance bar for the standing-query monitor: on the mixed
+        // standing-query set at n = 4k (mostly deeply dominated "lookup"
+        // focals — the common case for uniformly drawn focal records — plus
+        // a couple of competitive ones registered under the
+        // schedule-invariant P-CTA policy), keeping every standing result
+        // fresh through classification + patching must be >= 2x faster per
+        // update than naively re-running every standing query.  The
+        // mechanism: a random update record at this density almost always
+        // has >= k live dominators, so the classifier retires it with
+        // O(queries) dominance tests plus one shared MBR-pruned dominator
+        // probe, while the naive side pays a full O(n) preprocessing pass
+        // per standing query (plus full traversals for the competitive
+        // ones).  The expected gap is an order of magnitude; the 2x bar only
+        // fails under severe scheduler noise, so measurement is retried a
+        // couple of times and the best ratio taken to keep the suite
+        // flake-free.  `measure_monitor_refresh` additionally asserts result
+        // equality between the two sides after every update on every try.
+        let k = 10;
+        let w = Workload::synthetic(Distribution::Independent, 4_000, 4, k, 91);
+        let mut queries: Vec<(Algorithm, Vec<f64>)> = w
+            .lookup_focals(12)
+            .into_iter()
+            .map(|f| (Algorithm::LpCta, f))
+            .collect();
+        queries.extend(w.focals(2).into_iter().map(|f| (Algorithm::Pcta, f)));
+        let mut best: Option<MonitorComparison> = None;
+        for attempt in 0..3 {
+            let cmp =
+                measure_monitor_refresh(&w, &queries, k, &KsprConfig::default(), 3, 92 + attempt);
+            assert_eq!(cmp.queries, queries.len());
+            assert_eq!(cmp.updates, 6);
+            assert!(
+                cmp.stats.unaffected > 0,
+                "deeply dominated updates must classify away: {:?}",
+                cmp.stats
+            );
+            if best.map_or(true, |b| cmp.speedup() > b.speedup()) {
+                best = Some(cmp);
+            }
+            if best.expect("just set").speedup() >= 2.0 {
+                break;
+            }
+        }
+        let best = best.expect("at least one measurement ran");
+        assert!(
+            best.speedup() >= 2.0,
+            "standing-query patching must be >= 2x faster than naive re-runs, got {:.2}x \
+             (patched {:.6}s/update, naive {:.6}s/update, {:?})",
+            best.speedup(),
+            best.patched,
+            best.naive,
+            best.stats
         );
     }
 

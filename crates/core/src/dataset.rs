@@ -174,6 +174,12 @@ impl Dataset {
         self.tree.has_tombstones()
     }
 
+    /// Number of tombstoned record slots (deleted records kept for id
+    /// stability).
+    pub fn tombstone_count(&self) -> usize {
+        self.tree.tombstone_count()
+    }
+
     /// The underlying aggregate R-tree.
     pub fn tree(&self) -> &AggregateRTree {
         &self.tree
@@ -227,6 +233,22 @@ impl DatasetStore {
     /// The version counter: incremented by every successful update.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Fraction of record slots that are tombstoned, in `[0, 1)`.
+    ///
+    /// Deleted slots are retained forever (ids are stable by design), so a
+    /// delete-heavy workload steadily accumulates dead slots that still cost
+    /// memory and skyband promotion-scan time.  Serving layers watch this
+    /// ratio to decide when a compaction (store rewrite + id remap) would pay
+    /// off; the `serve` experiment logs a warning above 50%.
+    pub fn tombstone_ratio(&self) -> f64 {
+        let slots = self.dataset.records().len();
+        if slots == 0 {
+            0.0
+        } else {
+            self.dataset.tombstone_count() as f64 / slots as f64
+        }
     }
 
     /// Inserts a record, maintaining the R-tree in place, and returns its id.
@@ -351,6 +373,21 @@ mod tests {
         assert_eq!(store.dataset().len(), 2);
         let live: Vec<usize> = store.dataset().live_records().map(|r| r.id).collect();
         assert_eq!(live, vec![1, 2]);
+    }
+
+    #[test]
+    fn tombstone_ratio_tracks_deletes() {
+        let mut store =
+            DatasetStore::from_raw(vec![vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]);
+        assert_eq!(store.tombstone_ratio(), 0.0);
+        assert_eq!(store.dataset().tombstone_count(), 0);
+        store.delete(0);
+        store.delete(2);
+        assert_eq!(store.dataset().tombstone_count(), 2);
+        assert!((store.tombstone_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        // Inserting grows the slot count, diluting the ratio.
+        store.insert(vec![0.7, 0.8]);
+        assert!((store.tombstone_ratio() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -574,16 +574,36 @@ impl QueryEngine {
     /// already deleted), patching the R-tree and every cached shared-prep
     /// structure in place.
     pub fn delete(&mut self, id: RecordId) -> bool {
-        let Some(values) = self.store.delete(id) else {
-            return false;
-        };
+        self.delete_returning(id).is_some()
+    }
+
+    /// Like [`QueryEngine::delete`], but returns the removed record's
+    /// attribute values.
+    ///
+    /// This is the delete hook consumed by the standing-query monitor
+    /// (`kspr-monitor`): classifying a delete needs the *removed* values
+    /// after the engine state has already moved on, and reading them up front
+    /// through the caller would race other handles.
+    pub fn delete_returning(&mut self, id: RecordId) -> Option<Vec<f64>> {
+        let values = self.store.delete(id)?;
         let cache = Self::recovering_get_mut(&mut self.cache);
         if let Some(primary) = &mut cache.primary {
             Arc::make_mut(primary).apply_delete(id, &values, self.store.dataset());
         }
         cache.views.clear();
         cache.epoch = self.store.epoch();
-        true
+        Some(values)
+    }
+
+    /// Number of live records dominating `values`, stopping early once
+    /// `limit` dominators are found (see
+    /// [`kspr_spatial::AggregateRTree::count_dominating`]).
+    ///
+    /// This is the engine-level dominance-delta probe of the standing-query
+    /// monitor: an update record with at least `k` live dominators cannot
+    /// change any `k`-query's result regions (skyband witness property).
+    pub fn count_dominating(&self, values: &[f64], limit: usize) -> usize {
+        self.store.dataset().tree().count_dominating(values, limit)
     }
 
     /// Recovers the cache from a poisoned lock.
@@ -1408,6 +1428,27 @@ mod tests {
         {
             assert_eq!(a.num_regions(), b.num_regions());
         }
+    }
+
+    #[test]
+    fn delete_returning_hands_back_the_removed_values() {
+        let (dataset, _, _) = figure1();
+        let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
+        assert_eq!(engine.delete_returning(1), Some(vec![9.0, 4.0, 4.0]));
+        assert_eq!(engine.delete_returning(1), None, "double delete is a no-op");
+        assert_eq!(engine.delete_returning(99), None);
+        assert_eq!(engine.dataset().len(), 3);
+    }
+
+    #[test]
+    fn count_dominating_probes_the_live_dataset() {
+        let (dataset, _, _) = figure1();
+        let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
+        // Records 1 (9,4,4) and 2 (8,3,4) dominate (7.5, 3.0, 4.0).
+        assert_eq!(engine.count_dominating(&[7.5, 3.0, 4.0], usize::MAX), 2);
+        assert!(engine.count_dominating(&[7.5, 3.0, 4.0], 1) >= 1);
+        engine.delete(1);
+        assert_eq!(engine.count_dominating(&[7.5, 3.0, 4.0], usize::MAX), 1);
     }
 
     #[test]

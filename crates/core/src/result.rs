@@ -124,6 +124,26 @@ impl KsprResult {
         self.regions.is_empty()
     }
 
+    /// True iff the result is a single region with no bounding halfspace —
+    /// the focal record is in the top-`k` for *every* preference, at one
+    /// uniform rank.  Such results arise when no filtered competitor's
+    /// hyperplane ever splits the preference space, and they can be patched
+    /// in place under focal-dominator updates (the rank shifts uniformly);
+    /// the standing-query monitor (`kspr-monitor`) relies on this test.
+    pub fn is_whole_space(&self) -> bool {
+        self.regions.len() == 1 && self.regions[0].halfspaces.is_empty()
+    }
+
+    /// The sorted multiset of region ranks — the cheap change-detection
+    /// signature the standing-query monitor uses to decide whether a
+    /// maintained result actually changed (and hence whether subscribers
+    /// should be notified).
+    pub fn rank_signature(&self) -> Vec<usize> {
+        let mut ranks: Vec<usize> = self.regions.iter().map(|r| r.rank).collect();
+        ranks.sort_unstable();
+        ranks
+    }
+
     /// True iff the working-space point `w` lies in some result region, i.e.
     /// the focal record is in the top-`k` for that preference.
     pub fn contains(&self, w: &[f64]) -> bool {
@@ -190,6 +210,32 @@ mod tests {
         // ... and specifically not -0.0, which would format as "-0.00".
         assert!(r.impact(0, 0).is_sign_positive());
         assert!(r.total_volume(0, 0).is_sign_positive());
+    }
+
+    #[test]
+    fn whole_space_detection_and_rank_signature() {
+        let whole = KsprResult::whole_space(space2(), 2, QueryStats::new());
+        assert!(whole.is_whole_space());
+        assert_eq!(whole.rank_signature(), vec![2]);
+
+        let empty = KsprResult::empty(space2(), QueryStats::new());
+        assert!(!empty.is_whole_space());
+        assert!(empty.rank_signature().is_empty());
+
+        let plane = Hyperplane {
+            coeffs: vec![1.0, 0.0],
+            rhs: 0.5,
+        };
+        let bounded = KsprResult {
+            space: space2(),
+            regions: vec![
+                Region::new(3, vec![(plane.clone(), Sign::Negative)]),
+                Region::new(1, vec![(plane, Sign::Positive)]),
+            ],
+            stats: QueryStats::new(),
+        };
+        assert!(!bounded.is_whole_space(), "bounded regions are not whole");
+        assert_eq!(bounded.rank_signature(), vec![1, 3], "ranks are sorted");
     }
 
     #[test]

@@ -1,0 +1,915 @@
+//! # kspr-monitor — standing queries over a dynamic kSPR engine
+//!
+//! A kSPR result is most valuable when it is *watched*: an option's impact
+//! regions shift every time a competitor is inserted or deleted.  Re-running
+//! the full CellTree pipeline after every update wastes the one thing the
+//! dynamic engine already knows — *which* updates can matter.  This crate
+//! keeps long-lived query results correct across updates with per-update work
+//! that is usually a handful of dominance tests:
+//!
+//! * [`Monitor`] is a registry of [`StandingQuery`] handles (focal record,
+//!   algorithm, `k`, the last [`KsprResult`], and a compact maintenance
+//!   state — the focal record's live dominator count).
+//! * [`Monitor::apply_insert`] / [`Monitor::apply_delete`] classify every
+//!   registered query against the delta record as **unaffected** (the old
+//!   result provably equals a fresh run), **patchable** (the new result is
+//!   derivable in place: it empties, or a whole-space rank shifts), or
+//!   **must-rerun** — and re-run only the last kind.
+//! * Queries whose result changed produce [`ResultDelta`] notifications,
+//!   which the serving front-end (`kspr-serve`) forwards to subscribers.
+//!
+//! # Why the classification is sound
+//!
+//! Write `p` for the focal record, `v` for the delta record and `R` for the
+//! set of preference vectors where `p` ranks in the top-`k`.
+//!
+//! 1. **Ties and records `p` dominates are invisible.**  The Section-3.1
+//!    preprocessing removes them before the traversal, so inserting or
+//!    deleting one reproduces the previous run exactly.
+//! 2. **Inserts never grow `R`.**  `p`'s rank at a preference `w` is one plus
+//!    the number of records outscoring `p` at `w`; an insert can only raise
+//!    it.  A standing query with an *empty* result therefore stays empty
+//!    under any insert.
+//! 3. **Dominators of `p` shift ranks uniformly.**  A record dominating `p`
+//!    outscores it everywhere, so it only moves the constant rank offset the
+//!    engine tracks: once the live dominator count reaches `k` the result is
+//!    empty (patched in place), and a *whole-space* result (one region, no
+//!    bounding halfspace — the arrangement never split) keeps its single
+//!    region with the rank shifted by one (patched in place).  Everything
+//!    else re-runs, because the effective `k` of the traversal changed.
+//! 4. **Records with `k` live dominators are witnessed away.**  If `v` has at
+//!    least `k` live dominators (checked with the MBR-pruned
+//!    [`kspr::QueryEngine::count_dominating`] probe — the *skyband witness
+//!    property* guarantees at least `k` of them sit in the dataset
+//!    k-skyband), then wherever `v` outscores `p`, so do `k` records that
+//!    dominate `v` — `p` is already out of the top-`k` there.  Inserting or
+//!    deleting `v` leaves `R` unchanged, and inside every result cell `v`'s
+//!    hyperplane is on the non-outranking side, so it cannot split a
+//!    reported cell: the region decomposition itself is preserved for every
+//!    policy whose reporting depends only on the final arrangement (CTA,
+//!    P-CTA's pivot reports, the k-skyband baseline).  LP-CTA's *look-ahead
+//!    bound* reports are schedule-sensitive — the delta record perturbs the
+//!    aggregate R-tree bounds, which may merge or split reported cells even
+//!    though the covered area is identical — so for bound-using policies
+//!    this shortcut only applies to empty and whole-space results and
+//!    everything else re-runs (see [`ExpansionPolicy::use_rank_bounds`]).
+//!
+//! `monitor_consistency.rs` in the umbrella crate property-tests the whole
+//! classifier: under random insert/delete interleavings every maintained
+//! result must match a from-scratch engine run, for all CellTree policies,
+//! on both the single engine and the sharded serving engine.
+//!
+//! ```
+//! use kspr::{Algorithm, Dataset, KsprConfig, QueryEngine};
+//! use kspr_monitor::MonitoredEngine;
+//!
+//! let dataset = Dataset::new(vec![
+//!     vec![0.3, 0.8, 0.8],
+//!     vec![0.9, 0.4, 0.4],
+//!     vec![0.8, 0.3, 0.4],
+//!     vec![0.4, 0.3, 0.6],
+//! ]);
+//! let mut monitored = MonitoredEngine::new(QueryEngine::new(&dataset, KsprConfig::default()));
+//! let q = monitored
+//!     .register(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2)
+//!     .unwrap();
+//! let before = monitored.result(q).unwrap().num_regions();
+//!
+//! // A deeply dominated insert is classified away with two dominance tests.
+//! let (id, deltas) = monitored.insert(vec![0.2, 0.2, 0.2]);
+//! assert!(deltas.is_empty(), "nothing changed, nobody is notified");
+//! assert_eq!(monitored.result(q).unwrap().num_regions(), before);
+//!
+//! let (_, deltas) = monitored.delete(id);
+//! assert!(deltas.is_empty());
+//! assert!(monitored.unregister(q));
+//! ```
+
+use kspr::engine::policy_for;
+use kspr::{check_record, Algorithm, IngestError, KsprResult, QueryEngine, QueryStats};
+use kspr_spatial::{dominates, RecordId};
+use std::collections::BTreeMap;
+
+/// Identifier of a registered standing query (dense, never reused).
+pub type QueryId = u64;
+
+/// The engine surface the monitor drives.  Implemented for
+/// [`kspr::QueryEngine`] here and for the sharded serving engine in
+/// `kspr-serve`.
+pub trait MonitorEngine {
+    /// The dataset arity.
+    fn dim(&self) -> usize;
+
+    /// Runs one query against the current dataset state.
+    fn run_query(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult;
+
+    /// Number of live records dominating `values`, early-exiting once
+    /// `limit` is reached (a return `>= limit` means "at least `limit`").
+    fn count_dominating(&self, values: &[f64], limit: usize) -> usize;
+}
+
+impl MonitorEngine for QueryEngine {
+    fn dim(&self) -> usize {
+        self.dataset().dim()
+    }
+
+    fn run_query(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult {
+        self.run(algorithm, focal, k)
+    }
+
+    fn count_dominating(&self, values: &[f64], limit: usize) -> usize {
+        QueryEngine::count_dominating(self, values, limit)
+    }
+}
+
+/// Why a standing query could not be registered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterError {
+    /// `k` must be at least 1.
+    InvalidK,
+    /// The focal record violates the ingest rules (arity / finiteness).
+    Focal(IngestError),
+    /// Only the CellTree policies (CTA, P-CTA, LP-CTA, k-skyband) expose the
+    /// classification hooks; the sweep baselines (RTOPK, iMaxRank) do not.
+    UnsupportedAlgorithm,
+}
+
+impl std::fmt::Display for RegisterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegisterError::InvalidK => write!(f, "k must be at least 1"),
+            RegisterError::Focal(err) => write!(f, "focal record {err}"),
+            RegisterError::UnsupportedAlgorithm => {
+                write!(
+                    f,
+                    "the algorithm does not support standing-query maintenance"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegisterError {}
+
+/// How the monitor maintained a standing query for one update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateClass {
+    /// The old result provably equals a fresh run; nothing was touched.
+    Unaffected,
+    /// The new result was derived in place (result emptied, or a
+    /// whole-space rank shifted) without running the engine.
+    Patched,
+    /// The query was re-run through the engine.
+    Rerun,
+}
+
+/// Classification counters across all updates and standing queries.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Standing queries ever registered.
+    pub registered: u64,
+    /// (update, query) pairs classified as unaffected.
+    pub unaffected: u64,
+    /// (update, query) pairs patched in place.
+    pub patched: u64,
+    /// (update, query) pairs that re-ran the engine.
+    pub reruns: u64,
+}
+
+impl MonitorStats {
+    /// Total (update, query) classification events.
+    pub fn classified(&self) -> u64 {
+        self.unaffected + self.patched + self.reruns
+    }
+}
+
+/// A change notification for one standing query after one update.
+///
+/// Unaffected and patched-without-change maintenance is silent.  A delta is
+/// produced whenever the rank signature moved — and for **every** re-run,
+/// even one whose region count and rank signature happen to match: a re-run
+/// can change region *geometry* without moving either summary, and silence
+/// would leave subscribers holding stale regions with no way to notice.
+/// Compare `ranks_before`/`ranks_after` (or `regions_added` etc.) to tell a
+/// summarized change from a possibly-geometry-only refresh.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultDelta {
+    /// The standing query that changed.
+    pub query: QueryId,
+    /// How the new result was obtained.
+    pub class: UpdateClass,
+    /// Region count before the update.
+    pub regions_before: usize,
+    /// Region count after the update.
+    pub regions_after: usize,
+    /// Sorted region ranks before the update.
+    pub ranks_before: Vec<usize>,
+    /// Sorted region ranks after the update.
+    pub ranks_after: Vec<usize>,
+}
+
+impl ResultDelta {
+    /// Regions gained by the update (0 when regions were lost).
+    pub fn regions_added(&self) -> usize {
+        self.regions_after.saturating_sub(self.regions_before)
+    }
+
+    /// Regions lost to the update (0 when regions were gained).
+    pub fn regions_removed(&self) -> usize {
+        self.regions_before.saturating_sub(self.regions_after)
+    }
+
+    /// True iff some surviving region's rank shifted (score-order change)
+    /// beyond pure adds/removes.
+    pub fn ranks_shifted(&self) -> bool {
+        self.regions_before == self.regions_after && self.ranks_before != self.ranks_after
+    }
+}
+
+/// One registered long-lived query: the request, its latest result, and the
+/// maintenance state the per-update classifier needs.
+#[derive(Debug, Clone)]
+pub struct StandingQuery {
+    algorithm: Algorithm,
+    focal: Vec<f64>,
+    k: usize,
+    /// Exact number of live records dominating the focal record, maintained
+    /// by ±1 bookkeeping on every classified update.
+    focal_dominators: usize,
+    result: KsprResult,
+}
+
+impl StandingQuery {
+    /// The algorithm the query runs under.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// The focal record.
+    pub fn focal(&self) -> &[f64] {
+        &self.focal
+    }
+
+    /// The rank threshold.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The maintained result (always equal to a fresh run at the current
+    /// dataset state, up to per-query statistics).
+    pub fn result(&self) -> &KsprResult {
+        &self.result
+    }
+
+    /// The maintained live dominator count of the focal record.
+    pub fn focal_dominators(&self) -> usize {
+        self.focal_dominators
+    }
+
+    /// Replaces the result with an empty one (the focal record left the
+    /// top-`k` everywhere).
+    fn set_empty(&mut self) {
+        self.result = KsprResult::empty(self.result.space, QueryStats::new());
+    }
+}
+
+/// Which side of an update is being classified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UpdateKind {
+    Insert,
+    Delete,
+}
+
+/// The standing-query registry.  Generic over the engine only at the method
+/// level, so one monitor type serves both the single [`QueryEngine`] and the
+/// sharded serving engine.
+#[derive(Debug, Default)]
+pub struct Monitor {
+    /// Registered queries in id order (deterministic notification order).
+    queries: BTreeMap<QueryId, StandingQuery>,
+    next_id: QueryId,
+    stats: MonitorStats,
+}
+
+impl Monitor {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered standing queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True iff no standing query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// Classification counters.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// The standing query with the given id, if registered.
+    pub fn query(&self, id: QueryId) -> Option<&StandingQuery> {
+        self.queries.get(&id)
+    }
+
+    /// The maintained result of a standing query, if registered.
+    pub fn result(&self, id: QueryId) -> Option<&KsprResult> {
+        self.queries.get(&id).map(|q| q.result())
+    }
+
+    /// All registered queries, in id order.
+    pub fn queries(&self) -> impl Iterator<Item = (QueryId, &StandingQuery)> {
+        self.queries.iter().map(|(&id, q)| (id, q))
+    }
+
+    /// Registers a standing query: validates the request, runs it once, and
+    /// snapshots the maintenance state (exact focal dominator count).
+    ///
+    /// The engine must not change between this call and the next
+    /// `apply_insert` / `apply_delete` without the monitor seeing the update.
+    pub fn register<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+    ) -> Result<QueryId, RegisterError> {
+        if k == 0 {
+            return Err(RegisterError::InvalidK);
+        }
+        check_record(&focal, Some(engine.dim())).map_err(RegisterError::Focal)?;
+        if policy_for(algorithm).is_none() {
+            return Err(RegisterError::UnsupportedAlgorithm);
+        }
+        let result = engine.run_query(algorithm, &focal, k);
+        let focal_dominators = engine.count_dominating(&focal, usize::MAX);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queries.insert(
+            id,
+            StandingQuery {
+                algorithm,
+                focal,
+                k,
+                focal_dominators,
+                result,
+            },
+        );
+        self.stats.registered += 1;
+        Ok(id)
+    }
+
+    /// Drops a standing query and its maintenance state; returns `false` if
+    /// the id was never registered (or already unregistered).
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        self.queries.remove(&id).is_some()
+    }
+
+    /// Drops every standing query and its maintenance state (the counters
+    /// survive).  Serving layers use this to invalidate the registry after a
+    /// failure that may have left a maintenance pass half-applied — stale
+    /// bookkeeping must never classify future updates.
+    pub fn clear(&mut self) {
+        self.queries.clear();
+    }
+
+    /// Maintains every standing query for a record just **inserted** into the
+    /// engine.  Call *after* the engine applied the insert, with the inserted
+    /// values.  Returns one [`ResultDelta`] per query whose result changed.
+    pub fn apply_insert<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        values: &[f64],
+    ) -> Vec<ResultDelta> {
+        self.apply_update(engine, values, UpdateKind::Insert)
+    }
+
+    /// Maintains every standing query for a record just **deleted** from the
+    /// engine.  Call *after* the engine applied the delete, with the removed
+    /// record's values (see [`kspr::QueryEngine::delete_returning`]).
+    pub fn apply_delete<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        values: &[f64],
+    ) -> Vec<ResultDelta> {
+        self.apply_update(engine, values, UpdateKind::Delete)
+    }
+
+    fn apply_update<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        values: &[f64],
+        kind: UpdateKind,
+    ) -> Vec<ResultDelta> {
+        // The dominator-count probe depends only on the delta record and the
+        // largest registered k, so it is shared across all queries and only
+        // computed if some query actually needs it.
+        let limit = self.queries.values().map(|q| q.k).max().unwrap_or(0);
+        let mut delta_dominators: Option<usize> = None;
+        let mut deltas = Vec::new();
+        let stats = &mut self.stats;
+        for (&id, q) in self.queries.iter_mut() {
+            let (class, before) =
+                Self::maintain(q, engine, values, kind, &mut delta_dominators, limit);
+            match class {
+                UpdateClass::Unaffected => stats.unaffected += 1,
+                UpdateClass::Patched => stats.patched += 1,
+                UpdateClass::Rerun => stats.reruns += 1,
+            }
+            // A snapshot exists only for the classes that touch the result;
+            // the unaffected fast path stays allocation-free.  Reruns always
+            // notify — an identical rank signature does not prove identical
+            // region geometry (see the ResultDelta docs).
+            if let Some((regions_before, ranks_before)) = before {
+                let ranks_after = q.result.rank_signature();
+                if ranks_before != ranks_after || class == UpdateClass::Rerun {
+                    deltas.push(ResultDelta {
+                        query: id,
+                        class,
+                        regions_before,
+                        regions_after: q.result.num_regions(),
+                        ranks_before,
+                        ranks_after,
+                    });
+                }
+            }
+        }
+        deltas
+    }
+
+    /// Pre-mutation snapshot of a standing result: region count and rank
+    /// signature, taken just before a patch or rerun touches it.
+    fn snapshot(q: &StandingQuery) -> (usize, Vec<usize>) {
+        (q.result.num_regions(), q.result.rank_signature())
+    }
+
+    /// Classifies (and maintains) one standing query for one update,
+    /// returning the class together with the pre-mutation snapshot (`None`
+    /// when the result was provably untouched).  The case analysis is the
+    /// module-docs argument, in order.
+    fn maintain<E: MonitorEngine>(
+        q: &mut StandingQuery,
+        engine: &E,
+        values: &[f64],
+        kind: UpdateKind,
+        delta_dominators: &mut Option<usize>,
+        limit: usize,
+    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
+        let dominates_focal = dominates(values, &q.focal);
+        // Ties and records the focal record dominates are removed by the
+        // Section-3.1 preprocessing; updating one reproduces the old run.
+        let invisible = values == q.focal.as_slice() || dominates(&q.focal, values);
+        if dominates_focal {
+            match kind {
+                UpdateKind::Insert => q.focal_dominators += 1,
+                UpdateKind::Delete => {
+                    debug_assert!(q.focal_dominators > 0, "dominator count underflow");
+                    q.focal_dominators = q.focal_dominators.saturating_sub(1);
+                }
+            }
+        }
+        if invisible {
+            return (UpdateClass::Unaffected, None);
+        }
+        if kind == UpdateKind::Insert && q.result.is_empty() {
+            // Inserts only push the focal record's rank up: empty stays empty.
+            return (UpdateClass::Unaffected, None);
+        }
+        if dominates_focal {
+            return Self::maintain_dominator(q, engine, kind);
+        }
+
+        // Incomparable delta record: the skyband witness test.  With at least
+        // k live dominators, the delta record cannot change the result area —
+        // and for policies without schedule-sensitive bound reports it cannot
+        // change the region decomposition either.
+        let dominators =
+            *delta_dominators.get_or_insert_with(|| engine.count_dominating(values, limit));
+        if dominators >= q.k {
+            let decomposition_stable = policy_for(q.algorithm)
+                .is_some_and(|policy| !policy.use_rank_bounds())
+                || q.result.is_empty()
+                || q.result.is_whole_space();
+            if decomposition_stable {
+                return (UpdateClass::Unaffected, None);
+            }
+        }
+        Self::rerun(q, engine)
+    }
+
+    /// The delta record dominates the focal record: the rank offset shifts
+    /// uniformly, so emptiness and whole-space results patch in place.
+    fn maintain_dominator<E: MonitorEngine>(
+        q: &mut StandingQuery,
+        engine: &E,
+        kind: UpdateKind,
+    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
+        match kind {
+            UpdateKind::Insert => {
+                if q.focal_dominators >= q.k {
+                    // At least k records now outscore the focal record
+                    // everywhere; a fresh run short-circuits to Empty.
+                    let before = Self::snapshot(q);
+                    q.set_empty();
+                    return (UpdateClass::Patched, Some(before));
+                }
+                if q.result.is_whole_space() {
+                    let before = Self::snapshot(q);
+                    let rank = q.result.regions[0].rank + 1;
+                    if rank > q.k {
+                        q.set_empty();
+                    } else {
+                        q.result.regions[0].rank = rank;
+                    }
+                    return (UpdateClass::Patched, Some(before));
+                }
+                Self::rerun(q, engine)
+            }
+            UpdateKind::Delete => {
+                if q.focal_dominators >= q.k {
+                    // Still at least k everywhere-dominators: the result was
+                    // and remains empty.
+                    debug_assert!(q.result.is_empty());
+                    return (UpdateClass::Unaffected, None);
+                }
+                if q.result.is_whole_space() {
+                    // A whole-space rank always counts its dominators, so it
+                    // is at least 2 when one of them is being removed.
+                    debug_assert!(q.result.regions[0].rank >= 2);
+                    let before = Self::snapshot(q);
+                    q.result.regions[0].rank = q.result.regions[0].rank.saturating_sub(1).max(1);
+                    return (UpdateClass::Patched, Some(before));
+                }
+                Self::rerun(q, engine)
+            }
+        }
+    }
+
+    fn rerun<E: MonitorEngine>(
+        q: &mut StandingQuery,
+        engine: &E,
+    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
+        let before = Self::snapshot(q);
+        q.result = engine.run_query(q.algorithm, &q.focal, q.k);
+        (UpdateClass::Rerun, Some(before))
+    }
+}
+
+/// A [`QueryEngine`] bundled with a [`Monitor`]: updates go through one call
+/// that applies them to the engine *and* maintains every standing query.
+pub struct MonitoredEngine {
+    engine: QueryEngine,
+    monitor: Monitor,
+}
+
+impl MonitoredEngine {
+    /// Wraps an engine with an empty standing-query registry.
+    pub fn new(engine: QueryEngine) -> Self {
+        Self {
+            engine,
+            monitor: Monitor::new(),
+        }
+    }
+
+    /// The underlying engine (for ad-hoc queries).
+    pub fn engine(&self) -> &QueryEngine {
+        &self.engine
+    }
+
+    /// The standing-query registry.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// Registers a standing query (see [`Monitor::register`]).
+    pub fn register(
+        &mut self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+    ) -> Result<QueryId, RegisterError> {
+        self.monitor.register(&self.engine, algorithm, focal, k)
+    }
+
+    /// Drops a standing query (see [`Monitor::unregister`]).
+    pub fn unregister(&mut self, id: QueryId) -> bool {
+        self.monitor.unregister(id)
+    }
+
+    /// The maintained result of a standing query.
+    pub fn result(&self, id: QueryId) -> Option<&KsprResult> {
+        self.monitor.result(id)
+    }
+
+    /// Inserts a record into the engine and maintains every standing query;
+    /// returns the new record id and the change notifications.
+    pub fn insert(&mut self, values: Vec<f64>) -> (RecordId, Vec<ResultDelta>) {
+        let id = self.engine.insert(values.clone());
+        let deltas = self.monitor.apply_insert(&self.engine, &values);
+        (id, deltas)
+    }
+
+    /// Deletes a record from the engine and maintains every standing query;
+    /// returns whether a live record was removed and the change
+    /// notifications.
+    pub fn delete(&mut self, id: RecordId) -> (bool, Vec<ResultDelta>) {
+        match self.engine.delete_returning(id) {
+            Some(values) => {
+                let deltas = self.monitor.apply_delete(&self.engine, &values);
+                (true, deltas)
+            }
+            None => (false, Vec::new()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr::{Dataset, KsprConfig};
+
+    fn engine(raw: Vec<Vec<f64>>) -> QueryEngine {
+        QueryEngine::new(&Dataset::new(raw), KsprConfig::default())
+    }
+
+    fn figure1() -> QueryEngine {
+        engine(vec![
+            vec![0.3, 0.8, 0.8],
+            vec![0.9, 0.4, 0.4],
+            vec![0.8, 0.3, 0.4],
+            vec![0.4, 0.3, 0.6],
+        ])
+    }
+
+    /// The maintained result must match a fresh run at the current state.
+    fn assert_fresh(monitored: &MonitoredEngine, id: QueryId, ctx: &str) {
+        let q = monitored.monitor().query(id).expect("registered");
+        let fresh = monitored.engine().run(q.algorithm(), q.focal(), q.k());
+        assert_eq!(
+            q.result().num_regions(),
+            fresh.num_regions(),
+            "{ctx}: region count"
+        );
+        assert_eq!(
+            q.result().rank_signature(),
+            fresh.rank_signature(),
+            "{ctx}: ranks"
+        );
+    }
+
+    #[test]
+    fn register_validates_the_request() {
+        let engine = figure1();
+        let mut monitor = Monitor::new();
+        assert_eq!(
+            monitor.register(&engine, Algorithm::LpCta, vec![0.5, 0.5, 0.7], 0),
+            Err(RegisterError::InvalidK)
+        );
+        assert_eq!(
+            monitor.register(&engine, Algorithm::LpCta, vec![0.5, 0.5], 2),
+            Err(RegisterError::Focal(IngestError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }))
+        );
+        // (NaN payloads are not `==`-comparable; match on the variant.)
+        assert!(matches!(
+            monitor.register(&engine, Algorithm::LpCta, vec![0.5, f64::NAN, 0.7], 2),
+            Err(RegisterError::Focal(IngestError::NonFinite { .. }))
+        ));
+        for alg in [Algorithm::Rtopk, Algorithm::IMaxRank] {
+            assert_eq!(
+                monitor.register(&engine, alg, vec![0.5, 0.5, 0.7], 2),
+                Err(RegisterError::UnsupportedAlgorithm)
+            );
+        }
+        assert!(monitor.is_empty());
+        assert_eq!(monitor.stats().registered, 0);
+
+        let id = monitor
+            .register(&engine, Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2)
+            .expect("valid request");
+        assert_eq!(monitor.len(), 1);
+        assert_eq!(monitor.query(id).unwrap().k(), 2);
+        assert_eq!(monitor.query(id).unwrap().focal_dominators(), 0);
+        assert!(monitor.result(id).is_some());
+    }
+
+    #[test]
+    fn unregister_frees_the_maintenance_state() {
+        let engine = figure1();
+        let mut monitor = Monitor::new();
+        let a = monitor
+            .register(&engine, Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2)
+            .unwrap();
+        let b = monitor
+            .register(&engine, Algorithm::KSkyband, vec![0.6, 0.6, 0.5], 3)
+            .unwrap();
+        assert_ne!(a, b, "ids are unique");
+        assert_eq!(monitor.len(), 2);
+        assert!(monitor.unregister(a));
+        assert!(!monitor.unregister(a), "double unregister fails");
+        assert_eq!(monitor.len(), 1);
+        assert!(monitor.unregister(b));
+        assert!(monitor.is_empty());
+        assert!(monitor.result(a).is_none());
+        assert_eq!(monitor.stats().registered, 2, "counters survive");
+    }
+
+    #[test]
+    fn invisible_updates_are_classified_without_probing() {
+        let mut monitored = MonitoredEngine::new(figure1());
+        let q = monitored
+            .register(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2)
+            .unwrap();
+        // Dominated by the focal record, and an exact tie: both invisible.
+        for values in [vec![0.1, 0.1, 0.1], vec![0.5, 0.5, 0.7]] {
+            let (id, deltas) = monitored.insert(values);
+            assert!(deltas.is_empty());
+            assert_fresh(&monitored, q, "after invisible insert");
+            let (removed, deltas) = monitored.delete(id);
+            assert!(removed);
+            assert!(deltas.is_empty());
+            assert_fresh(&monitored, q, "after invisible delete");
+        }
+        let stats = monitored.monitor().stats();
+        assert_eq!(stats.unaffected, 4);
+        assert_eq!(stats.patched + stats.reruns, 0);
+    }
+
+    #[test]
+    fn dominator_inserts_empty_the_result_in_place() {
+        let mut monitored = MonitoredEngine::new(figure1());
+        let q = monitored
+            .register(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 1)
+            .unwrap();
+        assert!(monitored.result(q).unwrap().num_regions() >= 1);
+        // One dominator reaches k = 1: the result empties without a rerun.
+        let (id, deltas) = monitored.insert(vec![0.6, 0.6, 0.8]);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].class, UpdateClass::Patched);
+        assert_eq!(deltas[0].regions_after, 0);
+        assert!(deltas[0].regions_removed() >= 1);
+        assert!(monitored.result(q).unwrap().is_empty());
+        assert_fresh(&monitored, q, "after dominator insert");
+        // While empty, any further insert is unaffected.
+        let (other, deltas) = monitored.insert(vec![0.7, 0.2, 0.9]);
+        assert!(deltas.is_empty());
+        assert_fresh(&monitored, q, "insert while empty");
+        monitored.delete(other);
+        assert_fresh(&monitored, q, "delete while empty");
+        // Deleting the dominator re-runs (k_effective changed back) and
+        // restores the original regions.
+        let (_, deltas) = monitored.delete(id);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].class, UpdateClass::Rerun);
+        assert!(deltas[0].regions_added() >= 1);
+        assert_fresh(&monitored, q, "after dominator delete");
+        assert_eq!(monitored.monitor().query(q).unwrap().focal_dominators(), 0);
+    }
+
+    #[test]
+    fn whole_space_results_patch_their_rank() {
+        // Every record is dominated by the focal record: whole space, rank 1.
+        let mut monitored = MonitoredEngine::new(engine(vec![vec![0.2, 0.2], vec![0.3, 0.1]]));
+        let q = monitored
+            .register(Algorithm::Pcta, vec![0.8, 0.8], 3)
+            .unwrap();
+        assert!(monitored.result(q).unwrap().is_whole_space());
+        assert_eq!(monitored.result(q).unwrap().rank_signature(), vec![1]);
+
+        // Dominators shift the uniform rank in place, one per update.
+        let (a, deltas) = monitored.insert(vec![0.9, 0.9]);
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].class, UpdateClass::Patched);
+        assert!(deltas[0].ranks_shifted());
+        assert_eq!(monitored.result(q).unwrap().rank_signature(), vec![2]);
+        assert_fresh(&monitored, q, "after first dominator");
+
+        let (b, deltas) = monitored.insert(vec![0.95, 0.95]);
+        assert_eq!(deltas[0].class, UpdateClass::Patched);
+        assert_eq!(monitored.result(q).unwrap().rank_signature(), vec![3]);
+        assert_fresh(&monitored, q, "after second dominator");
+
+        // A third dominator pushes the rank past k: patched to empty.
+        let (c, deltas) = monitored.insert(vec![0.99, 0.99]);
+        assert_eq!(deltas[0].class, UpdateClass::Patched);
+        assert!(monitored.result(q).unwrap().is_empty());
+        assert_fresh(&monitored, q, "rank pushed past k");
+
+        // Deleting them walks the rank back down, patched where whole-space.
+        monitored.delete(c);
+        assert_fresh(&monitored, q, "after deleting third dominator");
+        let (_, deltas) = monitored.delete(b);
+        assert_eq!(
+            deltas[0].class,
+            UpdateClass::Patched,
+            "whole-space rank-down"
+        );
+        assert_eq!(monitored.result(q).unwrap().rank_signature(), vec![2]);
+        assert_fresh(&monitored, q, "after deleting second dominator");
+        monitored.delete(a);
+        assert_eq!(monitored.result(q).unwrap().rank_signature(), vec![1]);
+        assert_fresh(&monitored, q, "after deleting first dominator");
+    }
+
+    #[test]
+    fn witnessed_updates_are_unaffected_for_schedule_invariant_policies() {
+        // A focal record with a non-trivial result under P-CTA (no bound
+        // reports, so the witness shortcut applies to bounded results too).
+        let mut monitored = MonitoredEngine::new(figure1());
+        let q = monitored
+            .register(Algorithm::Pcta, vec![0.5, 0.5, 0.7], 3)
+            .unwrap();
+        assert!(monitored.result(q).unwrap().num_regions() >= 1);
+        let before = monitored.monitor().stats();
+        // (0.35, 0.25, 0.35) is dominated by records 0, 3 and the focal
+        // record... the focal-dominated case is invisible; use a record that
+        // is incomparable with the focal but deeply dominated by the dataset:
+        // (0.25, 0.75, 0.5) is incomparable with (0.5, 0.5, 0.7) and
+        // dominated by (0.3, 0.8, 0.8) only — so pick k = 1.
+        let mut cheap = MonitoredEngine::new(figure1());
+        let q1 = cheap
+            .register(Algorithm::Pcta, vec![0.5, 0.5, 0.7], 1)
+            .unwrap();
+        let (id, deltas) = cheap.insert(vec![0.25, 0.75, 0.5]);
+        assert!(deltas.is_empty());
+        assert_eq!(cheap.monitor().stats().unaffected, 1);
+        assert_eq!(cheap.monitor().stats().reruns, 0);
+        assert_fresh(&cheap, q1, "witnessed insert");
+        let (_, deltas) = cheap.delete(id);
+        assert!(deltas.is_empty());
+        assert_eq!(cheap.monitor().stats().unaffected, 2);
+        assert_fresh(&cheap, q1, "witnessed delete");
+
+        // The k = 3 P-CTA query has no 3-dominator witness for this record:
+        // it must re-run (and agree with a fresh run).
+        let (_, _) = monitored.insert(vec![0.25, 0.75, 0.5]);
+        let after = monitored.monitor().stats();
+        assert_eq!(after.reruns, before.reruns + 1);
+        assert_fresh(&monitored, q, "unwitnessed insert reran");
+    }
+
+    #[test]
+    fn bound_using_policies_rerun_unless_empty_or_whole_space() {
+        let mut monitored = MonitoredEngine::new(figure1());
+        let q = monitored
+            .register(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 1)
+            .unwrap();
+        assert!(!monitored.result(q).unwrap().is_empty());
+        assert!(!monitored.result(q).unwrap().is_whole_space());
+        // Incomparable, witnessed by its one dominator (k = 1) — but LP-CTA's
+        // bound reports are schedule-sensitive, so a bounded result re-runs.
+        let (_, _) = monitored.insert(vec![0.25, 0.75, 0.5]);
+        assert_eq!(monitored.monitor().stats().reruns, 1);
+        assert_fresh(&monitored, q, "lp-cta witnessed insert");
+    }
+
+    #[test]
+    fn monitored_engine_matches_fresh_runs_under_random_updates() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(2024);
+        let d = 3;
+        let raw: Vec<Vec<f64>> = (0..60)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.05..0.95)).collect())
+            .collect();
+        let mut monitored = MonitoredEngine::new(engine(raw));
+        let mut ids = Vec::new();
+        for (alg, k) in [
+            (Algorithm::Cta, 2),
+            (Algorithm::Pcta, 3),
+            (Algorithm::LpCta, 2),
+            (Algorithm::KSkyband, 3),
+        ] {
+            let focal: Vec<f64> = (0..d).map(|_| rng.gen_range(0.3..0.9)).collect();
+            ids.push(monitored.register(alg, focal, k).unwrap());
+        }
+        let mut live: Vec<RecordId> = (0..60).collect();
+        for step in 0..40 {
+            if step % 3 == 0 && live.len() > 5 {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                let (removed, _) = monitored.delete(victim);
+                assert!(removed);
+            } else {
+                let values: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                let (id, _) = monitored.insert(values);
+                live.push(id);
+            }
+            for &q in &ids {
+                assert_fresh(&monitored, q, &format!("step {step}"));
+            }
+        }
+        let stats = monitored.monitor().stats();
+        assert_eq!(stats.classified(), 40 * 4);
+        assert!(
+            stats.unaffected > 0,
+            "some updates must classify away cheaply: {stats:?}"
+        );
+    }
+}

@@ -9,5 +9,6 @@ pub use kspr;
 pub use kspr_datagen as datagen;
 pub use kspr_geometry as geometry;
 pub use kspr_lp as lp;
+pub use kspr_monitor as monitor;
 pub use kspr_serve as serve;
 pub use kspr_spatial as spatial;

@@ -1,0 +1,182 @@
+//! Standing-query correctness: under random insert/delete interleavings,
+//! every monitored query's maintained result — whether classified away as
+//! unaffected, patched in place, or re-run — must be indistinguishable from
+//! a fresh engine run at the current dataset state, for every CellTree
+//! policy, on both the single engine and the sharded serving engine.
+//!
+//! "Indistinguishable" follows the equality standard of the other
+//! consistency suites (`dynamic_consistency`, `shard_consistency`): equal
+//! region counts, equal sorted rank signatures, and identical classification
+//! of sampled preference vectors.  This is exactly the surface the monitor's
+//! classification argument promises to preserve (see the `kspr-monitor`
+//! module docs: the skyband witness property pins the result area, and for
+//! schedule-invariant policies the decomposition too).
+
+use kspr_repro::kspr::{naive, Algorithm, Dataset, KsprConfig, KsprResult, QueryEngine};
+use kspr_repro::monitor::{Monitor, MonitoredEngine, QueryId};
+use kspr_repro::serve::{ShardStrategy, ShardedEngine};
+use proptest::prelude::*;
+
+const ALGORITHMS: [Algorithm; 4] = [
+    Algorithm::Cta,
+    Algorithm::Pcta,
+    Algorithm::LpCta,
+    Algorithm::KSkyband,
+];
+
+/// Strategy: a record with `d` attributes in (0, 1).
+fn record_strategy(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..0.99, d)
+}
+
+/// One scripted update: `kind % 2 == 0` inserts `record`, otherwise `pick`
+/// selects a live record to delete.
+fn op_strategy(d: usize) -> impl Strategy<Value = (u8, Vec<f64>, usize)> {
+    (0u8..4, record_strategy(d), 0usize..1 << 16)
+}
+
+/// The maintained result must match a fresh run: region count, sorted rank
+/// signature, and sampled classification.
+fn assert_matches_fresh(maintained: &KsprResult, fresh: &KsprResult, ctx: &str) {
+    assert_eq!(maintained.num_regions(), fresh.num_regions(), "{ctx}");
+    assert_eq!(maintained.rank_signature(), fresh.rank_signature(), "{ctx}");
+    for w in naive::sample_weights(&fresh.space, 24, 7) {
+        assert_eq!(
+            maintained.contains(&w),
+            fresh.contains(&w),
+            "{ctx} at {w:?}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn monitored_engine_matches_fresh_runs(
+        raw in prop::collection::vec(record_strategy(3), 6..20),
+        ops in prop::collection::vec(op_strategy(3), 1..8),
+        focal_a in record_strategy(3),
+        focal_b in record_strategy(3),
+        k in 1usize..4,
+    ) {
+        let mut monitored = MonitoredEngine::new(QueryEngine::new(
+            &Dataset::new(raw.clone()),
+            KsprConfig::default(),
+        ));
+        // One standing query per CellTree policy and focal record.
+        let mut queries: Vec<(QueryId, Algorithm, Vec<f64>)> = Vec::new();
+        for alg in ALGORITHMS {
+            for focal in [&focal_a, &focal_b] {
+                let id = monitored
+                    .register(alg, focal.clone(), k)
+                    .expect("valid standing query");
+                queries.push((id, alg, focal.clone()));
+            }
+        }
+
+        // Mirror of the store: slot -> live values (None = tombstoned).
+        let mut mirror: Vec<Option<Vec<f64>>> = raw.into_iter().map(Some).collect();
+        for (step, (kind, values, pick)) in ops.into_iter().enumerate() {
+            let live_ids: Vec<usize> = mirror
+                .iter()
+                .enumerate()
+                .filter_map(|(id, v)| v.as_ref().map(|_| id))
+                .collect();
+            if kind % 2 == 0 || live_ids.len() <= 2 {
+                let (id, _) = monitored.insert(values.clone());
+                prop_assert_eq!(id, mirror.len());
+                mirror.push(Some(values));
+            } else {
+                let id = live_ids[pick % live_ids.len()];
+                let (removed, _) = monitored.delete(id);
+                prop_assert!(removed);
+                mirror[id] = None;
+            }
+
+            // Oracle: a fresh engine over the surviving records.
+            let live_raw: Vec<Vec<f64>> = mirror.iter().flatten().cloned().collect();
+            let fresh = QueryEngine::new(&Dataset::new(live_raw), KsprConfig::default());
+            for (id, alg, focal) in &queries {
+                let fresh_result = fresh.run(*alg, focal, k);
+                assert_matches_fresh(
+                    monitored.result(*id).expect("registered"),
+                    &fresh_result,
+                    &format!("step {step} {alg:?}"),
+                );
+            }
+        }
+
+        // Unregistering everything frees the registry (no leaked state).
+        for (id, _, _) in queries {
+            prop_assert!(monitored.unregister(id));
+        }
+        prop_assert!(monitored.monitor().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_standing_queries_match_fresh_runs(
+        raw in prop::collection::vec(record_strategy(3), 8..24),
+        ops in prop::collection::vec(op_strategy(3), 1..7),
+        focal in record_strategy(3),
+        k in 1usize..4,
+        shards in 2usize..5,
+        spatial in 0u8..2,
+    ) {
+        let config = KsprConfig::default().with_shards(shards);
+        let strategy = if spatial == 1 { ShardStrategy::Subtrees } else { ShardStrategy::RoundRobin };
+        let mut sharded = ShardedEngine::with_strategy(raw.clone(), config, strategy);
+        // Drive the monitor against the sharded engine directly — the same
+        // coupling the serve dispatcher uses.
+        let mut monitor = Monitor::new();
+        let mut queries: Vec<(QueryId, Algorithm)> = Vec::new();
+        for alg in ALGORITHMS {
+            let id = monitor
+                .register(&sharded, alg, focal.clone(), k)
+                .expect("valid standing query");
+            queries.push((id, alg));
+        }
+
+        let mut mirror: Vec<Option<Vec<f64>>> = raw.into_iter().map(Some).collect();
+        for (step, (kind, values, pick)) in ops.into_iter().enumerate() {
+            let live_ids: Vec<usize> = mirror
+                .iter()
+                .enumerate()
+                .filter_map(|(id, v)| v.as_ref().map(|_| id))
+                .collect();
+            if kind % 2 == 0 || live_ids.len() <= 2 {
+                let id = sharded.insert(values.clone());
+                prop_assert_eq!(id, mirror.len());
+                monitor.apply_insert(&sharded, &values);
+                mirror.push(Some(values));
+            } else {
+                let id = live_ids[pick % live_ids.len()];
+                let removed = sharded.delete_returning(id);
+                prop_assert_eq!(removed.as_ref(), mirror[id].as_ref());
+                monitor.apply_delete(&sharded, &removed.expect("live record"));
+                mirror[id] = None;
+            }
+
+            // Oracle: the sharded engine's own fresh answer at this state
+            // (which shard_consistency.rs in turn ties to a single engine).
+            for (id, alg) in &queries {
+                let fresh_result = sharded.run(*alg, &focal, k);
+                assert_matches_fresh(
+                    monitor.result(*id).expect("registered"),
+                    &fresh_result,
+                    &format!("step {step} {alg:?} shards={shards}"),
+                );
+            }
+            prop_assert_eq!(sharded.len(), mirror.iter().flatten().count());
+        }
+        // Every update classified every standing query exactly once.
+        prop_assert_eq!(
+            monitor.stats().classified() % monitor.len() as u64,
+            0
+        );
+    }
+}

@@ -16,7 +16,12 @@
 //!   [`ShardedEngine::run_batch`] calls, and updates are serialized with the
 //!   queries around them.  Malformed requests (`k == 0`, arity mismatches,
 //!   non-finite values) come back as [`ServeError`]s instead of panicking
-//!   the serving thread.
+//!   the serving thread, counted per variant in [`ServeStats`].
+//! * [`ServeHandle::subscribe`] turns a query into a **standing query**: the
+//!   dispatcher keeps its result correct across updates through the
+//!   `kspr-monitor` classifier (unaffected / patched in place / re-run) and
+//!   pushes a [`ResultDelta`] to the [`Subscription`] after every update
+//!   that changed it.  Dropping the subscription unregisters the query.
 //!
 //! ```
 //! use kspr::{Algorithm, KsprConfig};
@@ -50,5 +55,9 @@
 pub mod server;
 pub mod sharded;
 
-pub use server::{ServeError, ServeHandle, ServeOptions, ServeStats, Server, Ticket};
+pub use kspr_monitor::{QueryId, ResultDelta, UpdateClass};
+pub use server::{
+    RejectionStats, ServeError, ServeHandle, ServeOptions, ServeStats, Server, SubscribeTicket,
+    Subscription, Ticket,
+};
 pub use sharded::{ShardStrategy, ShardedEngine};

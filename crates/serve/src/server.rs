@@ -19,11 +19,28 @@
 //! while the shared candidate engine and the per-shard prep caches carry over
 //! between batches.  Invalid requests (`k == 0`, arity mismatch, non-finite
 //! focal values) are rejected with a [`ServeError`] instead of panicking the
-//! serving thread.
+//! serving thread; [`ServeStats`] counts every rejection per error variant.
+//!
+//! # Standing queries
+//!
+//! [`ServeHandle::subscribe`] registers a long-lived query with the
+//! dispatcher's [`kspr_monitor::Monitor`] and returns a [`Subscription`].
+//! After every update the dispatcher classifies each standing query as
+//! unaffected / patchable / must-rerun (see the `kspr-monitor` crate docs),
+//! maintains it accordingly, and pushes a [`ResultDelta`] to the
+//! subscription whenever its result actually changed.  Because the monitor
+//! runs on the dispatcher thread, updates and notifications stay serialized
+//! with the query stream: a notification always reflects exactly the updates
+//! acknowledged before it.  Dropping a [`Subscription`] unregisters the
+//! standing query (no maintenance state leaks from a long-lived server).
+//! If a maintenance pass itself panics (after the update was committed and
+//! acknowledged), the registry is invalidated rather than served stale:
+//! every subscription's channel closes and clients re-subscribe.
 
 use crate::sharded::ShardedEngine;
 use kspr::{Algorithm, KsprResult, RecordId};
-use std::collections::VecDeque;
+use kspr_monitor::{Monitor, MonitorStats, QueryId, RegisterError, ResultDelta};
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
 
@@ -122,7 +139,69 @@ enum Msg {
         id: RecordId,
         tx: mpsc::Sender<Result<bool, ServeError>>,
     },
+    Subscribe {
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+        deltas: mpsc::Sender<ResultDelta>,
+        tx: mpsc::Sender<Result<(QueryId, KsprResult), ServeError>>,
+    },
+    Unsubscribe {
+        id: QueryId,
+        /// `None` for the fire-and-forget unsubscribe of `Subscription::drop`.
+        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
+    },
+    Subscriptions {
+        tx: mpsc::Sender<Result<usize, ServeError>>,
+    },
     Shutdown,
+}
+
+/// Per-[`ServeError`]-variant rejection counters (see [`ServeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionStats {
+    /// Requests with `k == 0`.
+    pub invalid_k: u64,
+    /// Requests whose arity does not match the dataset.
+    pub arity_mismatch: u64,
+    /// Requests containing NaN / infinite values.
+    pub non_finite: u64,
+    /// Requests for an algorithm the dataset (or the monitor) cannot serve.
+    pub unsupported_algorithm: u64,
+    /// Queries lost to an engine panic (the server kept serving).
+    pub query_failed: u64,
+    /// Updates lost to an engine panic (the server stopped).
+    pub update_failed: u64,
+    /// Requests that raced the shutdown (normally unreachable: the
+    /// dispatcher never *answers* with this variant, clients synthesize it
+    /// when the channel is gone).
+    pub server_closed: u64,
+}
+
+impl RejectionStats {
+    /// Total rejections across all variants.
+    pub fn total(&self) -> u64 {
+        self.invalid_k
+            + self.arity_mismatch
+            + self.non_finite
+            + self.unsupported_algorithm
+            + self.query_failed
+            + self.update_failed
+            + self.server_closed
+    }
+
+    /// Counts one rejection under its variant.
+    fn count(&mut self, err: &ServeError) {
+        match err {
+            ServeError::InvalidK => self.invalid_k += 1,
+            ServeError::ArityMismatch { .. } => self.arity_mismatch += 1,
+            ServeError::NonFinite => self.non_finite += 1,
+            ServeError::UnsupportedAlgorithm => self.unsupported_algorithm += 1,
+            ServeError::QueryFailed => self.query_failed += 1,
+            ServeError::UpdateFailed => self.update_failed += 1,
+            ServeError::ServerClosed => self.server_closed += 1,
+        }
+    }
 }
 
 /// Serving-side counters, returned by [`Server::shutdown`].
@@ -130,14 +209,36 @@ enum Msg {
 pub struct ServeStats {
     /// Queries answered successfully.
     pub queries: u64,
-    /// Requests rejected with a [`ServeError`].
+    /// Requests rejected with a [`ServeError`] (total; always equals
+    /// [`RejectionStats::total`] of `rejections`).
     pub rejected: u64,
+    /// Rejections broken down by error variant.
+    pub rejections: RejectionStats,
     /// `run_batch` invocations (every batch answers >= 1 query).
     pub batches: u64,
     /// Largest query batch executed at once.
     pub largest_batch: usize,
     /// Updates (inserts + deletes) applied.
     pub updates: u64,
+    /// Standing queries registered over the server's lifetime.
+    pub subscriptions: u64,
+    /// [`ResultDelta`] notifications delivered to subscribers.
+    pub notifications: u64,
+    /// Standing-query maintenance passes that panicked after a committed
+    /// update.  Each one invalidated the registry (subscribers must
+    /// re-subscribe); the update itself succeeded, so these are *not*
+    /// rejections.
+    pub maintenance_failures: u64,
+    /// Standing-query classification counters (see `kspr-monitor`).
+    pub monitor: MonitorStats,
+}
+
+impl ServeStats {
+    /// Counts one rejection (total + per-variant).
+    fn reject(&mut self, err: &ServeError) {
+        self.rejected += 1;
+        self.rejections.count(err);
+    }
 }
 
 /// Server tuning knobs.
@@ -222,6 +323,143 @@ impl ServeHandle {
         let (tx, ticket) = Ticket::new();
         let _ = self.tx.send(Msg::Delete { id, tx });
         ticket
+    }
+
+    /// Registers a standing query with the server's default algorithm;
+    /// resolves to a [`Subscription`] that yields a [`ResultDelta`] after
+    /// every update that changed the query's result.
+    pub fn subscribe(&self, focal: Vec<f64>, k: usize) -> SubscribeTicket {
+        self.subscribe_with(self.algorithm, focal, k)
+    }
+
+    /// Registers a standing query with an explicit algorithm (CellTree
+    /// policies only; the sweep baselines resolve to
+    /// [`ServeError::UnsupportedAlgorithm`]).
+    pub fn subscribe_with(
+        &self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+    ) -> SubscribeTicket {
+        let (delta_tx, delta_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let _ = self.tx.send(Msg::Subscribe {
+            algorithm,
+            focal,
+            k,
+            deltas: delta_tx,
+            tx,
+        });
+        SubscribeTicket {
+            rx,
+            deltas: delta_rx,
+            control: self.tx.clone(),
+        }
+    }
+
+    /// Unregisters a standing query by id; resolves to whether it was still
+    /// registered.  (Dropping the [`Subscription`] unregisters implicitly.)
+    pub fn unsubscribe(&self, id: QueryId) -> Ticket<bool> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Unsubscribe { id, tx: Some(tx) });
+        ticket
+    }
+
+    /// Number of currently registered standing queries (registry telemetry;
+    /// also the leak check for [`Subscription`] drops).
+    pub fn subscriptions(&self) -> Ticket<usize> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Subscriptions { tx });
+        ticket
+    }
+}
+
+/// A pending [`Subscription`]: resolves once the dispatcher has registered
+/// (and initially answered) the standing query.
+pub struct SubscribeTicket {
+    rx: mpsc::Receiver<Result<(QueryId, KsprResult), ServeError>>,
+    deltas: mpsc::Receiver<ResultDelta>,
+    control: mpsc::Sender<Msg>,
+}
+
+impl SubscribeTicket {
+    /// Blocks until the standing query is registered (or rejected).
+    pub fn wait(self) -> Result<Subscription, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok((id, initial))) => Ok(Subscription {
+                id,
+                initial,
+                deltas: self.deltas,
+                control: self.control,
+            }),
+            Ok(Err(err)) => Err(err),
+            Err(mpsc::RecvError) => Err(ServeError::ServerClosed),
+        }
+    }
+}
+
+/// A live standing query: holds the initial result and receives a
+/// [`ResultDelta`] for every update batch that changed it.
+///
+/// Dropping the subscription unregisters the standing query with the
+/// dispatcher, freeing its maintenance state — a long-lived [`Server`] never
+/// accumulates state for subscribers that went away.
+pub struct Subscription {
+    id: QueryId,
+    initial: KsprResult,
+    deltas: mpsc::Receiver<ResultDelta>,
+    control: mpsc::Sender<Msg>,
+}
+
+impl std::fmt::Debug for Subscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("id", &self.id)
+            .field("initial_regions", &self.initial.num_regions())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Subscription {
+    /// The standing query's registry id (usable with
+    /// [`ServeHandle::unsubscribe`]).
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// The result at registration time; later states are communicated as
+    /// deltas.
+    pub fn initial(&self) -> &KsprResult {
+        &self.initial
+    }
+
+    /// Drains every notification delivered so far without blocking.
+    pub fn poll(&self) -> Vec<ResultDelta> {
+        let mut out = Vec::new();
+        while let Ok(delta) = self.deltas.try_recv() {
+            out.push(delta);
+        }
+        out
+    }
+
+    /// Blocks until the next notification.  `None` means this subscription
+    /// will never be notified again: either the server shut down, or a
+    /// maintenance pass failed and the dispatcher invalidated the standing
+    /// registry (see the module docs) — in the latter case the server is
+    /// still serving and re-subscribing resumes watching.
+    pub fn recv(&self) -> Option<ResultDelta> {
+        self.deltas.recv().ok()
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        // Fire-and-forget: if the server is already gone the registry died
+        // with it.
+        let _ = self.control.send(Msg::Unsubscribe {
+            id: self.id,
+            tx: None,
+        });
     }
 }
 
@@ -314,7 +552,7 @@ fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats)
     let mut groups: Vec<((Algorithm, usize), Vec<QueryJob>)> = Vec::new();
     for job in jobs {
         if let Err(err) = validate_query(engine, &job) {
-            stats.rejected += 1;
+            stats.reject(&err);
             let _ = job.tx.send(Err(err));
             continue;
         }
@@ -344,8 +582,8 @@ fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats)
                 }
             }
             Err(_) => {
-                stats.rejected += focals.len() as u64;
                 for tx in txs {
+                    stats.reject(&ServeError::QueryFailed);
                     let _ = tx.send(Err(ServeError::QueryFailed));
                 }
             }
@@ -353,8 +591,66 @@ fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats)
     }
 }
 
+/// Maps a standing-query registration failure to the request-level error.
+fn register_error(err: RegisterError) -> ServeError {
+    match err {
+        RegisterError::InvalidK => ServeError::InvalidK,
+        RegisterError::Focal(err) => ingest_error(err),
+        RegisterError::UnsupportedAlgorithm => ServeError::UnsupportedAlgorithm,
+    }
+}
+
+/// Delivers update notifications to their subscribers.  A send failure means
+/// the subscription was dropped but its unsubscribe message is still queued;
+/// the notification is simply discarded.
+fn notify(
+    subscribers: &HashMap<QueryId, mpsc::Sender<ResultDelta>>,
+    deltas: Vec<ResultDelta>,
+    stats: &mut ServeStats,
+) {
+    for delta in deltas {
+        if let Some(tx) = subscribers.get(&delta.query) {
+            if tx.send(delta).is_ok() {
+                stats.notifications += 1;
+            }
+        }
+    }
+}
+
+/// Runs the standing-query maintenance for one *already committed and
+/// acknowledged* update and delivers the notifications.
+///
+/// A panic inside classification (a standing query's rerun tripping an
+/// engine bug) is the query-panic class — the engine caches recover and the
+/// update itself is fine — but the maintenance pass may have stopped half
+/// way, leaving some standing queries with stale bookkeeping that would
+/// silently misclassify every later update.  Rather than stopping the
+/// server (the update succeeded) or serving stale standing results, the
+/// whole registry is invalidated: every subscription's channel closes (its
+/// next `recv`/`poll` reports the disconnect) and clients re-subscribe to
+/// resume watching.
+fn maintain_standing(
+    monitor: &mut Monitor,
+    subscribers: &mut HashMap<QueryId, mpsc::Sender<ResultDelta>>,
+    stats: &mut ServeStats,
+    apply: impl FnOnce(&mut Monitor) -> Vec<ResultDelta>,
+) {
+    if monitor.is_empty() {
+        return;
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| apply(monitor))) {
+        Ok(deltas) => notify(subscribers, deltas, stats),
+        Err(_) => {
+            // Not a rejection — no client request failed; track separately.
+            stats.maintenance_failures += 1;
+            monitor.clear();
+            subscribers.clear();
+        }
+    }
+}
+
 /// The dispatcher loop: drain the queue, batch consecutive queries, apply
-/// updates in arrival order.
+/// updates in arrival order, and maintain the standing-query registry.
 fn dispatch(
     mut engine: ShardedEngine,
     rx: mpsc::Receiver<Msg>,
@@ -362,19 +658,24 @@ fn dispatch(
 ) -> (ShardedEngine, ServeStats) {
     let mut stats = ServeStats::default();
     let mut carry: VecDeque<Msg> = VecDeque::new();
+    let mut monitor = Monitor::new();
+    let mut subscribers: HashMap<QueryId, mpsc::Sender<ResultDelta>> = HashMap::new();
     loop {
         let msg = match carry.pop_front() {
             Some(msg) => msg,
             None => match rx.recv() {
                 Ok(msg) => msg,
                 // Every handle (and the Server) is gone: stop serving.
-                Err(mpsc::RecvError) => return (engine, stats),
+                Err(mpsc::RecvError) => break,
             },
         };
         match msg {
-            Msg::Shutdown => return (engine, stats),
+            Msg::Shutdown => break,
             Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
                 Ok(()) => {
+                    // The monitor needs the inserted values after the engine
+                    // consumed them; only pay the clone when someone watches.
+                    let watched = (!monitor.is_empty()).then(|| values.clone());
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         engine.insert(values)
                     }));
@@ -382,34 +683,103 @@ fn dispatch(
                         Ok(id) => {
                             stats.updates += 1;
                             let _ = tx.send(Ok(id));
+                            // The monitor runs on the dispatcher thread, so
+                            // the standing results it patches are serialized
+                            // with the update stream.  It is guarded
+                            // separately from the engine update: the insert
+                            // is committed and acknowledged above, so a
+                            // classification panic must not be reported as
+                            // UpdateFailed (losing the id) nor stop serving.
+                            if let Some(values) = watched {
+                                maintain_standing(
+                                    &mut monitor,
+                                    &mut subscribers,
+                                    &mut stats,
+                                    |monitor| monitor.apply_insert(&engine, &values),
+                                );
+                            }
                         }
                         Err(_) => {
                             // A panic mid-update may have left shard state
                             // half-applied; stop serving cleanly instead of
                             // risking corrupt answers (see UpdateFailed).
+                            stats.reject(&ServeError::UpdateFailed);
                             let _ = tx.send(Err(ServeError::UpdateFailed));
-                            return (engine, stats);
+                            break;
                         }
                     }
                 }
                 Err(err) => {
-                    stats.rejected += 1;
+                    stats.reject(&err);
                     let _ = tx.send(Err(err));
                 }
             },
             Msg::Delete { id, tx } => {
-                let outcome =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.delete(id)));
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.delete_returning(id)
+                }));
                 match outcome {
-                    Ok(deleted) => {
+                    Ok(removed) => {
                         stats.updates += 1;
-                        let _ = tx.send(Ok(deleted));
+                        let _ = tx.send(Ok(removed.is_some()));
+                        if let Some(values) = removed {
+                            maintain_standing(
+                                &mut monitor,
+                                &mut subscribers,
+                                &mut stats,
+                                |monitor| monitor.apply_delete(&engine, &values),
+                            );
+                        }
                     }
                     Err(_) => {
+                        stats.reject(&ServeError::UpdateFailed);
                         let _ = tx.send(Err(ServeError::UpdateFailed));
-                        return (engine, stats);
+                        break;
                     }
                 }
+            }
+            Msg::Subscribe {
+                algorithm,
+                focal,
+                k,
+                deltas,
+                tx,
+            } => {
+                // Registration runs the initial query; guard it like any
+                // other query (the caches recover, serving continues).
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    monitor.register(&engine, algorithm, focal, k)
+                }));
+                match outcome {
+                    Ok(Ok(id)) => {
+                        stats.subscriptions += 1;
+                        let initial = monitor
+                            .result(id)
+                            .expect("freshly registered query has a result")
+                            .clone();
+                        subscribers.insert(id, deltas);
+                        let _ = tx.send(Ok((id, initial)));
+                    }
+                    Ok(Err(err)) => {
+                        let err = register_error(err);
+                        stats.reject(&err);
+                        let _ = tx.send(Err(err));
+                    }
+                    Err(_) => {
+                        stats.reject(&ServeError::QueryFailed);
+                        let _ = tx.send(Err(ServeError::QueryFailed));
+                    }
+                }
+            }
+            Msg::Unsubscribe { id, tx } => {
+                let removed = monitor.unregister(id);
+                subscribers.remove(&id);
+                if let Some(tx) = tx {
+                    let _ = tx.send(Ok(removed));
+                }
+            }
+            Msg::Subscriptions { tx } => {
+                let _ = tx.send(Ok(monitor.len()));
             }
             Msg::Query(job) => {
                 // Batched dequeue: greedily pull further *consecutive*
@@ -435,6 +805,8 @@ fn dispatch(
             Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats),
         }
     }
+    stats.monitor = monitor.stats();
+    (engine, stats)
 }
 
 #[cfg(test)]
@@ -546,6 +918,17 @@ mod tests {
         let (_, stats) = server.shutdown();
         assert_eq!(stats.rejected, 6);
         assert_eq!(stats.queries, 1);
+        // Rejections are attributed to their error variant.
+        assert_eq!(stats.rejections.invalid_k, 1);
+        assert_eq!(stats.rejections.arity_mismatch, 2, "query + insert");
+        assert_eq!(stats.rejections.non_finite, 2, "query + insert");
+        assert_eq!(stats.rejections.unsupported_algorithm, 1);
+        assert_eq!(stats.rejections.query_failed, 0);
+        assert_eq!(
+            stats.rejections.total(),
+            stats.rejected,
+            "per-variant counters must add up to the total"
+        );
     }
 
     #[test]
@@ -576,6 +959,174 @@ mod tests {
         let (engine, stats) = server.shutdown();
         assert!(engine.is_empty());
         assert_eq!(stats.updates, 3, "insert + two deletes (one a no-op)");
+    }
+
+    #[test]
+    fn subscriptions_stream_deltas_serialized_with_updates() {
+        use kspr_monitor::UpdateClass;
+        let server = Server::start(
+            ShardedEngine::empty(2, KsprConfig::default().with_shards(2)),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        let sub = handle
+            .subscribe(vec![0.5, 0.5], 1)
+            .wait()
+            .expect("subscribe");
+        assert_eq!(sub.initial().num_regions(), 1, "no competitor: whole space");
+
+        // A dominator empties the standing result in place; the notification
+        // reflects exactly the acknowledged update.
+        let id = handle.insert(vec![0.9, 0.9]).wait().expect("insert");
+        let delta = sub.recv().expect("dominator insert notifies");
+        assert_eq!(delta.query, sub.id());
+        assert_eq!(delta.class, UpdateClass::Patched);
+        assert_eq!(delta.regions_before, 1);
+        assert_eq!(delta.regions_after, 0);
+        assert_eq!(delta.regions_removed(), 1);
+
+        // Deleting it re-runs the standing query and restores the result.
+        assert_eq!(handle.delete(id).wait(), Ok(true));
+        let delta = sub.recv().expect("dominator delete notifies");
+        assert_eq!(delta.class, UpdateClass::Rerun);
+        assert_eq!(delta.regions_after, 1);
+
+        // An invisible update (dominated by the focal record) is silent.
+        let id = handle.insert(vec![0.1, 0.1]).wait().expect("insert");
+        assert_eq!(handle.delete(id).wait(), Ok(true));
+        // Serialize behind the updates before polling.
+        assert_eq!(handle.subscriptions().wait(), Ok(1));
+        assert!(sub.poll().is_empty(), "unchanged results must not notify");
+
+        // Dropping the subscription unregisters the standing query: the
+        // registry (and its maintenance state) returns to zero.
+        drop(sub);
+        assert_eq!(handle.subscriptions().wait(), Ok(0));
+
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.subscriptions, 1);
+        assert_eq!(stats.notifications, 2);
+        assert_eq!(stats.updates, 4);
+        assert_eq!(
+            stats.monitor.classified(),
+            4,
+            "one classification per update while subscribed"
+        );
+        assert_eq!(stats.monitor.patched, 1);
+        assert_eq!(stats.monitor.reruns, 1);
+        assert_eq!(stats.monitor.unaffected, 2);
+    }
+
+    #[test]
+    fn unsubscribe_frees_the_registry() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let a = handle
+            .subscribe(vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("subscribe a");
+        let b = handle
+            .subscribe_with(Algorithm::Pcta, vec![0.6, 0.6, 0.5], 3)
+            .wait()
+            .expect("subscribe b");
+        assert_ne!(a.id(), b.id());
+        assert_eq!(handle.subscriptions().wait(), Ok(2));
+        assert_eq!(handle.unsubscribe(a.id()).wait(), Ok(true));
+        assert_eq!(
+            handle.unsubscribe(a.id()).wait(),
+            Ok(false),
+            "double unsubscribe reports the query as gone"
+        );
+        assert_eq!(handle.subscriptions().wait(), Ok(1));
+        drop(b);
+        assert_eq!(handle.subscriptions().wait(), Ok(0), "drop unregisters");
+        drop(a); // late drop after an explicit unsubscribe is harmless
+        assert_eq!(handle.subscriptions().wait(), Ok(0));
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.subscriptions, 2);
+    }
+
+    #[test]
+    fn invalid_subscriptions_are_rejected_and_counted() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        assert_eq!(
+            handle.subscribe(vec![0.5, 0.5, 0.7], 0).wait().unwrap_err(),
+            ServeError::InvalidK
+        );
+        assert_eq!(
+            handle.subscribe(vec![0.5, 0.5], 2).wait().unwrap_err(),
+            ServeError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            handle
+                .subscribe(vec![0.5, f64::NAN, 0.7], 2)
+                .wait()
+                .unwrap_err(),
+            ServeError::NonFinite
+        );
+        // The sweep baselines have no maintenance hooks.
+        assert_eq!(
+            handle
+                .subscribe_with(Algorithm::Rtopk, vec![0.5, 0.5, 0.7], 2)
+                .wait()
+                .unwrap_err(),
+            ServeError::UnsupportedAlgorithm
+        );
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.subscriptions, 0);
+        assert_eq!(stats.rejected, 4);
+        assert_eq!(stats.rejections.invalid_k, 1);
+        assert_eq!(stats.rejections.arity_mismatch, 1);
+        assert_eq!(stats.rejections.non_finite, 1);
+        assert_eq!(stats.rejections.unsupported_algorithm, 1);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+    }
+
+    #[test]
+    fn subscription_results_match_direct_queries_across_updates() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let sub = handle
+            .subscribe_with(Algorithm::KSkyband, vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("subscribe");
+        let direct = handle
+            .submit_with(Algorithm::KSkyband, vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("query");
+        assert_eq!(sub.initial().num_regions(), direct.num_regions());
+        assert_eq!(sub.initial().rank_signature(), direct.rank_signature());
+
+        // Stream a few updates; after each, the maintained result (initial +
+        // applied deltas) must agree with a direct query on region count.
+        // The direct query doubles as a serialization barrier: once it is
+        // answered, every notification for the preceding update has been
+        // delivered, so `poll` cannot race the dispatcher.
+        let mut current = sub.initial().num_regions();
+        for values in [vec![0.6, 0.6, 0.8], vec![0.2, 0.9, 0.6]] {
+            let id = handle.insert(values).wait().expect("insert");
+            let direct = handle
+                .submit_with(Algorithm::KSkyband, vec![0.5, 0.5, 0.7], 2)
+                .wait()
+                .expect("query");
+            for delta in sub.poll() {
+                current = delta.regions_after;
+            }
+            assert_eq!(current, direct.num_regions(), "after insert");
+            assert_eq!(handle.delete(id).wait(), Ok(true));
+            let direct = handle
+                .submit_with(Algorithm::KSkyband, vec![0.5, 0.5, 0.7], 2)
+                .wait()
+                .expect("query");
+            for delta in sub.poll() {
+                current = delta.regions_after;
+            }
+            assert_eq!(current, direct.num_regions(), "after delete");
+        }
     }
 
     #[test]

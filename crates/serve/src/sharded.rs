@@ -227,6 +227,46 @@ impl ShardedEngine {
             .collect()
     }
 
+    /// Number of tombstoned record slots across all shards (deleted records
+    /// whose slots are retained for global-id stability).
+    pub fn tombstone_count(&self) -> usize {
+        self.shards
+            .iter()
+            .filter_map(|s| s.engine.as_ref())
+            .map(|e| e.dataset().tombstone_count())
+            .sum()
+    }
+
+    /// Fraction of record slots that are tombstoned, in `[0, 1)` (0.0 before
+    /// any record exists).  Serving telemetry for the ROADMAP "tombstone
+    /// compaction" item: the `serve` experiment logs a compaction warning
+    /// once this exceeds 50%.
+    pub fn tombstone_ratio(&self) -> f64 {
+        let slots = self.locs.len();
+        if slots == 0 {
+            0.0
+        } else {
+            self.tombstone_count() as f64 / slots as f64
+        }
+    }
+
+    /// Number of live records (across all shards) dominating `values`,
+    /// early-exiting once `limit` is reached — the sharded analogue of
+    /// [`QueryEngine::count_dominating`], used by the standing-query monitor
+    /// to witness irrelevant updates away.
+    pub fn count_dominating(&self, values: &[f64], limit: usize) -> usize {
+        let mut total = 0usize;
+        for shard in &self.shards {
+            if let Some(engine) = &shard.engine {
+                total += engine.count_dominating(values, limit.saturating_sub(total));
+                if total >= limit {
+                    return total;
+                }
+            }
+        }
+        total
+    }
+
     /// Size of the candidate set a `k`-query would run against (`0` when no
     /// live record exists).  Builds (and caches) the merged engine on a cold
     /// cache; note that when an engine built for a *larger* `k` is already
@@ -273,13 +313,18 @@ impl ShardedEngine {
     /// Deletes the record with the given global id, returning `false` if it
     /// never existed or was already deleted.  Routed to the owning shard.
     pub fn delete(&mut self, id: RecordId) -> bool {
-        let Some(&(shard_idx, local)) = self.locs.get(id) else {
-            return false;
-        };
-        match &mut self.shards[shard_idx].engine {
-            Some(engine) => engine.delete(local),
-            None => false,
-        }
+        self.delete_returning(id).is_some()
+    }
+
+    /// Like [`ShardedEngine::delete`], but returns the removed record's
+    /// attribute values — the delete hook the standing-query monitor needs
+    /// (mirrors [`QueryEngine::delete_returning`]).
+    pub fn delete_returning(&mut self, id: RecordId) -> Option<Vec<f64>> {
+        let &(shard_idx, local) = self.locs.get(id)?;
+        self.shards[shard_idx]
+            .engine
+            .as_mut()
+            .and_then(|engine| engine.delete_returning(local))
     }
 
     // -----------------------------------------------------------------------
@@ -440,6 +485,24 @@ impl ShardedEngine {
     }
 }
 
+/// The sharded engine drives the standing-query monitor exactly like a
+/// single [`QueryEngine`]: queries run through the (result-preserving)
+/// merged candidate engine, and the dominance-delta probe fans out over the
+/// per-shard R-trees.
+impl kspr_monitor::MonitorEngine for ShardedEngine {
+    fn dim(&self) -> usize {
+        ShardedEngine::dim(self)
+    }
+
+    fn run_query(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult {
+        self.run(algorithm, focal, k)
+    }
+
+    fn count_dominating(&self, values: &[f64], limit: usize) -> usize {
+        ShardedEngine::count_dominating(self, values, limit)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -580,6 +643,49 @@ mod tests {
         );
         assert_eq!(sharded.len(), 60);
         assert_eq!(sharded.shard_sizes().iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn delete_returning_routes_to_the_owning_shard() {
+        let raw = random_raw(30, 3, 21);
+        let mut sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(3));
+        assert_eq!(sharded.delete_returning(7), Some(raw[7].clone()));
+        assert_eq!(sharded.delete_returning(7), None, "double delete");
+        assert_eq!(sharded.delete_returning(999), None, "unknown id");
+        let id = sharded.insert(vec![0.5, 0.5, 0.5]);
+        assert_eq!(sharded.delete_returning(id), Some(vec![0.5, 0.5, 0.5]));
+        assert_eq!(sharded.len(), 29, "30 initial - 2 deletes + 1 insert");
+    }
+
+    #[test]
+    fn count_dominating_sums_over_shards() {
+        let raw = random_raw(150, 3, 23);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(4));
+        let probe = vec![0.4, 0.4, 0.4];
+        let expected = raw
+            .iter()
+            .filter(|r| kspr_spatial::dominates(r, &probe))
+            .count();
+        assert_eq!(sharded.count_dominating(&probe, usize::MAX), expected);
+        assert!(expected > 2, "probe must be dominated in this workload");
+        assert!(sharded.count_dominating(&probe, 2) >= 2);
+        assert_eq!(sharded.count_dominating(&probe, 0), 0);
+    }
+
+    #[test]
+    fn tombstone_stats_aggregate_over_shards() {
+        let raw = random_raw(20, 2, 25);
+        let mut sharded = ShardedEngine::new(raw, KsprConfig::default().with_shards(3));
+        assert_eq!(sharded.tombstone_count(), 0);
+        assert_eq!(sharded.tombstone_ratio(), 0.0);
+        for id in 0..10 {
+            assert!(sharded.delete(id));
+        }
+        assert_eq!(sharded.tombstone_count(), 10);
+        assert!((sharded.tombstone_ratio() - 0.5).abs() < 1e-12);
+        // The empty engine reports 0.0 rather than dividing by zero.
+        let empty = ShardedEngine::empty(2, KsprConfig::default().with_shards(2));
+        assert_eq!(empty.tombstone_ratio(), 0.0);
     }
 
     #[test]

@@ -179,6 +179,14 @@ impl AggregateRTree {
         self.live_count != self.records.len()
     }
 
+    /// Number of tombstoned record slots (deleted records whose slots are
+    /// retained for id stability).  Slots are never reclaimed, so this only
+    /// grows; compaction monitoring compares it against
+    /// [`AggregateRTree::num_slots`].
+    pub fn tombstone_count(&self) -> usize {
+        self.records.len() - self.live_count
+    }
+
     /// Iterates over the live records, in id order.
     pub fn live_records(&self) -> impl Iterator<Item = &Record> {
         self.records.iter().filter(|r| self.live[r.id])
@@ -611,6 +619,72 @@ impl AggregateRTree {
         self.nodes[idx].entries = NodeEntries::Leaf(Vec::new());
         self.nodes[idx].count = 0;
         self.free_nodes.push(idx);
+    }
+
+    /// Number of **live** records that dominate `values`, stopping early once
+    /// `limit` dominators are found (pass `usize::MAX` for an exact count).
+    ///
+    /// A return value `>= limit` means "at least `limit`"; below `limit` it is
+    /// exact.  Subtrees are pruned with the MBR corners: a subtree whose
+    /// max-corner does not dominate `values` cannot contain a dominator
+    /// (every record is coordinate-wise at most the max-corner), while a
+    /// subtree whose min-corner dominates `values` consists entirely of
+    /// dominators and contributes its aggregate count wholesale.
+    ///
+    /// This is the dominance-delta probe of the standing-query monitor
+    /// (`kspr-monitor`): an updated record with at least `k` live dominators
+    /// cannot change any top-`k` membership region (the skyband witness
+    /// property).  Probes are bookkeeping, not query work, so they bypass the
+    /// simulated-I/O counter.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the tree's arity.
+    pub fn count_dominating(&self, values: &[f64], limit: usize) -> usize {
+        assert_eq!(
+            values.len(),
+            self.dim,
+            "probed record arity must match the tree"
+        );
+        if self.is_empty() || limit == 0 {
+            return 0;
+        }
+        let mut count = 0usize;
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let node = self.node_no_io(idx);
+            if node.count == 0 {
+                continue;
+            }
+            // Prune: no record below can dominate `values`.  (An exactly
+            // coincident max-corner fails `dominates` too — records equal to
+            // `values` are ties, not dominators.)
+            if !crate::dominance::dominates(node.mbr.upper_corner(), values) {
+                continue;
+            }
+            if crate::dominance::dominates(node.mbr.lower_corner(), values) {
+                // Every record below dominates `values`.
+                count += node.count;
+            } else {
+                match &node.entries {
+                    NodeEntries::Leaf(ids) => {
+                        count += ids
+                            .iter()
+                            .filter(|&&id| {
+                                crate::dominance::dominates(&self.records[id].values, values)
+                            })
+                            .count();
+                    }
+                    NodeEntries::Internal(children) => {
+                        stack.extend(children.iter().copied());
+                        continue;
+                    }
+                }
+            }
+            if count >= limit {
+                return count;
+            }
+        }
+        count
     }
 
     /// Returns `Some(record id)` for a record that is **not** dominated by any
@@ -1047,6 +1121,78 @@ mod tests {
         got.sort_unstable();
         expected.sort_unstable();
         assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn count_dominating_matches_naive_scan_under_updates() {
+        let mut rng = SmallRng::seed_from_u64(95);
+        let records = random_records(160, 3, 10);
+        let mut tree = AggregateRTree::bulk_load(records, 6);
+        for step in 0..200 {
+            if step % 4 == 0 && tree.len() > 8 {
+                let live: Vec<RecordId> = tree.live_records().map(|r| r.id).collect();
+                let victim = live[rng.gen_range(0..live.len())];
+                assert!(tree.delete(victim));
+            } else {
+                let values: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+                tree.insert(values);
+            }
+            if step % 10 != 0 {
+                continue;
+            }
+            let probe: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let expected = tree
+                .live_records()
+                .filter(|r| crate::dominance::dominates(&r.values, &probe))
+                .count();
+            assert_eq!(tree.count_dominating(&probe, usize::MAX), expected);
+            // Limited probes are exact below the limit and saturate at it.
+            for limit in [0usize, 1, 2, expected.max(1)] {
+                let got = tree.count_dominating(&probe, limit);
+                if expected >= limit {
+                    assert!(got >= limit, "limit {limit}: got {got}, want >= {limit}");
+                } else {
+                    assert_eq!(got, expected, "limit {limit} is not reached");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn count_dominating_ignores_ties_and_tombstones() {
+        let mut tree = AggregateRTree::bulk_load(
+            vec![
+                Record::new(0, vec![0.5, 0.5]),
+                Record::new(1, vec![0.9, 0.9]),
+                Record::new(2, vec![0.8, 0.6]),
+                Record::new(3, vec![0.1, 0.1]),
+            ],
+            4,
+        );
+        // An exact tie (record 0) never counts as a dominator.
+        assert_eq!(tree.count_dominating(&[0.5, 0.5], usize::MAX), 2);
+        assert!(tree.delete(1));
+        assert_eq!(
+            tree.count_dominating(&[0.5, 0.5], usize::MAX),
+            1,
+            "tombstoned dominators must not count"
+        );
+        assert_eq!(tree.tombstone_count(), 1);
+        assert_eq!(tree.count_dominating(&[0.95, 0.95], usize::MAX), 0);
+    }
+
+    #[test]
+    fn tombstone_count_tracks_deletes() {
+        let records = random_records(30, 2, 12);
+        let mut tree = AggregateRTree::bulk_load(records, 4);
+        assert_eq!(tree.tombstone_count(), 0);
+        assert!(tree.delete(3));
+        assert!(tree.delete(17));
+        assert_eq!(tree.tombstone_count(), 2);
+        tree.insert(vec![0.5, 0.5]);
+        assert_eq!(tree.tombstone_count(), 2, "inserts never resurrect slots");
+        assert_eq!(tree.num_slots(), 31);
+        assert_eq!(tree.len(), 29);
     }
 
     #[test]
