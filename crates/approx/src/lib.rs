@@ -1,0 +1,791 @@
+//! # kspr-approx — the guaranteed-error approximate query tier
+//!
+//! The paper's conclusion names "approximate kSPR algorithms, with accuracy
+//! guarantees, for the purpose of faster processing" as its future-work
+//! direction.  This crate is that tier: instead of the exact region
+//! decomposition, a query is answered with a **market-impact estimate**
+//! whose two-sided confidence interval meets a caller-specified
+//! [`ErrorBudget`] (`epsilon`, `confidence`) — the sample count is derived
+//! from the Hoeffding bound, so the guarantee is distribution-free.
+//!
+//! ## Why sampling wins where the exact engine loses
+//!
+//! The exact algorithms build (part of) an arrangement of up to
+//! `candidates^work_dim` cells; the estimator's cost is
+//! `O(samples · candidates)` and **independent of the arrangement
+//! complexity**.  Large `k`, high dimensionality and anti-correlated data —
+//! exactly the settings that blow the arrangement up — leave the sampling
+//! cost untouched.
+//!
+//! ## The three pillars
+//!
+//! * [`ApproxEngine`] — a sampler over an **epoch-consistent dataset
+//!   snapshot**.  Construction captures the dataset handle (copy-on-write
+//!   protected: concurrent inserts/deletes cannot skew an in-flight
+//!   estimate) and, when built [`ApproxEngine::from_engine`], restricts the
+//!   per-sample probes to the engine's cached dataset-level k-skyband — a
+//!   **result-preserving** pruning: a record outside the band has at least
+//!   `k` band dominators, and wherever it outscores the focal record they
+//!   all do, so the top-`k` membership indicator is pointwise identical on
+//!   the band and on the full dataset (the same witness argument behind the
+//!   `kspr-serve` shard merge).
+//! * **Batched estimation** — [`ApproxEngine::estimate_batch`] shares the
+//!   per-sample work across a whole batch of focal records: one sweep
+//!   computes every candidate's score and the `k`-th largest score per
+//!   sample (`O(samples · candidates)`), after which each focal record's
+//!   top-`k` probe is a single dot product and comparison
+//!   (`O(samples · batch · d)`), instead of `O(batch · samples ·
+//!   candidates)` for independent estimates.  Batched results are
+//!   bit-identical to single-query estimates under the same seed.
+//! * **Tiered dispatch** — [`run_tiered`] / [`run_tiered_batch`] route a
+//!   query per [`QueryTier`]: `Exact` is a pure passthrough to
+//!   [`kspr::QueryEngine`], `Approximate` always samples, and `Auto`
+//!   estimates the arrangement cost from dataset statistics
+//!   ([`estimated_cost`]: `band^work_dim`) and keeps cheap small-`k` /
+//!   low-`d` queries exact while sending arrangement-bound ones to the
+//!   sampler.
+//!
+//! ```
+//! use kspr::{Algorithm, Dataset, ErrorBudget, KsprConfig, QueryEngine, QueryTier};
+//! use kspr_approx::{run_tiered, ApproxEngine, TieredResult};
+//!
+//! let dataset = Dataset::new(vec![
+//!     vec![0.3, 0.8, 0.8],
+//!     vec![0.9, 0.4, 0.4],
+//!     vec![0.8, 0.3, 0.4],
+//!     vec![0.4, 0.3, 0.6],
+//! ]);
+//! let budget = ErrorBudget::new(0.05, 0.95);
+//! let config = KsprConfig::default().with_tier(QueryTier::approximate(budget));
+//! let engine = QueryEngine::new(&dataset, config);
+//!
+//! // The configured tier answers with a budgeted estimate ...
+//! match run_tiered(&engine, Algorithm::LpCta, &[0.5, 0.5, 0.7], 3, 42) {
+//!     TieredResult::Approximate(est) => {
+//!         assert!(est.half_width <= budget.epsilon);
+//!         assert!(est.impact >= 0.0 && est.impact <= 1.0);
+//!     }
+//!     TieredResult::Exact(_) => unreachable!("the tier is Approximate"),
+//! }
+//!
+//! // ... and the sampler is also usable directly, over a stable snapshot.
+//! let sampler = ApproxEngine::from_engine(&engine, 3);
+//! let estimate = sampler.estimate(&[0.5, 0.5, 0.7], &budget, 42);
+//! assert!(estimate.covers(estimate.impact));
+//! ```
+
+use kspr::{Algorithm, ApproxImpact, ApproxOptions, Dataset, ErrorBudget};
+use kspr::{KsprResult, QueryEngine, RecordId};
+
+// Re-exported so tier-dispatch consumers only need a `kspr-approx`
+// dependency.
+pub use kspr::QueryTier;
+use kspr_geometry::{dot, PreferenceSpace};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+pub use kspr::approximate::{hoeffding_half_width, samples_for_accuracy};
+
+/// Score-comparison tolerance of the top-`k` probe.  Must match
+/// `kspr::naive::rank_of` (a record outranks the focal record only when its
+/// score exceeds the focal score by more than this), so sampling decisions
+/// agree bit-for-bit with the brute-force oracle.
+const TIE_EPS: f64 = 1e-12;
+
+/// Answer of a tier-dispatched query: the exact region decomposition, or a
+/// budgeted impact estimate.
+#[derive(Debug, Clone)]
+pub enum TieredResult {
+    /// The exact engine ran: full paper semantics.
+    Exact(KsprResult),
+    /// The sampler ran: an impact estimate with a Hoeffding interval.
+    Approximate(ApproxImpact),
+}
+
+impl TieredResult {
+    /// The exact result, if this query ran exactly.
+    pub fn as_exact(&self) -> Option<&KsprResult> {
+        match self {
+            TieredResult::Exact(result) => Some(result),
+            TieredResult::Approximate(_) => None,
+        }
+    }
+
+    /// The estimate, if this query ran approximately.
+    pub fn as_approximate(&self) -> Option<&ApproxImpact> {
+        match self {
+            TieredResult::Exact(_) => None,
+            TieredResult::Approximate(estimate) => Some(estimate),
+        }
+    }
+
+    /// True iff the exact engine answered.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, TieredResult::Exact(_))
+    }
+}
+
+/// Arrangement-size estimate for `candidates` record hyperplanes in a
+/// `work_dim`-dimensional working space: `candidates^work_dim`, the
+/// asymptotic cell count of a hyperplane arrangement.  This is what the
+/// `Auto` tier compares against its `cost_threshold`.
+pub fn arrangement_cost(candidates: usize, work_dim: usize) -> f64 {
+    (candidates.max(1) as f64).powi(work_dim as i32)
+}
+
+/// The engine-level `Auto`-tier cost estimate: the arrangement-size bound of
+/// the dataset-level k-skyband (served from the engine's shared-prep cache,
+/// so repeated routing decisions are O(1)).  Only band members can
+/// contribute hyperplanes to any query's arrangement (Lemma 6 / Appendix B),
+/// which makes the band size the focal-independent proxy for how expensive
+/// the exact engine can get at this `(dataset, k, d)`.
+pub fn estimated_cost(engine: &QueryEngine, k: usize) -> f64 {
+    let dataset = engine.dataset();
+    if dataset.is_empty() {
+        return 0.0;
+    }
+    let band = engine.shared_prep_for(k).skyband().len();
+    let work_dim = PreferenceSpace::new(dataset.dim(), engine.config().space).work_dim();
+    arrangement_cost(band, work_dim)
+}
+
+/// Accumulated per-focal sampling outcome of one chunk of the sweep.
+struct ChunkHits {
+    /// Hit count per focal record.
+    counts: Vec<u64>,
+    /// Hit weight vectors per focal record (empty unless the sketch is
+    /// retained).
+    hits: Vec<Vec<Vec<f64>>>,
+}
+
+/// One worker's share of a pooled estimate: raw per-focal hit counts over
+/// `samples` independent draws.  Partial estimates from independent sample
+/// streams (e.g. one per serving shard) pool by summing hit and sample
+/// counts — see [`pool_estimates`].
+#[derive(Debug, Clone)]
+pub struct PartialEstimate {
+    /// Hit count per focal record.
+    pub hits: Vec<u64>,
+    /// Number of samples drawn.
+    pub samples: usize,
+    /// Retained hit sketch per focal record (empty unless requested).
+    pub sketches: Vec<Vec<Vec<f64>>>,
+}
+
+/// Pools partial estimates from independent uniform sample streams into one
+/// [`ApproxImpact`] per focal record: hit and sample counts sum, and the
+/// combined Hoeffding interval is taken over the **total** sample count (all
+/// draws are i.i.d. uniform over the same space and score the same
+/// membership indicator, so the pooled counter is a plain Binomial in the
+/// pooled sample size).
+///
+/// # Panics
+/// Panics if `partials` is empty, the partials disagree on the focal count,
+/// or the total sample count is zero.
+pub fn pool_estimates(partials: Vec<PartialEstimate>, confidence: f64) -> Vec<ApproxImpact> {
+    let focal_count = partials
+        .first()
+        .expect("at least one partial estimate is required")
+        .hits
+        .len();
+    let total: usize = partials.iter().map(|p| p.samples).sum();
+    let half_width = hoeffding_half_width(confidence, total);
+    let mut counts = vec![0u64; focal_count];
+    let mut hits: Vec<Vec<Vec<f64>>> = vec![Vec::new(); focal_count];
+    for partial in partials {
+        assert_eq!(partial.hits.len(), focal_count, "focal count mismatch");
+        for (slot, count) in counts.iter_mut().zip(&partial.hits) {
+            *slot += count;
+        }
+        for (all, sketch) in hits.iter_mut().zip(partial.sketches) {
+            all.extend(sketch);
+        }
+    }
+    counts
+        .into_iter()
+        .zip(hits)
+        .map(|(count, hits)| ApproxImpact {
+            impact: count as f64 / total as f64,
+            half_width,
+            samples: total,
+            hits,
+        })
+        .collect()
+}
+
+/// A Monte-Carlo kSPR sampler over an epoch-consistent dataset snapshot.
+///
+/// Construction copies the candidate attribute values into a flat, owned,
+/// cache-friendly matrix: the sampler holds no reference into the live
+/// dataset, so a mutable [`kspr::DatasetStore`] (or [`QueryEngine`]) that
+/// applies inserts/deletes while an `ApproxEngine` is alive can never skew
+/// an estimate half-way through its sample stream — every estimate reflects
+/// exactly the records that were live at construction time.
+pub struct ApproxEngine {
+    /// Candidate attribute values, row-major (`num_candidates × dim`) —
+    /// all live records, or the result-preserving k-skyband subset.
+    flat: Vec<f64>,
+    dim: usize,
+    space: PreferenceSpace,
+    k: usize,
+}
+
+impl ApproxEngine {
+    /// A sampler over every live record of `dataset`, in the transformed
+    /// preference space.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_dataset(dataset: &Dataset, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let candidates: Vec<RecordId> = dataset.live_records().map(|r| r.id).collect();
+        Self::over_candidates(
+            dataset,
+            &candidates,
+            PreferenceSpace::transformed(dataset.dim()),
+            k,
+        )
+    }
+
+    /// A sampler over the engine's dataset snapshot, restricted to the
+    /// cached dataset-level k-skyband — the result-preserving candidate
+    /// pruning (see the module docs) that typically shrinks the per-sample
+    /// probe from all `n` records to a few hundred band members.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn from_engine(engine: &QueryEngine, k: usize) -> Self {
+        assert!(k >= 1, "k must be at least 1");
+        let dataset = engine.dataset();
+        let candidates = if dataset.is_empty() {
+            Vec::new()
+        } else {
+            engine.shared_prep_for(k).skyband().to_vec()
+        };
+        let space = PreferenceSpace::new(dataset.dim(), engine.config().space);
+        Self::over_candidates(dataset, &candidates, space, k)
+    }
+
+    fn over_candidates(
+        dataset: &Dataset,
+        candidates: &[RecordId],
+        space: PreferenceSpace,
+        k: usize,
+    ) -> Self {
+        let dim = dataset.dim();
+        let mut flat = Vec::with_capacity(candidates.len() * dim);
+        for &id in candidates {
+            flat.extend_from_slice(dataset.values(id));
+        }
+        Self {
+            flat,
+            dim,
+            space,
+            k,
+        }
+    }
+
+    /// The rank threshold the sampler probes.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of candidate records each sample scores.
+    pub fn num_candidates(&self) -> usize {
+        self.flat.len() / self.dim.max(1)
+    }
+
+    /// The preference space samples are drawn from.
+    pub fn space(&self) -> PreferenceSpace {
+        self.space
+    }
+
+    /// Estimates the market impact of one focal record to the budget.
+    pub fn estimate(&self, focal: &[f64], budget: &ErrorBudget, seed: u64) -> ApproxImpact {
+        self.estimate_batch(std::slice::from_ref(&focal.to_vec()), budget, seed)
+            .pop()
+            .expect("one focal in, one estimate out")
+    }
+
+    /// Estimates the market impact of every focal record in `focals` to the
+    /// budget, through one shared sampling sweep (see the module docs); the
+    /// results are bit-identical to estimating each focal record alone with
+    /// the same seed.
+    ///
+    /// # Panics
+    /// Panics if any focal arity does not match the dataset.
+    pub fn estimate_batch(
+        &self,
+        focals: &[Vec<f64>],
+        budget: &ErrorBudget,
+        seed: u64,
+    ) -> Vec<ApproxImpact> {
+        self.estimate_batch_with(focals, budget, seed, &ApproxOptions::default())
+    }
+
+    /// [`ApproxEngine::estimate_batch`] with explicit [`ApproxOptions`].
+    pub fn estimate_batch_with(
+        &self,
+        focals: &[Vec<f64>],
+        budget: &ErrorBudget,
+        seed: u64,
+        options: &ApproxOptions,
+    ) -> Vec<ApproxImpact> {
+        self.estimate_batch_samples(focals, budget.samples(), budget.confidence, seed, options)
+    }
+
+    /// The sweep under an explicit sample count (the entry point the sharded
+    /// serving layer uses to allocate one global sample budget across
+    /// shards; per-shard partial estimates pool by summing hit and sample
+    /// counts).
+    ///
+    /// # Panics
+    /// Panics if `samples == 0`, `confidence` is outside `(0, 1)`, or any
+    /// focal arity does not match the dataset.
+    pub fn estimate_batch_samples(
+        &self,
+        focals: &[Vec<f64>],
+        samples: usize,
+        confidence: f64,
+        seed: u64,
+        options: &ApproxOptions,
+    ) -> Vec<ApproxImpact> {
+        if focals.is_empty() {
+            // Still validate the request shape.
+            let _ = hoeffding_half_width(confidence, samples);
+            return Vec::new();
+        }
+        pool_estimates(
+            vec![self.sample_batch(focals, samples, seed, options)],
+            confidence,
+        )
+    }
+
+    /// Draws `samples` preference vectors from `seed` and probes every focal
+    /// record against each, returning the raw per-focal hit counts — the
+    /// poolable building block of an estimate (see [`pool_estimates`]).  The
+    /// sweep shares the per-sample candidate scoring across the batch and
+    /// parallelizes over chunks of the sample stream; chunk results merge in
+    /// stream order, so the outcome is independent of the worker count.
+    ///
+    /// # Panics
+    /// Panics if `samples == 0` or any focal arity does not match the
+    /// dataset.
+    pub fn sample_batch(
+        &self,
+        focals: &[Vec<f64>],
+        samples: usize,
+        seed: u64,
+        options: &ApproxOptions,
+    ) -> PartialEstimate {
+        assert!(samples > 0, "at least one sample is required");
+        for focal in focals {
+            assert_eq!(
+                focal.len(),
+                self.dim,
+                "focal record arity must match the dataset"
+            );
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let points = self.space.sample_many(samples, &mut rng);
+
+        let workers = rayon::current_num_threads().max(1);
+        let chunk_len = samples.div_ceil(workers).max(1);
+        let chunks: Vec<&[Vec<f64>]> = points.chunks(chunk_len).collect();
+        let partials: Vec<ChunkHits> = chunks
+            .par_iter()
+            .map(|chunk| self.sweep_chunk(chunk, focals, options))
+            .collect();
+
+        let mut counts = vec![0u64; focals.len()];
+        let mut hits: Vec<Vec<Vec<f64>>> = vec![Vec::new(); focals.len()];
+        for partial in partials {
+            for (total, count) in counts.iter_mut().zip(&partial.counts) {
+                *total += count;
+            }
+            if options.keep_hits {
+                for (all, chunk_hits) in hits.iter_mut().zip(partial.hits) {
+                    all.extend(chunk_hits);
+                }
+            }
+        }
+        PartialEstimate {
+            hits: counts,
+            samples,
+            sketches: hits,
+        }
+    }
+
+    /// Scores one chunk of samples against the candidate set: per sample,
+    /// every candidate's score and the `k`-th largest are computed once;
+    /// each focal record's probe is then one dot product and comparison.
+    fn sweep_chunk(
+        &self,
+        chunk: &[Vec<f64>],
+        focals: &[Vec<f64>],
+        options: &ApproxOptions,
+    ) -> ChunkHits {
+        let k = self.k;
+        let d = self.dim;
+        let m = self.num_candidates();
+        let mut counts = vec![0u64; focals.len()];
+        let mut hits: Vec<Vec<Vec<f64>>> = vec![Vec::new(); focals.len()];
+        // Scores are recomputed per sample, so the in-place select below may
+        // freely scramble the buffer.
+        let mut scores = vec![0.0f64; m];
+        for w in chunk {
+            let full = self.space.to_full_weight(w);
+            let weight = &full[..d];
+            for (slot, row) in scores.iter_mut().zip(self.flat.chunks_exact(d)) {
+                *slot = dot(row, weight);
+            }
+            // The k-th largest candidate score: the focal record is in the
+            // top-k iff fewer than k candidates score strictly above it,
+            // i.e. iff that k-th largest score does not exceed the focal
+            // score (fewer than k candidates means everyone is top-k).
+            let threshold = if m < k {
+                f64::NEG_INFINITY
+            } else {
+                let idx = m - k;
+                *scores
+                    .select_nth_unstable_by(idx, |a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .1
+            };
+            for (slot, focal) in focals.iter().enumerate() {
+                if threshold <= dot(focal, weight) + TIE_EPS {
+                    counts[slot] += 1;
+                    if options.keep_hits {
+                        hits[slot].push(w.clone());
+                    }
+                }
+            }
+        }
+        ChunkHits { counts, hits }
+    }
+}
+
+/// Answers one query through the engine's configured [`QueryTier`]
+/// (`engine.config().tier`): `Exact` passes through to
+/// [`QueryEngine::run`] untouched, `Approximate` samples to the budget over
+/// an epoch-consistent snapshot, and `Auto` routes by [`estimated_cost`]
+/// against the tier's threshold.  `seed` drives the sampler only (exact
+/// queries are deterministic).
+///
+/// # Panics
+/// Panics if `k == 0` or the focal arity does not match the dataset.
+pub fn run_tiered(
+    engine: &QueryEngine,
+    algorithm: Algorithm,
+    focal: &[f64],
+    k: usize,
+    seed: u64,
+) -> TieredResult {
+    run_tiered_batch(
+        engine,
+        algorithm,
+        std::slice::from_ref(&focal.to_vec()),
+        k,
+        seed,
+    )
+    .pop()
+    .expect("one focal in, one result out")
+}
+
+/// The batch analogue of [`run_tiered`].  The routing decision is
+/// focal-independent (dataset statistics and `k` only), so a batch always
+/// runs entirely in one tier: exact batches through
+/// [`QueryEngine::run_batch`] (shared preprocessing, parallel workers),
+/// approximate batches through one shared sampling sweep.
+pub fn run_tiered_batch(
+    engine: &QueryEngine,
+    algorithm: Algorithm,
+    focals: &[Vec<f64>],
+    k: usize,
+    seed: u64,
+) -> Vec<TieredResult> {
+    assert!(k >= 1, "k must be at least 1");
+    let budget = engine.config().tier.resolve(|| estimated_cost(engine, k));
+    match budget {
+        None => engine
+            .run_batch(algorithm, focals, k)
+            .into_iter()
+            .map(TieredResult::Exact)
+            .collect(),
+        Some(budget) => ApproxEngine::from_engine(engine, k)
+            .estimate_batch(focals, &budget, seed)
+            .into_iter()
+            .map(TieredResult::Approximate)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kspr::KsprConfig;
+    use rand::Rng;
+
+    fn random_raw(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.01..0.99)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batched_estimates_are_bit_identical_to_single_estimates() {
+        let dataset = Dataset::new(random_raw(250, 4, 1));
+        let sampler = ApproxEngine::from_dataset(&dataset, 6);
+        let budget = ErrorBudget::new(0.08, 0.9);
+        let focals: Vec<Vec<f64>> = random_raw(5, 4, 2);
+        let batch = sampler.estimate_batch_with(&focals, &budget, 7, &ApproxOptions::with_hits());
+        for (focal, from_batch) in focals.iter().zip(&batch) {
+            let alone = sampler
+                .estimate_batch_with(
+                    std::slice::from_ref(focal),
+                    &budget,
+                    7,
+                    &ApproxOptions::with_hits(),
+                )
+                .pop()
+                .unwrap();
+            assert_eq!(
+                from_batch.impact, alone.impact,
+                "shared sweep must not change hits"
+            );
+            assert_eq!(from_batch.samples, alone.samples);
+            assert_eq!(from_batch.hits, alone.hits, "same seed, same sketch");
+        }
+    }
+
+    #[test]
+    fn skyband_candidates_are_result_preserving() {
+        // The witness argument in action: the band-restricted sampler makes
+        // the same hit decision as the full live record set on every sample
+        // (same seed => same sample stream => bit-identical estimates).
+        let raw = random_raw(400, 3, 3);
+        let dataset = Dataset::new(raw);
+        let k = 5;
+        let engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let banded = ApproxEngine::from_engine(&engine, k);
+        let full = ApproxEngine::from_dataset(&dataset, k);
+        assert!(
+            banded.num_candidates() < full.num_candidates() / 2,
+            "the band must prune most of n={} (got {})",
+            full.num_candidates(),
+            banded.num_candidates()
+        );
+        let budget = ErrorBudget::new(0.05, 0.95);
+        let focals = random_raw(4, 3, 4);
+        let a = banded.estimate_batch_with(&focals, &budget, 11, &ApproxOptions::with_hits());
+        let b = full.estimate_batch_with(&focals, &budget, 11, &ApproxOptions::with_hits());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.impact, y.impact, "pruning changed a hit decision");
+            assert_eq!(x.hits, y.hits);
+        }
+    }
+
+    #[test]
+    fn estimates_agree_with_the_brute_force_oracle() {
+        // Every hit (and non-hit) decision matches kspr::naive on the same
+        // live records — the sweep's threshold trick is just a faster
+        // evaluation of the same definition.
+        let raw = random_raw(120, 3, 5);
+        let dataset = Dataset::new(raw.clone());
+        let k = 4;
+        let sampler = ApproxEngine::from_dataset(&dataset, k);
+        let focal = vec![0.8, 0.75, 0.7];
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let estimate = sampler
+            .estimate_batch_with(
+                std::slice::from_ref(&focal),
+                &budget,
+                13,
+                &ApproxOptions::with_hits(),
+            )
+            .pop()
+            .unwrap();
+        let mut rng = SmallRng::seed_from_u64(13);
+        let points = sampler.space().sample_many(estimate.samples, &mut rng);
+        let mut oracle_hits = 0usize;
+        for w in &points {
+            let full = sampler.space().to_full_weight(w);
+            if kspr::naive::is_top_k(&raw, &focal, &full, k) {
+                oracle_hits += 1;
+            }
+        }
+        assert_eq!(
+            estimate.hits.len(),
+            oracle_hits,
+            "sweep and oracle disagree on the same sample stream"
+        );
+        assert_eq!(
+            estimate.impact,
+            oracle_hits as f64 / estimate.samples as f64
+        );
+    }
+
+    #[test]
+    fn snapshot_is_epoch_consistent_under_updates() {
+        let raw = random_raw(80, 3, 7);
+        let mut engine = QueryEngine::new(&Dataset::new(raw), KsprConfig::default());
+        let focal = vec![0.7, 0.7, 0.7];
+        let budget = ErrorBudget::new(0.1, 0.9);
+
+        let sampler = ApproxEngine::from_engine(&engine, 3);
+        let before = sampler.estimate(&focal, &budget, 17);
+
+        // A burst of dominators lands mid-flight; the held snapshot must not
+        // see them, while a fresh sampler must.
+        for _ in 0..3 {
+            engine.insert(vec![0.99, 0.99, 0.99]);
+        }
+        let after_on_snapshot = sampler.estimate(&focal, &budget, 17);
+        assert_eq!(
+            before.impact, after_on_snapshot.impact,
+            "an in-flight snapshot must not observe updates"
+        );
+        let fresh = ApproxEngine::from_engine(&engine, 3).estimate(&focal, &budget, 17);
+        assert_eq!(fresh.impact, 0.0, "three dominators end every top-3 hope");
+    }
+
+    #[test]
+    fn interval_brackets_the_exact_impact() {
+        let raw = random_raw(200, 3, 9);
+        let engine = QueryEngine::new(&Dataset::new(raw), KsprConfig::default());
+        let k = 6;
+        let focal = vec![0.8, 0.7, 0.75];
+        let exact = engine.run(Algorithm::LpCta, &focal, k);
+        // d = 3 => 2 working dimensions: polygon areas are exact.
+        let true_impact = exact.total_volume(0, 0) / exact.space.volume();
+        let estimate = ApproxEngine::from_engine(&engine, k).estimate(
+            &focal,
+            &ErrorBudget::new(0.05, 0.99),
+            23,
+        );
+        assert!(
+            estimate.covers(true_impact),
+            "interval [{}, {}] misses the exact impact {true_impact}",
+            estimate.lower(),
+            estimate.upper()
+        );
+    }
+
+    #[test]
+    fn empty_dataset_has_impact_one() {
+        let mut store = kspr::DatasetStore::from_raw(vec![vec![0.4, 0.5], vec![0.6, 0.3]]);
+        store.delete(0);
+        store.delete(1);
+        let sampler = ApproxEngine::from_dataset(store.dataset(), 1);
+        assert_eq!(sampler.num_candidates(), 0);
+        let estimate = sampler.estimate(&[0.5, 0.5], &ErrorBudget::new(0.1, 0.9), 29);
+        assert_eq!(estimate.impact, 1.0, "no competitor: trivially top-1");
+    }
+
+    #[test]
+    fn tier_dispatch_routes_per_config() {
+        let raw = random_raw(150, 3, 31);
+        let dataset = Dataset::new(raw);
+        let focal = vec![0.75, 0.7, 0.7];
+        let k = 4;
+        let budget = ErrorBudget::new(0.05, 0.95);
+
+        // Exact tier: a pure passthrough (identical work counters).
+        let exact_engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let direct = exact_engine.run(Algorithm::LpCta, &focal, k);
+        match run_tiered(&exact_engine, Algorithm::LpCta, &focal, k, 1) {
+            TieredResult::Exact(result) => {
+                assert_eq!(result.num_regions(), direct.num_regions());
+                assert_eq!(
+                    result.stats.processed_records,
+                    direct.stats.processed_records
+                );
+                assert_eq!(result.stats.celltree_nodes, direct.stats.celltree_nodes);
+            }
+            TieredResult::Approximate(_) => panic!("Exact tier must never sample"),
+        }
+
+        // Approximate tier: a budget-conforming estimate.
+        let approx_engine = QueryEngine::new(
+            &dataset,
+            KsprConfig::default().with_tier(QueryTier::approximate(budget)),
+        );
+        match run_tiered(&approx_engine, Algorithm::LpCta, &focal, k, 1) {
+            TieredResult::Approximate(estimate) => {
+                assert!(estimate.half_width <= budget.epsilon + 1e-12);
+                assert_eq!(estimate.samples, budget.samples());
+            }
+            TieredResult::Exact(_) => panic!("Approximate tier must never run exactly"),
+        }
+
+        // Auto: an extreme threshold forces each side.
+        for (threshold, expect_exact) in [(f64::INFINITY, true), (0.0, false)] {
+            let auto_engine = QueryEngine::new(
+                &dataset,
+                KsprConfig::default().with_tier(QueryTier::Auto {
+                    budget,
+                    cost_threshold: threshold,
+                }),
+            );
+            let routed = run_tiered(&auto_engine, Algorithm::LpCta, &focal, k, 1);
+            assert_eq!(
+                routed.is_exact(),
+                expect_exact,
+                "threshold {threshold} routed the wrong way"
+            );
+        }
+    }
+
+    #[test]
+    fn auto_cost_grows_with_k_and_dimension() {
+        let low = QueryEngine::new(&Dataset::new(random_raw(300, 3, 33)), KsprConfig::default());
+        let high = QueryEngine::new(&Dataset::new(random_raw(300, 5, 33)), KsprConfig::default());
+        assert!(estimated_cost(&low, 2) < estimated_cost(&low, 12));
+        assert!(estimated_cost(&low, 8) < estimated_cost(&high, 8));
+        assert_eq!(arrangement_cost(10, 2), 100.0);
+        assert_eq!(arrangement_cost(0, 3), 1.0, "no candidates, unit cost");
+    }
+
+    #[test]
+    fn tiered_batch_matches_per_query_dispatch() {
+        let raw = random_raw(100, 3, 35);
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let engine = QueryEngine::new(
+            &Dataset::new(raw),
+            KsprConfig::default().with_tier(QueryTier::approximate(budget)),
+        );
+        let focals = random_raw(4, 3, 36);
+        let batch = run_tiered_batch(&engine, Algorithm::LpCta, &focals, 3, 41);
+        assert_eq!(batch.len(), focals.len());
+        for (focal, result) in focals.iter().zip(&batch) {
+            let alone = run_tiered(&engine, Algorithm::LpCta, focal, 3, 41);
+            assert_eq!(
+                result.as_approximate().unwrap().impact,
+                alone.as_approximate().unwrap().impact,
+                "batched and single dispatch disagree"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be at least 1")]
+    fn sampler_rejects_zero_k() {
+        let dataset = Dataset::new(vec![vec![0.5, 0.5]]);
+        ApproxEngine::from_dataset(&dataset, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity must match")]
+    fn sampler_rejects_arity_mismatch() {
+        let dataset = Dataset::new(vec![vec![0.5, 0.5]]);
+        ApproxEngine::from_dataset(&dataset, 1).estimate(
+            &[0.5, 0.5, 0.5],
+            &ErrorBudget::default(),
+            1,
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Criterion bench (beyond the paper): the approximate query tier.
+//!
+//! Measures the same focal batch answered by the exact engine (LP-CTA) and
+//! by the `kspr-approx` sampler at three error budgets, for the two serving
+//! mixes of the `approx` experiment:
+//!
+//! * **competitive** — skyband-adjacent focal records whose arrangement
+//!   work dominates the exact side.  The sampler's `O(samples · band)` cost
+//!   is independent of the arrangement, so it wins by well over an order of
+//!   magnitude at ε = 0.05 (the `>= 5x` bar asserted in the kspr-bench lib
+//!   test).
+//! * **lookup** — deeply dominated focal records the exact engine answers
+//!   from preprocessing alone; the exact side is already cheap, so the gap
+//!   narrows (and the sampler's fixed `samples · band` cost can even lose
+//!   at tight budgets — the honest boundary of the tier).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, ErrorBudget, KsprConfig, QueryEngine};
+use kspr_approx::ApproxEngine;
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_throughput");
+    group.sample_size(10);
+    let k = 10usize;
+    let w = Workload::synthetic(Distribution::Independent, 2_000, 4, k, 83);
+    let config = KsprConfig::default();
+
+    let mixes = [("competitive", w.focals(4)), ("lookup", w.lookup_focals(4))];
+    for (mix, focals) in &mixes {
+        group.throughput(Throughput::Elements(focals.len() as u64));
+
+        let engine = QueryEngine::new(&w.dataset, config.clone());
+        engine.run_batch(Algorithm::LpCta, focals, k); // warm the prep cache
+        group.bench_with_input(BenchmarkId::new(format!("{mix}/exact"), 0), &0, |b, _| {
+            b.iter(|| engine.run_batch(Algorithm::LpCta, focals, k))
+        });
+
+        for (label, eps) in [("eps_0.10", 0.10), ("eps_0.05", 0.05), ("eps_0.02", 0.02)] {
+            let budget = ErrorBudget::new(eps, 0.95);
+            group.bench_with_input(
+                BenchmarkId::new(format!("{mix}/approx"), label),
+                &label,
+                |b, _| {
+                    b.iter(|| {
+                        ApproxEngine::from_engine(&engine, k).estimate_batch(focals, &budget, 7)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

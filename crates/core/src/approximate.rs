@@ -2,15 +2,17 @@
 //!
 //! The conclusion of the paper names "approximate kSPR algorithms, with
 //! accuracy guarantees, for the purpose of faster processing" as future work.
-//! This module provides the natural Monte-Carlo baseline for that direction:
-//! instead of deriving the exact arrangement cells, it estimates
+//! This module provides the Monte-Carlo primitives for that direction:
 //!
-//! * the **market impact** (the probability that the focal record is in the
-//!   top-`k` for a uniformly random preference vector), with a Hoeffding
-//!   confidence interval, and
-//! * an **approximate region membership oracle** backed by the sampled
-//!   preferences, useful for quick exploratory analysis before running one of
-//!   the exact algorithms.
+//! * the **market impact** estimator [`approximate_impact`] (the probability
+//!   that the focal record is in the top-`k` for a uniformly random
+//!   preference vector), with a Hoeffding confidence interval,
+//! * the **error budget** vocabulary ([`ErrorBudget`]) that turns a caller's
+//!   `(epsilon, confidence)` requirement into a sample count via the
+//!   Hoeffding bound, and
+//! * the **query tier** knob ([`QueryTier`]) consumed by
+//!   [`crate::config::KsprConfig`] and dispatched by the `kspr-approx` crate,
+//!   which hosts the batched sampling engine built on these primitives.
 //!
 //! The estimator evaluates the query definition directly (a top-`k` probe per
 //! sample), so its cost is `O(samples · n)` and independent of the arrangement
@@ -20,6 +22,166 @@
 use crate::dataset::Dataset;
 use crate::naive;
 use kspr_geometry::PreferenceSpace;
+
+/// Half-width of the two-sided Hoeffding interval at confidence level
+/// `confidence` after `samples` draws:
+/// `sqrt(ln(2 / (1 - confidence)) / (2 · samples))`.
+///
+/// # Panics
+/// Panics if `samples == 0` or `confidence` is not in `(0, 1)`.
+pub fn hoeffding_half_width(confidence: f64, samples: usize) -> f64 {
+    assert!(samples > 0, "at least one sample is required");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence must be in (0, 1)"
+    );
+    ((2.0 / (1.0 - confidence)).ln() / (2.0 * samples as f64)).sqrt()
+}
+
+/// A caller-specified accuracy requirement for the approximate tier: the
+/// reported impact interval has half-width at most `epsilon` and covers the
+/// true impact with probability at least `confidence`.
+///
+/// The guarantee is distribution-free (Hoeffding's inequality): the sample
+/// count [`ErrorBudget::samples`] is chosen so that
+/// `2 · exp(-2 · samples · epsilon²) <= 1 - confidence`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorBudget {
+    /// Maximum half-width of the reported confidence interval, in `(0, 1)`.
+    pub epsilon: f64,
+    /// Two-sided confidence level of the interval, in `(0, 1)`.
+    pub confidence: f64,
+}
+
+impl ErrorBudget {
+    /// A validated budget.
+    ///
+    /// # Panics
+    /// Panics if `epsilon` or `confidence` is outside `(0, 1)`.
+    pub fn new(epsilon: f64, confidence: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        assert!(
+            confidence > 0.0 && confidence < 1.0,
+            "confidence must be in (0, 1), got {confidence}"
+        );
+        Self {
+            epsilon,
+            confidence,
+        }
+    }
+
+    /// Number of samples the Hoeffding bound requires for this budget.
+    pub fn samples(&self) -> usize {
+        samples_for_accuracy(self.epsilon, self.confidence)
+    }
+
+    /// The interval half-width this budget's confidence level yields after
+    /// `samples` draws (at most `epsilon` when `samples >=`
+    /// [`ErrorBudget::samples`]).
+    pub fn half_width(&self, samples: usize) -> f64 {
+        hoeffding_half_width(self.confidence, samples)
+    }
+}
+
+impl Default for ErrorBudget {
+    /// `epsilon = 0.05` at 95% confidence (≈ 738 samples) — tight enough to
+    /// rank options by impact, loose enough to beat the exact engine by an
+    /// order of magnitude on arrangement-bound queries.
+    fn default() -> Self {
+        Self {
+            epsilon: 0.05,
+            confidence: 0.95,
+        }
+    }
+}
+
+/// Which processing tier answers a kSPR query (the
+/// [`crate::config::KsprConfig::tier`] knob, dispatched by `kspr-approx` and
+/// the `kspr-serve` front-end).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum QueryTier {
+    /// The exact engine: full region decomposition, paper semantics.  The
+    /// default — and with it every pipeline is bit-for-bit the pre-tier
+    /// behavior.
+    #[default]
+    Exact,
+    /// The Monte-Carlo tier: an impact estimate within the budget's interval
+    /// instead of exact regions.
+    Approximate {
+        /// Accuracy the estimate must meet.
+        budget: ErrorBudget,
+    },
+    /// Cost-based routing: queries whose estimated arrangement cost is at
+    /// most `cost_threshold` run exactly; arrangement-bound ones fall back to
+    /// sampling under `budget`.  The cost estimate is
+    /// `candidates^work_dim` — the arrangement-size bound for the candidate
+    /// hyperplanes in the working space (see `kspr-approx`).
+    Auto {
+        /// Accuracy of the sampling fallback.
+        budget: ErrorBudget,
+        /// Largest estimated arrangement cost still routed to the exact
+        /// engine.
+        cost_threshold: f64,
+    },
+}
+
+impl QueryTier {
+    /// Default routing threshold of [`QueryTier::auto`]: at the repo's
+    /// benchmark scales this sends small-`k` / low-`d` queries (candidate
+    /// bands of tens of records in 2 working dimensions) to the exact engine
+    /// and arrangement-bound ones (hundreds of candidates, 3+ working
+    /// dimensions) to sampling.
+    pub const DEFAULT_COST_THRESHOLD: f64 = 1.0e6;
+
+    /// The approximate tier under `budget`.
+    pub fn approximate(budget: ErrorBudget) -> Self {
+        QueryTier::Approximate { budget }
+    }
+
+    /// Cost-based routing with the default threshold.
+    pub fn auto(budget: ErrorBudget) -> Self {
+        QueryTier::Auto {
+            budget,
+            cost_threshold: Self::DEFAULT_COST_THRESHOLD,
+        }
+    }
+
+    /// Resolves the tier to the budget the query should sample under —
+    /// `None` means "run exactly".  `estimated_cost` is invoked only for
+    /// `Auto` (the cost probe may touch engine caches), and routes to
+    /// sampling strictly above the threshold.  This is the single routing
+    /// rule every dispatch layer (engine, sharded pool, server) applies.
+    pub fn resolve(self, estimated_cost: impl FnOnce() -> f64) -> Option<ErrorBudget> {
+        match self {
+            QueryTier::Exact => None,
+            QueryTier::Approximate { budget } => Some(budget),
+            QueryTier::Auto {
+                budget,
+                cost_threshold,
+            } => (estimated_cost() > cost_threshold).then_some(budget),
+        }
+    }
+}
+
+/// Estimator options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxOptions {
+    /// Retain the sampled preference vectors for which the focal record was
+    /// in the top-`k` (a discrete sketch of the kSPR regions) in
+    /// [`ApproxImpact::hits`].  Off by default: the sketch clones every hit
+    /// weight vector, which the serving hot path never reads.
+    pub keep_hits: bool,
+}
+
+impl ApproxOptions {
+    /// Options with the hit sketch retained.
+    pub fn with_hits() -> Self {
+        Self { keep_hits: true }
+    }
+}
 
 /// Result of the Monte-Carlo kSPR approximation.
 #[derive(Debug, Clone)]
@@ -32,7 +194,8 @@ pub struct ApproxImpact {
     /// Number of samples used.
     pub samples: usize,
     /// The sampled working-space preferences for which the focal record was
-    /// in the top-`k` (a discrete sketch of the kSPR regions).
+    /// in the top-`k` — retained only under [`ApproxOptions::keep_hits`],
+    /// empty otherwise.
     pub hits: Vec<Vec<f64>>,
 }
 
@@ -46,10 +209,16 @@ impl ApproxImpact {
     pub fn upper(&self) -> f64 {
         (self.impact + self.half_width).min(1.0)
     }
+
+    /// True iff `impact` lies inside the reported confidence interval.
+    pub fn covers(&self, impact: f64) -> bool {
+        impact >= self.lower() && impact <= self.upper()
+    }
 }
 
 /// Estimates the market impact of `focal` by sampling `samples` preference
-/// vectors uniformly from the transformed preference space.
+/// vectors uniformly from the transformed preference space, without
+/// retaining the hit sketch (see [`approximate_impact_with`]).
 ///
 /// `confidence` is the two-sided confidence level of the reported interval
 /// (e.g. `0.95`); the half-width follows from Hoeffding's inequality:
@@ -65,24 +234,46 @@ pub fn approximate_impact(
     confidence: f64,
     seed: u64,
 ) -> ApproxImpact {
-    assert!(samples > 0, "at least one sample is required");
+    approximate_impact_with(
+        dataset,
+        focal,
+        k,
+        samples,
+        confidence,
+        seed,
+        &ApproxOptions::default(),
+    )
+}
+
+/// Like [`approximate_impact`], with explicit [`ApproxOptions`] — pass
+/// [`ApproxOptions::with_hits`] to retain the sampled hit sketch (one cloned
+/// weight vector per hit, skipped entirely on the default hot path).
+pub fn approximate_impact_with(
+    dataset: &Dataset,
+    focal: &[f64],
+    k: usize,
+    samples: usize,
+    confidence: f64,
+    seed: u64,
+    options: &ApproxOptions,
+) -> ApproxImpact {
     assert!(k >= 1, "k must be at least 1");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence must be in (0, 1)"
-    );
+    let half_width = hoeffding_half_width(confidence, samples);
     let space = PreferenceSpace::transformed(focal.len());
     let raw: Vec<Vec<f64>> = dataset.live_records().map(|r| r.values.clone()).collect();
     let points = naive::sample_weights(&space, samples, seed);
+    let mut hit_count = 0usize;
     let mut hits = Vec::new();
     for w in points {
         let full = space.to_full_weight(&w);
         if naive::is_top_k(&raw, focal, &full, k) {
-            hits.push(w);
+            hit_count += 1;
+            if options.keep_hits {
+                hits.push(w);
+            }
         }
     }
-    let impact = hits.len() as f64 / samples as f64;
-    let half_width = ((2.0 / (1.0 - confidence)).ln() / (2.0 * samples as f64)).sqrt();
+    let impact = hit_count as f64 / samples as f64;
     ApproxImpact {
         impact,
         half_width,
@@ -122,10 +313,19 @@ mod tests {
     #[test]
     fn unbeatable_record_has_impact_one() {
         let dataset = Dataset::new(vec![vec![0.1, 0.1], vec![0.2, 0.3]]);
-        let approx = approximate_impact(&dataset, &[0.9, 0.9], 1, 500, 0.95, 1);
+        let approx = approximate_impact_with(
+            &dataset,
+            &[0.9, 0.9],
+            1,
+            500,
+            0.95,
+            1,
+            &ApproxOptions::with_hits(),
+        );
         assert_eq!(approx.impact, 1.0);
         assert_eq!(approx.hits.len(), 500);
         assert!(approx.upper() <= 1.0 && approx.lower() >= 0.0);
+        assert!(approx.covers(1.0));
     }
 
     #[test]
@@ -134,6 +334,32 @@ mod tests {
         let approx = approximate_impact(&dataset, &[0.1, 0.1], 1, 500, 0.95, 2);
         assert_eq!(approx.impact, 0.0);
         assert!(approx.hits.is_empty());
+    }
+
+    #[test]
+    fn hit_sketch_is_opt_in_and_does_not_change_the_estimate() {
+        let dataset = random_dataset(150, 3, 5);
+        let focal = vec![0.7, 0.7, 0.7];
+        let plain = approximate_impact(&dataset, &focal, 4, 600, 0.95, 3);
+        let sketched = approximate_impact_with(
+            &dataset,
+            &focal,
+            4,
+            600,
+            0.95,
+            3,
+            &ApproxOptions::with_hits(),
+        );
+        assert!(
+            plain.hits.is_empty(),
+            "the default path must not allocate the sketch"
+        );
+        assert_eq!(plain.impact, sketched.impact, "same seed, same estimate");
+        assert_eq!(plain.half_width, sketched.half_width);
+        assert_eq!(
+            sketched.hits.len(),
+            (sketched.impact * sketched.samples as f64).round() as usize
+        );
     }
 
     #[test]
@@ -162,7 +388,15 @@ mod tests {
         // `tombstoned_records_never_influence_the_estimate`.)
         let raw: Vec<Vec<f64>> = dataset.live_records().map(|r| r.values.clone()).collect();
         let space = PreferenceSpace::transformed(3);
-        let approx = approximate_impact(&dataset, &focal, k, 1_000, 0.95, 11);
+        let approx = approximate_impact_with(
+            &dataset,
+            &focal,
+            k,
+            1_000,
+            0.95,
+            11,
+            &ApproxOptions::with_hits(),
+        );
         for w in &approx.hits {
             assert!(naive::is_top_k(&raw, &focal, &space.to_full_weight(w), k));
         }
@@ -176,12 +410,13 @@ mod tests {
         // record beats everything that is left (impact 1).
         let mut store = DatasetStore::from_raw(vec![vec![0.9, 0.9], vec![0.2, 0.2]]);
         let focal = vec![0.5, 0.5];
-        let before = approximate_impact(store.dataset(), &focal, 1, 400, 0.95, 21);
+        let sketch = ApproxOptions::with_hits();
+        let before = approximate_impact_with(store.dataset(), &focal, 1, 400, 0.95, 21, &sketch);
         assert_eq!(before.impact, 0.0);
         assert!(before.hits.is_empty());
 
         assert_eq!(store.delete(0), Some(vec![0.9, 0.9]));
-        let after = approximate_impact(store.dataset(), &focal, 1, 400, 0.95, 21);
+        let after = approximate_impact_with(store.dataset(), &focal, 1, 400, 0.95, 21, &sketch);
         assert_eq!(
             after.impact, 1.0,
             "a deleted dominator must not suppress the estimate"
@@ -217,5 +452,71 @@ mod tests {
     fn rejects_invalid_confidence() {
         let dataset = Dataset::new(vec![vec![0.5, 0.5]]);
         approximate_impact(&dataset, &[0.4, 0.4], 1, 10, 1.5, 1);
+    }
+
+    #[test]
+    fn error_budget_meets_itself() {
+        let budget = ErrorBudget::new(0.05, 0.95);
+        let n = budget.samples();
+        assert_eq!(n, samples_for_accuracy(0.05, 0.95));
+        assert!(budget.half_width(n) <= budget.epsilon + 1e-12);
+        assert!(
+            budget.half_width(n - 50) > budget.epsilon,
+            "fewer samples must miss the budget"
+        );
+        // Tighter budgets need more samples, at the Hoeffding 1/eps^2 rate.
+        assert!(ErrorBudget::new(0.01, 0.95).samples() > 20 * n);
+        assert!(ErrorBudget::new(0.05, 0.99).samples() > n);
+        let default = ErrorBudget::default();
+        assert_eq!(default.epsilon, 0.05);
+        assert_eq!(default.confidence, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn error_budget_rejects_bad_epsilon() {
+        ErrorBudget::new(0.0, 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence must be in (0, 1)")]
+    fn error_budget_rejects_bad_confidence() {
+        ErrorBudget::new(0.1, 1.0);
+    }
+
+    #[test]
+    fn tier_resolution_routes_by_cost() {
+        let budget = ErrorBudget::new(0.05, 0.95);
+        assert_eq!(QueryTier::Exact.resolve(|| unreachable!()), None);
+        assert_eq!(
+            QueryTier::approximate(budget).resolve(|| unreachable!()),
+            Some(budget)
+        );
+        let auto = QueryTier::Auto {
+            budget,
+            cost_threshold: 100.0,
+        };
+        assert_eq!(auto.resolve(|| 100.0), None, "at the threshold: exact");
+        assert_eq!(auto.resolve(|| 100.1), Some(budget), "above: sampling");
+    }
+
+    #[test]
+    fn query_tier_constructors() {
+        assert_eq!(QueryTier::default(), QueryTier::Exact);
+        let budget = ErrorBudget::new(0.02, 0.9);
+        assert_eq!(
+            QueryTier::approximate(budget),
+            QueryTier::Approximate { budget }
+        );
+        match QueryTier::auto(budget) {
+            QueryTier::Auto {
+                budget: b,
+                cost_threshold,
+            } => {
+                assert_eq!(b, budget);
+                assert_eq!(cost_threshold, QueryTier::DEFAULT_COST_THRESHOLD);
+            }
+            other => panic!("expected Auto, got {other:?}"),
+        }
     }
 }

@@ -1,6 +1,7 @@
 //! Query configuration: every optimization of the paper can be toggled so the
 //! ablation experiments (Figures 16–18, 22) can isolate its effect.
 
+use crate::approximate::QueryTier;
 use kspr_geometry::Space;
 use kspr_spatial::IoCostModel;
 
@@ -47,6 +48,18 @@ pub struct KsprConfig {
     /// updates out to per-shard engines and answer queries through a merged
     /// candidate engine.  The plain `QueryEngine` ignores this knob.
     pub shards: usize,
+    /// Upper bound on the number of merged candidate engines the serving
+    /// front-end caches (one per distinct client `k` between updates).  `k`
+    /// is client-supplied, so without a cap a stream cycling `k` values would
+    /// retain one full candidate engine (dataset + R-tree + prep cache) per
+    /// distinct `k`.  The plain `QueryEngine` ignores this knob.
+    pub merged_cache_cap: usize,
+    /// Which processing tier answers queries by default: the exact engine
+    /// (paper semantics, the default), the Monte-Carlo estimate under an
+    /// error budget, or cost-based `Auto` routing between the two.  Consumed
+    /// by the `kspr-approx` tier dispatch and the `kspr-serve` front-end;
+    /// [`crate::engine::QueryEngine::run`] itself is always exact.
+    pub tier: QueryTier,
     /// Simulated I/O cost model (Appendix A).  `None` disables I/O accounting
     /// in the reported statistics.
     pub io_model: Option<IoCostModel>,
@@ -69,6 +82,8 @@ impl Default for KsprConfig {
             rtree_fanout: 32,
             cache_shared_prep: true,
             shards: 1,
+            merged_cache_cap: 8,
+            tier: QueryTier::Exact,
             io_model: None,
             volume_samples: 20_000,
             finalize: true,
@@ -122,6 +137,24 @@ impl KsprConfig {
         self.shards = shards;
         self
     }
+
+    /// Convenience: cap the serving front-end's merged-candidate-engine cache
+    /// at `cap` entries.
+    ///
+    /// # Panics
+    /// Panics if `cap == 0` (the serving layer always needs one live engine).
+    pub fn with_merged_cache_cap(mut self, cap: usize) -> Self {
+        assert!(cap >= 1, "the merged cache needs at least one slot");
+        self.merged_cache_cap = cap;
+        self
+    }
+
+    /// Convenience: the default configuration answering queries through
+    /// `tier`.
+    pub fn with_tier(mut self, tier: QueryTier) -> Self {
+        self.tier = tier;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,6 +171,8 @@ mod tests {
         assert!(c.cache_shared_prep);
         assert!(c.finalize);
         assert_eq!(c.shards, 1, "serving defaults to a single shard");
+        assert_eq!(c.merged_cache_cap, 8);
+        assert_eq!(c.tier, QueryTier::Exact, "the default tier is exact");
     }
 
     #[test]
@@ -149,6 +184,30 @@ mod tests {
     #[should_panic(expected = "at least one shard")]
     fn rejects_zero_shards() {
         let _ = KsprConfig::default().with_shards(0);
+    }
+
+    #[test]
+    fn merged_cache_cap_builder() {
+        assert_eq!(
+            KsprConfig::default()
+                .with_merged_cache_cap(3)
+                .merged_cache_cap,
+            3
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn rejects_zero_merged_cache_cap() {
+        let _ = KsprConfig::default().with_merged_cache_cap(0);
+    }
+
+    #[test]
+    fn tier_builder() {
+        use crate::approximate::ErrorBudget;
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let c = KsprConfig::default().with_tier(QueryTier::approximate(budget));
+        assert_eq!(c.tier, QueryTier::Approximate { budget });
     }
 
     #[test]

@@ -75,6 +75,7 @@ pub mod rtopk;
 pub mod stats;
 
 pub use algorithms::{run, run_batch, Algorithm};
+pub use approximate::{ApproxImpact, ApproxOptions, ErrorBudget, QueryTier};
 pub use config::{BoundMode, KsprConfig};
 pub use dataset::{check_record, Dataset, DatasetStore, IngestError};
 pub use engine::{

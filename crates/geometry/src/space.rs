@@ -11,6 +11,7 @@
 //!   rankings are invariant to positive scaling of `w`.
 
 use kspr_lp::{LinearConstraint, Relation};
+use rand::Rng;
 
 /// Which preference space the algorithms operate in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -168,6 +169,45 @@ impl PreferenceSpace {
             Space::Original => vec![0.5; dim],
         }
     }
+
+    /// Draws one point uniformly from the (open) working space.
+    ///
+    /// The transformed space is the open simplex `{w > 0, Σ w < 1}`: the
+    /// point is generated *directly* through the exponential-spacings
+    /// construction (normalize `d'+1` iid `Exp(1)` draws and drop the last
+    /// coordinate — a `Dirichlet(1, …, 1)` marginal, which is uniform on the
+    /// simplex), so no sample is ever rejected.  Rejection against the cube,
+    /// as the brute-force oracles do, keeps only a `1/d'!` fraction — at
+    /// `d = 6` that is one sample in 120, which would dominate the cost of
+    /// the Monte-Carlo query tier this method feeds.  The original space is
+    /// the open unit cube, sampled coordinate-wise.  Boundary points (a
+    /// measure-zero event under `f64` rounding) are redrawn, so the result
+    /// always satisfies [`PreferenceSpace::contains`].
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> Vec<f64> {
+        let dim = self.work_dim();
+        loop {
+            let point: Vec<f64> = match self.space {
+                Space::Transformed => {
+                    // -ln of (0, 1] values: Exp(1) spacings.
+                    let exps: Vec<f64> = (0..=dim)
+                        .map(|_| -(1.0 - rng.gen_range(0.0..1.0f64)).ln())
+                        .collect();
+                    let total: f64 = exps.iter().sum();
+                    exps[..dim].iter().map(|&e| e / total).collect()
+                }
+                Space::Original => (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect(),
+            };
+            if self.contains(&point) {
+                return point;
+            }
+        }
+    }
+
+    /// Draws `n` points uniformly from the working space (see
+    /// [`PreferenceSpace::sample`]).
+    pub fn sample_many<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
 }
 
 #[cfg(test)]
@@ -247,5 +287,54 @@ mod tests {
             let o = PreferenceSpace::original(d);
             assert!(o.contains(&o.centroid()));
         }
+    }
+
+    #[test]
+    fn direct_samples_lie_strictly_inside_the_space() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        for d in 2..=6 {
+            let mut rng = SmallRng::seed_from_u64(7 + d as u64);
+            let t = PreferenceSpace::transformed(d);
+            for w in t.sample_many(500, &mut rng) {
+                assert!(t.contains(&w), "d={d}: {w:?} outside the simplex");
+            }
+            let o = PreferenceSpace::original(d);
+            for w in o.sample_many(200, &mut rng) {
+                assert!(o.contains(&w), "d={d}: {w:?} outside the cube");
+            }
+        }
+    }
+
+    #[test]
+    fn direct_simplex_sampling_is_uniform() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        // Uniform on the simplex {w > 0, Σ w < 1} in m dims has coordinate
+        // mean 1/(m+1) (Dirichlet(1,…,1) marginal) — check every coordinate,
+        // plus the fraction of mass in the half `w_0 < w_1` (1/2 by symmetry).
+        let t = PreferenceSpace::transformed(4); // m = 3
+        let mut rng = SmallRng::seed_from_u64(99);
+        let samples = t.sample_many(20_000, &mut rng);
+        for j in 0..3 {
+            let mean: f64 = samples.iter().map(|w| w[j]).sum::<f64>() / samples.len() as f64;
+            assert!(
+                (mean - 0.25).abs() < 0.01,
+                "coordinate {j} mean {mean} far from 1/4"
+            );
+        }
+        let below = samples.iter().filter(|w| w[0] < w[1]).count();
+        let frac = below as f64 / samples.len() as f64;
+        assert!((frac - 0.5).abs() < 0.02, "asymmetric split: {frac}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let t = PreferenceSpace::transformed(5);
+        let a = t.sample_many(50, &mut SmallRng::seed_from_u64(3));
+        let b = t.sample_many(50, &mut SmallRng::seed_from_u64(3));
+        assert_eq!(a, b);
     }
 }

@@ -6,6 +6,7 @@
 //! individual crates (`kspr`, `kspr-spatial`, `kspr-datagen`, ...) directly.
 
 pub use kspr;
+pub use kspr_approx as approx;
 pub use kspr_datagen as datagen;
 pub use kspr_geometry as geometry;
 pub use kspr_lp as lp;

@@ -22,6 +22,15 @@
 //!   `kspr-monitor` classifier (unaffected / patched in place / re-run) and
 //!   pushes a [`ResultDelta`] to the [`Subscription`] after every update
 //!   that changed it.  Dropping the subscription unregisters the query.
+//! * The **approximate tier** (`kspr-approx`) is wired through every entry
+//!   point: [`ServeHandle::submit_approx`] answers with a budgeted
+//!   market-impact estimate (consecutive approximate submissions batch into
+//!   one shared sampling sweep, separately from exact queries),
+//!   [`ServeHandle::submit_tiered`] accepts a per-request [`kspr::QueryTier`]
+//!   (`Auto` is routed by the dispatcher's arrangement-cost estimate and
+//!   counted in [`ServeStats`]), and [`ServeHandle::subscribe_approx`] keeps
+//!   a standing estimate honest across updates by re-drawing it only when an
+//!   update possibly moved the true impact.
 //!
 //! ```
 //! use kspr::{Algorithm, KsprConfig};
@@ -55,9 +64,11 @@
 pub mod server;
 pub mod sharded;
 
+pub use kspr_approx::TieredResult;
 pub use kspr_monitor::{QueryId, ResultDelta, UpdateClass};
 pub use server::{
-    RejectionStats, ServeError, ServeHandle, ServeOptions, ServeStats, Server, SubscribeTicket,
-    Subscription, Ticket,
+    ApproxDelta, ApproxSubscribeTicket, ApproxSubscription, ApproxWatchId, RejectionStats,
+    ServeError, ServeHandle, ServeOptions, ServeStats, Server, SubscribeTicket, Subscription,
+    Ticket, MAX_APPROX_SAMPLES,
 };
 pub use sharded::{ShardStrategy, ShardedEngine};

@@ -38,8 +38,11 @@
 //! every subscription's channel closes and clients re-subscribe.
 
 use crate::sharded::ShardedEngine;
-use kspr::{Algorithm, KsprResult, RecordId};
-use kspr_monitor::{Monitor, MonitorStats, QueryId, RegisterError, ResultDelta};
+use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryTier, RecordId};
+use kspr_approx::TieredResult;
+use kspr_monitor::{
+    update_preserves_impact, Monitor, MonitorStats, QueryId, RegisterError, ResultDelta,
+};
 use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc;
 use std::thread::JoinHandle;
@@ -58,6 +61,10 @@ pub enum ServeError {
     },
     /// The request contains a NaN or infinite value.
     NonFinite,
+    /// The request's [`ErrorBudget`] is malformed (`epsilon` / `confidence`
+    /// outside `(0, 1)`) or finer than the server is willing to sample for
+    /// (its Hoeffding sample count exceeds [`MAX_APPROX_SAMPLES`]).
+    InvalidBudget,
     /// The requested algorithm cannot run on this dataset (RTOPK is
     /// 2-dimensional only).
     UnsupportedAlgorithm,
@@ -85,6 +92,12 @@ impl std::fmt::Display for ServeError {
                 )
             }
             ServeError::NonFinite => write!(f, "values must be finite"),
+            ServeError::InvalidBudget => {
+                write!(
+                    f,
+                    "the error budget is malformed or finer than the server samples for"
+                )
+            }
             ServeError::UnsupportedAlgorithm => {
                 write!(f, "the algorithm does not support this dataset's arity")
             }
@@ -120,12 +133,52 @@ impl<T> Ticket<T> {
     }
 }
 
+/// Where a query's answer goes: the three client-facing ticket flavors.
+/// Constructed so a sink can always carry the tier's answer — `Exact` sinks
+/// only pair with [`QueryTier::Exact`], `Approx` sinks only with
+/// [`QueryTier::Approximate`], and `Tiered` sinks carry either.
+enum Sink {
+    Exact(mpsc::Sender<Result<KsprResult, ServeError>>),
+    Approx(mpsc::Sender<Result<ApproxImpact, ServeError>>),
+    Tiered(mpsc::Sender<Result<TieredResult, ServeError>>),
+}
+
+impl Sink {
+    /// Delivers a rejection.
+    fn reject(&self, err: ServeError) {
+        match self {
+            Sink::Exact(tx) => drop(tx.send(Err(err))),
+            Sink::Approx(tx) => drop(tx.send(Err(err))),
+            Sink::Tiered(tx) => drop(tx.send(Err(err))),
+        }
+    }
+
+    /// Delivers an exact result (never routed to an `Approx` sink).
+    fn send_exact(self, result: KsprResult) {
+        match self {
+            Sink::Exact(tx) => drop(tx.send(Ok(result))),
+            Sink::Tiered(tx) => drop(tx.send(Ok(TieredResult::Exact(result)))),
+            Sink::Approx(_) => unreachable!("approximate jobs never run exactly"),
+        }
+    }
+
+    /// Delivers an estimate (never routed to an `Exact` sink).
+    fn send_approx(self, estimate: ApproxImpact) {
+        match self {
+            Sink::Approx(tx) => drop(tx.send(Ok(estimate))),
+            Sink::Tiered(tx) => drop(tx.send(Ok(TieredResult::Approximate(estimate)))),
+            Sink::Exact(_) => unreachable!("exact jobs never run approximately"),
+        }
+    }
+}
+
 /// One enqueued query.
 struct QueryJob {
     algorithm: Algorithm,
     focal: Vec<f64>,
     k: usize,
-    tx: mpsc::Sender<Result<KsprResult, ServeError>>,
+    tier: QueryTier,
+    sink: Sink,
 }
 
 enum Msg {
@@ -154,7 +207,49 @@ enum Msg {
     Subscriptions {
         tx: mpsc::Sender<Result<usize, ServeError>>,
     },
+    SubscribeApprox {
+        focal: Vec<f64>,
+        k: usize,
+        budget: ErrorBudget,
+        deltas: mpsc::Sender<ApproxDelta>,
+        tx: mpsc::Sender<Result<(ApproxWatchId, ApproxImpact), ServeError>>,
+    },
+    UnsubscribeApprox {
+        id: ApproxWatchId,
+        /// `None` for the fire-and-forget unsubscribe of
+        /// `ApproxSubscription::drop`.
+        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
+    },
+    ApproxSubscriptions {
+        tx: mpsc::Sender<Result<usize, ServeError>>,
+    },
     Shutdown,
+}
+
+/// Identifier of an approximate standing query (dense, never reused;
+/// separate id space from the exact registry's [`QueryId`]).
+pub type ApproxWatchId = u64;
+
+/// Change notification of an approximate standing query: the estimate was
+/// redrawn because an update possibly moved the true impact.
+#[derive(Debug, Clone)]
+pub struct ApproxDelta {
+    /// The approximate standing query that was re-estimated.
+    pub query: ApproxWatchId,
+    /// The estimate before the update.
+    pub before: ApproxImpact,
+    /// The freshly drawn estimate, valid for the post-update state.
+    pub after: ApproxImpact,
+}
+
+/// One approximate standing query held by the dispatcher: the request, the
+/// current estimate, and the delta channel.
+struct ApproxStanding {
+    focal: Vec<f64>,
+    k: usize,
+    budget: ErrorBudget,
+    estimate: ApproxImpact,
+    deltas: mpsc::Sender<ApproxDelta>,
 }
 
 /// Per-[`ServeError`]-variant rejection counters (see [`ServeStats`]).
@@ -166,6 +261,8 @@ pub struct RejectionStats {
     pub arity_mismatch: u64,
     /// Requests containing NaN / infinite values.
     pub non_finite: u64,
+    /// Requests whose error budget is malformed or too fine to sample for.
+    pub invalid_budget: u64,
     /// Requests for an algorithm the dataset (or the monitor) cannot serve.
     pub unsupported_algorithm: u64,
     /// Queries lost to an engine panic (the server kept serving).
@@ -184,6 +281,7 @@ impl RejectionStats {
         self.invalid_k
             + self.arity_mismatch
             + self.non_finite
+            + self.invalid_budget
             + self.unsupported_algorithm
             + self.query_failed
             + self.update_failed
@@ -196,6 +294,7 @@ impl RejectionStats {
             ServeError::InvalidK => self.invalid_k += 1,
             ServeError::ArityMismatch { .. } => self.arity_mismatch += 1,
             ServeError::NonFinite => self.non_finite += 1,
+            ServeError::InvalidBudget => self.invalid_budget += 1,
             ServeError::UnsupportedAlgorithm => self.unsupported_algorithm += 1,
             ServeError::QueryFailed => self.query_failed += 1,
             ServeError::UpdateFailed => self.update_failed += 1,
@@ -209,6 +308,17 @@ impl RejectionStats {
 pub struct ServeStats {
     /// Queries answered successfully.
     pub queries: u64,
+    /// Queries answered by the exact engine (always:
+    /// `exact_queries + approx_queries == queries`).
+    pub exact_queries: u64,
+    /// Queries answered by the approximate tier.
+    pub approx_queries: u64,
+    /// `Auto`-tier queries the cost estimate routed to the exact engine
+    /// (a subset of `exact_queries`).
+    pub auto_routed_exact: u64,
+    /// `Auto`-tier queries the cost estimate routed to sampling (a subset
+    /// of `approx_queries`).
+    pub auto_routed_approx: u64,
     /// Requests rejected with a [`ServeError`] (total; always equals
     /// [`RejectionStats::total`] of `rejections`).
     pub rejected: u64,
@@ -224,6 +334,14 @@ pub struct ServeStats {
     pub subscriptions: u64,
     /// [`ResultDelta`] notifications delivered to subscribers.
     pub notifications: u64,
+    /// Approximate standing queries registered over the server's lifetime.
+    pub approx_subscriptions: u64,
+    /// [`ApproxDelta`] notifications (re-drawn estimates) delivered.
+    pub approx_notifications: u64,
+    /// (update, approximate standing query) pairs whose estimate stayed
+    /// valid because the update provably preserved the true impact (the
+    /// witness classifier of `kspr-monitor`).
+    pub approx_watch_unaffected: u64,
     /// Standing-query maintenance passes that panicked after a committed
     /// update.  Each one invalidated the registry (subscribers must
     /// re-subscribe); the update itself succeeded, so these are *not*
@@ -287,7 +405,53 @@ impl ServeHandle {
             algorithm,
             focal,
             k,
-            tx,
+            tier: QueryTier::Exact,
+            sink: Sink::Exact(tx),
+        }));
+        ticket
+    }
+
+    /// Enqueues one approximate query: the answer is a market-impact
+    /// estimate meeting `budget` instead of exact regions.  Consecutive
+    /// approximate submissions with the same `(k, budget)` are answered
+    /// through one shared sampling sweep
+    /// ([`ShardedEngine::run_approx_batch`]) — batched separately from the
+    /// exact queries around them.
+    pub fn submit_approx(
+        &self,
+        focal: Vec<f64>,
+        k: usize,
+        budget: ErrorBudget,
+    ) -> Ticket<ApproxImpact> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Query(QueryJob {
+            algorithm: self.algorithm,
+            focal,
+            k,
+            tier: QueryTier::Approximate { budget },
+            sink: Sink::Approx(tx),
+        }));
+        ticket
+    }
+
+    /// Enqueues one query under an explicit per-request [`QueryTier`]; the
+    /// ticket resolves to whichever answer the tier produced (`Auto` is
+    /// routed by the dispatcher's cost estimate at dispatch time, counted in
+    /// [`ServeStats`]).
+    pub fn submit_tiered(
+        &self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+        tier: QueryTier,
+    ) -> Ticket<TieredResult> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::Query(QueryJob {
+            algorithm,
+            focal,
+            k,
+            tier,
+            sink: Sink::Tiered(tx),
         }));
         ticket
     }
@@ -303,7 +467,8 @@ impl ServeHandle {
                 algorithm: self.algorithm,
                 focal,
                 k,
-                tx,
+                tier: QueryTier::Exact,
+                sink: Sink::Exact(tx),
             });
             tickets.push(ticket);
         }
@@ -371,6 +536,134 @@ impl ServeHandle {
         let (tx, ticket) = Ticket::new();
         let _ = self.tx.send(Msg::Subscriptions { tx });
         ticket
+    }
+
+    /// Registers an **approximate standing query**: the dispatcher holds a
+    /// budgeted impact estimate for `focal` and keeps it honest across
+    /// updates — an update that provably preserves the true impact (the
+    /// `kspr-monitor` witness classifier) leaves the estimate untouched
+    /// (its interval still covers the unchanged truth); any other update
+    /// redraws the estimate and pushes an [`ApproxDelta`].  Dropping the
+    /// subscription unregisters it.
+    pub fn subscribe_approx(
+        &self,
+        focal: Vec<f64>,
+        k: usize,
+        budget: ErrorBudget,
+    ) -> ApproxSubscribeTicket {
+        let (delta_tx, delta_rx) = mpsc::channel();
+        let (tx, rx) = mpsc::channel();
+        let _ = self.tx.send(Msg::SubscribeApprox {
+            focal,
+            k,
+            budget,
+            deltas: delta_tx,
+            tx,
+        });
+        ApproxSubscribeTicket {
+            rx,
+            deltas: delta_rx,
+            control: self.tx.clone(),
+        }
+    }
+
+    /// Unregisters an approximate standing query by id; resolves to whether
+    /// it was still registered.
+    pub fn unsubscribe_approx(&self, id: ApproxWatchId) -> Ticket<bool> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::UnsubscribeApprox { id, tx: Some(tx) });
+        ticket
+    }
+
+    /// Number of currently registered approximate standing queries.
+    pub fn approx_subscriptions(&self) -> Ticket<usize> {
+        let (tx, ticket) = Ticket::new();
+        let _ = self.tx.send(Msg::ApproxSubscriptions { tx });
+        ticket
+    }
+}
+
+/// A pending [`ApproxSubscription`]: resolves once the dispatcher has
+/// registered (and initially estimated) the approximate standing query.
+pub struct ApproxSubscribeTicket {
+    rx: mpsc::Receiver<Result<(ApproxWatchId, ApproxImpact), ServeError>>,
+    deltas: mpsc::Receiver<ApproxDelta>,
+    control: mpsc::Sender<Msg>,
+}
+
+impl ApproxSubscribeTicket {
+    /// Blocks until the standing query is registered (or rejected).
+    pub fn wait(self) -> Result<ApproxSubscription, ServeError> {
+        match self.rx.recv() {
+            Ok(Ok((id, initial))) => Ok(ApproxSubscription {
+                id,
+                initial,
+                deltas: self.deltas,
+                control: self.control,
+            }),
+            Ok(Err(err)) => Err(err),
+            Err(mpsc::RecvError) => Err(ServeError::ServerClosed),
+        }
+    }
+}
+
+/// A live approximate standing query: holds the initial estimate and
+/// receives an [`ApproxDelta`] whenever an update forced a re-draw.
+///
+/// Dropping the subscription unregisters the standing query with the
+/// dispatcher, freeing its maintenance state.
+pub struct ApproxSubscription {
+    id: ApproxWatchId,
+    initial: ApproxImpact,
+    deltas: mpsc::Receiver<ApproxDelta>,
+    control: mpsc::Sender<Msg>,
+}
+
+impl std::fmt::Debug for ApproxSubscription {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApproxSubscription")
+            .field("id", &self.id)
+            .field("initial_impact", &self.initial.impact)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ApproxSubscription {
+    /// The standing query's registry id (usable with
+    /// [`ServeHandle::unsubscribe_approx`]).
+    pub fn id(&self) -> ApproxWatchId {
+        self.id
+    }
+
+    /// The estimate at registration time; later states arrive as deltas.
+    pub fn initial(&self) -> &ApproxImpact {
+        &self.initial
+    }
+
+    /// Drains every notification delivered so far without blocking.
+    pub fn poll(&self) -> Vec<ApproxDelta> {
+        let mut out = Vec::new();
+        while let Ok(delta) = self.deltas.try_recv() {
+            out.push(delta);
+        }
+        out
+    }
+
+    /// Blocks until the next notification; `None` means this subscription
+    /// will never be notified again (server shutdown, or a failed
+    /// maintenance pass invalidated the approximate registry — re-subscribe
+    /// to resume watching).
+    pub fn recv(&self) -> Option<ApproxDelta> {
+        self.deltas.recv().ok()
+    }
+}
+
+impl Drop for ApproxSubscription {
+    fn drop(&mut self) {
+        let _ = self.control.send(Msg::UnsubscribeApprox {
+            id: self.id,
+            tx: None,
+        });
     }
 }
 
@@ -529,15 +822,48 @@ fn ingest_error(err: kspr::IngestError) -> ServeError {
 }
 
 /// Validates a query against the engine's arity rules (the focal record must
-/// satisfy the same shape rules as ingested records).
+/// satisfy the same shape rules as ingested records).  The RTOPK
+/// dimensionality rule only applies when the exact engine can run — a
+/// purely approximate job never consults the algorithm.
 fn validate_query(engine: &ShardedEngine, job: &QueryJob) -> Result<(), ServeError> {
     if job.k == 0 {
         return Err(ServeError::InvalidK);
     }
-    if job.algorithm == Algorithm::Rtopk && engine.dim() != 2 {
+    let may_run_exact = !matches!(job.tier, QueryTier::Approximate { .. });
+    if may_run_exact && job.algorithm == Algorithm::Rtopk && engine.dim() != 2 {
         return Err(ServeError::UnsupportedAlgorithm);
     }
+    match job.tier {
+        QueryTier::Exact => {}
+        QueryTier::Approximate { budget } | QueryTier::Auto { budget, .. } => {
+            validate_budget(&budget)?;
+        }
+    }
     kspr::check_record(&job.focal, Some(engine.dim())).map_err(ingest_error)
+}
+
+/// Largest Hoeffding sample count the server accepts per estimate.  The
+/// budget is client-supplied and its sample count grows as `1/epsilon²`:
+/// without a cap, one `submit_approx` with a pathological epsilon would
+/// materialize gigabytes of sample points on the serialized dispatcher
+/// thread (an allocation failure is not a catchable panic — it would take
+/// the whole server down, defeating the reject-don't-crash ingest rules).
+/// `2^20` samples (~1 M, epsilon ≈ 0.0013 at 95% confidence) is far below
+/// any memory hazard and far finer than region-volume noise justifies.
+pub const MAX_APPROX_SAMPLES: usize = 1 << 20;
+
+/// Validates a client-supplied error budget: the fields must be genuine
+/// probabilities (the `ErrorBudget` fields are public, so `new()`'s checks
+/// can be bypassed) and the implied sample count must stay serveable.
+fn validate_budget(budget: &ErrorBudget) -> Result<(), ServeError> {
+    let in_unit = |v: f64| v.is_finite() && v > 0.0 && v < 1.0;
+    if !in_unit(budget.epsilon) || !in_unit(budget.confidence) {
+        return Err(ServeError::InvalidBudget);
+    }
+    if budget.samples() > MAX_APPROX_SAMPLES {
+        return Err(ServeError::InvalidBudget);
+    }
+    Ok(())
 }
 
 /// Validates an insert payload.
@@ -545,26 +871,88 @@ fn validate_insert(engine: &ShardedEngine, values: &[f64]) -> Result<(), ServeEr
     kspr::check_record(values, Some(engine.dim())).map_err(ingest_error)
 }
 
-/// Executes a batch of dequeued queries: rejects invalid jobs, groups the
-/// valid ones by `(algorithm, k)` and answers each group with one
-/// `run_batch` call.
-fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats) {
-    let mut groups: Vec<((Algorithm, usize), Vec<QueryJob>)> = Vec::new();
+/// Grouping key of an approximate batch: `k` plus the bit patterns of the
+/// budget (estimates only share a sweep when they ask the same question to
+/// the same accuracy).
+type ApproxKey = (usize, u64, u64);
+
+fn approx_key(k: usize, budget: &ErrorBudget) -> ApproxKey {
+    (k, budget.epsilon.to_bits(), budget.confidence.to_bits())
+}
+
+/// Executes a batch of dequeued queries: rejects invalid jobs, resolves each
+/// job's tier (`Auto` routes by the dispatcher's cost estimate, counted in
+/// [`ServeStats`]), then answers **exact jobs** grouped by `(algorithm, k)`
+/// through one `run_batch` call each and **approximate jobs** — batched
+/// separately — grouped by `(k, budget)` through one shared sampling sweep
+/// each.
+fn run_jobs(
+    engine: &ShardedEngine,
+    jobs: Vec<QueryJob>,
+    stats: &mut ServeStats,
+    approx_seed: &mut u64,
+) {
+    /// One validated, tier-resolved job.  `auto` marks jobs the `Auto` tier
+    /// routed, so the routing counters can be committed only when the job is
+    /// actually answered (a failed batch must not leave `auto_routed_*`
+    /// claiming more routed queries than `exact_/approx_queries` served).
+    struct Routed {
+        focal: Vec<f64>,
+        sink: Sink,
+        auto: bool,
+    }
+
+    let mut exact_groups: Vec<((Algorithm, usize), Vec<Routed>)> = Vec::new();
+    let mut approx_groups: Vec<((ApproxKey, ErrorBudget), Vec<Routed>)> = Vec::new();
     for job in jobs {
         if let Err(err) = validate_query(engine, &job) {
             stats.reject(&err);
-            let _ = job.tx.send(Err(err));
+            job.sink.reject(err);
             continue;
         }
-        let key = (job.algorithm, job.k);
-        match groups.iter_mut().find(|(k, _)| *k == key) {
-            Some((_, group)) => group.push(job),
-            None => groups.push((key, vec![job])),
+        // Resolve the tier.  The Auto decision depends only on dataset
+        // statistics and k, so it is made once per job at dispatch time and
+        // the job then batches with its resolved tier.  The cost probe runs
+        // the same engine machinery as a query (merged-engine build, shared
+        // prep), so it gets the same panic guard.
+        let auto = matches!(job.tier, QueryTier::Auto { .. });
+        let budget = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            job.tier.resolve(|| engine.estimated_cost(job.k))
+        })) {
+            Ok(budget) => budget,
+            Err(_) => {
+                stats.reject(&ServeError::QueryFailed);
+                job.sink.reject(ServeError::QueryFailed);
+                continue;
+            }
+        };
+        let routed = Routed {
+            focal: job.focal,
+            sink: job.sink,
+            auto,
+        };
+        match budget {
+            None => {
+                let key = (job.algorithm, job.k);
+                match exact_groups.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, group)) => group.push(routed),
+                    None => exact_groups.push((key, vec![routed])),
+                }
+            }
+            Some(budget) => {
+                let key = approx_key(job.k, &budget);
+                match approx_groups.iter_mut().find(|((k, _), _)| *k == key) {
+                    Some((_, group)) => group.push(routed),
+                    None => approx_groups.push(((key, budget), vec![routed])),
+                }
+            }
         }
     }
-    for ((algorithm, k), group) in groups {
-        let (focals, txs): (Vec<Vec<f64>>, Vec<_>) =
-            group.into_iter().map(|j| (j.focal, j.tx)).unzip();
+
+    for ((algorithm, k), group) in exact_groups {
+        let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
+        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
+            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
         // Defense in depth: a panic inside the engine must not take the
         // dispatcher thread (and with it every pending ticket) down.  The
         // engine's caches recover from lock poisoning by rebuilding, so
@@ -576,15 +964,46 @@ fn run_jobs(engine: &ShardedEngine, jobs: Vec<QueryJob>, stats: &mut ServeStats)
             Ok(results) => {
                 stats.batches += 1;
                 stats.queries += focals.len() as u64;
+                stats.exact_queries += focals.len() as u64;
+                stats.auto_routed_exact += auto_routed;
                 stats.largest_batch = stats.largest_batch.max(focals.len());
-                for (tx, result) in txs.into_iter().zip(results) {
-                    let _ = tx.send(Ok(result));
+                for (sink, result) in sinks.into_iter().zip(results) {
+                    sink.send_exact(result);
                 }
             }
             Err(_) => {
-                for tx in txs {
+                for sink in sinks {
                     stats.reject(&ServeError::QueryFailed);
-                    let _ = tx.send(Err(ServeError::QueryFailed));
+                    sink.reject(ServeError::QueryFailed);
+                }
+            }
+        }
+    }
+
+    for (((k, _, _), budget), group) in approx_groups {
+        let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
+        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
+            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
+        let seed = *approx_seed;
+        *approx_seed = approx_seed.wrapping_add(1);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            engine.run_approx_batch(&focals, k, &budget, seed)
+        }));
+        match outcome {
+            Ok(estimates) => {
+                stats.batches += 1;
+                stats.queries += focals.len() as u64;
+                stats.approx_queries += focals.len() as u64;
+                stats.auto_routed_approx += auto_routed;
+                stats.largest_batch = stats.largest_batch.max(focals.len());
+                for (sink, estimate) in sinks.into_iter().zip(estimates) {
+                    sink.send_approx(estimate);
+                }
+            }
+            Err(_) => {
+                for sink in sinks {
+                    stats.reject(&ServeError::QueryFailed);
+                    sink.reject(ServeError::QueryFailed);
                 }
             }
         }
@@ -649,6 +1068,74 @@ fn maintain_standing(
     }
 }
 
+/// Maintains every **approximate** standing query for one committed update:
+/// an update the witness classifier proves impact-preserving leaves the held
+/// estimate untouched (it is still a valid draw for the unchanged truth);
+/// anything else redraws the estimate against the post-update state and
+/// pushes an [`ApproxDelta`].  A panic inside the re-estimation invalidates
+/// the approximate registry exactly like the exact registry (subscribers
+/// re-subscribe), since a half-maintained watch set would silently serve
+/// stale estimates.
+fn maintain_approx_watch(
+    engine: &ShardedEngine,
+    watch: &mut HashMap<ApproxWatchId, ApproxStanding>,
+    stats: &mut ServeStats,
+    values: &[f64],
+    approx_seed: &mut u64,
+) {
+    if watch.is_empty() {
+        return;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut updates: Vec<(ApproxWatchId, ApproxImpact)> = Vec::new();
+        let mut unaffected = 0u64;
+        // Deterministic maintenance order (ids are dense and never reused).
+        let mut ids: Vec<ApproxWatchId> = watch.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let standing = &watch[&id];
+            if update_preserves_impact(engine, &standing.focal, standing.k, values) {
+                unaffected += 1;
+                continue;
+            }
+            let seed = *approx_seed;
+            *approx_seed = approx_seed.wrapping_add(1);
+            let fresh = engine
+                .run_approx_batch(
+                    std::slice::from_ref(&standing.focal),
+                    standing.k,
+                    &standing.budget,
+                    seed,
+                )
+                .pop()
+                .expect("one focal in, one estimate out");
+            updates.push((id, fresh));
+        }
+        (updates, unaffected)
+    }));
+    match outcome {
+        Ok((updates, unaffected)) => {
+            stats.approx_watch_unaffected += unaffected;
+            for (id, fresh) in updates {
+                let standing = watch.get_mut(&id).expect("maintained id is registered");
+                let before = std::mem::replace(&mut standing.estimate, fresh.clone());
+                let delta = ApproxDelta {
+                    query: id,
+                    before,
+                    after: fresh,
+                };
+                if standing.deltas.send(delta).is_ok() {
+                    stats.approx_notifications += 1;
+                }
+            }
+        }
+        Err(_) => {
+            stats.maintenance_failures += 1;
+            watch.clear();
+        }
+    }
+}
+
 /// The dispatcher loop: drain the queue, batch consecutive queries, apply
 /// updates in arrival order, and maintain the standing-query registry.
 fn dispatch(
@@ -660,6 +1147,12 @@ fn dispatch(
     let mut carry: VecDeque<Msg> = VecDeque::new();
     let mut monitor = Monitor::new();
     let mut subscribers: HashMap<QueryId, mpsc::Sender<ResultDelta>> = HashMap::new();
+    let mut approx_watch: HashMap<ApproxWatchId, ApproxStanding> = HashMap::new();
+    let mut next_approx_id: ApproxWatchId = 0;
+    // Seed stream of the sampling tier: one fresh seed per sweep, so
+    // estimates are deterministic per server run without ever reusing a
+    // sample stream.
+    let mut approx_seed: u64 = 0x5EED_AB5E;
     loop {
         let msg = match carry.pop_front() {
             Some(msg) => msg,
@@ -675,7 +1168,8 @@ fn dispatch(
                 Ok(()) => {
                     // The monitor needs the inserted values after the engine
                     // consumed them; only pay the clone when someone watches.
-                    let watched = (!monitor.is_empty()).then(|| values.clone());
+                    let watched =
+                        (!monitor.is_empty() || !approx_watch.is_empty()).then(|| values.clone());
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                         engine.insert(values)
                     }));
@@ -696,6 +1190,13 @@ fn dispatch(
                                     &mut subscribers,
                                     &mut stats,
                                     |monitor| monitor.apply_insert(&engine, &values),
+                                );
+                                maintain_approx_watch(
+                                    &engine,
+                                    &mut approx_watch,
+                                    &mut stats,
+                                    &values,
+                                    &mut approx_seed,
                                 );
                             }
                         }
@@ -728,6 +1229,13 @@ fn dispatch(
                                 &mut subscribers,
                                 &mut stats,
                                 |monitor| monitor.apply_delete(&engine, &values),
+                            );
+                            maintain_approx_watch(
+                                &engine,
+                                &mut approx_watch,
+                                &mut stats,
+                                &values,
+                                &mut approx_seed,
                             );
                         }
                     }
@@ -781,6 +1289,74 @@ fn dispatch(
             Msg::Subscriptions { tx } => {
                 let _ = tx.send(Ok(monitor.len()));
             }
+            Msg::SubscribeApprox {
+                focal,
+                k,
+                budget,
+                deltas,
+                tx,
+            } => {
+                let valid = if k == 0 {
+                    Err(ServeError::InvalidK)
+                } else {
+                    validate_budget(&budget).and_then(|()| {
+                        kspr::check_record(&focal, Some(engine.dim())).map_err(ingest_error)
+                    })
+                };
+                match valid {
+                    Ok(()) => {
+                        let seed = approx_seed;
+                        approx_seed = approx_seed.wrapping_add(1);
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine
+                                    .run_approx_batch(
+                                        std::slice::from_ref(&focal),
+                                        k,
+                                        &budget,
+                                        seed,
+                                    )
+                                    .pop()
+                                    .expect("one focal in, one estimate out")
+                            }));
+                        match outcome {
+                            Ok(initial) => {
+                                let id = next_approx_id;
+                                next_approx_id += 1;
+                                stats.approx_subscriptions += 1;
+                                approx_watch.insert(
+                                    id,
+                                    ApproxStanding {
+                                        focal,
+                                        k,
+                                        budget,
+                                        estimate: initial.clone(),
+                                        deltas,
+                                    },
+                                );
+                                let _ = tx.send(Ok((id, initial)));
+                            }
+                            Err(_) => {
+                                stats.reject(&ServeError::QueryFailed);
+                                let _ = tx.send(Err(ServeError::QueryFailed));
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        stats.reject(&err);
+                        let _ = tx.send(Err(err));
+                    }
+                }
+            }
+            Msg::UnsubscribeApprox { id, tx } => {
+                let removed = approx_watch.remove(&id).is_some();
+                if let Some(tx) = tx {
+                    let _ = tx.send(Ok(removed));
+                }
+            }
+            Msg::ApproxSubscriptions { tx } => {
+                let _ = tx.send(Ok(approx_watch.len()));
+            }
             Msg::Query(job) => {
                 // Batched dequeue: greedily pull further *consecutive*
                 // queries (updates act as barriers, preserving FIFO
@@ -800,9 +1376,9 @@ fn dispatch(
                         Err(_) => break,
                     }
                 }
-                run_jobs(&engine, batch, &mut stats);
+                run_jobs(&engine, batch, &mut stats, &mut approx_seed);
             }
-            Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats),
+            Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats, &mut approx_seed),
         }
     }
     stats.monitor = monitor.stats();
@@ -1127,6 +1703,296 @@ mod tests {
             }
             assert_eq!(current, direct.num_regions(), "after delete");
         }
+    }
+
+    #[test]
+    fn tier_counters_are_consistent_with_totals() {
+        use kspr::ErrorBudget;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let budget = ErrorBudget::new(0.1, 0.9);
+
+        // Two exact queries (legacy + tiered), two approximate (dedicated +
+        // tiered), and two Auto queries forced one to each side by extreme
+        // thresholds.
+        let focal = vec![0.5, 0.5, 0.7];
+        handle.submit(focal.clone(), 2).wait().expect("exact");
+        let tiered_exact = handle
+            .submit_tiered(Algorithm::LpCta, focal.clone(), 2, QueryTier::Exact)
+            .wait()
+            .expect("tiered exact");
+        assert!(tiered_exact.is_exact());
+        let est = handle
+            .submit_approx(focal.clone(), 2, budget)
+            .wait()
+            .expect("approx");
+        assert!(est.half_width <= budget.epsilon + 1e-12);
+        let tiered_approx = handle
+            .submit_tiered(
+                Algorithm::LpCta,
+                focal.clone(),
+                2,
+                QueryTier::approximate(budget),
+            )
+            .wait()
+            .expect("tiered approx");
+        assert!(!tiered_approx.is_exact());
+        for (threshold, expect_exact) in [(f64::INFINITY, true), (0.0, false)] {
+            let routed = handle
+                .submit_tiered(
+                    Algorithm::LpCta,
+                    focal.clone(),
+                    2,
+                    QueryTier::Auto {
+                        budget,
+                        cost_threshold: threshold,
+                    },
+                )
+                .wait()
+                .expect("auto");
+            assert_eq!(routed.is_exact(), expect_exact);
+        }
+
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.queries, 6);
+        assert_eq!(stats.exact_queries, 3, "submit + tiered exact + auto-exact");
+        assert_eq!(
+            stats.approx_queries, 3,
+            "submit_approx + tiered approx + auto-approx"
+        );
+        assert_eq!(
+            stats.exact_queries + stats.approx_queries,
+            stats.queries,
+            "per-tier counters must add up to the total"
+        );
+        assert_eq!(stats.auto_routed_exact, 1);
+        assert_eq!(stats.auto_routed_approx, 1);
+        assert!(stats.auto_routed_exact <= stats.exact_queries);
+        assert!(stats.auto_routed_approx <= stats.approx_queries);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn approx_submissions_batch_separately_from_exact_ones() {
+        use kspr::ErrorBudget;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let budget = ErrorBudget::new(0.1, 0.9);
+        // Interleaved same-(k,budget) approximate and same-(algorithm,k)
+        // exact submissions: the greedy drain groups them into one sweep and
+        // one run_batch.  Submit everything before waiting so the dispatcher
+        // sees the whole burst at once.
+        let mut approx_tickets = Vec::new();
+        let mut exact_tickets = Vec::new();
+        for i in 0..4 {
+            let focal = vec![0.4 + 0.05 * i as f64, 0.5, 0.6];
+            approx_tickets.push(handle.submit_approx(focal.clone(), 3, budget));
+            exact_tickets.push(handle.submit(focal, 3));
+        }
+        for t in approx_tickets {
+            t.wait().expect("approx query");
+        }
+        for t in exact_tickets {
+            t.wait().expect("exact query");
+        }
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.queries, 8);
+        assert_eq!(stats.exact_queries, 4);
+        assert_eq!(stats.approx_queries, 4);
+        assert!(
+            stats.batches <= 4,
+            "the burst must batch (got {} batches), not run one-by-one",
+            stats.batches
+        );
+    }
+
+    #[test]
+    fn approx_estimates_match_direct_engine_estimates() {
+        use kspr::ErrorBudget;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let budget = ErrorBudget::new(0.08, 0.9);
+        // The dispatcher's seed stream starts at a fixed constant, so the
+        // first sweep is reproducible against a direct engine call.
+        let est = handle
+            .submit_approx(vec![0.5, 0.5, 0.7], 3, budget)
+            .wait()
+            .expect("approx");
+        let direct = demo_engine(2)
+            .run_approx_batch(&[vec![0.5, 0.5, 0.7]], 3, &budget, 0x5EED_AB5E)
+            .pop()
+            .unwrap();
+        assert_eq!(est.impact, direct.impact);
+        assert_eq!(est.samples, direct.samples);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.approx_queries, 1);
+    }
+
+    #[test]
+    fn invalid_approx_requests_are_rejected_not_fatal() {
+        use kspr::ErrorBudget;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        let budget = ErrorBudget::new(0.1, 0.9);
+        assert_eq!(
+            handle
+                .submit_approx(vec![0.5, 0.5, 0.7], 0, budget)
+                .wait()
+                .unwrap_err(),
+            ServeError::InvalidK
+        );
+        assert_eq!(
+            handle
+                .submit_approx(vec![0.5, 0.5], 2, budget)
+                .wait()
+                .unwrap_err(),
+            ServeError::ArityMismatch {
+                expected: 3,
+                got: 2
+            }
+        );
+        assert_eq!(
+            handle
+                .subscribe_approx(vec![f64::NAN, 0.5, 0.7], 2, budget)
+                .wait()
+                .unwrap_err(),
+            ServeError::NonFinite
+        );
+        // RTOPK on 3-D data: rejected for exact-capable tiers, but a purely
+        // approximate request never consults the algorithm, so it passes.
+        assert!(handle
+            .submit_tiered(
+                Algorithm::Rtopk,
+                vec![0.5, 0.5, 0.7],
+                2,
+                QueryTier::approximate(budget)
+            )
+            .wait()
+            .is_ok());
+        assert_eq!(
+            handle
+                .submit_tiered(Algorithm::Rtopk, vec![0.5, 0.5, 0.7], 2, QueryTier::Exact)
+                .wait()
+                .unwrap_err(),
+            ServeError::UnsupportedAlgorithm
+        );
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejected, 4);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+    }
+
+    #[test]
+    fn pathological_budgets_are_rejected_not_sampled() {
+        use kspr::ErrorBudget;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        // Too fine: the Hoeffding sample count would exceed the server cap
+        // (and, unchecked, would try to materialize gigabytes of samples).
+        let too_fine = ErrorBudget {
+            epsilon: 1e-5,
+            confidence: 0.95,
+        };
+        assert_eq!(
+            handle
+                .submit_approx(vec![0.5, 0.5, 0.7], 2, too_fine)
+                .wait()
+                .unwrap_err(),
+            ServeError::InvalidBudget
+        );
+        // Malformed: the public fields bypass ErrorBudget::new's checks.
+        for bad in [
+            ErrorBudget {
+                epsilon: -0.1,
+                confidence: 0.9,
+            },
+            ErrorBudget {
+                epsilon: f64::NAN,
+                confidence: 0.9,
+            },
+            ErrorBudget {
+                epsilon: 0.1,
+                confidence: 1.0,
+            },
+        ] {
+            assert_eq!(
+                handle
+                    .submit_tiered(
+                        Algorithm::LpCta,
+                        vec![0.5, 0.5, 0.7],
+                        2,
+                        QueryTier::approximate(bad)
+                    )
+                    .wait()
+                    .unwrap_err(),
+                ServeError::InvalidBudget
+            );
+        }
+        assert_eq!(
+            handle
+                .subscribe_approx(vec![0.5, 0.5, 0.7], 2, too_fine)
+                .wait()
+                .unwrap_err(),
+            ServeError::InvalidBudget
+        );
+        // A sane budget still serves afterwards.
+        let ok = handle
+            .submit_approx(vec![0.5, 0.5, 0.7], 2, ErrorBudget::new(0.1, 0.9))
+            .wait();
+        assert!(ok.is_ok(), "the server must survive budget rejections");
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejected, 5);
+        assert_eq!(stats.rejections.invalid_budget, 5);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+        assert_eq!(stats.approx_queries, 1);
+    }
+
+    #[test]
+    fn approx_subscriptions_redraw_only_when_the_impact_can_move() {
+        use kspr::ErrorBudget;
+        let server = Server::start(
+            ShardedEngine::empty(2, KsprConfig::default().with_shards(2)),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let sub = handle
+            .subscribe_approx(vec![0.5, 0.5], 1, budget)
+            .wait()
+            .expect("subscribe");
+        assert_eq!(sub.initial().impact, 1.0, "no competitor: certain top-1");
+
+        // A dominator definitely moves the impact: the estimate is redrawn.
+        let id = handle.insert(vec![0.9, 0.9]).wait().expect("insert");
+        let delta = sub.recv().expect("dominator insert notifies");
+        assert_eq!(delta.query, sub.id());
+        assert_eq!(delta.before.impact, 1.0);
+        assert_eq!(delta.after.impact, 0.0, "a dominator ends every top-1 hope");
+
+        // An update the focal record dominates is witnessed away: no
+        // notification, counted as unaffected.
+        let invisible = handle.insert(vec![0.1, 0.1]).wait().expect("insert");
+        assert_eq!(handle.delete(invisible).wait(), Ok(true));
+        // Serialize behind the updates before polling.
+        assert_eq!(handle.approx_subscriptions().wait(), Ok(1));
+        assert!(
+            sub.poll().is_empty(),
+            "impact-preserving updates must not redraw"
+        );
+
+        // Deleting the dominator moves the impact back; redrawn again.
+        assert_eq!(handle.delete(id).wait(), Ok(true));
+        let delta = sub.recv().expect("dominator delete notifies");
+        assert_eq!(delta.after.impact, 1.0);
+
+        drop(sub);
+        assert_eq!(handle.approx_subscriptions().wait(), Ok(0), "drop frees");
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.approx_subscriptions, 1);
+        assert_eq!(stats.approx_notifications, 2);
+        assert_eq!(
+            stats.approx_watch_unaffected, 2,
+            "the invisible insert + delete classified away"
+        );
     }
 
     #[test]

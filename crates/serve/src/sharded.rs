@@ -44,9 +44,10 @@
 //! configuration bit-for-bit identical to the plain engine.
 
 use kspr::{
-    Algorithm, Dataset, DatasetStore, KsprConfig, KsprResult, PreferenceSpace, QueryEngine,
-    QueryStats, RecordId,
+    Algorithm, ApproxImpact, ApproxOptions, Dataset, DatasetStore, ErrorBudget, KsprConfig,
+    KsprResult, PreferenceSpace, QueryEngine, QueryStats, QueryTier, RecordId,
 };
+use kspr_approx::{arrangement_cost, pool_estimates, ApproxEngine, PartialEstimate, TieredResult};
 use kspr_spatial::{AggregateRTree, Record};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -376,6 +377,185 @@ impl ShardedEngine {
         }
     }
 
+    // -----------------------------------------------------------------------
+    // The approximate tier
+    // -----------------------------------------------------------------------
+
+    /// Estimates the market impact of every focal record to `budget` by
+    /// fanning the sampling work across the shard pool (see
+    /// [`ShardedEngine::run_approx_batch_with`]).
+    pub fn run_approx_batch(
+        &self,
+        focals: &[Vec<f64>],
+        k: usize,
+        budget: &ErrorBudget,
+        seed: u64,
+    ) -> Vec<ApproxImpact> {
+        self.run_approx_batch_with(focals, k, budget, seed, &ApproxOptions::default())
+    }
+
+    /// The approximate tier of the sharded engine: the total sample budget
+    /// is **allocated across shards proportionally to their live-record
+    /// counts** (each shard's worker draws its own independent sub-stream;
+    /// the split shards the sampling *work* and keeps each shard's partial
+    /// estimate meaningful telemetry — it cannot change the pooled
+    /// distribution, since every sub-stream is i.i.d. uniform), every probe
+    /// runs against the **merged candidate snapshot** — the union of
+    /// per-shard k-skybands, the same result-preserving candidate set the
+    /// exact merge queries (top-`k` membership is pointwise identical on
+    /// it, so the estimator stays unbiased for the full-dataset impact) —
+    /// and the per-shard partial estimates **merge by pooling**:
+    /// hit and sample counts sum, and the combined Hoeffding interval is
+    /// taken over the pooled sample count, so the reported half-width meets
+    /// the budget exactly as a single-stream estimate would.
+    ///
+    /// The candidate snapshot is epoch-consistent (a reference-counted
+    /// dataset handle; updates copy-on-write), so an insert or delete
+    /// landing mid-flight can never skew an estimate half-way through its
+    /// stream.  With no live competitor every preference is trivially a hit:
+    /// the estimate is exactly `1.0` (the hit sketch is not materialized in
+    /// that case).
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or any focal arity does not match the dataset.
+    pub fn run_approx_batch_with(
+        &self,
+        focals: &[Vec<f64>],
+        k: usize,
+        budget: &ErrorBudget,
+        seed: u64,
+        options: &ApproxOptions,
+    ) -> Vec<ApproxImpact> {
+        assert!(k >= 1, "k must be at least 1");
+        assert!(
+            focals.iter().all(|f| f.len() == self.dim),
+            "focal record arity must match the dataset"
+        );
+        let total_samples = budget.samples();
+        // Both arms go through `from_engine`: it samples the configured
+        // preference space (`KsprConfig::space` — the original-space pools
+        // must not draw from the transformed simplex) and restricts probes
+        // to the engine's cached k-skyband.  For the merged engine that band
+        // is the band *of the union*, a further result-preserving pruning on
+        // top of the union itself.
+        let sampler = match self.single_shard_engine() {
+            Some(engine) => Some(ApproxEngine::from_engine(engine, k)),
+            None => self
+                .merged_engine(k)
+                .map(|engine| ApproxEngine::from_engine(&engine, k)),
+        };
+        let sampler = match sampler {
+            Some(sampler) if sampler.num_candidates() > 0 => sampler,
+            _ => {
+                // No live competitor anywhere: the focal record is top-1 for
+                // every preference, with zero estimation error.
+                let half_width = budget.half_width(total_samples);
+                return focals
+                    .iter()
+                    .map(|_| ApproxImpact {
+                        impact: 1.0,
+                        half_width,
+                        samples: total_samples,
+                        hits: Vec::new(),
+                    })
+                    .collect();
+            }
+        };
+
+        let allocation = self.allocate_samples(total_samples);
+        let partials: Vec<PartialEstimate> = allocation
+            .par_iter()
+            .map(|&(shard, samples)| {
+                sampler.sample_batch(focals, samples, Self::shard_seed(seed, shard), options)
+            })
+            .collect();
+        pool_estimates(partials, budget.confidence)
+    }
+
+    /// Splits `total` samples across the shards proportionally to their
+    /// live-record counts (shards with no live record draw nothing; rounding
+    /// remainders go to the earliest contributing shards, so the allocation
+    /// always sums to `total`).  A pool with no live record at all assigns
+    /// everything to shard 0 — the caller has already short-circuited the
+    /// no-competitor answer by then, this only keeps the split total.
+    fn allocate_samples(&self, total: usize) -> Vec<(usize, usize)> {
+        let sizes = self.shard_sizes();
+        let live_total: usize = sizes.iter().sum();
+        if live_total == 0 {
+            return vec![(0, total)];
+        }
+        let mut allocation: Vec<(usize, usize)> = sizes
+            .iter()
+            .enumerate()
+            .filter(|&(_, &live)| live > 0)
+            .map(|(shard, &live)| (shard, total * live / live_total))
+            .collect();
+        let assigned: usize = allocation.iter().map(|&(_, n)| n).sum();
+        for slot in 0..(total - assigned) {
+            let idx = slot % allocation.len();
+            allocation[idx].1 += 1;
+        }
+        allocation.retain(|&(_, n)| n > 0);
+        allocation
+    }
+
+    /// Per-shard sample-stream seed.  Shard 0 keeps the caller's seed, so a
+    /// single-shard pool draws the exact stream a plain [`ApproxEngine`]
+    /// would.
+    fn shard_seed(seed: u64, shard: usize) -> u64 {
+        seed.wrapping_add((shard as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// The `Auto`-tier arrangement-cost estimate at rank threshold `k`: the
+    /// cell-count bound `candidates^work_dim` of the merged candidate set
+    /// (the single-shard pool asks its engine directly) — `0.0` with no live
+    /// record.
+    pub fn estimated_cost(&self, k: usize) -> f64 {
+        if let Some(single) = self.single_shard_engine() {
+            return kspr_approx::estimated_cost(single, k);
+        }
+        let candidates = self.merged_candidates(k);
+        if candidates == 0 {
+            return 0.0;
+        }
+        let work_dim = PreferenceSpace::new(self.dim, self.config.space).work_dim();
+        arrangement_cost(candidates, work_dim)
+    }
+
+    /// True iff an `Auto`-tier query at rank threshold `k` runs on the exact
+    /// engine under `cost_threshold` (see [`QueryTier::Auto`]).
+    pub fn auto_routes_exact(&self, k: usize, cost_threshold: f64) -> bool {
+        self.estimated_cost(k) <= cost_threshold
+    }
+
+    /// Answers a batch through an explicit [`QueryTier`]: `Exact` is a pure
+    /// passthrough to [`ShardedEngine::run_batch`], `Approximate` samples to
+    /// the budget ([`ShardedEngine::run_approx_batch`]), and `Auto` routes
+    /// the whole batch by [`ShardedEngine::auto_routes_exact`] (the decision
+    /// is focal-independent).  `seed` drives the sampler only.
+    pub fn run_tiered_batch(
+        &self,
+        algorithm: Algorithm,
+        focals: &[Vec<f64>],
+        k: usize,
+        tier: QueryTier,
+        seed: u64,
+    ) -> Vec<TieredResult> {
+        let budget = tier.resolve(|| self.estimated_cost(k));
+        match budget {
+            None => self
+                .run_batch(algorithm, focals, k)
+                .into_iter()
+                .map(TieredResult::Exact)
+                .collect(),
+            Some(budget) => self
+                .run_approx_batch(focals, k, &budget, seed)
+                .into_iter()
+                .map(TieredResult::Approximate)
+                .collect(),
+        }
+    }
+
     /// The pass-through engine of the `shards = 1` configuration, if any.
     fn single_shard_engine(&self) -> Option<&QueryEngine> {
         match &self.shards[..] {
@@ -394,12 +574,6 @@ impl ShardedEngine {
         }
         result
     }
-
-    /// Upper bound on the number of cached merged engines.  `k` is
-    /// client-supplied, so without a cap a stream cycling `k` values would
-    /// retain one full candidate engine (dataset + R-tree + prep cache) per
-    /// distinct `k` until the next update.
-    const MERGED_CACHE_MAX: usize = 8;
 
     /// Fetches (or builds) the merged candidate engine for rank threshold
     /// `k`: the union of the per-shard k-skybands, deduplicated by global id
@@ -472,10 +646,11 @@ impl ShardedEngine {
         members.sort_by_key(|&(global, _)| global);
         let raw: Vec<Vec<f64>> = members.into_iter().map(|(_, values)| values).collect();
         let engine = Arc::new(QueryEngine::new(&Dataset::new(raw), self.config.clone()));
-        if cache.engines.len() >= Self::MERGED_CACHE_MAX {
+        if cache.engines.len() >= self.config.merged_cache_cap {
             // Evict only the largest cached k — it holds the biggest
             // candidate set — and keep the other hot entries warm (a full
-            // clear would force every k to rebuild on its next query).
+            // clear would force every k to rebuild on its next query).  The
+            // cap is [`KsprConfig::merged_cache_cap`].
             if let Some(&evict) = cache.engines.keys().max() {
                 cache.engines.remove(&evict);
             }
@@ -601,16 +776,267 @@ mod tests {
             1,
             "k' <= k must reuse the cached engine, not build new ones"
         );
-        // A sweep over many distinct (ascending) k values stays bounded.
-        // Queries through merged_candidates only exercise the cache, not a
-        // full query, which keeps this cheap.
-        for k in 5..=(2 * ShardedEngine::MERGED_CACHE_MAX) {
+        // A sweep over many distinct (ascending) k values stays bounded by
+        // the configured cap.  Queries through merged_candidates only
+        // exercise the cache, not a full query, which keeps this cheap.
+        let cap = sharded.config().merged_cache_cap;
+        for k in 5..=(2 * cap) {
             let _ = sharded.merged_candidates(k);
         }
         assert!(
-            sharded.merged.lock().unwrap().engines.len() <= ShardedEngine::MERGED_CACHE_MAX,
+            sharded.merged.lock().unwrap().engines.len() <= cap,
             "client-supplied k must not grow the merged cache without bound"
         );
+    }
+
+    /// Cached k values of the merged candidate cache, sorted.
+    fn cached_ks(sharded: &ShardedEngine) -> Vec<usize> {
+        let mut ks: Vec<usize> = sharded
+            .merged
+            .lock()
+            .unwrap()
+            .engines
+            .keys()
+            .copied()
+            .collect();
+        ks.sort_unstable();
+        ks
+    }
+
+    #[test]
+    fn merged_cache_cap_is_configurable_and_evicts_largest_first() {
+        let raw = random_raw(80, 3, 19);
+        let sharded = ShardedEngine::new(
+            raw,
+            KsprConfig::default()
+                .with_shards(3)
+                .with_merged_cache_cap(3),
+        );
+        for k in [2, 3, 4] {
+            let _ = sharded.merged_candidates(k);
+        }
+        assert_eq!(cached_ks(&sharded), vec![2, 3, 4]);
+        // A fourth distinct k evicts the largest cached k (the biggest
+        // candidate set), never the small hot entries.
+        let _ = sharded.merged_candidates(5);
+        assert_eq!(cached_ks(&sharded), vec![2, 3, 5], "k=4 must be evicted");
+        let _ = sharded.merged_candidates(10);
+        assert_eq!(cached_ks(&sharded), vec![2, 3, 10], "k=5 must be evicted");
+        // A k below a cached larger k reuses the superset engine: no build,
+        // no eviction.
+        let _ = sharded.merged_candidates(4);
+        assert_eq!(cached_ks(&sharded), vec![2, 3, 10]);
+    }
+
+    #[test]
+    fn approx_batch_pools_the_full_sample_budget() {
+        use kspr::ErrorBudget;
+        let raw = random_raw(200, 3, 41);
+        let budget = ErrorBudget::new(0.08, 0.9);
+        // raw values lie in (0.01, 0.99): the second focal dominates every
+        // record, the third is dominated by all of them.
+        let focals = vec![raw[7].clone(), vec![0.995; 3], vec![0.005; 3]];
+        for shards in [1usize, 2, 4] {
+            let sharded =
+                ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(shards));
+            let estimates = sharded.run_approx_batch(&focals, 4, &budget, 31);
+            assert_eq!(estimates.len(), focals.len());
+            for est in &estimates {
+                assert_eq!(
+                    est.samples,
+                    budget.samples(),
+                    "pooled sample count must meet the budget at {shards} shards"
+                );
+                assert!(est.half_width <= budget.epsilon + 1e-12);
+                assert!((0.0..=1.0).contains(&est.impact));
+            }
+            // Deterministic per seed.
+            let again = sharded.run_approx_batch(&focals, 4, &budget, 31);
+            for (a, b) in estimates.iter().zip(&again) {
+                assert_eq!(a.impact, b.impact);
+            }
+            // A dominated focal has impact ~0; an unbeatable one ~1.
+            assert_eq!(estimates[1].impact, 1.0, "dominator of everything");
+            assert_eq!(estimates[2].impact, 0.0, "dominated by everything");
+        }
+    }
+
+    #[test]
+    fn single_shard_approx_matches_the_plain_sampler_bit_for_bit() {
+        use kspr::ErrorBudget;
+        use kspr_approx::ApproxEngine;
+        let raw = random_raw(150, 3, 43);
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let focals = vec![raw[3].clone(), raw[60].clone()];
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default());
+        let single = QueryEngine::new(&Dataset::new(raw), KsprConfig::default());
+        let want = ApproxEngine::from_engine(&single, 5).estimate_batch(&focals, &budget, 77);
+        let got = sharded.run_approx_batch(&focals, 5, &budget, 77);
+        for (a, b) in got.iter().zip(&want) {
+            assert_eq!(a.impact, b.impact, "shards=1 must be a passthrough");
+            assert_eq!(a.samples, b.samples);
+        }
+    }
+
+    #[test]
+    fn sharded_approx_interval_covers_the_exact_impact() {
+        use kspr::ErrorBudget;
+        let raw = random_raw(250, 3, 47);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(3));
+        let single = QueryEngine::new(&Dataset::new(raw.clone()), KsprConfig::default());
+        let k = 5;
+        let focals = vec![raw[11].clone(), raw[101].clone()];
+        let estimates = sharded.run_approx_batch(&focals, k, &ErrorBudget::new(0.05, 0.99), 53);
+        for (focal, est) in focals.iter().zip(&estimates) {
+            let exact = single.run(Algorithm::LpCta, focal, k);
+            // d = 3 => 2 working dimensions: polygon areas are exact.
+            let truth = exact.total_volume(0, 0) / exact.space.volume();
+            assert!(
+                est.covers(truth),
+                "interval [{}, {}] misses exact impact {truth}",
+                est.lower(),
+                est.upper()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_shard_approx_samples_the_configured_space() {
+        use kspr::ErrorBudget;
+        // One competitor (0.9, 0.1) against focal (0.6, 0.6): the focal
+        // record is top-1 iff w1 < 0.625.  Under the transformed space
+        // (w1 uniform on (0, 1)) the impact is 0.625; under the original
+        // space (w = w1/(w1+w2) for a uniform unit square) it is
+        // P(w1 < (5/3)·w2) = 0.7.  A sampler drawing from the wrong space
+        // lands ~0.075 away — outside an epsilon = 0.02 interval.
+        let raw = vec![vec![0.9, 0.1], vec![0.2, 0.1], vec![0.1, 0.15]];
+        let focal = vec![0.6, 0.6];
+        let budget = ErrorBudget::new(0.02, 0.99);
+        for shards in [1usize, 2, 3] {
+            let transformed =
+                ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(shards));
+            let est = transformed
+                .run_approx_batch(std::slice::from_ref(&focal), 1, &budget, 5)
+                .pop()
+                .unwrap();
+            assert!(
+                est.covers(0.625),
+                "{shards} shards, transformed: [{}, {}] misses 0.625",
+                est.lower(),
+                est.upper()
+            );
+            let original = ShardedEngine::new(
+                raw.clone(),
+                KsprConfig::original_space().with_shards(shards),
+            );
+            let est = original
+                .run_approx_batch(std::slice::from_ref(&focal), 1, &budget, 5)
+                .pop()
+                .unwrap();
+            assert!(
+                est.covers(0.7),
+                "{shards} shards, original space: [{}, {}] misses 0.7",
+                est.lower(),
+                est.upper()
+            );
+        }
+    }
+
+    #[test]
+    fn approx_batch_on_an_empty_pool_reports_certain_impact_one() {
+        use kspr::ErrorBudget;
+        let mut sharded = ShardedEngine::empty(2, KsprConfig::default().with_shards(2));
+        let budget = ErrorBudget::new(0.1, 0.9);
+        let est = sharded
+            .run_approx_batch(&[vec![0.5, 0.5]], 1, &budget, 3)
+            .pop()
+            .unwrap();
+        assert_eq!(est.impact, 1.0);
+        // Populate and empty again: still served.
+        let id = sharded.insert(vec![0.9, 0.9]);
+        let est = sharded
+            .run_approx_batch(&[vec![0.5, 0.5]], 1, &budget, 3)
+            .pop()
+            .unwrap();
+        assert_eq!(est.impact, 0.0, "a live dominator ends every top-1 hope");
+        assert!(sharded.delete(id));
+        let est = sharded
+            .run_approx_batch(&[vec![0.5, 0.5]], 1, &budget, 3)
+            .pop()
+            .unwrap();
+        assert_eq!(est.impact, 1.0);
+    }
+
+    #[test]
+    fn sample_allocation_is_proportional_and_complete() {
+        let raw = random_raw(90, 3, 59);
+        let mut sharded = ShardedEngine::new(raw, KsprConfig::default().with_shards(3));
+        // Skew the shards: delete most of shard 0's records (global ids
+        // 0, 3, 6, ... under round-robin).
+        for id in (0..60).step_by(3) {
+            assert!(sharded.delete(id));
+        }
+        let total = 1_000;
+        let allocation = sharded.allocate_samples(total);
+        let sizes = sharded.shard_sizes();
+        let live_total: usize = sizes.iter().sum();
+        assert_eq!(
+            allocation.iter().map(|&(_, n)| n).sum::<usize>(),
+            total,
+            "every sample must be allocated"
+        );
+        for &(shard, n) in &allocation {
+            let expected = total as f64 * sizes[shard] as f64 / live_total as f64;
+            assert!(
+                (n as f64 - expected).abs() <= allocation.len() as f64,
+                "shard {shard}: allocated {n}, proportional share {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiered_batch_routes_per_tier() {
+        use kspr::{ErrorBudget, QueryTier};
+        let raw = random_raw(120, 3, 61);
+        let sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(2));
+        let focals = vec![raw[5].clone()];
+        let k = 3;
+        let budget = ErrorBudget::new(0.1, 0.9);
+
+        let exact = sharded.run_tiered_batch(Algorithm::LpCta, &focals, k, QueryTier::Exact, 1);
+        assert!(exact[0].is_exact());
+        assert_eq!(
+            exact[0].as_exact().unwrap().num_regions(),
+            sharded.run(Algorithm::LpCta, &focals[0], k).num_regions()
+        );
+
+        let approx = sharded.run_tiered_batch(
+            Algorithm::LpCta,
+            &focals,
+            k,
+            QueryTier::approximate(budget),
+            1,
+        );
+        assert!(!approx[0].is_exact());
+
+        // Auto: extreme thresholds force each side, and the cost estimate
+        // grows with k.
+        assert!(sharded.auto_routes_exact(k, f64::INFINITY));
+        assert!(!sharded.auto_routes_exact(k, 0.0));
+        assert!(sharded.estimated_cost(2) <= sharded.estimated_cost(8));
+        for (threshold, expect_exact) in [(f64::INFINITY, true), (0.0, false)] {
+            let routed = sharded.run_tiered_batch(
+                Algorithm::LpCta,
+                &focals,
+                k,
+                QueryTier::Auto {
+                    budget,
+                    cost_threshold: threshold,
+                },
+                1,
+            );
+            assert_eq!(routed[0].is_exact(), expect_exact);
+        }
     }
 
     #[test]
