@@ -74,7 +74,7 @@
 //! assert!(estimate.covers(estimate.impact));
 //! ```
 
-use kspr::{Algorithm, ApproxImpact, ApproxOptions, Dataset, ErrorBudget};
+use kspr::{Algorithm, ApproxImpact, ApproxOptions, ColumnarBlock, Dataset, ErrorBudget};
 use kspr::{KsprResult, QueryEngine, RecordId};
 
 // Re-exported so tier-dispatch consumers only need a `kspr-approx`
@@ -216,16 +216,19 @@ pub fn pool_estimates(partials: Vec<PartialEstimate>, confidence: f64) -> Vec<Ap
 
 /// A Monte-Carlo kSPR sampler over an epoch-consistent dataset snapshot.
 ///
-/// Construction copies the candidate attribute values into a flat, owned,
-/// cache-friendly matrix: the sampler holds no reference into the live
+/// Construction copies the candidate attribute values into an owned columnar
+/// (structure-of-arrays) block: the sampler holds no reference into the live
 /// dataset, so a mutable [`kspr::DatasetStore`] (or [`QueryEngine`]) that
 /// applies inserts/deletes while an `ApproxEngine` is alive can never skew
 /// an estimate half-way through its sample stream — every estimate reflects
-/// exactly the records that were live at construction time.
+/// exactly the records that were live at construction time.  The per-sample
+/// scoring sweep is one [`ColumnarBlock::scores_into`] call — a contiguous
+/// dot-product kernel per attribute column, bit-identical to the row-major
+/// loop it replaced.
 pub struct ApproxEngine {
-    /// Candidate attribute values, row-major (`num_candidates × dim`) —
-    /// all live records, or the result-preserving k-skyband subset.
-    flat: Vec<f64>,
+    /// Candidate attribute values, column-major — all live records, or the
+    /// result-preserving k-skyband subset.
+    block: ColumnarBlock,
     dim: usize,
     space: PreferenceSpace,
     k: usize,
@@ -274,12 +277,9 @@ impl ApproxEngine {
         k: usize,
     ) -> Self {
         let dim = dataset.dim();
-        let mut flat = Vec::with_capacity(candidates.len() * dim);
-        for &id in candidates {
-            flat.extend_from_slice(dataset.values(id));
-        }
+        let block = ColumnarBlock::from_rows(dim, candidates.iter().map(|&id| dataset.values(id)));
         Self {
-            flat,
+            block,
             dim,
             space,
             k,
@@ -293,7 +293,7 @@ impl ApproxEngine {
 
     /// Number of candidate records each sample scores.
     pub fn num_candidates(&self) -> usize {
-        self.flat.len() / self.dim.max(1)
+        self.block.len()
     }
 
     /// The preference space samples are drawn from.
@@ -438,9 +438,9 @@ impl ApproxEngine {
         for w in chunk {
             let full = self.space.to_full_weight(w);
             let weight = &full[..d];
-            for (slot, row) in scores.iter_mut().zip(self.flat.chunks_exact(d)) {
-                *slot = dot(row, weight);
-            }
+            // Columnar kernel: accumulates in ascending attribute order,
+            // bit-identical to `dot` over a row.
+            self.block.scores_into(weight, &mut scores);
             // The k-th largest candidate score: the focal record is in the
             // top-k iff fewer than k candidates score strictly above it,
             // i.e. iff that k-th largest score does not exceed the focal

@@ -1,0 +1,48 @@
+//! Criterion bench (beyond the paper): intra-query parallelism.
+//!
+//! Measures single-query latency at 1, 2 and 4 intra-query workers on an
+//! arrangement-bound competitive workload (P-CTA; LP-CTA always runs
+//! sequentially — its look-ahead bound reports depend on expansion order).
+//! On a single core the worker counts should be close, with the multi-worker
+//! points paying a small scheduling overhead; with four or more cores the
+//! 4-worker point should cut single-query latency by well over 2×.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kspr::{Algorithm, KsprConfig, QueryEngine};
+use kspr_bench::Workload;
+use kspr_datagen::Distribution;
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_throughput");
+    group.sample_size(10);
+    let k = 10usize;
+    let w = Workload::synthetic(Distribution::Independent, 1_500, 4, k, 66);
+    let focals = w.focals(2);
+    for workers in [1usize, 2, 4] {
+        let engine = QueryEngine::new(
+            &w.dataset,
+            KsprConfig::default().with_intra_query_threads(workers),
+        );
+        // Warm the shared prep so the timing isolates CellTree expansion.
+        for focal in &focals {
+            let _ = engine.run(Algorithm::Pcta, focal, k);
+        }
+        group.throughput(Throughput::Elements(focals.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("pcta_single_query", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    focals
+                        .iter()
+                        .map(|f| engine.run(Algorithm::Pcta, f, k))
+                        .collect::<Vec<_>>()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -19,13 +19,50 @@
 //! The rank of a node is one plus the number of positive halfspaces among its
 //! edge labels and (own + ancestor) cover sets (Lemma 1).  Nodes whose rank
 //! exceeds `k` are eliminated together with their subtrees.
+//!
+//! # Memory layout
+//!
+//! Nodes live in a slab arena with a **free list**: eliminating a node
+//! recycles the slots (and cover storage) of its entire subtree, so
+//! long-running traversals that eliminate aggressively stay compact instead
+//! of growing monotonically.  Cover sets are **flattened** into one shared
+//! arena of linked [`Halfspace`] entries instead of one `Vec` per node —
+//! most nodes have empty or tiny cover sets, and the shared arena removes
+//! the per-node allocation while preserving insertion order (the order
+//! matters: it determines LP constraint order and hence the exact witness
+//! points the simplex solver returns).
+//!
+//! # Insertion = classify + apply
+//!
+//! Inserting a hyperplane is split into two phases:
+//!
+//! 1. **Classify** (read-only): walk the affected subtrees and decide, for
+//!    every visited node, which insertion case applies — running the LP
+//!    feasibility tests, the witness shortcuts and the dominance shortcut.
+//!    Within a single insertion every node's decision depends only on the
+//!    *pre-insertion* tree (cover pushes happen exactly where the walk
+//!    terminates, never above a visited descendant), so the classification
+//!    of independent subtrees is embarrassingly parallel:
+//!    [`CellTree::insert_parallel`] fans it out over a work-stealing pool,
+//!    while [`CellTree::insert`] drains the same task list on one thread.
+//! 2. **Apply** (sequential, deterministic): replay the recorded decisions
+//!    in the fixed depth-first order of the classic recursive insertion.
+//!    Node allocation order, live-leaf registration order, cover-set order,
+//!    witness seeds and elimination bubbling are therefore **identical**
+//!    regardless of how the classification was scheduled — parallel and
+//!    sequential insertion produce bit-for-bit the same tree.
 
 use crate::hyperplanes::HyperplaneStore;
 use crate::stats::QueryStats;
 use kspr_geometry::{ConstraintSystem, Halfspace, PreferenceSpace, Sign};
 use kspr_lp::{interior_point, LinearConstraint};
+use rayon::{Scope, ThreadPool};
 use std::cell::RefCell;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
+
+/// Sentinel for "no entry" in the cover arena's `u32` links.
+const COVER_NONE: u32 = u32::MAX;
 
 /// One node of the CellTree.
 #[derive(Debug, Clone)]
@@ -34,10 +71,11 @@ pub struct CellNode {
     pub parent: Option<usize>,
     /// Halfspace labelling the edge from the parent to this node.
     pub edge: Option<Halfspace>,
-    /// Cover set: halfspaces that fully cover this node and were inserted
-    /// after the node was created.
-    pub cover: Vec<Halfspace>,
-    /// Number of positive halfspaces in `cover` (cached).
+    /// Head of this node's cover chain in the tree's shared cover arena.
+    cover_head: u32,
+    /// Tail of the cover chain (for O(1) order-preserving appends).
+    cover_tail: u32,
+    /// Number of positive halfspaces in the cover chain (cached).
     pos_cover: usize,
     /// Children `(negative side, positive side)` if the node has been split.
     pub children: Option<(usize, usize)>,
@@ -49,6 +87,10 @@ pub struct CellNode {
     pub bounds_checked: bool,
     /// Cached interior witness point (Section 4.3.2).
     pub witness: Option<Vec<f64>>,
+    /// Reuse generation of this arena slot; bumped when the slot is
+    /// reclaimed, so stale references (e.g. live-leaf entries) can detect
+    /// that the slot now holds a different node.
+    generation: u32,
 }
 
 impl CellNode {
@@ -56,13 +98,15 @@ impl CellNode {
         Self {
             parent,
             edge,
-            cover: Vec::new(),
+            cover_head: COVER_NONE,
+            cover_tail: COVER_NONE,
             pos_cover: 0,
             children: None,
             eliminated: false,
             reported: false,
             bounds_checked: false,
             witness: None,
+            generation: 0,
         }
     }
 
@@ -85,26 +129,456 @@ impl CellNode {
     }
 }
 
+/// One entry of the flattened cover-set storage: a halfspace plus the intra-
+/// chain successor link.
+#[derive(Debug, Clone)]
+struct CoverEntry {
+    half: Halfspace,
+    next: u32,
+}
+
+/// The shared cover-set arena: every node's cover set is a linked chain of
+/// entries in one flat vector, with freed chains recycled through an
+/// intrusive free list.
+#[derive(Debug, Clone)]
+struct CoverArena {
+    entries: Vec<CoverEntry>,
+    free_head: u32,
+}
+
+impl Default for CoverArena {
+    fn default() -> Self {
+        Self {
+            entries: Vec::new(),
+            free_head: COVER_NONE,
+        }
+    }
+}
+
+impl CoverArena {
+    /// Appends `half` to the chain `(head, tail)`, preserving insertion
+    /// order, and returns the updated `(head, tail)`.
+    fn push(&mut self, head: u32, tail: u32, half: Halfspace) -> (u32, u32) {
+        let slot = if self.free_head != COVER_NONE {
+            let slot = self.free_head;
+            self.free_head = self.entries[slot as usize].next;
+            self.entries[slot as usize] = CoverEntry {
+                half,
+                next: COVER_NONE,
+            };
+            slot
+        } else {
+            let slot = u32::try_from(self.entries.len()).expect("cover arena fits in u32");
+            self.entries.push(CoverEntry {
+                half,
+                next: COVER_NONE,
+            });
+            slot
+        };
+        if tail == COVER_NONE {
+            (slot, slot)
+        } else {
+            self.entries[tail as usize].next = slot;
+            (head, slot)
+        }
+    }
+
+    /// Splices an entire chain onto the free list (O(chain length)).
+    fn free_chain(&mut self, head: u32) {
+        if head == COVER_NONE {
+            return;
+        }
+        let mut tail = head;
+        while self.entries[tail as usize].next != COVER_NONE {
+            tail = self.entries[tail as usize].next;
+        }
+        self.entries[tail as usize].next = self.free_head;
+        self.free_head = head;
+    }
+}
+
+/// The per-node decision recorded by the classification phase, replayed by
+/// the apply phase.  One entry per visited node; nodes at which the walk did
+/// not stop record [`NodeStep::Recurse`] and their children carry their own
+/// entries.
+#[derive(Debug, Clone)]
+enum NodeStep {
+    /// Both children were already closed on entry: close this node too.
+    CloseEntry,
+    /// The node's rank already exceeds `k`: eliminate it.
+    EliminateRank,
+    /// A processed dominator confines the node (Lemma 4/5): push the new
+    /// plane's negative halfspace onto the cover set.
+    CoverDominator,
+    /// Case I: the node lies entirely inside h⁺.
+    CoverPositive {
+        /// The positive cover pushes the rank past `k`.
+        eliminate: bool,
+    },
+    /// Case II: the node lies entirely inside h⁻.  `witness` carries the
+    /// interior point found by the (feasible) case-1 test when the node had
+    /// none cached.
+    CoverNegative { witness: Option<Vec<f64>> },
+    /// Case III on a leaf: split it.
+    Split {
+        witness: Option<Vec<f64>>,
+        witness_neg: Option<Vec<f64>>,
+        witness_pos: Option<Vec<f64>>,
+        eliminate_pos: bool,
+    },
+    /// Case III on an internal node: descend into both children.
+    Recurse { witness: Option<Vec<f64>> },
+}
+
+/// A unit of classification work: one node plus the path context the
+/// feasibility tests need.  Forking at an internal node hands the right
+/// child off as a new task (stolen by idle workers under
+/// [`CellTree::insert_parallel`]) and continues into the left child.
+struct ClassifyTask {
+    idx: usize,
+    /// Positive halfspaces contributed by the ancestors of `idx`.
+    acc_pos: usize,
+    /// Strict constraints of the edge labels on the root path.
+    path_strict: Vec<LinearConstraint>,
+    /// Strict constraints of the ancestors' cover sets (only maintained when
+    /// Lemma 2 is disabled).
+    cover_strict: Vec<LinearConstraint>,
+}
+
+impl ClassifyTask {
+    fn root(idx: usize) -> Self {
+        Self {
+            idx,
+            acc_pos: 0,
+            path_strict: Vec::new(),
+            cover_strict: Vec::new(),
+        }
+    }
+}
+
+/// Classification output: recorded steps plus the statistics deltas the
+/// classified work generated.  Per-task outputs are merged; merging is
+/// order-insensitive because steps are keyed by node index and the counters
+/// are sums.
+#[derive(Debug, Default)]
+struct ClassifyOut {
+    steps: Vec<(usize, NodeStep)>,
+    feasibility_tests: usize,
+    lp_constraints: usize,
+    witness_hits: usize,
+}
+
+impl ClassifyOut {
+    fn absorb(&mut self, other: &mut ClassifyOut) {
+        self.steps.append(&mut other.steps);
+        self.feasibility_tests += other.feasibility_tests;
+        self.lp_constraints += other.lp_constraints;
+        self.witness_hits += other.witness_hits;
+    }
+}
+
+/// Read-only view of everything the classification phase needs.  Borrowing
+/// the node and cover arenas directly (instead of `&CellTree`) keeps the
+/// view `Sync` — the tree's live-leaf index uses interior mutability and is
+/// not touched during classification.
+struct ClassifyCtx<'a> {
+    nodes: &'a [CellNode],
+    covers: &'a CoverArena,
+    boundary: &'a [LinearConstraint],
+    space: PreferenceSpace,
+    k: usize,
+    use_lemma2: bool,
+    use_witness: bool,
+    store: &'a HyperplaneStore,
+    plane: usize,
+    dominator_planes: &'a HashSet<usize>,
+}
+
+impl ClassifyCtx<'_> {
+    /// True iff the node's edge label or cover set contains a negative
+    /// halfspace contributed by a dominator of the incoming record.
+    fn dominator_confines(&self, idx: usize) -> bool {
+        if self.dominator_planes.is_empty() {
+            return false;
+        }
+        let node = &self.nodes[idx];
+        let is_dominator_negative =
+            |h: &Halfspace| h.sign == Sign::Negative && self.dominator_planes.contains(&h.plane);
+        if let Some(edge) = &node.edge {
+            if is_dominator_negative(edge) {
+                return true;
+            }
+        }
+        let mut cur = node.cover_head;
+        while cur != COVER_NONE {
+            let entry = &self.covers.entries[cur as usize];
+            if is_dominator_negative(&entry.half) {
+                return true;
+            }
+            cur = entry.next;
+        }
+        false
+    }
+
+    /// Runs the LP feasibility test "is `node ∩ (side of plane)` empty?" and
+    /// returns a strictly interior witness if it is not.  `lp_buf` is the
+    /// reused constraint-assembly scratch of the calling worker.
+    ///
+    /// Constraints: the space boundary, the edge labels on the node's root
+    /// path (always), the cover sets on the path (only when Lemma 2 is
+    /// disabled), and the tested halfspace.
+    fn feasibility(
+        &self,
+        sign: Sign,
+        task: &ClassifyTask,
+        lp_buf: &mut Vec<LinearConstraint>,
+        out: &mut ClassifyOut,
+    ) -> Option<Vec<f64>> {
+        lp_buf.clear();
+        lp_buf.extend_from_slice(self.boundary);
+        lp_buf.extend_from_slice(&task.path_strict);
+        if !self.use_lemma2 {
+            lp_buf.extend_from_slice(&task.cover_strict);
+        }
+        lp_buf.push(self.store.plane(self.plane).constraint(sign, true));
+        out.feasibility_tests += 1;
+        out.lp_constraints += task.path_strict.len()
+            + if self.use_lemma2 {
+                0
+            } else {
+                task.cover_strict.len()
+            }
+            + 1;
+        interior_point(lp_buf, self.space.work_dim()).map(|s| s.point)
+    }
+}
+
+/// Classifies one task: descends the left spine of the affected subtree,
+/// handing right children to `fork` (a local stack when sequential, a
+/// work-stealing spawn when parallel).  Decisions are read-only with respect
+/// to the tree; see the module docs for why that makes the parallel schedule
+/// irrelevant to the outcome.
+fn classify_task(
+    ctx: &ClassifyCtx<'_>,
+    mut task: ClassifyTask,
+    out: &mut ClassifyOut,
+    lp_buf: &mut Vec<LinearConstraint>,
+    fork: &mut dyn FnMut(ClassifyTask),
+) {
+    loop {
+        let idx = task.idx;
+        let node = &ctx.nodes[idx];
+        if node.eliminated || node.reported {
+            return;
+        }
+        // If both children are already closed, close this node as well
+        // (Algorithm 1, line 12).
+        if let Some((l, r)) = node.children {
+            let closed = |n: &CellNode| n.eliminated || n.reported;
+            if closed(&ctx.nodes[l]) && closed(&ctx.nodes[r]) {
+                out.steps.push((idx, NodeStep::CloseEntry));
+                return;
+            }
+        }
+
+        let rank_here = task.acc_pos + node.own_positives() + 1;
+        if rank_here > ctx.k {
+            out.steps.push((idx, NodeStep::EliminateRank));
+            return;
+        }
+
+        // Dominance shortcut (P-CTA): a processed dominator already confines
+        // this node to its negative halfspace, so the new record's negative
+        // halfspace covers the node as well.
+        if ctx.dominator_confines(idx) {
+            out.steps.push((idx, NodeStep::CoverDominator));
+            return;
+        }
+
+        // Witness-based shortcuts (Section 4.3.2).
+        let mut case1_possible = true; // N ∩ h⁻ = ∅ (node inside h⁺)
+        let mut case2_possible = true; // N ∩ h⁺ = ∅ (node inside h⁻)
+        if ctx.use_witness {
+            if let Some(w) = &node.witness {
+                match ctx.store.side(ctx.plane, w) {
+                    Some(Sign::Negative) => {
+                        case1_possible = false;
+                        out.witness_hits += 1;
+                    }
+                    Some(Sign::Positive) => {
+                        case2_possible = false;
+                        out.witness_hits += 1;
+                    }
+                    None => {}
+                }
+            }
+        }
+
+        // Witness points discovered by the feasibility tests below; the
+        // first one seeds the node's own cache (when empty), the side-
+        // specific ones seed the children if the node ends up split.
+        let had_witness = node.witness.is_some();
+        let mut witness_self: Option<Vec<f64>> = None;
+        let mut witness_negative: Option<Vec<f64>> = None;
+        let mut witness_positive: Option<Vec<f64>> = None;
+
+        if case1_possible {
+            match ctx.feasibility(Sign::Negative, &task, lp_buf, out) {
+                None => {
+                    // Case I: the node lies entirely inside h⁺.
+                    out.steps.push((
+                        idx,
+                        NodeStep::CoverPositive {
+                            eliminate: rank_here + 1 > ctx.k,
+                        },
+                    ));
+                    return;
+                }
+                Some(w) => {
+                    if !had_witness {
+                        witness_self = Some(w.clone());
+                    }
+                    witness_negative = Some(w);
+                }
+            }
+        }
+        if case2_possible {
+            match ctx.feasibility(Sign::Positive, &task, lp_buf, out) {
+                None => {
+                    // Case II: the node lies entirely inside h⁻.
+                    out.steps.push((
+                        idx,
+                        NodeStep::CoverNegative {
+                            witness: witness_self,
+                        },
+                    ));
+                    return;
+                }
+                Some(w) => {
+                    if !had_witness && witness_self.is_none() {
+                        witness_self = Some(w.clone());
+                    }
+                    witness_positive = Some(w);
+                }
+            }
+        }
+
+        // Case III: the hyperplane cuts through the node.
+        if node.is_leaf() {
+            out.steps.push((
+                idx,
+                NodeStep::Split {
+                    witness: witness_self,
+                    witness_neg: witness_negative,
+                    witness_pos: witness_positive,
+                    eliminate_pos: rank_here + 1 > ctx.k,
+                },
+            ));
+            return;
+        }
+
+        out.steps.push((
+            idx,
+            NodeStep::Recurse {
+                witness: witness_self,
+            },
+        ));
+        let (l, r) = node.children.expect("internal node has children");
+        let acc_here = task.acc_pos + node.own_positives();
+        if !ctx.use_lemma2 {
+            let mut cur = node.cover_head;
+            while cur != COVER_NONE {
+                let entry = &ctx.covers.entries[cur as usize];
+                task.cover_strict
+                    .push(ctx.store.constraint(entry.half, true));
+                cur = entry.next;
+            }
+        }
+        // Fork the right child as an independent task ...
+        let r_edge = ctx.nodes[r].edge.expect("non-root node has an edge");
+        let mut r_path = task.path_strict.clone();
+        r_path.push(ctx.store.constraint(r_edge, true));
+        fork(ClassifyTask {
+            idx: r,
+            acc_pos: acc_here,
+            path_strict: r_path,
+            cover_strict: task.cover_strict.clone(),
+        });
+        // ... and continue into the left child in place.
+        let l_edge = ctx.nodes[l].edge.expect("non-root node has an edge");
+        task.path_strict.push(ctx.store.constraint(l_edge, true));
+        task.idx = l;
+        task.acc_pos = acc_here;
+    }
+}
+
+/// Shared state of one parallel classification: the read-only view, the
+/// merged output, and a pool of per-worker LP scratch buffers (checked out
+/// per task, so a worker reuses one buffer across the tasks it executes).
+struct ParallelClassify<'a> {
+    ctx: ClassifyCtx<'a>,
+    collected: Mutex<ClassifyOut>,
+    scratch: Mutex<Vec<Vec<LinearConstraint>>>,
+}
+
+/// Runs one classification task on the pool, spawning forked subtasks onto
+/// the same scope.
+fn run_classify<'s>(shared: &'s ParallelClassify<'_>, scope: &Scope<'s>, task: ClassifyTask) {
+    let mut lp_buf = shared
+        .scratch
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .pop()
+        .unwrap_or_default();
+    let mut out = ClassifyOut::default();
+    classify_task(&shared.ctx, task, &mut out, &mut lp_buf, &mut |forked| {
+        scope.spawn(move |scope| run_classify(shared, scope, forked));
+    });
+    shared
+        .collected
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .absorb(&mut out);
+    shared
+        .scratch
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(lp_buf);
+}
+
 /// The incremental arrangement index of Section 4.
 #[derive(Debug, Clone)]
 pub struct CellTree {
     nodes: Vec<CellNode>,
+    /// Reusable arena slots reclaimed from eliminated subtrees (LIFO).
+    free: Vec<usize>,
+    /// Flattened cover-set storage shared by all nodes.
+    covers: CoverArena,
+    /// Total nodes ever created (slot reuse does not decrease this; it is
+    /// the work metric the paper's Figure 11b reports).
+    created: usize,
     root: usize,
     space: PreferenceSpace,
     boundary: Vec<LinearConstraint>,
     k: usize,
     use_lemma2: bool,
     use_witness: bool,
-    /// Live-leaf index: candidate leaves for [`CellTree::promising_leaves`].
+    /// Live-leaf index: candidate `(slot, generation)` pairs for
+    /// [`CellTree::promising_leaves`].
     ///
     /// Every leaf enters exactly once (at creation); entries whose node has
-    /// since been split, reported, eliminated or buried under an eliminated
-    /// ancestor are lazily dropped on the next `promising_leaves` call.  This
-    /// keeps the per-round cost proportional to the number of *candidate*
-    /// leaves instead of the O(total nodes) arena scan it replaces.  Interior
-    /// mutability (`RefCell`) lets the read path self-compact; the tree is
-    /// per-query state and never crosses threads.
-    live_leaves: RefCell<Vec<usize>>,
+    /// since been split, reported, eliminated, buried under an eliminated
+    /// ancestor or whose slot was reclaimed (generation mismatch) are lazily
+    /// dropped on the next `promising_leaves` call.  This keeps the
+    /// per-round cost proportional to the number of *candidate* leaves
+    /// instead of the O(total nodes) arena scan it replaces.  Interior
+    /// mutability (`RefCell`) lets the read path self-compact; the index is
+    /// never touched by the (parallel) classification phase.
+    live_leaves: RefCell<Vec<(usize, u32)>>,
+    /// Reused decision-map scratch for the apply phase.
+    steps: HashMap<usize, NodeStep>,
+    /// Reused LP-assembly scratch for sequential insertion.
+    lp_scratch: Vec<LinearConstraint>,
 }
 
 impl CellTree {
@@ -114,13 +588,18 @@ impl CellTree {
         let boundary = space.boundary_constraints();
         Self {
             nodes: vec![CellNode::new(None, None)],
+            free: Vec::new(),
+            covers: CoverArena::default(),
+            created: 1,
             root: 0,
             space,
             boundary,
             k,
             use_lemma2,
             use_witness,
-            live_leaves: RefCell::new(vec![0]),
+            live_leaves: RefCell::new(vec![(0, 0)]),
+            steps: HashMap::new(),
+            lp_scratch: Vec::new(),
         }
     }
 
@@ -139,14 +618,38 @@ impl CellTree {
         self.root
     }
 
-    /// Total number of nodes created so far.
+    /// Number of arena slots (live nodes plus reclaimed-but-unreused slots).
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Total number of nodes created over the tree's lifetime.  With slot
+    /// reuse this can exceed [`CellTree::num_nodes`]; it is the work metric
+    /// reported as `celltree_nodes` in [`QueryStats`].
+    pub fn nodes_created(&self) -> usize {
+        self.created
+    }
+
+    /// Number of reclaimed arena slots currently awaiting reuse.
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
     }
 
     /// Immutable access to a node.
     pub fn node(&self, idx: usize) -> &CellNode {
         &self.nodes[idx]
+    }
+
+    /// The cover set of a node, in insertion order.
+    pub fn cover_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[idx].cover_head;
+        while cur != COVER_NONE {
+            let entry = &self.covers.entries[cur as usize];
+            out.push(entry.half);
+            cur = entry.next;
+        }
+        out
     }
 
     /// True once the root has been eliminated (the whole preference space is
@@ -173,15 +676,78 @@ impl CellTree {
         self.nodes[idx].reported = true;
     }
 
-    /// Eliminates a node (and implicitly its subtree).
+    /// Eliminates a node (and implicitly its subtree, whose arena slots are
+    /// reclaimed for reuse).
     pub fn eliminate(&mut self, idx: usize) {
-        self.nodes[idx].eliminated = true;
+        self.close_node(idx);
         self.propagate_elimination(idx);
     }
 
     /// Marks a leaf as having had its look-ahead bounds computed.
     pub fn mark_bounds_checked(&mut self, idx: usize) {
         self.nodes[idx].bounds_checked = true;
+    }
+
+    /// Marks a node eliminated and reclaims the arena slots (and cover
+    /// chains) of its strict descendants.  Reclaiming only *descendants*
+    /// keeps the node itself valid as its parent's closed-child marker.
+    fn close_node(&mut self, idx: usize) {
+        self.nodes[idx].eliminated = true;
+        let Some((l, r)) = self.nodes[idx].children.take() else {
+            return;
+        };
+        let mut stack = vec![l, r];
+        while let Some(i) = stack.pop() {
+            if let Some((a, b)) = self.nodes[i].children.take() {
+                stack.push(a);
+                stack.push(b);
+            }
+            let head = self.nodes[i].cover_head;
+            self.covers.free_chain(head);
+            let node = &mut self.nodes[i];
+            node.parent = None;
+            node.edge = None;
+            node.cover_head = COVER_NONE;
+            node.cover_tail = COVER_NONE;
+            node.pos_cover = 0;
+            // A reclaimed slot reads as dead in any (stale) scan.
+            node.eliminated = true;
+            node.reported = false;
+            node.bounds_checked = false;
+            node.witness = None;
+            node.generation = node.generation.wrapping_add(1);
+            self.free.push(i);
+        }
+    }
+
+    /// Allocates a node, reusing a reclaimed slot when one is available.
+    fn alloc_node(&mut self, parent: usize, edge: Halfspace, witness: Option<Vec<f64>>) -> usize {
+        self.created += 1;
+        let mut fresh = CellNode::new(Some(parent), Some(edge));
+        fresh.witness = witness;
+        match self.free.pop() {
+            Some(slot) => {
+                fresh.generation = self.nodes[slot].generation;
+                self.nodes[slot] = fresh;
+                slot
+            }
+            None => {
+                self.nodes.push(fresh);
+                self.nodes.len() - 1
+            }
+        }
+    }
+
+    /// Appends `half` to the cover set of `idx`.
+    fn push_cover(&mut self, idx: usize, half: Halfspace) {
+        let node = &self.nodes[idx];
+        let (head, tail) = self.covers.push(node.cover_head, node.cover_tail, half);
+        let node = &mut self.nodes[idx];
+        node.cover_head = head;
+        node.cover_tail = tail;
+        if half.sign == Sign::Positive {
+            node.pos_cover += 1;
+        }
     }
 
     /// When both children of a parent are eliminated (or reported) the parent
@@ -195,7 +761,7 @@ impl CellTree {
             };
             let closed = |n: &CellNode| n.eliminated || n.reported;
             if closed(&self.nodes[l]) && closed(&self.nodes[r]) && !self.nodes[p].eliminated {
-                self.nodes[p].eliminated = true;
+                self.close_node(p);
                 cur = self.nodes[p].parent;
             } else {
                 break;
@@ -204,9 +770,14 @@ impl CellTree {
     }
 
     /// The halfspaces labelling the edges on the root path of `idx`
-    /// (the only halfspaces that can bound the node — Lemma 2).
-    pub fn path_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
-        let mut out = Vec::new();
+    /// (the only halfspaces that can bound the node — Lemma 2), collected
+    /// into a reused buffer.  Returns `true` iff the buffer had to grow —
+    /// steady-state traversal reuses warm buffers and performs zero
+    /// allocations here (asserted by tests through
+    /// [`QueryStats::halfspace_scratch_grows`]).
+    pub fn path_halfspaces_into(&self, idx: usize, out: &mut Vec<Halfspace>) -> bool {
+        let capacity = out.capacity();
+        out.clear();
         let mut cur = Some(idx);
         while let Some(i) = cur {
             if let Some(edge) = self.nodes[i].edge {
@@ -215,22 +786,45 @@ impl CellTree {
             cur = self.nodes[i].parent;
         }
         out.reverse();
+        out.capacity() != capacity
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`CellTree::path_halfspaces_into`].
+    pub fn path_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
+        let mut out = Vec::new();
+        self.path_halfspaces_into(idx, &mut out);
         out
     }
 
-    /// The full halfspace set of a node: edge labels plus the cover sets of
-    /// the node and all its ancestors.  Every hyperplane inserted while the
-    /// node was live appears exactly once in this set.
-    pub fn full_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
-        let mut out = Vec::new();
+    /// The full halfspace set of a node — edge labels plus the cover sets of
+    /// the node and all its ancestors — collected into a reused buffer.
+    /// Every hyperplane inserted while the node was live appears exactly
+    /// once in this set.  Returns `true` iff the buffer had to grow.
+    pub fn full_halfspaces_into(&self, idx: usize, out: &mut Vec<Halfspace>) -> bool {
+        let capacity = out.capacity();
+        out.clear();
         let mut cur = Some(idx);
         while let Some(i) = cur {
             if let Some(edge) = self.nodes[i].edge {
                 out.push(edge);
             }
-            out.extend(self.nodes[i].cover.iter().copied());
+            let mut entry = self.nodes[i].cover_head;
+            while entry != COVER_NONE {
+                let e = &self.covers.entries[entry as usize];
+                out.push(e.half);
+                entry = e.next;
+            }
             cur = self.nodes[i].parent;
         }
+        out.capacity() != capacity
+    }
+
+    /// Allocating convenience wrapper around
+    /// [`CellTree::full_halfspaces_into`].
+    pub fn full_halfspaces(&self, idx: usize) -> Vec<Halfspace> {
+        let mut out = Vec::new();
+        self.full_halfspaces_into(idx, &mut out);
         out
     }
 
@@ -239,20 +833,25 @@ impl CellTree {
     ///
     /// Served from the live-leaf index: instead of scanning the whole node
     /// arena, only current candidates are examined, and candidates that died
-    /// since the last call (split, reported, eliminated, or under an
-    /// eliminated ancestor) are permanently dropped along the way.
+    /// since the last call (split, reported, eliminated, under an eliminated
+    /// ancestor, or recycled into a different node) are permanently dropped
+    /// along the way.
     pub fn promising_leaves(&self) -> Vec<usize> {
         let mut candidates = self.live_leaves.borrow_mut();
-        candidates.retain(|&i| {
+        candidates.retain(|&(i, generation)| {
             let n = &self.nodes[i];
-            n.is_leaf() && !n.eliminated && !n.reported && !self.ancestor_closed(i)
+            n.generation == generation
+                && n.is_leaf()
+                && !n.eliminated
+                && !n.reported
+                && !self.ancestor_closed(i)
         });
         // Rank filtering is *not* a drop criterion: it is re-evaluated per
         // call (rank only ever grows, but such leaves are eliminated by the
         // next insertion touching them, so keeping them here is cheap).
         candidates
             .iter()
-            .copied()
+            .map(|&(i, _)| i)
             .filter(|&i| self.rank(i) <= self.k)
             .collect()
     }
@@ -278,11 +877,46 @@ impl CellTree {
     /// A constraint system describing the cell of node `idx`: the space
     /// boundary plus the bounding (edge-label) halfspaces.
     pub fn cell_system(&self, idx: usize, store: &HyperplaneStore) -> ConstraintSystem {
+        let mut buf = Vec::new();
+        self.cell_system_with(idx, store, &mut buf).0
+    }
+
+    /// Like [`CellTree::cell_system`], but collecting the path halfspaces
+    /// into the reused buffer `buf`.  The second component reports whether
+    /// the buffer had to grow.
+    pub fn cell_system_with(
+        &self,
+        idx: usize,
+        store: &HyperplaneStore,
+        buf: &mut Vec<Halfspace>,
+    ) -> (ConstraintSystem, bool) {
+        let grew = self.path_halfspaces_into(idx, buf);
         let mut sys = ConstraintSystem::new(self.space);
-        for h in self.path_halfspaces(idx) {
+        for h in buf.iter() {
             sys.push_halfspace(store.plane(h.plane), h.sign);
         }
-        sys
+        (sys, grew)
+    }
+
+    /// The read-only classification view over the current tree.
+    fn classify_ctx<'a>(
+        &'a self,
+        store: &'a HyperplaneStore,
+        plane: usize,
+        dominator_planes: &'a HashSet<usize>,
+    ) -> ClassifyCtx<'a> {
+        ClassifyCtx {
+            nodes: &self.nodes,
+            covers: &self.covers,
+            boundary: &self.boundary,
+            space: self.space,
+            k: self.k,
+            use_lemma2: self.use_lemma2,
+            use_witness: self.use_witness,
+            store,
+            plane,
+            dominator_planes,
+        }
     }
 
     /// Inserts hyperplane `plane` (an index into `store`) into the tree.
@@ -300,263 +934,136 @@ impl CellTree {
         dominator_planes: &HashSet<usize>,
         stats: &mut QueryStats,
     ) {
-        let mut path_strict: Vec<LinearConstraint> = Vec::new();
-        let mut cover_strict: Vec<LinearConstraint> = Vec::new();
-        self.insert_rec(
-            self.root,
-            store,
-            plane,
-            dominator_planes,
-            0,
-            false,
-            &mut path_strict,
-            &mut cover_strict,
-            stats,
-        );
-        stats.celltree_nodes = self.nodes.len();
+        let mut lp_buf = std::mem::take(&mut self.lp_scratch);
+        let mut out = ClassifyOut::default();
+        {
+            let ctx = self.classify_ctx(store, plane, dominator_planes);
+            let mut stack = vec![ClassifyTask::root(self.root)];
+            while let Some(task) = stack.pop() {
+                classify_task(&ctx, task, &mut out, &mut lp_buf, &mut |forked| {
+                    stack.push(forked)
+                });
+            }
+        }
+        self.lp_scratch = lp_buf;
+        self.finish_insert(plane, out, stats);
     }
 
-    /// Recursive insertion.  `acc_pos` counts positive halfspaces contributed
-    /// by the ancestors of `idx`; `dominator_negative` is true when some
-    /// dominator of the incoming record already contributes a negative
-    /// halfspace on the path.
-    #[allow(clippy::too_many_arguments)]
-    fn insert_rec(
+    /// Like [`CellTree::insert`], but classifying independent subtrees
+    /// concurrently on `pool`'s work-stealing workers (with per-worker LP
+    /// scratch).  The decisions are applied in the same deterministic
+    /// depth-first order as the sequential path, so the resulting tree —
+    /// node indices, live-leaf order, witnesses, statistics — is
+    /// bit-for-bit identical to what [`CellTree::insert`] produces.
+    pub fn insert_parallel(
         &mut self,
-        idx: usize,
         store: &HyperplaneStore,
         plane: usize,
         dominator_planes: &HashSet<usize>,
-        acc_pos: usize,
-        dominator_negative: bool,
-        path_strict: &mut Vec<LinearConstraint>,
-        cover_strict: &mut Vec<LinearConstraint>,
         stats: &mut QueryStats,
+        pool: &ThreadPool,
     ) {
-        if self.nodes[idx].eliminated || self.nodes[idx].reported {
-            return;
-        }
-        // If both children are already closed, close this node as well
-        // (Algorithm 1, line 12).
-        if let Some((l, r)) = self.nodes[idx].children {
-            let closed = |n: &CellNode| n.eliminated || n.reported;
-            if closed(&self.nodes[l]) && closed(&self.nodes[r]) {
-                self.nodes[idx].eliminated = true;
-                return;
-            }
-        }
-
-        let rank_here = acc_pos + self.nodes[idx].own_positives() + 1;
-        if rank_here > self.k {
-            self.nodes[idx].eliminated = true;
-            return;
-        }
-
-        // Dominance shortcut (P-CTA): a processed dominator already confines
-        // this node to its negative halfspace, so the new record's negative
-        // halfspace covers the node as well.
-        let mut dominator_negative = dominator_negative
-            || self.halfspace_from_dominator(
-                &self.nodes[idx].edge.into_iter().collect::<Vec<_>>(),
-                dominator_planes,
-            )
-            || self.halfspace_from_dominator(&self.nodes[idx].cover, dominator_planes);
-        if dominator_negative {
-            self.nodes[idx].cover.push(Halfspace::negative(plane));
-            return;
-        }
-
-        // Witness-based shortcuts (Section 4.3.2).
-        let mut case1_possible = true; // N ∩ h⁻ = ∅ (node inside h⁺)
-        let mut case2_possible = true; // N ∩ h⁺ = ∅ (node inside h⁻)
-        if self.use_witness {
-            if let Some(w) = &self.nodes[idx].witness {
-                match store.side(plane, w) {
-                    Some(Sign::Negative) => {
-                        case1_possible = false;
-                        stats.witness_hits += 1;
-                    }
-                    Some(Sign::Positive) => {
-                        case2_possible = false;
-                        stats.witness_hits += 1;
-                    }
-                    None => {}
-                }
-            }
-        }
-
-        // Witness points discovered by the feasibility tests below; reused to
-        // seed the children if the node ends up split.
-        let mut witness_negative: Option<Vec<f64>> = None;
-        let mut witness_positive: Option<Vec<f64>> = None;
-
-        if case1_possible {
-            match self.feasibility_test(
-                idx,
-                store,
-                plane,
-                Sign::Negative,
-                path_strict,
-                cover_strict,
-                stats,
-            ) {
-                None => {
-                    // Case I: the node lies entirely inside h⁺.
-                    self.nodes[idx].cover.push(Halfspace::positive(plane));
-                    self.nodes[idx].pos_cover += 1;
-                    if rank_here + 1 > self.k {
-                        self.nodes[idx].eliminated = true;
-                    }
-                    return;
-                }
-                Some(w) => {
-                    if self.nodes[idx].witness.is_none() {
-                        self.nodes[idx].witness = Some(w.clone());
-                    }
-                    witness_negative = Some(w);
-                }
-            }
-        }
-        if case2_possible {
-            match self.feasibility_test(
-                idx,
-                store,
-                plane,
-                Sign::Positive,
-                path_strict,
-                cover_strict,
-                stats,
-            ) {
-                None => {
-                    // Case II: the node lies entirely inside h⁻.
-                    self.nodes[idx].cover.push(Halfspace::negative(plane));
-                    return;
-                }
-                Some(w) => {
-                    if self.nodes[idx].witness.is_none() {
-                        self.nodes[idx].witness = Some(w.clone());
-                    }
-                    witness_positive = Some(w);
-                }
-            }
-        }
-
-        // Case III: the hyperplane cuts through the node.
-        if self.nodes[idx].is_leaf() {
-            let neg_child = self.nodes.len();
-            let mut neg_node = CellNode::new(Some(idx), Some(Halfspace::negative(plane)));
-            neg_node.witness = witness_negative;
-            self.nodes.push(neg_node);
-            let pos_child = self.nodes.len();
-            let mut pos_node = CellNode::new(Some(idx), Some(Halfspace::positive(plane)));
-            pos_node.witness = witness_positive;
-            self.nodes.push(pos_node);
-            self.nodes[idx].children = Some((neg_child, pos_child));
-            // Register the new leaves with the live-leaf index (the split
-            // parent is lazily dropped on the next `promising_leaves` call).
-            self.live_leaves.borrow_mut().extend([neg_child, pos_child]);
-            // The positive child's rank is one higher; prune it immediately if
-            // it already exceeds k.
-            if rank_here + 1 > self.k {
-                self.nodes[pos_child].eliminated = true;
-            }
-        } else {
-            let (l, r) = self.nodes[idx]
-                .children
-                .expect("internal node has children");
-            // The dominance flag may become true deeper down; recompute per child.
-            dominator_negative = false;
-            let acc_here = acc_pos + self.nodes[idx].own_positives();
-            if !self.use_lemma2 {
-                for h in self.nodes[idx].cover.clone() {
-                    cover_strict.push(store.constraint(h, true));
-                }
-            }
-            let cover_pushed = if self.use_lemma2 {
-                0
-            } else {
-                self.nodes[idx].cover.len()
+        let out = {
+            let shared = ParallelClassify {
+                ctx: self.classify_ctx(store, plane, dominator_planes),
+                collected: Mutex::new(ClassifyOut::default()),
+                scratch: Mutex::new(Vec::new()),
             };
-            for child in [l, r] {
-                let edge = self.nodes[child].edge.expect("non-root node has an edge");
-                path_strict.push(store.constraint(edge, true));
-                self.insert_rec(
-                    child,
-                    store,
-                    plane,
-                    dominator_planes,
-                    acc_here,
-                    dominator_negative,
-                    path_strict,
-                    cover_strict,
-                    stats,
-                );
-                path_strict.pop();
-            }
-            for _ in 0..cover_pushed {
-                cover_strict.pop();
-            }
-            // Bubble elimination up if both children got closed.
-            let closed = |n: &CellNode| n.eliminated || n.reported;
-            if closed(&self.nodes[l]) && closed(&self.nodes[r]) {
-                self.nodes[idx].eliminated = true;
-            }
-        }
+            let root = self.root;
+            pool.scope(|scope| run_classify(&shared, scope, ClassifyTask::root(root)));
+            shared
+                .collected
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+        };
+        self.finish_insert(plane, out, stats);
+        stats.parallel_inserts += 1;
     }
 
-    /// True iff any of `halves` is a negative halfspace produced by one of the
-    /// dominator planes.
-    fn halfspace_from_dominator(
-        &self,
-        halves: &[Halfspace],
-        dominator_planes: &HashSet<usize>,
-    ) -> bool {
-        if dominator_planes.is_empty() {
-            return false;
-        }
-        halves
-            .iter()
-            .any(|h| h.sign == Sign::Negative && dominator_planes.contains(&h.plane))
+    /// Merges classification statistics and replays the recorded decisions
+    /// in the canonical depth-first order (the apply phase).
+    fn finish_insert(&mut self, plane: usize, mut out: ClassifyOut, stats: &mut QueryStats) {
+        stats.feasibility_tests += out.feasibility_tests;
+        stats.lp_constraints += out.lp_constraints;
+        stats.witness_hits += out.witness_hits;
+        let mut steps = std::mem::take(&mut self.steps);
+        steps.clear();
+        steps.extend(out.steps.drain(..));
+        self.apply_step(self.root, plane, &mut steps);
+        debug_assert!(steps.is_empty(), "every recorded decision was applied");
+        self.steps = steps;
+        stats.celltree_nodes = self.created;
     }
 
-    /// Runs the LP feasibility test "is `node ∩ (side of plane)` empty?"
-    /// and returns a strictly interior witness if it is not.
-    ///
-    /// Constraints: the space boundary, the edge labels on the node's root
-    /// path (always), the cover sets on the path (only when Lemma 2 is
-    /// disabled), and the tested halfspace.
-    #[allow(clippy::too_many_arguments)]
-    fn feasibility_test(
-        &self,
-        _idx: usize,
-        store: &HyperplaneStore,
-        plane: usize,
-        sign: Sign,
-        path_strict: &[LinearConstraint],
-        cover_strict: &[LinearConstraint],
-        stats: &mut QueryStats,
-    ) -> Option<Vec<f64>> {
-        let extra = store.plane(plane).constraint(sign, true);
-        let mut constraints =
-            Vec::with_capacity(self.boundary.len() + path_strict.len() + cover_strict.len() + 1);
-        constraints.extend_from_slice(&self.boundary);
-        constraints.extend_from_slice(path_strict);
-        if !self.use_lemma2 {
-            constraints.extend_from_slice(cover_strict);
-        }
-        constraints.push(extra);
-        stats.feasibility_tests += 1;
-        stats.lp_constraints += path_strict.len()
-            + if self.use_lemma2 {
-                0
-            } else {
-                cover_strict.len()
+    /// Applies the recorded decision at `idx` (recursing through
+    /// [`NodeStep::Recurse`] nodes).  Steps are *removed* as they are
+    /// applied, which guarantees a slot recycled later in the same apply
+    /// pass can never alias a stale decision.
+    fn apply_step(&mut self, idx: usize, plane: usize, steps: &mut HashMap<usize, NodeStep>) {
+        let Some(step) = steps.remove(&idx) else {
+            // The classification walk returned at this node without
+            // recording anything (eliminated / reported on entry).
+            return;
+        };
+        match step {
+            NodeStep::CloseEntry | NodeStep::EliminateRank => self.close_node(idx),
+            NodeStep::CoverDominator => self.push_cover(idx, Halfspace::negative(plane)),
+            NodeStep::CoverPositive { eliminate } => {
+                self.push_cover(idx, Halfspace::positive(plane));
+                if eliminate {
+                    self.close_node(idx);
+                }
             }
-            + 1;
-        interior_point(&constraints, self.space.work_dim()).map(|s| s.point)
+            NodeStep::CoverNegative { witness } => {
+                if let Some(w) = witness {
+                    self.nodes[idx].witness = Some(w);
+                }
+                self.push_cover(idx, Halfspace::negative(plane));
+            }
+            NodeStep::Split {
+                witness,
+                witness_neg,
+                witness_pos,
+                eliminate_pos,
+            } => {
+                if let Some(w) = witness {
+                    self.nodes[idx].witness = Some(w);
+                }
+                let neg_child = self.alloc_node(idx, Halfspace::negative(plane), witness_neg);
+                let pos_child = self.alloc_node(idx, Halfspace::positive(plane), witness_pos);
+                self.nodes[idx].children = Some((neg_child, pos_child));
+                // Register the new leaves with the live-leaf index (the split
+                // parent is lazily dropped on the next `promising_leaves`
+                // call).
+                let neg_generation = self.nodes[neg_child].generation;
+                let pos_generation = self.nodes[pos_child].generation;
+                self.live_leaves
+                    .borrow_mut()
+                    .extend([(neg_child, neg_generation), (pos_child, pos_generation)]);
+                // The positive child's rank is one higher; prune it
+                // immediately if it already exceeds k.
+                if eliminate_pos {
+                    self.nodes[pos_child].eliminated = true;
+                }
+            }
+            NodeStep::Recurse { witness } => {
+                if let Some(w) = witness {
+                    self.nodes[idx].witness = Some(w);
+                }
+                let (l, r) = self.nodes[idx]
+                    .children
+                    .expect("recurse step targets an internal node");
+                self.apply_step(l, plane, steps);
+                self.apply_step(r, plane, steps);
+                // Bubble elimination up if both children got closed.
+                let closed = |n: &CellNode| n.eliminated || n.reported;
+                if closed(&self.nodes[l]) && closed(&self.nodes[r]) {
+                    self.close_node(idx);
+                }
+            }
+        }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -802,6 +1309,163 @@ mod tests {
             planes.sort_unstable();
             planes.dedup();
             assert_eq!(planes, vec![0, 1, 2, 3], "leaf {leaf} misses a plane");
+        }
+    }
+
+    /// Test-local dominance oracle (avoids a dev-dependency on kspr-spatial).
+    fn dominates(a: &[f64], b: &[f64]) -> bool {
+        a.iter().zip(b).all(|(x, y)| x >= y) && a.iter().zip(b).any(|(x, y)| x > y)
+    }
+
+    /// A complete structural fingerprint of the tree: every arena slot's
+    /// fields (including reclaimed slots), the creation counter, and the
+    /// promising-leaf list in index order.
+    #[allow(clippy::type_complexity)]
+    fn structural_signature(
+        tree: &CellTree,
+    ) -> (
+        usize,
+        usize,
+        Vec<(
+            Option<usize>,
+            Option<Halfspace>,
+            Option<(usize, usize)>,
+            bool,
+            bool,
+            Option<Vec<f64>>,
+            Vec<Halfspace>,
+        )>,
+        Vec<usize>,
+    ) {
+        let nodes = (0..tree.num_nodes())
+            .map(|i| {
+                let n = tree.node(i);
+                (
+                    n.parent,
+                    n.edge,
+                    n.children,
+                    n.eliminated,
+                    n.reported,
+                    n.witness.clone(),
+                    tree.cover_halfspaces(i),
+                )
+            })
+            .collect();
+        (
+            tree.num_nodes(),
+            tree.nodes_created(),
+            nodes,
+            tree.promising_leaves(),
+        )
+    }
+
+    #[test]
+    fn parallel_insert_is_bit_identical_to_sequential() {
+        for threads in [2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("pool builds");
+            for k in 1..=4 {
+                let (mut store_seq, records) = demo();
+                let (mut store_par, _) = demo();
+                let mut seq = CellTree::new(*store_seq.space(), k, true, true);
+                let mut par = CellTree::new(*store_par.space(), k, true, true);
+                let mut stats_seq = QueryStats::new();
+                let mut stats_par = QueryStats::new();
+                for (i, r) in records.iter().enumerate() {
+                    // P-CTA-style dominator sets so the dominance-shortcut
+                    // decision is exercised on both paths.
+                    let doms: HashSet<usize> = records[..i]
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| dominates(p, r))
+                        .map(|(j, _)| j)
+                        .collect();
+                    let plane_seq = store_seq.add(i, r);
+                    seq.insert(&store_seq, plane_seq, &doms, &mut stats_seq);
+                    let plane_par = store_par.add(i, r);
+                    par.insert_parallel(&store_par, plane_par, &doms, &mut stats_par, &pool);
+                    assert_eq!(
+                        structural_signature(&seq),
+                        structural_signature(&par),
+                        "threads={threads} k={k} after record {i}"
+                    );
+                }
+                assert_eq!(stats_par.parallel_inserts, records.len());
+                // Every counter except the scheduling-metadata one matches.
+                stats_par.parallel_inserts = stats_seq.parallel_inserts;
+                assert_eq!(stats_seq, stats_par, "threads={threads} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn eliminated_subtree_slots_are_reclaimed_and_reused() {
+        let (mut tree, mut store, records, mut stats) = insert_all(3);
+        // Eliminate a live internal node below the root: its strict
+        // descendants' slots go to the free list.
+        let internal = (0..tree.num_nodes())
+            .find(|&i| {
+                i != tree.root() && !tree.node(i).eliminated && tree.node(i).children.is_some()
+            })
+            .expect("demo tree has an internal node below the root");
+        assert_eq!(tree.free_slots(), 0);
+        tree.eliminate(internal);
+        let free_before = tree.free_slots();
+        assert!(free_before > 0, "eliminating a subtree reclaims slots");
+        // The next insertion reuses reclaimed slots instead of growing the
+        // arena one-for-one with created nodes.
+        let slots_before = tree.num_nodes();
+        let created_before = tree.nodes_created();
+        let plane = store.add(records.len(), &[7.0, 6.0, 5.0]);
+        tree.insert(&store, plane, &HashSet::new(), &mut stats);
+        let created_delta = tree.nodes_created() - created_before;
+        let slots_delta = tree.num_nodes() - slots_before;
+        assert!(created_delta > 0, "the new plane splits at least one leaf");
+        assert!(
+            slots_delta < created_delta,
+            "allocation reused free slots ({slots_delta} new slots for {created_delta} nodes)"
+        );
+        assert_eq!(stats.celltree_nodes, tree.nodes_created());
+    }
+
+    #[test]
+    fn halfspace_scratch_buffers_do_not_reallocate_when_warm() {
+        let (tree, store, ..) = insert_all(3);
+        let leaves = tree.promising_leaves();
+        assert!(!leaves.is_empty());
+
+        let mut full = Vec::new();
+        for &l in &leaves {
+            tree.full_halfspaces_into(l, &mut full);
+        }
+        let (ptr, cap) = (full.as_ptr(), full.capacity());
+        for _ in 0..5 {
+            for &l in &leaves {
+                assert!(!tree.full_halfspaces_into(l, &mut full), "leaf {l} grew");
+            }
+        }
+        assert_eq!(full.as_ptr(), ptr);
+        assert_eq!(full.capacity(), cap);
+
+        let mut path = Vec::new();
+        for &l in &leaves {
+            tree.path_halfspaces_into(l, &mut path);
+        }
+        for &l in &leaves {
+            assert!(!tree.path_halfspaces_into(l, &mut path), "leaf {l} grew");
+        }
+
+        // The warm buffers return exactly what the allocating wrappers do.
+        for &l in &leaves {
+            tree.full_halfspaces_into(l, &mut full);
+            assert_eq!(full, tree.full_halfspaces(l));
+            let (sys, grew) = tree.cell_system_with(l, &store, &mut path);
+            assert!(!grew);
+            let reference = tree.cell_system(l, &store);
+            let w = sys.interior_point().expect("leaf is non-empty").point;
+            assert!(reference.contains(&w, 1e-9));
         }
     }
 }

@@ -70,6 +70,16 @@ pub struct KsprConfig {
     /// halfspace intersection) is executed.  The paper includes this step in
     /// all reported response times.
     pub finalize: bool,
+    /// Number of worker threads a single query may use for intra-query
+    /// parallelism (work-stealing CellTree frontier classification).
+    ///
+    /// `0` (the default) means *auto*: divide the machine's cores evenly
+    /// among the queries expected to run concurrently (so an exclusive
+    /// single query gets every core, while `run_batch` splits them).  `1`
+    /// forces the fully sequential path.  LP-CTA always runs sequentially —
+    /// its look-ahead bound reporting is schedule-sensitive — regardless of
+    /// this knob.
+    pub intra_query_threads: usize,
 }
 
 impl Default for KsprConfig {
@@ -87,6 +97,7 @@ impl Default for KsprConfig {
             io_model: None,
             volume_samples: 20_000,
             finalize: true,
+            intra_query_threads: 0,
         }
     }
 }
@@ -155,6 +166,29 @@ impl KsprConfig {
         self.tier = tier;
         self
     }
+
+    /// Convenience: set the intra-query worker count (`0` = auto, see
+    /// [`KsprConfig::intra_query_threads`]).
+    pub fn with_intra_query_threads(mut self, threads: usize) -> Self {
+        self.intra_query_threads = threads;
+        self
+    }
+
+    /// Resolves [`KsprConfig::intra_query_threads`] to a concrete worker
+    /// count for one query, given how many queries are expected to run
+    /// concurrently (`run` passes 1, `run_batch` the batch width, the
+    /// serving dispatcher its in-flight count).
+    ///
+    /// Auto (`0`) divides the available cores evenly among the concurrent
+    /// queries and never grants fewer than one worker.  A worker count of
+    /// one means "run sequentially" (no pool is built at all).
+    pub fn resolve_intra_workers(&self, concurrent: usize) -> usize {
+        if self.intra_query_threads != 0 {
+            return self.intra_query_threads;
+        }
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        (cores / concurrent.max(1)).max(1)
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +207,30 @@ mod tests {
         assert_eq!(c.shards, 1, "serving defaults to a single shard");
         assert_eq!(c.merged_cache_cap, 8);
         assert_eq!(c.tier, QueryTier::Exact, "the default tier is exact");
+        assert_eq!(
+            c.intra_query_threads, 0,
+            "intra-query workers default to auto"
+        );
+    }
+
+    #[test]
+    fn intra_query_worker_resolution() {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let auto = KsprConfig::default();
+        assert_eq!(auto.resolve_intra_workers(1), cores);
+        assert_eq!(auto.resolve_intra_workers(cores), 1);
+        assert_eq!(
+            auto.resolve_intra_workers(2 * cores),
+            1,
+            "auto never grants zero workers"
+        );
+        let explicit = KsprConfig::default().with_intra_query_threads(4);
+        assert_eq!(explicit.resolve_intra_workers(1), 4);
+        assert_eq!(
+            explicit.resolve_intra_workers(100),
+            4,
+            "an explicit count is honored regardless of concurrency"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The indexed dataset a kSPR query runs against, and the mutable,
 //! epoch-versioned [`DatasetStore`] that maintains it under updates.
 
-use kspr_spatial::{AggregateRTree, Record, RecordId};
+use kspr_spatial::{AggregateRTree, ColumnarBlock, Record, RecordId};
 use std::sync::Arc;
 
 /// Why a record fails ingest validation (see [`check_record`]).
@@ -93,6 +93,11 @@ pub fn validate_record(values: &[f64], expected_dim: Option<usize>, id: usize) {
 #[derive(Debug, Clone)]
 pub struct Dataset {
     tree: Arc<AggregateRTree>,
+    /// Column-major mirror of the record slots (row index == record id,
+    /// tombstoned slots included).  The dominance-classification kernel of
+    /// the Section 3.1 preprocessing and the approximate tier's scoring
+    /// sweep read this instead of pointer-chasing `Vec<Record>`.
+    columns: Arc<ColumnarBlock>,
 }
 
 impl Dataset {
@@ -117,16 +122,25 @@ impl Dataset {
             validate_record(row, dim, id);
         }
         let records = Record::from_raw(raw);
-        Self {
-            tree: Arc::new(AggregateRTree::bulk_load(records, fanout)),
-        }
+        Self::from_tree(AggregateRTree::bulk_load(records, fanout))
     }
 
     /// Wraps an already-built index.
     pub fn from_tree(tree: AggregateRTree) -> Self {
+        let dim = tree.dim();
+        let columns =
+            ColumnarBlock::from_rows(dim, tree.records().iter().map(|r| r.values.as_slice()));
         Self {
             tree: Arc::new(tree),
+            columns: Arc::new(columns),
         }
+    }
+
+    /// The column-major mirror of the record slots.  Row `id` holds the
+    /// attribute values of record slot `id` — including tombstoned slots, so
+    /// callers must pair it with [`Dataset::is_live`].
+    pub fn columns(&self) -> &ColumnarBlock {
+        &self.columns
     }
 
     /// A shared handle to the index (used by the query engine to reuse the
@@ -262,6 +276,7 @@ impl DatasetStore {
             Some(self.dataset.dim()),
             self.dataset.records().len(),
         );
+        Arc::make_mut(&mut self.dataset.columns).push_row(&values);
         let id = Arc::make_mut(&mut self.dataset.tree).insert(values);
         self.epoch += 1;
         id
@@ -397,5 +412,31 @@ mod tests {
         store.insert(vec![0.5, 0.6]);
         assert_eq!(snapshot.len(), 2, "pre-update snapshot is immutable");
         assert_eq!(store.dataset().len(), 3);
+    }
+
+    #[test]
+    fn columnar_mirror_tracks_updates() {
+        let mut store = DatasetStore::from_raw(vec![vec![0.1, 0.2], vec![0.3, 0.4]]);
+        let snapshot = store.dataset().clone();
+        let id = store.insert(vec![0.5, 0.6]);
+        let cols = store.dataset().columns();
+        assert_eq!(cols.len(), 3, "insert appends a row");
+        assert_eq!(cols.value(id, 0), 0.5);
+        assert_eq!(cols.value(id, 1), 0.6);
+        assert_eq!(
+            snapshot.columns().len(),
+            2,
+            "pre-update snapshot keeps its own columnar block"
+        );
+        // Every row mirrors the record slot of the same id, tombstones
+        // included.
+        store.delete(0);
+        let d = store.dataset();
+        for r in d.records() {
+            for c in 0..d.dim() {
+                assert_eq!(d.columns().value(r.id, c), r.values[c]);
+            }
+        }
+        assert_eq!(d.columns().len(), d.records().len());
     }
 }

@@ -69,7 +69,7 @@ use crate::result::{KsprResult, Region};
 use crate::rtopk::run_rtopk;
 use crate::stats::QueryStats;
 use kspr_geometry::hyperplane::Hyperplane;
-use kspr_geometry::{PlaneKind, PreferenceSpace, Sign};
+use kspr_geometry::{Halfspace, PlaneKind, PreferenceSpace, Sign};
 use kspr_spatial::{
     bbs_skyline, dominates, k_skyband, k_skyband_live, k_skyband_restricted, skyline_excluding,
     DominanceGraph, RecordId,
@@ -701,7 +701,7 @@ impl QueryEngine {
     /// Panics if `k == 0`, if the focal arity does not match the dataset, or
     /// if [`Algorithm::Rtopk`] is requested on non-2-dimensional data.
     pub fn run(&self, algorithm: Algorithm, focal: &[f64], k: usize) -> KsprResult {
-        self.run_shared(algorithm, focal, k, None)
+        self.run_shared(algorithm, focal, k, None, 1)
     }
 
     /// Runs one kSPR query under an explicit expansion policy.
@@ -711,7 +711,7 @@ impl QueryEngine {
         focal: &[f64],
         k: usize,
     ) -> KsprResult {
-        self.run_policy(policy, focal, k, None)
+        self.run_policy(policy, focal, k, None, 1)
     }
 
     /// Runs the query for every focal record in parallel, sharing the
@@ -729,9 +729,12 @@ impl QueryEngine {
         let shared = policy_for(algorithm)
             .filter(|policy| policy.uses_shared_prep())
             .map(|_| self.shared_prep(k));
+        // The batch fans one query out per core, so each member's intra-query
+        // worker grant is resolved against the batch width.
+        let concurrent = focals.len().max(1);
         focals
             .par_iter()
-            .map(|focal| self.run_shared(algorithm, focal, k, shared.as_deref()))
+            .map(|focal| self.run_shared(algorithm, focal, k, shared.as_deref(), concurrent))
             .collect()
     }
 
@@ -744,9 +747,10 @@ impl QueryEngine {
         k: usize,
     ) -> Vec<KsprResult> {
         let shared = policy.uses_shared_prep().then(|| self.shared_prep(k));
+        let concurrent = focals.len().max(1);
         focals
             .par_iter()
-            .map(|focal| self.run_policy(policy, focal, k, shared.as_deref()))
+            .map(|focal| self.run_policy(policy, focal, k, shared.as_deref(), concurrent))
             .collect()
     }
 
@@ -756,9 +760,10 @@ impl QueryEngine {
         focal: &[f64],
         k: usize,
         shared: Option<&SharedPrep>,
+        concurrent: usize,
     ) -> KsprResult {
         match policy_for(algorithm) {
-            Some(policy) => self.run_policy(policy.as_ref(), focal, k, shared),
+            Some(policy) => self.run_policy(policy.as_ref(), focal, k, shared, concurrent),
             // The sweep-based baselines have self-contained drivers.
             None => match algorithm {
                 Algorithm::Rtopk => run_rtopk(self.store.dataset(), focal, k, &self.config),
@@ -775,6 +780,7 @@ impl QueryEngine {
         focal: &[f64],
         k: usize,
         shared: Option<&SharedPrep>,
+        concurrent: usize,
     ) -> KsprResult {
         let mut stats = QueryStats::new();
         let space = PreferenceSpace::new(focal.len(), self.config.space);
@@ -803,7 +809,16 @@ impl QueryEngine {
             shared,
             k,
         };
-        let mut traversal = Traversal::new(&filtered, focal, &self.config, stats, shared);
+        // Intra-query workers: LP-CTA's look-ahead bound reporting depends on
+        // the traversal schedule, so it always routes to the sequential path;
+        // the schedule-invariant policies (CTA, P-CTA, skyband) get the
+        // resolved worker grant.
+        let workers = if policy.use_rank_bounds() {
+            1
+        } else {
+            self.config.resolve_intra_workers(concurrent)
+        };
+        let mut traversal = Traversal::new(&filtered, focal, &self.config, stats, shared, workers);
         let mut batch = policy.initial_batch(&query);
 
         'expansion: loop {
@@ -862,7 +877,19 @@ struct Traversal<'a> {
     /// plane index per processed (filtered) record id.
     plane_of: HashMap<RecordId, usize>,
     processed: HashSet<RecordId>,
+    /// Work-stealing pool for frontier classification (`None` when the
+    /// query's worker grant is one — the fully sequential path).
+    pool: Option<rayon::ThreadPool>,
+    /// Reused scratch for path-halfspace collection (`region_of`, rank-bound
+    /// cell systems).
+    path_scratch: Vec<Halfspace>,
+    /// Reused scratch for full-halfspace collection (pivot stage).
+    full_scratch: Vec<Halfspace>,
 }
+
+/// Trees below this size are classified sequentially even when a pool is
+/// available: forking a handful of nodes costs more than it buys.
+const PARALLEL_MIN_NODES: usize = 64;
 
 impl<'a> Traversal<'a> {
     fn new(
@@ -871,6 +898,7 @@ impl<'a> Traversal<'a> {
         config: &'a KsprConfig,
         stats: QueryStats,
         shared: Option<&'a SharedPrep>,
+        workers: usize,
     ) -> Self {
         let dim = focal.len();
         let space = PreferenceSpace::new(dim, config.space);
@@ -881,6 +909,12 @@ impl<'a> Traversal<'a> {
             config.use_lemma2,
             config.use_witness,
         );
+        let pool = (workers > 1).then(|| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(workers)
+                .build()
+                .expect("intra-query worker pool builds")
+        });
         Self {
             filtered,
             focal,
@@ -893,6 +927,9 @@ impl<'a> Traversal<'a> {
             regions: Vec::new(),
             plane_of: HashMap::new(),
             processed: HashSet::new(),
+            pool,
+            path_scratch: Vec::new(),
+            full_scratch: Vec::new(),
         }
     }
 
@@ -918,8 +955,20 @@ impl<'a> Traversal<'a> {
         } else {
             HashSet::new()
         };
-        self.tree
-            .insert(&self.store, plane, &dominator_planes, &mut self.stats);
+        match &self.pool {
+            // Tiny trees fork less work than the scheduling costs; classify
+            // them inline.  Either path produces a bit-identical tree.
+            Some(pool) if self.tree.num_nodes() >= PARALLEL_MIN_NODES => self.tree.insert_parallel(
+                &self.store,
+                plane,
+                &dominator_planes,
+                &mut self.stats,
+                pool,
+            ),
+            _ => self
+                .tree
+                .insert(&self.store, plane, &dominator_planes, &mut self.stats),
+        }
     }
 
     /// The planes of the already-processed dominators of record `id` — the
@@ -959,7 +1008,10 @@ impl<'a> Traversal<'a> {
             if self.tree.node(leaf).bounds_checked {
                 continue;
             }
-            let sys = self.tree.cell_system(leaf, &self.store);
+            let (sys, grew) = self
+                .tree
+                .cell_system_with(leaf, &self.store, &mut self.path_scratch);
+            self.stats.halfspace_scratch_grows += usize::from(grew);
             let (_, decision) = rank_bounds(
                 &sys,
                 self.focal,
@@ -999,10 +1051,11 @@ impl<'a> Traversal<'a> {
         let mut non_pivot_union: HashSet<RecordId> = HashSet::new();
         let mut unreported = Vec::new();
         for leaf in promising {
-            let full = self.tree.full_halfspaces(leaf);
+            let grew = self.tree.full_halfspaces_into(leaf, &mut self.full_scratch);
+            self.stats.halfspace_scratch_grows += usize::from(grew);
             let mut pivots: Vec<RecordId> = Vec::new();
             let mut non_pivots: Vec<RecordId> = Vec::new();
-            for h in &full {
+            for h in &self.full_scratch {
                 let source = self.store.source(h.plane);
                 match h.sign {
                     Sign::Negative => pivots.push(source),
@@ -1043,8 +1096,10 @@ impl<'a> Traversal<'a> {
             // Safety net (should not trigger — see the argument in Section 5):
             // process any witnesses that keep the remaining cells unreported.
             for leaf in unreported {
-                let full = self.tree.full_halfspaces(leaf);
-                let pivots: Vec<&[f64]> = full
+                let grew = self.tree.full_halfspaces_into(leaf, &mut self.full_scratch);
+                self.stats.halfspace_scratch_grows += usize::from(grew);
+                let pivots: Vec<&[f64]> = self
+                    .full_scratch
                     .iter()
                     .filter(|h| h.sign == Sign::Negative)
                     .map(|h| {
@@ -1074,15 +1129,17 @@ impl<'a> Traversal<'a> {
     /// Wraps a live leaf into a result region (rank is reported with respect
     /// to the *full* dataset, i.e. including the dominators removed by
     /// preprocessing).
-    fn region_of(&self, leaf: usize) -> Region {
+    fn region_of(&mut self, leaf: usize) -> Region {
         let rank = self.tree.rank(leaf) + self.filtered.dominators;
-        let halves = self.tree.path_halfspaces(leaf);
-        Region::new(rank, self.store.materialize(&halves))
+        let grew = self.tree.path_halfspaces_into(leaf, &mut self.path_scratch);
+        self.stats.halfspace_scratch_grows += usize::from(grew);
+        Region::new(rank, self.store.materialize(&self.path_scratch))
     }
 
     /// Reports a leaf: adds it to the result and removes it from play.
     fn report_leaf(&mut self, leaf: usize) {
-        self.regions.push(self.region_of(leaf));
+        let region = self.region_of(leaf);
+        self.regions.push(region);
         self.tree.report(leaf);
     }
 
@@ -1090,7 +1147,8 @@ impl<'a> Traversal<'a> {
     /// traversal terminates with the arrangement fully built).
     fn collect_remaining(&mut self) {
         for leaf in self.tree.promising_leaves() {
-            self.regions.push(self.region_of(leaf));
+            let region = self.region_of(leaf);
+            self.regions.push(region);
             self.tree.report(leaf);
         }
     }
@@ -1107,7 +1165,10 @@ impl<'a> Traversal<'a> {
             self.stats.io_time_ms = model.io_time_ms(self.stats.io_reads);
         }
         self.stats.result_regions = self.regions.len();
-        self.stats.celltree_nodes = self.tree.num_nodes();
+        // Created (not resident) nodes: with the arena free list the slot
+        // count can shrink below the amount of work actually performed, and
+        // the creation counter is what Figure 11b reports.
+        self.stats.celltree_nodes = self.tree.nodes_created();
         let mut result = KsprResult {
             space: self.space,
             regions: self.regions,
@@ -1216,6 +1277,51 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn intra_query_parallelism_is_result_identical() {
+        // A deterministic pseudo-random dataset large enough that the
+        // CellTree crosses the PARALLEL_MIN_NODES gate.
+        let mut state = 0x9E37_79B9_7F4A_7C15_u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 11) as f64) / ((1_u64 << 53) as f64)
+        };
+        let raw: Vec<Vec<f64>> = (0..120)
+            .map(|_| (0..3).map(|_| 1.0 + 9.0 * next()).collect())
+            .collect();
+        let dataset = Dataset::new(raw);
+        // Near the skyline so preprocessing leaves a large arrangement.
+        let focal = vec![9.0, 3.0, 8.0];
+        let seq = QueryEngine::new(&dataset, KsprConfig::default().with_intra_query_threads(1));
+        let par = QueryEngine::new(&dataset, KsprConfig::default().with_intra_query_threads(4));
+        for alg in [Algorithm::Cta, Algorithm::Pcta] {
+            for k in [8, 12] {
+                let s = seq.run(alg, &focal, k);
+                let p = par.run(alg, &focal, k);
+                assert_eq!(s.stats.parallel_inserts, 0, "{alg:?} k={k}");
+                assert!(
+                    p.stats.parallel_inserts > 0,
+                    "{alg:?} k={k}: the parallel path never engaged"
+                );
+                assert_eq!(s.num_regions(), p.num_regions(), "{alg:?} k={k}");
+                // Everything except the scheduling-metadata counter is
+                // bit-identical, including the LP work performed.
+                let mut p_stats = p.stats.clone();
+                p_stats.parallel_inserts = s.stats.parallel_inserts;
+                assert_eq!(s.stats, p_stats, "{alg:?} k={k}");
+                for w in naive::sample_weights(&s.space, 60, 11) {
+                    assert_eq!(s.contains(&w), p.contains(&w), "{alg:?} k={k} at {w:?}");
+                }
+            }
+        }
+        // LP-CTA's bound reporting is schedule-sensitive: it must ignore the
+        // worker grant and run sequentially.
+        let lp = par.run(Algorithm::LpCta, &focal, 3);
+        assert_eq!(lp.stats.parallel_inserts, 0, "LP-CTA routes sequentially");
     }
 
     #[test]

@@ -88,4 +88,4 @@ pub use stats::QueryStats;
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users only need a `kspr` dependency.
 pub use kspr_geometry::{PreferenceSpace, Space};
-pub use kspr_spatial::{Record, RecordId};
+pub use kspr_spatial::{ColumnarBlock, DomClass, Record, RecordId};

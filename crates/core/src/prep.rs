@@ -10,7 +10,7 @@
 
 use crate::dataset::Dataset;
 use crate::stats::QueryStats;
-use kspr_spatial::{dominates, AggregateRTree, Record};
+use kspr_spatial::{dominates, AggregateRTree, DomClass, Record};
 use std::sync::Arc;
 
 /// Outcome of preprocessing a query.
@@ -119,6 +119,15 @@ fn prepare_impl(
     let mut kept: Vec<Record> = Vec::new();
     let mut original_ids: Vec<usize> = Vec::new();
 
+    // Dataset-backed queries classify through the columnar dominance kernel
+    // (one contiguous column sweep instead of a pointer chase per record);
+    // the slice-backed path keeps the row-major tests.  Both decide the
+    // exact same comparisons, so the outcomes are identical.
+    let mut classes: Vec<DomClass> = Vec::new();
+    if let Some(d) = dataset {
+        d.columns().classify_into(focal, &mut classes);
+    }
+
     for r in records {
         if let Some(d) = dataset {
             // Record slots deleted through a `DatasetStore` stay in the slice
@@ -127,17 +136,29 @@ fn prepare_impl(
                 continue;
             }
         }
-        if r.values == focal {
+        let class = match classes.get(r.id) {
+            Some(&c) => c,
+            None => {
+                if r.values == focal {
+                    DomClass::Tie
+                } else if dominates(&r.values, focal) {
+                    DomClass::Dominates
+                } else if dominates(focal, &r.values) {
+                    DomClass::Dominated
+                } else {
+                    DomClass::Incomparable
+                }
+            }
+        };
+        match class {
             // Tie with the focal record: ignored.
-            continue;
-        }
-        if dominates(&r.values, focal) {
-            dominators += 1;
-        } else if dominates(focal, &r.values) {
-            dominated += 1;
-        } else {
-            original_ids.push(r.id);
-            kept.push(Record::new(kept.len(), r.values.clone()));
+            DomClass::Tie => {}
+            DomClass::Dominates => dominators += 1,
+            DomClass::Dominated => dominated += 1,
+            DomClass::Incomparable => {
+                original_ids.push(r.id);
+                kept.push(Record::new(kept.len(), r.values.clone()));
+            }
         }
     }
 

@@ -41,6 +41,18 @@ pub struct QueryStats {
     pub io_time_ms: f64,
     /// Number of regions in the final result.
     pub result_regions: usize,
+    /// Hyperplane insertions whose frontier classification ran on the
+    /// work-stealing pool (0 when the query ran fully sequentially).
+    ///
+    /// Scheduling metadata, not work: parallel and sequential insertion
+    /// produce bit-identical trees and identical values for every *other*
+    /// counter, so consistency tests must (and do) exclude this field.
+    pub parallel_inserts: usize,
+    /// Times a reused halfspace scratch buffer (path / full halfspace
+    /// collection) had to grow its allocation.  Steady-state traversal keeps
+    /// this at the warm-up value — the counter exists so tests can assert the
+    /// hot path performs zero allocations.
+    pub halfspace_scratch_grows: usize,
 }
 
 impl QueryStats {
@@ -76,6 +88,8 @@ impl QueryStats {
         self.io_reads += other.io_reads;
         self.io_time_ms += other.io_time_ms;
         self.result_regions += other.result_regions;
+        self.parallel_inserts += other.parallel_inserts;
+        self.halfspace_scratch_grows += other.halfspace_scratch_grows;
     }
 }
 

@@ -328,6 +328,17 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest query batch executed at once.
     pub largest_batch: usize,
+    /// Largest per-query intra-query worker grant the dispatcher made to an
+    /// exact batch.  The grant is [`kspr::KsprConfig::resolve_intra_workers`]
+    /// over the batch width — explicit `intra_query_threads` wins, `0`
+    /// divides the machine's cores across the batch — except for LP-CTA
+    /// batches, which are always granted 1 worker per query (the look-ahead
+    /// bound reports are expansion-order-sensitive, so LP-CTA expands its
+    /// cell tree sequentially; see `kspr::engine`).
+    pub largest_intra_grant: usize,
+    /// Exact batches answered with an intra-query worker grant above 1
+    /// (a subset of `batches`).
+    pub parallel_batches: u64,
     /// Updates (inserts + deletes) applied.
     pub updates: u64,
     /// Standing queries registered over the server's lifetime.
@@ -953,6 +964,17 @@ fn run_jobs(
         let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
         let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
             group.into_iter().map(|j| (j.focal, j.sink)).unzip();
+        // The dispatcher grants each query in the batch its intra-query
+        // worker share: the engines resolve the same grant internally
+        // (`KsprConfig::resolve_intra_workers` over the batch width), this
+        // mirrors it into the serving stats.  LP-CTA is always granted one
+        // worker — its look-ahead bound reports depend on expansion order,
+        // so the engine routes it through the sequential path.
+        let intra_grant = if algorithm == Algorithm::LpCta {
+            1
+        } else {
+            engine.config().resolve_intra_workers(focals.len())
+        };
         // Defense in depth: a panic inside the engine must not take the
         // dispatcher thread (and with it every pending ticket) down.  The
         // engine's caches recover from lock poisoning by rebuilding, so
@@ -967,6 +989,10 @@ fn run_jobs(
                 stats.exact_queries += focals.len() as u64;
                 stats.auto_routed_exact += auto_routed;
                 stats.largest_batch = stats.largest_batch.max(focals.len());
+                stats.largest_intra_grant = stats.largest_intra_grant.max(intra_grant);
+                if intra_grant > 1 {
+                    stats.parallel_batches += 1;
+                }
                 for (sink, result) in sinks.into_iter().zip(results) {
                     sink.send_exact(result);
                 }
@@ -1444,6 +1470,51 @@ mod tests {
         assert_eq!(stats.queries, 6);
         assert_eq!(stats.largest_batch, 6, "one run_batch served all six");
         assert_eq!(stats.batches, 1);
+    }
+
+    #[test]
+    fn dispatcher_grants_intra_query_workers_except_to_lpcta() {
+        // An explicit worker count wins over the core count, so this test is
+        // deterministic on any machine.
+        let engine = ShardedEngine::new(
+            vec![
+                vec![0.3, 0.8, 0.8],
+                vec![0.9, 0.4, 0.4],
+                vec![0.8, 0.3, 0.4],
+                vec![0.4, 0.3, 0.6],
+            ],
+            KsprConfig::default()
+                .with_shards(2)
+                .with_intra_query_threads(3),
+        );
+        let server = Server::start(engine, ServeOptions::default());
+        let handle = server.handle();
+        let cta = handle.submit_with(Algorithm::Cta, vec![0.5, 0.5, 0.7], 3);
+        let lp = handle.submit_with(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 3);
+        let cta = cta.wait().expect("cta query");
+        let lp = lp.wait().expect("lp-cta query");
+        assert_eq!(cta.num_regions(), lp.num_regions());
+        let (_, stats) = server.shutdown();
+        assert_eq!(
+            stats.largest_intra_grant, 3,
+            "the CTA batch gets the configured worker grant"
+        );
+        assert_eq!(stats.parallel_batches, 1, "only the CTA batch is parallel");
+
+        // Without the CTA batch, LP-CTA alone never earns a grant above 1.
+        let engine = ShardedEngine::new(
+            vec![vec![0.3, 0.8, 0.8], vec![0.9, 0.4, 0.4]],
+            KsprConfig::default().with_intra_query_threads(4),
+        );
+        let server = Server::start(engine, ServeOptions::default());
+        let handle = server.handle();
+        handle
+            .submit(vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("lp-cta");
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.largest_intra_grant, 1);
+        assert_eq!(stats.parallel_batches, 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * [`dominance`] — the dominance graph maintained by P-CTA.
 //! * [`io`] — the simulated I/O cost model of Appendix A.
 
+pub mod columnar;
 pub mod dominance;
 pub mod io;
 pub mod mbr;
@@ -27,6 +28,7 @@ pub mod record;
 pub mod rtree;
 pub mod skyline;
 
+pub use columnar::{ColumnarBlock, DomClass};
 pub use dominance::{dominates, DominanceGraph};
 pub use io::{IoCostModel, IoStats};
 pub use mbr::Mbr;

@@ -1,15 +1,30 @@
 //! Offline stand-in for the [`rayon`](https://crates.io/crates/rayon) crate.
 //!
-//! Implements the API subset the kSPR workspace uses — `par_iter()` over
-//! slices and `Vec`s, `map`, `collect`, plus [`join`] and
-//! [`current_num_threads`] — on top of `std::thread::scope`.  Work is split
-//! into one contiguous chunk per available core; there is no work stealing,
-//! which is adequate for the coarse-grained, per-query parallelism the
-//! workspace needs.  Swapping back to the real crate is a one-line change in
-//! the workspace manifest.
+//! Implements the API subset the kSPR workspace uses:
+//!
+//! * `par_iter()` over slices and `Vec`s, `map`, `collect`, plus [`join`] and
+//!   [`current_num_threads`] — on top of `std::thread::scope`, split into one
+//!   contiguous chunk per available core.  Adequate for the coarse-grained
+//!   per-query parallelism of batch serving.
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] and [`ThreadPool::scope`] /
+//!   [`scope`] with [`Scope::spawn`] — dynamic task parallelism over
+//!   work-stealing deques (owner pops LIFO, thieves steal FIFO, in the style
+//!   of Chase–Lev), which is what the intra-query CellTree expansion needs:
+//!   its task tree is skewed and unpredictable, so fixed-chunk splitting
+//!   serializes behind the deepest subtree while stealing keeps every worker
+//!   busy.
+//!
+//! Swapping back to the real crate is a one-line change in the workspace
+//! manifest; the signatures mirror `rayon`'s.
 
+use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::num::NonZeroUsize;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
 pub mod prelude {
     pub use crate::{IntoParallelRefIterator, ParallelIterator};
@@ -150,6 +165,307 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// Work-stealing thread pool with scoped task spawning
+// ---------------------------------------------------------------------------
+
+/// A task queued on the pool.  Tasks are type-erased to `'static` when
+/// enqueued; the `'scope` lifetime they actually borrow is enforced by
+/// [`ThreadPool::scope`], which never returns before every task finished.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+/// State shared between the pool handle and its worker threads.
+struct PoolShared {
+    /// One deque per worker.  The owner pushes and pops at the back (LIFO,
+    /// keeping the hot subtree in cache); thieves steal from the front (FIFO,
+    /// taking the oldest — typically largest — task), the classic Chase–Lev
+    /// discipline.  A `Mutex` per deque stands in for the lock-free original;
+    /// contention is negligible at the task granularity the workspace uses
+    /// (every task runs at least one LP feasibility test).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Submissions from threads that are not workers of this pool.
+    injector: Mutex<VecDeque<Task>>,
+    /// Tasks spawned but not yet finished (across the active scope).
+    pending: AtomicUsize,
+    /// Set by `Drop` to terminate the workers.
+    shutdown: AtomicBool,
+    /// First panic observed in a task; rethrown when the scope closes.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send + 'static>>>,
+    /// Parking for idle workers and the scope-closing caller.
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl PoolShared {
+    /// Pops a task: own deque back (LIFO) first when called from worker
+    /// `me`, then the injector front, then steals from the other deques'
+    /// fronts (FIFO).
+    fn take_task(&self, me: Option<usize>) -> Option<Task> {
+        if let Some(me) = me {
+            if let Some(t) = self.deques[me].lock().ok()?.pop_back() {
+                return Some(t);
+            }
+        }
+        if let Some(t) = self.injector.lock().ok()?.pop_front() {
+            return Some(t);
+        }
+        for (i, deque) in self.deques.iter().enumerate() {
+            if Some(i) == me {
+                continue;
+            }
+            if let Some(t) = deque.lock().ok()?.pop_front() {
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Runs a task, capturing the first panic, and retires it from `pending`.
+    fn run_task(&self, task: Task) {
+        let outcome = panic::catch_unwind(AssertUnwindSafe(task));
+        if let Err(payload) = outcome {
+            let mut slot = self.panic.lock().unwrap_or_else(|e| e.into_inner());
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        // Wake the scope-closing caller (waiting for pending == 0) and any
+        // parked worker (a finished task may have spawned successors).
+        self.cv.notify_all();
+    }
+
+    /// Enqueues an already-counted task, preferring the current worker's own
+    /// deque when called from inside the pool.
+    fn push_task(&self, task: Task) {
+        let me = current_worker(self);
+        match me {
+            Some(i) => self.deques[i]
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task),
+            None => self
+                .injector
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push_back(task),
+        }
+        self.cv.notify_one();
+    }
+}
+
+std::thread_local! {
+    /// `(pool identity, worker index)` of the current thread, when it is a
+    /// pool worker.  The identity is the address of the pool's `PoolShared`,
+    /// so a worker only ever pushes to its own pool's deques.
+    static WORKER: std::cell::Cell<(usize, usize)> = const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+/// The worker index of the calling thread within `shared`'s pool, if any.
+fn current_worker(shared: &PoolShared) -> Option<usize> {
+    let (pool, idx) = WORKER.with(std::cell::Cell::get);
+    (pool == shared as *const PoolShared as usize).then_some(idx)
+}
+
+fn worker_loop(shared: Arc<PoolShared>, me: usize) {
+    WORKER.with(|w| w.set((Arc::as_ptr(&shared) as usize, me)));
+    loop {
+        if let Some(task) = shared.take_task(Some(me)) {
+            shared.run_task(task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Park briefly.  The timeout (rather than an exact wakeup protocol)
+        // bounds the cost of any lost-wakeup race to one millisecond.
+        let guard = shared.lock.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = shared.cv.wait_timeout(guard, Duration::from_millis(1));
+    }
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`].  The stand-in never fails
+/// to build; the type exists for signature parity with the real crate.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default settings (`num_threads = 0`, meaning auto).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the number of worker threads; `0` means one per available core.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool, spawning its workers.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            current_num_threads()
+        } else {
+            self.num_threads
+        };
+        let shared = Arc::new(PoolShared {
+            deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            lock: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("kspr-pool-{i}"))
+                    .spawn(move || worker_loop(shared, i))
+                    .map_err(|_| ThreadPoolBuildError)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ThreadPool { shared, handles })
+    }
+}
+
+/// A persistent pool of worker threads executing scoped tasks with work
+/// stealing (mirrors `rayon::ThreadPool`).
+///
+/// Limitation of the stand-in: a pool tracks one active [`ThreadPool::scope`]
+/// at a time; concurrent scopes on the *same* pool would share the pending
+/// counter and over-synchronize (results stay correct, wakeups degrade).
+/// Every use in this workspace owns its pool exclusively.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    handles: Vec<thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Number of worker threads in this pool.
+    pub fn current_num_threads(&self) -> usize {
+        self.shared.deques.len()
+    }
+
+    /// Runs `op` with a [`Scope`] on which tasks borrowing `'scope` data can
+    /// be spawned; returns once `op` *and every spawned task* (transitively)
+    /// have finished.  The calling thread helps execute tasks while waiting.
+    /// A panic in `op` or any task is propagated after all tasks completed.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R + Send,
+        R: Send,
+    {
+        let scope = Scope {
+            shared: Arc::clone(&self.shared),
+            _marker: PhantomData,
+        };
+        let result = panic::catch_unwind(AssertUnwindSafe(|| op(&scope)));
+        // Drain: the scope must not close while tasks that borrow `'scope`
+        // data are queued or running — this wait is what makes the lifetime
+        // erasure in `Scope::spawn` sound.
+        let me = current_worker(&self.shared);
+        loop {
+            if let Some(task) = self.shared.take_task(me) {
+                self.shared.run_task(task);
+                continue;
+            }
+            if self.shared.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            let guard = self.shared.lock.lock().unwrap_or_else(|e| e.into_inner());
+            let _ = self.shared.cv.wait_timeout(guard, Duration::from_millis(1));
+        }
+        let task_panic = self
+            .shared
+            .panic
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        match result {
+            Err(payload) => panic::resume_unwind(payload),
+            Ok(_) if task_panic.is_some() => {
+                panic::resume_unwind(task_panic.expect("checked is_some"))
+            }
+            Ok(value) => value,
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A scope in which tasks borrowing `'scope` data can be spawned (mirrors
+/// `rayon::Scope`).
+pub struct Scope<'scope> {
+    shared: Arc<PoolShared>,
+    /// Invariant in `'scope`, like the real crate's scope.
+    _marker: PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawns a task onto the pool.  The task may itself spawn onto the same
+    /// scope; the enclosing [`ThreadPool::scope`] waits for all of them.
+    pub fn spawn<BODY>(&self, body: BODY)
+    where
+        BODY: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        let task_scope = Scope {
+            shared: Arc::clone(&self.shared),
+            _marker: PhantomData,
+        };
+        let task: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || body(&task_scope));
+        // SAFETY: erasing `'scope` to `'static` is sound because
+        // `ThreadPool::scope` does not return before `pending` reaches zero,
+        // i.e. before this task has run to completion — the borrowed data is
+        // alive for as long as the task can observe it.  The transmute only
+        // changes a lifetime parameter of an otherwise identical fat-pointer
+        // type.
+        let task: Task = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Box<dyn FnOnce() + Send>>(task)
+        };
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.push_task(task);
+    }
+}
+
+/// Runs `op` with a scope on a transient pool with one worker per core (the
+/// free-function form of [`ThreadPool::scope`], mirroring `rayon::scope`).
+/// Prefer a persistent [`ThreadPool`] when scoping repeatedly — this spawns
+/// (and joins) threads on every call.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R + Send,
+    R: Send,
+{
+    let pool = ThreadPoolBuilder::new()
+        .build()
+        .expect("transient pool construction cannot fail");
+    pool.scope(op)
+}
+
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
@@ -188,5 +504,123 @@ mod tests {
                 *x
             })
             .collect();
+    }
+
+    mod pool {
+        use crate::{scope, Scope, ThreadPoolBuilder};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Mutex;
+
+        #[test]
+        fn builder_honors_thread_count() {
+            let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+            assert_eq!(pool.current_num_threads(), 3);
+            let auto = ThreadPoolBuilder::new().build().unwrap();
+            assert_eq!(
+                auto.current_num_threads(),
+                super::super::current_num_threads()
+            );
+        }
+
+        #[test]
+        fn scoped_tasks_borrow_stack_data() {
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            let data: Vec<usize> = (0..100).collect();
+            let sum = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for chunk in data.chunks(7) {
+                    let sum = &sum;
+                    s.spawn(move |_| {
+                        sum.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(sum.into_inner(), (0..100).sum::<usize>());
+        }
+
+        #[test]
+        fn tasks_spawn_recursively() {
+            // A binary task tree four levels deep; every node increments the
+            // counter.  Exercises worker-local pushes and stealing.
+            fn node<'a>(s: &Scope<'a>, depth: usize, hits: &'a AtomicUsize) {
+                hits.fetch_add(1, Ordering::SeqCst);
+                if depth > 0 {
+                    s.spawn(move |s| node(s, depth - 1, hits));
+                    node(s, depth - 1, hits);
+                }
+            }
+            let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+            let hits = AtomicUsize::new(0);
+            pool.scope(|s| node(s, 4, &hits));
+            assert_eq!(hits.into_inner(), 31, "2^5 - 1 nodes");
+        }
+
+        #[test]
+        fn scope_returns_closure_value_and_pool_is_reusable() {
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            for round in 0..5 {
+                let log = Mutex::new(Vec::new());
+                let got = pool.scope(|s| {
+                    for i in 0..8 {
+                        let log = &log;
+                        s.spawn(move |_| log.lock().unwrap().push(i));
+                    }
+                    round
+                });
+                assert_eq!(got, round);
+                let mut seen = log.into_inner().unwrap();
+                seen.sort_unstable();
+                assert_eq!(seen, (0..8).collect::<Vec<_>>());
+            }
+        }
+
+        #[test]
+        #[should_panic(expected = "task blew up")]
+        fn task_panics_propagate_from_scope() {
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            pool.scope(|s| {
+                for i in 0..4 {
+                    s.spawn(move |_| {
+                        if i == 2 {
+                            panic!("task blew up");
+                        }
+                    });
+                }
+            });
+        }
+
+        #[test]
+        fn panicking_scope_still_waits_for_tasks() {
+            // The spawned tasks borrow `flags`; the scope must not unwind past
+            // `flags`' frame before they finish.
+            let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            let flags: Vec<AtomicUsize> = (0..8).map(|_| AtomicUsize::new(0)).collect();
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.scope(|s| {
+                    for f in &flags {
+                        s.spawn(move |_| {
+                            f.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                    panic!("op fails after spawning");
+                })
+            }));
+            assert!(caught.is_err());
+            assert!(flags.iter().all(|f| f.load(Ordering::SeqCst) == 1));
+        }
+
+        #[test]
+        fn free_scope_function_works() {
+            let total = AtomicUsize::new(0);
+            scope(|s| {
+                for i in 1..=10 {
+                    let total = &total;
+                    s.spawn(move |_| {
+                        total.fetch_add(i, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(total.into_inner(), 55);
+        }
     }
 }
