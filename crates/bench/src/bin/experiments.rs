@@ -983,11 +983,12 @@ fn serve(scale: Scale) {
     );
 }
 
-/// Prints the live/tombstone slot accounting of a long-running engine — the
-/// first step of the ROADMAP "tombstone compaction" item.  Deleted slots are
-/// retained forever for id stability, so delete-heavy serving accumulates
-/// dead slots; above 50% a compaction (store rewrite + id remap) would
-/// reclaim half the memory, and this warns the operator.
+/// Prints the live/tombstone slot accounting of a long-running engine.
+/// Deleted slots are tombstoned for id stability; the serving dispatcher
+/// compacts the store (`ShardedEngine::compact` — shards rewritten down to
+/// their live records, dead ids kept allocated but unroutable) once
+/// tombstones exceed 50% of all record slots, so a delete-heavy stream
+/// hovers below that bound between dispatcher passes.
 fn report_tombstones(tombstones: usize, ratio: f64) {
     println!(
         "tombstoned record slots: {tombstones} ({:.1}% of all slots)",
@@ -995,8 +996,9 @@ fn report_tombstones(tombstones: usize, ratio: f64) {
     );
     if ratio > 0.5 {
         println!(
-            "[compaction warning] tombstones exceed 50% of record slots — a store \
-             rewrite would reclaim most of the index memory (ROADMAP: tombstone compaction)"
+            "[compaction pending] tombstones exceed 50% of record slots — the serving \
+             dispatcher compacts after its next update batch; offline engines can \
+             call compact() directly"
         );
     }
 }
@@ -1021,8 +1023,8 @@ fn monitor(scale: Scale) {
     // tests per update.  "competitive": skyband-adjacent focals under the
     // schedule-invariant P-CTA policy, whose region-rich results survive
     // witnessed updates without a rerun.  "competitive·lpcta": the same
-    // focals under LP-CTA, documenting the conservative fallback (bound
-    // reports are schedule-sensitive, so witnessed updates still re-run).
+    // focals under LP-CTA, whose bound traversals are restricted to the
+    // witness skyband so witnessed updates classify away too.
     // "mixed" is the serving blend the kspr-bench lib test gates at >= 2x.
     let lpcta = |f: Vec<Vec<f64>>| -> Vec<(Algorithm, Vec<f64>)> {
         f.into_iter().map(|f| (Algorithm::LpCta, f)).collect()
@@ -1068,6 +1070,69 @@ fn monitor(scale: Scale) {
             cmp.stats.patched,
             cmp.stats.reruns,
         );
+    }
+
+    // Registry scaling: the subscription-scale path.  The same mixed
+    // registry (four CellTree policies, k cycling 1..=8) is maintained
+    // through the spatially indexed registry in dispatcher-sized batches and
+    // through the pre-index full scan, at growing registry sizes.
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![100, 1_000, 10_000],
+        Scale::Full => vec![100, 1_000, 10_000, 100_000],
+    };
+    let sweep_rounds = match scale {
+        Scale::Quick => 8,
+        Scale::Full => 12,
+    };
+    let max_k = 8;
+    println!();
+    println!(
+        "Registry scaling: indexed + batched maintenance vs full-scan per update \
+         (batch window {}, {} update rounds)",
+        config.monitor_batch_window, sweep_rounds
+    );
+    println!(
+        "{:<10} {:>8} {:>17} {:>19} {:>9} {:>15} {:>15}",
+        "queries",
+        "updates",
+        "indexed (s/upd)",
+        "full scan (s/upd)",
+        "speedup",
+        "visited/upd",
+        "pruned/upd"
+    );
+    let mut points = Vec::new();
+    for &size in &sizes {
+        let point =
+            kspr_bench::measure_registry_scaling(&w, size, max_k, &config, sweep_rounds, 95);
+        println!(
+            "{:<10} {:>8} {:>17.8} {:>19.8} {:>8.1}x {:>15.1} {:>15.1}",
+            point.registered,
+            point.updates,
+            point.indexed,
+            point.full_scan,
+            point.speedup(),
+            point.visited_per_update(),
+            point.pruned_per_update(),
+        );
+        points.push(point);
+    }
+    println!(
+        "expected shape: full-scan cost grows linearly with the registry while the \
+         indexed walk stays near-flat (visited/update is a vanishing fraction of the \
+         registry), so the gap widens ~10x per decade; >= 10x at 10^4 is the \
+         kspr-bench lib gate"
+    );
+    match write_bench_perf_monitor(
+        scale,
+        n,
+        p.d_default,
+        max_k,
+        config.monitor_batch_window,
+        &points,
+    ) {
+        Ok(path) => println!("wrote {path} (monitor section)"),
+        Err(err) => eprintln!("could not write BENCH_perf.json: {err}"),
     }
 
     // The serving front-end: subscriptions streaming result deltas through
@@ -1119,7 +1184,7 @@ fn monitor(scale: Scale) {
     println!(
         "expected shape: witnessed updates classify away in microseconds, so patching \
          beats naive re-running by an order of magnitude on lookup-heavy registries; \
-         LP-CTA's bound-reported regions are the documented conservative fallback"
+         LP-CTA rides along since its bound traversals are witness-skyband restricted"
     );
 }
 
@@ -1342,10 +1407,19 @@ fn parallel(scale: Scale, workers: Option<&str>) {
     }
 }
 
-/// Emits the `parallel` experiment's measurements as machine-readable JSON
-/// (`BENCH_perf.json` in the working directory — the repo root when run via
-/// `cargo run`).  Hand-rolled like the repo's other serializers: the schema
-/// is flat enough that a serde dependency buys nothing.
+fn scale_label(scale: Scale) -> &'static str {
+    if scale == Scale::Full {
+        "full"
+    } else {
+        "quick"
+    }
+}
+
+/// Emits the `parallel` experiment's measurements into the `"parallel"`
+/// section of `BENCH_perf.json` (in the working directory — the repo root
+/// when run via `cargo run`).  Hand-rolled like the repo's other
+/// serializers: the schema is flat enough that a serde dependency buys
+/// nothing.
 fn write_bench_perf(
     scale: Scale,
     cores: usize,
@@ -1356,28 +1430,22 @@ fn write_bench_perf(
 ) -> std::io::Result<String> {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"experiment\": \"parallel\",\n");
+    out.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    out.push_str(&format!("    \"cores\": {cores},\n"));
     out.push_str(&format!(
-        "  \"scale\": \"{}\",\n",
-        if scale == Scale::Full {
-            "full"
-        } else {
-            "quick"
-        }
+        "    \"n\": {n},\n    \"d\": {d},\n    \"k\": {k},\n"
     ));
-    out.push_str(&format!("  \"cores\": {cores},\n"));
-    out.push_str(&format!("  \"n\": {n},\n  \"d\": {d},\n  \"k\": {k},\n"));
-    out.push_str("  \"algorithm\": \"PCTA\",\n");
-    out.push_str("  \"lp_cta_excluded\": \"look-ahead bound reports depend on expansion order; always sequential\",\n");
-    out.push_str("  \"mixes\": [\n");
+    out.push_str("    \"algorithm\": \"PCTA\",\n");
+    out.push_str("    \"lp_cta_excluded\": \"look-ahead bound reports depend on expansion order; always sequential\",\n");
+    out.push_str("    \"mixes\": [\n");
     for (i, (label, sweep)) in sweeps.iter().enumerate() {
-        out.push_str("    {\n");
-        out.push_str(&format!("      \"mix\": \"{label}\",\n"));
-        out.push_str(&format!("      \"queries\": {},\n", sweep.queries));
-        out.push_str("      \"points\": [\n");
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"mix\": \"{label}\",\n"));
+        out.push_str(&format!("        \"queries\": {},\n", sweep.queries));
+        out.push_str("        \"points\": [\n");
         for (j, point) in sweep.points.iter().enumerate() {
             out.push_str(&format!(
-                "        {{\"workers\": {}, \"single_query_secs\": {:.6}, \"batch_qps\": {:.3}, \
+                "          {{\"workers\": {}, \"single_query_secs\": {:.6}, \"batch_qps\": {:.3}, \
                  \"speedup_vs_1_worker\": {:.3}, \"parallel_inserts\": {}}}{}\n",
                 point.workers,
                 point.single_query_secs,
@@ -1387,16 +1455,119 @@ fn write_bench_perf(
                 if j + 1 == sweep.points.len() { "" } else { "," },
             ));
         }
-        out.push_str("      ]\n");
+        out.push_str("        ]\n");
         out.push_str(&format!(
-            "    }}{}\n",
+            "      }}{}\n",
             if i + 1 == sweeps.len() { "" } else { "," }
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("    ]\n  }");
+    write_bench_perf_section("parallel", &out)
+}
+
+/// Emits the `monitor` experiment's registry-scaling sweep into the
+/// `"monitor"` section of `BENCH_perf.json`.
+fn write_bench_perf_monitor(
+    scale: Scale,
+    n: usize,
+    d: usize,
+    max_k: usize,
+    batch_window: usize,
+    points: &[kspr_bench::RegistryScalingPoint],
+) -> std::io::Result<String> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    out.push_str(&format!(
+        "    \"n\": {n},\n    \"d\": {d},\n    \"max_k\": {max_k},\n"
+    ));
+    out.push_str(&format!("    \"batch_window\": {batch_window},\n"));
+    out.push_str("    \"algorithms\": [\"LPCTA\", \"PCTA\", \"CTA\", \"KSKYBAND\"],\n");
+    out.push_str(
+        "    \"baseline\": \"full-scan registry classified after every single update\",\n",
+    );
+    out.push_str("    \"points\": [\n");
+    for (i, point) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"queries\": {}, \"updates\": {}, \"batch\": {}, \
+             \"indexed_secs_per_update\": {:.9}, \"full_scan_secs_per_update\": {:.9}, \
+             \"speedup\": {:.3}, \"visited_per_update\": {:.3}, \"index_pruned_per_update\": {:.3}}}{}\n",
+            point.registered,
+            point.updates,
+            point.batch,
+            point.indexed,
+            point.full_scan,
+            point.speedup(),
+            point.visited_per_update(),
+            point.pruned_per_update(),
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ]\n  }");
+    write_bench_perf_section("monitor", &out)
+}
+
+/// Writes one experiment's section into `BENCH_perf.json`, preserving every
+/// other known section already in the file, so `monitor` and `parallel` runs
+/// compose regardless of order.  `body` is the section's rendered JSON
+/// object (starting at `{`).
+fn write_bench_perf_section(section: &str, body: &str) -> std::io::Result<String> {
+    const SECTIONS: [&str; 2] = ["monitor", "parallel"];
     let path = "BENCH_perf.json";
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut out = String::from("{\n");
+    let mut parts: Vec<(&str, String)> = Vec::new();
+    for name in SECTIONS {
+        if name == section {
+            parts.push((name, body.to_string()));
+        } else if let Some(kept) = extract_json_section(&existing, name) {
+            parts.push((name, kept));
+        }
+    }
+    for (i, (name, body)) in parts.iter().enumerate() {
+        out.push_str(&format!("  \"{name}\": {body}"));
+        out.push_str(if i + 1 == parts.len() { "\n" } else { ",\n" });
+    }
+    out.push_str("}\n");
     std::fs::write(path, out)?;
     Ok(path.to_string())
+}
+
+/// Extracts the raw `{...}` object of a top-level `"name": {` key from the
+/// hand-rolled `BENCH_perf.json` (brace matching, skipping string literals).
+/// Returns `None` when the key is absent — e.g. an empty file, or the
+/// pre-section flat layout, which is simply superseded.
+fn extract_json_section(text: &str, name: &str) -> Option<String> {
+    let key = format!("\"{name}\":");
+    let at = text.find(&key)?;
+    let open = at + key.len() + text[at + key.len()..].find('{')?;
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in text[open..].char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(text[open..=open + i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
 }
 
 fn fig24(scale: Scale) {

@@ -4,7 +4,10 @@
 //! LP-CTA (§6) and the k-skyband baseline (Appendix B) — runs the *same*
 //! traversal loop:
 //!
-//! 1. preprocess the dataset against the focal record (Section 3.1),
+//! 1. preprocess the dataset against the focal record (Section 3.1) — and,
+//!    for bound-using policies, restrict the competitors to their
+//!    `k_effective`-skyband so the look-ahead bounds read an update-stable
+//!    aggregate tree (see `restrict_to_witness_skyband`),
 //! 2. insert batches of record hyperplanes into the [`CellTree`],
 //! 3. optionally prune / report cells early with look-ahead rank bounds,
 //! 4. optionally report cells with the pivot test of Lemma 5 and derive the
@@ -72,7 +75,7 @@ use kspr_geometry::hyperplane::Hyperplane;
 use kspr_geometry::{Halfspace, PlaneKind, PreferenceSpace, Sign};
 use kspr_spatial::{
     bbs_skyline, dominates, k_skyband, k_skyband_live, k_skyband_restricted, skyline_excluding,
-    DominanceGraph, RecordId,
+    AggregateRTree, DominanceGraph, Record, RecordId,
 };
 use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
@@ -803,6 +806,25 @@ impl QueryEngine {
             }
             Prepared::Filtered(f) => f,
         };
+        // Look-ahead bounds read the competitor R-tree's aggregates, so for
+        // bound-using policies the competitor set is first restricted to its
+        // k_effective-skyband (sound by the same Lemma 6 argument as the
+        // skyband baseline: a record with `k_effective` dominators among the
+        // competitors never outscores the focal record inside a result cell,
+        // so dropping it preserves every reported region and rank).  Beyond
+        // shrinking the bound tree, this makes the *decomposition* of a
+        // bound-using run invariant under updates of witnessed records — a
+        // record with `k` live dominators sits outside the restricted set
+        // both before and after its insert or delete, and cannot move any
+        // other record across the skyband boundary (its own dominators
+        // transitively dominate everything it dominates).  The standing-query
+        // monitor's cell-wise LP-CTA patching rests on exactly this
+        // invariance.
+        let filtered = if policy.use_rank_bounds() {
+            restrict_to_witness_skyband(filtered, self.config.rtree_fanout, shared, k)
+        } else {
+            filtered
+        };
 
         let query = PreparedQuery {
             filtered: &filtered,
@@ -854,6 +876,53 @@ impl QueryEngine {
             traversal.collect_remaining();
         }
         traversal.finish()
+    }
+}
+
+/// Restricts a filtered competitor set to its `k_effective`-skyband, the
+/// stable core that bound-using policies (LP-CTA) traverse and bound against.
+///
+/// When batch-shared preprocessing for the same `k` is available the scan is
+/// restricted to the precomputed dataset-level band (the membership argument
+/// of [`SkybandPolicy::initial_batch`]); the output is identical either way,
+/// so single runs and batch members produce bit-identical results.  When
+/// nothing is pruned the prepared query (and its possibly-shared tree) is
+/// passed through untouched.
+fn restrict_to_witness_skyband(
+    filtered: FilteredQuery,
+    fanout: usize,
+    shared: Option<&SharedPrep>,
+    k: usize,
+) -> FilteredQuery {
+    let mut keep = match shared {
+        Some(s) if s.k() == k => {
+            k_skyband_restricted(&filtered.records, filtered.k_effective, |id| {
+                s.in_skyband(filtered.original_ids[id])
+            })
+        }
+        _ => k_skyband(&filtered.records, filtered.k_effective),
+    };
+    if keep.len() == filtered.records.len() {
+        return filtered;
+    }
+    // The band scan emits decreasing coordinate-sum order; re-id ascending so
+    // `original_ids` stays sorted (its binary-search invariant).
+    keep.sort_unstable();
+    let records: Vec<Record> = keep
+        .iter()
+        .enumerate()
+        .map(|(i, &id)| Record::new(i, filtered.records[id].values.clone()))
+        .collect();
+    let original_ids: Vec<usize> = keep.iter().map(|&id| filtered.original_ids[id]).collect();
+    let tree = Arc::new(AggregateRTree::bulk_load(records.clone(), fanout));
+    let io_base = tree.io().reads();
+    FilteredQuery {
+        records,
+        original_ids,
+        tree,
+        k_effective: filtered.k_effective,
+        dominators: filtered.dominators,
+        io_base,
     }
 }
 
@@ -1239,6 +1308,38 @@ mod tests {
                 assert!(agreement > 0.995, "{alg:?} k={k}: agreement {agreement}");
             }
         }
+    }
+
+    #[test]
+    fn bound_using_policies_are_invariant_under_witnessed_updates() {
+        let (dataset, _, focal) = figure1();
+        let mut engine = QueryEngine::new(&dataset, KsprConfig::default());
+        let k = 1;
+        let before = engine.run(Algorithm::LpCta, &focal, k);
+        assert!(!before.is_empty() && !before.is_whole_space());
+        // (2.5, 7.5, 5.0) is incomparable with the focal record and dominated
+        // by record 0 — a witnessed update for k = 1.  The skyband
+        // restriction keeps it out of the bound traversal entirely, so the
+        // decomposition (not just the covered area) must survive its insert
+        // and delete unchanged.
+        let update = vec![2.5, 7.5, 5.0];
+        assert!(engine.count_dominating(&update, k) >= k);
+        assert!(!dominates(&update, &focal) && !dominates(&focal, &update));
+        let id = engine.insert(update);
+        let after = engine.run(Algorithm::LpCta, &focal, k);
+        assert_eq!(before.num_regions(), after.num_regions());
+        assert_eq!(before.rank_signature(), after.rank_signature());
+        assert_eq!(
+            before.stats.processed_records, after.stats.processed_records,
+            "a witnessed record must never enter the bound traversal"
+        );
+        for w in naive::sample_weights(&before.space, 80, 17) {
+            assert_eq!(before.contains(&w), after.contains(&w), "at {w:?}");
+        }
+        assert!(engine.delete(id));
+        let restored = engine.run(Algorithm::LpCta, &focal, k);
+        assert_eq!(before.num_regions(), restored.num_regions());
+        assert_eq!(before.rank_signature(), restored.rank_signature());
     }
 
     #[test]

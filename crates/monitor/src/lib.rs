@@ -18,6 +18,43 @@
 //! * Queries whose result changed produce [`ResultDelta`] notifications,
 //!   which the serving front-end (`kspr-serve`) forwards to subscribers.
 //!
+//! # Subscription scale: the registry index and batched maintenance
+//!
+//! Classifying every update against every registered query is an
+//! update×registry product — the serving bottleneck once subscriptions reach
+//! the tens of thousands.  Two mechanisms make per-update work sublinear in
+//! the registry size:
+//!
+//! * **The spatial registry index.**  Focal points are kept in their own
+//!   [`kspr_spatial::AggregateRTree`] alongside a `k`-grouped id map.  For an
+//!   update record `v` only two slices of the registry can possibly change
+//!   state: the queries whose focal record `v` dominates (found with the
+//!   MBR-pruned dominated-focal probe — their dominator bookkeeping shifts),
+//!   and the queries whose `k` exceeds `v`'s live dominator count (the
+//!   witness cut: one shared [`MonitorEngine::count_dominating`] probe, then
+//!   a range scan of the `k`-index).  Every other query is **provably
+//!   unaffected without being visited** — its focal record either dominates
+//!   or ties `v` (invisible by Section-3.1 preprocessing) or is incomparable
+//!   with a `k`-witnessed `v` (the skyband witness argument below) — and is
+//!   accounted in bulk ([`MonitorStats::index_pruned`]).  A full-scan mode
+//!   ([`Monitor::full_scan`]) is kept for differential testing.
+//! * **Batched maintenance.**  [`Monitor::apply_batch`] classifies a whole
+//!   drained update stream in **one** pass per affected query: per-update
+//!   probes are computed once and shared across all queries, per-query state
+//!   walks the batch in order, and at most one engine re-run happens per
+//!   query per batch no matter how many updates demanded one
+//!   ([`MonitorStats::engine_runs`] vs [`MonitorStats::reruns`]).  One
+//!   coalesced [`ResultDelta`] per query summarises the whole batch.
+//!
+//! Batched probes run against the **post-batch** engine state, which is
+//! sound: a query is only retained when every non-invisible update in the
+//! batch is witnessed by `k` live dominators at the final state, and those
+//! witnesses always include `k` records that were present *throughout* the
+//! batch.  (Witnesses that were themselves inserted in the batch are in turn
+//! witnessed, so a maximal such witness under the dominance order has all its
+//! `k` dominators in the untouched core — and they transitively witness the
+//! original update.)
+//!
 //! # Why the classification is sound
 //!
 //! Write `p` for the focal record, `v` for the delta record and `R` for the
@@ -46,13 +83,16 @@
 //!    deleting `v` leaves `R` unchanged, and inside every result cell `v`'s
 //!    hyperplane is on the non-outranking side, so it cannot split a
 //!    reported cell: the region decomposition itself is preserved for every
-//!    policy whose reporting depends only on the final arrangement (CTA,
-//!    P-CTA's pivot reports, the k-skyband baseline).  LP-CTA's *look-ahead
-//!    bound* reports are schedule-sensitive — the delta record perturbs the
-//!    aggregate R-tree bounds, which may merge or split reported cells even
-//!    though the covered area is identical — so for bound-using policies
-//!    this shortcut only applies to empty and whole-space results and
-//!    everything else re-runs (see [`ExpansionPolicy::use_rank_bounds`]).
+//!    policy.  LP-CTA's *look-ahead bound* reports read aggregate R-tree
+//!    bounds a witnessed record could still perturb — but the engine
+//!    restricts bound-using traversals to the witness skyband of the
+//!    competitors (`restrict_to_witness_skyband` in `kspr-core`), and a
+//!    `k`-witnessed record is provably outside that skyband both before and
+//!    after its own update, so even the bound reports are bit-identical.
+//!    This is the **cell-wise LP-CTA patch**: a witnessed update touches no
+//!    retained cell's cover set, so zero cells re-derive; the bounds are
+//!    only invalidated — forcing the full re-run — when the update is
+//!    unwitnessed or shifts the effective `k`.
 //!
 //! `monitor_consistency.rs` in the umbrella crate property-tests the whole
 //! classifier: under random insert/delete interleavings every maintained
@@ -87,8 +127,9 @@
 
 use kspr::engine::policy_for;
 use kspr::{check_record, Algorithm, IngestError, KsprResult, QueryEngine, QueryStats};
-use kspr_spatial::{dominates, RecordId};
-use std::collections::BTreeMap;
+use kspr_spatial::{dominates, AggregateRTree, Record, RecordId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::ops::Bound;
 
 /// Identifier of a registered standing query (dense, never reused).
 pub type QueryId = u64;
@@ -168,12 +209,27 @@ pub enum UpdateClass {
 pub struct MonitorStats {
     /// Standing queries ever registered.
     pub registered: u64,
-    /// (update, query) pairs classified as unaffected.
+    /// (update, query) pairs classified as unaffected (including every
+    /// index-pruned pair).
     pub unaffected: u64,
     /// (update, query) pairs patched in place.
     pub patched: u64,
-    /// (update, query) pairs that re-ran the engine.
+    /// (update, query) pairs classified as needing a re-run.
     pub reruns: u64,
+    /// (update, query) pairs the classifier actually walked; the complement
+    /// of `index_pruned` within `classified()`.
+    pub visited: u64,
+    /// (update, query) pairs the registry index proved unaffected in bulk,
+    /// without visiting the query (also counted in `unaffected`).
+    pub index_pruned: u64,
+    /// Update batches processed through [`Monitor::apply_batch`].
+    pub batches: u64,
+    /// Updates processed through [`Monitor::apply_batch`].
+    pub batched_updates: u64,
+    /// Engine re-runs actually executed.  Within a batch every `reruns` pair
+    /// of one query coalesces into a single post-batch run, so
+    /// `engine_runs <= reruns`.
+    pub engine_runs: u64,
 }
 
 impl MonitorStats {
@@ -273,28 +329,113 @@ impl StandingQuery {
     }
 }
 
-/// Which side of an update is being classified.
+/// Which side of an update is being classified (the payload of a
+/// [`Monitor::apply_batch`] stream).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum UpdateKind {
+pub enum UpdateKind {
+    /// The record was just inserted into the engine.
     Insert,
+    /// The record was just deleted from the engine.
     Delete,
+}
+
+/// Spatial index over the registered focal points: an [`AggregateRTree`] for
+/// the dominated-focal probe plus a `k`-grouped id map for the witness cut.
+/// Registry slots are append-only tree ids; unregistering tombstones the
+/// slot (`AggregateRTree::delete`), mirroring the engine's own tombstone
+/// discipline.
+#[derive(Debug, Default)]
+struct RegistryIndex {
+    /// Focal points keyed by registry slot.  Lazy (`None` until the first
+    /// registration) because the tree cannot be bulk-loaded empty.
+    tree: Option<AggregateRTree>,
+    /// Registry slot → standing query id.
+    owner: HashMap<RecordId, QueryId>,
+    /// Standing query id → registry slot, for unregistration.
+    slot: HashMap<QueryId, RecordId>,
+    /// Query ids grouped by `k`: `range((Excluded(d), Unbounded))` yields
+    /// exactly the queries whose witness requirement exceeds an update's
+    /// live dominator count `d`.
+    by_k: BTreeMap<usize, BTreeSet<QueryId>>,
+}
+
+impl RegistryIndex {
+    fn add(&mut self, id: QueryId, focal: &[f64], k: usize) {
+        let slot = match &mut self.tree {
+            Some(tree) => tree.insert(focal.to_vec()),
+            None => {
+                self.tree = Some(AggregateRTree::bulk_load(
+                    vec![Record::new(0, focal.to_vec())],
+                    AggregateRTree::DEFAULT_FANOUT,
+                ));
+                0
+            }
+        };
+        self.owner.insert(slot, id);
+        self.slot.insert(id, slot);
+        self.by_k.entry(k).or_default().insert(id);
+    }
+
+    fn remove(&mut self, id: QueryId, k: usize) {
+        if let Some(slot) = self.slot.remove(&id) {
+            self.owner.remove(&slot);
+            if let Some(tree) = &mut self.tree {
+                tree.delete(slot);
+            }
+        }
+        if let Some(group) = self.by_k.get_mut(&k) {
+            group.remove(&id);
+            if group.is_empty() {
+                self.by_k.remove(&k);
+            }
+        }
+    }
 }
 
 /// The standing-query registry.  Generic over the engine only at the method
 /// level, so one monitor type serves both the single [`QueryEngine`] and the
 /// sharded serving engine.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Monitor {
     /// Registered queries in id order (deterministic notification order).
     queries: BTreeMap<QueryId, StandingQuery>,
     next_id: QueryId,
     stats: MonitorStats,
+    /// `Some`: the spatial registry index (the default).  `None`: every
+    /// update visits every query — kept for differential testing.
+    index: Option<RegistryIndex>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Monitor {
-    /// An empty registry.
+    /// An empty registry with the spatial index enabled.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            queries: BTreeMap::new(),
+            next_id: 0,
+            stats: MonitorStats::default(),
+            index: Some(RegistryIndex::default()),
+        }
+    }
+
+    /// An empty registry that classifies by scanning every query on every
+    /// update.  Differential-testing reference for the indexed default —
+    /// byte-for-byte the same results and notifications, linearly more work.
+    pub fn full_scan() -> Self {
+        Self {
+            index: None,
+            ..Self::new()
+        }
+    }
+
+    /// True iff this registry uses the spatial index.
+    pub fn is_indexed(&self) -> bool {
+        self.index.is_some()
     }
 
     /// Number of registered standing queries.
@@ -350,6 +491,9 @@ impl Monitor {
         let focal_dominators = engine.count_dominating(&focal, usize::MAX);
         let id = self.next_id;
         self.next_id += 1;
+        if let Some(index) = &mut self.index {
+            index.add(id, &focal, k);
+        }
         self.queries.insert(
             id,
             StandingQuery {
@@ -367,7 +511,15 @@ impl Monitor {
     /// Drops a standing query and its maintenance state; returns `false` if
     /// the id was never registered (or already unregistered).
     pub fn unregister(&mut self, id: QueryId) -> bool {
-        self.queries.remove(&id).is_some()
+        match self.queries.remove(&id) {
+            Some(q) => {
+                if let Some(index) = &mut self.index {
+                    index.remove(id, q.k);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops every standing query and its maintenance state (the counters
@@ -376,6 +528,9 @@ impl Monitor {
     /// bookkeeping must never classify future updates.
     pub fn clear(&mut self) {
         self.queries.clear();
+        if let Some(index) = &mut self.index {
+            *index = RegistryIndex::default();
+        }
     }
 
     /// Maintains every standing query for a record just **inserted** into the
@@ -386,7 +541,7 @@ impl Monitor {
         engine: &E,
         values: &[f64],
     ) -> Vec<ResultDelta> {
-        self.apply_update(engine, values, UpdateKind::Insert)
+        self.apply_updates(engine, &[(UpdateKind::Insert, values.to_vec())])
     }
 
     /// Maintains every standing query for a record just **deleted** from the
@@ -397,166 +552,248 @@ impl Monitor {
         engine: &E,
         values: &[f64],
     ) -> Vec<ResultDelta> {
-        self.apply_update(engine, values, UpdateKind::Delete)
+        self.apply_updates(engine, &[(UpdateKind::Delete, values.to_vec())])
     }
 
-    fn apply_update<E: MonitorEngine>(
+    /// Maintains every standing query for a **batch** of updates already
+    /// applied to the engine, given in stream order.
+    ///
+    /// Probes run against the post-batch engine state (sound — see the
+    /// module docs), every per-update probe is shared across all queries,
+    /// each affected query is walked once over the whole batch, and however
+    /// many of its (update, query) pairs demanded a re-run, at most **one**
+    /// engine run happens per query — against the final state, which is
+    /// exactly the state the result must match.  Each query produces at most
+    /// one coalesced [`ResultDelta`] (pre-batch snapshot → post-batch
+    /// result).
+    pub fn apply_batch<E: MonitorEngine>(
         &mut self,
         engine: &E,
-        values: &[f64],
-        kind: UpdateKind,
+        updates: &[(UpdateKind, Vec<f64>)],
     ) -> Vec<ResultDelta> {
+        if updates.is_empty() {
+            return Vec::new();
+        }
+        self.stats.batches += 1;
+        self.stats.batched_updates += updates.len() as u64;
+        self.apply_updates(engine, updates)
+    }
+
+    fn apply_updates<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        updates: &[(UpdateKind, Vec<f64>)],
+    ) -> Vec<ResultDelta> {
+        if updates.is_empty() || self.queries.is_empty() {
+            return Vec::new();
+        }
         // The dominator-count probe depends only on the delta record and the
-        // largest registered k, so it is shared across all queries and only
-        // computed if some query actually needs it.
+        // largest registered k, so it is computed at most once per update
+        // and shared across every query in the batch.
+        let total = self.queries.len() as u64;
         let limit = self.queries.values().map(|q| q.k).max().unwrap_or(0);
-        let mut delta_dominators: Option<usize> = None;
+        let mut delta_dominators: Vec<Option<usize>> = vec![None; updates.len()];
+
+        // The visit set: query ids the classifier must walk, unioned over
+        // the batch — (a) queries whose focal record an update dominates
+        // (their dominator bookkeeping shifts) and (b) queries whose k
+        // exceeds an update's live dominator count (the witness cut fails,
+        // so a re-run may be due).  Every other query is provably unaffected
+        // by every update in the batch (module docs) and accounted in bulk.
+        let visit: Option<BTreeSet<QueryId>> = self.index.as_ref().map(|index| {
+            let mut visit = BTreeSet::new();
+            for (i, (_, values)) in updates.iter().enumerate() {
+                let d = *delta_dominators[i]
+                    .get_or_insert_with(|| engine.count_dominating(values, limit));
+                for (_, group) in index.by_k.range((Bound::Excluded(d), Bound::Unbounded)) {
+                    visit.extend(group.iter().copied());
+                }
+                if let Some(tree) = &index.tree {
+                    tree.for_each_dominated(values, |slot| {
+                        visit.insert(index.owner[&slot]);
+                    });
+                }
+            }
+            visit
+        });
+        let pruned = visit.as_ref().map_or(0, |v| total - v.len() as u64);
+        self.stats.visited += (total - pruned) * updates.len() as u64;
+        self.stats.index_pruned += pruned * updates.len() as u64;
+        self.stats.unaffected += pruned * updates.len() as u64;
+
         let mut deltas = Vec::new();
         let stats = &mut self.stats;
         for (&id, q) in self.queries.iter_mut() {
-            let (class, before) =
-                Self::maintain(q, engine, values, kind, &mut delta_dominators, limit);
-            match class {
-                UpdateClass::Unaffected => stats.unaffected += 1,
-                UpdateClass::Patched => stats.patched += 1,
-                UpdateClass::Rerun => stats.reruns += 1,
-            }
-            // A snapshot exists only for the classes that touch the result;
-            // the unaffected fast path stays allocation-free.  Reruns always
-            // notify — an identical rank signature does not prove identical
-            // region geometry (see the ResultDelta docs).
-            if let Some((regions_before, ranks_before)) = before {
-                let ranks_after = q.result.rank_signature();
-                if ranks_before != ranks_after || class == UpdateClass::Rerun {
-                    deltas.push(ResultDelta {
-                        query: id,
-                        class,
-                        regions_before,
-                        regions_after: q.result.num_regions(),
-                        ranks_before,
-                        ranks_after,
-                    });
+            if let Some(visit) = &visit {
+                if !visit.contains(&id) {
+                    continue;
                 }
+            }
+            if let Some(delta) =
+                Self::maintain_batch(id, q, engine, updates, &mut delta_dominators, limit, stats)
+            {
+                deltas.push(delta);
             }
         }
         deltas
     }
 
     /// Pre-mutation snapshot of a standing result: region count and rank
-    /// signature, taken just before a patch or rerun touches it.
+    /// signature, taken just before the first patch or rerun touches it.
     fn snapshot(q: &StandingQuery) -> (usize, Vec<usize>) {
         (q.result.num_regions(), q.result.rank_signature())
     }
 
-    /// Classifies (and maintains) one standing query for one update,
-    /// returning the class together with the pre-mutation snapshot (`None`
-    /// when the result was provably untouched).  The case analysis is the
-    /// module-docs argument, in order.
-    fn maintain<E: MonitorEngine>(
+    /// Walks one standing query over the whole batch, maintaining its state
+    /// update by update.  The per-pair case analysis is the module-docs
+    /// argument, in order; the first pair that demands a re-run marks the
+    /// query stale and every later visible pair short-circuits into the same
+    /// single post-batch engine run.
+    fn maintain_batch<E: MonitorEngine>(
+        id: QueryId,
         q: &mut StandingQuery,
         engine: &E,
-        values: &[f64],
-        kind: UpdateKind,
-        delta_dominators: &mut Option<usize>,
+        updates: &[(UpdateKind, Vec<f64>)],
+        delta_dominators: &mut [Option<usize>],
         limit: usize,
-    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
-        let dominates_focal = dominates(values, &q.focal);
-        // Ties and records the focal record dominates are removed by the
-        // Section-3.1 preprocessing; updating one reproduces the old run.
-        let invisible = values == q.focal.as_slice() || dominates(&q.focal, values);
-        if dominates_focal {
-            match kind {
-                UpdateKind::Insert => q.focal_dominators += 1,
-                UpdateKind::Delete => {
-                    debug_assert!(q.focal_dominators > 0, "dominator count underflow");
-                    q.focal_dominators = q.focal_dominators.saturating_sub(1);
+        stats: &mut MonitorStats,
+    ) -> Option<ResultDelta> {
+        // Pre-batch snapshot, taken lazily before the first mutation so the
+        // all-unaffected walk stays allocation-free.
+        let mut before: Option<(usize, Vec<usize>)> = None;
+        let mut pending_rerun = false;
+        for (i, (kind, values)) in updates.iter().enumerate() {
+            let dominates_focal = dominates(values, &q.focal);
+            // Ties and records the focal record dominates are removed by the
+            // Section-3.1 preprocessing; updating one reproduces the old run.
+            let invisible = values.as_slice() == q.focal.as_slice() || dominates(&q.focal, values);
+            // Dominator bookkeeping happens even for pairs that are about to
+            // short-circuit: the count must stay exact across the batch.
+            if dominates_focal {
+                match kind {
+                    UpdateKind::Insert => q.focal_dominators += 1,
+                    UpdateKind::Delete => {
+                        debug_assert!(q.focal_dominators > 0, "dominator count underflow");
+                        q.focal_dominators = q.focal_dominators.saturating_sub(1);
+                    }
                 }
             }
-        }
-        if invisible {
-            return (UpdateClass::Unaffected, None);
-        }
-        if kind == UpdateKind::Insert && q.result.is_empty() {
-            // Inserts only push the focal record's rank up: empty stays empty.
-            return (UpdateClass::Unaffected, None);
-        }
-        if dominates_focal {
-            return Self::maintain_dominator(q, engine, kind);
-        }
-
-        // Incomparable delta record: the skyband witness test.  With at least
-        // k live dominators, the delta record cannot change the result area —
-        // and for policies without schedule-sensitive bound reports it cannot
-        // change the region decomposition either.
-        let dominators =
-            *delta_dominators.get_or_insert_with(|| engine.count_dominating(values, limit));
-        if dominators >= q.k {
-            let decomposition_stable = policy_for(q.algorithm)
-                .is_some_and(|policy| !policy.use_rank_bounds())
-                || q.result.is_empty()
-                || q.result.is_whole_space();
-            if decomposition_stable {
-                return (UpdateClass::Unaffected, None);
+            if invisible {
+                stats.unaffected += 1;
+                continue;
             }
+            if pending_rerun {
+                // The result is already stale; every later visible pair joins
+                // the one re-run below.
+                stats.reruns += 1;
+                continue;
+            }
+            if *kind == UpdateKind::Insert && q.result.is_empty() {
+                // Inserts only push the focal record's rank up: empty stays
+                // empty.
+                stats.unaffected += 1;
+                continue;
+            }
+            if dominates_focal {
+                match Self::patch_dominator(q, *kind, &mut before) {
+                    UpdateClass::Unaffected => stats.unaffected += 1,
+                    UpdateClass::Patched => stats.patched += 1,
+                    UpdateClass::Rerun => {
+                        stats.reruns += 1;
+                        pending_rerun = true;
+                    }
+                }
+                continue;
+            }
+            // Incomparable delta record: the skyband witness test.  With at
+            // least k live dominators the record cannot change the result
+            // area, and the engine's witness-skyband restriction makes the
+            // region decomposition — bound reports included — identical too
+            // (the cell-wise LP-CTA patch: zero cells to re-derive).
+            let d =
+                *delta_dominators[i].get_or_insert_with(|| engine.count_dominating(values, limit));
+            if d >= q.k {
+                stats.unaffected += 1;
+                continue;
+            }
+            stats.reruns += 1;
+            pending_rerun = true;
         }
-        Self::rerun(q, engine)
+        if pending_rerun {
+            if before.is_none() {
+                before = Some(Self::snapshot(q));
+            }
+            q.result = engine.run_query(q.algorithm, &q.focal, q.k);
+            stats.engine_runs += 1;
+        }
+        // Reruns always notify — an identical rank signature does not prove
+        // identical region geometry (see the ResultDelta docs).
+        let (regions_before, ranks_before) = before?;
+        let ranks_after = q.result.rank_signature();
+        if !pending_rerun && ranks_before == ranks_after {
+            return None;
+        }
+        Some(ResultDelta {
+            query: id,
+            class: if pending_rerun {
+                UpdateClass::Rerun
+            } else {
+                UpdateClass::Patched
+            },
+            regions_before,
+            regions_after: q.result.num_regions(),
+            ranks_before,
+            ranks_after,
+        })
     }
 
     /// The delta record dominates the focal record: the rank offset shifts
-    /// uniformly, so emptiness and whole-space results patch in place.
-    fn maintain_dominator<E: MonitorEngine>(
+    /// uniformly, so emptiness and whole-space results patch in place;
+    /// anything richer changed its effective k and must re-run.
+    fn patch_dominator(
         q: &mut StandingQuery,
-        engine: &E,
         kind: UpdateKind,
-    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
+        before: &mut Option<(usize, Vec<usize>)>,
+    ) -> UpdateClass {
         match kind {
             UpdateKind::Insert => {
                 if q.focal_dominators >= q.k {
                     // At least k records now outscore the focal record
                     // everywhere; a fresh run short-circuits to Empty.
-                    let before = Self::snapshot(q);
+                    before.get_or_insert_with(|| Self::snapshot(q));
                     q.set_empty();
-                    return (UpdateClass::Patched, Some(before));
+                    return UpdateClass::Patched;
                 }
                 if q.result.is_whole_space() {
-                    let before = Self::snapshot(q);
+                    before.get_or_insert_with(|| Self::snapshot(q));
                     let rank = q.result.regions[0].rank + 1;
                     if rank > q.k {
                         q.set_empty();
                     } else {
                         q.result.regions[0].rank = rank;
                     }
-                    return (UpdateClass::Patched, Some(before));
+                    return UpdateClass::Patched;
                 }
-                Self::rerun(q, engine)
+                UpdateClass::Rerun
             }
             UpdateKind::Delete => {
                 if q.focal_dominators >= q.k {
                     // Still at least k everywhere-dominators: the result was
                     // and remains empty.
                     debug_assert!(q.result.is_empty());
-                    return (UpdateClass::Unaffected, None);
+                    return UpdateClass::Unaffected;
                 }
                 if q.result.is_whole_space() {
                     // A whole-space rank always counts its dominators, so it
                     // is at least 2 when one of them is being removed.
                     debug_assert!(q.result.regions[0].rank >= 2);
-                    let before = Self::snapshot(q);
+                    before.get_or_insert_with(|| Self::snapshot(q));
                     q.result.regions[0].rank = q.result.regions[0].rank.saturating_sub(1).max(1);
-                    return (UpdateClass::Patched, Some(before));
+                    return UpdateClass::Patched;
                 }
-                Self::rerun(q, engine)
+                UpdateClass::Rerun
             }
         }
-    }
-
-    fn rerun<E: MonitorEngine>(
-        q: &mut StandingQuery,
-        engine: &E,
-    ) -> (UpdateClass, Option<(usize, Vec<usize>)>) {
-        let before = Self::snapshot(q);
-        q.result = engine.run_query(q.algorithm, &q.focal, q.k);
-        (UpdateClass::Rerun, Some(before))
     }
 }
 
@@ -948,18 +1185,164 @@ mod tests {
     }
 
     #[test]
-    fn bound_using_policies_rerun_unless_empty_or_whole_space() {
+    fn bound_using_policies_retain_results_under_witnessed_updates() {
+        // LP-CTA's look-ahead bounds read a witness-skyband-restricted
+        // aggregate tree (kspr-core), so a witnessed incomparable record
+        // leaves even the bound reports bit-identical: the region-rich
+        // result is retained with zero cells re-derived and no re-run.
         let mut monitored = MonitoredEngine::new(figure1());
         let q = monitored
             .register(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 1)
             .unwrap();
         assert!(!monitored.result(q).unwrap().is_empty());
         assert!(!monitored.result(q).unwrap().is_whole_space());
-        // Incomparable, witnessed by its one dominator (k = 1) — but LP-CTA's
-        // bound reports are schedule-sensitive, so a bounded result re-runs.
-        let (_, _) = monitored.insert(vec![0.25, 0.75, 0.5]);
-        assert_eq!(monitored.monitor().stats().reruns, 1);
-        assert_fresh(&monitored, q, "lp-cta witnessed insert");
+        let regions = monitored.result(q).unwrap().num_regions();
+        // Incomparable, witnessed by its one dominator (k = 1): retained.
+        let (id, deltas) = monitored.insert(vec![0.25, 0.75, 0.5]);
+        assert!(deltas.is_empty(), "a retained result notifies nobody");
+        assert_eq!(monitored.monitor().stats().reruns, 0);
+        assert_eq!(monitored.monitor().stats().engine_runs, 0);
+        assert_eq!(monitored.result(q).unwrap().num_regions(), regions);
+        assert_fresh(&monitored, q, "lp-cta witnessed insert retained");
+        let (removed, deltas) = monitored.delete(id);
+        assert!(removed);
+        assert!(deltas.is_empty());
+        assert_eq!(monitored.monitor().stats().reruns, 0);
+        assert_fresh(&monitored, q, "lp-cta witnessed delete retained");
+    }
+
+    #[test]
+    fn indexed_registry_matches_full_scan_and_prunes_visits() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let d = 3;
+        let raw: Vec<Vec<f64>> = (0..50)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.05..0.95)).collect())
+            .collect();
+        let mut eng = engine(raw);
+        let mut indexed = Monitor::new();
+        let mut full = Monitor::full_scan();
+        assert!(indexed.is_indexed());
+        assert!(!full.is_indexed());
+        let algs = [
+            Algorithm::Cta,
+            Algorithm::Pcta,
+            Algorithm::LpCta,
+            Algorithm::KSkyband,
+        ];
+        for i in 0..24usize {
+            let focal: Vec<f64> = (0..d).map(|_| rng.gen_range(0.3..0.9)).collect();
+            let k = 1 + (i % 4);
+            let a = indexed
+                .register(&eng, algs[i % 4], focal.clone(), k)
+                .unwrap();
+            let b = full.register(&eng, algs[i % 4], focal, k).unwrap();
+            assert_eq!(a, b, "registries must assign the same ids");
+        }
+        // Unregister a couple to exercise registry-slot tombstoning.
+        assert!(indexed.unregister(3) && full.unregister(3));
+        assert!(indexed.unregister(17) && full.unregister(17));
+
+        let mut live: Vec<RecordId> = (0..50).collect();
+        for step in 0..30 {
+            let (deltas_i, deltas_f) = if step % 3 == 2 && live.len() > 5 {
+                let victim = live.swap_remove(rng.gen_range(0..live.len()));
+                let values = eng.delete_returning(victim).expect("victim is live");
+                (
+                    indexed.apply_delete(&eng, &values),
+                    full.apply_delete(&eng, &values),
+                )
+            } else {
+                let values: Vec<f64> = (0..d).map(|_| rng.gen_range(0.0..1.0)).collect();
+                live.push(eng.insert(values.clone()));
+                (
+                    indexed.apply_insert(&eng, &values),
+                    full.apply_insert(&eng, &values),
+                )
+            };
+            assert_eq!(deltas_i, deltas_f, "step {step}: notifications diverge");
+            for (id, qi) in indexed.queries() {
+                let qf = full.query(id).expect("registries hold the same ids");
+                assert_eq!(
+                    qi.result().num_regions(),
+                    qf.result().num_regions(),
+                    "step {step} query {id}: region count"
+                );
+                assert_eq!(
+                    qi.result().rank_signature(),
+                    qf.result().rank_signature(),
+                    "step {step} query {id}: ranks"
+                );
+                assert_eq!(
+                    qi.focal_dominators(),
+                    qf.focal_dominators(),
+                    "step {step} query {id}: dominator bookkeeping"
+                );
+            }
+        }
+        let si = indexed.stats();
+        let sf = full.stats();
+        assert_eq!(si.classified(), sf.classified(), "every pair accounted");
+        assert_eq!(
+            (si.unaffected, si.patched, si.reruns),
+            (sf.unaffected, sf.patched, sf.reruns),
+            "identical classification outcomes"
+        );
+        assert_eq!(sf.index_pruned, 0);
+        assert_eq!(sf.visited, sf.classified(), "full scan visits everything");
+        assert!(si.index_pruned > 0, "the index must prune visits: {si:?}");
+        assert_eq!(si.visited + si.index_pruned, si.classified());
+        assert!(si.visited < sf.visited);
+    }
+
+    #[test]
+    fn apply_batch_coalesces_deltas_and_engine_runs() {
+        let mut eng = figure1();
+        let mut monitor = Monitor::new();
+        let q = monitor
+            .register(&eng, Algorithm::Pcta, vec![0.5, 0.5, 0.7], 2)
+            .unwrap();
+        // Two incomparable inserts, neither with 2 live dominators: each
+        // would force a re-run on its own, but the batch coalesces them into
+        // one post-batch engine run and one notification.
+        let updates = vec![
+            (UpdateKind::Insert, vec![0.25, 0.75, 0.5]),
+            (UpdateKind::Insert, vec![0.9, 0.1, 0.9]),
+        ];
+        for (_, values) in &updates {
+            eng.insert(values.clone());
+        }
+        let deltas = monitor.apply_batch(&eng, &updates);
+        assert_eq!(deltas.len(), 1, "one coalesced delta per query");
+        assert_eq!(deltas[0].query, q);
+        assert_eq!(deltas[0].class, UpdateClass::Rerun);
+        let stats = monitor.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_updates, 2);
+        assert_eq!(stats.classified(), 2, "two pairs for the one query");
+        assert_eq!(stats.reruns, 2, "both pairs demanded a re-run");
+        assert_eq!(stats.engine_runs, 1, "...but the engine ran only once");
+        let fresh = eng.run(Algorithm::Pcta, &[0.5, 0.5, 0.7], 2);
+        let kept = monitor.result(q).unwrap();
+        assert_eq!(kept.num_regions(), fresh.num_regions());
+        assert_eq!(kept.rank_signature(), fresh.rank_signature());
+
+        // The same stream applied one update at a time reaches the same
+        // result, paying one engine run per update.
+        let mut single = Monitor::new();
+        let s = single
+            .register(&eng, Algorithm::Pcta, vec![0.5, 0.5, 0.7], 2)
+            .unwrap();
+        // (Registered against the post-batch engine; replaying the same
+        // updates is witnessed-or-rerun either way and must converge.)
+        for (_, values) in &updates {
+            single.apply_insert(&eng, values);
+        }
+        assert_eq!(
+            single.result(s).unwrap().rank_signature(),
+            kept.rank_signature()
+        );
     }
 
     #[test]

@@ -25,7 +25,7 @@
 //!
 //! [`ServeHandle::subscribe`] registers a long-lived query with the
 //! dispatcher's [`kspr_monitor::Monitor`] and returns a [`Subscription`].
-//! After every update the dispatcher classifies each standing query as
+//! After every update batch the dispatcher classifies each standing query as
 //! unaffected / patchable / must-rerun (see the `kspr-monitor` crate docs),
 //! maintains it accordingly, and pushes a [`ResultDelta`] to the
 //! subscription whenever its result actually changed.  Because the monitor
@@ -36,15 +36,33 @@
 //! If a maintenance pass itself panics (after the update was committed and
 //! acknowledged), the registry is invalidated rather than served stale:
 //! every subscription's channel closes and clients re-subscribe.
+//!
+//! Updates use the same batched-dequeue pattern as queries: the dispatcher
+//! greedily drains further *already-queued* consecutive inserts/deletes —
+//! up to [`kspr::KsprConfig::monitor_batch_window`], never waiting for more
+//! to arrive — applies and acknowledges each one individually, then runs
+//! **one** standing-query maintenance pass
+//! ([`kspr_monitor::Monitor::apply_batch`]) over the whole batch, so a burst
+//! of updates shares its classification probes and coalesces per-query
+//! engine re-runs.  A subscriber that stops draining its notifications does
+//! not grow dispatcher memory without bound: each subscription holds at most
+//! [`MAX_PENDING_DELTAS`] pending deltas, after which newer deltas are
+//! merged into the newest pending one (deltas chain, so the merged delta
+//! still spans exactly the missed updates).  After every update batch the
+//! dispatcher also checks the pool's tombstone ratio and, past 50% dead
+//! slots, compacts the shards in place ([`ShardedEngine::compact`]) —
+//! global record ids survive, so clients and standing-query bookkeeping
+//! never notice.
 
 use crate::sharded::ShardedEngine;
 use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryTier, RecordId};
 use kspr_approx::TieredResult;
 use kspr_monitor::{
     update_preserves_impact, Monitor, MonitorStats, QueryId, RegisterError, ResultDelta,
+    UpdateClass, UpdateKind,
 };
 use std::collections::{HashMap, VecDeque};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 
 /// Why a request was rejected (or lost).
@@ -196,7 +214,7 @@ enum Msg {
         algorithm: Algorithm,
         focal: Vec<f64>,
         k: usize,
-        deltas: mpsc::Sender<ResultDelta>,
+        deltas: Arc<DeltaQueue>,
         tx: mpsc::Sender<Result<(QueryId, KsprResult), ServeError>>,
     },
     Unsubscribe {
@@ -250,6 +268,113 @@ struct ApproxStanding {
     budget: ErrorBudget,
     estimate: ApproxImpact,
     deltas: mpsc::Sender<ApproxDelta>,
+}
+
+/// Upper bound on the [`ResultDelta`]s a single [`Subscription`] may hold
+/// pending.  A subscriber that stops draining its notifications would
+/// otherwise grow dispatcher memory without bound (the monitor keeps
+/// emitting deltas for every update); past this bound newer deltas are
+/// **coalesced** into the newest pending one instead of enqueued — deltas
+/// chain (`after` of one is `before` of the next), so merging keeps the
+/// oldest `before` and newest `after` state and loses nothing but the
+/// intermediate steps.
+pub const MAX_PENDING_DELTAS: usize = 64;
+
+/// Outcome of a [`DeltaQueue::push`].
+enum DeltaPush {
+    /// Appended as a new pending delta.
+    Queued,
+    /// Merged into the newest pending delta (the queue was at
+    /// [`MAX_PENDING_DELTAS`]).
+    Coalesced,
+    /// Dropped: the queue was closed (subscription unregistered or the
+    /// registry invalidated).
+    Closed,
+}
+
+/// The per-subscription notification queue: a bounded, coalescing channel
+/// between the dispatcher (producer) and a [`Subscription`] (consumer).
+struct DeltaQueue {
+    state: Mutex<DeltaQueueState>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct DeltaQueueState {
+    pending: VecDeque<ResultDelta>,
+    closed: bool,
+}
+
+impl DeltaQueue {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(DeltaQueueState::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Enqueues a delta, coalescing it into the newest pending one when the
+    /// subscriber has fallen [`MAX_PENDING_DELTAS`] behind.
+    fn push(&self, delta: ResultDelta) -> DeltaPush {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        if state.closed {
+            return DeltaPush::Closed;
+        }
+        let outcome = if state.pending.len() >= MAX_PENDING_DELTAS {
+            let tail = state.pending.back_mut().expect("the cap is at least 1");
+            // Consecutive deltas of one query chain exactly: keep the
+            // tail's (oldest) `before` state, take the newcomer's (newest)
+            // `after` state.  A re-run anywhere in the merged span means
+            // the surviving state was obtained through a re-run.
+            if delta.class == UpdateClass::Rerun {
+                tail.class = UpdateClass::Rerun;
+            }
+            tail.regions_after = delta.regions_after;
+            tail.ranks_after = delta.ranks_after;
+            DeltaPush::Coalesced
+        } else {
+            state.pending.push_back(delta);
+            DeltaPush::Queued
+        };
+        drop(state);
+        self.ready.notify_one();
+        outcome
+    }
+
+    /// Closes the queue: pending deltas stay drainable, every later `push`
+    /// is dropped, and a blocked [`DeltaQueue::pop`] wakes with `None`.
+    fn close(&self) {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.closed = true;
+        drop(state);
+        self.ready.notify_all();
+    }
+
+    /// Non-blocking pop.
+    fn try_pop(&self) -> Option<ResultDelta> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending
+            .pop_front()
+    }
+
+    /// Blocks until a delta is pending (or the queue closes: `None`).
+    fn pop(&self) -> Option<ResultDelta> {
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(delta) = state.pending.pop_front() {
+                return Some(delta);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
 }
 
 /// Per-[`ServeError`]-variant rejection counters (see [`ServeStats`]).
@@ -341,10 +466,24 @@ pub struct ServeStats {
     pub parallel_batches: u64,
     /// Updates (inserts + deletes) applied.
     pub updates: u64,
+    /// Update-maintenance batches the dispatcher drained (each covers >= 1
+    /// applied update; bounded by
+    /// [`kspr::KsprConfig::monitor_batch_window`]).
+    pub update_batches: u64,
+    /// Largest number of updates drained into one maintenance batch.
+    pub largest_update_batch: usize,
+    /// Tombstone compactions the dispatcher triggered (dead record slots
+    /// exceeded half the id space after an update batch; see
+    /// [`ShardedEngine::compact`]).
+    pub compactions: u64,
     /// Standing queries registered over the server's lifetime.
     pub subscriptions: u64,
     /// [`ResultDelta`] notifications delivered to subscribers.
     pub notifications: u64,
+    /// Notifications merged into an already-pending delta because a slow
+    /// subscriber let its queue reach [`MAX_PENDING_DELTAS`] (a subset of
+    /// `notifications`).
+    pub deltas_coalesced: u64,
     /// Approximate standing queries registered over the server's lifetime.
     pub approx_subscriptions: u64,
     /// [`ApproxDelta`] notifications (re-drawn estimates) delivered.
@@ -517,18 +656,18 @@ impl ServeHandle {
         focal: Vec<f64>,
         k: usize,
     ) -> SubscribeTicket {
-        let (delta_tx, delta_rx) = mpsc::channel();
+        let queue = DeltaQueue::new();
         let (tx, rx) = mpsc::channel();
         let _ = self.tx.send(Msg::Subscribe {
             algorithm,
             focal,
             k,
-            deltas: delta_tx,
+            deltas: Arc::clone(&queue),
             tx,
         });
         SubscribeTicket {
             rx,
-            deltas: delta_rx,
+            deltas: queue,
             control: self.tx.clone(),
         }
     }
@@ -682,7 +821,7 @@ impl Drop for ApproxSubscription {
 /// (and initially answered) the standing query.
 pub struct SubscribeTicket {
     rx: mpsc::Receiver<Result<(QueryId, KsprResult), ServeError>>,
-    deltas: mpsc::Receiver<ResultDelta>,
+    deltas: Arc<DeltaQueue>,
     control: mpsc::Sender<Msg>,
 }
 
@@ -705,13 +844,17 @@ impl SubscribeTicket {
 /// A live standing query: holds the initial result and receives a
 /// [`ResultDelta`] for every update batch that changed it.
 ///
+/// At most [`MAX_PENDING_DELTAS`] notifications are held pending; a slower
+/// consumer still sees a delta chain whose final `after` state is current,
+/// with the oldest backlog steps merged together (see [`MAX_PENDING_DELTAS`]).
+///
 /// Dropping the subscription unregisters the standing query with the
 /// dispatcher, freeing its maintenance state — a long-lived [`Server`] never
 /// accumulates state for subscribers that went away.
 pub struct Subscription {
     id: QueryId,
     initial: KsprResult,
-    deltas: mpsc::Receiver<ResultDelta>,
+    deltas: Arc<DeltaQueue>,
     control: mpsc::Sender<Msg>,
 }
 
@@ -740,7 +883,7 @@ impl Subscription {
     /// Drains every notification delivered so far without blocking.
     pub fn poll(&self) -> Vec<ResultDelta> {
         let mut out = Vec::new();
-        while let Ok(delta) = self.deltas.try_recv() {
+        while let Some(delta) = self.deltas.try_pop() {
             out.push(delta);
         }
         out
@@ -752,7 +895,7 @@ impl Subscription {
     /// registry (see the module docs) — in the latter case the server is
     /// still serving and re-subscribing resumes watching.
     pub fn recv(&self) -> Option<ResultDelta> {
-        self.deltas.recv().ok()
+        self.deltas.pop()
     }
 }
 
@@ -1045,18 +1188,25 @@ fn register_error(err: RegisterError) -> ServeError {
     }
 }
 
-/// Delivers update notifications to their subscribers.  A send failure means
-/// the subscription was dropped but its unsubscribe message is still queued;
-/// the notification is simply discarded.
+/// Delivers update notifications to their subscribers.  A queue at its
+/// pending cap coalesces the notification instead of growing (see
+/// [`MAX_PENDING_DELTAS`]); a closed queue means the subscription was
+/// dropped but its unsubscribe message is still in flight, and the
+/// notification is simply discarded.
 fn notify(
-    subscribers: &HashMap<QueryId, mpsc::Sender<ResultDelta>>,
+    subscribers: &HashMap<QueryId, Arc<DeltaQueue>>,
     deltas: Vec<ResultDelta>,
     stats: &mut ServeStats,
 ) {
     for delta in deltas {
-        if let Some(tx) = subscribers.get(&delta.query) {
-            if tx.send(delta).is_ok() {
-                stats.notifications += 1;
+        if let Some(queue) = subscribers.get(&delta.query) {
+            match queue.push(delta) {
+                DeltaPush::Queued => stats.notifications += 1,
+                DeltaPush::Coalesced => {
+                    stats.notifications += 1;
+                    stats.deltas_coalesced += 1;
+                }
+                DeltaPush::Closed => {}
             }
         }
     }
@@ -1076,7 +1226,7 @@ fn notify(
 /// resume watching.
 fn maintain_standing(
     monitor: &mut Monitor,
-    subscribers: &mut HashMap<QueryId, mpsc::Sender<ResultDelta>>,
+    subscribers: &mut HashMap<QueryId, Arc<DeltaQueue>>,
     stats: &mut ServeStats,
     apply: impl FnOnce(&mut Monitor) -> Vec<ResultDelta>,
 ) {
@@ -1089,6 +1239,9 @@ fn maintain_standing(
             // Not a rejection — no client request failed; track separately.
             stats.maintenance_failures += 1;
             monitor.clear();
+            for queue in subscribers.values() {
+                queue.close();
+            }
             subscribers.clear();
         }
     }
@@ -1172,7 +1325,7 @@ fn dispatch(
     let mut stats = ServeStats::default();
     let mut carry: VecDeque<Msg> = VecDeque::new();
     let mut monitor = Monitor::new();
-    let mut subscribers: HashMap<QueryId, mpsc::Sender<ResultDelta>> = HashMap::new();
+    let mut subscribers: HashMap<QueryId, Arc<DeltaQueue>> = HashMap::new();
     let mut approx_watch: HashMap<ApproxWatchId, ApproxStanding> = HashMap::new();
     let mut next_approx_id: ApproxWatchId = 0;
     // Seed stream of the sampling tier: one fresh seed per sweep, so
@@ -1190,85 +1343,143 @@ fn dispatch(
         };
         match msg {
             Msg::Shutdown => break,
-            Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
-                Ok(()) => {
-                    // The monitor needs the inserted values after the engine
-                    // consumed them; only pay the clone when someone watches.
-                    let watched =
-                        (!monitor.is_empty() || !approx_watch.is_empty()).then(|| values.clone());
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        engine.insert(values)
-                    }));
-                    match outcome {
-                        Ok(id) => {
-                            stats.updates += 1;
-                            let _ = tx.send(Ok(id));
-                            // The monitor runs on the dispatcher thread, so
-                            // the standing results it patches are serialized
-                            // with the update stream.  It is guarded
-                            // separately from the engine update: the insert
-                            // is committed and acknowledged above, so a
-                            // classification panic must not be reported as
-                            // UpdateFailed (losing the id) nor stop serving.
-                            if let Some(values) = watched {
-                                maintain_standing(
-                                    &mut monitor,
-                                    &mut subscribers,
-                                    &mut stats,
-                                    |monitor| monitor.apply_insert(&engine, &values),
-                                );
-                                maintain_approx_watch(
-                                    &engine,
-                                    &mut approx_watch,
-                                    &mut stats,
-                                    &values,
-                                    &mut approx_seed,
-                                );
-                            }
+            update @ (Msg::Insert { .. } | Msg::Delete { .. }) => {
+                // Batched update dequeue, mirroring the query batching
+                // below: greedily pull further *already-queued* consecutive
+                // updates — never waiting for more to arrive — up to the
+                // maintenance batching window, so a burst of updates shares
+                // one standing-query maintenance pass.
+                let window = engine.config().monitor_batch_window;
+                let mut pending = vec![update];
+                while pending.len() < window {
+                    match rx.try_recv() {
+                        Ok(next @ (Msg::Insert { .. } | Msg::Delete { .. })) => {
+                            pending.push(next);
                         }
-                        Err(_) => {
-                            // A panic mid-update may have left shard state
-                            // half-applied; stop serving cleanly instead of
-                            // risking corrupt answers (see UpdateFailed).
-                            stats.reject(&ServeError::UpdateFailed);
-                            let _ = tx.send(Err(ServeError::UpdateFailed));
+                        Ok(other) => {
+                            carry.push_back(other);
                             break;
                         }
+                        Err(_) => break,
                     }
                 }
-                Err(err) => {
-                    stats.reject(&err);
-                    let _ = tx.send(Err(err));
-                }
-            },
-            Msg::Delete { id, tx } => {
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    engine.delete_returning(id)
-                }));
-                match outcome {
-                    Ok(removed) => {
-                        stats.updates += 1;
-                        let _ = tx.send(Ok(removed.is_some()));
-                        if let Some(values) = removed {
-                            maintain_standing(
-                                &mut monitor,
-                                &mut subscribers,
-                                &mut stats,
-                                |monitor| monitor.apply_delete(&engine, &values),
-                            );
-                            maintain_approx_watch(
-                                &engine,
-                                &mut approx_watch,
-                                &mut stats,
-                                &values,
-                                &mut approx_seed,
-                            );
+                // The monitor needs every update's values after the engine
+                // consumed them; only pay the clones when someone watches.
+                // (Only updates are processed until the maintenance pass
+                // below, so the registries cannot change mid-batch.)
+                let watched = !monitor.is_empty() || !approx_watch.is_empty();
+                let mut batch: Vec<(UpdateKind, Vec<f64>)> = Vec::new();
+                let mut applied = 0usize;
+                let mut update_failed = false;
+                for msg in pending {
+                    match msg {
+                        Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
+                            Ok(()) => {
+                                let kept = watched.then(|| values.clone());
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        engine.insert(values)
+                                    }));
+                                match outcome {
+                                    Ok(id) => {
+                                        stats.updates += 1;
+                                        applied += 1;
+                                        let _ = tx.send(Ok(id));
+                                        if let Some(values) = kept {
+                                            batch.push((UpdateKind::Insert, values));
+                                        }
+                                    }
+                                    Err(_) => {
+                                        // A panic mid-update may have left
+                                        // shard state half-applied; stop
+                                        // serving cleanly instead of risking
+                                        // corrupt answers (see UpdateFailed).
+                                        stats.reject(&ServeError::UpdateFailed);
+                                        let _ = tx.send(Err(ServeError::UpdateFailed));
+                                        update_failed = true;
+                                    }
+                                }
+                            }
+                            Err(err) => {
+                                stats.reject(&err);
+                                let _ = tx.send(Err(err));
+                            }
+                        },
+                        Msg::Delete { id, tx } => {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    engine.delete_returning(id)
+                                }));
+                            match outcome {
+                                Ok(removed) => {
+                                    stats.updates += 1;
+                                    applied += 1;
+                                    let _ = tx.send(Ok(removed.is_some()));
+                                    match removed {
+                                        Some(values) if watched => {
+                                            batch.push((UpdateKind::Delete, values));
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                                Err(_) => {
+                                    stats.reject(&ServeError::UpdateFailed);
+                                    let _ = tx.send(Err(ServeError::UpdateFailed));
+                                    update_failed = true;
+                                }
+                            }
                         }
+                        _ => unreachable!("only updates are drained into an update batch"),
                     }
-                    Err(_) => {
-                        stats.reject(&ServeError::UpdateFailed);
-                        let _ = tx.send(Err(ServeError::UpdateFailed));
+                    if update_failed {
                         break;
+                    }
+                }
+                if applied > 0 {
+                    stats.update_batches += 1;
+                    stats.largest_update_batch = stats.largest_update_batch.max(applied);
+                }
+                if !batch.is_empty() {
+                    // The monitor runs on the dispatcher thread, so the
+                    // standing results it patches stay serialized with the
+                    // update stream.  It is guarded separately from the
+                    // engine updates: the batch is committed and
+                    // acknowledged above, so a classification panic must
+                    // not be reported as UpdateFailed (losing the ids) nor
+                    // stop serving.  One maintenance pass covers the whole
+                    // drained batch.
+                    maintain_standing(&mut monitor, &mut subscribers, &mut stats, |monitor| {
+                        monitor.apply_batch(&engine, &batch)
+                    });
+                    for (_, values) in &batch {
+                        maintain_approx_watch(
+                            &engine,
+                            &mut approx_watch,
+                            &mut stats,
+                            values,
+                            &mut approx_seed,
+                        );
+                    }
+                }
+                if update_failed {
+                    break;
+                }
+                // Background compaction: once dead record slots exceed half
+                // the id space, rewrite the shards down to their live
+                // records (global ids survive — see ShardedEngine::compact,
+                // and live data is untouched, so maintained standing
+                // results stay exact).  As an engine mutation it gets the
+                // update panic contract: a half-compacted pool must not
+                // keep serving.
+                if engine.tombstone_ratio() > 0.5 {
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.compact()));
+                    match outcome {
+                        Ok(_) => stats.compactions += 1,
+                        Err(_) => {
+                            stats.reject(&ServeError::UpdateFailed);
+                            break;
+                        }
                     }
                 }
             }
@@ -1307,7 +1518,10 @@ fn dispatch(
             }
             Msg::Unsubscribe { id, tx } => {
                 let removed = monitor.unregister(id);
-                subscribers.remove(&id);
+                if let Some(queue) = subscribers.remove(&id) {
+                    // Wake a receiver still blocked on the dead stream.
+                    queue.close();
+                }
                 if let Some(tx) = tx {
                     let _ = tx.send(Ok(removed));
                 }
@@ -1406,6 +1620,11 @@ fn dispatch(
             }
             Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats, &mut approx_seed),
         }
+    }
+    // Wake receivers still blocked on their delta streams before the
+    // dispatcher state drops.
+    for queue in subscribers.values() {
+        queue.close();
     }
     stats.monitor = monitor.stats();
     (engine, stats)
@@ -2063,6 +2282,207 @@ mod tests {
         assert_eq!(
             stats.approx_watch_unaffected, 2,
             "the invisible insert + delete classified away"
+        );
+    }
+
+    #[test]
+    fn update_bursts_share_one_maintenance_pass_within_the_window() {
+        use kspr::ErrorBudget;
+        let server = Server::start(
+            ShardedEngine::empty(
+                2,
+                KsprConfig::default()
+                    .with_shards(2)
+                    .with_monitor_batch_window(4),
+            ),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        let sub = handle
+            .subscribe(vec![0.9, 0.9], 1)
+            .wait()
+            .expect("subscribe");
+        // A live competitor, so the approximate registration below actually
+        // samples (an empty pool short-circuits without work).
+        handle.insert(vec![0.5, 0.5]).wait().expect("first insert");
+        // Block the dispatcher on an expensive approximate registration
+        // (hundreds of thousands of samples) so the update burst below is
+        // fully queued before the dispatcher sees its first insert.
+        let blocker = handle.subscribe_approx(vec![0.95, 0.95], 1, ErrorBudget::new(0.002, 0.99));
+        let tickets: Vec<_> = (0..8)
+            .map(|i| handle.insert(vec![0.1 + 0.01 * i as f64, 0.2]))
+            .collect();
+        let approx_sub = blocker.wait().expect("approx subscribe");
+        for t in tickets {
+            t.wait().expect("burst insert");
+        }
+        // Every burst insert is dominated by the standing focal points, so
+        // both registries classify them away without result changes.
+        assert_eq!(handle.subscriptions().wait(), Ok(1));
+        assert!(
+            sub.poll().is_empty(),
+            "focal-dominated inserts never notify"
+        );
+        drop(approx_sub);
+        drop(sub);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.updates, 9);
+        assert_eq!(
+            stats.update_batches, 3,
+            "1 single + the 8 queued updates drained in window-4 batches"
+        );
+        assert_eq!(stats.largest_update_batch, 4, "the window caps the drain");
+        assert_eq!(stats.monitor.batches, 3);
+        assert_eq!(stats.monitor.batched_updates, 9);
+        assert_eq!(stats.monitor.classified(), 9);
+        assert_eq!(stats.monitor.unaffected, 9);
+        assert_eq!(stats.notifications, 0);
+    }
+
+    #[test]
+    fn window_one_restores_per_update_maintenance() {
+        let server = Server::start(
+            ShardedEngine::empty(2, KsprConfig::default().with_monitor_batch_window(1)),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        let tickets: Vec<_> = (0..6)
+            .map(|i| handle.insert(vec![0.2 + 0.1 * i as f64, 0.3]))
+            .collect();
+        for t in tickets {
+            t.wait().expect("insert");
+        }
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.updates, 6);
+        assert_eq!(stats.update_batches, 6, "window 1 never coalesces");
+        assert_eq!(stats.largest_update_batch, 1);
+    }
+
+    #[test]
+    fn delta_queue_caps_and_coalesces_slow_consumers() {
+        let queue = DeltaQueue::new();
+        let delta = |i: usize, class: UpdateClass| ResultDelta {
+            query: 7,
+            class,
+            regions_before: i,
+            regions_after: i + 1,
+            ranks_before: vec![i],
+            ranks_after: vec![i + 1],
+        };
+        for i in 0..MAX_PENDING_DELTAS {
+            assert!(matches!(
+                queue.push(delta(i, UpdateClass::Patched)),
+                DeltaPush::Queued
+            ));
+        }
+        // The queue is at its cap: further deltas merge into the newest
+        // pending one, keeping its oldest `before` and the latest `after`.
+        assert!(matches!(
+            queue.push(delta(MAX_PENDING_DELTAS, UpdateClass::Rerun)),
+            DeltaPush::Coalesced
+        ));
+        assert!(matches!(
+            queue.push(delta(MAX_PENDING_DELTAS + 1, UpdateClass::Patched)),
+            DeltaPush::Coalesced
+        ));
+        let mut drained = Vec::new();
+        while let Some(d) = queue.try_pop() {
+            drained.push(d);
+        }
+        assert_eq!(drained.len(), MAX_PENDING_DELTAS, "the cap held");
+        let tail = drained.last().expect("cap is at least 1");
+        assert_eq!(
+            tail.regions_before,
+            MAX_PENDING_DELTAS - 1,
+            "the merged delta keeps the oldest before state"
+        );
+        assert_eq!(
+            tail.regions_after,
+            MAX_PENDING_DELTAS + 2,
+            "the merged delta takes the newest after state"
+        );
+        assert_eq!(
+            tail.class,
+            UpdateClass::Rerun,
+            "a re-run anywhere in the merged span survives later patches"
+        );
+        assert_eq!(tail.ranks_after, vec![MAX_PENDING_DELTAS + 2]);
+        // The chain is still intact: the merged tail continues from the last
+        // unmerged delta.
+        assert_eq!(
+            drained[drained.len() - 2].regions_after,
+            tail.regions_before
+        );
+        // Closing keeps pending deltas drainable, drops later pushes, and
+        // unblocks `pop`.
+        assert!(matches!(
+            queue.push(delta(0, UpdateClass::Patched)),
+            DeltaPush::Queued
+        ));
+        queue.close();
+        assert!(matches!(
+            queue.push(delta(1, UpdateClass::Patched)),
+            DeltaPush::Closed
+        ));
+        assert!(queue.pop().is_some(), "drained before the closed marker");
+        assert!(queue.pop().is_none());
+    }
+
+    #[test]
+    fn compaction_triggers_in_the_dispatcher_and_preserves_ids() {
+        let server = Server::start(
+            ShardedEngine::empty(2, KsprConfig::default().with_shards(2)),
+            ServeOptions::default(),
+        );
+        let handle = server.handle();
+        let ids: Vec<RecordId> = (0..8)
+            .map(|i| {
+                handle
+                    .insert(vec![0.3 + 0.05 * i as f64, 0.8 - 0.05 * i as f64])
+                    .wait()
+                    .expect("insert")
+            })
+            .collect();
+        let sub = handle
+            .subscribe(vec![0.55, 0.55], 2)
+            .wait()
+            .expect("subscribe");
+        // Five of eight slots die: past the 50% threshold the dispatcher
+        // compacts, and the standing query stays maintained across the
+        // rewrite.
+        for &id in &ids[..5] {
+            assert_eq!(handle.delete(id).wait(), Ok(true));
+        }
+        // A compacted-away id stays dead; a surviving one still routes.
+        assert_eq!(handle.delete(ids[0]).wait(), Ok(false));
+        assert_eq!(
+            handle.delete(ids[5]).wait(),
+            Ok(true),
+            "a surviving id must outlive compaction"
+        );
+        let direct = handle
+            .submit(vec![0.55, 0.55], 2)
+            .wait()
+            .expect("direct query");
+        let mut regions = sub.initial().num_regions();
+        for delta in sub.poll() {
+            regions = delta.regions_after;
+        }
+        assert_eq!(
+            regions,
+            direct.num_regions(),
+            "the standing result stays maintained across compaction"
+        );
+        let (engine, stats) = server.shutdown();
+        assert_eq!(
+            stats.compactions, 1,
+            "exactly the fifth delete crossed the threshold"
+        );
+        assert_eq!(engine.len(), 2);
+        assert_eq!(
+            engine.tombstone_count(),
+            1,
+            "only the post-compaction delete leaves a tombstone"
         );
     }
 

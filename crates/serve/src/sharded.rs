@@ -238,10 +238,10 @@ impl ShardedEngine {
             .sum()
     }
 
-    /// Fraction of record slots that are tombstoned, in `[0, 1)` (0.0 before
-    /// any record exists).  Serving telemetry for the ROADMAP "tombstone
-    /// compaction" item: the `serve` experiment logs a compaction warning
-    /// once this exceeds 50%.
+    /// Fraction of record slots that still hold tombstoned *storage*, in
+    /// `[0, 1)` (0.0 before any record exists).  The serving dispatcher
+    /// triggers [`ShardedEngine::compact`] once this exceeds 50%, which
+    /// resets the ratio to zero without disturbing any live global id.
     pub fn tombstone_ratio(&self) -> f64 {
         let slots = self.locs.len();
         if slots == 0 {
@@ -249,6 +249,68 @@ impl ShardedEngine {
         } else {
             self.tombstone_count() as f64 / slots as f64
         }
+    }
+
+    /// Rewrites every shard that holds tombstoned slots down to its live
+    /// records, returning how many dead slots were reclaimed.
+    ///
+    /// Global ids are **stable across compaction**: a live record keeps the
+    /// id clients (and standing-query bookkeeping) already hold, a
+    /// compacted-away id keeps answering "never existed / already deleted"
+    /// forever, and fresh inserts keep extending the never-reused id space.
+    /// Only the shard-local storage is rewritten — each affected shard gets
+    /// a fresh [`QueryEngine`] over its live records with dense local ids,
+    /// and the global→local routing table is remapped in place.  Because no
+    /// live record changes, every query answer (and every maintained
+    /// standing result) is identical before and after.
+    pub fn compact(&mut self) -> usize {
+        let removed = self.tombstone_count();
+        if removed == 0 {
+            return 0;
+        }
+        for (shard_idx, shard) in self.shards.iter_mut().enumerate() {
+            let Some(engine) = &shard.engine else {
+                continue;
+            };
+            if engine.dataset().tombstone_count() == 0 {
+                continue;
+            }
+            let mut globals = Vec::new();
+            let mut rows = Vec::new();
+            for (local, &global) in shard.globals.iter().enumerate() {
+                if engine.dataset().is_live(local) {
+                    globals.push(global);
+                    rows.push(engine.dataset().values(local).to_vec());
+                } else {
+                    // The global id stays allocated (ids are never reused)
+                    // but no longer routes anywhere.
+                    self.locs[global] = (usize::MAX, usize::MAX);
+                }
+            }
+            for (local, &global) in globals.iter().enumerate() {
+                self.locs[global] = (shard_idx, local);
+            }
+            shard.engine = if rows.is_empty() {
+                None
+            } else {
+                Some(QueryEngine::with_store(
+                    DatasetStore::from_raw(rows),
+                    self.config.clone(),
+                ))
+            };
+            shard.globals = globals;
+        }
+        // The rebuilt engines restart their epoch counters, so the epoch
+        // comparison alone could mistake a fresh engine for a pre-compaction
+        // snapshot that still contained the deleted records; drop the merged
+        // cache outright.
+        let cache = self
+            .merged
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache.engines.clear();
+        cache.epochs.clear();
+        removed
     }
 
     /// Number of live records (across all shards) dominating `values`,
@@ -322,6 +384,10 @@ impl ShardedEngine {
     /// (mirrors [`QueryEngine::delete_returning`]).
     pub fn delete_returning(&mut self, id: RecordId) -> Option<Vec<f64>> {
         let &(shard_idx, local) = self.locs.get(id)?;
+        if shard_idx == usize::MAX {
+            // The slot was tombstoned and its storage compacted away.
+            return None;
+        }
         self.shards[shard_idx]
             .engine
             .as_mut()
@@ -1112,6 +1178,46 @@ mod tests {
         // The empty engine reports 0.0 rather than dividing by zero.
         let empty = ShardedEngine::empty(2, KsprConfig::default().with_shards(2));
         assert_eq!(empty.tombstone_ratio(), 0.0);
+    }
+
+    #[test]
+    fn compaction_drops_tombstones_and_preserves_surviving_ids() {
+        let raw = random_raw(60, 3, 33);
+        let mut sharded = ShardedEngine::new(raw.clone(), KsprConfig::default().with_shards(3));
+        assert_eq!(sharded.compact(), 0, "nothing to reclaim yet");
+        for id in 0..40 {
+            assert!(sharded.delete(id));
+        }
+        assert!(sharded.tombstone_ratio() > 0.5);
+        // Warm the merged cache so compaction must invalidate it rather than
+        // serve a pre-compaction snapshot from a colliding epoch.
+        let focal = vec![0.6, 0.6, 0.6];
+        let before = sharded.run(Algorithm::LpCta, &focal, 3);
+
+        assert_eq!(sharded.compact(), 40);
+        assert_eq!(sharded.tombstone_count(), 0);
+        assert_eq!(sharded.tombstone_ratio(), 0.0);
+        assert_eq!(sharded.len(), 20);
+
+        // No live record changed, so results are untouched.
+        let after = sharded.run(Algorithm::LpCta, &focal, 3);
+        assert_eq!(before.num_regions(), after.num_regions());
+        assert_eq!(before.rank_signature(), after.rank_signature());
+        let single = QueryEngine::new(&Dataset::new(raw[40..].to_vec()), KsprConfig::default());
+        assert_equivalent(
+            &after,
+            &single.run(Algorithm::LpCta, &focal, 3),
+            "post-compaction",
+        );
+
+        // Surviving global ids still route to their records...
+        assert_eq!(sharded.delete_returning(47), Some(raw[47].clone()));
+        // ...compacted-away ids stay dead...
+        assert_eq!(sharded.delete_returning(3), None);
+        assert!(!sharded.delete(3));
+        // ...and fresh inserts keep extending the never-reused id space.
+        assert_eq!(sharded.insert(vec![0.5, 0.5, 0.5]), 60);
+        assert_eq!(sharded.len(), 20, "60 - 40 compacted - 1 delete + 1 insert");
     }
 
     #[test]

@@ -687,6 +687,61 @@ impl AggregateRTree {
         count
     }
 
+    /// Calls `visit` with the id of every live record **strictly dominated
+    /// by** `values` (the mirror image of [`AggregateRTree::count_dominating`]).
+    ///
+    /// A subtree is pruned when `values` does not dominate its MBR's
+    /// min-corner: every record below is coordinate-wise at least the
+    /// min-corner, so none can be dominated.  A subtree whose max-corner is
+    /// dominated by `values` consists entirely of dominated records and is
+    /// reported wholesale without touching its leaves' coordinates.
+    ///
+    /// This is the registry probe of the standing-query monitor
+    /// (`kspr-monitor`): the focal points an update record dominates are
+    /// exactly the standing queries whose dominator bookkeeping the update
+    /// shifts, so they — and only they — must be visited.  Like the
+    /// dominance-delta probe, this is bookkeeping, not query work, so it
+    /// bypasses the simulated-I/O counter.
+    ///
+    /// # Panics
+    /// Panics if `values` does not match the tree's arity.
+    pub fn for_each_dominated(&self, values: &[f64], mut visit: impl FnMut(RecordId)) {
+        assert_eq!(
+            values.len(),
+            self.dim,
+            "probed record arity must match the tree"
+        );
+        if self.is_empty() {
+            return;
+        }
+        let mut stack = vec![self.root];
+        while let Some(idx) = stack.pop() {
+            let node = self.node_no_io(idx);
+            if node.count == 0 {
+                continue;
+            }
+            // Prune: no record below can be dominated by `values`.  (A
+            // min-corner exactly coincident with `values` fails `dominates`
+            // too — records equal to `values` are ties, not dominated.)
+            if !crate::dominance::dominates(values, node.mbr.lower_corner()) {
+                continue;
+            }
+            let wholesale = crate::dominance::dominates(values, node.mbr.upper_corner());
+            match &node.entries {
+                NodeEntries::Leaf(ids) => {
+                    for &id in ids {
+                        if wholesale
+                            || crate::dominance::dominates(values, &self.records[id].values)
+                        {
+                            visit(id);
+                        }
+                    }
+                }
+                NodeEntries::Internal(children) => stack.extend(children.iter().copied()),
+            }
+        }
+    }
+
     /// Returns `Some(record id)` for a record that is **not** dominated by any
     /// of `pivots` and is not in `excluded`, or `None` if every such record is
     /// dominated.
@@ -1156,6 +1211,67 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn for_each_dominated_matches_naive_scan_under_updates() {
+        let mut rng = SmallRng::seed_from_u64(97);
+        let records = random_records(160, 3, 11);
+        let mut tree = AggregateRTree::bulk_load(records, 6);
+        for step in 0..200 {
+            if step % 4 == 0 && tree.len() > 8 {
+                let live: Vec<RecordId> = tree.live_records().map(|r| r.id).collect();
+                let victim = live[rng.gen_range(0..live.len())];
+                assert!(tree.delete(victim));
+            } else {
+                let values: Vec<f64> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+                tree.insert(values);
+            }
+            if step % 10 != 0 {
+                continue;
+            }
+            // Bias the probe high so the dominated set is regularly nonempty.
+            let probe: Vec<f64> = (0..3).map(|_| rng.gen_range(0.3..1.0)).collect();
+            let mut expected: Vec<RecordId> = tree
+                .live_records()
+                .filter(|r| crate::dominance::dominates(&probe, &r.values))
+                .map(|r| r.id)
+                .collect();
+            expected.sort_unstable();
+            let mut got = Vec::new();
+            tree.for_each_dominated(&probe, |id| got.push(id));
+            got.sort_unstable();
+            assert_eq!(got, expected, "step {step}");
+        }
+    }
+
+    #[test]
+    fn for_each_dominated_ignores_ties_and_tombstones() {
+        let mut tree = AggregateRTree::bulk_load(
+            vec![
+                Record::new(0, vec![0.5, 0.5]),
+                Record::new(1, vec![0.9, 0.9]),
+                Record::new(2, vec![0.8, 0.6]),
+                Record::new(3, vec![0.1, 0.1]),
+            ],
+            4,
+        );
+        let dominated = |tree: &AggregateRTree, probe: &[f64]| {
+            let mut ids = Vec::new();
+            tree.for_each_dominated(probe, |id| ids.push(id));
+            ids.sort_unstable();
+            ids
+        };
+        // An exact tie (record 0) is never dominated.
+        assert_eq!(dominated(&tree, &[0.5, 0.5]), vec![3]);
+        assert_eq!(dominated(&tree, &[0.9, 0.9]), vec![0, 2, 3]);
+        assert!(tree.delete(3));
+        assert_eq!(
+            dominated(&tree, &[0.5, 0.5]),
+            Vec::<RecordId>::new(),
+            "tombstoned records are not reported"
+        );
+        assert_eq!(dominated(&tree, &[0.05, 0.05]), Vec::<RecordId>::new());
     }
 
     #[test]
