@@ -17,7 +17,10 @@
 //!   speed/quality frontier and Auto routing), `parallel` (beyond-the-paper:
 //!   intra-query work-stealing CellTree expansion — single-query latency and
 //!   batch throughput vs worker count, also emitted as machine-readable
-//!   `BENCH_perf.json`), or `all`.
+//!   `BENCH_perf.json`), `recovery` (beyond-the-paper: WAL commit overhead
+//!   and crash-recovery replay time of the durable serving store), or `all`.
+//!   The `serve`, `monitor`, `parallel`, and `recovery` experiments each
+//!   update their own section of `BENCH_perf.json`.
 //! * `[scale]` is `quick` (default) or `full`; the parameter values for each
 //!   scale are documented in `EXPERIMENTS.md`.
 //! * `parallel` accepts an optional third argument: a comma-separated
@@ -72,11 +75,12 @@ fn run_experiment(which: &str, scale: Scale, extra: Option<&str>) {
         "monitor" => monitor(scale),
         "approx" => approx(scale),
         "parallel" => parallel(scale, extra),
+        "recovery" => recovery(scale),
         "all" => {
             for e in [
                 "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
                 "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24", "batch", "update",
-                "serve", "monitor", "approx", "parallel",
+                "serve", "monitor", "approx", "parallel", "recovery",
             ] {
                 run_experiment(e, scale, None);
                 println!();
@@ -946,41 +950,327 @@ fn serve(scale: Scale) {
     }
     let focals = w.focals(queries);
 
-    // The full front-end: a request queue over the sharded pool, including a
-    // stream of updates interleaved with the query batches.
-    let engine = ShardedEngine::new(w.raw.clone(), config.with_shards(4));
-    let server = Server::start(engine, ServeOptions::default());
-    let handle = server.handle();
-    let start = Instant::now();
-    let mut answered = 0usize;
-    for round in 0..comp_rounds {
-        let tickets = handle.submit_many(focals.clone(), k);
-        let id = handle
-            .insert(vec![0.5 + 0.001 * round as f64; p.d_default])
-            .wait()
-            .expect("insert");
-        for t in tickets {
-            t.wait().expect("query");
-            answered += 1;
-        }
-        handle.delete(id).wait().expect("delete");
-    }
-    let elapsed = start.elapsed().as_secs_f64();
-    let (engine, stats) = server.shutdown();
+    // The full front-end, per shard count: a request queue over the sharded
+    // pool, including a stream of updates interleaved with the query batches
+    // — the wire-facing qps the service actually delivers.
     println!(
-        "front-end (4 shards): {answered} queries + {} updates in {elapsed:.3}s \
-         ({:.1} q/s, {} run_batch calls, largest batch {})",
-        stats.updates,
-        answered as f64 / elapsed.max(1e-12),
-        stats.batches,
-        stats.largest_batch,
+        "front-end   {:<8} {:>10} {:>12} {:>16} {:>14}",
+        "shards", "queries", "updates", "elapsed (s)", "qps"
     );
-    report_tombstones(engine.tombstone_count(), engine.tombstone_ratio());
+    let mut points: Vec<(usize, usize, f64, u64, u64)> = Vec::new();
+    let mut last_tombstones = (0usize, 0.0f64);
+    for shards in [1usize, 2, 4, 8] {
+        let engine = ShardedEngine::new(w.raw.clone(), KsprConfig::default().with_shards(shards));
+        let server = Server::start(engine, ServeOptions::default());
+        let handle = server.handle();
+        let start = Instant::now();
+        let mut answered = 0usize;
+        for round in 0..comp_rounds {
+            let tickets = handle.submit_many(focals.clone(), k);
+            let id = handle
+                .insert(vec![0.5 + 0.001 * round as f64; p.d_default])
+                .wait()
+                .expect("insert");
+            for t in tickets {
+                t.wait().expect("query");
+                answered += 1;
+            }
+            handle.delete(id).wait().expect("delete");
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        let (engine, stats) = server.shutdown();
+        let qps = answered as f64 / elapsed.max(1e-12);
+        println!(
+            "            {:<8} {:>10} {:>12} {:>16.3} {:>14.1}",
+            shards, answered, stats.updates, elapsed, qps
+        );
+        points.push((
+            shards,
+            answered,
+            qps,
+            stats.batches,
+            stats.largest_batch as u64,
+        ));
+        last_tombstones = (engine.tombstone_count(), engine.tombstone_ratio());
+    }
+    report_tombstones(last_tombstones.0, last_tombstones.1);
+
+    // Admission control under the same burst: a zero-width degradation
+    // watermark answers every tiered query approximately, a zero hard limit
+    // sheds every query, and a zero per-client quota rejects per client —
+    // each decision shows up in the serving counters.
+    let burst = focals.len();
+    let admission_engine =
+        || ShardedEngine::new(w.raw.clone(), KsprConfig::default().with_shards(4));
+    let mut degrade = ServeOptions::default();
+    degrade.admission.degrade_watermark = 0;
+    let server = Server::start(admission_engine(), degrade);
+    let handle = server.handle();
+    let tickets: Vec<_> = focals
+        .iter()
+        .map(|f| handle.submit_tiered(Algorithm::LpCta, f.clone(), k, kspr::QueryTier::Exact))
+        .collect();
+    for t in tickets {
+        t.wait().expect("degraded query");
+    }
+    let (_, degraded_stats) = server.shutdown();
+    assert_eq!(degraded_stats.degraded_to_approx, burst as u64);
+
+    let mut shed = ServeOptions::default();
+    shed.admission.hard_limit = 0;
+    let server = Server::start(admission_engine(), shed);
+    let handle = server.handle();
+    let tickets: Vec<_> = focals.iter().map(|f| handle.submit(f.clone(), k)).collect();
+    let rejected = tickets
+        .into_iter()
+        .map(|t| t.wait())
+        .filter(Result::is_err)
+        .count();
+    let (_, shed_stats) = server.shutdown();
+    assert_eq!(shed_stats.rejections.overloaded, burst as u64);
+    assert_eq!(rejected, burst);
+
+    println!(
+        "admission: watermark 0 degraded {}/{burst} tiered queries to the approximate tier; \
+         hard limit 0 shed {}/{burst} with Overloaded",
+        degraded_stats.degraded_to_approx, shed_stats.rejections.overloaded,
+    );
     println!(
         "expected shape: sharding prunes the per-query preprocessing to the union of \
          per-shard k-skybands — >= 1.5x at 4 shards on the steady-state batch workload; \
          competitive queries are arrangement-bound, so their gain is small"
     );
+    match write_bench_perf_serve(
+        scale,
+        n,
+        p.d_default,
+        k,
+        &points,
+        burst,
+        degraded_stats.degraded_to_approx,
+        shed_stats.rejections.overloaded,
+    ) {
+        Ok(path) => eprintln!("[serve] wrote {path}"),
+        Err(err) => eprintln!("[serve] could not write BENCH_perf.json: {err}"),
+    }
+}
+
+/// Emits the `serve` experiment's front-end sweep into the `"serve"` section
+/// of `BENCH_perf.json`: wire-facing qps per shard count plus the admission
+/// counters of the degradation / load-shedding demos.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_perf_serve(
+    scale: Scale,
+    n: usize,
+    d: usize,
+    k: usize,
+    points: &[(usize, usize, f64, u64, u64)],
+    burst: usize,
+    degraded: u64,
+    shed: u64,
+) -> std::io::Result<String> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    out.push_str(&format!(
+        "    \"n\": {n},\n    \"d\": {d},\n    \"k\": {k},\n"
+    ));
+    out.push_str("    \"algorithm\": \"LPCTA\",\n");
+    out.push_str(
+        "    \"workload\": \"submit_many batches interleaved with insert/delete pairs\",\n",
+    );
+    out.push_str("    \"shard_scaling\": [\n");
+    for (i, (shards, queries, qps, batches, largest)) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"shards\": {shards}, \"queries\": {queries}, \"qps\": {qps:.3}, \
+             \"run_batch_calls\": {batches}, \"largest_batch\": {largest}}}{}\n",
+            if i + 1 == points.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str(&format!(
+        "    \"admission\": {{\"burst\": {burst}, \"degraded_to_approx\": {degraded}, \
+         \"rejected_overloaded\": {shed}}}\n"
+    ));
+    out.push_str("  }");
+    write_bench_perf_section("serve", &out)
+}
+
+/// The `recovery` experiment: what durability costs while serving (WAL
+/// commit per update batch, fsync included) and what a crash costs at
+/// restart (snapshot load + WAL replay + standing-query re-registration).
+fn recovery(scale: Scale) {
+    use kspr_durable::{DurableStore, Registration, SnapshotState, WalRecord};
+    use kspr_serve::{ServeOptions, Server, ShardedEngine};
+    header(
+        "Durable serving: WAL commit overhead and crash-recovery replay",
+        "beyond the paper — kspr-durable WAL/snapshot store (see EXPERIMENTS.md)",
+    );
+    let p = params(scale);
+    let (n, updates, standing) = match scale {
+        Scale::Quick => (2_000, 300, 8),
+        Scale::Full => (20_000, 3_000, 64),
+    };
+    let w = Workload::synthetic(Distribution::Independent, n, p.d_default, p.k_default, 177);
+    let config = KsprConfig::default().with_shards(4);
+    let dir = std::env::temp_dir().join(format!("kspr-recovery-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // --- WAL overhead: the same update stream, volatile vs durable ---
+    let run_updates = |server: &Server| {
+        let handle = server.handle();
+        let start = Instant::now();
+        for i in 0..updates {
+            let id = handle
+                .insert(vec![0.4 + 0.0001 * (i % 100) as f64; p.d_default])
+                .wait()
+                .expect("insert");
+            if i % 2 == 1 {
+                handle.delete(id).wait().expect("delete");
+            }
+        }
+        start.elapsed().as_secs_f64()
+    };
+    let volatile = Server::start(
+        ShardedEngine::new(w.raw.clone(), config.clone()),
+        ServeOptions::default(),
+    );
+    let volatile_secs = run_updates(&volatile);
+    volatile.shutdown();
+    let durable = Server::start_durable(
+        ShardedEngine::new(w.raw.clone(), config.clone()),
+        ServeOptions::default(),
+        &dir,
+    )
+    .expect("open durable server");
+    let durable_secs = run_updates(&durable);
+    let (_, stats) = durable.shutdown();
+    println!(
+        "{updates} updates over n = {n}: volatile {volatile_secs:.3}s, durable {durable_secs:.3}s \
+         ({:.2}x, {} WAL commits, {} snapshots)",
+        durable_secs / volatile_secs.max(1e-12),
+        stats.wal_commits,
+        stats.snapshots,
+    );
+
+    // --- Crash recovery: a snapshot plus a WAL tail that must replay ---
+    // Built directly through the store (a clean shutdown would truncate the
+    // WAL): every update and registration after the snapshot is a log
+    // record, exactly what a crash mid-serving leaves behind.
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = DurableStore::open(&dir).expect("open store");
+    let mut engine = ShardedEngine::new(w.raw.clone(), config.clone());
+    store
+        .install_snapshot(&SnapshotState {
+            dim: engine.dim(),
+            num_shards: engine.num_shards(),
+            next_shard: engine.routing_cursor(),
+            shard_epochs: engine.export_epochs(),
+            slots: engine.export_slots(),
+            monitor_next_id: 0,
+            registrations: (0..standing as u64)
+                .map(|id| Registration {
+                    id,
+                    algorithm: Algorithm::LpCta,
+                    focal: w.raw[id as usize % w.raw.len()].clone(),
+                    k: p.k_default,
+                })
+                .collect(),
+        })
+        .expect("install snapshot");
+    let mut writer = store.wal_writer(false).expect("open WAL");
+    for i in 0..updates {
+        let id = engine.insert(vec![0.4 + 0.0001 * (i % 100) as f64; p.d_default]);
+        writer.append(&WalRecord::Insert {
+            id,
+            values: vec![0.4 + 0.0001 * (i % 100) as f64; p.d_default],
+        });
+        if i % 2 == 1 {
+            engine.delete(id);
+            writer.append(&WalRecord::Delete { id });
+        }
+    }
+    writer.commit().expect("commit WAL");
+    drop(writer);
+    let wal_bytes = std::fs::metadata(store.wal_path())
+        .map(|m| m.len())
+        .unwrap_or(0);
+    drop(store);
+
+    let start = Instant::now();
+    let server = Server::recover(&dir, config, ServeOptions::default()).expect("recover");
+    let recover_secs = start.elapsed().as_secs_f64();
+    let handle = server.handle();
+    assert_eq!(handle.subscriptions().wait(), Ok(standing));
+    let focal = w.focals(1).pop().expect("focal");
+    handle
+        .submit(focal, p.k_default)
+        .wait()
+        .expect("first post-recovery query");
+    let (recovered, _) = server.shutdown();
+    assert_eq!(recovered.len(), engine.len());
+    println!(
+        "recovery: snapshot(n = {n}) + {} WAL records ({wal_bytes} bytes) + {standing} standing \
+         queries re-registered in {recover_secs:.3}s",
+        updates + updates / 2,
+    );
+    println!(
+        "expected shape: durable serving stays within a small factor of volatile (one \
+         write+fsync per update batch); recovery is replay-bound, linear in the WAL tail"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    match write_bench_perf_recovery(
+        scale,
+        n,
+        p.d_default,
+        updates,
+        volatile_secs,
+        durable_secs,
+        stats.wal_commits,
+        wal_bytes,
+        standing,
+        recover_secs,
+    ) {
+        Ok(path) => eprintln!("[recovery] wrote {path}"),
+        Err(err) => eprintln!("[recovery] could not write BENCH_perf.json: {err}"),
+    }
+}
+
+/// Emits the `recovery` experiment's measurements into the `"recovery"`
+/// section of `BENCH_perf.json`.
+#[allow(clippy::too_many_arguments)]
+fn write_bench_perf_recovery(
+    scale: Scale,
+    n: usize,
+    d: usize,
+    updates: usize,
+    volatile_secs: f64,
+    durable_secs: f64,
+    wal_commits: u64,
+    wal_bytes: u64,
+    standing: usize,
+    recover_secs: f64,
+) -> std::io::Result<String> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    out.push_str(&format!("    \"n\": {n},\n    \"d\": {d},\n"));
+    out.push_str(&format!("    \"updates\": {updates},\n"));
+    out.push_str(&format!(
+        "    \"volatile_secs\": {volatile_secs:.6},\n    \"durable_secs\": {durable_secs:.6},\n"
+    ));
+    out.push_str(&format!(
+        "    \"durable_overhead\": {:.3},\n",
+        durable_secs / volatile_secs.max(1e-12)
+    ));
+    out.push_str(&format!(
+        "    \"wal_commits\": {wal_commits},\n    \"replayed_wal_bytes\": {wal_bytes},\n"
+    ));
+    out.push_str(&format!(
+        "    \"standing_reregistered\": {standing},\n    \"recover_secs\": {recover_secs:.6}\n"
+    ));
+    out.push_str("  }");
+    write_bench_perf_section("recovery", &out)
 }
 
 /// Prints the live/tombstone slot accounting of a long-running engine.
@@ -1508,11 +1798,11 @@ fn write_bench_perf_monitor(
 }
 
 /// Writes one experiment's section into `BENCH_perf.json`, preserving every
-/// other known section already in the file, so `monitor` and `parallel` runs
+/// other known section already in the file, so the sectioned experiments
 /// compose regardless of order.  `body` is the section's rendered JSON
 /// object (starting at `{`).
 fn write_bench_perf_section(section: &str, body: &str) -> std::io::Result<String> {
-    const SECTIONS: [&str; 2] = ["monitor", "parallel"];
+    const SECTIONS: [&str; 4] = ["monitor", "parallel", "recovery", "serve"];
     let path = "BENCH_perf.json";
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut out = String::from("{\n");

@@ -249,6 +249,20 @@ impl DatasetStore {
         self.epoch
     }
 
+    /// Snapshot-restore hook: forces the epoch counter to `epoch`.
+    ///
+    /// Used by the durability layer when a store is rebuilt from a snapshot:
+    /// the rebuilt dataset is bit-identical to the snapshotted one, but the
+    /// reconstruction path (bulk load + tombstone replay) would leave a
+    /// different epoch than the live store had accumulated.  Forcing the
+    /// recorded epoch makes the recovered store indistinguishable from one
+    /// that never went down.  Never call this on a store that shares caches
+    /// with in-flight queries — a *lowered* epoch would make stale caches
+    /// look fresh.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
     /// Fraction of record slots that are tombstoned, in `[0, 1)`.
     ///
     /// Deleted slots are retained forever (ids are stable by design), so a

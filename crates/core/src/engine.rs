@@ -537,6 +537,19 @@ impl QueryEngine {
         &self.store
     }
 
+    /// Snapshot-restore hook: forces the dataset epoch to `epoch` and drops
+    /// every cached shared-prep entry (their recorded epochs belong to the
+    /// reconstruction path, not the restored one).  See
+    /// [`DatasetStore::restore_epoch`]; only meaningful on a freshly rebuilt
+    /// engine before it serves its first query.
+    pub fn restore_epoch(&mut self, epoch: u64) {
+        self.store.restore_epoch(epoch);
+        let cache = Self::recovering_get_mut(&mut self.cache);
+        cache.primary = None;
+        cache.views.clear();
+        cache.epoch = epoch;
+    }
+
     /// The configuration applied to every query.
     pub fn config(&self) -> &KsprConfig {
         &self.config

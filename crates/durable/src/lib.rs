@@ -1,0 +1,82 @@
+//! # kspr-durable — the durability layer of the kSPR serving stack
+//!
+//! The serving front-end (`kspr-serve`) holds everything in memory: the
+//! sharded dataset, the shard routing tables, and the standing-query
+//! registry.  This crate makes that state survive the process:
+//!
+//! * [`WalWriter`] / [`read_wal`] — an **append-only update WAL**.  Every
+//!   applied update (insert / delete) and registry change (subscribe /
+//!   unsubscribe) is appended as a CRC-framed [`WalRecord`];
+//!   [`WalWriter::commit`] flushes and fsyncs a whole batch of appends at
+//!   once (fsync *batching*: one durable write per drained dispatcher
+//!   batch, not per record).  Reading tolerates a torn tail — a crash mid
+//!   append leaves a truncated or CRC-failing final frame, and recovery
+//!   replays exactly the prefix of records that were fully committed.
+//! * [`SnapshotState`] — an **epoch snapshot** of the full logical serving
+//!   state: dataset slots (live values, tombstones, compacted ids) with
+//!   their shard placement, the insert-routing cursor, per-shard dataset
+//!   epochs, and every standing-query registration with the registry's id
+//!   counter.  Snapshots are written atomically (temp file + rename) and
+//!   CRC-checked on read.
+//! * [`DurableStore`] — the directory manager tying the two together: a
+//!   snapshot plus the WAL tail since that snapshot.  `recover` hands back
+//!   the snapshot and the committed WAL prefix; installing a fresh snapshot
+//!   truncates the WAL, bounding replay work.
+//!
+//! The layer is deliberately *logical*: it persists the record values, id
+//! assignments and registrations — not R-tree pages or cell-tree nodes.
+//! Query results are deterministic functions of the live record set, so a
+//! server rebuilt from snapshot + WAL tail answers bit-identically to one
+//! that never went down (the recovery proptest in `kspr-repro` asserts
+//! exactly this against a never-crashed twin).
+
+pub mod crc;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc::crc32;
+pub use snapshot::{Registration, SlotState, SnapshotState, SNAPSHOT_VERSION};
+pub use store::{DurableStore, Recovered};
+pub use wal::{read_wal, WalRecord, WalWriter, WAL_VERSION};
+
+/// Why a durable state could not be loaded.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The snapshot file is missing — nothing to recover from.
+    MissingSnapshot(std::path::PathBuf),
+    /// The snapshot (not the WAL tail — a torn tail is expected after a
+    /// crash and silently truncated) failed its integrity checks.
+    CorruptSnapshot(&'static str),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Io(err) => write!(f, "durable store I/O failed: {err}"),
+            DurableError::MissingSnapshot(path) => {
+                write!(f, "no snapshot at {}", path.display())
+            }
+            DurableError::CorruptSnapshot(what) => {
+                write!(f, "corrupt snapshot: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DurableError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(err: std::io::Error) -> Self {
+        DurableError::Io(err)
+    }
+}

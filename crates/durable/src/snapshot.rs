@@ -1,0 +1,372 @@
+//! Epoch snapshots of the full logical serving state.
+//!
+//! A snapshot captures everything needed to rebuild a [`kspr`] sharded
+//! engine and a standing-query registry that answer bit-identically to the
+//! live ones: every record slot (live values, tombstoned values, or
+//! compacted-away) with its shard placement, the insert-routing cursor,
+//! per-shard dataset epochs (restored through the core's
+//! `DatasetStore::restore_epoch` hook so version counters survive too), and
+//! every standing-query registration plus the registry's id counter.
+//!
+//! The file format is a single CRC-guarded blob:
+//! `[magic "KSPRSNAP"][version u32][body_len u64][crc u32][body]`, written
+//! atomically (temp file in the same directory, fsync, rename) so a crash
+//! mid-snapshot leaves the previous snapshot intact.
+
+use crate::crc::crc32;
+use crate::wal::{decode_algorithm, encode_algorithm, get_u64, get_u8, put_u64};
+use crate::DurableError;
+use kspr::Algorithm;
+use kspr_spatial::{decode_row, encode_row};
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const MAGIC: &[u8; 8] = b"KSPRSNAP";
+
+/// One persisted standing-query registration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Registration {
+    /// The registry id (dense, never reused).
+    pub id: u64,
+    /// The standing query's algorithm.
+    pub algorithm: Algorithm,
+    /// The standing query's focal record.
+    pub focal: Vec<f64>,
+    /// The standing query's `k`.
+    pub k: usize,
+}
+
+/// The durable state of one global record slot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SlotState {
+    /// A live record: its owning shard and attribute values.
+    Live {
+        /// The owning shard index.
+        shard: u32,
+        /// The record's attribute values.
+        values: Vec<f64>,
+    },
+    /// A deleted record whose storage slot still exists in its shard (the
+    /// values are kept so the rebuild can re-create the slot and tombstone
+    /// it, reproducing local id assignment and tombstone accounting).
+    Tombstone {
+        /// The shard whose local slot holds the tombstone.
+        shard: u32,
+        /// The values the slot held before deletion.
+        values: Vec<f64>,
+    },
+    /// A deleted record whose storage was compacted away; the global id
+    /// stays allocated but routes nowhere.
+    Compacted,
+}
+
+/// The full logical serving state at one moment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotState {
+    /// The dataset arity.
+    pub dim: usize,
+    /// Number of shards (must match the recovering configuration).
+    pub num_shards: usize,
+    /// The round-robin insert cursor.
+    pub next_shard: usize,
+    /// Per-shard dataset epochs (`0` for a shard that never held a record).
+    pub shard_epochs: Vec<u64>,
+    /// Every global record slot, in id order.
+    pub slots: Vec<SlotState>,
+    /// The standing-query registry's next id.
+    pub monitor_next_id: u64,
+    /// Every registered standing query, in id order.
+    pub registrations: Vec<Registration>,
+}
+
+const SLOT_LIVE: u8 = 1;
+const SLOT_TOMBSTONE: u8 = 2;
+const SLOT_COMPACTED: u8 = 3;
+
+impl SnapshotState {
+    /// Encodes the body (everything after the header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        put_u64(&mut out, self.dim as u64);
+        put_u64(&mut out, self.num_shards as u64);
+        put_u64(&mut out, self.next_shard as u64);
+        put_u64(&mut out, self.shard_epochs.len() as u64);
+        for &epoch in &self.shard_epochs {
+            put_u64(&mut out, epoch);
+        }
+        put_u64(&mut out, self.slots.len() as u64);
+        for slot in &self.slots {
+            match slot {
+                SlotState::Live { shard, values } => {
+                    out.push(SLOT_LIVE);
+                    out.extend_from_slice(&shard.to_le_bytes());
+                    encode_row(values, &mut out);
+                }
+                SlotState::Tombstone { shard, values } => {
+                    out.push(SLOT_TOMBSTONE);
+                    out.extend_from_slice(&shard.to_le_bytes());
+                    encode_row(values, &mut out);
+                }
+                SlotState::Compacted => out.push(SLOT_COMPACTED),
+            }
+        }
+        put_u64(&mut out, self.monitor_next_id);
+        put_u64(&mut out, self.registrations.len() as u64);
+        for reg in &self.registrations {
+            put_u64(&mut out, reg.id);
+            out.push(encode_algorithm(reg.algorithm));
+            put_u64(&mut out, reg.k as u64);
+            encode_row(&reg.focal, &mut out);
+        }
+        out
+    }
+
+    /// Decodes a body produced by [`SnapshotState::encode`].
+    pub fn decode(body: &[u8]) -> Result<Self, DurableError> {
+        let corrupt = DurableError::CorruptSnapshot("truncated body");
+        let mut at = 0usize;
+        let dim = get_u64(body, &mut at).ok_or(corrupt)? as usize;
+        let num_shards =
+            get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated body"))? as usize;
+        let next_shard =
+            get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated body"))? as usize;
+        let n_epochs =
+            get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated body"))? as usize;
+        if n_epochs > body.len() {
+            return Err(DurableError::CorruptSnapshot("implausible epoch count"));
+        }
+        let mut shard_epochs = Vec::with_capacity(n_epochs);
+        for _ in 0..n_epochs {
+            shard_epochs.push(
+                get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated epochs"))?,
+            );
+        }
+        let n_slots =
+            get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated body"))? as usize;
+        if n_slots > body.len() {
+            return Err(DurableError::CorruptSnapshot("implausible slot count"));
+        }
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            let tag =
+                get_u8(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated slots"))?;
+            let slot = match tag {
+                SLOT_LIVE | SLOT_TOMBSTONE => {
+                    let end = at
+                        .checked_add(4)
+                        .ok_or(DurableError::CorruptSnapshot("truncated slots"))?;
+                    let shard = u32::from_le_bytes(
+                        body.get(at..end)
+                            .ok_or(DurableError::CorruptSnapshot("truncated slots"))?
+                            .try_into()
+                            .unwrap(),
+                    );
+                    at = end;
+                    let values = decode_row(body, &mut at)
+                        .ok_or(DurableError::CorruptSnapshot("truncated slot row"))?;
+                    if tag == SLOT_LIVE {
+                        SlotState::Live { shard, values }
+                    } else {
+                        SlotState::Tombstone { shard, values }
+                    }
+                }
+                SLOT_COMPACTED => SlotState::Compacted,
+                _ => return Err(DurableError::CorruptSnapshot("unknown slot tag")),
+            };
+            slots.push(slot);
+        }
+        let monitor_next_id =
+            get_u64(body, &mut at).ok_or(DurableError::CorruptSnapshot("truncated registry"))?;
+        let n_regs = get_u64(body, &mut at)
+            .ok_or(DurableError::CorruptSnapshot("truncated registry"))?
+            as usize;
+        if n_regs > body.len() {
+            return Err(DurableError::CorruptSnapshot(
+                "implausible registration count",
+            ));
+        }
+        let mut registrations = Vec::with_capacity(n_regs);
+        for _ in 0..n_regs {
+            let id = get_u64(body, &mut at)
+                .ok_or(DurableError::CorruptSnapshot("truncated registration"))?;
+            let algorithm = decode_algorithm(
+                get_u8(body, &mut at)
+                    .ok_or(DurableError::CorruptSnapshot("truncated registration"))?,
+            )
+            .ok_or(DurableError::CorruptSnapshot("unknown algorithm tag"))?;
+            let k = get_u64(body, &mut at)
+                .ok_or(DurableError::CorruptSnapshot("truncated registration"))?
+                as usize;
+            let focal = decode_row(body, &mut at)
+                .ok_or(DurableError::CorruptSnapshot("truncated registration row"))?;
+            registrations.push(Registration {
+                id,
+                algorithm,
+                focal,
+                k,
+            });
+        }
+        if at != body.len() {
+            return Err(DurableError::CorruptSnapshot("trailing bytes"));
+        }
+        Ok(Self {
+            dim,
+            num_shards,
+            next_shard,
+            shard_epochs,
+            slots,
+            monitor_next_id,
+            registrations,
+        })
+    }
+
+    /// Writes the snapshot atomically to `path`: temp file in the same
+    /// directory, flushed and fsynced, then renamed over the target.  A
+    /// crash at any point leaves either the old snapshot or the new one,
+    /// never a torn file.
+    pub fn write_atomic(&self, path: &Path) -> std::io::Result<()> {
+        let body = self.encode();
+        let mut blob = Vec::with_capacity(body.len() + 24);
+        blob.extend_from_slice(MAGIC);
+        blob.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        blob.extend_from_slice(&(body.len() as u64).to_le_bytes());
+        blob.extend_from_slice(&crc32(&body).to_le_bytes());
+        blob.extend_from_slice(&body);
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(&blob)?;
+            file.flush()?;
+            file.sync_data()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        // Make the rename durable too (best effort — some filesystems do
+        // not support fsync on directories).
+        if let Some(dir) = path.parent() {
+            if let Ok(dir) = File::open(dir) {
+                let _ = dir.sync_data();
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads and verifies a snapshot written by
+    /// [`SnapshotState::write_atomic`].
+    pub fn read(path: &Path) -> Result<Self, DurableError> {
+        let mut bytes = Vec::new();
+        match File::open(path) {
+            Ok(mut file) => {
+                file.read_to_end(&mut bytes)?;
+            }
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {
+                return Err(DurableError::MissingSnapshot(path.to_path_buf()));
+            }
+            Err(err) => return Err(err.into()),
+        }
+        if bytes.len() < 24 || &bytes[..8] != MAGIC {
+            return Err(DurableError::CorruptSnapshot("bad magic"));
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(DurableError::CorruptSnapshot("unknown version"));
+        }
+        let body_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+        let body = bytes
+            .get(24..24 + body_len)
+            .ok_or(DurableError::CorruptSnapshot("truncated body"))?;
+        if bytes.len() != 24 + body_len {
+            return Err(DurableError::CorruptSnapshot("trailing bytes"));
+        }
+        if crc32(body) != crc {
+            return Err(DurableError::CorruptSnapshot("checksum mismatch"));
+        }
+        Self::decode(body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotState {
+        SnapshotState {
+            dim: 3,
+            num_shards: 2,
+            next_shard: 1,
+            shard_epochs: vec![4, 0],
+            slots: vec![
+                SlotState::Live {
+                    shard: 0,
+                    values: vec![0.1, 0.2, 0.3],
+                },
+                SlotState::Tombstone {
+                    shard: 1,
+                    values: vec![0.9, 0.8, 0.7],
+                },
+                SlotState::Compacted,
+                SlotState::Live {
+                    shard: 1,
+                    values: vec![0.5, 0.5, 0.5],
+                },
+            ],
+            monitor_next_id: 6,
+            registrations: vec![
+                Registration {
+                    id: 2,
+                    algorithm: Algorithm::LpCta,
+                    focal: vec![0.4, 0.4, 0.4],
+                    k: 3,
+                },
+                Registration {
+                    id: 5,
+                    algorithm: Algorithm::KSkyband,
+                    focal: vec![0.6, 0.3, 0.2],
+                    k: 1,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn body_codec_round_trips() {
+        let state = sample();
+        let decoded = SnapshotState::decode(&state.encode()).expect("decodes");
+        assert_eq!(decoded, state);
+    }
+
+    #[test]
+    fn file_round_trip_and_corruption_detection() {
+        let dir = std::env::temp_dir().join(format!("kspr-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.snap");
+        let state = sample();
+        state.write_atomic(&path).unwrap();
+        assert_eq!(SnapshotState::read(&path).unwrap(), state);
+
+        // Any corrupted byte must be caught by magic/version/CRC checks.
+        let blob = std::fs::read(&path).unwrap();
+        for at in [0usize, 9, 21, 30, blob.len() - 1] {
+            let mut bad = blob.clone();
+            bad[at] ^= 0x10;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                SnapshotState::read(&path).is_err(),
+                "flip at {at} must not read back"
+            );
+        }
+        // Truncation is caught too.
+        std::fs::write(&path, &blob[..blob.len() / 2]).unwrap();
+        assert!(SnapshotState::read(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        assert!(matches!(
+            SnapshotState::read(&path),
+            Err(DurableError::MissingSnapshot(_))
+        ));
+    }
+}

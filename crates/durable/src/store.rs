@@ -1,0 +1,183 @@
+//! The on-disk layout tying snapshot and WAL together.
+//!
+//! A durable directory holds at most two files: `state.snap` (the last
+//! epoch snapshot) and `updates.wal` (every committed update since that
+//! snapshot).  Recovery loads the snapshot, replays the committed WAL
+//! prefix, and — once the rebuilt server is live — installs a fresh
+//! snapshot and truncates the WAL so the next recovery replays nothing.
+
+use crate::snapshot::SnapshotState;
+use crate::wal::{read_wal, WalRecord, WalWriter};
+use crate::DurableError;
+use std::path::{Path, PathBuf};
+
+/// A durable state directory: one snapshot plus the WAL tail since it.
+#[derive(Debug, Clone)]
+pub struct DurableStore {
+    dir: PathBuf,
+}
+
+/// What [`DurableStore::load`] found on disk.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The last snapshot, if one was ever installed.
+    pub snapshot: Option<SnapshotState>,
+    /// The committed WAL records appended since that snapshot, in order.
+    pub wal: Vec<WalRecord>,
+    /// Whether the WAL ended cleanly (`false` means a torn tail was
+    /// truncated — expected after a crash mid-append).
+    pub wal_clean: bool,
+}
+
+impl DurableStore {
+    /// Opens (creating if needed) a durable directory.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The directory this store manages.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join("state.snap")
+    }
+
+    /// Path of the update WAL.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("updates.wal")
+    }
+
+    /// Loads everything recoverable: the snapshot (if any) and the
+    /// committed WAL prefix since it.
+    pub fn load(&self) -> Result<Recovered, DurableError> {
+        let snapshot = match SnapshotState::read(&self.snapshot_path()) {
+            Ok(state) => Some(state),
+            Err(DurableError::MissingSnapshot(_)) => None,
+            Err(err) => return Err(err),
+        };
+        let (wal, wal_clean) = read_wal(&self.wal_path())?;
+        Ok(Recovered {
+            snapshot,
+            wal,
+            wal_clean,
+        })
+    }
+
+    /// Opens an appending WAL writer for this store.
+    ///
+    /// `sync_on_commit` disables fsync for tests and benchmarks that only
+    /// care about logical replay, not crash durability.
+    pub fn wal_writer(&self, sync_on_commit: bool) -> std::io::Result<WalWriter> {
+        WalWriter::open(&self.wal_path(), sync_on_commit)
+    }
+
+    /// Atomically installs `state` as the new snapshot and truncates the
+    /// WAL: every record the snapshot already captures is dropped, so the
+    /// next recovery replays only updates committed after this call.
+    ///
+    /// Ordering matters — the snapshot is durable *before* the WAL is
+    /// cleared, so a crash between the two steps recovers from the new
+    /// snapshot plus a (harmlessly re-replayed) stale WAL only if the WAL
+    /// survived; replay of already-snapshotted updates is prevented by
+    /// truncation, and a crash before truncation at worst replays updates
+    /// the snapshot already holds — which is why callers snapshot from a
+    /// quiesced dispatcher, where the WAL holds nothing newer than the
+    /// snapshot.
+    pub fn install_snapshot(&self, state: &SnapshotState) -> std::io::Result<()> {
+        state.write_atomic(&self.snapshot_path())?;
+        let wal = self.wal_path();
+        if wal.exists() {
+            std::fs::File::create(&wal)?.sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Registration, SlotState};
+    use kspr::Algorithm;
+
+    fn temp_store(tag: &str) -> DurableStore {
+        let dir = std::env::temp_dir().join(format!("kspr-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        DurableStore::open(dir).unwrap()
+    }
+
+    fn tiny_snapshot() -> SnapshotState {
+        SnapshotState {
+            dim: 2,
+            num_shards: 1,
+            next_shard: 0,
+            shard_epochs: vec![1],
+            slots: vec![SlotState::Live {
+                shard: 0,
+                values: vec![0.25, 0.75],
+            }],
+            monitor_next_id: 1,
+            registrations: vec![Registration {
+                id: 0,
+                algorithm: Algorithm::Cta,
+                focal: vec![0.5, 0.5],
+                k: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn empty_store_loads_empty() {
+        let store = temp_store("empty");
+        let recovered = store.load().unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert!(recovered.wal.is_empty());
+        assert!(recovered.wal_clean);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_tail_round_trips() {
+        let store = temp_store("roundtrip");
+        store.install_snapshot(&tiny_snapshot()).unwrap();
+
+        let mut writer = store.wal_writer(false).unwrap();
+        let tail = vec![
+            WalRecord::Insert {
+                id: 1,
+                values: vec![0.9, 0.1],
+            },
+            WalRecord::Delete { id: 0 },
+        ];
+        for record in &tail {
+            writer.append(record);
+        }
+        writer.commit().unwrap();
+
+        let recovered = store.load().unwrap();
+        assert_eq!(recovered.snapshot, Some(tiny_snapshot()));
+        assert_eq!(recovered.wal, tail);
+        assert!(recovered.wal_clean);
+    }
+
+    #[test]
+    fn installing_a_snapshot_truncates_the_wal() {
+        let store = temp_store("truncate");
+        let mut writer = store.wal_writer(false).unwrap();
+        writer.append(&WalRecord::Insert {
+            id: 0,
+            values: vec![0.5, 0.5],
+        });
+        writer.commit().unwrap();
+        drop(writer);
+        assert_eq!(store.load().unwrap().wal.len(), 1);
+
+        store.install_snapshot(&tiny_snapshot()).unwrap();
+        let recovered = store.load().unwrap();
+        assert_eq!(recovered.snapshot, Some(tiny_snapshot()));
+        assert!(recovered.wal.is_empty(), "WAL must be truncated");
+    }
+}

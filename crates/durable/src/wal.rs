@@ -1,0 +1,431 @@
+//! The append-only update WAL.
+//!
+//! One file of consecutive frames, each `[len: u32 LE][crc: u32 LE][payload]`
+//! where `crc` covers the payload.  The payload is a versioned, tagged
+//! [`WalRecord`] encoding.  Appends are buffered; [`WalWriter::commit`]
+//! writes and (by policy) fsyncs everything appended since the last commit —
+//! the serving dispatcher appends every update of a drained batch and
+//! commits once, so a burst of updates costs one durable write.
+//!
+//! A crash can tear the final frame (short write) or corrupt it (partial
+//! page).  [`read_wal`] therefore replays the longest *valid prefix*: it
+//! stops at the first truncated or CRC-failing frame and reports whether the
+//! file ended cleanly.  Everything before the tear was acknowledged only
+//! after an fsynced commit, so the valid prefix is exactly the durable
+//! history.
+
+use crate::crc::crc32;
+use kspr::{Algorithm, RecordId};
+use kspr_spatial::{decode_row, encode_row};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Version byte leading every WAL payload.
+pub const WAL_VERSION: u8 = 1;
+
+/// Upper bound on a single frame's payload, guarding the reader against
+/// interpreting garbage as a multi-gigabyte length.
+const MAX_PAYLOAD: usize = 1 << 24;
+
+/// One durable operation.  `Insert` records the id the engine assigned so
+/// replay can assert the reconstruction allocates identically; `Subscribe`
+/// likewise records the registry id.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A record was inserted under `id`.
+    Insert {
+        /// The global id the sharded engine assigned.
+        id: RecordId,
+        /// The inserted attribute row.
+        values: Vec<f64>,
+    },
+    /// The record with global `id` was deleted (tombstoned).
+    Delete {
+        /// The global id of the removed record.
+        id: RecordId,
+    },
+    /// A standing query was registered under `id`.
+    Subscribe {
+        /// The registry id the monitor assigned.
+        id: u64,
+        /// The standing query's algorithm.
+        algorithm: Algorithm,
+        /// The standing query's focal record.
+        focal: Vec<f64>,
+        /// The standing query's `k`.
+        k: usize,
+    },
+    /// The standing query with registry `id` was unregistered.
+    Unsubscribe {
+        /// The registry id of the removed standing query.
+        id: u64,
+    },
+}
+
+const TAG_INSERT: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_SUBSCRIBE: u8 = 3;
+const TAG_UNSUBSCRIBE: u8 = 4;
+
+pub(crate) fn encode_algorithm(algorithm: Algorithm) -> u8 {
+    match algorithm {
+        Algorithm::Cta => 0,
+        Algorithm::Pcta => 1,
+        Algorithm::LpCta => 2,
+        Algorithm::KSkyband => 3,
+        Algorithm::Rtopk => 4,
+        Algorithm::IMaxRank => 5,
+    }
+}
+
+pub(crate) fn decode_algorithm(tag: u8) -> Option<Algorithm> {
+    Some(match tag {
+        0 => Algorithm::Cta,
+        1 => Algorithm::Pcta,
+        2 => Algorithm::LpCta,
+        3 => Algorithm::KSkyband,
+        4 => Algorithm::Rtopk,
+        5 => Algorithm::IMaxRank,
+        _ => return None,
+    })
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn get_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let v = u64::from_le_bytes(bytes.get(*at..end)?.try_into().ok()?);
+    *at = end;
+    Some(v)
+}
+
+pub(crate) fn get_u8(bytes: &[u8], at: &mut usize) -> Option<u8> {
+    let v = *bytes.get(*at)?;
+    *at += 1;
+    Some(v)
+}
+
+impl WalRecord {
+    /// Encodes the payload (version byte + tag + fields).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WAL_VERSION];
+        match self {
+            WalRecord::Insert { id, values } => {
+                out.push(TAG_INSERT);
+                put_u64(&mut out, *id as u64);
+                encode_row(values, &mut out);
+            }
+            WalRecord::Delete { id } => {
+                out.push(TAG_DELETE);
+                put_u64(&mut out, *id as u64);
+            }
+            WalRecord::Subscribe {
+                id,
+                algorithm,
+                focal,
+                k,
+            } => {
+                out.push(TAG_SUBSCRIBE);
+                put_u64(&mut out, *id);
+                out.push(encode_algorithm(*algorithm));
+                put_u64(&mut out, *k as u64);
+                encode_row(focal, &mut out);
+            }
+            WalRecord::Unsubscribe { id } => {
+                out.push(TAG_UNSUBSCRIBE);
+                put_u64(&mut out, *id);
+            }
+        }
+        out
+    }
+
+    /// Decodes one payload; `None` on any malformation (the reader treats
+    /// that as the torn tail).
+    pub fn decode(payload: &[u8]) -> Option<Self> {
+        let mut at = 0usize;
+        if get_u8(payload, &mut at)? != WAL_VERSION {
+            return None;
+        }
+        let record = match get_u8(payload, &mut at)? {
+            TAG_INSERT => WalRecord::Insert {
+                id: get_u64(payload, &mut at)? as RecordId,
+                values: decode_row(payload, &mut at)?,
+            },
+            TAG_DELETE => WalRecord::Delete {
+                id: get_u64(payload, &mut at)? as RecordId,
+            },
+            TAG_SUBSCRIBE => {
+                let id = get_u64(payload, &mut at)?;
+                let algorithm = decode_algorithm(get_u8(payload, &mut at)?)?;
+                let k = get_u64(payload, &mut at)? as usize;
+                let focal = decode_row(payload, &mut at)?;
+                WalRecord::Subscribe {
+                    id,
+                    algorithm,
+                    focal,
+                    k,
+                }
+            }
+            TAG_UNSUBSCRIBE => WalRecord::Unsubscribe {
+                id: get_u64(payload, &mut at)?,
+            },
+            _ => return None,
+        };
+        (at == payload.len()).then_some(record)
+    }
+}
+
+/// The appending half of the WAL.
+///
+/// `append` only stages a record in memory; `commit` makes everything staged
+/// durable in one write (+ fsync unless disabled).  The counters let serving
+/// stats report the batching ratio.
+pub struct WalWriter {
+    file: File,
+    staged: Vec<u8>,
+    staged_records: u64,
+    sync_on_commit: bool,
+    records: u64,
+    commits: u64,
+    syncs: u64,
+}
+
+impl WalWriter {
+    /// Opens (creating if needed) the WAL at `path` for appending.
+    /// `sync_on_commit = false` trades durability of the last commits for
+    /// speed (tests, benchmarks); production serving keeps it on.
+    pub fn open(path: &Path, sync_on_commit: bool) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(Self {
+            file,
+            staged: Vec::new(),
+            staged_records: 0,
+            sync_on_commit,
+            records: 0,
+            commits: 0,
+            syncs: 0,
+        })
+    }
+
+    /// Stages one record (frame = length + CRC + payload).  Not durable
+    /// until the next [`WalWriter::commit`].
+    pub fn append(&mut self, record: &WalRecord) {
+        let payload = record.encode();
+        self.staged
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.staged
+            .extend_from_slice(&crc32(&payload).to_le_bytes());
+        self.staged.extend_from_slice(&payload);
+        self.staged_records += 1;
+    }
+
+    /// Writes and fsyncs everything staged since the last commit (one
+    /// durable write per batch — the fsync batching).  A no-op when nothing
+    /// is staged.
+    pub fn commit(&mut self) -> std::io::Result<()> {
+        if self.staged.is_empty() {
+            return Ok(());
+        }
+        self.file.write_all(&self.staged)?;
+        self.file.flush()?;
+        if self.sync_on_commit {
+            self.file.sync_data()?;
+            self.syncs += 1;
+        }
+        self.records += self.staged_records;
+        self.commits += 1;
+        self.staged.clear();
+        self.staged_records = 0;
+        Ok(())
+    }
+
+    /// Records committed over this writer's lifetime.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Commits performed (each covering >= 1 record).
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// fsyncs issued (== commits when `sync_on_commit`).
+    pub fn syncs(&self) -> u64 {
+        self.syncs
+    }
+}
+
+/// Reads the longest valid record prefix of the WAL at `path`.
+///
+/// Returns the records and whether the file ended cleanly (`false`: a torn
+/// or corrupt tail was discarded — the expected state after a crash).  A
+/// missing file reads as an empty, clean WAL.
+pub fn read_wal(path: &Path) -> std::io::Result<(Vec<WalRecord>, bool)> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => {
+            file.read_to_end(&mut bytes)?;
+        }
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), true)),
+        Err(err) => return Err(err),
+    }
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < bytes.len() {
+        let Some(header) = bytes.get(at..at + 8) else {
+            return Ok((records, false));
+        };
+        let len = u32::from_le_bytes(header[..4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(header[4..].try_into().unwrap());
+        if len > MAX_PAYLOAD {
+            return Ok((records, false));
+        }
+        let Some(payload) = bytes.get(at + 8..at + 8 + len) else {
+            return Ok((records, false));
+        };
+        if crc32(payload) != crc {
+            return Ok((records, false));
+        }
+        let Some(record) = WalRecord::decode(payload) else {
+            return Ok((records, false));
+        };
+        records.push(record);
+        at += 8 + len;
+    }
+    Ok((records, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                id: 0,
+                values: vec![0.25, 0.5, 0.75],
+            },
+            WalRecord::Subscribe {
+                id: 3,
+                algorithm: Algorithm::Pcta,
+                focal: vec![0.1, 0.9, 0.4],
+                k: 2,
+            },
+            WalRecord::Delete { id: 0 },
+            WalRecord::Unsubscribe { id: 3 },
+            WalRecord::Insert {
+                id: 1,
+                values: vec![1e-9, 123.5, -0.0],
+            },
+        ]
+    }
+
+    #[test]
+    fn record_codec_round_trips_every_variant() {
+        for record in sample_records() {
+            let payload = record.encode();
+            assert_eq!(WalRecord::decode(&payload).as_ref(), Some(&record));
+            // Trailing garbage is a malformation, not silently ignored.
+            let mut longer = payload.clone();
+            longer.push(0);
+            assert_eq!(WalRecord::decode(&longer), None);
+        }
+    }
+
+    #[test]
+    fn write_commit_read_round_trips() {
+        let dir = std::env::temp_dir().join(format!("kspr-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open(&path, false).unwrap();
+        let records = sample_records();
+        // Two records per commit: fsync batching.
+        for chunk in records.chunks(2) {
+            for r in chunk {
+                writer.append(r);
+            }
+            writer.commit().unwrap();
+        }
+        assert_eq!(writer.records(), records.len() as u64);
+        assert_eq!(writer.commits(), 3);
+        let (read, clean) = read_wal(&path).unwrap();
+        assert!(clean);
+        assert_eq!(read, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn uncommitted_appends_are_not_durable() {
+        let dir = std::env::temp_dir().join(format!("kspr-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("staged.wal");
+        let _ = std::fs::remove_file(&path);
+        let mut writer = WalWriter::open(&path, false).unwrap();
+        writer.append(&WalRecord::Delete { id: 9 });
+        writer.commit().unwrap();
+        writer.append(&WalRecord::Delete { id: 10 });
+        // No commit: the second record must not be visible.
+        let (read, clean) = read_wal(&path).unwrap();
+        assert!(clean);
+        assert_eq!(read, vec![WalRecord::Delete { id: 9 }]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_tails_replay_the_valid_prefix() {
+        let dir = std::env::temp_dir().join(format!("kspr-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("torn.wal");
+        let records = sample_records();
+        // Frame boundaries, for cutting at every possible tear point.
+        let mut frames = Vec::new();
+        let mut whole = Vec::new();
+        for r in &records {
+            let payload = r.encode();
+            let mut frame = (payload.len() as u32).to_le_bytes().to_vec();
+            frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+            frame.extend_from_slice(&payload);
+            whole.extend_from_slice(&frame);
+            frames.push(frame.len());
+        }
+        // Cut inside every frame: the reader must return exactly the records
+        // before the torn one and flag the tail.
+        let mut boundary = 0usize;
+        for (i, flen) in frames.iter().enumerate() {
+            for cut in [boundary + 1, boundary + flen / 2, boundary + flen - 1] {
+                std::fs::write(&path, &whole[..cut]).unwrap();
+                let (read, clean) = read_wal(&path).unwrap();
+                assert!(!clean, "cut at {cut} must flag the tail");
+                assert_eq!(read, records[..i], "cut at {cut}");
+            }
+            boundary += flen;
+        }
+        // A bit flip in the last frame's payload drops exactly that record.
+        let mut corrupt = whole.clone();
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0x40;
+        std::fs::write(&path, &corrupt).unwrap();
+        let (read, clean) = read_wal(&path).unwrap();
+        assert!(!clean);
+        assert_eq!(read, records[..records.len() - 1]);
+        // The intact file replays fully.
+        std::fs::write(&path, &whole).unwrap();
+        let (read, clean) = read_wal(&path).unwrap();
+        assert!(clean);
+        assert_eq!(read, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_wal_reads_empty_and_clean() {
+        let path = std::env::temp_dir().join("kspr-wal-never-created.wal");
+        let _ = std::fs::remove_file(&path);
+        let (read, clean) = read_wal(&path).unwrap();
+        assert!(read.is_empty());
+        assert!(clean);
+    }
+}

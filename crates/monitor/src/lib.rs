@@ -173,6 +173,9 @@ pub enum RegisterError {
     /// Only the CellTree policies (CTA, P-CTA, LP-CTA, k-skyband) expose the
     /// classification hooks; the sweep baselines (RTOPK, iMaxRank) do not.
     UnsupportedAlgorithm,
+    /// [`Monitor::register_at`] was handed an id that is already registered
+    /// (a corrupt or replayed-twice recovery stream).
+    DuplicateId,
 }
 
 impl std::fmt::Display for RegisterError {
@@ -185,6 +188,9 @@ impl std::fmt::Display for RegisterError {
                     f,
                     "the algorithm does not support standing-query maintenance"
                 )
+            }
+            RegisterError::DuplicateId => {
+                write!(f, "the standing-query id is already registered")
             }
         }
     }
@@ -466,6 +472,76 @@ impl Monitor {
     /// All registered queries, in id order.
     pub fn queries(&self) -> impl Iterator<Item = (QueryId, &StandingQuery)> {
         self.queries.iter().map(|(&id, q)| (id, q))
+    }
+
+    /// The id the next [`Monitor::register`] call will assign.  Ids are
+    /// dense and never reused, so persisting this counter alongside the
+    /// registered queries is enough to serialize the registry: restoring the
+    /// counter and replaying registrations through
+    /// [`Monitor::register_at`] reproduces the id assignment exactly.
+    pub fn next_id(&self) -> QueryId {
+        self.next_id
+    }
+
+    /// Recovery hook: advances the id counter to at least `next_id`.
+    /// Needed when the highest persisted registration was later
+    /// unregistered — replaying the surviving registrations alone would
+    /// leave the counter low and a future registration would reuse a dead
+    /// id, breaking the never-reused invariant subscribers rely on.
+    pub fn restore_next_id(&mut self, next_id: QueryId) {
+        self.next_id = self.next_id.max(next_id);
+    }
+
+    /// Recovery hook: registers a standing query under an **explicit id**,
+    /// re-running it against `engine` to rebuild its result and maintenance
+    /// state.  Used by the durability layer to reconstruct a registry from
+    /// persisted registrations — the engine must already hold the dataset
+    /// state the registration was persisted against, so the re-run
+    /// reproduces the maintained result bit-for-bit (query results are
+    /// deterministic functions of the live record set).
+    ///
+    /// The id counter advances past `id`, so later live registrations keep
+    /// allocating fresh ids.
+    ///
+    /// # Errors
+    /// Rejects the same invalid requests as [`Monitor::register`], plus ids
+    /// that are already registered.
+    pub fn register_at<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        id: QueryId,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+    ) -> Result<(), RegisterError> {
+        if self.queries.contains_key(&id) {
+            return Err(RegisterError::DuplicateId);
+        }
+        if k == 0 {
+            return Err(RegisterError::InvalidK);
+        }
+        check_record(&focal, Some(engine.dim())).map_err(RegisterError::Focal)?;
+        if policy_for(algorithm).is_none() {
+            return Err(RegisterError::UnsupportedAlgorithm);
+        }
+        let result = engine.run_query(algorithm, &focal, k);
+        let focal_dominators = engine.count_dominating(&focal, usize::MAX);
+        self.next_id = self.next_id.max(id + 1);
+        if let Some(index) = &mut self.index {
+            index.add(id, &focal, k);
+        }
+        self.queries.insert(
+            id,
+            StandingQuery {
+                algorithm,
+                focal,
+                k,
+                focal_dominators,
+                result,
+            },
+        );
+        self.stats.registered += 1;
+        Ok(())
     }
 
     /// Registers a standing query: validates the request, runs it once, and

@@ -8,6 +8,7 @@
 pub use kspr;
 pub use kspr_approx as approx;
 pub use kspr_datagen as datagen;
+pub use kspr_durable as durable;
 pub use kspr_geometry as geometry;
 pub use kspr_lp as lp;
 pub use kspr_monitor as monitor;

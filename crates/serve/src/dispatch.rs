@@ -1,0 +1,765 @@
+//! The dispatch core: one thread owning the engine, draining the request
+//! queue, and orchestrating the other layers.
+//!
+//! The loop itself stays small — it only decides *order*: updates apply in
+//! arrival order, consecutive queries batch (see the `batch` module),
+//! standing-query maintenance runs once per drained update batch, and the
+//! durability hooks (see the `persist` module) commit every applied update
+//! to the WAL *before* its ticket is acknowledged.  At shutdown every
+//! request still queued is drained and resolved with
+//! [`ServeError::Shutdown`] instead of left to observe a dead channel.
+
+use crate::batch::{run_jobs, validate_budget, validate_insert, QueryJob};
+use crate::error::{ingest_error, register_error, ServeError};
+use crate::persist::{snapshot_of, Persist};
+use crate::stats::ServeStats;
+use crate::subscription::{ApproxDelta, ApproxStanding, ApproxWatchId, DeltaPush, DeltaQueue};
+use crate::ShardedEngine;
+use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, RecordId};
+use kspr_durable::WalRecord;
+use kspr_monitor::{update_preserves_impact, Monitor, QueryId, ResultDelta, UpdateKind};
+use std::collections::{HashMap, VecDeque};
+use std::sync::{mpsc, Arc};
+
+/// The request-queue protocol between [`crate::ServeHandle`]s and the
+/// dispatcher.
+pub(crate) enum Msg {
+    Query(QueryJob),
+    Batch(Vec<QueryJob>),
+    Insert {
+        values: Vec<f64>,
+        tx: mpsc::Sender<Result<RecordId, ServeError>>,
+    },
+    Delete {
+        id: RecordId,
+        tx: mpsc::Sender<Result<bool, ServeError>>,
+    },
+    Subscribe {
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+        deltas: Arc<DeltaQueue>,
+        tx: mpsc::Sender<Result<(QueryId, KsprResult), ServeError>>,
+    },
+    Unsubscribe {
+        id: QueryId,
+        /// `None` for the fire-and-forget unsubscribe of `Subscription::drop`.
+        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
+    },
+    Subscriptions {
+        tx: mpsc::Sender<Result<usize, ServeError>>,
+    },
+    SubscribeApprox {
+        focal: Vec<f64>,
+        k: usize,
+        budget: ErrorBudget,
+        deltas: mpsc::Sender<ApproxDelta>,
+        tx: mpsc::Sender<Result<(ApproxWatchId, ApproxImpact), ServeError>>,
+    },
+    UnsubscribeApprox {
+        id: ApproxWatchId,
+        /// `None` for the fire-and-forget unsubscribe of
+        /// `ApproxSubscription::drop`.
+        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
+    },
+    ApproxSubscriptions {
+        tx: mpsc::Sender<Result<usize, ServeError>>,
+    },
+    Stats {
+        tx: mpsc::Sender<Result<ServeStats, ServeError>>,
+    },
+    Shutdown,
+}
+
+/// Resolves every pending response channel of `msg` with `err` and returns
+/// how many requests were rejected (a batch counts each of its queries).
+/// Used by the shutdown drain and by handles whose enqueue raced the
+/// shutdown.
+pub(crate) fn reject_msg(msg: Msg, err: &ServeError) -> u64 {
+    match msg {
+        Msg::Query(job) => {
+            job.sink.reject(err.clone());
+            1
+        }
+        Msg::Batch(jobs) => {
+            let n = jobs.len() as u64;
+            for job in jobs {
+                job.sink.reject(err.clone());
+            }
+            n
+        }
+        Msg::Insert { tx, .. } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::Delete { tx, .. } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::Subscribe { deltas, tx, .. } => {
+            deltas.close();
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::Unsubscribe { tx, .. } => match tx {
+            Some(tx) => {
+                let _ = tx.send(Err(err.clone()));
+                1
+            }
+            None => 0,
+        },
+        Msg::Subscriptions { tx } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::SubscribeApprox { tx, .. } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::UnsubscribeApprox { tx, .. } => match tx {
+            Some(tx) => {
+                let _ = tx.send(Err(err.clone()));
+                1
+            }
+            None => 0,
+        },
+        Msg::ApproxSubscriptions { tx } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::Stats { tx } => {
+            let _ = tx.send(Err(err.clone()));
+            1
+        }
+        Msg::Shutdown => 0,
+    }
+}
+
+/// What [`crate::Server`] hands the dispatcher thread: the tuning knobs,
+/// the (possibly recovered) standing-query registry, and the durability
+/// hook.
+pub(crate) struct DispatchConfig {
+    pub(crate) batch_limit: usize,
+    pub(crate) admission: crate::admission::AdmissionOptions,
+    pub(crate) persist: Option<Persist>,
+    pub(crate) monitor: Monitor,
+}
+
+/// Delivers update notifications to their subscribers.  A queue at its
+/// pending cap coalesces the notification instead of growing (see
+/// [`crate::MAX_PENDING_DELTAS`]); a closed queue means the subscription was
+/// dropped but its unsubscribe message is still in flight, and the
+/// notification is simply discarded.
+fn notify(
+    subscribers: &HashMap<QueryId, Arc<DeltaQueue>>,
+    deltas: Vec<ResultDelta>,
+    stats: &mut ServeStats,
+) {
+    for delta in deltas {
+        if let Some(queue) = subscribers.get(&delta.query) {
+            match queue.push(delta) {
+                DeltaPush::Queued => stats.notifications += 1,
+                DeltaPush::Coalesced => {
+                    stats.notifications += 1;
+                    stats.deltas_coalesced += 1;
+                }
+                DeltaPush::Closed => {}
+            }
+        }
+    }
+}
+
+/// Runs the standing-query maintenance for one *already committed and
+/// acknowledged* update and delivers the notifications.
+///
+/// A panic inside classification (a standing query's rerun tripping an
+/// engine bug) is the query-panic class — the engine caches recover and the
+/// update itself is fine — but the maintenance pass may have stopped half
+/// way, leaving some standing queries with stale bookkeeping that would
+/// silently misclassify every later update.  Rather than stopping the
+/// server (the update succeeded) or serving stale standing results, the
+/// whole registry is invalidated: every subscription's channel closes (its
+/// next `recv`/`poll` reports the disconnect) and clients re-subscribe to
+/// resume watching.
+fn maintain_standing(
+    monitor: &mut Monitor,
+    subscribers: &mut HashMap<QueryId, Arc<DeltaQueue>>,
+    stats: &mut ServeStats,
+    apply: impl FnOnce(&mut Monitor) -> Vec<ResultDelta>,
+) {
+    if monitor.is_empty() {
+        return;
+    }
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| apply(monitor))) {
+        Ok(deltas) => notify(subscribers, deltas, stats),
+        Err(_) => {
+            // Not a rejection — no client request failed; track separately.
+            stats.maintenance_failures += 1;
+            monitor.clear();
+            for queue in subscribers.values() {
+                queue.close();
+            }
+            subscribers.clear();
+        }
+    }
+}
+
+/// Maintains every **approximate** standing query for one committed update:
+/// an update the witness classifier proves impact-preserving leaves the held
+/// estimate untouched (it is still a valid draw for the unchanged truth);
+/// anything else redraws the estimate against the post-update state and
+/// pushes an [`ApproxDelta`].  A panic inside the re-estimation invalidates
+/// the approximate registry exactly like the exact registry (subscribers
+/// re-subscribe), since a half-maintained watch set would silently serve
+/// stale estimates.
+fn maintain_approx_watch(
+    engine: &ShardedEngine,
+    watch: &mut HashMap<ApproxWatchId, ApproxStanding>,
+    stats: &mut ServeStats,
+    values: &[f64],
+    approx_seed: &mut u64,
+) {
+    if watch.is_empty() {
+        return;
+    }
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut updates: Vec<(ApproxWatchId, ApproxImpact)> = Vec::new();
+        let mut unaffected = 0u64;
+        // Deterministic maintenance order (ids are dense and never reused).
+        let mut ids: Vec<ApproxWatchId> = watch.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let standing = &watch[&id];
+            if update_preserves_impact(engine, &standing.focal, standing.k, values) {
+                unaffected += 1;
+                continue;
+            }
+            let seed = *approx_seed;
+            *approx_seed = approx_seed.wrapping_add(1);
+            let fresh = engine
+                .run_approx_batch(
+                    std::slice::from_ref(&standing.focal),
+                    standing.k,
+                    &standing.budget,
+                    seed,
+                )
+                .pop()
+                .expect("one focal in, one estimate out");
+            updates.push((id, fresh));
+        }
+        (updates, unaffected)
+    }));
+    match outcome {
+        Ok((updates, unaffected)) => {
+            stats.approx_watch_unaffected += unaffected;
+            for (id, fresh) in updates {
+                let standing = watch.get_mut(&id).expect("maintained id is registered");
+                let before = std::mem::replace(&mut standing.estimate, fresh.clone());
+                let delta = ApproxDelta {
+                    query: id,
+                    before,
+                    after: fresh,
+                };
+                if standing.deltas.send(delta).is_ok() {
+                    stats.approx_notifications += 1;
+                }
+            }
+        }
+        Err(_) => {
+            stats.maintenance_failures += 1;
+            watch.clear();
+        }
+    }
+}
+
+/// An applied-but-unacknowledged update of the current batch: the ticket is
+/// resolved only after the batch's WAL commit succeeds, so an acknowledged
+/// update is always replayable.  (On a non-durable server the commit is a
+/// no-op and the staging just defers the sends to the end of the batch.)
+enum StagedAck {
+    Insert(mpsc::Sender<Result<RecordId, ServeError>>, RecordId),
+    Delete(mpsc::Sender<Result<bool, ServeError>>, bool),
+}
+
+impl StagedAck {
+    /// Acknowledges the applied update.
+    fn resolve(self, stats: &mut ServeStats) {
+        stats.updates += 1;
+        match self {
+            StagedAck::Insert(tx, id) => drop(tx.send(Ok(id))),
+            StagedAck::Delete(tx, removed) => drop(tx.send(Ok(removed))),
+        }
+    }
+
+    /// Fails the applied-but-uncommitted update (its WAL commit failed; the
+    /// server stops, so the in-memory application is never observable).
+    fn fail(self, stats: &mut ServeStats) {
+        stats.reject(&ServeError::UpdateFailed);
+        match self {
+            StagedAck::Insert(tx, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
+            StagedAck::Delete(tx, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
+        }
+    }
+}
+
+/// The dispatcher loop: drain the queue, batch consecutive queries, apply
+/// updates in arrival order (committing them to the WAL on a durable
+/// server), and maintain the standing-query registry.
+pub(crate) fn dispatch(
+    mut engine: ShardedEngine,
+    rx: mpsc::Receiver<Msg>,
+    config: DispatchConfig,
+) -> (ShardedEngine, ServeStats) {
+    let DispatchConfig {
+        batch_limit,
+        admission,
+        mut persist,
+        mut monitor,
+    } = config;
+    let mut stats = ServeStats::default();
+    let mut carry: VecDeque<Msg> = VecDeque::new();
+    let mut subscribers: HashMap<QueryId, Arc<DeltaQueue>> = HashMap::new();
+    let mut approx_watch: HashMap<ApproxWatchId, ApproxStanding> = HashMap::new();
+    let mut next_approx_id: ApproxWatchId = 0;
+    // Seed stream of the sampling tier: one fresh seed per sweep, so
+    // estimates are deterministic per server run without ever reusing a
+    // sample stream.
+    let mut approx_seed: u64 = 0x5EED_AB5E;
+    // Set when the engine (or the WAL) is no longer trustworthy: the loop
+    // stops *without* draining, so late requests observe the dead channel.
+    let mut update_failed = false;
+    // Set on an orderly stop: the loop drains the queue and resolves every
+    // pending request with `ServeError::Shutdown`.
+    let mut shutting_down = false;
+    loop {
+        let msg = match carry.pop_front() {
+            Some(msg) => msg,
+            None => match rx.recv() {
+                Ok(msg) => msg,
+                // Every handle (and the Server) is gone: stop serving.
+                Err(mpsc::RecvError) => break,
+            },
+        };
+        match msg {
+            Msg::Shutdown => {
+                shutting_down = true;
+                break;
+            }
+            update @ (Msg::Insert { .. } | Msg::Delete { .. }) => {
+                // Batched update dequeue, mirroring the query batching
+                // below: greedily pull further *already-queued* consecutive
+                // updates — never waiting for more to arrive — up to the
+                // maintenance batching window, so a burst of updates shares
+                // one standing-query maintenance pass and **one WAL commit**
+                // (the fsync batching of `kspr-durable`).
+                let window = engine.config().monitor_batch_window;
+                let mut pending = vec![update];
+                while pending.len() < window {
+                    match rx.try_recv() {
+                        Ok(next @ (Msg::Insert { .. } | Msg::Delete { .. })) => {
+                            pending.push(next);
+                        }
+                        Ok(other) => {
+                            carry.push_back(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // The monitor needs every update's values after the engine
+                // consumed them; only pay the clones when someone watches.
+                // (Only updates are processed until the maintenance pass
+                // below, so the registries cannot change mid-batch.)
+                let watched = !monitor.is_empty() || !approx_watch.is_empty();
+                let mut batch: Vec<(UpdateKind, Vec<f64>)> = Vec::new();
+                let mut acks: Vec<StagedAck> = Vec::new();
+                for msg in pending {
+                    match msg {
+                        Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
+                            Ok(()) => {
+                                let kept = watched.then(|| values.clone());
+                                let logged = persist.is_some().then(|| values.clone());
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        engine.insert(values)
+                                    }));
+                                match outcome {
+                                    Ok(id) => {
+                                        if let (Some(persist), Some(values)) =
+                                            (persist.as_mut(), logged)
+                                        {
+                                            persist.append(&WalRecord::Insert { id, values });
+                                        }
+                                        acks.push(StagedAck::Insert(tx, id));
+                                        if let Some(values) = kept {
+                                            batch.push((UpdateKind::Insert, values));
+                                        }
+                                    }
+                                    Err(_) => {
+                                        // A panic mid-update may have left
+                                        // shard state half-applied; stop
+                                        // serving cleanly instead of risking
+                                        // corrupt answers (see UpdateFailed).
+                                        stats.reject(&ServeError::UpdateFailed);
+                                        let _ = tx.send(Err(ServeError::UpdateFailed));
+                                        update_failed = true;
+                                    }
+                                }
+                            }
+                            Err(err) => {
+                                stats.reject(&err);
+                                let _ = tx.send(Err(err));
+                            }
+                        },
+                        Msg::Delete { id, tx } => {
+                            let outcome =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    engine.delete_returning(id)
+                                }));
+                            match outcome {
+                                Ok(removed) => {
+                                    // A no-op delete changes no state, so it
+                                    // is acknowledged but never logged.
+                                    if removed.is_some() {
+                                        if let Some(persist) = persist.as_mut() {
+                                            persist.append(&WalRecord::Delete { id });
+                                        }
+                                    }
+                                    acks.push(StagedAck::Delete(tx, removed.is_some()));
+                                    match removed {
+                                        Some(values) if watched => {
+                                            batch.push((UpdateKind::Delete, values));
+                                        }
+                                        _ => {}
+                                    }
+                                }
+                                Err(_) => {
+                                    stats.reject(&ServeError::UpdateFailed);
+                                    let _ = tx.send(Err(ServeError::UpdateFailed));
+                                    update_failed = true;
+                                }
+                            }
+                        }
+                        _ => unreachable!("only updates are drained into an update batch"),
+                    }
+                    if update_failed {
+                        break;
+                    }
+                }
+                // One durable write for the whole drained batch, *before*
+                // any ticket is acknowledged: an acknowledged update is
+                // always replayable.  A failed commit fails the whole
+                // batch's staged acks (their in-memory application is never
+                // observable — the server stops) and stops serving.
+                let applied = acks.len();
+                if let Some(persist) = persist.as_mut() {
+                    if !acks.is_empty() {
+                        match persist.commit() {
+                            Ok(()) => stats.wal_commits += 1,
+                            Err(_) => {
+                                for ack in acks.drain(..) {
+                                    ack.fail(&mut stats);
+                                }
+                                update_failed = true;
+                            }
+                        }
+                    }
+                }
+                for ack in acks {
+                    ack.resolve(&mut stats);
+                }
+                if update_failed {
+                    break;
+                }
+                if applied > 0 {
+                    stats.update_batches += 1;
+                    stats.largest_update_batch = stats.largest_update_batch.max(applied);
+                }
+                if !batch.is_empty() {
+                    // The monitor runs on the dispatcher thread, so the
+                    // standing results it patches stay serialized with the
+                    // update stream.  It is guarded separately from the
+                    // engine updates: the batch is committed and
+                    // acknowledged above, so a classification panic must
+                    // not be reported as UpdateFailed (losing the ids) nor
+                    // stop serving.  One maintenance pass covers the whole
+                    // drained batch.
+                    maintain_standing(&mut monitor, &mut subscribers, &mut stats, |monitor| {
+                        monitor.apply_batch(&engine, &batch)
+                    });
+                    for (_, values) in &batch {
+                        maintain_approx_watch(
+                            &engine,
+                            &mut approx_watch,
+                            &mut stats,
+                            values,
+                            &mut approx_seed,
+                        );
+                    }
+                }
+                // Background compaction: once dead record slots exceed half
+                // the id space, rewrite the shards down to their live
+                // records (global ids survive — see ShardedEngine::compact,
+                // and live data is untouched, so maintained standing
+                // results stay exact).  As an engine mutation it gets the
+                // update panic contract: a half-compacted pool must not
+                // keep serving.  On a durable server a compaction is an
+                // epoch boundary: a fresh snapshot is installed and the WAL
+                // truncated, bounding replay work.
+                if engine.tombstone_ratio() > 0.5 {
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.compact()));
+                    match outcome {
+                        Ok(_) => {
+                            stats.compactions += 1;
+                            if let Some(persist) = persist.as_mut() {
+                                match persist.install(&snapshot_of(&engine, &monitor)) {
+                                    Ok(()) => stats.snapshots += 1,
+                                    Err(_) => {
+                                        // The durable directory is no longer
+                                        // writable; refuse to keep acknowledging
+                                        // updates that could not be replayed.
+                                        stats.reject(&ServeError::UpdateFailed);
+                                        update_failed = true;
+                                        break;
+                                    }
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            stats.reject(&ServeError::UpdateFailed);
+                            update_failed = true;
+                            break;
+                        }
+                    }
+                }
+            }
+            Msg::Subscribe {
+                algorithm,
+                focal,
+                k,
+                deltas,
+                tx,
+            } => {
+                // Registration runs the initial query; guard it like any
+                // other query (the caches recover, serving continues).
+                let logged = persist.is_some().then(|| focal.clone());
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    monitor.register(&engine, algorithm, focal, k)
+                }));
+                match outcome {
+                    Ok(Ok(id)) => {
+                        // Registry changes are durable like updates: log,
+                        // commit, only then acknowledge.
+                        let mut committed = true;
+                        if let (Some(persist), Some(focal)) = (persist.as_mut(), logged) {
+                            persist.append(&WalRecord::Subscribe {
+                                id,
+                                algorithm,
+                                focal,
+                                k,
+                            });
+                            match persist.commit() {
+                                Ok(()) => stats.wal_commits += 1,
+                                Err(_) => committed = false,
+                            }
+                        }
+                        if committed {
+                            stats.subscriptions += 1;
+                            let initial = monitor
+                                .result(id)
+                                .expect("freshly registered query has a result")
+                                .clone();
+                            subscribers.insert(id, deltas);
+                            let _ = tx.send(Ok((id, initial)));
+                        } else {
+                            monitor.unregister(id);
+                            stats.reject(&ServeError::UpdateFailed);
+                            let _ = tx.send(Err(ServeError::UpdateFailed));
+                            update_failed = true;
+                            break;
+                        }
+                    }
+                    Ok(Err(err)) => {
+                        let err = register_error(err);
+                        stats.reject(&err);
+                        let _ = tx.send(Err(err));
+                    }
+                    Err(_) => {
+                        stats.reject(&ServeError::QueryFailed);
+                        let _ = tx.send(Err(ServeError::QueryFailed));
+                    }
+                }
+            }
+            Msg::Unsubscribe { id, tx } => {
+                let removed = monitor.unregister(id);
+                if let Some(queue) = subscribers.remove(&id) {
+                    // Wake a receiver still blocked on the dead stream.
+                    queue.close();
+                }
+                let mut committed = true;
+                if removed {
+                    if let Some(persist) = persist.as_mut() {
+                        persist.append(&WalRecord::Unsubscribe { id });
+                        match persist.commit() {
+                            Ok(()) => stats.wal_commits += 1,
+                            Err(_) => committed = false,
+                        }
+                    }
+                }
+                if committed {
+                    if let Some(tx) = tx {
+                        let _ = tx.send(Ok(removed));
+                    }
+                } else {
+                    stats.reject(&ServeError::UpdateFailed);
+                    if let Some(tx) = tx {
+                        let _ = tx.send(Err(ServeError::UpdateFailed));
+                    }
+                    update_failed = true;
+                    break;
+                }
+            }
+            Msg::Subscriptions { tx } => {
+                let _ = tx.send(Ok(monitor.len()));
+            }
+            Msg::SubscribeApprox {
+                focal,
+                k,
+                budget,
+                deltas,
+                tx,
+            } => {
+                let valid = if k == 0 {
+                    Err(ServeError::InvalidK)
+                } else {
+                    validate_budget(&budget).and_then(|()| {
+                        kspr::check_record(&focal, Some(engine.dim())).map_err(ingest_error)
+                    })
+                };
+                match valid {
+                    Ok(()) => {
+                        let seed = approx_seed;
+                        approx_seed = approx_seed.wrapping_add(1);
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine
+                                    .run_approx_batch(
+                                        std::slice::from_ref(&focal),
+                                        k,
+                                        &budget,
+                                        seed,
+                                    )
+                                    .pop()
+                                    .expect("one focal in, one estimate out")
+                            }));
+                        match outcome {
+                            Ok(initial) => {
+                                // Approximate watches are deliberately *not*
+                                // durable: an estimate is only valid for the
+                                // sample stream that drew it, and a recovered
+                                // server starts a fresh stream — clients
+                                // re-subscribe after a crash.
+                                let id = next_approx_id;
+                                next_approx_id += 1;
+                                stats.approx_subscriptions += 1;
+                                approx_watch.insert(
+                                    id,
+                                    ApproxStanding {
+                                        focal,
+                                        k,
+                                        budget,
+                                        estimate: initial.clone(),
+                                        deltas,
+                                    },
+                                );
+                                let _ = tx.send(Ok((id, initial)));
+                            }
+                            Err(_) => {
+                                stats.reject(&ServeError::QueryFailed);
+                                let _ = tx.send(Err(ServeError::QueryFailed));
+                            }
+                        }
+                    }
+                    Err(err) => {
+                        stats.reject(&err);
+                        let _ = tx.send(Err(err));
+                    }
+                }
+            }
+            Msg::UnsubscribeApprox { id, tx } => {
+                let removed = approx_watch.remove(&id).is_some();
+                if let Some(tx) = tx {
+                    let _ = tx.send(Ok(removed));
+                }
+            }
+            Msg::ApproxSubscriptions { tx } => {
+                let _ = tx.send(Ok(approx_watch.len()));
+            }
+            Msg::Stats { tx } => {
+                let mut live = stats;
+                live.monitor = monitor.stats();
+                let _ = tx.send(Ok(live));
+            }
+            Msg::Query(job) => {
+                // Batched dequeue: greedily pull further *consecutive*
+                // queries (updates act as barriers, preserving FIFO
+                // semantics between queries and updates).
+                let mut batch = vec![job];
+                while batch.len() < batch_limit {
+                    match rx.try_recv() {
+                        Ok(Msg::Query(next)) => batch.push(next),
+                        Ok(other) => {
+                            // A Batch keeps its own identity (absorbing it
+                            // here could blow past `batch_limit`); updates
+                            // act as barriers.  Either way FIFO between the
+                            // drained queries and what follows is preserved.
+                            carry.push_back(other);
+                            break;
+                        }
+                        Err(_) => break,
+                    }
+                }
+                run_jobs(&engine, batch, &admission, &mut stats, &mut approx_seed);
+            }
+            Msg::Batch(jobs) => run_jobs(&engine, jobs, &admission, &mut stats, &mut approx_seed),
+        }
+    }
+    if !update_failed {
+        // Orderly stop: resolve everything still queued with an explicit
+        // `Shutdown` instead of letting tickets observe a dead channel.
+        // (The handles' closing flag was set before `Msg::Shutdown` was
+        // sent, so nothing new is enqueued behind this drain; `carry` holds
+        // messages already dequeued but deferred by the batching.)
+        let mut drained = carry;
+        while let Ok(msg) = rx.try_recv() {
+            drained.push_back(msg);
+        }
+        for msg in drained {
+            for _ in 0..reject_msg(msg, &ServeError::Shutdown) {
+                stats.reject(&ServeError::Shutdown);
+            }
+        }
+        // A clean shutdown is an epoch boundary: persist the final state so
+        // the next start replays nothing.  (Nothing is staged here — every
+        // commit happens before its batch is acknowledged.)
+        if shutting_down {
+            if let Some(persist) = persist.as_mut() {
+                if persist
+                    .commit()
+                    .and_then(|()| persist.install(&snapshot_of(&engine, &monitor)))
+                    .is_ok()
+                {
+                    stats.snapshots += 1;
+                }
+            }
+        }
+    }
+    // Wake receivers still blocked on their delta streams before the
+    // dispatcher state drops.
+    for queue in subscribers.values() {
+        queue.close();
+    }
+    stats.monitor = monitor.stats();
+    (engine, stats)
+}

@@ -32,6 +32,23 @@
 //!   a standing estimate honest across updates by re-drawing it only when an
 //!   update possibly moved the true impact.
 //!
+//! The service itself is layered (each layer its own module):
+//!
+//! * **wire** ([`net::NetServer`] + the `kspr-wire` codec) — a blocking TCP
+//!   front-end; each connection is its own admission client.
+//! * **admission** ([`AdmissionOptions`]) — queries are stamped with the
+//!   pending-queue depth and their client's in-flight count at enqueue and
+//!   judged at dispatch: past the degradation watermark, tier-dispatched
+//!   queries are downgraded to the approximate tier; past the hard limit
+//!   (or a per-client quota) they are rejected with
+//!   [`ServeError::Overloaded`] / [`ServeError::QuotaExceeded`].
+//! * **dispatch** — the single-threaded core: update serialization, query
+//!   batching, standing-query maintenance.
+//! * **durability** (`kspr-durable`) — [`Server::start_durable`] commits
+//!   every applied update to a CRC-framed WAL before acknowledging it and
+//!   installs epoch snapshots; [`Server::recover`] rebuilds engine and
+//!   registry bit-identically after a crash.
+//!
 //! ```
 //! use kspr::{Algorithm, KsprConfig};
 //! use kspr_serve::{ServeOptions, Server, ShardedEngine};
@@ -61,14 +78,28 @@
 //! assert_eq!(engine.len(), 4);
 //! ```
 
+pub mod admission;
+mod batch;
+mod dispatch;
+mod error;
+pub mod net;
+mod persist;
 pub mod server;
 pub mod sharded;
+mod stats;
+mod subscription;
 
+pub use admission::AdmissionOptions;
+pub use batch::MAX_APPROX_SAMPLES;
+pub use error::{ServeError, Ticket};
 pub use kspr_approx::TieredResult;
 pub use kspr_monitor::{QueryId, ResultDelta, UpdateClass};
-pub use server::{
-    ApproxDelta, ApproxSubscribeTicket, ApproxSubscription, ApproxWatchId, RejectionStats,
-    ServeError, ServeHandle, ServeOptions, ServeStats, Server, SubscribeTicket, Subscription,
-    Ticket, MAX_APPROX_SAMPLES,
-};
+pub use net::NetServer;
+pub use persist::RecoverError;
+pub use server::{ServeHandle, ServeOptions, Server};
 pub use sharded::{ShardStrategy, ShardedEngine};
+pub use stats::{RejectionStats, ServeStats};
+pub use subscription::{
+    ApproxDelta, ApproxSubscribeTicket, ApproxSubscription, ApproxWatchId, SubscribeTicket,
+    Subscription, MAX_PENDING_DELTAS,
+};

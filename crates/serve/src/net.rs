@@ -1,0 +1,306 @@
+//! The wire front-end: a blocking TCP server translating `kspr-wire`
+//! frames into [`ServeHandle`] calls.
+//!
+//! [`NetServer::bind`] spawns an accept loop; every connection gets its own
+//! thread and — via [`ServeHandle::fork_client`] — its own admission
+//! identity, so one greedy connection exhausts *its* quota, not its
+//! neighbours'.  The protocol is strict request/response: one
+//! [`kspr_wire::WireRequest`] frame in, one [`kspr_wire::WireResponse`]
+//! frame out, in order.  Standing queries are connection-scoped: the
+//! `Subscribed` token only means something on the connection that created
+//! it, and dropping the connection unregisters everything it still holds
+//! (the [`Subscription`] drop glue).
+//!
+//! Exact results cross the wire as summaries (region count, whole-space
+//! flag, rank signature) — the quantities the repo's consistency suites
+//! compare — not as region geometry.
+
+use crate::error::ServeError;
+use crate::server::ServeHandle;
+use crate::subscription::Subscription;
+use kspr::Algorithm;
+use kspr_approx::TieredResult;
+use kspr_wire::{
+    read_frame, write_frame, ApproxSummary, ErrorCode, FrameError, ResultSummary, WireRequest,
+    WireResponse,
+};
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running TCP front-end over a [`crate::Server`]'s handle.
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Binds `addr` and starts accepting connections, each served on its
+    /// own thread against a [`ServeHandle::fork_client`] of `handle`.
+    /// Bind to port 0 to let the OS pick (see [`NetServer::local_addr`]).
+    pub fn bind(handle: ServeHandle, addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let handle = handle.fork_client();
+                    std::thread::spawn(move || serve_connection(handle, stream));
+                }
+            })
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting new connections and joins the accept loop.
+    /// Connections already established keep running until their peers hang
+    /// up (their handles outlive the front-end, not the [`crate::Server`]).
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        let Some(accept) = self.accept.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks inside `incoming`; poke it awake with a
+        // throwaway connection so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let _ = accept.join();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
+/// One connection's request/response loop.
+fn serve_connection(handle: ServeHandle, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    // Connection-scoped standing queries: token -> live subscription.
+    // Dropping the map at connection end unregisters them all.
+    let mut subs: HashMap<u64, Subscription> = HashMap::new();
+    loop {
+        let payload = match read_frame(&mut reader) {
+            Ok(payload) => payload,
+            // Includes clean EOF — the peer hung up.
+            Err(FrameError::Io(_)) => return,
+            Err(FrameError::Oversized(_)) | Err(FrameError::Malformed) => {
+                // The stream is no longer frame-aligned; report and close.
+                let resp = error_response(ErrorCode::Malformed, "oversized or malformed frame");
+                let _ = write_frame(&mut writer, &resp.encode());
+                return;
+            }
+        };
+        let response = match WireRequest::decode(&payload) {
+            None => error_response(ErrorCode::Malformed, "payload decoded to no valid request"),
+            Some(request) => answer(&handle, &mut subs, request),
+        };
+        if write_frame(&mut writer, &response.encode()).is_err() {
+            return;
+        }
+    }
+}
+
+fn error_response(code: ErrorCode, message: impl Into<String>) -> WireResponse {
+    WireResponse::Error {
+        code,
+        message: message.into(),
+    }
+}
+
+/// Maps a serving rejection onto its wire error class.
+fn error_of(err: ServeError) -> WireResponse {
+    let code = match &err {
+        ServeError::InvalidK
+        | ServeError::ArityMismatch { .. }
+        | ServeError::NonFinite
+        | ServeError::InvalidBudget
+        | ServeError::UnsupportedAlgorithm => ErrorCode::Invalid,
+        ServeError::Overloaded => ErrorCode::Overloaded,
+        ServeError::QuotaExceeded => ErrorCode::QuotaExceeded,
+        ServeError::Shutdown | ServeError::ServerClosed => ErrorCode::Shutdown,
+        ServeError::QueryFailed | ServeError::UpdateFailed => ErrorCode::Internal,
+    };
+    error_response(code, err.to_string())
+}
+
+/// Summarizes an exact result for the wire.
+fn summarize(result: &kspr::KsprResult) -> ResultSummary {
+    ResultSummary {
+        num_regions: result.num_regions() as u64,
+        whole_space: result.is_whole_space(),
+        rank_signature: result
+            .rank_signature()
+            .into_iter()
+            .map(|r| r as u64)
+            .collect(),
+    }
+}
+
+fn approx_summary(estimate: &kspr::ApproxImpact) -> ApproxSummary {
+    ApproxSummary {
+        impact: estimate.impact,
+        half_width: estimate.half_width,
+        samples: estimate.samples as u64,
+    }
+}
+
+/// The stable name/value listing behind `WireRequest::Stats`.
+fn stat_fields(stats: &crate::ServeStats) -> Vec<(String, u64)> {
+    [
+        ("queries", stats.queries),
+        ("exact_queries", stats.exact_queries),
+        ("approx_queries", stats.approx_queries),
+        ("degraded_to_approx", stats.degraded_to_approx),
+        ("rejected", stats.rejected),
+        ("rejected_overloaded", stats.rejections.overloaded),
+        ("rejected_quota", stats.rejections.quota_exceeded),
+        ("rejected_shutdown", stats.rejections.shutdown),
+        ("batches", stats.batches),
+        ("updates", stats.updates),
+        ("update_batches", stats.update_batches),
+        ("wal_commits", stats.wal_commits),
+        ("snapshots", stats.snapshots),
+        ("compactions", stats.compactions),
+        ("subscriptions", stats.subscriptions),
+        ("notifications", stats.notifications),
+    ]
+    .into_iter()
+    .map(|(name, value)| (name.to_owned(), value))
+    .collect()
+}
+
+/// Serves one decoded request through the handle.
+fn answer(
+    handle: &ServeHandle,
+    subs: &mut HashMap<u64, Subscription>,
+    request: WireRequest,
+) -> WireResponse {
+    match request {
+        WireRequest::Ping => WireResponse::Pong,
+        WireRequest::Query {
+            algorithm,
+            focal,
+            k,
+        } => match handle.submit_with(algorithm, focal, k as usize).wait() {
+            Ok(result) => WireResponse::Result(summarize(&result)),
+            Err(err) => error_of(err),
+        },
+        WireRequest::Tiered {
+            algorithm,
+            focal,
+            k,
+            tier,
+        } => {
+            let Some(tier) = tier.to_tier() else {
+                return error_response(ErrorCode::Invalid, "the tier's budget is malformed");
+            };
+            match handle
+                .submit_tiered(algorithm, focal, k as usize, tier)
+                .wait()
+            {
+                Ok(TieredResult::Exact(result)) => WireResponse::Result(summarize(&result)),
+                Ok(TieredResult::Approximate(estimate)) => {
+                    WireResponse::Approx(approx_summary(&estimate))
+                }
+                Err(err) => error_of(err),
+            }
+        }
+        WireRequest::Insert { values } => match handle.insert(values).wait() {
+            Ok(id) => WireResponse::Inserted { id: id as u64 },
+            Err(err) => error_of(err),
+        },
+        WireRequest::Delete { id } => match handle.delete(id as usize).wait() {
+            Ok(removed) => WireResponse::Deleted { removed },
+            Err(err) => error_of(err),
+        },
+        WireRequest::Subscribe {
+            algorithm,
+            focal,
+            k,
+        } => match subscribe(handle, algorithm, focal, k as usize) {
+            Ok(sub) => {
+                let token = sub.id();
+                let initial = summarize(sub.initial());
+                subs.insert(token, sub);
+                WireResponse::Subscribed { token, initial }
+            }
+            Err(err) => error_of(err),
+        },
+        WireRequest::Unsubscribe { token } => match subs.remove(&token) {
+            Some(sub) => {
+                // Unregister synchronously so a Subscriptions probe right
+                // after the response never sees the dying registration
+                // (the drop glue alone is fire-and-forget).
+                let removed = handle.unsubscribe(sub.id()).wait().unwrap_or(false);
+                WireResponse::Unsubscribed { removed }
+            }
+            None => error_response(ErrorCode::UnknownToken, format!("unknown token {token}")),
+        },
+        WireRequest::PollDeltas { token } => match subs.get(&token) {
+            Some(sub) => WireResponse::Deltas {
+                summaries: sub
+                    .poll()
+                    .into_iter()
+                    .map(|delta| ResultSummary {
+                        num_regions: delta.regions_after as u64,
+                        // Deltas carry counts and ranks, not geometry; the
+                        // whole-space flag is not maintained across updates.
+                        whole_space: false,
+                        rank_signature: delta.ranks_after.into_iter().map(|r| r as u64).collect(),
+                    })
+                    .collect(),
+                closed: false,
+            },
+            None => error_response(ErrorCode::UnknownToken, format!("unknown token {token}")),
+        },
+        WireRequest::Subscriptions => match handle.subscriptions().wait() {
+            Ok(count) => WireResponse::Count {
+                value: count as u64,
+            },
+            Err(err) => error_of(err),
+        },
+        WireRequest::Stats => match handle.stats().wait() {
+            Ok(stats) => WireResponse::Stats {
+                fields: stat_fields(&stats),
+            },
+            Err(err) => error_of(err),
+        },
+    }
+}
+
+fn subscribe(
+    handle: &ServeHandle,
+    algorithm: Algorithm,
+    focal: Vec<f64>,
+    k: usize,
+) -> Result<Subscription, ServeError> {
+    handle.subscribe_with(algorithm, focal, k).wait()
+}

@@ -1,9 +1,25 @@
-//! The serving front-end: a request queue feeding a dispatcher that batches
-//! queries into [`ShardedEngine::run_batch`] and applies updates in arrival
-//! order.
+//! The serving front-end: handles, server lifecycle, and the layered
+//! service around the dispatch core.
+//!
+//! The serving stack is layered; this module is the orchestration shell
+//! that wires the layers together:
+//!
+//! ```text
+//!   kspr-wire (net)      TCP frames -> ServeHandle calls
+//!        |
+//!   admission            enqueue-time stamps, dispatch-time verdicts
+//!        |
+//!   dispatch (batch)     one thread: update order, query batching,
+//!        |               standing-query maintenance
+//!   persist (kspr-durable)  WAL commits before acks, epoch snapshots
+//! ```
 //!
 //! [`Server::start`] moves a [`ShardedEngine`] onto a dispatcher thread and
-//! returns a handle factory.  Clients talk to the engine exclusively through
+//! returns a handle factory; [`Server::start_durable`] does the same with a
+//! WAL/snapshot directory attached, and [`Server::recover`] rebuilds the
+//! engine and the standing-query registry from such a directory after a
+//! crash (bit-identical to a server that never went down — see the
+//! `persist` module).  Clients talk to the engine exclusively through
 //! cloneable [`ServeHandle`]s:
 //!
 //! * [`ServeHandle::submit`] enqueues one query and returns a [`Ticket`] —
@@ -21,26 +37,37 @@
 //! focal values) are rejected with a [`ServeError`] instead of panicking the
 //! serving thread; [`ServeStats`] counts every rejection per error variant.
 //!
+//! Every query is stamped at enqueue with the pending-queue depth and its
+//! client's in-flight count; the dispatcher judges the stamp against
+//! [`AdmissionOptions`] — past the degradation watermark tier-dispatched
+//! queries are downgraded to the approximate tier, past the hard limit (or
+//! the per-client quota) they are rejected outright (see the `admission`
+//! module).  At shutdown ([`Server::shutdown`] or dropping the server)
+//! every request still pending resolves with [`ServeError::Shutdown`]
+//! instead of hanging on a dead channel.
+//!
 //! # Standing queries
 //!
 //! [`ServeHandle::subscribe`] registers a long-lived query with the
 //! dispatcher's [`kspr_monitor::Monitor`] and returns a [`Subscription`].
 //! After every update batch the dispatcher classifies each standing query as
 //! unaffected / patchable / must-rerun (see the `kspr-monitor` crate docs),
-//! maintains it accordingly, and pushes a [`ResultDelta`] to the
-//! subscription whenever its result actually changed.  Because the monitor
-//! runs on the dispatcher thread, updates and notifications stay serialized
-//! with the query stream: a notification always reflects exactly the updates
-//! acknowledged before it.  Dropping a [`Subscription`] unregisters the
-//! standing query (no maintenance state leaks from a long-lived server).
-//! If a maintenance pass itself panics (after the update was committed and
-//! acknowledged), the registry is invalidated rather than served stale:
-//! every subscription's channel closes and clients re-subscribe.
+//! maintains it accordingly, and pushes a [`kspr_monitor::ResultDelta`] to
+//! the subscription whenever its result actually changed.  Because the
+//! monitor runs on the dispatcher thread, updates and notifications stay
+//! serialized with the query stream: a notification always reflects exactly
+//! the updates acknowledged before it.  Dropping a [`Subscription`]
+//! unregisters the standing query (no maintenance state leaks from a
+//! long-lived server).  If a maintenance pass itself panics (after the
+//! update was committed and acknowledged), the registry is invalidated
+//! rather than served stale: every subscription's channel closes and
+//! clients re-subscribe.
 //!
 //! Updates use the same batched-dequeue pattern as queries: the dispatcher
 //! greedily drains further *already-queued* consecutive inserts/deletes —
 //! up to [`kspr::KsprConfig::monitor_batch_window`], never waiting for more
-//! to arrive — applies and acknowledges each one individually, then runs
+//! to arrive — applies each one, commits the whole batch to the WAL (one
+//! fsync — on a durable server), acknowledges each ticket, then runs
 //! **one** standing-query maintenance pass
 //! ([`kspr_monitor::Monitor::apply_batch`]) over the whole batch, so a burst
 //! of updates shares its classification probes and coalesces per-query
@@ -52,462 +79,25 @@
 //! dispatcher also checks the pool's tombstone ratio and, past 50% dead
 //! slots, compacts the shards in place ([`ShardedEngine::compact`]) —
 //! global record ids survive, so clients and standing-query bookkeeping
-//! never notice.
+//! never notice.  On a durable server a compaction also installs a fresh
+//! epoch snapshot, truncating the WAL.
 
+use crate::admission::{AdmissionOptions, Stamp};
+use crate::batch::{validate_budget, QueryJob, Sink};
+use crate::dispatch::{dispatch, reject_msg, DispatchConfig, Msg};
+use crate::error::{ServeError, Ticket};
+use crate::persist::{recover_state, snapshot_of, Persist, RecoverError};
 use crate::sharded::ShardedEngine;
-use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryTier, RecordId};
+use crate::stats::ServeStats;
+use crate::subscription::{ApproxSubscribeTicket, ApproxWatchId, DeltaQueue, SubscribeTicket};
+use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprConfig, KsprResult, QueryTier, RecordId};
 use kspr_approx::TieredResult;
-use kspr_monitor::{
-    update_preserves_impact, Monitor, MonitorStats, QueryId, RegisterError, ResultDelta,
-    UpdateClass, UpdateKind,
-};
-use std::collections::{HashMap, VecDeque};
-use std::sync::{mpsc, Arc, Condvar, Mutex, PoisonError};
+use kspr_durable::DurableStore;
+use kspr_monitor::{Monitor, QueryId};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
-
-/// Why a request was rejected (or lost).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ServeError {
-    /// `k` must be at least 1.
-    InvalidK,
-    /// The focal record / inserted record does not match the dataset arity.
-    ArityMismatch {
-        /// The dataset arity.
-        expected: usize,
-        /// The request's arity.
-        got: usize,
-    },
-    /// The request contains a NaN or infinite value.
-    NonFinite,
-    /// The request's [`ErrorBudget`] is malformed (`epsilon` / `confidence`
-    /// outside `(0, 1)`) or finer than the server is willing to sample for
-    /// (its Hoeffding sample count exceeds [`MAX_APPROX_SAMPLES`]).
-    InvalidBudget,
-    /// The requested algorithm cannot run on this dataset (RTOPK is
-    /// 2-dimensional only).
-    UnsupportedAlgorithm,
-    /// The query panicked inside the engine; the server recovered and keeps
-    /// serving (the engine caches rebuild themselves after a poisoning).
-    QueryFailed,
-    /// An update panicked inside the engine.  Unlike queries, a half-applied
-    /// update is not rebuildable in place, so the server stops serving
-    /// (subsequent tickets resolve [`ServeError::ServerClosed`] and
-    /// [`Server::shutdown`] returns normally) rather than risk corrupt
-    /// answers.
-    UpdateFailed,
-    /// The server shut down before (or while) answering.
-    ServerClosed,
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::InvalidK => write!(f, "k must be at least 1"),
-            ServeError::ArityMismatch { expected, got } => {
-                write!(
-                    f,
-                    "arity mismatch: got {got} attributes, dataset has {expected}"
-                )
-            }
-            ServeError::NonFinite => write!(f, "values must be finite"),
-            ServeError::InvalidBudget => {
-                write!(
-                    f,
-                    "the error budget is malformed or finer than the server samples for"
-                )
-            }
-            ServeError::UnsupportedAlgorithm => {
-                write!(f, "the algorithm does not support this dataset's arity")
-            }
-            ServeError::QueryFailed => write!(f, "the query panicked inside the engine"),
-            ServeError::UpdateFailed => {
-                write!(
-                    f,
-                    "an update panicked inside the engine; the server stopped"
-                )
-            }
-            ServeError::ServerClosed => write!(f, "the server has shut down"),
-        }
-    }
-}
-
-impl std::error::Error for ServeError {}
-
-/// A pending response: resolves once the dispatcher has processed the
-/// request.  Dropping a ticket discards the response.
-pub struct Ticket<T> {
-    rx: mpsc::Receiver<Result<T, ServeError>>,
-}
-
-impl<T> Ticket<T> {
-    fn new() -> (mpsc::Sender<Result<T, ServeError>>, Self) {
-        let (tx, rx) = mpsc::channel();
-        (tx, Ticket { rx })
-    }
-
-    /// Blocks until the response arrives.
-    pub fn wait(self) -> Result<T, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::ServerClosed))
-    }
-}
-
-/// Where a query's answer goes: the three client-facing ticket flavors.
-/// Constructed so a sink can always carry the tier's answer — `Exact` sinks
-/// only pair with [`QueryTier::Exact`], `Approx` sinks only with
-/// [`QueryTier::Approximate`], and `Tiered` sinks carry either.
-enum Sink {
-    Exact(mpsc::Sender<Result<KsprResult, ServeError>>),
-    Approx(mpsc::Sender<Result<ApproxImpact, ServeError>>),
-    Tiered(mpsc::Sender<Result<TieredResult, ServeError>>),
-}
-
-impl Sink {
-    /// Delivers a rejection.
-    fn reject(&self, err: ServeError) {
-        match self {
-            Sink::Exact(tx) => drop(tx.send(Err(err))),
-            Sink::Approx(tx) => drop(tx.send(Err(err))),
-            Sink::Tiered(tx) => drop(tx.send(Err(err))),
-        }
-    }
-
-    /// Delivers an exact result (never routed to an `Approx` sink).
-    fn send_exact(self, result: KsprResult) {
-        match self {
-            Sink::Exact(tx) => drop(tx.send(Ok(result))),
-            Sink::Tiered(tx) => drop(tx.send(Ok(TieredResult::Exact(result)))),
-            Sink::Approx(_) => unreachable!("approximate jobs never run exactly"),
-        }
-    }
-
-    /// Delivers an estimate (never routed to an `Exact` sink).
-    fn send_approx(self, estimate: ApproxImpact) {
-        match self {
-            Sink::Approx(tx) => drop(tx.send(Ok(estimate))),
-            Sink::Tiered(tx) => drop(tx.send(Ok(TieredResult::Approximate(estimate)))),
-            Sink::Exact(_) => unreachable!("exact jobs never run approximately"),
-        }
-    }
-}
-
-/// One enqueued query.
-struct QueryJob {
-    algorithm: Algorithm,
-    focal: Vec<f64>,
-    k: usize,
-    tier: QueryTier,
-    sink: Sink,
-}
-
-enum Msg {
-    Query(QueryJob),
-    Batch(Vec<QueryJob>),
-    Insert {
-        values: Vec<f64>,
-        tx: mpsc::Sender<Result<RecordId, ServeError>>,
-    },
-    Delete {
-        id: RecordId,
-        tx: mpsc::Sender<Result<bool, ServeError>>,
-    },
-    Subscribe {
-        algorithm: Algorithm,
-        focal: Vec<f64>,
-        k: usize,
-        deltas: Arc<DeltaQueue>,
-        tx: mpsc::Sender<Result<(QueryId, KsprResult), ServeError>>,
-    },
-    Unsubscribe {
-        id: QueryId,
-        /// `None` for the fire-and-forget unsubscribe of `Subscription::drop`.
-        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
-    },
-    Subscriptions {
-        tx: mpsc::Sender<Result<usize, ServeError>>,
-    },
-    SubscribeApprox {
-        focal: Vec<f64>,
-        k: usize,
-        budget: ErrorBudget,
-        deltas: mpsc::Sender<ApproxDelta>,
-        tx: mpsc::Sender<Result<(ApproxWatchId, ApproxImpact), ServeError>>,
-    },
-    UnsubscribeApprox {
-        id: ApproxWatchId,
-        /// `None` for the fire-and-forget unsubscribe of
-        /// `ApproxSubscription::drop`.
-        tx: Option<mpsc::Sender<Result<bool, ServeError>>>,
-    },
-    ApproxSubscriptions {
-        tx: mpsc::Sender<Result<usize, ServeError>>,
-    },
-    Shutdown,
-}
-
-/// Identifier of an approximate standing query (dense, never reused;
-/// separate id space from the exact registry's [`QueryId`]).
-pub type ApproxWatchId = u64;
-
-/// Change notification of an approximate standing query: the estimate was
-/// redrawn because an update possibly moved the true impact.
-#[derive(Debug, Clone)]
-pub struct ApproxDelta {
-    /// The approximate standing query that was re-estimated.
-    pub query: ApproxWatchId,
-    /// The estimate before the update.
-    pub before: ApproxImpact,
-    /// The freshly drawn estimate, valid for the post-update state.
-    pub after: ApproxImpact,
-}
-
-/// One approximate standing query held by the dispatcher: the request, the
-/// current estimate, and the delta channel.
-struct ApproxStanding {
-    focal: Vec<f64>,
-    k: usize,
-    budget: ErrorBudget,
-    estimate: ApproxImpact,
-    deltas: mpsc::Sender<ApproxDelta>,
-}
-
-/// Upper bound on the [`ResultDelta`]s a single [`Subscription`] may hold
-/// pending.  A subscriber that stops draining its notifications would
-/// otherwise grow dispatcher memory without bound (the monitor keeps
-/// emitting deltas for every update); past this bound newer deltas are
-/// **coalesced** into the newest pending one instead of enqueued — deltas
-/// chain (`after` of one is `before` of the next), so merging keeps the
-/// oldest `before` and newest `after` state and loses nothing but the
-/// intermediate steps.
-pub const MAX_PENDING_DELTAS: usize = 64;
-
-/// Outcome of a [`DeltaQueue::push`].
-enum DeltaPush {
-    /// Appended as a new pending delta.
-    Queued,
-    /// Merged into the newest pending delta (the queue was at
-    /// [`MAX_PENDING_DELTAS`]).
-    Coalesced,
-    /// Dropped: the queue was closed (subscription unregistered or the
-    /// registry invalidated).
-    Closed,
-}
-
-/// The per-subscription notification queue: a bounded, coalescing channel
-/// between the dispatcher (producer) and a [`Subscription`] (consumer).
-struct DeltaQueue {
-    state: Mutex<DeltaQueueState>,
-    ready: Condvar,
-}
-
-#[derive(Default)]
-struct DeltaQueueState {
-    pending: VecDeque<ResultDelta>,
-    closed: bool,
-}
-
-impl DeltaQueue {
-    fn new() -> Arc<Self> {
-        Arc::new(Self {
-            state: Mutex::new(DeltaQueueState::default()),
-            ready: Condvar::new(),
-        })
-    }
-
-    /// Enqueues a delta, coalescing it into the newest pending one when the
-    /// subscriber has fallen [`MAX_PENDING_DELTAS`] behind.
-    fn push(&self, delta: ResultDelta) -> DeltaPush {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        if state.closed {
-            return DeltaPush::Closed;
-        }
-        let outcome = if state.pending.len() >= MAX_PENDING_DELTAS {
-            let tail = state.pending.back_mut().expect("the cap is at least 1");
-            // Consecutive deltas of one query chain exactly: keep the
-            // tail's (oldest) `before` state, take the newcomer's (newest)
-            // `after` state.  A re-run anywhere in the merged span means
-            // the surviving state was obtained through a re-run.
-            if delta.class == UpdateClass::Rerun {
-                tail.class = UpdateClass::Rerun;
-            }
-            tail.regions_after = delta.regions_after;
-            tail.ranks_after = delta.ranks_after;
-            DeltaPush::Coalesced
-        } else {
-            state.pending.push_back(delta);
-            DeltaPush::Queued
-        };
-        drop(state);
-        self.ready.notify_one();
-        outcome
-    }
-
-    /// Closes the queue: pending deltas stay drainable, every later `push`
-    /// is dropped, and a blocked [`DeltaQueue::pop`] wakes with `None`.
-    fn close(&self) {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        state.closed = true;
-        drop(state);
-        self.ready.notify_all();
-    }
-
-    /// Non-blocking pop.
-    fn try_pop(&self) -> Option<ResultDelta> {
-        self.state
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .pending
-            .pop_front()
-    }
-
-    /// Blocks until a delta is pending (or the queue closes: `None`).
-    fn pop(&self) -> Option<ResultDelta> {
-        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
-        loop {
-            if let Some(delta) = state.pending.pop_front() {
-                return Some(delta);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .ready
-                .wait(state)
-                .unwrap_or_else(PoisonError::into_inner);
-        }
-    }
-}
-
-/// Per-[`ServeError`]-variant rejection counters (see [`ServeStats`]).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct RejectionStats {
-    /// Requests with `k == 0`.
-    pub invalid_k: u64,
-    /// Requests whose arity does not match the dataset.
-    pub arity_mismatch: u64,
-    /// Requests containing NaN / infinite values.
-    pub non_finite: u64,
-    /// Requests whose error budget is malformed or too fine to sample for.
-    pub invalid_budget: u64,
-    /// Requests for an algorithm the dataset (or the monitor) cannot serve.
-    pub unsupported_algorithm: u64,
-    /// Queries lost to an engine panic (the server kept serving).
-    pub query_failed: u64,
-    /// Updates lost to an engine panic (the server stopped).
-    pub update_failed: u64,
-    /// Requests that raced the shutdown (normally unreachable: the
-    /// dispatcher never *answers* with this variant, clients synthesize it
-    /// when the channel is gone).
-    pub server_closed: u64,
-}
-
-impl RejectionStats {
-    /// Total rejections across all variants.
-    pub fn total(&self) -> u64 {
-        self.invalid_k
-            + self.arity_mismatch
-            + self.non_finite
-            + self.invalid_budget
-            + self.unsupported_algorithm
-            + self.query_failed
-            + self.update_failed
-            + self.server_closed
-    }
-
-    /// Counts one rejection under its variant.
-    fn count(&mut self, err: &ServeError) {
-        match err {
-            ServeError::InvalidK => self.invalid_k += 1,
-            ServeError::ArityMismatch { .. } => self.arity_mismatch += 1,
-            ServeError::NonFinite => self.non_finite += 1,
-            ServeError::InvalidBudget => self.invalid_budget += 1,
-            ServeError::UnsupportedAlgorithm => self.unsupported_algorithm += 1,
-            ServeError::QueryFailed => self.query_failed += 1,
-            ServeError::UpdateFailed => self.update_failed += 1,
-            ServeError::ServerClosed => self.server_closed += 1,
-        }
-    }
-}
-
-/// Serving-side counters, returned by [`Server::shutdown`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ServeStats {
-    /// Queries answered successfully.
-    pub queries: u64,
-    /// Queries answered by the exact engine (always:
-    /// `exact_queries + approx_queries == queries`).
-    pub exact_queries: u64,
-    /// Queries answered by the approximate tier.
-    pub approx_queries: u64,
-    /// `Auto`-tier queries the cost estimate routed to the exact engine
-    /// (a subset of `exact_queries`).
-    pub auto_routed_exact: u64,
-    /// `Auto`-tier queries the cost estimate routed to sampling (a subset
-    /// of `approx_queries`).
-    pub auto_routed_approx: u64,
-    /// Requests rejected with a [`ServeError`] (total; always equals
-    /// [`RejectionStats::total`] of `rejections`).
-    pub rejected: u64,
-    /// Rejections broken down by error variant.
-    pub rejections: RejectionStats,
-    /// `run_batch` invocations (every batch answers >= 1 query).
-    pub batches: u64,
-    /// Largest query batch executed at once.
-    pub largest_batch: usize,
-    /// Largest per-query intra-query worker grant the dispatcher made to an
-    /// exact batch.  The grant is [`kspr::KsprConfig::resolve_intra_workers`]
-    /// over the batch width — explicit `intra_query_threads` wins, `0`
-    /// divides the machine's cores across the batch — except for LP-CTA
-    /// batches, which are always granted 1 worker per query (the look-ahead
-    /// bound reports are expansion-order-sensitive, so LP-CTA expands its
-    /// cell tree sequentially; see `kspr::engine`).
-    pub largest_intra_grant: usize,
-    /// Exact batches answered with an intra-query worker grant above 1
-    /// (a subset of `batches`).
-    pub parallel_batches: u64,
-    /// Updates (inserts + deletes) applied.
-    pub updates: u64,
-    /// Update-maintenance batches the dispatcher drained (each covers >= 1
-    /// applied update; bounded by
-    /// [`kspr::KsprConfig::monitor_batch_window`]).
-    pub update_batches: u64,
-    /// Largest number of updates drained into one maintenance batch.
-    pub largest_update_batch: usize,
-    /// Tombstone compactions the dispatcher triggered (dead record slots
-    /// exceeded half the id space after an update batch; see
-    /// [`ShardedEngine::compact`]).
-    pub compactions: u64,
-    /// Standing queries registered over the server's lifetime.
-    pub subscriptions: u64,
-    /// [`ResultDelta`] notifications delivered to subscribers.
-    pub notifications: u64,
-    /// Notifications merged into an already-pending delta because a slow
-    /// subscriber let its queue reach [`MAX_PENDING_DELTAS`] (a subset of
-    /// `notifications`).
-    pub deltas_coalesced: u64,
-    /// Approximate standing queries registered over the server's lifetime.
-    pub approx_subscriptions: u64,
-    /// [`ApproxDelta`] notifications (re-drawn estimates) delivered.
-    pub approx_notifications: u64,
-    /// (update, approximate standing query) pairs whose estimate stayed
-    /// valid because the update provably preserved the true impact (the
-    /// witness classifier of `kspr-monitor`).
-    pub approx_watch_unaffected: u64,
-    /// Standing-query maintenance passes that panicked after a committed
-    /// update.  Each one invalidated the registry (subscribers must
-    /// re-subscribe); the update itself succeeded, so these are *not*
-    /// rejections.
-    pub maintenance_failures: u64,
-    /// Standing-query classification counters (see `kspr-monitor`).
-    pub monitor: MonitorStats,
-}
-
-impl ServeStats {
-    /// Counts one rejection (total + per-variant).
-    fn reject(&mut self, err: &ServeError) {
-        self.rejected += 1;
-        self.rejections.count(err);
-    }
-}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -519,6 +109,9 @@ pub struct ServeOptions {
     /// draining the queue.  (An explicit [`ServeHandle::submit_many`] batch
     /// is always answered through a single call, whatever its size.)
     pub batch_limit: usize,
+    /// Admission-control thresholds (all off by default; see the
+    /// `admission` module).
+    pub admission: AdmissionOptions,
 }
 
 impl Default for ServeOptions {
@@ -526,18 +119,64 @@ impl Default for ServeOptions {
         Self {
             algorithm: Algorithm::LpCta,
             batch_limit: 64,
+            admission: AdmissionOptions::default(),
         }
     }
 }
 
 /// A cloneable client handle onto a running [`Server`].
+///
+/// Clones share one admission identity (they draw from the same per-client
+/// in-flight quota); [`ServeHandle::fork_client`] starts a fresh one — the
+/// TCP front-end forks per connection.
 #[derive(Clone)]
 pub struct ServeHandle {
     tx: mpsc::Sender<Msg>,
     algorithm: Algorithm,
+    queue: Arc<AtomicUsize>,
+    client: Arc<AtomicUsize>,
+    closing: Arc<AtomicBool>,
 }
 
 impl ServeHandle {
+    /// Enqueues `msg`, resolving it immediately when the server is shutting
+    /// down (or gone) instead of letting the ticket observe a dead channel.
+    fn enqueue(&self, msg: Msg) {
+        if self.closing.load(Ordering::Acquire) {
+            reject_msg(msg, &ServeError::Shutdown);
+            return;
+        }
+        if let Err(mpsc::SendError(msg)) = self.tx.send(msg) {
+            // The channel died: an orderly shutdown if the flag was raised
+            // (raised *before* the dispatcher is told to stop, so this read
+            // observes it), a crashed dispatcher otherwise.
+            let err = if self.closing.load(Ordering::Acquire) {
+                ServeError::Shutdown
+            } else {
+                ServeError::ServerClosed
+            };
+            reject_msg(msg, &err);
+        }
+    }
+
+    /// Stamps one query with the current admission state.
+    fn stamp(&self) -> Stamp {
+        Stamp::acquire(&self.queue, &self.client)
+    }
+
+    /// A handle with a **fresh admission identity**: queries submitted
+    /// through it count against their own per-client in-flight quota, not
+    /// this handle's.  (Plain `clone` shares the identity.)
+    pub fn fork_client(&self) -> Self {
+        Self {
+            tx: self.tx.clone(),
+            algorithm: self.algorithm,
+            queue: Arc::clone(&self.queue),
+            client: Arc::new(AtomicUsize::new(0)),
+            closing: Arc::clone(&self.closing),
+        }
+    }
+
     /// Enqueues one query with the server's default algorithm.
     pub fn submit(&self, focal: Vec<f64>, k: usize) -> Ticket<KsprResult> {
         self.submit_with(self.algorithm, focal, k)
@@ -551,11 +190,12 @@ impl ServeHandle {
         k: usize,
     ) -> Ticket<KsprResult> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Query(QueryJob {
+        self.enqueue(Msg::Query(QueryJob {
             algorithm,
             focal,
             k,
             tier: QueryTier::Exact,
+            stamp: self.stamp(),
             sink: Sink::Exact(tx),
         }));
         ticket
@@ -574,11 +214,12 @@ impl ServeHandle {
         budget: ErrorBudget,
     ) -> Ticket<ApproxImpact> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Query(QueryJob {
+        self.enqueue(Msg::Query(QueryJob {
             algorithm: self.algorithm,
             focal,
             k,
             tier: QueryTier::Approximate { budget },
+            stamp: self.stamp(),
             sink: Sink::Approx(tx),
         }));
         ticket
@@ -587,7 +228,9 @@ impl ServeHandle {
     /// Enqueues one query under an explicit per-request [`QueryTier`]; the
     /// ticket resolves to whichever answer the tier produced (`Auto` is
     /// routed by the dispatcher's cost estimate at dispatch time, counted in
-    /// [`ServeStats`]).
+    /// [`ServeStats`]).  This is the only submission path admission control
+    /// may **degrade**: past the watermark an exact-capable tier is answered
+    /// approximately instead (see [`AdmissionOptions::degrade_watermark`]).
     pub fn submit_tiered(
         &self,
         algorithm: Algorithm,
@@ -596,11 +239,12 @@ impl ServeHandle {
         tier: QueryTier,
     ) -> Ticket<TieredResult> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Query(QueryJob {
+        self.enqueue(Msg::Query(QueryJob {
             algorithm,
             focal,
             k,
             tier,
+            stamp: self.stamp(),
             sink: Sink::Tiered(tx),
         }));
         ticket
@@ -618,31 +262,33 @@ impl ServeHandle {
                 focal,
                 k,
                 tier: QueryTier::Exact,
+                stamp: self.stamp(),
                 sink: Sink::Exact(tx),
             });
             tickets.push(ticket);
         }
-        let _ = self.tx.send(Msg::Batch(jobs));
+        self.enqueue(Msg::Batch(jobs));
         tickets
     }
 
     /// Enqueues an insert; resolves to the new record's global id.
     pub fn insert(&self, values: Vec<f64>) -> Ticket<RecordId> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Insert { values, tx });
+        self.enqueue(Msg::Insert { values, tx });
         ticket
     }
 
     /// Enqueues a delete; resolves to whether a live record was removed.
     pub fn delete(&self, id: RecordId) -> Ticket<bool> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Delete { id, tx });
+        self.enqueue(Msg::Delete { id, tx });
         ticket
     }
 
     /// Registers a standing query with the server's default algorithm;
-    /// resolves to a [`Subscription`] that yields a [`ResultDelta`] after
-    /// every update that changed the query's result.
+    /// resolves to a [`Subscription`] that yields a
+    /// [`kspr_monitor::ResultDelta`] after every update that changed the
+    /// query's result.
     pub fn subscribe(&self, focal: Vec<f64>, k: usize) -> SubscribeTicket {
         self.subscribe_with(self.algorithm, focal, k)
     }
@@ -658,7 +304,7 @@ impl ServeHandle {
     ) -> SubscribeTicket {
         let queue = DeltaQueue::new();
         let (tx, rx) = mpsc::channel();
-        let _ = self.tx.send(Msg::Subscribe {
+        self.enqueue(Msg::Subscribe {
             algorithm,
             focal,
             k,
@@ -676,7 +322,7 @@ impl ServeHandle {
     /// registered.  (Dropping the [`Subscription`] unregisters implicitly.)
     pub fn unsubscribe(&self, id: QueryId) -> Ticket<bool> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Unsubscribe { id, tx: Some(tx) });
+        self.enqueue(Msg::Unsubscribe { id, tx: Some(tx) });
         ticket
     }
 
@@ -684,7 +330,7 @@ impl ServeHandle {
     /// also the leak check for [`Subscription`] drops).
     pub fn subscriptions(&self) -> Ticket<usize> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::Subscriptions { tx });
+        self.enqueue(Msg::Subscriptions { tx });
         ticket
     }
 
@@ -693,8 +339,8 @@ impl ServeHandle {
     /// updates — an update that provably preserves the true impact (the
     /// `kspr-monitor` witness classifier) leaves the estimate untouched
     /// (its interval still covers the unchanged truth); any other update
-    /// redraws the estimate and pushes an [`ApproxDelta`].  Dropping the
-    /// subscription unregisters it.
+    /// redraws the estimate and pushes an [`crate::ApproxDelta`].  Dropping
+    /// the subscription unregisters it.
     pub fn subscribe_approx(
         &self,
         focal: Vec<f64>,
@@ -703,7 +349,7 @@ impl ServeHandle {
     ) -> ApproxSubscribeTicket {
         let (delta_tx, delta_rx) = mpsc::channel();
         let (tx, rx) = mpsc::channel();
-        let _ = self.tx.send(Msg::SubscribeApprox {
+        self.enqueue(Msg::SubscribeApprox {
             focal,
             k,
             budget,
@@ -721,192 +367,23 @@ impl ServeHandle {
     /// it was still registered.
     pub fn unsubscribe_approx(&self, id: ApproxWatchId) -> Ticket<bool> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::UnsubscribeApprox { id, tx: Some(tx) });
+        self.enqueue(Msg::UnsubscribeApprox { id, tx: Some(tx) });
         ticket
     }
 
     /// Number of currently registered approximate standing queries.
     pub fn approx_subscriptions(&self) -> Ticket<usize> {
         let (tx, ticket) = Ticket::new();
-        let _ = self.tx.send(Msg::ApproxSubscriptions { tx });
+        self.enqueue(Msg::ApproxSubscriptions { tx });
         ticket
     }
-}
 
-/// A pending [`ApproxSubscription`]: resolves once the dispatcher has
-/// registered (and initially estimated) the approximate standing query.
-pub struct ApproxSubscribeTicket {
-    rx: mpsc::Receiver<Result<(ApproxWatchId, ApproxImpact), ServeError>>,
-    deltas: mpsc::Receiver<ApproxDelta>,
-    control: mpsc::Sender<Msg>,
-}
-
-impl ApproxSubscribeTicket {
-    /// Blocks until the standing query is registered (or rejected).
-    pub fn wait(self) -> Result<ApproxSubscription, ServeError> {
-        match self.rx.recv() {
-            Ok(Ok((id, initial))) => Ok(ApproxSubscription {
-                id,
-                initial,
-                deltas: self.deltas,
-                control: self.control,
-            }),
-            Ok(Err(err)) => Err(err),
-            Err(mpsc::RecvError) => Err(ServeError::ServerClosed),
-        }
-    }
-}
-
-/// A live approximate standing query: holds the initial estimate and
-/// receives an [`ApproxDelta`] whenever an update forced a re-draw.
-///
-/// Dropping the subscription unregisters the standing query with the
-/// dispatcher, freeing its maintenance state.
-pub struct ApproxSubscription {
-    id: ApproxWatchId,
-    initial: ApproxImpact,
-    deltas: mpsc::Receiver<ApproxDelta>,
-    control: mpsc::Sender<Msg>,
-}
-
-impl std::fmt::Debug for ApproxSubscription {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ApproxSubscription")
-            .field("id", &self.id)
-            .field("initial_impact", &self.initial.impact)
-            .finish_non_exhaustive()
-    }
-}
-
-impl ApproxSubscription {
-    /// The standing query's registry id (usable with
-    /// [`ServeHandle::unsubscribe_approx`]).
-    pub fn id(&self) -> ApproxWatchId {
-        self.id
-    }
-
-    /// The estimate at registration time; later states arrive as deltas.
-    pub fn initial(&self) -> &ApproxImpact {
-        &self.initial
-    }
-
-    /// Drains every notification delivered so far without blocking.
-    pub fn poll(&self) -> Vec<ApproxDelta> {
-        let mut out = Vec::new();
-        while let Ok(delta) = self.deltas.try_recv() {
-            out.push(delta);
-        }
-        out
-    }
-
-    /// Blocks until the next notification; `None` means this subscription
-    /// will never be notified again (server shutdown, or a failed
-    /// maintenance pass invalidated the approximate registry — re-subscribe
-    /// to resume watching).
-    pub fn recv(&self) -> Option<ApproxDelta> {
-        self.deltas.recv().ok()
-    }
-}
-
-impl Drop for ApproxSubscription {
-    fn drop(&mut self) {
-        let _ = self.control.send(Msg::UnsubscribeApprox {
-            id: self.id,
-            tx: None,
-        });
-    }
-}
-
-/// A pending [`Subscription`]: resolves once the dispatcher has registered
-/// (and initially answered) the standing query.
-pub struct SubscribeTicket {
-    rx: mpsc::Receiver<Result<(QueryId, KsprResult), ServeError>>,
-    deltas: Arc<DeltaQueue>,
-    control: mpsc::Sender<Msg>,
-}
-
-impl SubscribeTicket {
-    /// Blocks until the standing query is registered (or rejected).
-    pub fn wait(self) -> Result<Subscription, ServeError> {
-        match self.rx.recv() {
-            Ok(Ok((id, initial))) => Ok(Subscription {
-                id,
-                initial,
-                deltas: self.deltas,
-                control: self.control,
-            }),
-            Ok(Err(err)) => Err(err),
-            Err(mpsc::RecvError) => Err(ServeError::ServerClosed),
-        }
-    }
-}
-
-/// A live standing query: holds the initial result and receives a
-/// [`ResultDelta`] for every update batch that changed it.
-///
-/// At most [`MAX_PENDING_DELTAS`] notifications are held pending; a slower
-/// consumer still sees a delta chain whose final `after` state is current,
-/// with the oldest backlog steps merged together (see [`MAX_PENDING_DELTAS`]).
-///
-/// Dropping the subscription unregisters the standing query with the
-/// dispatcher, freeing its maintenance state — a long-lived [`Server`] never
-/// accumulates state for subscribers that went away.
-pub struct Subscription {
-    id: QueryId,
-    initial: KsprResult,
-    deltas: Arc<DeltaQueue>,
-    control: mpsc::Sender<Msg>,
-}
-
-impl std::fmt::Debug for Subscription {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Subscription")
-            .field("id", &self.id)
-            .field("initial_regions", &self.initial.num_regions())
-            .finish_non_exhaustive()
-    }
-}
-
-impl Subscription {
-    /// The standing query's registry id (usable with
-    /// [`ServeHandle::unsubscribe`]).
-    pub fn id(&self) -> QueryId {
-        self.id
-    }
-
-    /// The result at registration time; later states are communicated as
-    /// deltas.
-    pub fn initial(&self) -> &KsprResult {
-        &self.initial
-    }
-
-    /// Drains every notification delivered so far without blocking.
-    pub fn poll(&self) -> Vec<ResultDelta> {
-        let mut out = Vec::new();
-        while let Some(delta) = self.deltas.try_pop() {
-            out.push(delta);
-        }
-        out
-    }
-
-    /// Blocks until the next notification.  `None` means this subscription
-    /// will never be notified again: either the server shut down, or a
-    /// maintenance pass failed and the dispatcher invalidated the standing
-    /// registry (see the module docs) — in the latter case the server is
-    /// still serving and re-subscribing resumes watching.
-    pub fn recv(&self) -> Option<ResultDelta> {
-        self.deltas.pop()
-    }
-}
-
-impl Drop for Subscription {
-    fn drop(&mut self) {
-        // Fire-and-forget: if the server is already gone the registry died
-        // with it.
-        let _ = self.control.send(Msg::Unsubscribe {
-            id: self.id,
-            tx: None,
-        });
+    /// A live snapshot of the serving counters, serialized with the
+    /// requests around it.
+    pub fn stats(&self) -> Ticket<ServeStats> {
+        let (tx, ticket) = Ticket::new();
+        self.enqueue(Msg::Stats { tx });
+        ticket
     }
 }
 
@@ -914,33 +391,114 @@ impl Drop for Subscription {
 pub struct Server {
     tx: mpsc::Sender<Msg>,
     algorithm: Algorithm,
+    queue: Arc<AtomicUsize>,
+    closing: Arc<AtomicBool>,
     join: Option<JoinHandle<(ShardedEngine, ServeStats)>>,
 }
 
 impl Server {
-    /// Moves `engine` onto a dispatcher thread and starts serving.
+    /// Moves `engine` onto a dispatcher thread and starts serving
+    /// (in-memory only — nothing survives the process; see
+    /// [`Server::start_durable`]).
     pub fn start(engine: ShardedEngine, options: ServeOptions) -> Self {
+        Self::launch(engine, options, None, Monitor::new())
+    }
+
+    /// Starts a **durable** server over the state directory `dir`: every
+    /// applied update and registry change is WAL-committed before its
+    /// ticket resolves, and epoch snapshots are installed after compactions
+    /// and at clean shutdown.  The directory is created if needed and a
+    /// snapshot of `engine`'s initial state is installed up front, so
+    /// [`Server::recover`] works from the first update on.
+    pub fn start_durable(
+        engine: ShardedEngine,
+        options: ServeOptions,
+        dir: impl AsRef<Path>,
+    ) -> std::io::Result<Self> {
+        let store = DurableStore::open(dir.as_ref())?;
+        store.install_snapshot(&snapshot_of(&engine, &Monitor::new()))?;
+        let persist = Persist::open(store, true)?;
+        Ok(Self::launch(engine, options, Some(persist), Monitor::new()))
+    }
+
+    /// Rebuilds the engine and the standing-query registry from `dir`'s
+    /// snapshot plus its committed WAL tail and resumes serving durably.
+    ///
+    /// The recovered server answers **bit-identically** to one that never
+    /// went down: the engines are deterministic functions of the live
+    /// record set, and standing queries are re-registered against the
+    /// recovered dataset (the recovery proptest in `kspr-repro` asserts
+    /// this against a never-crashed twin).  Exact standing queries come
+    /// back with fresh registry state but their wire subscriptions do not —
+    /// clients re-subscribe after a crash.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        config: KsprConfig,
+        options: ServeOptions,
+    ) -> Result<Self, RecoverError> {
+        let store = DurableStore::open(dir.as_ref()).map_err(RecoverError::from)?;
+        let (engine, monitor) = recover_state(&store, config)?;
+        // The recovered state becomes the new epoch: install it and replay
+        // nothing on the next recovery.
+        store
+            .install_snapshot(&snapshot_of(&engine, &monitor))
+            .map_err(RecoverError::from)?;
+        let persist = Persist::open(store, true).map_err(RecoverError::from)?;
+        Ok(Self::launch(engine, options, Some(persist), monitor))
+    }
+
+    fn launch(
+        engine: ShardedEngine,
+        options: ServeOptions,
+        persist: Option<Persist>,
+        monitor: Monitor,
+    ) -> Self {
         assert!(options.batch_limit >= 1, "batch limit must be at least 1");
+        if options.admission.degrade_watermark != usize::MAX {
+            assert!(
+                validate_budget(&options.admission.degrade_budget).is_ok(),
+                "the degradation budget must itself be serveable"
+            );
+        }
         let (tx, rx) = mpsc::channel();
-        let join = std::thread::spawn(move || dispatch(engine, rx, options.batch_limit));
+        let config = DispatchConfig {
+            batch_limit: options.batch_limit,
+            admission: options.admission,
+            persist,
+            monitor,
+        };
+        let join = std::thread::spawn(move || dispatch(engine, rx, config));
         Self {
             tx,
             algorithm: options.algorithm,
+            queue: Arc::new(AtomicUsize::new(0)),
+            closing: Arc::new(AtomicBool::new(false)),
             join: Some(join),
         }
     }
 
-    /// A new client handle.
+    /// A new client handle (its own admission identity; `clone` the handle
+    /// to share it, [`ServeHandle::fork_client`] to split it).
     pub fn handle(&self) -> ServeHandle {
         ServeHandle {
             tx: self.tx.clone(),
             algorithm: self.algorithm,
+            queue: Arc::clone(&self.queue),
+            client: Arc::new(AtomicUsize::new(0)),
+            closing: Arc::clone(&self.closing),
         }
     }
 
-    /// Stops the dispatcher (after it drains requests already dequeued) and
-    /// returns the engine with the serving counters.
+    /// Stops the dispatcher and returns the engine with the serving
+    /// counters.  Requests still pending resolve with
+    /// [`ServeError::Shutdown`] (never left hanging), and on a durable
+    /// server the final state is snapshotted so the next start replays
+    /// nothing.
     pub fn shutdown(mut self) -> (ShardedEngine, ServeStats) {
+        // Raise the flag *before* the dispatcher is told to stop: a handle
+        // that observes the closed channel afterwards then reports an
+        // orderly `Shutdown`, not a crash.
+        self.closing.store(true, Ordering::Release);
         let _ = self.tx.send(Msg::Shutdown);
         self.join
             .take()
@@ -953,681 +511,11 @@ impl Server {
 impl Drop for Server {
     fn drop(&mut self) {
         if let Some(join) = self.join.take() {
+            self.closing.store(true, Ordering::Release);
             let _ = self.tx.send(Msg::Shutdown);
             let _ = join.join();
         }
     }
-}
-
-/// Maps a core ingest violation to the request-level error.
-fn ingest_error(err: kspr::IngestError) -> ServeError {
-    match err {
-        // Unreachable here (the engine arity is always >= 1, so an empty row
-        // surfaces as an arity mismatch first), kept for exhaustiveness.
-        kspr::IngestError::Empty => ServeError::ArityMismatch {
-            expected: 0,
-            got: 0,
-        },
-        kspr::IngestError::ArityMismatch { expected, got } => {
-            ServeError::ArityMismatch { expected, got }
-        }
-        kspr::IngestError::NonFinite { .. } => ServeError::NonFinite,
-    }
-}
-
-/// Validates a query against the engine's arity rules (the focal record must
-/// satisfy the same shape rules as ingested records).  The RTOPK
-/// dimensionality rule only applies when the exact engine can run — a
-/// purely approximate job never consults the algorithm.
-fn validate_query(engine: &ShardedEngine, job: &QueryJob) -> Result<(), ServeError> {
-    if job.k == 0 {
-        return Err(ServeError::InvalidK);
-    }
-    let may_run_exact = !matches!(job.tier, QueryTier::Approximate { .. });
-    if may_run_exact && job.algorithm == Algorithm::Rtopk && engine.dim() != 2 {
-        return Err(ServeError::UnsupportedAlgorithm);
-    }
-    match job.tier {
-        QueryTier::Exact => {}
-        QueryTier::Approximate { budget } | QueryTier::Auto { budget, .. } => {
-            validate_budget(&budget)?;
-        }
-    }
-    kspr::check_record(&job.focal, Some(engine.dim())).map_err(ingest_error)
-}
-
-/// Largest Hoeffding sample count the server accepts per estimate.  The
-/// budget is client-supplied and its sample count grows as `1/epsilon²`:
-/// without a cap, one `submit_approx` with a pathological epsilon would
-/// materialize gigabytes of sample points on the serialized dispatcher
-/// thread (an allocation failure is not a catchable panic — it would take
-/// the whole server down, defeating the reject-don't-crash ingest rules).
-/// `2^20` samples (~1 M, epsilon ≈ 0.0013 at 95% confidence) is far below
-/// any memory hazard and far finer than region-volume noise justifies.
-pub const MAX_APPROX_SAMPLES: usize = 1 << 20;
-
-/// Validates a client-supplied error budget: the fields must be genuine
-/// probabilities (the `ErrorBudget` fields are public, so `new()`'s checks
-/// can be bypassed) and the implied sample count must stay serveable.
-fn validate_budget(budget: &ErrorBudget) -> Result<(), ServeError> {
-    let in_unit = |v: f64| v.is_finite() && v > 0.0 && v < 1.0;
-    if !in_unit(budget.epsilon) || !in_unit(budget.confidence) {
-        return Err(ServeError::InvalidBudget);
-    }
-    if budget.samples() > MAX_APPROX_SAMPLES {
-        return Err(ServeError::InvalidBudget);
-    }
-    Ok(())
-}
-
-/// Validates an insert payload.
-fn validate_insert(engine: &ShardedEngine, values: &[f64]) -> Result<(), ServeError> {
-    kspr::check_record(values, Some(engine.dim())).map_err(ingest_error)
-}
-
-/// Grouping key of an approximate batch: `k` plus the bit patterns of the
-/// budget (estimates only share a sweep when they ask the same question to
-/// the same accuracy).
-type ApproxKey = (usize, u64, u64);
-
-fn approx_key(k: usize, budget: &ErrorBudget) -> ApproxKey {
-    (k, budget.epsilon.to_bits(), budget.confidence.to_bits())
-}
-
-/// Executes a batch of dequeued queries: rejects invalid jobs, resolves each
-/// job's tier (`Auto` routes by the dispatcher's cost estimate, counted in
-/// [`ServeStats`]), then answers **exact jobs** grouped by `(algorithm, k)`
-/// through one `run_batch` call each and **approximate jobs** — batched
-/// separately — grouped by `(k, budget)` through one shared sampling sweep
-/// each.
-fn run_jobs(
-    engine: &ShardedEngine,
-    jobs: Vec<QueryJob>,
-    stats: &mut ServeStats,
-    approx_seed: &mut u64,
-) {
-    /// One validated, tier-resolved job.  `auto` marks jobs the `Auto` tier
-    /// routed, so the routing counters can be committed only when the job is
-    /// actually answered (a failed batch must not leave `auto_routed_*`
-    /// claiming more routed queries than `exact_/approx_queries` served).
-    struct Routed {
-        focal: Vec<f64>,
-        sink: Sink,
-        auto: bool,
-    }
-
-    let mut exact_groups: Vec<((Algorithm, usize), Vec<Routed>)> = Vec::new();
-    let mut approx_groups: Vec<((ApproxKey, ErrorBudget), Vec<Routed>)> = Vec::new();
-    for job in jobs {
-        if let Err(err) = validate_query(engine, &job) {
-            stats.reject(&err);
-            job.sink.reject(err);
-            continue;
-        }
-        // Resolve the tier.  The Auto decision depends only on dataset
-        // statistics and k, so it is made once per job at dispatch time and
-        // the job then batches with its resolved tier.  The cost probe runs
-        // the same engine machinery as a query (merged-engine build, shared
-        // prep), so it gets the same panic guard.
-        let auto = matches!(job.tier, QueryTier::Auto { .. });
-        let budget = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            job.tier.resolve(|| engine.estimated_cost(job.k))
-        })) {
-            Ok(budget) => budget,
-            Err(_) => {
-                stats.reject(&ServeError::QueryFailed);
-                job.sink.reject(ServeError::QueryFailed);
-                continue;
-            }
-        };
-        let routed = Routed {
-            focal: job.focal,
-            sink: job.sink,
-            auto,
-        };
-        match budget {
-            None => {
-                let key = (job.algorithm, job.k);
-                match exact_groups.iter_mut().find(|(k, _)| *k == key) {
-                    Some((_, group)) => group.push(routed),
-                    None => exact_groups.push((key, vec![routed])),
-                }
-            }
-            Some(budget) => {
-                let key = approx_key(job.k, &budget);
-                match approx_groups.iter_mut().find(|((k, _), _)| *k == key) {
-                    Some((_, group)) => group.push(routed),
-                    None => approx_groups.push(((key, budget), vec![routed])),
-                }
-            }
-        }
-    }
-
-    for ((algorithm, k), group) in exact_groups {
-        let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
-        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
-            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
-        // The dispatcher grants each query in the batch its intra-query
-        // worker share: the engines resolve the same grant internally
-        // (`KsprConfig::resolve_intra_workers` over the batch width), this
-        // mirrors it into the serving stats.  LP-CTA is always granted one
-        // worker — its look-ahead bound reports depend on expansion order,
-        // so the engine routes it through the sequential path.
-        let intra_grant = if algorithm == Algorithm::LpCta {
-            1
-        } else {
-            engine.config().resolve_intra_workers(focals.len())
-        };
-        // Defense in depth: a panic inside the engine must not take the
-        // dispatcher thread (and with it every pending ticket) down.  The
-        // engine's caches recover from lock poisoning by rebuilding, so
-        // serving continues after a failed batch.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run_batch(algorithm, &focals, k)
-        }));
-        match outcome {
-            Ok(results) => {
-                stats.batches += 1;
-                stats.queries += focals.len() as u64;
-                stats.exact_queries += focals.len() as u64;
-                stats.auto_routed_exact += auto_routed;
-                stats.largest_batch = stats.largest_batch.max(focals.len());
-                stats.largest_intra_grant = stats.largest_intra_grant.max(intra_grant);
-                if intra_grant > 1 {
-                    stats.parallel_batches += 1;
-                }
-                for (sink, result) in sinks.into_iter().zip(results) {
-                    sink.send_exact(result);
-                }
-            }
-            Err(_) => {
-                for sink in sinks {
-                    stats.reject(&ServeError::QueryFailed);
-                    sink.reject(ServeError::QueryFailed);
-                }
-            }
-        }
-    }
-
-    for (((k, _, _), budget), group) in approx_groups {
-        let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
-        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
-            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
-        let seed = *approx_seed;
-        *approx_seed = approx_seed.wrapping_add(1);
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            engine.run_approx_batch(&focals, k, &budget, seed)
-        }));
-        match outcome {
-            Ok(estimates) => {
-                stats.batches += 1;
-                stats.queries += focals.len() as u64;
-                stats.approx_queries += focals.len() as u64;
-                stats.auto_routed_approx += auto_routed;
-                stats.largest_batch = stats.largest_batch.max(focals.len());
-                for (sink, estimate) in sinks.into_iter().zip(estimates) {
-                    sink.send_approx(estimate);
-                }
-            }
-            Err(_) => {
-                for sink in sinks {
-                    stats.reject(&ServeError::QueryFailed);
-                    sink.reject(ServeError::QueryFailed);
-                }
-            }
-        }
-    }
-}
-
-/// Maps a standing-query registration failure to the request-level error.
-fn register_error(err: RegisterError) -> ServeError {
-    match err {
-        RegisterError::InvalidK => ServeError::InvalidK,
-        RegisterError::Focal(err) => ingest_error(err),
-        RegisterError::UnsupportedAlgorithm => ServeError::UnsupportedAlgorithm,
-    }
-}
-
-/// Delivers update notifications to their subscribers.  A queue at its
-/// pending cap coalesces the notification instead of growing (see
-/// [`MAX_PENDING_DELTAS`]); a closed queue means the subscription was
-/// dropped but its unsubscribe message is still in flight, and the
-/// notification is simply discarded.
-fn notify(
-    subscribers: &HashMap<QueryId, Arc<DeltaQueue>>,
-    deltas: Vec<ResultDelta>,
-    stats: &mut ServeStats,
-) {
-    for delta in deltas {
-        if let Some(queue) = subscribers.get(&delta.query) {
-            match queue.push(delta) {
-                DeltaPush::Queued => stats.notifications += 1,
-                DeltaPush::Coalesced => {
-                    stats.notifications += 1;
-                    stats.deltas_coalesced += 1;
-                }
-                DeltaPush::Closed => {}
-            }
-        }
-    }
-}
-
-/// Runs the standing-query maintenance for one *already committed and
-/// acknowledged* update and delivers the notifications.
-///
-/// A panic inside classification (a standing query's rerun tripping an
-/// engine bug) is the query-panic class — the engine caches recover and the
-/// update itself is fine — but the maintenance pass may have stopped half
-/// way, leaving some standing queries with stale bookkeeping that would
-/// silently misclassify every later update.  Rather than stopping the
-/// server (the update succeeded) or serving stale standing results, the
-/// whole registry is invalidated: every subscription's channel closes (its
-/// next `recv`/`poll` reports the disconnect) and clients re-subscribe to
-/// resume watching.
-fn maintain_standing(
-    monitor: &mut Monitor,
-    subscribers: &mut HashMap<QueryId, Arc<DeltaQueue>>,
-    stats: &mut ServeStats,
-    apply: impl FnOnce(&mut Monitor) -> Vec<ResultDelta>,
-) {
-    if monitor.is_empty() {
-        return;
-    }
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| apply(monitor))) {
-        Ok(deltas) => notify(subscribers, deltas, stats),
-        Err(_) => {
-            // Not a rejection — no client request failed; track separately.
-            stats.maintenance_failures += 1;
-            monitor.clear();
-            for queue in subscribers.values() {
-                queue.close();
-            }
-            subscribers.clear();
-        }
-    }
-}
-
-/// Maintains every **approximate** standing query for one committed update:
-/// an update the witness classifier proves impact-preserving leaves the held
-/// estimate untouched (it is still a valid draw for the unchanged truth);
-/// anything else redraws the estimate against the post-update state and
-/// pushes an [`ApproxDelta`].  A panic inside the re-estimation invalidates
-/// the approximate registry exactly like the exact registry (subscribers
-/// re-subscribe), since a half-maintained watch set would silently serve
-/// stale estimates.
-fn maintain_approx_watch(
-    engine: &ShardedEngine,
-    watch: &mut HashMap<ApproxWatchId, ApproxStanding>,
-    stats: &mut ServeStats,
-    values: &[f64],
-    approx_seed: &mut u64,
-) {
-    if watch.is_empty() {
-        return;
-    }
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut updates: Vec<(ApproxWatchId, ApproxImpact)> = Vec::new();
-        let mut unaffected = 0u64;
-        // Deterministic maintenance order (ids are dense and never reused).
-        let mut ids: Vec<ApproxWatchId> = watch.keys().copied().collect();
-        ids.sort_unstable();
-        for id in ids {
-            let standing = &watch[&id];
-            if update_preserves_impact(engine, &standing.focal, standing.k, values) {
-                unaffected += 1;
-                continue;
-            }
-            let seed = *approx_seed;
-            *approx_seed = approx_seed.wrapping_add(1);
-            let fresh = engine
-                .run_approx_batch(
-                    std::slice::from_ref(&standing.focal),
-                    standing.k,
-                    &standing.budget,
-                    seed,
-                )
-                .pop()
-                .expect("one focal in, one estimate out");
-            updates.push((id, fresh));
-        }
-        (updates, unaffected)
-    }));
-    match outcome {
-        Ok((updates, unaffected)) => {
-            stats.approx_watch_unaffected += unaffected;
-            for (id, fresh) in updates {
-                let standing = watch.get_mut(&id).expect("maintained id is registered");
-                let before = std::mem::replace(&mut standing.estimate, fresh.clone());
-                let delta = ApproxDelta {
-                    query: id,
-                    before,
-                    after: fresh,
-                };
-                if standing.deltas.send(delta).is_ok() {
-                    stats.approx_notifications += 1;
-                }
-            }
-        }
-        Err(_) => {
-            stats.maintenance_failures += 1;
-            watch.clear();
-        }
-    }
-}
-
-/// The dispatcher loop: drain the queue, batch consecutive queries, apply
-/// updates in arrival order, and maintain the standing-query registry.
-fn dispatch(
-    mut engine: ShardedEngine,
-    rx: mpsc::Receiver<Msg>,
-    batch_limit: usize,
-) -> (ShardedEngine, ServeStats) {
-    let mut stats = ServeStats::default();
-    let mut carry: VecDeque<Msg> = VecDeque::new();
-    let mut monitor = Monitor::new();
-    let mut subscribers: HashMap<QueryId, Arc<DeltaQueue>> = HashMap::new();
-    let mut approx_watch: HashMap<ApproxWatchId, ApproxStanding> = HashMap::new();
-    let mut next_approx_id: ApproxWatchId = 0;
-    // Seed stream of the sampling tier: one fresh seed per sweep, so
-    // estimates are deterministic per server run without ever reusing a
-    // sample stream.
-    let mut approx_seed: u64 = 0x5EED_AB5E;
-    loop {
-        let msg = match carry.pop_front() {
-            Some(msg) => msg,
-            None => match rx.recv() {
-                Ok(msg) => msg,
-                // Every handle (and the Server) is gone: stop serving.
-                Err(mpsc::RecvError) => break,
-            },
-        };
-        match msg {
-            Msg::Shutdown => break,
-            update @ (Msg::Insert { .. } | Msg::Delete { .. }) => {
-                // Batched update dequeue, mirroring the query batching
-                // below: greedily pull further *already-queued* consecutive
-                // updates — never waiting for more to arrive — up to the
-                // maintenance batching window, so a burst of updates shares
-                // one standing-query maintenance pass.
-                let window = engine.config().monitor_batch_window;
-                let mut pending = vec![update];
-                while pending.len() < window {
-                    match rx.try_recv() {
-                        Ok(next @ (Msg::Insert { .. } | Msg::Delete { .. })) => {
-                            pending.push(next);
-                        }
-                        Ok(other) => {
-                            carry.push_back(other);
-                            break;
-                        }
-                        Err(_) => break,
-                    }
-                }
-                // The monitor needs every update's values after the engine
-                // consumed them; only pay the clones when someone watches.
-                // (Only updates are processed until the maintenance pass
-                // below, so the registries cannot change mid-batch.)
-                let watched = !monitor.is_empty() || !approx_watch.is_empty();
-                let mut batch: Vec<(UpdateKind, Vec<f64>)> = Vec::new();
-                let mut applied = 0usize;
-                let mut update_failed = false;
-                for msg in pending {
-                    match msg {
-                        Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
-                            Ok(()) => {
-                                let kept = watched.then(|| values.clone());
-                                let outcome =
-                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                        engine.insert(values)
-                                    }));
-                                match outcome {
-                                    Ok(id) => {
-                                        stats.updates += 1;
-                                        applied += 1;
-                                        let _ = tx.send(Ok(id));
-                                        if let Some(values) = kept {
-                                            batch.push((UpdateKind::Insert, values));
-                                        }
-                                    }
-                                    Err(_) => {
-                                        // A panic mid-update may have left
-                                        // shard state half-applied; stop
-                                        // serving cleanly instead of risking
-                                        // corrupt answers (see UpdateFailed).
-                                        stats.reject(&ServeError::UpdateFailed);
-                                        let _ = tx.send(Err(ServeError::UpdateFailed));
-                                        update_failed = true;
-                                    }
-                                }
-                            }
-                            Err(err) => {
-                                stats.reject(&err);
-                                let _ = tx.send(Err(err));
-                            }
-                        },
-                        Msg::Delete { id, tx } => {
-                            let outcome =
-                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    engine.delete_returning(id)
-                                }));
-                            match outcome {
-                                Ok(removed) => {
-                                    stats.updates += 1;
-                                    applied += 1;
-                                    let _ = tx.send(Ok(removed.is_some()));
-                                    match removed {
-                                        Some(values) if watched => {
-                                            batch.push((UpdateKind::Delete, values));
-                                        }
-                                        _ => {}
-                                    }
-                                }
-                                Err(_) => {
-                                    stats.reject(&ServeError::UpdateFailed);
-                                    let _ = tx.send(Err(ServeError::UpdateFailed));
-                                    update_failed = true;
-                                }
-                            }
-                        }
-                        _ => unreachable!("only updates are drained into an update batch"),
-                    }
-                    if update_failed {
-                        break;
-                    }
-                }
-                if applied > 0 {
-                    stats.update_batches += 1;
-                    stats.largest_update_batch = stats.largest_update_batch.max(applied);
-                }
-                if !batch.is_empty() {
-                    // The monitor runs on the dispatcher thread, so the
-                    // standing results it patches stay serialized with the
-                    // update stream.  It is guarded separately from the
-                    // engine updates: the batch is committed and
-                    // acknowledged above, so a classification panic must
-                    // not be reported as UpdateFailed (losing the ids) nor
-                    // stop serving.  One maintenance pass covers the whole
-                    // drained batch.
-                    maintain_standing(&mut monitor, &mut subscribers, &mut stats, |monitor| {
-                        monitor.apply_batch(&engine, &batch)
-                    });
-                    for (_, values) in &batch {
-                        maintain_approx_watch(
-                            &engine,
-                            &mut approx_watch,
-                            &mut stats,
-                            values,
-                            &mut approx_seed,
-                        );
-                    }
-                }
-                if update_failed {
-                    break;
-                }
-                // Background compaction: once dead record slots exceed half
-                // the id space, rewrite the shards down to their live
-                // records (global ids survive — see ShardedEngine::compact,
-                // and live data is untouched, so maintained standing
-                // results stay exact).  As an engine mutation it gets the
-                // update panic contract: a half-compacted pool must not
-                // keep serving.
-                if engine.tombstone_ratio() > 0.5 {
-                    let outcome =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.compact()));
-                    match outcome {
-                        Ok(_) => stats.compactions += 1,
-                        Err(_) => {
-                            stats.reject(&ServeError::UpdateFailed);
-                            break;
-                        }
-                    }
-                }
-            }
-            Msg::Subscribe {
-                algorithm,
-                focal,
-                k,
-                deltas,
-                tx,
-            } => {
-                // Registration runs the initial query; guard it like any
-                // other query (the caches recover, serving continues).
-                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    monitor.register(&engine, algorithm, focal, k)
-                }));
-                match outcome {
-                    Ok(Ok(id)) => {
-                        stats.subscriptions += 1;
-                        let initial = monitor
-                            .result(id)
-                            .expect("freshly registered query has a result")
-                            .clone();
-                        subscribers.insert(id, deltas);
-                        let _ = tx.send(Ok((id, initial)));
-                    }
-                    Ok(Err(err)) => {
-                        let err = register_error(err);
-                        stats.reject(&err);
-                        let _ = tx.send(Err(err));
-                    }
-                    Err(_) => {
-                        stats.reject(&ServeError::QueryFailed);
-                        let _ = tx.send(Err(ServeError::QueryFailed));
-                    }
-                }
-            }
-            Msg::Unsubscribe { id, tx } => {
-                let removed = monitor.unregister(id);
-                if let Some(queue) = subscribers.remove(&id) {
-                    // Wake a receiver still blocked on the dead stream.
-                    queue.close();
-                }
-                if let Some(tx) = tx {
-                    let _ = tx.send(Ok(removed));
-                }
-            }
-            Msg::Subscriptions { tx } => {
-                let _ = tx.send(Ok(monitor.len()));
-            }
-            Msg::SubscribeApprox {
-                focal,
-                k,
-                budget,
-                deltas,
-                tx,
-            } => {
-                let valid = if k == 0 {
-                    Err(ServeError::InvalidK)
-                } else {
-                    validate_budget(&budget).and_then(|()| {
-                        kspr::check_record(&focal, Some(engine.dim())).map_err(ingest_error)
-                    })
-                };
-                match valid {
-                    Ok(()) => {
-                        let seed = approx_seed;
-                        approx_seed = approx_seed.wrapping_add(1);
-                        let outcome =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                engine
-                                    .run_approx_batch(
-                                        std::slice::from_ref(&focal),
-                                        k,
-                                        &budget,
-                                        seed,
-                                    )
-                                    .pop()
-                                    .expect("one focal in, one estimate out")
-                            }));
-                        match outcome {
-                            Ok(initial) => {
-                                let id = next_approx_id;
-                                next_approx_id += 1;
-                                stats.approx_subscriptions += 1;
-                                approx_watch.insert(
-                                    id,
-                                    ApproxStanding {
-                                        focal,
-                                        k,
-                                        budget,
-                                        estimate: initial.clone(),
-                                        deltas,
-                                    },
-                                );
-                                let _ = tx.send(Ok((id, initial)));
-                            }
-                            Err(_) => {
-                                stats.reject(&ServeError::QueryFailed);
-                                let _ = tx.send(Err(ServeError::QueryFailed));
-                            }
-                        }
-                    }
-                    Err(err) => {
-                        stats.reject(&err);
-                        let _ = tx.send(Err(err));
-                    }
-                }
-            }
-            Msg::UnsubscribeApprox { id, tx } => {
-                let removed = approx_watch.remove(&id).is_some();
-                if let Some(tx) = tx {
-                    let _ = tx.send(Ok(removed));
-                }
-            }
-            Msg::ApproxSubscriptions { tx } => {
-                let _ = tx.send(Ok(approx_watch.len()));
-            }
-            Msg::Query(job) => {
-                // Batched dequeue: greedily pull further *consecutive*
-                // queries (updates act as barriers, preserving FIFO
-                // semantics between queries and updates).
-                let mut batch = vec![job];
-                while batch.len() < batch_limit {
-                    match rx.try_recv() {
-                        Ok(Msg::Query(next)) => batch.push(next),
-                        Ok(other) => {
-                            // A Batch keeps its own identity (absorbing it
-                            // here could blow past `batch_limit`); updates
-                            // act as barriers.  Either way FIFO between the
-                            // drained queries and what follows is preserved.
-                            carry.push_back(other);
-                            break;
-                        }
-                        Err(_) => break,
-                    }
-                }
-                run_jobs(&engine, batch, &mut stats, &mut approx_seed);
-            }
-            Msg::Batch(jobs) => run_jobs(&engine, jobs, &mut stats, &mut approx_seed),
-        }
-    }
-    // Wake receivers still blocked on their delta streams before the
-    // dispatcher state drops.
-    for queue in subscribers.values() {
-        queue.close();
-    }
-    stats.monitor = monitor.stats();
-    (engine, stats)
 }
 
 #[cfg(test)]
@@ -2359,76 +1247,6 @@ mod tests {
     }
 
     #[test]
-    fn delta_queue_caps_and_coalesces_slow_consumers() {
-        let queue = DeltaQueue::new();
-        let delta = |i: usize, class: UpdateClass| ResultDelta {
-            query: 7,
-            class,
-            regions_before: i,
-            regions_after: i + 1,
-            ranks_before: vec![i],
-            ranks_after: vec![i + 1],
-        };
-        for i in 0..MAX_PENDING_DELTAS {
-            assert!(matches!(
-                queue.push(delta(i, UpdateClass::Patched)),
-                DeltaPush::Queued
-            ));
-        }
-        // The queue is at its cap: further deltas merge into the newest
-        // pending one, keeping its oldest `before` and the latest `after`.
-        assert!(matches!(
-            queue.push(delta(MAX_PENDING_DELTAS, UpdateClass::Rerun)),
-            DeltaPush::Coalesced
-        ));
-        assert!(matches!(
-            queue.push(delta(MAX_PENDING_DELTAS + 1, UpdateClass::Patched)),
-            DeltaPush::Coalesced
-        ));
-        let mut drained = Vec::new();
-        while let Some(d) = queue.try_pop() {
-            drained.push(d);
-        }
-        assert_eq!(drained.len(), MAX_PENDING_DELTAS, "the cap held");
-        let tail = drained.last().expect("cap is at least 1");
-        assert_eq!(
-            tail.regions_before,
-            MAX_PENDING_DELTAS - 1,
-            "the merged delta keeps the oldest before state"
-        );
-        assert_eq!(
-            tail.regions_after,
-            MAX_PENDING_DELTAS + 2,
-            "the merged delta takes the newest after state"
-        );
-        assert_eq!(
-            tail.class,
-            UpdateClass::Rerun,
-            "a re-run anywhere in the merged span survives later patches"
-        );
-        assert_eq!(tail.ranks_after, vec![MAX_PENDING_DELTAS + 2]);
-        // The chain is still intact: the merged tail continues from the last
-        // unmerged delta.
-        assert_eq!(
-            drained[drained.len() - 2].regions_after,
-            tail.regions_before
-        );
-        // Closing keeps pending deltas drainable, drops later pushes, and
-        // unblocks `pop`.
-        assert!(matches!(
-            queue.push(delta(0, UpdateClass::Patched)),
-            DeltaPush::Queued
-        ));
-        queue.close();
-        assert!(matches!(
-            queue.push(delta(1, UpdateClass::Patched)),
-            DeltaPush::Closed
-        ));
-        assert!(queue.pop().is_some(), "drained before the closed marker");
-        assert!(queue.pop().is_none());
-    }
-
-    #[test]
     fn compaction_triggers_in_the_dispatcher_and_preserves_ids() {
         let server = Server::start(
             ShardedEngine::empty(2, KsprConfig::default().with_shards(2)),
@@ -2487,13 +1305,187 @@ mod tests {
     }
 
     #[test]
-    fn tickets_resolve_to_server_closed_after_shutdown() {
+    fn tickets_resolve_to_shutdown_after_shutdown() {
         let server = Server::start(demo_engine(1), ServeOptions::default());
         let handle = server.handle();
-        drop(server); // Drop joins the dispatcher.
+        drop(server); // Drop joins the dispatcher (an orderly shutdown).
         assert_eq!(
             handle.submit(vec![0.5, 0.5, 0.7], 2).wait().unwrap_err(),
-            ServeError::ServerClosed
+            ServeError::Shutdown,
+            "post-shutdown submissions resolve explicitly, they never hang"
         );
+        assert_eq!(
+            handle.insert(vec![0.5, 0.5, 0.7]).wait().unwrap_err(),
+            ServeError::Shutdown
+        );
+        assert_eq!(
+            handle.subscriptions().wait().unwrap_err(),
+            ServeError::Shutdown
+        );
+        assert_eq!(
+            handle.subscribe(vec![0.5, 0.5, 0.7], 2).wait().unwrap_err(),
+            ServeError::Shutdown
+        );
+        assert_eq!(handle.stats().wait().unwrap_err(), ServeError::Shutdown);
+    }
+
+    #[test]
+    fn queued_requests_behind_a_shutdown_are_drained_not_hung() {
+        use crate::error::Ticket as T;
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        // Hold the dispatcher busy on an expensive approximate registration
+        // so everything below is queued before it reads another message.
+        let blocker = handle.subscribe_approx(
+            vec![0.95, 0.95, 0.95],
+            1,
+            kspr::ErrorBudget::new(0.002, 0.99),
+        );
+        // Reproduce the shutdown race the handle-side flag cannot close: a
+        // request that slips into the channel *behind* the shutdown message
+        // (the flag check and the send are not one atomic step).  The
+        // dispatcher must drain and resolve it, never leave it hanging.
+        server.tx.send(Msg::Shutdown).unwrap();
+        let (tx, query) = T::new();
+        server
+            .tx
+            .send(Msg::Query(QueryJob {
+                algorithm: Algorithm::LpCta,
+                focal: vec![0.5, 0.5, 0.7],
+                k: 2,
+                tier: QueryTier::Exact,
+                stamp: handle.stamp(),
+                sink: Sink::Exact(tx),
+            }))
+            .unwrap();
+        let (tx, insert) = T::new();
+        server
+            .tx
+            .send(Msg::Insert {
+                values: vec![0.5, 0.5, 0.7],
+                tx,
+            })
+            .unwrap();
+        assert_eq!(query.wait().unwrap_err(), ServeError::Shutdown);
+        assert_eq!(insert.wait().unwrap_err(), ServeError::Shutdown);
+        drop(blocker);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejections.shutdown, 2);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+        assert_eq!(stats.updates, 0, "the drained insert was never applied");
+    }
+
+    #[test]
+    fn admission_degrades_tiered_queries_past_the_watermark() {
+        let mut options = ServeOptions::default();
+        options.admission.degrade_watermark = 0; // every query is "past" it
+        let server = Server::start(demo_engine(2), options);
+        let handle = server.handle();
+        // An exact-capable tiered query is answered approximately instead.
+        let degraded = handle
+            .submit_tiered(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2, QueryTier::Exact)
+            .wait()
+            .expect("degraded query");
+        assert!(
+            !degraded.is_exact(),
+            "past the watermark, exact-capable tiers degrade to the sampler"
+        );
+        // A plain exact submission has no approximate sink to degrade into:
+        // it still runs exactly (degradation never changes a result type).
+        let exact = handle
+            .submit(vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("plain exact query");
+        assert!(exact.num_regions() >= 1);
+        // An already-approximate tier has nothing to degrade.
+        let approx = handle
+            .submit_tiered(
+                Algorithm::LpCta,
+                vec![0.5, 0.5, 0.7],
+                2,
+                QueryTier::approximate(kspr::ErrorBudget::new(0.1, 0.9)),
+            )
+            .wait()
+            .expect("approx query");
+        assert!(!approx.is_exact());
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.degraded_to_approx, 1, "only the tiered exact query");
+        assert_eq!(stats.queries, 3);
+        assert_eq!(stats.exact_queries, 1);
+        assert_eq!(stats.approx_queries, 2);
+        assert_eq!(stats.rejected, 0, "degradation is not rejection");
+    }
+
+    #[test]
+    fn admission_rejects_queries_past_the_hard_limit() {
+        let mut options = ServeOptions::default();
+        options.admission.hard_limit = 0; // every query is "past" it
+        let server = Server::start(demo_engine(2), options);
+        let handle = server.handle();
+        assert_eq!(
+            handle.submit(vec![0.5, 0.5, 0.7], 2).wait().unwrap_err(),
+            ServeError::Overloaded
+        );
+        assert_eq!(
+            handle
+                .submit_tiered(Algorithm::LpCta, vec![0.5, 0.5, 0.7], 2, QueryTier::Exact)
+                .wait()
+                .unwrap_err(),
+            ServeError::Overloaded
+        );
+        // Load shedding drops queries, never updates or registrations.
+        let id = handle.insert(vec![0.6, 0.6, 0.6]).wait().expect("insert");
+        assert_eq!(handle.delete(id).wait(), Ok(true));
+        let sub = handle
+            .subscribe(vec![0.5, 0.5, 0.7], 2)
+            .wait()
+            .expect("subscribe");
+        drop(sub);
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.rejections.overloaded, 2);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+        assert_eq!(stats.queries, 0);
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.subscriptions, 1);
+    }
+
+    #[test]
+    fn admission_enforces_per_client_quotas_in_isolation() {
+        let mut options = ServeOptions::default();
+        options.admission.client_quota = 1;
+        let server = Server::start(demo_engine(2), options);
+        let handle = server.handle();
+        // Hold the dispatcher busy so both submissions below are stamped
+        // while queued: the second exceeds its client's in-flight quota.
+        let blocker = handle.subscribe_approx(
+            vec![0.95, 0.95, 0.95],
+            1,
+            kspr::ErrorBudget::new(0.002, 0.99),
+        );
+        let first = handle.submit(vec![0.5, 0.5, 0.7], 2);
+        let second = handle.submit(vec![0.5, 0.5, 0.7], 2);
+        // A forked client has its own quota: its query is untouched by the
+        // first client's backlog.
+        let neighbour = handle.fork_client().submit(vec![0.5, 0.5, 0.7], 2);
+        assert!(first.wait().is_ok(), "within quota");
+        assert_eq!(second.wait().unwrap_err(), ServeError::QuotaExceeded);
+        assert!(neighbour.wait().is_ok(), "quotas are per client");
+        drop(blocker.wait().expect("approx subscribe"));
+        let (_, stats) = server.shutdown();
+        assert_eq!(stats.rejections.quota_exceeded, 1);
+        assert_eq!(stats.rejections.total(), stats.rejected);
+        assert_eq!(stats.queries, 2);
+    }
+
+    #[test]
+    fn live_stats_are_served_in_request_order() {
+        let server = Server::start(demo_engine(2), ServeOptions::default());
+        let handle = server.handle();
+        handle.submit(vec![0.5, 0.5, 0.7], 2).wait().expect("query");
+        let live = handle.stats().wait().expect("live stats");
+        assert_eq!(live.queries, 1);
+        let (_, after) = server.shutdown();
+        assert_eq!(after.queries, 1);
     }
 }

@@ -48,6 +48,7 @@ use kspr::{
     KsprResult, PreferenceSpace, QueryEngine, QueryStats, QueryTier, RecordId,
 };
 use kspr_approx::{arrangement_cost, pool_estimates, ApproxEngine, PartialEstimate, TieredResult};
+use kspr_durable::SlotState;
 use kspr_spatial::{AggregateRTree, Record};
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -311,6 +312,146 @@ impl ShardedEngine {
         cache.engines.clear();
         cache.epochs.clear();
         removed
+    }
+
+    // -----------------------------------------------------------------------
+    // Durability: logical state export / restore
+    // -----------------------------------------------------------------------
+
+    /// Exports the durable slot table: one [`SlotState`] per global id, in
+    /// id order.  Together with [`ShardedEngine::export_epochs`] and
+    /// [`ShardedEngine::routing_cursor`] this is the engine's full logical
+    /// state — what [`ShardedEngine::from_slots`] rebuilds from.
+    pub fn export_slots(&self) -> Vec<SlotState> {
+        self.locs
+            .iter()
+            .map(|&(shard_idx, local)| {
+                if shard_idx == usize::MAX {
+                    return SlotState::Compacted;
+                }
+                let engine = self.shards[shard_idx]
+                    .engine
+                    .as_ref()
+                    .expect("a routed slot's shard has an engine");
+                let values = engine.dataset().values(local).to_vec();
+                if engine.dataset().is_live(local) {
+                    SlotState::Live {
+                        shard: shard_idx as u32,
+                        values,
+                    }
+                } else {
+                    SlotState::Tombstone {
+                        shard: shard_idx as u32,
+                        values,
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Per-shard dataset epochs (`0` for a shard that holds no engine).
+    pub fn export_epochs(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.engine.as_ref().map_or(0, |e| e.store().epoch()))
+            .collect()
+    }
+
+    /// The round-robin insert cursor (the shard the next insert routes to).
+    pub fn routing_cursor(&self) -> usize {
+        self.next_shard
+    }
+
+    /// Rebuilds an engine from state captured by [`ShardedEngine::export_slots`]
+    /// / [`ShardedEngine::export_epochs`] / [`ShardedEngine::routing_cursor`].
+    ///
+    /// Each shard's store is re-created over its slots in global-id order
+    /// (live rows and tombstoned rows alike, the latter re-deleted so
+    /// tombstone accounting survives), then its dataset epoch is restored, so
+    /// the rebuilt pool routes updates identically and answers queries
+    /// bit-identically to the exported one: query results are deterministic
+    /// functions of the live record set (the `shard_consistency` invariant),
+    /// and the id maps, cursor and epochs are reproduced exactly.
+    ///
+    /// # Panics
+    /// Panics on structurally invalid state (a slot routed to a shard index
+    /// `>= num_shards`, non-finite values, arity mismatches).
+    pub fn from_slots(
+        dim: usize,
+        config: KsprConfig,
+        num_shards: usize,
+        next_shard: usize,
+        shard_epochs: &[u64],
+        slots: &[SlotState],
+    ) -> Self {
+        assert!(dim >= 1, "the dataset arity must be at least 1");
+        assert!(num_shards >= 1, "at least one shard is required");
+        assert!(
+            next_shard < num_shards,
+            "the routing cursor must name a shard"
+        );
+        let config = config.with_shards(num_shards);
+
+        struct Build {
+            rows: Vec<Vec<f64>>,
+            globals: Vec<RecordId>,
+            dead: Vec<usize>,
+        }
+        let mut builds: Vec<Build> = (0..num_shards)
+            .map(|_| Build {
+                rows: Vec::new(),
+                globals: Vec::new(),
+                dead: Vec::new(),
+            })
+            .collect();
+        let mut locs = vec![(usize::MAX, usize::MAX); slots.len()];
+        for (global, slot) in slots.iter().enumerate() {
+            let (shard_idx, values, live) = match slot {
+                SlotState::Live { shard, values } => (*shard as usize, values, true),
+                SlotState::Tombstone { shard, values } => (*shard as usize, values, false),
+                SlotState::Compacted => continue,
+            };
+            assert!(shard_idx < num_shards, "slot routed to a missing shard");
+            let build = &mut builds[shard_idx];
+            let local = build.globals.len();
+            locs[global] = (shard_idx, local);
+            build.globals.push(global);
+            build.rows.push(values.clone());
+            if !live {
+                build.dead.push(local);
+            }
+        }
+
+        let shards = builds
+            .into_iter()
+            .enumerate()
+            .map(|(shard_idx, build)| {
+                let engine = if build.rows.is_empty() {
+                    None
+                } else {
+                    let mut engine =
+                        QueryEngine::with_store(DatasetStore::from_raw(build.rows), config.clone());
+                    for local in build.dead {
+                        engine.delete_returning(local);
+                    }
+                    engine.restore_epoch(shard_epochs.get(shard_idx).copied().unwrap_or(0));
+                    Some(engine)
+                };
+                Shard {
+                    engine,
+                    globals: build.globals,
+                }
+            })
+            .collect();
+
+        Self {
+            shards,
+            locs,
+            dim,
+            config,
+            next_shard,
+            merged: Mutex::new(MergedCache::default()),
+        }
     }
 
     /// Number of live records (across all shards) dominating `values`,

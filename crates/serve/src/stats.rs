@@ -1,0 +1,169 @@
+//! Serving-side counters: per-variant rejection counts and the aggregate
+//! [`ServeStats`] every layer of the stack reports into.
+
+use crate::error::ServeError;
+use kspr_monitor::MonitorStats;
+
+/// Per-[`ServeError`]-variant rejection counters (see [`ServeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionStats {
+    /// Requests with `k == 0`.
+    pub invalid_k: u64,
+    /// Requests whose arity does not match the dataset.
+    pub arity_mismatch: u64,
+    /// Requests containing NaN / infinite values.
+    pub non_finite: u64,
+    /// Requests whose error budget is malformed or too fine to sample for.
+    pub invalid_budget: u64,
+    /// Requests for an algorithm the dataset (or the monitor) cannot serve.
+    pub unsupported_algorithm: u64,
+    /// Queries lost to an engine panic (the server kept serving).
+    pub query_failed: u64,
+    /// Updates lost to an engine panic or a failed WAL commit (the server
+    /// stopped).
+    pub update_failed: u64,
+    /// Queries admission control turned away: the pending queue was past
+    /// its hard depth limit (see [`crate::AdmissionOptions::hard_limit`]).
+    pub overloaded: u64,
+    /// Queries admission control turned away: the submitting client was
+    /// past its in-flight quota (see
+    /// [`crate::AdmissionOptions::client_quota`]).
+    pub quota_exceeded: u64,
+    /// Requests still pending when the server shut down, drained and
+    /// resolved with [`ServeError::Shutdown`] instead of left to observe a
+    /// dead channel.
+    pub shutdown: u64,
+    /// Requests that raced the shutdown (normally unreachable: the
+    /// dispatcher never *answers* with this variant, clients synthesize it
+    /// when the channel is gone).
+    pub server_closed: u64,
+}
+
+impl RejectionStats {
+    /// Total rejections across all variants.
+    pub fn total(&self) -> u64 {
+        self.invalid_k
+            + self.arity_mismatch
+            + self.non_finite
+            + self.invalid_budget
+            + self.unsupported_algorithm
+            + self.query_failed
+            + self.update_failed
+            + self.overloaded
+            + self.quota_exceeded
+            + self.shutdown
+            + self.server_closed
+    }
+
+    /// Counts one rejection under its variant.
+    pub(crate) fn count(&mut self, err: &ServeError) {
+        match err {
+            ServeError::InvalidK => self.invalid_k += 1,
+            ServeError::ArityMismatch { .. } => self.arity_mismatch += 1,
+            ServeError::NonFinite => self.non_finite += 1,
+            ServeError::InvalidBudget => self.invalid_budget += 1,
+            ServeError::UnsupportedAlgorithm => self.unsupported_algorithm += 1,
+            ServeError::QueryFailed => self.query_failed += 1,
+            ServeError::UpdateFailed => self.update_failed += 1,
+            ServeError::Overloaded => self.overloaded += 1,
+            ServeError::QuotaExceeded => self.quota_exceeded += 1,
+            ServeError::Shutdown => self.shutdown += 1,
+            ServeError::ServerClosed => self.server_closed += 1,
+        }
+    }
+}
+
+/// Serving-side counters, returned by [`crate::Server::shutdown`] and
+/// readable live through [`crate::ServeHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Queries answered successfully.
+    pub queries: u64,
+    /// Queries answered by the exact engine (always:
+    /// `exact_queries + approx_queries == queries`).
+    pub exact_queries: u64,
+    /// Queries answered by the approximate tier.
+    pub approx_queries: u64,
+    /// `Auto`-tier queries the cost estimate routed to the exact engine
+    /// (a subset of `exact_queries`).
+    pub auto_routed_exact: u64,
+    /// `Auto`-tier queries the cost estimate routed to sampling (a subset
+    /// of `approx_queries`).
+    pub auto_routed_approx: u64,
+    /// Tier-dispatched queries admission control downgraded from an
+    /// exact-capable tier to `Approximate` because the pending queue was
+    /// past the degradation watermark (a subset of `approx_queries`; see
+    /// [`crate::AdmissionOptions::degrade_watermark`]).
+    pub degraded_to_approx: u64,
+    /// Requests rejected with a [`ServeError`] (total; always equals
+    /// [`RejectionStats::total`] of `rejections`).
+    pub rejected: u64,
+    /// Rejections broken down by error variant.
+    pub rejections: RejectionStats,
+    /// `run_batch` invocations (every batch answers >= 1 query).
+    pub batches: u64,
+    /// Largest query batch executed at once.
+    pub largest_batch: usize,
+    /// Largest per-query intra-query worker grant the dispatcher made to an
+    /// exact batch.  The grant is [`kspr::KsprConfig::resolve_intra_workers`]
+    /// over the batch width — explicit `intra_query_threads` wins, `0`
+    /// divides the machine's cores across the batch — except for LP-CTA
+    /// batches, which are always granted 1 worker per query (the look-ahead
+    /// bound reports are expansion-order-sensitive, so LP-CTA expands its
+    /// cell tree sequentially; see `kspr::engine`).
+    pub largest_intra_grant: usize,
+    /// Exact batches answered with an intra-query worker grant above 1
+    /// (a subset of `batches`).
+    pub parallel_batches: u64,
+    /// Updates (inserts + deletes) applied — and, on a durable server,
+    /// committed to the WAL before their tickets were acknowledged.
+    pub updates: u64,
+    /// Update-maintenance batches the dispatcher drained (each covers >= 1
+    /// applied update; bounded by
+    /// [`kspr::KsprConfig::monitor_batch_window`]).
+    pub update_batches: u64,
+    /// Largest number of updates drained into one maintenance batch.
+    pub largest_update_batch: usize,
+    /// WAL commits (group fsyncs) issued — at most one per update batch,
+    /// plus one per subscribe/unsubscribe registry change; zero on a
+    /// non-durable server.
+    pub wal_commits: u64,
+    /// Epoch snapshots installed while serving (after compactions and at
+    /// clean shutdown; zero on a non-durable server).
+    pub snapshots: u64,
+    /// Tombstone compactions the dispatcher triggered (dead record slots
+    /// exceeded half the id space after an update batch; see
+    /// [`crate::ShardedEngine::compact`]).
+    pub compactions: u64,
+    /// Standing queries registered over the server's lifetime.
+    pub subscriptions: u64,
+    /// [`kspr_monitor::ResultDelta`] notifications delivered to subscribers.
+    pub notifications: u64,
+    /// Notifications merged into an already-pending delta because a slow
+    /// subscriber let its queue reach [`crate::MAX_PENDING_DELTAS`] (a
+    /// subset of `notifications`).
+    pub deltas_coalesced: u64,
+    /// Approximate standing queries registered over the server's lifetime.
+    pub approx_subscriptions: u64,
+    /// [`crate::ApproxDelta`] notifications (re-drawn estimates) delivered.
+    pub approx_notifications: u64,
+    /// (update, approximate standing query) pairs whose estimate stayed
+    /// valid because the update provably preserved the true impact (the
+    /// witness classifier of `kspr-monitor`).
+    pub approx_watch_unaffected: u64,
+    /// Standing-query maintenance passes that panicked after a committed
+    /// update.  Each one invalidated the registry (subscribers must
+    /// re-subscribe); the update itself succeeded, so these are *not*
+    /// rejections.
+    pub maintenance_failures: u64,
+    /// Standing-query classification counters (see `kspr-monitor`).
+    pub monitor: MonitorStats,
+}
+
+impl ServeStats {
+    /// Counts one rejection (total + per-variant).
+    pub(crate) fn reject(&mut self, err: &ServeError) {
+        self.rejected += 1;
+        self.rejections.count(err);
+    }
+}

@@ -32,7 +32,7 @@ pub use columnar::{ColumnarBlock, DomClass};
 pub use dominance::{dominates, DominanceGraph};
 pub use io::{IoCostModel, IoStats};
 pub use mbr::Mbr;
-pub use record::{Record, RecordId};
+pub use record::{decode_row, encode_row, Record, RecordId};
 pub use rtree::{AggregateRTree, Node, NodeEntries};
 pub use skyline::{
     bbs_skyline, k_skyband, k_skyband_live, k_skyband_restricted, naive_skyline, skyline_excluding,

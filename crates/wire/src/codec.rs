@@ -1,0 +1,203 @@
+//! Frame I/O and the field-level encoding primitives.
+//!
+//! All integers are little-endian.  Sequences are `u32`-counted.  Floats
+//! travel as their IEEE-754 bit patterns, so values round-trip bit-exactly
+//! (including negative zero; NaN payloads are preserved too, though the
+//! serving stack rejects non-finite coordinates before they reach a codec).
+
+use std::io::{Read, Write};
+
+/// Hard upper bound on one frame, bytes.  Large enough for a batch of
+/// high-dimensional rows, small enough that a corrupt or hostile length
+/// prefix cannot trigger a multi-gigabyte allocation.
+pub const MAX_FRAME: usize = 1 << 24;
+
+/// Why a frame exchange failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed (including EOF mid-frame).
+    Io(std::io::Error),
+    /// The peer announced a frame larger than [`MAX_FRAME`].
+    Oversized(usize),
+    /// The payload decoded to no valid message.
+    Malformed,
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(err) => write!(f, "wire stream failed: {err}"),
+            FrameError::Oversized(len) => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME}-byte cap")
+            }
+            FrameError::Malformed => write!(f, "malformed wire payload"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(err: std::io::Error) -> Self {
+        FrameError::Io(err)
+    }
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized(payload.len()));
+    }
+    stream.write_all(&(payload.len() as u32).to_le_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()?;
+    Ok(())
+}
+
+/// Reads one length-prefixed frame.
+pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, FrameError> {
+    let mut len = [0u8; 4];
+    stream.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(FrameError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---- field primitives (crate-internal; message.rs builds on these) ----
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_row(out: &mut Vec<u8>, row: &[f64]) {
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for &v in row {
+        put_f64(out, v);
+    }
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn get_u8(bytes: &[u8], at: &mut usize) -> Option<u8> {
+    let v = *bytes.get(*at)?;
+    *at += 1;
+    Some(v)
+}
+
+pub(crate) fn get_u32(bytes: &[u8], at: &mut usize) -> Option<u32> {
+    let end = at.checked_add(4)?;
+    let v = u32::from_le_bytes(bytes.get(*at..end)?.try_into().ok()?);
+    *at = end;
+    Some(v)
+}
+
+pub(crate) fn get_u64(bytes: &[u8], at: &mut usize) -> Option<u64> {
+    let end = at.checked_add(8)?;
+    let v = u64::from_le_bytes(bytes.get(*at..end)?.try_into().ok()?);
+    *at = end;
+    Some(v)
+}
+
+pub(crate) fn get_f64(bytes: &[u8], at: &mut usize) -> Option<f64> {
+    Some(f64::from_bits(get_u64(bytes, at)?))
+}
+
+pub(crate) fn get_row(bytes: &[u8], at: &mut usize) -> Option<Vec<f64>> {
+    let n = get_u32(bytes, at)? as usize;
+    // A row longer than the remaining payload is corrupt, not short.
+    if n > bytes.len().saturating_sub(*at) / 8 {
+        return None;
+    }
+    let mut row = Vec::with_capacity(n);
+    for _ in 0..n {
+        row.push(get_f64(bytes, at)?);
+    }
+    Some(row)
+}
+
+pub(crate) fn get_str(bytes: &[u8], at: &mut usize) -> Option<String> {
+    let n = get_u32(bytes, at)? as usize;
+    let end = at.checked_add(n)?;
+    let s = std::str::from_utf8(bytes.get(*at..end)?).ok()?.to_owned();
+    *at = end;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"hello");
+        assert_eq!(read_frame(&mut cursor).unwrap(), b"");
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Io(_)) // clean EOF between frames
+        ));
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(
+            read_frame(&mut cursor),
+            Err(FrameError::Oversized(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_payloads_fail_as_io() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&8u32.to_le_bytes());
+        buf.extend_from_slice(b"abc"); // 3 of the promised 8 bytes
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn rows_round_trip_bit_exactly() {
+        let row = vec![0.1, -0.0, f64::MIN_POSITIVE, 1e300];
+        let mut out = Vec::new();
+        put_row(&mut out, &row);
+        let mut at = 0;
+        let back = get_row(&out, &mut at).unwrap();
+        assert_eq!(at, out.len());
+        assert_eq!(row.len(), back.len());
+        for (a, b) in row.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn implausible_row_counts_are_rejected() {
+        let mut out = Vec::new();
+        out.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut at = 0;
+        assert!(get_row(&out, &mut at).is_none());
+    }
+}
