@@ -18,9 +18,12 @@
 //!   intra-query work-stealing CellTree expansion — single-query latency and
 //!   batch throughput vs worker count, also emitted as machine-readable
 //!   `BENCH_perf.json`), `recovery` (beyond-the-paper: WAL commit overhead
-//!   and crash-recovery replay time of the durable serving store), or `all`.
-//!   The `serve`, `monitor`, `parallel`, and `recovery` experiments each
-//!   update their own section of `BENCH_perf.json`.
+//!   and crash-recovery replay time of the durable serving store),
+//!   `telemetry` (beyond-the-paper: per-stage latency percentiles of the
+//!   serving pipeline, measured through the `kspr-telemetry` stage traces),
+//!   or `all`.  The `serve`, `monitor`, `parallel`, `recovery`, and
+//!   `telemetry` experiments each update their own section of
+//!   `BENCH_perf.json`.
 //! * `[scale]` is `quick` (default) or `full`; the parameter values for each
 //!   scale are documented in `EXPERIMENTS.md`.
 //! * `parallel` accepts an optional third argument: a comma-separated
@@ -76,11 +79,33 @@ fn run_experiment(which: &str, scale: Scale, extra: Option<&str>) {
         "approx" => approx(scale),
         "parallel" => parallel(scale, extra),
         "recovery" => recovery(scale),
+        "telemetry" => telemetry(scale),
         "all" => {
             for e in [
-                "fig9", "fig10a", "fig10b", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
-                "fig17", "fig18", "fig19", "fig20", "fig22", "fig23", "fig24", "batch", "update",
-                "serve", "monitor", "approx", "parallel", "recovery",
+                "fig9",
+                "fig10a",
+                "fig10b",
+                "fig11",
+                "fig12",
+                "fig13",
+                "fig14",
+                "fig15",
+                "fig16",
+                "fig17",
+                "fig18",
+                "fig19",
+                "fig20",
+                "fig22",
+                "fig23",
+                "fig24",
+                "batch",
+                "update",
+                "serve",
+                "monitor",
+                "approx",
+                "parallel",
+                "recovery",
+                "telemetry",
             ] {
                 run_experiment(e, scale, None);
                 println!();
@@ -1273,6 +1298,153 @@ fn write_bench_perf_recovery(
     write_bench_perf_section("recovery", &out)
 }
 
+/// Beyond the paper: the observability pipeline itself.  Drives a mixed
+/// workload (exact / approximate / auto queries, updates, a standing query)
+/// through a **durable** server and reads back the per-stage latency
+/// histograms every request was traced through — queue wait, admission,
+/// batch assembly, engine run, WAL commit, acknowledgement, and
+/// standing-query maintenance — then emits their percentiles as the
+/// `"telemetry"` section of `BENCH_perf.json`.
+fn telemetry(scale: Scale) {
+    use kspr::{ErrorBudget, QueryTier};
+    use kspr_serve::{ServeOptions, Server, ShardedEngine, Stage};
+    use std::time::Duration;
+    header(
+        "Serving telemetry: per-stage latency percentiles over a mixed workload",
+        "beyond the paper — kspr-telemetry stage tracing (see EXPERIMENTS.md)",
+    );
+    let p = params(scale);
+    let (n, queries, updates) = match scale {
+        Scale::Quick => (1_500, 240usize, 120usize),
+        Scale::Full => (20_000, 2_400, 1_200),
+    };
+    let w = Workload::synthetic(Distribution::Independent, n, p.d_default, p.k_default, 191);
+    let config = KsprConfig::default().with_shards(4);
+    let dir = std::env::temp_dir().join(format!("kspr-telemetry-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let options = ServeOptions {
+        slow_query_threshold: Some(Duration::from_millis(1)),
+        ..ServeOptions::default()
+    };
+    let server = Server::start_durable(ShardedEngine::new(w.raw.clone(), config), options, &dir)
+        .expect("open durable server");
+    let handle = server.handle();
+    let sub = handle
+        .subscribe(w.raw[0].clone(), p.k_default)
+        .wait()
+        .expect("standing query");
+    let budget = ErrorBudget::new(0.1, 0.9);
+
+    // The pool only holds "competitive" focal records, so it may cap the
+    // request count below the nominal target; report what was submitted.
+    let focals = w.focals(queries);
+    let queries = focals.len();
+    let start = Instant::now();
+    let mut update_round = 0usize;
+    for (i, focal) in focals.into_iter().enumerate() {
+        match i % 3 {
+            0 => {
+                handle.submit(focal, p.k_default).wait().expect("exact");
+            }
+            1 => {
+                handle
+                    .submit_approx(focal, p.k_default, budget)
+                    .wait()
+                    .expect("approx");
+            }
+            _ => {
+                handle
+                    .submit_tiered(
+                        Algorithm::LpCta,
+                        focal,
+                        p.k_default,
+                        QueryTier::Auto {
+                            budget,
+                            cost_threshold: 1e6,
+                        },
+                    )
+                    .wait()
+                    .expect("auto");
+            }
+        }
+        // Interleave updates so the WAL-commit and maintenance stages see
+        // the same serving conditions as the queries around them.
+        if update_round < updates && i % 2 == 0 {
+            let id = handle
+                .insert(vec![0.4 + 0.0001 * (i % 100) as f64; p.d_default])
+                .wait()
+                .expect("insert");
+            update_round += 1;
+            if update_round < updates && i % 4 == 0 {
+                handle.delete(id).wait().expect("delete");
+                update_round += 1;
+            }
+        }
+    }
+    // Serialize behind the final maintenance pass before reading.
+    handle.subscriptions().wait().expect("barrier");
+    let wall_secs = start.elapsed().as_secs_f64();
+    let snap = handle.metrics();
+    let slow = handle.slow_queries();
+    drop(sub);
+
+    println!(
+        "{queries} queries + {update_round} updates over n = {n} in {wall_secs:.3}s \
+         ({} retained in the slow-query log at 1ms)",
+        slow.len()
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "stage", "count", "p50 (us)", "p95 (us)", "p99 (us)"
+    );
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    body.push_str(&format!("    \"n\": {n},\n    \"d\": {},\n", p.d_default));
+    body.push_str(&format!(
+        "    \"queries\": {queries},\n    \"updates\": {update_round},\n"
+    ));
+    body.push_str(&format!("    \"wall_secs\": {wall_secs:.6},\n"));
+    body.push_str(&format!("    \"slow_queries_retained\": {},\n", slow.len()));
+    body.push_str("    \"stages\": {\n");
+    for (i, stage) in Stage::ALL.iter().enumerate() {
+        let h = snap
+            .histogram(&format!("kspr_stage_{}_ns", stage.name()))
+            .expect("stage histogram");
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+            stage.name(),
+            h.count(),
+            h.p50() as f64 / 1e3,
+            h.quantile(0.95) as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+        );
+        body.push_str(&format!(
+            "      \"{}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+            stage.name(),
+            h.count(),
+            h.p50(),
+            h.quantile(0.95),
+            h.p99(),
+            h.max(),
+            if i + 1 == Stage::ALL.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("    }\n");
+    body.push_str("  }");
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "expected shape: engine time dominates the exact queries; queue wait grows with \
+         interleaved updates; WAL commits are fsync-bound"
+    );
+    match write_bench_perf_section("telemetry", &body) {
+        Ok(path) => eprintln!("[telemetry] wrote {path}"),
+        Err(err) => eprintln!("[telemetry] could not write BENCH_perf.json: {err}"),
+    }
+}
+
 /// Prints the live/tombstone slot accounting of a long-running engine.
 /// Deleted slots are tombstoned for id stability; the serving dispatcher
 /// compacts the store (`ShardedEngine::compact` — shards rewritten down to
@@ -1802,7 +1974,7 @@ fn write_bench_perf_monitor(
 /// compose regardless of order.  `body` is the section's rendered JSON
 /// object (starting at `{`).
 fn write_bench_perf_section(section: &str, body: &str) -> std::io::Result<String> {
-    const SECTIONS: [&str; 4] = ["monitor", "parallel", "recovery", "serve"];
+    const SECTIONS: [&str; 5] = ["monitor", "parallel", "recovery", "serve", "telemetry"];
     let path = "BENCH_perf.json";
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut out = String::from("{\n");

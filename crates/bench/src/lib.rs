@@ -966,6 +966,8 @@ pub fn measure_parallel_scaling(
                     let mut b = want.stats.clone();
                     a.parallel_inserts = 0;
                     b.parallel_inserts = 0;
+                    a.wall_time_ns = 0;
+                    b.wall_time_ns = 0;
                     assert_eq!(
                         a, b,
                         "worker count {workers} changed the stats-visible work"

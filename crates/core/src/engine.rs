@@ -727,7 +727,10 @@ impl QueryEngine {
         focal: &[f64],
         k: usize,
     ) -> KsprResult {
-        self.run_policy(policy, focal, k, None, 1)
+        let clock = std::time::Instant::now();
+        let mut result = self.run_policy(policy, focal, k, None, 1);
+        result.stats.wall_time_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        result
     }
 
     /// Runs the query for every focal record in parallel, sharing the
@@ -766,7 +769,13 @@ impl QueryEngine {
         let concurrent = focals.len().max(1);
         focals
             .par_iter()
-            .map(|focal| self.run_policy(policy, focal, k, shared.as_deref(), concurrent))
+            .map(|focal| {
+                let clock = std::time::Instant::now();
+                let mut result = self.run_policy(policy, focal, k, shared.as_deref(), concurrent);
+                result.stats.wall_time_ns =
+                    u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                result
+            })
             .collect()
     }
 
@@ -778,7 +787,8 @@ impl QueryEngine {
         shared: Option<&SharedPrep>,
         concurrent: usize,
     ) -> KsprResult {
-        match policy_for(algorithm) {
+        let clock = std::time::Instant::now();
+        let mut result = match policy_for(algorithm) {
             Some(policy) => self.run_policy(policy.as_ref(), focal, k, shared, concurrent),
             // The sweep-based baselines have self-contained drivers.
             None => match algorithm {
@@ -786,7 +796,9 @@ impl QueryEngine {
                 Algorithm::IMaxRank => run_imaxrank(self.store.dataset(), focal, k, &self.config),
                 _ => unreachable!("policy_for covers all CellTree algorithms"),
             },
-        }
+        };
+        result.stats.wall_time_ns = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        result
     }
 
     /// The shared CellTree traversal loop (steps 2–5 of the module docs).
@@ -1422,10 +1434,11 @@ mod tests {
                     "{alg:?} k={k}: the parallel path never engaged"
                 );
                 assert_eq!(s.num_regions(), p.num_regions(), "{alg:?} k={k}");
-                // Everything except the scheduling-metadata counter is
-                // bit-identical, including the LP work performed.
+                // Everything except the scheduling- and timing-metadata
+                // counters is bit-identical, including the LP work performed.
                 let mut p_stats = p.stats.clone();
                 p_stats.parallel_inserts = s.stats.parallel_inserts;
+                p_stats.wall_time_ns = s.stats.wall_time_ns;
                 assert_eq!(s.stats, p_stats, "{alg:?} k={k}");
                 for w in naive::sample_weights(&s.space, 60, 11) {
                     assert_eq!(s.contains(&w), p.contains(&w), "{alg:?} k={k} at {w:?}");

@@ -53,6 +53,15 @@ pub struct QueryStats {
     /// this at the warm-up value — the counter exists so tests can assert the
     /// hot path performs zero allocations.
     pub halfspace_scratch_grows: usize,
+    /// Wall-clock time of the engine run in nanoseconds, stamped by
+    /// [`QueryEngine::run`] and its batch variants.
+    ///
+    /// Timing metadata, not work: like `parallel_inserts` it is
+    /// nondeterministic, so consistency tests must (and do) exclude it when
+    /// comparing statistics blocks.
+    ///
+    /// [`QueryEngine::run`]: crate::QueryEngine::run
+    pub wall_time_ns: u64,
 }
 
 impl QueryStats {
@@ -90,6 +99,7 @@ impl QueryStats {
         self.result_regions += other.result_regions;
         self.parallel_inserts += other.parallel_inserts;
         self.halfspace_scratch_grows += other.halfspace_scratch_grows;
+        self.wall_time_ns += other.wall_time_ns;
     }
 }
 

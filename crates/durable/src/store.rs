@@ -10,11 +10,16 @@ use crate::snapshot::SnapshotState;
 use crate::wal::{read_wal, WalRecord, WalWriter};
 use crate::DurableError;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A durable state directory: one snapshot plus the WAL tail since it.
 #[derive(Debug, Clone)]
 pub struct DurableStore {
     dir: PathBuf,
+    /// Snapshot installs through this store (shared across clones), the
+    /// `snapshot_epoch` gauge of the serving layer's telemetry.
+    epoch: Arc<AtomicU64>,
 }
 
 /// What [`DurableStore::load`] found on disk.
@@ -34,7 +39,16 @@ impl DurableStore {
     pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(Self { dir })
+        Ok(Self {
+            dir,
+            epoch: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// Number of snapshots installed through this store (and its clones)
+    /// since it was opened.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
     }
 
     /// The directory this store manages.
@@ -94,6 +108,7 @@ impl DurableStore {
         if wal.exists() {
             std::fs::File::create(&wal)?.sync_data()?;
         }
+        self.epoch.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -179,5 +194,16 @@ mod tests {
         let recovered = store.load().unwrap();
         assert_eq!(recovered.snapshot, Some(tiny_snapshot()));
         assert!(recovered.wal.is_empty(), "WAL must be truncated");
+    }
+
+    #[test]
+    fn snapshot_epoch_counts_installs_across_clones() {
+        let store = temp_store("epoch");
+        assert_eq!(store.snapshot_epoch(), 0);
+        store.install_snapshot(&tiny_snapshot()).unwrap();
+        let clone = store.clone();
+        clone.install_snapshot(&tiny_snapshot()).unwrap();
+        assert_eq!(store.snapshot_epoch(), 2, "clones share the counter");
+        assert_eq!(clone.snapshot_epoch(), 2);
     }
 }

@@ -182,7 +182,8 @@ impl WalRecord {
 ///
 /// `append` only stages a record in memory; `commit` makes everything staged
 /// durable in one write (+ fsync unless disabled).  The counters let serving
-/// stats report the batching ratio.
+/// stats report the batching ratio, and the byte/latency counters feed the
+/// serving layer's `wal_bytes` gauge and WAL-commit latency histogram.
 pub struct WalWriter {
     file: File,
     staged: Vec<u8>,
@@ -191,6 +192,9 @@ pub struct WalWriter {
     records: u64,
     commits: u64,
     syncs: u64,
+    bytes: u64,
+    commit_nanos: u64,
+    last_commit_nanos: u64,
 }
 
 impl WalWriter {
@@ -199,6 +203,9 @@ impl WalWriter {
     /// speed (tests, benchmarks); production serving keeps it on.
     pub fn open(path: &Path, sync_on_commit: bool) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
+        // Byte accounting starts from the on-disk size so `bytes()` reports
+        // the WAL's actual growth, not just this writer's appends.
+        let bytes = file.metadata()?.len();
         Ok(Self {
             file,
             staged: Vec::new(),
@@ -207,6 +214,9 @@ impl WalWriter {
             records: 0,
             commits: 0,
             syncs: 0,
+            bytes,
+            commit_nanos: 0,
+            last_commit_nanos: 0,
         })
     }
 
@@ -229,12 +239,16 @@ impl WalWriter {
         if self.staged.is_empty() {
             return Ok(());
         }
+        let clock = std::time::Instant::now();
         self.file.write_all(&self.staged)?;
         self.file.flush()?;
         if self.sync_on_commit {
             self.file.sync_data()?;
             self.syncs += 1;
         }
+        self.last_commit_nanos = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.commit_nanos = self.commit_nanos.saturating_add(self.last_commit_nanos);
+        self.bytes += self.staged.len() as u64;
         self.records += self.staged_records;
         self.commits += 1;
         self.staged.clear();
@@ -255,6 +269,24 @@ impl WalWriter {
     /// fsyncs issued (== commits when `sync_on_commit`).
     pub fn syncs(&self) -> u64 {
         self.syncs
+    }
+
+    /// Committed size of the WAL file in bytes: its size when this writer
+    /// opened it plus every byte committed since.  Staged-but-uncommitted
+    /// records are not counted.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Total wall-clock nanoseconds spent inside [`WalWriter::commit`]'s
+    /// write + flush + fsync sequence.
+    pub fn commit_nanos(&self) -> u64 {
+        self.commit_nanos
+    }
+
+    /// Wall-clock nanoseconds of the most recent non-empty commit.
+    pub fn last_commit_nanos(&self) -> u64 {
+        self.last_commit_nanos
     }
 }
 
@@ -417,6 +449,39 @@ mod tests {
         let (read, clean) = read_wal(&path).unwrap();
         assert!(clean);
         assert_eq!(read, records);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn byte_and_latency_counters_track_commits() {
+        let dir = std::env::temp_dir().join(format!("kspr-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("counters.wal");
+        let _ = std::fs::remove_file(&path);
+
+        let mut writer = WalWriter::open(&path, true).unwrap();
+        assert_eq!(writer.bytes(), 0);
+        writer.append(&WalRecord::Delete { id: 1 });
+        assert_eq!(writer.bytes(), 0, "staging does not count as growth");
+        writer.commit().unwrap();
+        let after_first = writer.bytes();
+        assert_eq!(after_first, std::fs::metadata(&path).unwrap().len());
+        assert!(writer.last_commit_nanos() > 0);
+        assert!(writer.commit_nanos() >= writer.last_commit_nanos());
+
+        // An empty commit changes nothing.
+        let nanos = writer.commit_nanos();
+        writer.commit().unwrap();
+        assert_eq!(writer.bytes(), after_first);
+        assert_eq!(writer.commit_nanos(), nanos);
+
+        // A reopened writer resumes byte accounting from the on-disk size.
+        drop(writer);
+        let mut writer = WalWriter::open(&path, true).unwrap();
+        assert_eq!(writer.bytes(), after_first);
+        writer.append(&WalRecord::Delete { id: 2 });
+        writer.commit().unwrap();
+        assert_eq!(writer.bytes(), std::fs::metadata(&path).unwrap().len());
         std::fs::remove_file(&path).unwrap();
     }
 

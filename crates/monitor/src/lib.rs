@@ -407,6 +407,10 @@ pub struct Monitor {
     queries: BTreeMap<QueryId, StandingQuery>,
     next_id: QueryId,
     stats: MonitorStats,
+    /// Wall-clock nanoseconds spent inside maintenance passes.  Kept out of
+    /// [`MonitorStats`] so the counters stay deterministic (differential
+    /// tests compare them between indexed and full-scan registries).
+    maintenance_nanos: u64,
     /// `Some`: the spatial registry index (the default).  `None`: every
     /// update visits every query — kept for differential testing.
     index: Option<RegistryIndex>,
@@ -425,6 +429,7 @@ impl Monitor {
             queries: BTreeMap::new(),
             next_id: 0,
             stats: MonitorStats::default(),
+            maintenance_nanos: 0,
             index: Some(RegistryIndex::default()),
         }
     }
@@ -457,6 +462,14 @@ impl Monitor {
     /// Classification counters.
     pub fn stats(&self) -> MonitorStats {
         self.stats
+    }
+
+    /// Total wall-clock nanoseconds spent in maintenance passes
+    /// ([`Monitor::apply_insert`] / [`Monitor::apply_delete`] /
+    /// [`Monitor::apply_batch`]).  Telemetry, not a classification counter:
+    /// nondeterministic, so deliberately not part of [`MonitorStats`].
+    pub fn maintenance_nanos(&self) -> u64 {
+        self.maintenance_nanos
     }
 
     /// The standing query with the given id, if registered.
@@ -663,6 +676,19 @@ impl Monitor {
         if updates.is_empty() || self.queries.is_empty() {
             return Vec::new();
         }
+        let clock = std::time::Instant::now();
+        let deltas = self.apply_updates_timed(engine, updates);
+        self.maintenance_nanos = self
+            .maintenance_nanos
+            .saturating_add(u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        deltas
+    }
+
+    fn apply_updates_timed<E: MonitorEngine>(
+        &mut self,
+        engine: &E,
+        updates: &[(UpdateKind, Vec<f64>)],
+    ) -> Vec<ResultDelta> {
         // The dominator-count probe depends only on the delta record and the
         // largest registered k, so it is computed at most once per update
         // and shared across every query in the batch.

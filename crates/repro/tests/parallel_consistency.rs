@@ -37,6 +37,8 @@ fn assert_bit_identical(got: &KsprResult, want: &KsprResult, ctx: &str) {
     let mut b = want.stats.clone();
     a.parallel_inserts = 0;
     b.parallel_inserts = 0;
+    a.wall_time_ns = 0;
+    b.wall_time_ns = 0;
     assert_eq!(a, b, "stats-visible work: {ctx}");
     for w in naive::sample_weights(&got.space, 24, 0xB17) {
         assert_eq!(got.contains(&w), want.contains(&w), "{ctx} at {w:?}");

@@ -10,10 +10,11 @@
 
 use crate::admission::{AdmissionOptions, Stamp, Verdict};
 use crate::error::{ingest_error, ServeError};
-use crate::stats::ServeStats;
+use crate::telemetry::{tier_index, LiveStats, ServeMetrics, SlowQuery, TIER_NAMES};
 use crate::ShardedEngine;
 use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryTier};
 use kspr_approx::TieredResult;
+use kspr_telemetry::{RequestTrace, Stage};
 use std::sync::mpsc;
 
 /// Where a query's answer goes: the three client-facing ticket flavors.
@@ -66,6 +67,8 @@ pub(crate) struct QueryJob {
     pub(crate) tier: QueryTier,
     pub(crate) stamp: Stamp,
     pub(crate) sink: Sink,
+    /// Stage clock started at enqueue (see `kspr_telemetry`).
+    pub(crate) trace: RequestTrace,
 }
 
 /// Validates a query against the engine's arity rules (the focal record must
@@ -127,18 +130,32 @@ fn approx_key(k: usize, budget: &ErrorBudget) -> ApproxKey {
     (k, budget.epsilon.to_bits(), budget.confidence.to_bits())
 }
 
+/// The stages every answered query passes through, in pipeline order
+/// (queries never touch the WAL, and notification work belongs to updates).
+const QUERY_STAGES: [Stage; 5] = [
+    Stage::Queue,
+    Stage::Admission,
+    Stage::Batch,
+    Stage::Engine,
+    Stage::Ack,
+];
+
 /// Executes a batch of dequeued queries: applies each job's admission
 /// verdict (reject / degrade / accept — see the `admission` module),
 /// rejects invalid jobs, resolves each survivor's tier (`Auto` routes by
-/// the dispatcher's cost estimate, counted in [`ServeStats`]), then answers
-/// **exact jobs** grouped by `(algorithm, k)` through one `run_batch` call
-/// each and **approximate jobs** — batched separately — grouped by
-/// `(k, budget)` through one shared sampling sweep each.
+/// the dispatcher's cost estimate, counted in [`crate::ServeStats`]), then
+/// answers **exact jobs** grouped by `(algorithm, k)` through one
+/// `run_batch` call each and **approximate jobs** — batched separately —
+/// grouped by `(k, budget)` through one shared sampling sweep each.
+/// Every answered query's stage timings are recorded into `metrics`
+/// *before* its answer is sent, so a client that has its answer can always
+/// see its own query in the histograms.
 pub(crate) fn run_jobs(
     engine: &ShardedEngine,
     jobs: Vec<QueryJob>,
     admission: &AdmissionOptions,
-    stats: &mut ServeStats,
+    live: &LiveStats,
+    metrics: &ServeMetrics,
     approx_seed: &mut u64,
 ) {
     /// One validated, tier-resolved job.  `auto` marks jobs the `Auto` tier
@@ -149,11 +166,21 @@ pub(crate) fn run_jobs(
         focal: Vec<f64>,
         sink: Sink,
         auto: bool,
+        trace: RequestTrace,
+        /// The tier class the query was *submitted* with (degradation does
+        /// not move a query between latency buckets).
+        tier: &'static str,
+        algorithm: Algorithm,
     }
 
     let mut exact_groups: Vec<((Algorithm, usize), Vec<Routed>)> = Vec::new();
     let mut approx_groups: Vec<((ApproxKey, ErrorBudget), Vec<Routed>)> = Vec::new();
     for mut job in jobs {
+        // The job just left the dispatcher's queue: everything since
+        // enqueue was queueing.  The submitted tier class is captured
+        // before admission may degrade it.
+        job.trace.stamp(Stage::Queue);
+        let tier = TIER_NAMES[tier_index(&job.tier)];
         // Admission first: an overloaded server turns queries away before
         // spending anything on them.  The verdict reads the queue state
         // stamped at enqueue, so it is independent of drain timing.
@@ -168,17 +195,17 @@ pub(crate) fn run_jobs(
                     job.tier = QueryTier::Approximate {
                         budget: admission.degrade_budget,
                     };
-                    stats.degraded_to_approx += 1;
+                    live.degraded_to_approx.inc();
                 }
             }
             Verdict::Reject(err) => {
-                stats.reject(&err);
+                live.reject(&err);
                 job.sink.reject(err);
                 continue;
             }
         }
         if let Err(err) = validate_query(engine, &job) {
-            stats.reject(&err);
+            live.reject(&err);
             job.sink.reject(err);
             continue;
         }
@@ -193,15 +220,19 @@ pub(crate) fn run_jobs(
         })) {
             Ok(budget) => budget,
             Err(_) => {
-                stats.reject(&ServeError::QueryFailed);
+                live.reject(&ServeError::QueryFailed);
                 job.sink.reject(ServeError::QueryFailed);
                 continue;
             }
         };
+        job.trace.stamp(Stage::Admission);
         let routed = Routed {
             focal: job.focal,
             sink: job.sink,
             auto,
+            trace: job.trace,
+            tier,
+            algorithm: job.algorithm,
         };
         match budget {
             None => {
@@ -223,8 +254,15 @@ pub(crate) fn run_jobs(
 
     for ((algorithm, k), group) in exact_groups {
         let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
-        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
-            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
+        // Between the Admission and Batch stamps the job waited for its
+        // group to assemble (and for earlier groups to run).
+        let mut focals = Vec::with_capacity(group.len());
+        let mut rest = Vec::with_capacity(group.len());
+        for mut job in group {
+            job.trace.stamp(Stage::Batch);
+            focals.push(job.focal);
+            rest.push((job.sink, job.trace, job.tier));
+        }
         // The dispatcher grants each query in the batch its intra-query
         // worker share: the engines resolve the same grant internally
         // (`KsprConfig::resolve_intra_workers` over the batch width), this
@@ -245,22 +283,38 @@ pub(crate) fn run_jobs(
         }));
         match outcome {
             Ok(results) => {
-                stats.batches += 1;
-                stats.queries += focals.len() as u64;
-                stats.exact_queries += focals.len() as u64;
-                stats.auto_routed_exact += auto_routed;
-                stats.largest_batch = stats.largest_batch.max(focals.len());
-                stats.largest_intra_grant = stats.largest_intra_grant.max(intra_grant);
-                if intra_grant > 1 {
-                    stats.parallel_batches += 1;
+                // One Engine stamp per job as the group's run returns, so
+                // the per-job ack work below lands in the Ack stage.
+                for (_, trace, _) in &mut rest {
+                    trace.stamp(Stage::Engine);
                 }
-                for (sink, result) in sinks.into_iter().zip(results) {
+                live.batches.inc();
+                live.queries.add(focals.len() as u64);
+                live.exact_queries.add(focals.len() as u64);
+                live.auto_routed_exact.add(auto_routed);
+                live.largest_batch.record(focals.len());
+                live.largest_intra_grant.record(intra_grant);
+                if intra_grant > 1 {
+                    live.parallel_batches.inc();
+                }
+                for ((sink, mut trace, tier), result) in rest.into_iter().zip(results) {
+                    trace.stamp(Stage::Ack);
+                    let stages = trace.timings();
+                    metrics.record_stages(&stages, &QUERY_STAGES);
+                    metrics.record_query(SlowQuery {
+                        algorithm,
+                        k,
+                        tier,
+                        total_ns: trace.total_nanos(),
+                        stages,
+                        stats: Some(result.stats.clone()),
+                    });
                     sink.send_exact(result);
                 }
             }
             Err(_) => {
-                for sink in sinks {
-                    stats.reject(&ServeError::QueryFailed);
+                for (sink, _, _) in rest {
+                    live.reject(&ServeError::QueryFailed);
                     sink.reject(ServeError::QueryFailed);
                 }
             }
@@ -269,8 +323,13 @@ pub(crate) fn run_jobs(
 
     for (((k, _, _), budget), group) in approx_groups {
         let auto_routed = group.iter().filter(|j| j.auto).count() as u64;
-        let (focals, sinks): (Vec<Vec<f64>>, Vec<Sink>) =
-            group.into_iter().map(|j| (j.focal, j.sink)).unzip();
+        let mut focals = Vec::with_capacity(group.len());
+        let mut rest = Vec::with_capacity(group.len());
+        for mut job in group {
+            job.trace.stamp(Stage::Batch);
+            focals.push(job.focal);
+            rest.push((job.sink, job.trace, job.tier, job.algorithm));
+        }
         let seed = *approx_seed;
         *approx_seed = approx_seed.wrapping_add(1);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
@@ -278,18 +337,36 @@ pub(crate) fn run_jobs(
         }));
         match outcome {
             Ok(estimates) => {
-                stats.batches += 1;
-                stats.queries += focals.len() as u64;
-                stats.approx_queries += focals.len() as u64;
-                stats.auto_routed_approx += auto_routed;
-                stats.largest_batch = stats.largest_batch.max(focals.len());
-                for (sink, estimate) in sinks.into_iter().zip(estimates) {
+                for (_, trace, _, _) in &mut rest {
+                    trace.stamp(Stage::Engine);
+                }
+                live.batches.inc();
+                live.queries.add(focals.len() as u64);
+                live.approx_queries.add(focals.len() as u64);
+                live.auto_routed_approx.add(auto_routed);
+                live.largest_batch.record(focals.len());
+                for ((sink, mut trace, tier, algorithm), estimate) in
+                    rest.into_iter().zip(estimates)
+                {
+                    trace.stamp(Stage::Ack);
+                    let stages = trace.timings();
+                    metrics.record_stages(&stages, &QUERY_STAGES);
+                    metrics.record_query(SlowQuery {
+                        algorithm,
+                        k,
+                        tier,
+                        total_ns: trace.total_nanos(),
+                        stages,
+                        // The sampler reports no QueryStats: the estimate
+                        // *is* its whole answer.
+                        stats: None,
+                    });
                     sink.send_approx(estimate);
                 }
             }
             Err(_) => {
-                for sink in sinks {
-                    stats.reject(&ServeError::QueryFailed);
+                for (sink, _, _, _) in rest {
+                    live.reject(&ServeError::QueryFailed);
                     sink.reject(ServeError::QueryFailed);
                 }
             }

@@ -14,12 +14,15 @@ use crate::error::{ingest_error, register_error, ServeError};
 use crate::persist::{snapshot_of, Persist};
 use crate::stats::ServeStats;
 use crate::subscription::{ApproxDelta, ApproxStanding, ApproxWatchId, DeltaPush, DeltaQueue};
+use crate::telemetry::{LiveStats, ServeMetrics};
 use crate::ShardedEngine;
 use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, RecordId};
 use kspr_durable::WalRecord;
 use kspr_monitor::{update_preserves_impact, Monitor, QueryId, ResultDelta, UpdateKind};
+use kspr_telemetry::{RequestTrace, Stage};
 use std::collections::{HashMap, VecDeque};
 use std::sync::{mpsc, Arc};
+use std::time::Instant;
 
 /// The request-queue protocol between [`crate::ServeHandle`]s and the
 /// dispatcher.
@@ -29,10 +32,12 @@ pub(crate) enum Msg {
     Insert {
         values: Vec<f64>,
         tx: mpsc::Sender<Result<RecordId, ServeError>>,
+        trace: RequestTrace,
     },
     Delete {
         id: RecordId,
         tx: mpsc::Sender<Result<bool, ServeError>>,
+        trace: RequestTrace,
     },
     Subscribe {
         algorithm: Algorithm,
@@ -143,6 +148,10 @@ pub(crate) struct DispatchConfig {
     pub(crate) admission: crate::admission::AdmissionOptions,
     pub(crate) persist: Option<Persist>,
     pub(crate) monitor: Monitor,
+    /// The atomic counter mirror shared with every [`crate::ServeHandle`].
+    pub(crate) live: Arc<LiveStats>,
+    /// The latency histograms, WAL gauges, and slow-query log.
+    pub(crate) metrics: Arc<ServeMetrics>,
 }
 
 /// Delivers update notifications to their subscribers.  A queue at its
@@ -153,15 +162,15 @@ pub(crate) struct DispatchConfig {
 fn notify(
     subscribers: &HashMap<QueryId, Arc<DeltaQueue>>,
     deltas: Vec<ResultDelta>,
-    stats: &mut ServeStats,
+    live: &LiveStats,
 ) {
     for delta in deltas {
         if let Some(queue) = subscribers.get(&delta.query) {
             match queue.push(delta) {
-                DeltaPush::Queued => stats.notifications += 1,
+                DeltaPush::Queued => live.notifications.inc(),
                 DeltaPush::Coalesced => {
-                    stats.notifications += 1;
-                    stats.deltas_coalesced += 1;
+                    live.notifications.inc();
+                    live.deltas_coalesced.inc();
                 }
                 DeltaPush::Closed => {}
             }
@@ -184,17 +193,17 @@ fn notify(
 fn maintain_standing(
     monitor: &mut Monitor,
     subscribers: &mut HashMap<QueryId, Arc<DeltaQueue>>,
-    stats: &mut ServeStats,
+    live: &LiveStats,
     apply: impl FnOnce(&mut Monitor) -> Vec<ResultDelta>,
 ) {
     if monitor.is_empty() {
         return;
     }
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| apply(monitor))) {
-        Ok(deltas) => notify(subscribers, deltas, stats),
+        Ok(deltas) => notify(subscribers, deltas, live),
         Err(_) => {
             // Not a rejection — no client request failed; track separately.
-            stats.maintenance_failures += 1;
+            live.maintenance_failures.inc();
             monitor.clear();
             for queue in subscribers.values() {
                 queue.close();
@@ -215,7 +224,7 @@ fn maintain_standing(
 fn maintain_approx_watch(
     engine: &ShardedEngine,
     watch: &mut HashMap<ApproxWatchId, ApproxStanding>,
-    stats: &mut ServeStats,
+    live: &LiveStats,
     values: &[f64],
     approx_seed: &mut u64,
 ) {
@@ -251,7 +260,7 @@ fn maintain_approx_watch(
     }));
     match outcome {
         Ok((updates, unaffected)) => {
-            stats.approx_watch_unaffected += unaffected;
+            live.approx_watch_unaffected.add(unaffected);
             for (id, fresh) in updates {
                 let standing = watch.get_mut(&id).expect("maintained id is registered");
                 let before = std::mem::replace(&mut standing.estimate, fresh.clone());
@@ -261,12 +270,12 @@ fn maintain_approx_watch(
                     after: fresh,
                 };
                 if standing.deltas.send(delta).is_ok() {
-                    stats.approx_notifications += 1;
+                    live.approx_notifications.inc();
                 }
             }
         }
         Err(_) => {
-            stats.maintenance_failures += 1;
+            live.maintenance_failures.inc();
             watch.clear();
         }
     }
@@ -277,27 +286,57 @@ fn maintain_approx_watch(
 /// update is always replayable.  (On a non-durable server the commit is a
 /// no-op and the staging just defers the sends to the end of the batch.)
 enum StagedAck {
-    Insert(mpsc::Sender<Result<RecordId, ServeError>>, RecordId),
-    Delete(mpsc::Sender<Result<bool, ServeError>>, bool),
+    Insert(
+        mpsc::Sender<Result<RecordId, ServeError>>,
+        RecordId,
+        RequestTrace,
+    ),
+    Delete(mpsc::Sender<Result<bool, ServeError>>, bool, RequestTrace),
+}
+
+/// The stages an update passes through (queries own the admission and
+/// batch-assembly stages; the WAL stage only exists on a durable server).
+const UPDATE_STAGES: [Stage; 3] = [Stage::Queue, Stage::Engine, Stage::Ack];
+const DURABLE_UPDATE_STAGES: [Stage; 4] =
+    [Stage::Queue, Stage::Engine, Stage::WalCommit, Stage::Ack];
+
+/// Closes out an update's trace at acknowledgement time: everything between
+/// the Engine stamp and now was the batch's WAL commit (durable servers),
+/// then the ack itself.  Recorded *before* the ack is sent.
+fn finish_update_trace(trace: &mut RequestTrace, metrics: &ServeMetrics, durable: bool) {
+    let recorded: &[Stage] = if durable {
+        trace.stamp(Stage::WalCommit);
+        &DURABLE_UPDATE_STAGES
+    } else {
+        &UPDATE_STAGES
+    };
+    trace.stamp(Stage::Ack);
+    metrics.record_stages(&trace.timings(), recorded);
 }
 
 impl StagedAck {
     /// Acknowledges the applied update.
-    fn resolve(self, stats: &mut ServeStats) {
-        stats.updates += 1;
+    fn resolve(self, live: &LiveStats, metrics: &ServeMetrics, durable: bool) {
+        live.updates.inc();
         match self {
-            StagedAck::Insert(tx, id) => drop(tx.send(Ok(id))),
-            StagedAck::Delete(tx, removed) => drop(tx.send(Ok(removed))),
+            StagedAck::Insert(tx, id, mut trace) => {
+                finish_update_trace(&mut trace, metrics, durable);
+                drop(tx.send(Ok(id)));
+            }
+            StagedAck::Delete(tx, removed, mut trace) => {
+                finish_update_trace(&mut trace, metrics, durable);
+                drop(tx.send(Ok(removed)));
+            }
         }
     }
 
     /// Fails the applied-but-uncommitted update (its WAL commit failed; the
     /// server stops, so the in-memory application is never observable).
-    fn fail(self, stats: &mut ServeStats) {
-        stats.reject(&ServeError::UpdateFailed);
+    fn fail(self, live: &LiveStats) {
+        live.reject(&ServeError::UpdateFailed);
         match self {
-            StagedAck::Insert(tx, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
-            StagedAck::Delete(tx, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
+            StagedAck::Insert(tx, _, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
+            StagedAck::Delete(tx, _, _) => drop(tx.send(Err(ServeError::UpdateFailed))),
         }
     }
 }
@@ -315,8 +354,9 @@ pub(crate) fn dispatch(
         admission,
         mut persist,
         mut monitor,
+        live,
+        metrics,
     } = config;
-    let mut stats = ServeStats::default();
     let mut carry: VecDeque<Msg> = VecDeque::new();
     let mut subscribers: HashMap<QueryId, Arc<DeltaQueue>> = HashMap::new();
     let mut approx_watch: HashMap<ApproxWatchId, ApproxStanding> = HashMap::new();
@@ -375,8 +415,13 @@ pub(crate) fn dispatch(
                 let mut acks: Vec<StagedAck> = Vec::new();
                 for msg in pending {
                     match msg {
-                        Msg::Insert { values, tx } => match validate_insert(&engine, &values) {
+                        Msg::Insert {
+                            values,
+                            tx,
+                            mut trace,
+                        } => match validate_insert(&engine, &values) {
                             Ok(()) => {
+                                trace.stamp(Stage::Queue);
                                 let kept = watched.then(|| values.clone());
                                 let logged = persist.is_some().then(|| values.clone());
                                 let outcome =
@@ -385,12 +430,13 @@ pub(crate) fn dispatch(
                                     }));
                                 match outcome {
                                     Ok(id) => {
+                                        trace.stamp(Stage::Engine);
                                         if let (Some(persist), Some(values)) =
                                             (persist.as_mut(), logged)
                                         {
                                             persist.append(&WalRecord::Insert { id, values });
                                         }
-                                        acks.push(StagedAck::Insert(tx, id));
+                                        acks.push(StagedAck::Insert(tx, id, trace));
                                         if let Some(values) = kept {
                                             batch.push((UpdateKind::Insert, values));
                                         }
@@ -400,24 +446,26 @@ pub(crate) fn dispatch(
                                         // shard state half-applied; stop
                                         // serving cleanly instead of risking
                                         // corrupt answers (see UpdateFailed).
-                                        stats.reject(&ServeError::UpdateFailed);
+                                        live.reject(&ServeError::UpdateFailed);
                                         let _ = tx.send(Err(ServeError::UpdateFailed));
                                         update_failed = true;
                                     }
                                 }
                             }
                             Err(err) => {
-                                stats.reject(&err);
+                                live.reject(&err);
                                 let _ = tx.send(Err(err));
                             }
                         },
-                        Msg::Delete { id, tx } => {
+                        Msg::Delete { id, tx, mut trace } => {
+                            trace.stamp(Stage::Queue);
                             let outcome =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     engine.delete_returning(id)
                                 }));
                             match outcome {
                                 Ok(removed) => {
+                                    trace.stamp(Stage::Engine);
                                     // A no-op delete changes no state, so it
                                     // is acknowledged but never logged.
                                     if removed.is_some() {
@@ -425,7 +473,7 @@ pub(crate) fn dispatch(
                                             persist.append(&WalRecord::Delete { id });
                                         }
                                     }
-                                    acks.push(StagedAck::Delete(tx, removed.is_some()));
+                                    acks.push(StagedAck::Delete(tx, removed.is_some(), trace));
                                     match removed {
                                         Some(values) if watched => {
                                             batch.push((UpdateKind::Delete, values));
@@ -434,7 +482,7 @@ pub(crate) fn dispatch(
                                     }
                                 }
                                 Err(_) => {
-                                    stats.reject(&ServeError::UpdateFailed);
+                                    live.reject(&ServeError::UpdateFailed);
                                     let _ = tx.send(Err(ServeError::UpdateFailed));
                                     update_failed = true;
                                 }
@@ -452,13 +500,21 @@ pub(crate) fn dispatch(
                 // batch's staged acks (their in-memory application is never
                 // observable — the server stops) and stops serving.
                 let applied = acks.len();
+                let durable = persist.is_some();
                 if let Some(persist) = persist.as_mut() {
                     if !acks.is_empty() {
                         match persist.commit() {
-                            Ok(()) => stats.wal_commits += 1,
+                            Ok(()) => {
+                                live.wal_commits.inc();
+                                metrics.wal_committed(
+                                    persist.wal_bytes(),
+                                    persist.last_commit_nanos(),
+                                    persist.synced(),
+                                );
+                            }
                             Err(_) => {
                                 for ack in acks.drain(..) {
-                                    ack.fail(&mut stats);
+                                    ack.fail(&live);
                                 }
                                 update_failed = true;
                             }
@@ -466,14 +522,14 @@ pub(crate) fn dispatch(
                     }
                 }
                 for ack in acks {
-                    ack.resolve(&mut stats);
+                    ack.resolve(&live, &metrics, durable);
                 }
                 if update_failed {
                     break;
                 }
                 if applied > 0 {
-                    stats.update_batches += 1;
-                    stats.largest_update_batch = stats.largest_update_batch.max(applied);
+                    live.update_batches.inc();
+                    live.largest_update_batch.record(applied);
                 }
                 if !batch.is_empty() {
                     // The monitor runs on the dispatcher thread, so the
@@ -484,18 +540,24 @@ pub(crate) fn dispatch(
                     // not be reported as UpdateFailed (losing the ids) nor
                     // stop serving.  One maintenance pass covers the whole
                     // drained batch.
-                    maintain_standing(&mut monitor, &mut subscribers, &mut stats, |monitor| {
+                    let pass = Instant::now();
+                    maintain_standing(&mut monitor, &mut subscribers, &live, |monitor| {
                         monitor.apply_batch(&engine, &batch)
                     });
                     for (_, values) in &batch {
                         maintain_approx_watch(
                             &engine,
                             &mut approx_watch,
-                            &mut stats,
+                            &live,
                             values,
                             &mut approx_seed,
                         );
                     }
+                    // The pass is timed from outside (the Notify stage has
+                    // no single request to trace), and the refreshed
+                    // monitor stats are published for non-blocking reads.
+                    metrics.record_maintenance(pass.elapsed());
+                    live.set_monitor(monitor.stats());
                 }
                 // Background compaction: once dead record slots exceed half
                 // the id space, rewrite the shards down to their live
@@ -511,15 +573,21 @@ pub(crate) fn dispatch(
                         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| engine.compact()));
                     match outcome {
                         Ok(_) => {
-                            stats.compactions += 1;
+                            live.compactions.inc();
                             if let Some(persist) = persist.as_mut() {
                                 match persist.install(&snapshot_of(&engine, &monitor)) {
-                                    Ok(()) => stats.snapshots += 1,
+                                    Ok(()) => {
+                                        live.snapshots.inc();
+                                        metrics.snapshot_installed(
+                                            persist.wal_bytes(),
+                                            persist.snapshot_epoch(),
+                                        );
+                                    }
                                     Err(_) => {
                                         // The durable directory is no longer
                                         // writable; refuse to keep acknowledging
                                         // updates that could not be replayed.
-                                        stats.reject(&ServeError::UpdateFailed);
+                                        live.reject(&ServeError::UpdateFailed);
                                         update_failed = true;
                                         break;
                                     }
@@ -527,7 +595,7 @@ pub(crate) fn dispatch(
                             }
                         }
                         Err(_) => {
-                            stats.reject(&ServeError::UpdateFailed);
+                            live.reject(&ServeError::UpdateFailed);
                             update_failed = true;
                             break;
                         }
@@ -560,12 +628,19 @@ pub(crate) fn dispatch(
                                 k,
                             });
                             match persist.commit() {
-                                Ok(()) => stats.wal_commits += 1,
+                                Ok(()) => {
+                                    live.wal_commits.inc();
+                                    metrics.wal_committed(
+                                        persist.wal_bytes(),
+                                        persist.last_commit_nanos(),
+                                        persist.synced(),
+                                    );
+                                }
                                 Err(_) => committed = false,
                             }
                         }
                         if committed {
-                            stats.subscriptions += 1;
+                            live.subscriptions.inc();
                             let initial = monitor
                                 .result(id)
                                 .expect("freshly registered query has a result")
@@ -574,7 +649,7 @@ pub(crate) fn dispatch(
                             let _ = tx.send(Ok((id, initial)));
                         } else {
                             monitor.unregister(id);
-                            stats.reject(&ServeError::UpdateFailed);
+                            live.reject(&ServeError::UpdateFailed);
                             let _ = tx.send(Err(ServeError::UpdateFailed));
                             update_failed = true;
                             break;
@@ -582,11 +657,11 @@ pub(crate) fn dispatch(
                     }
                     Ok(Err(err)) => {
                         let err = register_error(err);
-                        stats.reject(&err);
+                        live.reject(&err);
                         let _ = tx.send(Err(err));
                     }
                     Err(_) => {
-                        stats.reject(&ServeError::QueryFailed);
+                        live.reject(&ServeError::QueryFailed);
                         let _ = tx.send(Err(ServeError::QueryFailed));
                     }
                 }
@@ -602,7 +677,14 @@ pub(crate) fn dispatch(
                     if let Some(persist) = persist.as_mut() {
                         persist.append(&WalRecord::Unsubscribe { id });
                         match persist.commit() {
-                            Ok(()) => stats.wal_commits += 1,
+                            Ok(()) => {
+                                live.wal_commits.inc();
+                                metrics.wal_committed(
+                                    persist.wal_bytes(),
+                                    persist.last_commit_nanos(),
+                                    persist.synced(),
+                                );
+                            }
                             Err(_) => committed = false,
                         }
                     }
@@ -612,7 +694,7 @@ pub(crate) fn dispatch(
                         let _ = tx.send(Ok(removed));
                     }
                 } else {
-                    stats.reject(&ServeError::UpdateFailed);
+                    live.reject(&ServeError::UpdateFailed);
                     if let Some(tx) = tx {
                         let _ = tx.send(Err(ServeError::UpdateFailed));
                     }
@@ -662,7 +744,7 @@ pub(crate) fn dispatch(
                                 // re-subscribe after a crash.
                                 let id = next_approx_id;
                                 next_approx_id += 1;
-                                stats.approx_subscriptions += 1;
+                                live.approx_subscriptions.inc();
                                 approx_watch.insert(
                                     id,
                                     ApproxStanding {
@@ -676,13 +758,13 @@ pub(crate) fn dispatch(
                                 let _ = tx.send(Ok((id, initial)));
                             }
                             Err(_) => {
-                                stats.reject(&ServeError::QueryFailed);
+                                live.reject(&ServeError::QueryFailed);
                                 let _ = tx.send(Err(ServeError::QueryFailed));
                             }
                         }
                     }
                     Err(err) => {
-                        stats.reject(&err);
+                        live.reject(&err);
                         let _ = tx.send(Err(err));
                     }
                 }
@@ -697,9 +779,9 @@ pub(crate) fn dispatch(
                 let _ = tx.send(Ok(approx_watch.len()));
             }
             Msg::Stats { tx } => {
-                let mut live = stats;
-                live.monitor = monitor.stats();
-                let _ = tx.send(Ok(live));
+                let mut snapshot = live.snapshot();
+                snapshot.monitor = monitor.stats();
+                let _ = tx.send(Ok(snapshot));
             }
             Msg::Query(job) => {
                 // Batched dequeue: greedily pull further *consecutive*
@@ -720,9 +802,18 @@ pub(crate) fn dispatch(
                         Err(_) => break,
                     }
                 }
-                run_jobs(&engine, batch, &admission, &mut stats, &mut approx_seed);
+                run_jobs(
+                    &engine,
+                    batch,
+                    &admission,
+                    &live,
+                    &metrics,
+                    &mut approx_seed,
+                );
             }
-            Msg::Batch(jobs) => run_jobs(&engine, jobs, &admission, &mut stats, &mut approx_seed),
+            Msg::Batch(jobs) => {
+                run_jobs(&engine, jobs, &admission, &live, &metrics, &mut approx_seed)
+            }
         }
     }
     if !update_failed {
@@ -737,7 +828,7 @@ pub(crate) fn dispatch(
         }
         for msg in drained {
             for _ in 0..reject_msg(msg, &ServeError::Shutdown) {
-                stats.reject(&ServeError::Shutdown);
+                live.reject(&ServeError::Shutdown);
             }
         }
         // A clean shutdown is an epoch boundary: persist the final state so
@@ -750,7 +841,8 @@ pub(crate) fn dispatch(
                     .and_then(|()| persist.install(&snapshot_of(&engine, &monitor)))
                     .is_ok()
                 {
-                    stats.snapshots += 1;
+                    live.snapshots.inc();
+                    metrics.snapshot_installed(persist.wal_bytes(), persist.snapshot_epoch());
                 }
             }
         }
@@ -760,6 +852,6 @@ pub(crate) fn dispatch(
     for queue in subscribers.values() {
         queue.close();
     }
-    stats.monitor = monitor.stats();
-    (engine, stats)
+    live.set_monitor(monitor.stats());
+    (engine, live.snapshot())
 }

@@ -88,18 +88,21 @@ pub mod server;
 pub mod sharded;
 mod stats;
 mod subscription;
+mod telemetry;
 
 pub use admission::AdmissionOptions;
 pub use batch::MAX_APPROX_SAMPLES;
 pub use error::{ServeError, Ticket};
 pub use kspr_approx::TieredResult;
 pub use kspr_monitor::{QueryId, ResultDelta, UpdateClass};
+pub use kspr_telemetry::{HistogramSnapshot, MetricsSnapshot, Stage, StageTimings};
 pub use net::NetServer;
 pub use persist::RecoverError;
 pub use server::{ServeHandle, ServeOptions, Server};
 pub use sharded::{ShardStrategy, ShardedEngine};
-pub use stats::{RejectionStats, ServeStats};
+pub use stats::{RejectionStats, ServeStats, REJECTION_VARIANTS};
 pub use subscription::{
     ApproxDelta, ApproxSubscribeTicket, ApproxSubscription, ApproxWatchId, SubscribeTicket,
     Subscription, MAX_PENDING_DELTAS,
 };
+pub use telemetry::{SlowQuery, SLOW_LOG_CAPACITY};

@@ -21,11 +21,11 @@ use crate::subscription::Subscription;
 use kspr::Algorithm;
 use kspr_approx::TieredResult;
 use kspr_wire::{
-    read_frame, write_frame, ApproxSummary, ErrorCode, FrameError, ResultSummary, WireRequest,
-    WireResponse,
+    read_frame, read_frame_body, write_frame, ApproxSummary, ErrorCode, FrameError,
+    HistogramSummary, MetricsReport, ResultSummary, WireRequest, WireResponse,
 };
 use std::collections::HashMap;
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -97,17 +97,36 @@ impl Drop for NetServer {
 }
 
 /// One connection's request/response loop.
+///
+/// The first four bytes decide the dialect: `b"GET "` means a plaintext
+/// HTTP client (curl, a Prometheus scraper) asking for the text metrics
+/// exposition, anything else is the little-endian length prefix of a
+/// `kspr-wire` frame and starts the normal framed loop.
 fn serve_connection(handle: ServeHandle, stream: TcpStream) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
     let mut reader = BufReader::new(read_half);
     let mut writer = stream;
+    let mut sniff = [0u8; 4];
+    if reader.read_exact(&mut sniff).is_err() {
+        return;
+    }
+    if &sniff == b"GET " {
+        serve_scrape(&handle, reader, writer);
+        return;
+    }
     // Connection-scoped standing queries: token -> live subscription.
     // Dropping the map at connection end unregisters them all.
     let mut subs: HashMap<u64, Subscription> = HashMap::new();
+    // The sniffed bytes were the first frame's length prefix.
+    let mut first = Some(u32::from_le_bytes(sniff));
     loop {
-        let payload = match read_frame(&mut reader) {
+        let frame = match first.take() {
+            Some(len) => read_frame_body(&mut reader, len),
+            None => read_frame(&mut reader),
+        };
+        let payload = match frame {
             Ok(payload) => payload,
             // Includes clean EOF — the peer hung up.
             Err(FrameError::Io(_)) => return,
@@ -126,6 +145,36 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream) {
             return;
         }
     }
+}
+
+/// Answers one HTTP GET with the Prometheus text exposition and closes.
+///
+/// Deliberately minimal: every path serves the metrics, the request
+/// headers are drained and ignored, and the response closes the
+/// connection — exactly what a scrape loop or `curl` needs, with no HTTP
+/// machinery the serving stack would otherwise never use.
+fn serve_scrape(handle: &ServeHandle, reader: BufReader<TcpStream>, mut writer: TcpStream) {
+    // Drain the request line and headers up to the blank line.
+    let mut reader = reader;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) if line == "\r\n" || line == "\n" => break,
+            Ok(_) => continue,
+            Err(_) => return,
+        }
+    }
+    let body = handle.metrics().render_prometheus();
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = writer
+        .write_all(header.as_bytes())
+        .and_then(|()| writer.write_all(body.as_bytes()))
+        .and_then(|()| writer.flush());
 }
 
 fn error_response(code: ErrorCode, message: impl Into<String>) -> WireResponse {
@@ -287,12 +336,33 @@ fn answer(
             },
             Err(err) => error_of(err),
         },
-        WireRequest::Stats => match handle.stats().wait() {
-            Ok(stats) => WireResponse::Stats {
-                fields: stat_fields(&stats),
-            },
-            Err(err) => error_of(err),
+        WireRequest::Stats => WireResponse::Stats {
+            // Served from the shared atomic mirror: no round-trip through
+            // the dispatcher queue, so a stats probe is never stuck behind
+            // a long batch.
+            fields: stat_fields(&handle.stats_now()),
         },
+        WireRequest::Metrics => {
+            let snap = handle.metrics();
+            let histograms = snap
+                .histograms
+                .iter()
+                .map(|(name, h)| HistogramSummary {
+                    name: name.clone(),
+                    count: h.count(),
+                    sum: h.sum(),
+                    p50: h.p50(),
+                    p90: h.p90(),
+                    p99: h.p99(),
+                    max: h.max(),
+                })
+                .collect();
+            WireResponse::Metrics(MetricsReport {
+                counters: snap.counters,
+                gauges: snap.gauges,
+                histograms,
+            })
+        }
     }
 }
 

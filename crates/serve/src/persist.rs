@@ -53,6 +53,29 @@ impl Persist {
         self.writer.commit()
     }
 
+    /// Bytes of WAL committed since the current epoch's snapshot (telemetry:
+    /// the `kspr_wal_bytes` gauge).
+    pub(crate) fn wal_bytes(&self) -> u64 {
+        self.writer.bytes()
+    }
+
+    /// Duration of the most recent [`Persist::commit`], nanoseconds.
+    pub(crate) fn last_commit_nanos(&self) -> u64 {
+        self.writer.last_commit_nanos()
+    }
+
+    /// Whether commits fsync (telemetry: the `kspr_wal_fsyncs` counter only
+    /// counts synced commits).
+    pub(crate) fn synced(&self) -> bool {
+        self.sync
+    }
+
+    /// The store's current snapshot epoch (telemetry: the
+    /// `kspr_snapshot_epoch` gauge).
+    pub(crate) fn snapshot_epoch(&self) -> u64 {
+        self.store.snapshot_epoch()
+    }
+
     /// Installs `state` as the new epoch snapshot and truncates the WAL.
     ///
     /// Truncation reuses the WAL path with a fresh file, which invalidates

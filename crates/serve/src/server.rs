@@ -90,14 +90,17 @@ use crate::persist::{recover_state, snapshot_of, Persist, RecoverError};
 use crate::sharded::ShardedEngine;
 use crate::stats::ServeStats;
 use crate::subscription::{ApproxSubscribeTicket, ApproxWatchId, DeltaQueue, SubscribeTicket};
+use crate::telemetry::{LiveStats, ServeMetrics, SlowQuery};
 use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprConfig, KsprResult, QueryTier, RecordId};
 use kspr_approx::TieredResult;
 use kspr_durable::DurableStore;
 use kspr_monitor::{Monitor, QueryId};
+use kspr_telemetry::{MetricsSnapshot, RequestTrace};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +115,16 @@ pub struct ServeOptions {
     /// Admission-control thresholds (all off by default; see the
     /// `admission` module).
     pub admission: AdmissionOptions,
+    /// Queries whose end-to-end latency (enqueue to acknowledgement) meets
+    /// this threshold are retained in the slow-query log (the
+    /// [`crate::SLOW_LOG_CAPACITY`] most recent; read through
+    /// [`ServeHandle::slow_queries`]).  `None` (the default) disables the
+    /// log; `Some(Duration::ZERO)` retains every query.
+    pub slow_query_threshold: Option<Duration>,
+    /// WAL size watermark, bytes: once the live WAL (the `kspr_wal_bytes`
+    /// gauge) grows past this, the server logs one warning per snapshot
+    /// epoch suggesting a compaction.  Default 64 MiB.
+    pub wal_warn_bytes: u64,
 }
 
 impl Default for ServeOptions {
@@ -120,6 +133,8 @@ impl Default for ServeOptions {
             algorithm: Algorithm::LpCta,
             batch_limit: 64,
             admission: AdmissionOptions::default(),
+            slow_query_threshold: None,
+            wal_warn_bytes: 64 << 20,
         }
     }
 }
@@ -136,6 +151,8 @@ pub struct ServeHandle {
     queue: Arc<AtomicUsize>,
     client: Arc<AtomicUsize>,
     closing: Arc<AtomicBool>,
+    live: Arc<LiveStats>,
+    metrics: Arc<ServeMetrics>,
 }
 
 impl ServeHandle {
@@ -174,6 +191,8 @@ impl ServeHandle {
             queue: Arc::clone(&self.queue),
             client: Arc::new(AtomicUsize::new(0)),
             closing: Arc::clone(&self.closing),
+            live: Arc::clone(&self.live),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 
@@ -197,6 +216,7 @@ impl ServeHandle {
             tier: QueryTier::Exact,
             stamp: self.stamp(),
             sink: Sink::Exact(tx),
+            trace: RequestTrace::start(),
         }));
         ticket
     }
@@ -221,6 +241,7 @@ impl ServeHandle {
             tier: QueryTier::Approximate { budget },
             stamp: self.stamp(),
             sink: Sink::Approx(tx),
+            trace: RequestTrace::start(),
         }));
         ticket
     }
@@ -246,6 +267,7 @@ impl ServeHandle {
             tier,
             stamp: self.stamp(),
             sink: Sink::Tiered(tx),
+            trace: RequestTrace::start(),
         }));
         ticket
     }
@@ -264,6 +286,7 @@ impl ServeHandle {
                 tier: QueryTier::Exact,
                 stamp: self.stamp(),
                 sink: Sink::Exact(tx),
+                trace: RequestTrace::start(),
             });
             tickets.push(ticket);
         }
@@ -274,14 +297,22 @@ impl ServeHandle {
     /// Enqueues an insert; resolves to the new record's global id.
     pub fn insert(&self, values: Vec<f64>) -> Ticket<RecordId> {
         let (tx, ticket) = Ticket::new();
-        self.enqueue(Msg::Insert { values, tx });
+        self.enqueue(Msg::Insert {
+            values,
+            tx,
+            trace: RequestTrace::start(),
+        });
         ticket
     }
 
     /// Enqueues a delete; resolves to whether a live record was removed.
     pub fn delete(&self, id: RecordId) -> Ticket<bool> {
         let (tx, ticket) = Ticket::new();
-        self.enqueue(Msg::Delete { id, tx });
+        self.enqueue(Msg::Delete {
+            id,
+            tx,
+            trace: RequestTrace::start(),
+        });
         ticket
     }
 
@@ -385,6 +416,33 @@ impl ServeHandle {
         self.enqueue(Msg::Stats { tx });
         ticket
     }
+
+    /// A live snapshot of the serving counters **without queueing behind the
+    /// dispatcher**: read directly from the shared atomic counters, so it
+    /// returns immediately even while the dispatcher is deep in a long
+    /// batch.  Every counter a finished request contributed is visible (the
+    /// dispatcher publishes counters before acknowledgements); requests
+    /// still in flight may or may not be counted yet.
+    pub fn stats_now(&self) -> ServeStats {
+        self.live.snapshot()
+    }
+
+    /// A live [`MetricsSnapshot`] of every counter, gauge and latency
+    /// histogram the server maintains — per-stage, per-tier and
+    /// per-algorithm latency distributions included.  Non-blocking, like
+    /// [`ServeHandle::stats_now`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot(
+            self.queue.load(Ordering::Relaxed) as u64,
+            &self.live.snapshot(),
+        )
+    }
+
+    /// The retained slow-query log, oldest first (empty unless
+    /// [`ServeOptions::slow_query_threshold`] is set).
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.metrics.slow_queries()
+    }
 }
 
 /// A running serving loop that owns a [`ShardedEngine`].
@@ -393,6 +451,8 @@ pub struct Server {
     algorithm: Algorithm,
     queue: Arc<AtomicUsize>,
     closing: Arc<AtomicBool>,
+    live: Arc<LiveStats>,
+    metrics: Arc<ServeMetrics>,
     join: Option<JoinHandle<(ShardedEngine, ServeStats)>>,
 }
 
@@ -461,11 +521,18 @@ impl Server {
             );
         }
         let (tx, rx) = mpsc::channel();
+        let live = Arc::new(LiveStats::default());
+        let metrics = Arc::new(ServeMetrics::new(
+            options.slow_query_threshold,
+            options.wal_warn_bytes,
+        ));
         let config = DispatchConfig {
             batch_limit: options.batch_limit,
             admission: options.admission,
             persist,
             monitor,
+            live: Arc::clone(&live),
+            metrics: Arc::clone(&metrics),
         };
         let join = std::thread::spawn(move || dispatch(engine, rx, config));
         Self {
@@ -473,6 +540,8 @@ impl Server {
             algorithm: options.algorithm,
             queue: Arc::new(AtomicUsize::new(0)),
             closing: Arc::new(AtomicBool::new(false)),
+            live,
+            metrics,
             join: Some(join),
         }
     }
@@ -486,6 +555,8 @@ impl Server {
             queue: Arc::clone(&self.queue),
             client: Arc::new(AtomicUsize::new(0)),
             closing: Arc::clone(&self.closing),
+            live: Arc::clone(&self.live),
+            metrics: Arc::clone(&self.metrics),
         }
     }
 
@@ -1356,6 +1427,7 @@ mod tests {
                 tier: QueryTier::Exact,
                 stamp: handle.stamp(),
                 sink: Sink::Exact(tx),
+                trace: RequestTrace::start(),
             }))
             .unwrap();
         let (tx, insert) = T::new();
@@ -1364,6 +1436,7 @@ mod tests {
             .send(Msg::Insert {
                 values: vec![0.5, 0.5, 0.7],
                 tx,
+                trace: RequestTrace::start(),
             })
             .unwrap();
         assert_eq!(query.wait().unwrap_err(), ServeError::Shutdown);

@@ -39,36 +39,86 @@ pub struct RejectionStats {
     pub server_closed: u64,
 }
 
+/// Number of [`ServeError`] variants (= entries of
+/// [`RejectionStats::variants`]).
+pub const REJECTION_VARIANTS: usize = 11;
+
 impl RejectionStats {
-    /// Total rejections across all variants.
-    pub fn total(&self) -> u64 {
-        self.invalid_k
-            + self.arity_mismatch
-            + self.non_finite
-            + self.invalid_budget
-            + self.unsupported_algorithm
-            + self.query_failed
-            + self.update_failed
-            + self.overloaded
-            + self.quota_exceeded
-            + self.shutdown
-            + self.server_closed
+    /// Every per-variant counter as `(name, count)`, in declaration order.
+    ///
+    /// The exhaustive destructure is the point: adding a `ServeError`
+    /// variant without listing its counter here fails to compile, so
+    /// [`RejectionStats::total`] (a sum over this listing) can never
+    /// silently under-count.
+    pub fn variants(&self) -> [(&'static str, u64); REJECTION_VARIANTS] {
+        let Self {
+            invalid_k,
+            arity_mismatch,
+            non_finite,
+            invalid_budget,
+            unsupported_algorithm,
+            query_failed,
+            update_failed,
+            overloaded,
+            quota_exceeded,
+            shutdown,
+            server_closed,
+        } = *self;
+        [
+            ("invalid_k", invalid_k),
+            ("arity_mismatch", arity_mismatch),
+            ("non_finite", non_finite),
+            ("invalid_budget", invalid_budget),
+            ("unsupported_algorithm", unsupported_algorithm),
+            ("query_failed", query_failed),
+            ("update_failed", update_failed),
+            ("overloaded", overloaded),
+            ("quota_exceeded", quota_exceeded),
+            ("shutdown", shutdown),
+            ("server_closed", server_closed),
+        ]
     }
 
-    /// Counts one rejection under its variant.
-    pub(crate) fn count(&mut self, err: &ServeError) {
+    /// Total rejections across all variants.
+    pub fn total(&self) -> u64 {
+        self.variants().iter().map(|&(_, count)| count).sum()
+    }
+
+    /// Index of `err`'s counter in [`RejectionStats::variants`] order (the
+    /// live atomic mirror of the dispatcher counts through this).
+    pub(crate) fn index_of(err: &ServeError) -> usize {
         match err {
-            ServeError::InvalidK => self.invalid_k += 1,
-            ServeError::ArityMismatch { .. } => self.arity_mismatch += 1,
-            ServeError::NonFinite => self.non_finite += 1,
-            ServeError::InvalidBudget => self.invalid_budget += 1,
-            ServeError::UnsupportedAlgorithm => self.unsupported_algorithm += 1,
-            ServeError::QueryFailed => self.query_failed += 1,
-            ServeError::UpdateFailed => self.update_failed += 1,
-            ServeError::Overloaded => self.overloaded += 1,
-            ServeError::QuotaExceeded => self.quota_exceeded += 1,
-            ServeError::Shutdown => self.shutdown += 1,
-            ServeError::ServerClosed => self.server_closed += 1,
+            ServeError::InvalidK => 0,
+            ServeError::ArityMismatch { .. } => 1,
+            ServeError::NonFinite => 2,
+            ServeError::InvalidBudget => 3,
+            ServeError::UnsupportedAlgorithm => 4,
+            ServeError::QueryFailed => 5,
+            ServeError::UpdateFailed => 6,
+            ServeError::Overloaded => 7,
+            ServeError::QuotaExceeded => 8,
+            ServeError::Shutdown => 9,
+            ServeError::ServerClosed => 10,
+        }
+    }
+
+    /// Rebuilds the per-variant counters from values listed in
+    /// [`RejectionStats::variants`] order.
+    pub(crate) fn from_counts(counts: [u64; REJECTION_VARIANTS]) -> Self {
+        let [invalid_k, arity_mismatch, non_finite, invalid_budget, unsupported_algorithm, query_failed, update_failed, overloaded, quota_exceeded, shutdown, server_closed] =
+            counts;
+        Self {
+            invalid_k,
+            arity_mismatch,
+            non_finite,
+            invalid_budget,
+            unsupported_algorithm,
+            query_failed,
+            update_failed,
+            overloaded,
+            quota_exceeded,
+            shutdown,
+            server_closed,
         }
     }
 }
@@ -160,10 +210,63 @@ pub struct ServeStats {
     pub monitor: MonitorStats,
 }
 
-impl ServeStats {
-    /// Counts one rejection (total + per-variant).
-    pub(crate) fn reject(&mut self, err: &ServeError) {
-        self.rejected += 1;
-        self.rejections.count(err);
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_is_the_sum_over_variants() {
+        // Distinct primes per field, so a swapped or dropped counter in
+        // `variants()` cannot cancel out.
+        let counts: [u64; REJECTION_VARIANTS] = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31];
+        let stats = RejectionStats::from_counts(counts);
+        let variants = stats.variants();
+        assert_eq!(
+            stats.total(),
+            variants.iter().map(|&(_, count)| count).sum::<u64>()
+        );
+        assert_eq!(stats.total(), counts.iter().sum::<u64>());
+        // The listing preserves declaration order and hits every field.
+        assert_eq!(
+            variants.map(|(_, count)| count),
+            counts,
+            "variants() must export the counters in declaration order"
+        );
+        let names: Vec<&str> = variants.iter().map(|&(name, _)| name).collect();
+        assert_eq!(names.len(), REJECTION_VARIANTS);
+        let mut unique = names.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len(), "variant names must be distinct");
+    }
+
+    #[test]
+    fn every_error_variant_maps_to_its_counter() {
+        let errors = [
+            ServeError::InvalidK,
+            ServeError::ArityMismatch {
+                expected: 3,
+                got: 2,
+            },
+            ServeError::NonFinite,
+            ServeError::InvalidBudget,
+            ServeError::UnsupportedAlgorithm,
+            ServeError::QueryFailed,
+            ServeError::UpdateFailed,
+            ServeError::Overloaded,
+            ServeError::QuotaExceeded,
+            ServeError::Shutdown,
+            ServeError::ServerClosed,
+        ];
+        assert_eq!(errors.len(), REJECTION_VARIANTS);
+        let mut counts = [0u64; REJECTION_VARIANTS];
+        for err in &errors {
+            counts[RejectionStats::index_of(err)] += 1;
+        }
+        let stats = RejectionStats::from_counts(counts);
+        assert_eq!(stats.total(), errors.len() as u64);
+        for (name, count) in stats.variants() {
+            assert_eq!(count, 1, "variant {name} must count exactly once");
+        }
     }
 }

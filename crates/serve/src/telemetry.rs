@@ -1,0 +1,503 @@
+//! Serving-side telemetry: the lock-free mirror behind the non-blocking
+//! stats snapshot, the metric registry every pipeline stage records into,
+//! and the slow-query log.
+//!
+//! The dispatcher used to own [`ServeStats`] as plain `u64`s, so reading
+//! the counters meant a round-trip through the request queue (blocking
+//! behind whatever the dispatcher was busy with).  [`LiveStats`] replaces
+//! that with relaxed atomics the dispatcher increments *before* it sends
+//! each answer: the mpsc channel's release/acquire edge then orders the
+//! increment before the client's receive, so a snapshot taken after a
+//! ticket resolved always includes that request — the counters stay exactly
+//! as consistent as the old serialized read, without the round-trip.  (The
+//! only lag is bookkeeping no answer waits on: notification counts and the
+//! monitor's classification stats update after the acknowledging sends; a
+//! serialized request, e.g. `subscriptions()`, acts as a barrier.)
+//!
+//! [`ServeMetrics`] holds the pre-resolved [`kspr_telemetry`] handles the
+//! hot path records into — per-[`Stage`] latency histograms, per-tier and
+//! per-algorithm totals, WAL commit latency, engine wall time — plus the
+//! WAL gauges and the bounded ring buffer of [`SlowQuery`] entries.
+
+use crate::error::ServeError;
+use crate::stats::{RejectionStats, ServeStats, REJECTION_VARIANTS};
+use kspr::{Algorithm, QueryStats, QueryTier};
+use kspr_monitor::MonitorStats;
+use kspr_telemetry::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Stage, StageTimings,
+};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
+fn unpoisoned<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
+    lock.lock().unwrap_or_else(|poison| poison.into_inner())
+}
+
+/// A monotone high-water mark (`fetch_max` under the hood).
+#[derive(Debug, Default)]
+pub(crate) struct Peak(AtomicU64);
+
+impl Peak {
+    /// Raises the mark to `value` if it is higher.
+    pub(crate) fn record(&self, value: usize) {
+        self.0.fetch_max(value as u64, Ordering::Relaxed);
+    }
+
+    fn get(&self) -> usize {
+        self.0.load(Ordering::Relaxed) as usize
+    }
+}
+
+/// The live (atomic) mirror of every [`ServeStats`] counter.
+///
+/// The dispatcher thread is the only writer; [`LiveStats::snapshot`] can be
+/// read from any thread at any time.  Field-for-field with [`ServeStats`]
+/// (the snapshot is an exhaustive struct literal, so the two cannot drift
+/// without a compile error).
+#[derive(Debug, Default)]
+pub(crate) struct LiveStats {
+    pub(crate) queries: Counter,
+    pub(crate) exact_queries: Counter,
+    pub(crate) approx_queries: Counter,
+    pub(crate) auto_routed_exact: Counter,
+    pub(crate) auto_routed_approx: Counter,
+    pub(crate) degraded_to_approx: Counter,
+    rejected: Counter,
+    rejections: [Counter; REJECTION_VARIANTS],
+    pub(crate) batches: Counter,
+    pub(crate) largest_batch: Peak,
+    pub(crate) largest_intra_grant: Peak,
+    pub(crate) parallel_batches: Counter,
+    pub(crate) updates: Counter,
+    pub(crate) update_batches: Counter,
+    pub(crate) largest_update_batch: Peak,
+    pub(crate) wal_commits: Counter,
+    pub(crate) snapshots: Counter,
+    pub(crate) compactions: Counter,
+    pub(crate) subscriptions: Counter,
+    pub(crate) notifications: Counter,
+    pub(crate) deltas_coalesced: Counter,
+    pub(crate) approx_subscriptions: Counter,
+    pub(crate) approx_notifications: Counter,
+    pub(crate) approx_watch_unaffected: Counter,
+    pub(crate) maintenance_failures: Counter,
+    /// The monitor's classification stats, refreshed after every
+    /// maintenance pass (the monitor itself lives on the dispatcher
+    /// thread).
+    monitor: Mutex<MonitorStats>,
+}
+
+impl LiveStats {
+    /// Counts one rejection (total + per-variant).
+    pub(crate) fn reject(&self, err: &ServeError) {
+        self.rejected.inc();
+        self.rejections[RejectionStats::index_of(err)].inc();
+    }
+
+    /// Publishes the monitor's classification stats.
+    pub(crate) fn set_monitor(&self, stats: MonitorStats) {
+        *unpoisoned(&self.monitor) = stats;
+    }
+
+    /// A plain-value copy of every counter.
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        let mut counts = [0u64; REJECTION_VARIANTS];
+        for (slot, counter) in counts.iter_mut().zip(&self.rejections) {
+            *slot = counter.get();
+        }
+        ServeStats {
+            queries: self.queries.get(),
+            exact_queries: self.exact_queries.get(),
+            approx_queries: self.approx_queries.get(),
+            auto_routed_exact: self.auto_routed_exact.get(),
+            auto_routed_approx: self.auto_routed_approx.get(),
+            degraded_to_approx: self.degraded_to_approx.get(),
+            rejected: self.rejected.get(),
+            rejections: RejectionStats::from_counts(counts),
+            batches: self.batches.get(),
+            largest_batch: self.largest_batch.get(),
+            largest_intra_grant: self.largest_intra_grant.get(),
+            parallel_batches: self.parallel_batches.get(),
+            updates: self.updates.get(),
+            update_batches: self.update_batches.get(),
+            largest_update_batch: self.largest_update_batch.get(),
+            wal_commits: self.wal_commits.get(),
+            snapshots: self.snapshots.get(),
+            compactions: self.compactions.get(),
+            subscriptions: self.subscriptions.get(),
+            notifications: self.notifications.get(),
+            deltas_coalesced: self.deltas_coalesced.get(),
+            approx_subscriptions: self.approx_subscriptions.get(),
+            approx_notifications: self.approx_notifications.get(),
+            approx_watch_unaffected: self.approx_watch_unaffected.get(),
+            maintenance_failures: self.maintenance_failures.get(),
+            monitor: *unpoisoned(&self.monitor),
+        }
+    }
+}
+
+/// The tier classes queries are bucketed under (by the tier they were
+/// *submitted* with — an admission-degraded query still counts under the
+/// class its client asked for).
+pub(crate) const TIER_NAMES: [&str; 3] = ["exact", "approximate", "auto"];
+
+/// Index into [`TIER_NAMES`] for a submitted tier.
+pub(crate) fn tier_index(tier: &QueryTier) -> usize {
+    match tier {
+        QueryTier::Exact => 0,
+        QueryTier::Approximate { .. } => 1,
+        QueryTier::Auto { .. } => 2,
+    }
+}
+
+/// Metric-name component per algorithm (indexed by `Algorithm as usize`).
+const ALGORITHM_NAMES: [&str; 6] = ["cta", "pcta", "lp_cta", "k_skyband", "rtopk", "i_max_rank"];
+
+/// How many [`SlowQuery`] entries the ring buffer retains: old entries are
+/// evicted oldest-first once the log is full.
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// One retained slow query: what ran, how long each pipeline stage took,
+/// and the engine's per-query side metrics when the exact engine produced
+/// them.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The algorithm the query ran (for approximate answers: the algorithm
+    /// it was submitted with — the sampler is algorithm-agnostic).
+    pub algorithm: Algorithm,
+    /// The query's `k`.
+    pub k: usize,
+    /// The tier class it was submitted under (see metric names
+    /// `kspr_tier_*_ns`): `"exact"`, `"approximate"`, or `"auto"`.
+    pub tier: &'static str,
+    /// End-to-end latency, enqueue to acknowledgement, in nanoseconds.
+    pub total_ns: u64,
+    /// Per-stage breakdown of that latency.
+    pub stages: StageTimings,
+    /// The engine's side metrics (exact answers only; the approximate tier
+    /// reports no `QueryStats`).
+    pub stats: Option<QueryStats>,
+}
+
+/// Everything the serving stack records besides the [`ServeStats`]
+/// counters: the registry of latency histograms and WAL gauges, the
+/// slow-query threshold, and the slow-query ring buffer.
+pub(crate) struct ServeMetrics {
+    registry: MetricsRegistry,
+    /// Per-pipeline-stage latency histograms, indexed by [`Stage::index`]
+    /// (`kspr_stage_<stage>_ns`).
+    stages: [Arc<Histogram>; Stage::COUNT],
+    /// End-to-end latency by submitted tier class (`kspr_tier_<tier>_ns`).
+    tiers: [Arc<Histogram>; TIER_NAMES.len()],
+    /// End-to-end latency by algorithm (`kspr_algorithm_<name>_ns`).
+    algorithms: [Arc<Histogram>; ALGORITHM_NAMES.len()],
+    /// The exact engine's own wall time per query (`kspr_engine_wall_ns`,
+    /// from [`QueryStats`] — excludes queueing and batching).
+    engine_wall: Arc<Histogram>,
+    /// WAL commit (write + fsync) latency (`kspr_wal_commit_ns`).
+    wal_commit: Arc<Histogram>,
+    /// Fsyncs issued by the WAL writer (`kspr_wal_fsyncs`).
+    wal_fsyncs: Arc<Counter>,
+    /// Cumulative standing-query maintenance time (`kspr_maintenance_ns`).
+    maintenance_ns: Arc<Counter>,
+    /// Bytes in the WAL since the last snapshot (`kspr_wal_bytes`).
+    wal_bytes: Arc<Gauge>,
+    /// Snapshots installed since the store opened (`kspr_snapshot_epoch`).
+    snapshot_epoch: Arc<Gauge>,
+    /// Pending request-queue depth at snapshot time (`kspr_queue_depth`).
+    queue_depth: Arc<Gauge>,
+    /// Queries at least this slow (enqueue to ack) enter the slow-query
+    /// log; `None` disables the log.
+    slow_threshold_ns: Option<u64>,
+    slow: Mutex<VecDeque<SlowQuery>>,
+    /// WAL size past which a warning is logged (once per epoch).
+    wal_warn_bytes: u64,
+    wal_warned: AtomicBool,
+}
+
+impl ServeMetrics {
+    pub(crate) fn new(slow_query_threshold: Option<Duration>, wal_warn_bytes: u64) -> Self {
+        let registry = MetricsRegistry::new();
+        let stages =
+            Stage::ALL.map(|stage| registry.histogram(&format!("kspr_stage_{}_ns", stage.name())));
+        let tiers = TIER_NAMES.map(|tier| registry.histogram(&format!("kspr_tier_{tier}_ns")));
+        let algorithms =
+            ALGORITHM_NAMES.map(|name| registry.histogram(&format!("kspr_algorithm_{name}_ns")));
+        let engine_wall = registry.histogram("kspr_engine_wall_ns");
+        let wal_commit = registry.histogram("kspr_wal_commit_ns");
+        let wal_fsyncs = registry.counter("kspr_wal_fsyncs");
+        let maintenance_ns = registry.counter("kspr_maintenance_ns");
+        let wal_bytes = registry.gauge("kspr_wal_bytes");
+        let snapshot_epoch = registry.gauge("kspr_snapshot_epoch");
+        let queue_depth = registry.gauge("kspr_queue_depth");
+        Self {
+            registry,
+            stages,
+            tiers,
+            algorithms,
+            engine_wall,
+            wal_commit,
+            wal_fsyncs,
+            maintenance_ns,
+            wal_bytes,
+            snapshot_epoch,
+            queue_depth,
+            slow_threshold_ns: slow_query_threshold
+                .map(|t| u64::try_from(t.as_nanos()).unwrap_or(u64::MAX)),
+            slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            wal_warn_bytes,
+            wal_warned: AtomicBool::new(false),
+        }
+    }
+
+    /// Records the listed stages of one finished request into the per-stage
+    /// histograms.  Callers list exactly the stages their path stamped, so
+    /// no histogram collects structural zeros from stages a path never
+    /// visits (updates have no admission stage, queries no WAL stage).
+    pub(crate) fn record_stages(&self, timings: &StageTimings, stages: &[Stage]) {
+        for &stage in stages {
+            self.stages[stage.index()].record(timings.stage_nanos(stage));
+        }
+    }
+
+    /// Records one answered query's end-to-end latency under its tier class
+    /// and algorithm, and retains it in the slow-query log when it crossed
+    /// the threshold.
+    pub(crate) fn record_query(&self, slow: SlowQuery) {
+        self.tiers[TIER_NAMES
+            .iter()
+            .position(|&t| t == slow.tier)
+            .expect("tier labels come from TIER_NAMES")]
+        .record(slow.total_ns);
+        self.algorithms[slow.algorithm as usize].record(slow.total_ns);
+        if let Some(stats) = &slow.stats {
+            self.engine_wall.record(stats.wall_time_ns);
+        }
+        if self.slow_threshold_ns.is_some_and(|t| slow.total_ns >= t) {
+            let mut log = unpoisoned(&self.slow);
+            if log.len() == SLOW_LOG_CAPACITY {
+                log.pop_front();
+            }
+            log.push_back(slow);
+        }
+    }
+
+    /// The retained slow queries, oldest first.
+    pub(crate) fn slow_queries(&self) -> Vec<SlowQuery> {
+        unpoisoned(&self.slow).iter().cloned().collect()
+    }
+
+    /// Times one standing-query maintenance pass into the `Notify` stage
+    /// histogram and the cumulative maintenance counter.
+    pub(crate) fn record_maintenance(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.stages[Stage::Notify.index()].record(nanos);
+        self.maintenance_ns.add(nanos);
+    }
+
+    /// Publishes the WAL's state after one committed batch: commit latency,
+    /// fsync count, size gauge — and a (once-per-epoch) warning when the
+    /// log outgrows the watermark without a compaction truncating it.
+    pub(crate) fn wal_committed(&self, bytes: u64, commit_nanos: u64, synced: bool) {
+        self.wal_commit.record(commit_nanos);
+        self.wal_bytes.set(bytes);
+        if synced {
+            self.wal_fsyncs.inc();
+        }
+        if bytes > self.wal_warn_bytes && !self.wal_warned.swap(true, Ordering::Relaxed) {
+            eprintln!(
+                "kspr-serve: WAL has grown to {bytes} bytes (watermark \
+                 {}); recovery replay is getting long — consider a lower \
+                 compaction threshold or a manual snapshot",
+                self.wal_warn_bytes
+            );
+        }
+    }
+
+    /// Publishes the WAL's state after a snapshot install truncated it.
+    pub(crate) fn snapshot_installed(&self, wal_bytes: u64, epoch: u64) {
+        self.wal_bytes.set(wal_bytes);
+        self.snapshot_epoch.set(epoch);
+        self.wal_warned.store(false, Ordering::Relaxed);
+    }
+
+    /// A [`MetricsSnapshot`] of every registered metric, folding in the
+    /// [`ServeStats`] counters (prefixed `kspr_`) and the current queue
+    /// depth so one export carries the whole serving picture.
+    pub(crate) fn snapshot(&self, queue_depth: u64, serve: &ServeStats) -> MetricsSnapshot {
+        self.queue_depth.set(queue_depth);
+        let mut snap = self.registry.snapshot();
+        for (name, value) in serve_counter_fields(serve) {
+            snap.counters.push((format!("kspr_{name}"), value));
+        }
+        snap.counters.sort();
+        snap.gauges
+            .push(("kspr_largest_batch".into(), serve.largest_batch as u64));
+        snap.gauges.push((
+            "kspr_largest_intra_grant".into(),
+            serve.largest_intra_grant as u64,
+        ));
+        snap.gauges.push((
+            "kspr_largest_update_batch".into(),
+            serve.largest_update_batch as u64,
+        ));
+        snap.gauges.sort();
+        snap
+    }
+}
+
+/// Every monotone [`ServeStats`] counter as `(name, value)` — the high-water
+/// marks export as gauges instead, and the monitor's classification stats
+/// stay on the struct.
+fn serve_counter_fields(stats: &ServeStats) -> Vec<(String, u64)> {
+    let mut fields: Vec<(String, u64)> = [
+        ("queries", stats.queries),
+        ("exact_queries", stats.exact_queries),
+        ("approx_queries", stats.approx_queries),
+        ("auto_routed_exact", stats.auto_routed_exact),
+        ("auto_routed_approx", stats.auto_routed_approx),
+        ("degraded_to_approx", stats.degraded_to_approx),
+        ("rejected", stats.rejected),
+        ("batches", stats.batches),
+        ("parallel_batches", stats.parallel_batches),
+        ("updates", stats.updates),
+        ("update_batches", stats.update_batches),
+        ("wal_commits", stats.wal_commits),
+        ("snapshots", stats.snapshots),
+        ("compactions", stats.compactions),
+        ("subscriptions", stats.subscriptions),
+        ("notifications", stats.notifications),
+        ("deltas_coalesced", stats.deltas_coalesced),
+        ("approx_subscriptions", stats.approx_subscriptions),
+        ("approx_notifications", stats.approx_notifications),
+        ("approx_watch_unaffected", stats.approx_watch_unaffected),
+        ("maintenance_failures", stats.maintenance_failures),
+    ]
+    .into_iter()
+    .map(|(name, value)| (name.to_owned(), value))
+    .collect();
+    for (variant, count) in stats.rejections.variants() {
+        fields.push((format!("rejected_{variant}"), count));
+    }
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn live_stats_snapshot_mirrors_every_counter() {
+        let live = LiveStats::default();
+        live.queries.add(4);
+        live.exact_queries.add(3);
+        live.approx_queries.inc();
+        live.reject(&ServeError::InvalidK);
+        live.reject(&ServeError::Overloaded);
+        live.reject(&ServeError::Overloaded);
+        live.largest_batch.record(5);
+        live.largest_batch.record(3); // high-water mark, not last-write
+        live.updates.add(7);
+
+        let snap = live.snapshot();
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.exact_queries, 3);
+        assert_eq!(snap.approx_queries, 1);
+        assert_eq!(snap.rejected, 3);
+        assert_eq!(snap.rejections.invalid_k, 1);
+        assert_eq!(snap.rejections.overloaded, 2);
+        assert_eq!(snap.rejections.total(), snap.rejected);
+        assert_eq!(snap.largest_batch, 5);
+        assert_eq!(snap.updates, 7);
+    }
+
+    #[test]
+    fn slow_query_log_applies_threshold_and_capacity() {
+        let metrics = ServeMetrics::new(Some(Duration::from_nanos(1_000)), u64::MAX);
+        let query = |total_ns| SlowQuery {
+            algorithm: Algorithm::LpCta,
+            k: 2,
+            tier: TIER_NAMES[0],
+            total_ns,
+            stages: StageTimings::default(),
+            stats: None,
+        };
+        metrics.record_query(query(999)); // below threshold: not retained
+        for i in 0..SLOW_LOG_CAPACITY + 3 {
+            metrics.record_query(query(1_000 + i as u64));
+        }
+        let log = metrics.slow_queries();
+        assert_eq!(log.len(), SLOW_LOG_CAPACITY, "the ring buffer is bounded");
+        assert_eq!(
+            log.first().unwrap().total_ns,
+            1_003,
+            "eviction is oldest-first"
+        );
+        // Every recorded query lands in its tier histogram regardless of
+        // the slow log.
+        let snap = metrics.snapshot(0, &ServeStats::default());
+        assert_eq!(
+            snap.histogram("kspr_tier_exact_ns").unwrap().count(),
+            SLOW_LOG_CAPACITY as u64 + 4
+        );
+    }
+
+    #[test]
+    fn disabled_threshold_retains_nothing() {
+        let metrics = ServeMetrics::new(None, u64::MAX);
+        metrics.record_query(SlowQuery {
+            algorithm: Algorithm::Cta,
+            k: 1,
+            tier: TIER_NAMES[2],
+            total_ns: u64::MAX,
+            stages: StageTimings::default(),
+            stats: None,
+        });
+        assert!(metrics.slow_queries().is_empty());
+    }
+
+    #[test]
+    fn snapshot_folds_serve_counters_and_peak_gauges_in() {
+        let metrics = ServeMetrics::new(None, u64::MAX);
+        let serve = ServeStats {
+            queries: 9,
+            largest_batch: 4,
+            rejections: RejectionStats {
+                quota_exceeded: 2,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let snap = metrics.snapshot(3, &serve);
+        assert_eq!(snap.counter("kspr_queries"), Some(9));
+        assert_eq!(snap.counter("kspr_rejected_quota_exceeded"), Some(2));
+        assert_eq!(snap.gauge("kspr_largest_batch"), Some(4));
+        assert_eq!(snap.gauge("kspr_queue_depth"), Some(3));
+        // Folded counters keep the sorted-export invariant.
+        let names: Vec<&String> = snap.counters.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+
+    #[test]
+    fn wal_watermark_warns_once_per_epoch() {
+        let metrics = ServeMetrics::new(None, 100);
+        metrics.wal_committed(50, 10, true);
+        assert!(!metrics.wal_warned.load(Ordering::Relaxed));
+        metrics.wal_committed(150, 10, true);
+        assert!(metrics.wal_warned.load(Ordering::Relaxed));
+        metrics.snapshot_installed(0, 1);
+        assert!(
+            !metrics.wal_warned.load(Ordering::Relaxed),
+            "a snapshot truncates the WAL and re-arms the warning"
+        );
+        let snap = metrics.snapshot(0, &ServeStats::default());
+        assert_eq!(snap.counter("kspr_wal_fsyncs"), Some(2));
+        assert_eq!(snap.gauge("kspr_wal_bytes"), Some(0));
+        assert_eq!(snap.gauge("kspr_snapshot_epoch"), Some(1));
+        assert_eq!(snap.histogram("kspr_wal_commit_ns").unwrap().count(), 2);
+    }
+}

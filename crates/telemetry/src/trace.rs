@@ -1,0 +1,196 @@
+//! Per-request stage tracing.
+//!
+//! A [`RequestTrace`] is created when a request enters the serving stack and
+//! travels with it.  Each pipeline stage calls [`RequestTrace::stamp`] when
+//! it finishes; the stamp attributes the time elapsed since the previous
+//! stamp (or since creation) to that stage, so the stage durations partition
+//! the request's total latency.  All clocks are monotonic
+//! ([`std::time::Instant`]).
+
+use std::time::{Duration, Instant};
+
+/// The pipeline stages a request can pass through, in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Sitting in the dispatcher's queue, from enqueue to dequeue.
+    Queue,
+    /// Admission verdict plus request validation.
+    Admission,
+    /// Batch assembly: grouping compatible requests for one engine run.
+    Batch,
+    /// The engine run (or the update's application to the engine).
+    Engine,
+    /// The WAL write + fsync committing the update before its ack.
+    WalCommit,
+    /// Result packaging up to the acknowledgement send.
+    Ack,
+    /// Standing-query maintenance and delta notification.
+    Notify,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Queue,
+        Stage::Admission,
+        Stage::Batch,
+        Stage::Engine,
+        Stage::WalCommit,
+        Stage::Ack,
+        Stage::Notify,
+    ];
+
+    /// Number of stages.
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// A stable lowercase identifier, usable as a metric-name component.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::Admission => "admission",
+            Stage::Batch => "batch",
+            Stage::Engine => "engine",
+            Stage::WalCommit => "wal_commit",
+            Stage::Ack => "ack",
+            Stage::Notify => "notify",
+        }
+    }
+
+    /// The stage's index into [`Stage::ALL`].
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Monotonic per-stage timings for one request.
+#[derive(Debug, Clone)]
+pub struct RequestTrace {
+    start: Instant,
+    last: Instant,
+    nanos: [u64; Stage::COUNT],
+}
+
+impl Default for RequestTrace {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl RequestTrace {
+    /// Starts the trace clock (call at enqueue).
+    pub fn start() -> Self {
+        let now = Instant::now();
+        Self {
+            start: now,
+            last: now,
+            nanos: [0; Stage::COUNT],
+        }
+    }
+
+    /// Attributes the time since the previous stamp (or since the start) to
+    /// `stage` and advances the stamp clock.  Stamping the same stage twice
+    /// accumulates.
+    pub fn stamp(&mut self, stage: Stage) {
+        let now = Instant::now();
+        let elapsed = now.duration_since(self.last);
+        self.nanos[stage.index()] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.last = now;
+    }
+
+    /// Nanoseconds attributed to `stage` so far.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Total time since the trace started.
+    pub fn total(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Total time since the trace started, in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        u64::try_from(self.total().as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// A plain-value copy of the stage timings.
+    pub fn timings(&self) -> StageTimings {
+        StageTimings { nanos: self.nanos }
+    }
+}
+
+/// Owned per-stage timings, detached from the trace's clocks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    nanos: [u64; Stage::COUNT],
+}
+
+impl StageTimings {
+    /// Nanoseconds attributed to `stage`.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Iterates `(stage, nanos)` in pipeline order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, u64)> + '_ {
+        Stage::ALL.iter().map(move |&s| (s, self.nanos[s.index()]))
+    }
+
+    /// Sum over all stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_have_stable_names_and_indices() {
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            assert_eq!(stage.index(), i);
+        }
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "queue",
+                "admission",
+                "batch",
+                "engine",
+                "wal_commit",
+                "ack",
+                "notify"
+            ]
+        );
+    }
+
+    #[test]
+    fn stamps_partition_the_timeline() {
+        let mut trace = RequestTrace::start();
+        std::thread::sleep(Duration::from_millis(2));
+        trace.stamp(Stage::Queue);
+        std::thread::sleep(Duration::from_millis(2));
+        trace.stamp(Stage::Engine);
+        trace.stamp(Stage::Ack);
+
+        assert!(trace.stage_nanos(Stage::Queue) >= 1_000_000);
+        assert!(trace.stage_nanos(Stage::Engine) >= 1_000_000);
+        assert_eq!(trace.stage_nanos(Stage::Batch), 0);
+        let timings = trace.timings();
+        assert!(timings.total_nanos() <= trace.total_nanos());
+        assert_eq!(
+            timings.iter().map(|(_, ns)| ns).sum::<u64>(),
+            timings.total_nanos()
+        );
+    }
+
+    #[test]
+    fn restamping_accumulates() {
+        let mut trace = RequestTrace::start();
+        trace.stamp(Stage::Engine);
+        std::thread::sleep(Duration::from_millis(1));
+        trace.stamp(Stage::Engine);
+        assert!(trace.stage_nanos(Stage::Engine) >= 1_000_000);
+    }
+}

@@ -1,0 +1,114 @@
+//! Concurrency and property tests for the lock-free histogram core.
+
+use kspr_telemetry::{Histogram, HistogramSnapshot, SUBBUCKETS};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn concurrent_recorders_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let shared = Arc::new(Histogram::new());
+    let partials: Vec<Arc<Histogram>> = (0..THREADS).map(|_| Arc::new(Histogram::new())).collect();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let shared = Arc::clone(&shared);
+            let partial = Arc::clone(&partials[t]);
+            std::thread::spawn(move || {
+                // A per-thread splitmix stream spanning many octaves.
+                let mut state = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(t as u64 + 1);
+                for _ in 0..PER_THREAD {
+                    state = state
+                        .wrapping_mul(6_364_136_223_846_793_005)
+                        .wrapping_add(1_442_695_040_888_963_407);
+                    let value = state >> (state % 48);
+                    shared.record(value);
+                    partial.record(value);
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("recorder thread");
+    }
+
+    let total = THREADS as u64 * PER_THREAD;
+    let shared_snap = shared.snapshot();
+    assert_eq!(shared_snap.count(), total, "no record was lost to a race");
+    assert_eq!(shared_snap.buckets().iter().sum::<u64>(), total);
+
+    // Merging the per-thread snapshots reproduces the shared histogram
+    // exactly: same buckets, same sum, same extremes.
+    let mut merged = HistogramSnapshot::empty();
+    for partial in &partials {
+        merged.merge(&partial.snapshot());
+    }
+    assert_eq!(merged, shared_snap);
+}
+
+/// The reference quantile matching the histogram's definition: the smallest
+/// value whose rank reaches `ceil(q * n)`.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_quantiles_bound_the_pooled_stream(
+        a in prop::collection::vec(0u64..1 << 40, 1..200),
+        b in prop::collection::vec(0u64..1 << 40, 1..200),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        for &v in &a { ha.record(v); }
+        for &v in &b { hb.record(v); }
+        let mut merged = ha.snapshot();
+        merged.merge(&hb.snapshot());
+
+        let mut pooled: Vec<u64> = a.iter().chain(&b).copied().collect();
+        pooled.sort_unstable();
+        prop_assert_eq!(merged.count(), pooled.len() as u64);
+        prop_assert_eq!(merged.sum(), pooled.iter().sum::<u64>());
+        prop_assert_eq!(merged.min(), pooled[0]);
+        prop_assert_eq!(merged.max(), *pooled.last().unwrap());
+
+        for q in [0.5, 0.9, 0.99, 1.0] {
+            let truth = exact_quantile(&pooled, q);
+            let reported = merged.quantile(q);
+            // The reported quantile never undershoots, and overshoots by at
+            // most one log-bucket width (1/SUBBUCKETS relative error).
+            prop_assert!(reported >= truth, "q={} reported {} < {}", q, reported, truth);
+            prop_assert!(
+                reported <= truth + truth / SUBBUCKETS + 1,
+                "q={} reported {} too far above {}",
+                q,
+                reported,
+                truth
+            );
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_and_exact(
+        a in prop::collection::vec(0u64..1 << 52, 0..100),
+        b in prop::collection::vec(0u64..1 << 52, 0..100),
+    ) {
+        let ha = Histogram::new();
+        let hb = Histogram::new();
+        let pooled = Histogram::new();
+        for &v in &a { ha.record(v); pooled.record(v); }
+        for &v in &b { hb.record(v); pooled.record(v); }
+
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(&ab, &pooled.snapshot());
+    }
+}

@@ -65,7 +65,14 @@ pub fn write_frame(stream: &mut impl Write, payload: &[u8]) -> Result<(), FrameE
 pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, FrameError> {
     let mut len = [0u8; 4];
     stream.read_exact(&mut len)?;
-    let len = u32::from_le_bytes(len) as usize;
+    read_frame_body(stream, u32::from_le_bytes(len))
+}
+
+/// Reads a frame's payload when the 4-byte length prefix was already
+/// consumed — the serve front-end sniffs those bytes to tell a framed
+/// connection from a plaintext HTTP metrics scrape.
+pub fn read_frame_body(stream: &mut impl Read, len: u32) -> Result<Vec<u8>, FrameError> {
+    let len = len as usize;
     if len > MAX_FRAME {
         return Err(FrameError::Oversized(len));
     }

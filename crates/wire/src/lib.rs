@@ -28,8 +28,11 @@
 pub mod codec;
 pub mod message;
 
-pub use codec::{read_frame, write_frame, FrameError, MAX_FRAME};
-pub use message::{ApproxSummary, ErrorCode, ResultSummary, TierSpec, WireRequest, WireResponse};
+pub use codec::{read_frame, read_frame_body, write_frame, FrameError, MAX_FRAME};
+pub use message::{
+    ApproxSummary, ErrorCode, HistogramSummary, MetricsReport, ResultSummary, TierSpec,
+    WireRequest, WireResponse,
+};
 
 use std::io::{Read, Write};
 

@@ -147,6 +147,9 @@ pub enum WireRequest {
     Subscriptions,
     /// Admin: serving counters snapshot.
     Stats,
+    /// Admin: live telemetry snapshot (counters, gauges, latency-histogram
+    /// summaries).
+    Metrics,
 }
 
 /// Exact-result summary crossing the wire: the quantities the repo's
@@ -160,6 +163,39 @@ pub struct ResultSummary {
     pub whole_space: bool,
     /// Sorted multiset of region ranks.
     pub rank_signature: Vec<u64>,
+}
+
+/// One latency histogram's wire summary: the quantile digest, not the
+/// bucket array — enough for dashboards and the scrape demos, a fraction of
+/// the bytes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// The histogram's registry name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of recorded values (nanoseconds for latency histograms).
+    pub sum: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Exact maximum.
+    pub max: u64,
+}
+
+/// The live telemetry snapshot crossing the wire: labelled counters and
+/// gauges plus one [`HistogramSummary`] per latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsReport {
+    /// `(name, value)` counter pairs, order-stable per server build.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` gauge pairs.
+    pub gauges: Vec<(String, u64)>,
+    /// One summary per histogram.
+    pub histograms: Vec<HistogramSummary>,
 }
 
 /// Approximate answer crossing the wire (this *is* the full answer).
@@ -269,6 +305,8 @@ pub enum WireResponse {
         /// `(name, value)` counter pairs.
         fields: Vec<(String, u64)>,
     },
+    /// Answer to `Metrics`: the live telemetry snapshot.
+    Metrics(MetricsReport),
 }
 
 const REQ_PING: u8 = 1;
@@ -281,6 +319,7 @@ const REQ_UNSUBSCRIBE: u8 = 7;
 const REQ_POLL_DELTAS: u8 = 8;
 const REQ_SUBSCRIPTIONS: u8 = 9;
 const REQ_STATS: u8 = 10;
+const REQ_METRICS: u8 = 11;
 
 const RESP_ERROR: u8 = 0;
 const RESP_PONG: u8 = 1;
@@ -293,6 +332,7 @@ const RESP_UNSUBSCRIBED: u8 = 7;
 const RESP_DELTAS: u8 = 8;
 const RESP_COUNT: u8 = 9;
 const RESP_STATS: u8 = 10;
+const RESP_METRICS: u8 = 11;
 
 const TIER_EXACT: u8 = 0;
 const TIER_APPROX: u8 = 1;
@@ -392,6 +432,50 @@ fn get_summary(bytes: &[u8], at: &mut usize) -> Option<ResultSummary> {
     })
 }
 
+fn put_fields(out: &mut Vec<u8>, fields: &[(String, u64)]) {
+    out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for (name, value) in fields {
+        put_str(out, name);
+        put_u64(out, *value);
+    }
+}
+
+fn get_fields(bytes: &[u8], at: &mut usize) -> Option<Vec<(String, u64)>> {
+    let n = get_u32(bytes, at)? as usize;
+    if n > bytes.len().saturating_sub(*at) {
+        return None;
+    }
+    let mut fields = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = get_str(bytes, at)?;
+        let value = get_u64(bytes, at)?;
+        fields.push((name, value));
+    }
+    Some(fields)
+}
+
+fn put_histogram_summary(out: &mut Vec<u8>, summary: &HistogramSummary) {
+    put_str(out, &summary.name);
+    put_u64(out, summary.count);
+    put_u64(out, summary.sum);
+    put_u64(out, summary.p50);
+    put_u64(out, summary.p90);
+    put_u64(out, summary.p99);
+    put_u64(out, summary.max);
+}
+
+fn get_histogram_summary(bytes: &[u8], at: &mut usize) -> Option<HistogramSummary> {
+    Some(HistogramSummary {
+        name: get_str(bytes, at)?,
+        count: get_u64(bytes, at)?,
+        sum: get_u64(bytes, at)?,
+        p50: get_u64(bytes, at)?,
+        p90: get_u64(bytes, at)?,
+        p99: get_u64(bytes, at)?,
+        max: get_u64(bytes, at)?,
+    })
+}
+
 fn header(opcode: u8) -> Vec<u8> {
     vec![WIRE_VERSION, opcode]
 }
@@ -473,6 +557,7 @@ impl WireRequest {
             }
             WireRequest::Subscriptions => header(REQ_SUBSCRIPTIONS),
             WireRequest::Stats => header(REQ_STATS),
+            WireRequest::Metrics => header(REQ_METRICS),
         }
     }
 
@@ -511,6 +596,7 @@ impl WireRequest {
             },
             REQ_SUBSCRIPTIONS => WireRequest::Subscriptions,
             REQ_STATS => WireRequest::Stats,
+            REQ_METRICS => WireRequest::Metrics,
             _ => return None,
         };
         finish(request, at, payload)
@@ -577,10 +663,16 @@ impl WireResponse {
             }
             WireResponse::Stats { fields } => {
                 let mut out = header(RESP_STATS);
-                out.extend_from_slice(&(fields.len() as u32).to_le_bytes());
-                for (name, value) in fields {
-                    put_str(&mut out, name);
-                    put_u64(&mut out, *value);
+                put_fields(&mut out, fields);
+                out
+            }
+            WireResponse::Metrics(report) => {
+                let mut out = header(RESP_METRICS);
+                put_fields(&mut out, &report.counters);
+                put_fields(&mut out, &report.gauges);
+                out.extend_from_slice(&(report.histograms.len() as u32).to_le_bytes());
+                for summary in &report.histograms {
+                    put_histogram_summary(&mut out, summary);
                 }
                 out
             }
@@ -640,18 +732,25 @@ impl WireResponse {
             RESP_COUNT => WireResponse::Count {
                 value: get_u64(payload, &mut at)?,
             },
-            RESP_STATS => {
+            RESP_STATS => WireResponse::Stats {
+                fields: get_fields(payload, &mut at)?,
+            },
+            RESP_METRICS => {
+                let counters = get_fields(payload, &mut at)?;
+                let gauges = get_fields(payload, &mut at)?;
                 let n = get_u32(payload, &mut at)? as usize;
                 if n > payload.len().saturating_sub(at) {
                     return None;
                 }
-                let mut fields = Vec::with_capacity(n);
+                let mut histograms = Vec::with_capacity(n);
                 for _ in 0..n {
-                    let name = get_str(payload, &mut at)?;
-                    let value = get_u64(payload, &mut at)?;
-                    fields.push((name, value));
+                    histograms.push(get_histogram_summary(payload, &mut at)?);
                 }
-                WireResponse::Stats { fields }
+                WireResponse::Metrics(MetricsReport {
+                    counters,
+                    gauges,
+                    histograms,
+                })
             }
             _ => return None,
         };
@@ -709,6 +808,7 @@ mod tests {
             WireRequest::PollDeltas { token: 7 },
             WireRequest::Subscriptions,
             WireRequest::Stats,
+            WireRequest::Metrics,
         ]
     }
 
@@ -749,6 +849,25 @@ mod tests {
             WireResponse::Stats {
                 fields: vec![("queries".into(), 100), ("degraded_to_approx".into(), 4)],
             },
+            WireResponse::Metrics(MetricsReport {
+                counters: vec![("kspr_wal_fsyncs".into(), 12)],
+                gauges: vec![
+                    ("kspr_wal_bytes".into(), 4096),
+                    ("kspr_queue_depth".into(), 0),
+                ],
+                histograms: vec![
+                    HistogramSummary {
+                        name: "kspr_stage_engine_ns".into(),
+                        count: 100,
+                        sum: 123_456,
+                        p50: 900,
+                        p90: 2_100,
+                        p99: 4_800,
+                        max: 5_000,
+                    },
+                    HistogramSummary::default(),
+                ],
+            }),
         ]
     }
 
