@@ -21,8 +21,11 @@
 //!   and crash-recovery replay time of the durable serving store),
 //!   `telemetry` (beyond-the-paper: per-stage latency percentiles of the
 //!   serving pipeline, measured through the `kspr-telemetry` stage traces),
-//!   or `all`.  The `serve`, `monitor`, `parallel`, `recovery`, and
-//!   `telemetry` experiments each update their own section of
+//!   `trace` (beyond-the-paper: end-to-end span tracing over the wire —
+//!   client trace ids, flight-recorder retention, engine phase histograms,
+//!   and the `/trace` chrome-trace export), or `all`.  The `approx`,
+//!   `batch`, `monitor`, `parallel`, `recovery`, `serve`, `telemetry`,
+//!   `trace`, and `update` experiments each update their own section of
 //!   `BENCH_perf.json`.
 //! * `[scale]` is `quick` (default) or `full`; the parameter values for each
 //!   scale are documented in `EXPERIMENTS.md`.
@@ -80,6 +83,7 @@ fn run_experiment(which: &str, scale: Scale, extra: Option<&str>) {
         "parallel" => parallel(scale, extra),
         "recovery" => recovery(scale),
         "telemetry" => telemetry(scale),
+        "trace" => trace(scale),
         "all" => {
             for e in [
                 "fig9",
@@ -106,6 +110,7 @@ fn run_experiment(which: &str, scale: Scale, extra: Option<&str>) {
                 "parallel",
                 "recovery",
                 "telemetry",
+                "trace",
             ] {
                 run_experiment(e, scale, None);
                 println!();
@@ -828,21 +833,44 @@ fn batch(scale: Scale) {
     );
     let focals = w.focals(queries);
     let config = KsprConfig::default();
-    for alg in [Algorithm::Pcta, Algorithm::LpCta] {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    body.push_str(&format!(
+        "    \"n\": {},\n    \"d\": {},\n    \"k\": {},\n    \"queries\": {},\n",
+        p.n_default,
+        p.d_default,
+        p.k_default,
+        focals.len()
+    ));
+    body.push_str("    \"algorithms\": {\n");
+    let algorithms = [Algorithm::Pcta, Algorithm::LpCta];
+    for (i, alg) in algorithms.into_iter().enumerate() {
         let seq = measure(alg, &w.dataset, &focals, p.k_default, &config);
         let batch = measure_batch(alg, &w.dataset, &focals, p.k_default, &config);
         let seq_total = seq.avg_time.as_secs_f64() * focals.len() as f64;
         let batch_total = batch.avg_time.as_secs_f64() * focals.len() as f64;
+        let speedup = seq_total / batch_total.max(1e-12);
         println!(
             "{:<10} {:>8} {:>16.4} {:>16.4} {:>9.2}x",
             alg.label(),
             focals.len(),
             seq_total,
             batch_total,
-            seq_total / batch_total.max(1e-12),
+            speedup,
         );
+        body.push_str(&format!(
+            "      \"{}\": {{\"sequential_secs\": {seq_total:.6}, \"batch_secs\": \
+             {batch_total:.6}, \"speedup\": {speedup:.4}}}{}\n",
+            alg.label(),
+            if i + 1 == algorithms.len() { "" } else { "," },
+        ));
     }
+    body.push_str("    }\n  }");
     println!("expected shape: speedup approaches the core count for CPU-bound workloads");
+    match write_bench_perf_section("batch", &body) {
+        Ok(path) => eprintln!("[batch] wrote {path}"),
+        Err(err) => eprintln!("[batch] could not write BENCH_perf.json: {err}"),
+    }
 }
 
 fn update(scale: Scale) {
@@ -873,7 +901,15 @@ fn update(scale: Scale) {
         "{:<14} {:>8} {:>18} {:>18} {:>10}",
         "query mix", "queries", "incremental (s)", "rebuild (s)", "speedup"
     );
-    for (label, focals) in mixes {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    body.push_str(&format!(
+        "    \"n\": {n},\n    \"d\": {},\n    \"k\": {k},\n    \"rounds\": {rounds},\n",
+        p.d_default
+    ));
+    body.push_str("    \"mixes\": {\n");
+    let num_mixes = mixes.len();
+    for (i, (label, focals)) in mixes.into_iter().enumerate() {
         let cmp = kspr_bench::measure_update_cycles(
             &w,
             &focals,
@@ -900,6 +936,20 @@ fn update(scale: Scale) {
             cmp.rebuild,
             cmp.speedup(),
         );
+        body.push_str(&format!(
+            "      \"{label}\": {{\"queries\": {}, \"incremental_secs\": {:.6}, \
+             \"rebuild_secs\": {:.6}, \"speedup\": {:.4}}}{}\n",
+            focals.len(),
+            cmp.incremental,
+            cmp.rebuild,
+            cmp.speedup(),
+            if i + 1 == num_mixes { "" } else { "," },
+        ));
+    }
+    body.push_str("    }\n  }");
+    match write_bench_perf_section("update", &body) {
+        Ok(path) => eprintln!("[update] wrote {path}"),
+        Err(err) => eprintln!("[update] could not write BENCH_perf.json: {err}"),
     }
     println!(
         "expected shape: incremental maintenance is O(log n + band) per insert / non-band delete \
@@ -1445,6 +1495,172 @@ fn telemetry(scale: Scale) {
     }
 }
 
+/// Beyond the paper: end-to-end span tracing over the wire.  Sends traced
+/// queries and updates (client-supplied trace ids over `kspr-wire` v2
+/// frames) through a durable [`kspr_serve::NetServer`], verifies every id is
+/// echoed and retained as a well-formed span tree, reads the engine's
+/// per-phase histograms, and times the `/trace` chrome-trace HTTP export —
+/// emitted as the `"trace"` section of `BENCH_perf.json`.
+fn trace(scale: Scale) {
+    use kspr_serve::{NetServer, ServeOptions, Server, ShardedEngine};
+    use kspr_telemetry::parse_json;
+    use kspr_wire::{WireClient, WireRequest, WireResponse};
+    use std::io::{Read as _, Write as _};
+    use std::net::TcpStream;
+    header(
+        "End-to-end tracing: trace-id round-trips, span trees, /trace export",
+        "beyond the paper — kspr-telemetry flight recorder (see EXPERIMENTS.md)",
+    );
+    let p = params(scale);
+    let (n, traced_target) = match scale {
+        Scale::Quick => (1_500, 24usize),
+        Scale::Full => (20_000, 240),
+    };
+    let w = Workload::synthetic(Distribution::Independent, n, p.d_default, p.k_default, 197);
+    let dir = std::env::temp_dir().join(format!("kspr-trace-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start_durable(
+        ShardedEngine::new(w.raw.clone(), KsprConfig::default().with_shards(4)),
+        ServeOptions::default(),
+        &dir,
+    )
+    .expect("open durable server");
+    let handle = server.handle();
+    let net = NetServer::bind(server.handle(), "127.0.0.1:0").expect("bind loopback");
+    let stream = TcpStream::connect(net.local_addr()).expect("loopback connect");
+    let mut client = WireClient::new(stream);
+
+    let focals = w.focals(traced_target);
+    let queries = focals.len();
+    let start = Instant::now();
+    for (i, focal) in focals.into_iter().enumerate() {
+        let trace_id = 0x1000 + i as u64;
+        let (response, echo) = client
+            .call_traced(
+                &WireRequest::Query {
+                    algorithm: Algorithm::LpCta,
+                    focal,
+                    k: p.k_default as u64,
+                },
+                Some(trace_id),
+            )
+            .expect("traced query");
+        assert!(matches!(response, WireResponse::Result(_)));
+        assert_eq!(echo, Some(trace_id), "the trace id must be echoed");
+        // Interleave traced durable updates so WAL-commit spans show up.
+        if i % 4 == 0 {
+            let (response, _) = client
+                .call_traced(
+                    &WireRequest::Insert {
+                        values: vec![0.4 + 0.0001 * (i % 100) as f64; p.d_default],
+                    },
+                    Some(0x9000 + i as u64),
+                )
+                .expect("traced insert");
+            assert!(matches!(response, WireResponse::Inserted { .. }));
+        }
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // Flight-recorder retention and span-tree shape.
+    let retained = handle.traces();
+    let spans_retained: usize = retained.iter().map(|r| r.spans.len()).sum();
+    assert!(
+        retained.iter().all(|r| r.is_well_formed()),
+        "every retained span tree must be well-formed"
+    );
+
+    // The /trace export, timed over a raw HTTP GET on the scrape port.
+    let export_start = Instant::now();
+    let mut scrape = TcpStream::connect(net.local_addr()).expect("trace connect");
+    scrape
+        .write_all(b"GET /trace HTTP/1.1\r\nHost: localhost\r\n\r\n")
+        .expect("send trace request");
+    let mut text = String::new();
+    scrape.read_to_string(&mut text).expect("read trace");
+    let body_json = text.split("\r\n\r\n").nth(1).expect("an HTTP body");
+    let export_bytes = body_json.len();
+    let json = parse_json(body_json).expect("/trace must serve valid JSON");
+    let export_secs = export_start.elapsed().as_secs_f64();
+    let events = json
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("a traceEvents array")
+        .len();
+
+    println!(
+        "{queries} traced queries (+{} traced inserts) over n = {n} in {wall_secs:.3}s",
+        queries.div_ceil(4)
+    );
+    println!(
+        "flight recorder: {} trees retained ({} spans); /trace export: {} events, \
+         {export_bytes} bytes in {:.1}ms",
+        retained.len(),
+        spans_retained,
+        events,
+        export_secs * 1e3
+    );
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>12}",
+        "phase", "count", "p50 (us)", "p95 (us)", "p99 (us)"
+    );
+    let snap = handle.metrics();
+    const PHASES: [&str; 4] = ["prep", "expansion", "lp", "dominance"];
+    let mut body = String::from("{\n");
+    body.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    body.push_str(&format!("    \"n\": {n},\n    \"d\": {},\n", p.d_default));
+    body.push_str(&format!(
+        "    \"traced_requests\": {},\n    \"retained_traces\": {},\n",
+        queries + queries.div_ceil(4),
+        retained.len()
+    ));
+    body.push_str(&format!(
+        "    \"spans_retained\": {spans_retained},\n    \"export_events\": {events},\n"
+    ));
+    body.push_str(&format!(
+        "    \"export_bytes\": {export_bytes},\n    \"export_secs\": {export_secs:.6},\n"
+    ));
+    body.push_str(&format!("    \"wall_secs\": {wall_secs:.6},\n"));
+    body.push_str("    \"phases\": {\n");
+    for (i, phase) in PHASES.iter().enumerate() {
+        let h = snap
+            .histogram(&format!("kspr_phase_{phase}_ns"))
+            .expect("phase histogram");
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>12.1} {:>12.1}",
+            phase,
+            h.count(),
+            h.p50() as f64 / 1e3,
+            h.quantile(0.95) as f64 / 1e3,
+            h.p99() as f64 / 1e3,
+        );
+        body.push_str(&format!(
+            "      \"{phase}\": {{\"count\": {}, \"p50_ns\": {}, \"p95_ns\": {}, \
+             \"p99_ns\": {}, \"max_ns\": {}}}{}\n",
+            h.count(),
+            h.p50(),
+            h.quantile(0.95),
+            h.p99(),
+            h.max(),
+            if i + 1 == PHASES.len() { "" } else { "," },
+        ));
+    }
+    body.push_str("    }\n  }");
+
+    drop(client);
+    net.stop();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    println!(
+        "expected shape: expansion (with its LP solves) dominates prep for competitive \
+         focals; the export stays linear in the retained span count"
+    );
+    match write_bench_perf_section("trace", &body) {
+        Ok(path) => eprintln!("[trace] wrote {path}"),
+        Err(err) => eprintln!("[trace] could not write BENCH_perf.json: {err}"),
+    }
+}
+
 /// Prints the live/tombstone slot accounting of a long-running engine.
 /// Deleted slots are tombstoned for id stability; the serving dispatcher
 /// compacts the store (`ShardedEngine::compact` — shards rewritten down to
@@ -1683,8 +1899,17 @@ fn approx(scale: Scale) {
         "speedup",
         "max err"
     );
-    for (label, focals) in &mixes {
-        for eps in [0.1, 0.05, 0.02] {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("    \"scale\": \"{}\",\n", scale_label(scale)));
+    body.push_str(&format!(
+        "    \"n\": {n},\n    \"d\": {},\n    \"k\": {k},\n    \"confidence\": 0.95,\n",
+        p.d_default
+    ));
+    body.push_str("    \"frontier\": {\n");
+    const EPSILONS: [f64; 3] = [0.1, 0.05, 0.02];
+    for (m, (label, focals)) in mixes.iter().enumerate() {
+        body.push_str(&format!("      \"{label}\": [\n"));
+        for (e, eps) in EPSILONS.into_iter().enumerate() {
             let budget = ErrorBudget::new(eps, 0.95);
             let cmp =
                 kspr_bench::measure_approx_frontier(&w, focals, k, &config, &budget, rounds, 85);
@@ -1708,7 +1933,28 @@ fn approx(scale: Scale) {
                 cmp.speedup(),
                 cmp.max_error,
             );
+            body.push_str(&format!(
+                "        {{\"epsilon\": {eps}, \"samples\": {}, \"candidates\": {}, \
+                 \"exact_secs\": {:.6}, \"approx_secs\": {:.6}, \"speedup\": {:.4}, \
+                 \"max_error\": {:.6}}}{}\n",
+                cmp.samples,
+                cmp.candidates,
+                cmp.exact,
+                cmp.approx,
+                cmp.speedup(),
+                cmp.max_error,
+                if e + 1 == EPSILONS.len() { "" } else { "," },
+            ));
         }
+        body.push_str(&format!(
+            "      ]{}\n",
+            if m + 1 == mixes.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("    }\n  }");
+    match write_bench_perf_section("approx", &body) {
+        Ok(path) => eprintln!("[approx] wrote {path}"),
+        Err(err) => eprintln!("[approx] could not write BENCH_perf.json: {err}"),
     }
 
     // Auto routing: the arrangement-cost estimate (band^work_dim) against
@@ -1974,7 +2220,17 @@ fn write_bench_perf_monitor(
 /// compose regardless of order.  `body` is the section's rendered JSON
 /// object (starting at `{`).
 fn write_bench_perf_section(section: &str, body: &str) -> std::io::Result<String> {
-    const SECTIONS: [&str; 5] = ["monitor", "parallel", "recovery", "serve", "telemetry"];
+    const SECTIONS: [&str; 9] = [
+        "approx",
+        "batch",
+        "monitor",
+        "parallel",
+        "recovery",
+        "serve",
+        "telemetry",
+        "trace",
+        "update",
+    ];
     let path = "BENCH_perf.json";
     let existing = std::fs::read_to_string(path).unwrap_or_default();
     let mut out = String::from("{\n");

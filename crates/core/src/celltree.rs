@@ -55,7 +55,7 @@
 use crate::hyperplanes::HyperplaneStore;
 use crate::stats::QueryStats;
 use kspr_geometry::{ConstraintSystem, Halfspace, PreferenceSpace, Sign};
-use kspr_lp::{interior_point, LinearConstraint};
+use kspr_lp::{interior_point_counted, LinearConstraint};
 use rayon::{Scope, ThreadPool};
 use std::cell::RefCell;
 use std::collections::{HashMap, HashSet};
@@ -266,6 +266,12 @@ struct ClassifyOut {
     feasibility_tests: usize,
     lp_constraints: usize,
     witness_hits: usize,
+    /// Wall time spent inside the LP solver (timing metadata — excluded
+    /// from consistency comparisons via [`crate::PhaseNanos`]).
+    lp_ns: u64,
+    /// Simplex pivots across the feasibility tests (deterministic work —
+    /// participates in consistency comparisons).
+    lp_pivots: usize,
 }
 
 impl ClassifyOut {
@@ -274,6 +280,8 @@ impl ClassifyOut {
         self.feasibility_tests += other.feasibility_tests;
         self.lp_constraints += other.lp_constraints;
         self.witness_hits += other.witness_hits;
+        self.lp_ns += other.lp_ns;
+        self.lp_pivots += other.lp_pivots;
     }
 }
 
@@ -349,7 +357,11 @@ impl ClassifyCtx<'_> {
                 task.cover_strict.len()
             }
             + 1;
-        interior_point(lp_buf, self.space.work_dim()).map(|s| s.point)
+        let started = std::time::Instant::now();
+        let (solution, pivots) = interior_point_counted(lp_buf, self.space.work_dim());
+        out.lp_ns += u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        out.lp_pivots += pivots;
+        solution.map(|s| s.point)
     }
 }
 
@@ -986,6 +998,8 @@ impl CellTree {
         stats.feasibility_tests += out.feasibility_tests;
         stats.lp_constraints += out.lp_constraints;
         stats.witness_hits += out.witness_hits;
+        stats.phases.lp_ns += out.lp_ns;
+        stats.lp_pivots += out.lp_pivots;
         let mut steps = std::mem::take(&mut self.steps);
         steps.clear();
         steps.extend(out.steps.drain(..));

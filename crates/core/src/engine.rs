@@ -812,6 +812,9 @@ impl QueryEngine {
     ) -> KsprResult {
         let mut stats = QueryStats::new();
         let space = PreferenceSpace::new(focal.len(), self.config.space);
+        let prep_clock = std::time::Instant::now();
+        let elapsed_ns =
+            |clock: &std::time::Instant| u64::try_from(clock.elapsed().as_nanos()).unwrap_or(0);
 
         // Step 1: Section 3.1 preprocessing (with dataset-index reuse).
         let filtered = match prepare_with_index(
@@ -821,8 +824,12 @@ impl QueryEngine {
             self.config.rtree_fanout,
             &mut stats,
         ) {
-            Prepared::Empty { .. } => return KsprResult::empty(space, stats),
+            Prepared::Empty { .. } => {
+                stats.phases.prep_ns += elapsed_ns(&prep_clock);
+                return KsprResult::empty(space, stats);
+            }
             Prepared::WholeSpace { dominators } => {
+                stats.phases.prep_ns += elapsed_ns(&prep_clock);
                 let mut result = KsprResult::whole_space(space, dominators + 1, stats);
                 if self.config.finalize {
                     result.finalize();
@@ -850,6 +857,7 @@ impl QueryEngine {
         } else {
             filtered
         };
+        stats.phases.prep_ns += elapsed_ns(&prep_clock);
 
         let query = PreparedQuery {
             filtered: &filtered,
@@ -865,6 +873,7 @@ impl QueryEngine {
         } else {
             self.config.resolve_intra_workers(concurrent)
         };
+        let expansion_clock = std::time::Instant::now();
         let mut traversal = Traversal::new(&filtered, focal, &self.config, stats, shared, workers);
         let mut batch = policy.initial_batch(&query);
 
@@ -900,7 +909,9 @@ impl QueryEngine {
         if !traversal.tree.is_exhausted() {
             traversal.collect_remaining();
         }
-        traversal.finish()
+        let mut result = traversal.finish();
+        result.stats.phases.expansion_ns += elapsed_ns(&expansion_clock);
+        result
     }
 }
 

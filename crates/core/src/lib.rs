@@ -83,7 +83,7 @@ pub use engine::{
     SkybandPolicy,
 };
 pub use result::{KsprResult, Region};
-pub use stats::QueryStats;
+pub use stats::{PhaseNanos, QueryStats};
 
 // Re-export the pieces of the substrate crates that appear in this crate's
 // public API, so downstream users only need a `kspr` dependency.

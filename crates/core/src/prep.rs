@@ -125,7 +125,7 @@ fn prepare_impl(
     // exact same comparisons, so the outcomes are identical.
     let mut classes: Vec<DomClass> = Vec::new();
     if let Some(d) = dataset {
-        d.columns().classify_into(focal, &mut classes);
+        stats.phases.dominance_ns += d.columns().classify_into_timed(focal, &mut classes);
     }
 
     for r in records {

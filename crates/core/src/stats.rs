@@ -6,6 +6,65 @@
 //! counts and constraint counts (Figure 17), and simulated I/O (Figure 19).
 //! [`QueryStats`] collects all of them for a single kSPR query.
 
+/// Wall-clock nanoseconds spent in each engine phase while answering one
+/// query: Section-3.1 shared preparation (with the columnar dominance
+/// kernel broken out), CellTree expansion, and the LP solves inside it.
+///
+/// The phases **overlap** rather than partition: `dominance_ns` is part of
+/// `prep_ns`, and `lp_ns` accrues mostly inside `expansion_ns` — they are
+/// span windows, not a disjoint sum.
+///
+/// Like [`QueryStats::wall_time_ns`] these are timing metadata, not work:
+/// two runs of the same query never measure the same nanoseconds.  Unlike
+/// `wall_time_ns` (a plain field that consistency tests zero by hand), the
+/// phase block is excluded from comparison *by construction*: its
+/// `PartialEq` always answers `true`, so every bit-identical-stats assertion
+/// in the repo ignores it without changes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseNanos {
+    /// Section-3.1 shared preparation: dominance classification, skyband
+    /// restriction, prep-cache work.
+    pub prep_ns: u64,
+    /// CellTree expansion: hyperplane insertion through result collection.
+    pub expansion_ns: u64,
+    /// LP solves — cell feasibility tests plus look-ahead bound
+    /// optimizations (§6).
+    pub lp_ns: u64,
+    /// The columnar dominance kernel inside preparation.
+    pub dominance_ns: u64,
+}
+
+impl PhaseNanos {
+    /// Accumulates another phase block (phase-wise sum).
+    pub fn merge(&mut self, other: &PhaseNanos) {
+        self.prep_ns += other.prep_ns;
+        self.expansion_ns += other.expansion_ns;
+        self.lp_ns += other.lp_ns;
+        self.dominance_ns += other.dominance_ns;
+    }
+
+    /// `(name, nanos)` pairs in a stable order, for histogram recording and
+    /// reports.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> {
+        [
+            ("prep", self.prep_ns),
+            ("expansion", self.expansion_ns),
+            ("lp", self.lp_ns),
+            ("dominance", self.dominance_ns),
+        ]
+        .into_iter()
+    }
+}
+
+/// Timing metadata never participates in equality: two identical engine
+/// runs measure different nanoseconds, and every consistency suite in the
+/// repo compares whole [`QueryStats`] blocks for bit-identity.
+impl PartialEq for PhaseNanos {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
 /// Counters collected while answering one kSPR query.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct QueryStats {
@@ -62,6 +121,14 @@ pub struct QueryStats {
     ///
     /// [`QueryEngine::run`]: crate::QueryEngine::run
     pub wall_time_ns: u64,
+    /// Simplex pivots performed across every LP feasibility test of the
+    /// query.  Bland's rule makes the count a pure function of each LP
+    /// instance, so — unlike the nanosecond fields — it is deterministic,
+    /// schedule-independent, and participates in consistency comparisons.
+    pub lp_pivots: usize,
+    /// Per-phase wall-clock breakdown (prep / expansion / LP / dominance).
+    /// Timing metadata: always compares equal (see [`PhaseNanos`]).
+    pub phases: PhaseNanos,
 }
 
 impl QueryStats {
@@ -100,6 +167,8 @@ impl QueryStats {
         self.parallel_inserts += other.parallel_inserts;
         self.halfspace_scratch_grows += other.halfspace_scratch_grows;
         self.wall_time_ns += other.wall_time_ns;
+        self.lp_pivots += other.lp_pivots;
+        self.phases.merge(&other.phases);
     }
 }
 
@@ -121,17 +190,59 @@ mod tests {
         let mut a = QueryStats {
             processed_records: 3,
             io_reads: 5,
+            lp_pivots: 4,
             ..Default::default()
         };
         let b = QueryStats {
             processed_records: 2,
             io_reads: 7,
             result_regions: 1,
+            lp_pivots: 6,
+            phases: PhaseNanos {
+                prep_ns: 100,
+                expansion_ns: 200,
+                lp_ns: 50,
+                dominance_ns: 25,
+            },
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.processed_records, 5);
         assert_eq!(a.io_reads, 12);
         assert_eq!(a.result_regions, 1);
+        assert_eq!(a.lp_pivots, 10);
+        assert_eq!(a.phases.prep_ns, 100);
+        assert_eq!(a.phases.lp_ns, 50);
+    }
+
+    #[test]
+    fn phase_timings_never_break_equality() {
+        // The whole point of PhaseNanos: bit-identical consistency suites
+        // compare QueryStats blocks, and wall-clock phases must not trip
+        // them.
+        let a = QueryStats {
+            processed_records: 1,
+            phases: PhaseNanos {
+                prep_ns: 123,
+                expansion_ns: 456,
+                lp_ns: 78,
+                dominance_ns: 9,
+            },
+            ..Default::default()
+        };
+        let b = QueryStats {
+            processed_records: 1,
+            ..Default::default()
+        };
+        assert_eq!(a, b, "phase timings are excluded from comparison");
+        let names: Vec<&str> = a.phases.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["prep", "expansion", "lp", "dominance"]);
+        // lp_pivots, by contrast, is deterministic work and must compare.
+        let c = QueryStats {
+            processed_records: 1,
+            lp_pivots: 3,
+            ..Default::default()
+        };
+        assert_ne!(a, c);
     }
 }

@@ -44,9 +44,10 @@ pub mod problem;
 pub mod simplex;
 
 pub use problem::{
-    interior_point, maximize, minimize, InteriorSolution, LinearConstraint, LpOutcome, Relation,
+    interior_point, interior_point_counted, maximize, minimize, InteriorSolution, LinearConstraint,
+    LpOutcome, Relation,
 };
-pub use simplex::{solve_standard_form, SimplexOutcome};
+pub use simplex::{solve_standard_form, solve_standard_form_counted, SimplexOutcome};
 
 /// Numerical tolerance shared by the solver and its callers.
 ///

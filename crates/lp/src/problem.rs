@@ -15,7 +15,7 @@
 //!   return a witness point strictly inside it (used by the witness-reuse
 //!   optimization of Section 4.3.2).
 
-use crate::simplex::{solve_standard_form, SimplexOutcome};
+use crate::simplex::{solve_standard_form, solve_standard_form_counted, SimplexOutcome};
 use crate::INTERIOR_MARGIN;
 
 /// Relation of a [`LinearConstraint`].
@@ -188,6 +188,16 @@ pub fn interior_point(
     constraints: &[LinearConstraint],
     num_vars: usize,
 ) -> Option<InteriorSolution> {
+    interior_point_counted(constraints, num_vars).0
+}
+
+/// Like [`interior_point`], additionally returning the number of simplex
+/// pivots the feasibility LP performed — the deterministic work measure the
+/// engine's phase profiling attributes to its LP solves.
+pub fn interior_point_counted(
+    constraints: &[LinearConstraint],
+    num_vars: usize,
+) -> (Option<InteriorSolution>, usize) {
     // Variables: w_0 .. w_{num_vars-1}, t  (all ≥ 0).
     let total_vars = num_vars + 1;
     let mut a = Vec::with_capacity(constraints.len() + 1);
@@ -218,7 +228,8 @@ pub fn interior_point(
     let mut objective = vec![0.0; total_vars];
     objective[num_vars] = 1.0;
 
-    match solve_standard_form(&a, &b, &objective) {
+    let (outcome, pivots) = solve_standard_form_counted(&a, &b, &objective);
+    let solution = match outcome {
         SimplexOutcome::Optimal { x, objective } if objective > INTERIOR_MARGIN => {
             let point = x[..num_vars].to_vec();
             Some(InteriorSolution {
@@ -227,7 +238,8 @@ pub fn interior_point(
             })
         }
         _ => None,
-    }
+    };
+    (solution, pivots)
 }
 
 #[cfg(test)]

@@ -59,6 +59,9 @@ struct Tableau {
     num_cols: usize,
     /// Columns that must never (re-)enter the basis (artificials in phase 2).
     banned: Vec<bool>,
+    /// Pivots performed over the tableau's lifetime (both phases), the
+    /// solver's deterministic work measure.
+    pivots: usize,
 }
 
 impl Tableau {
@@ -69,6 +72,7 @@ impl Tableau {
 
     /// Performs a pivot on `(row, col)`, updating the tableau and objective row.
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let pivot_val = self.data[row][col];
         debug_assert!(pivot_val.abs() > EPSILON, "pivot element too small");
         let inv = 1.0 / pivot_val;
@@ -154,6 +158,19 @@ struct Unbounded;
 /// Panics if the rows of `a` and `b` have mismatched lengths, or if any row
 /// of `a` does not have exactly `c.len()` entries.
 pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutcome {
+    solve_standard_form_counted(a, b, c).0
+}
+
+/// Like [`solve_standard_form`], additionally returning the number of
+/// simplex pivots performed (both phases, including the basis cleanup that
+/// drives lingering artificials out).  Pivots are a pure function of the
+/// instance — Bland's rule is deterministic — which makes the count a
+/// schedule-independent work measure for engine profiling.
+pub fn solve_standard_form_counted(
+    a: &[Vec<f64>],
+    b: &[f64],
+    c: &[f64],
+) -> (SimplexOutcome, usize) {
     assert_eq!(a.len(), b.len(), "matrix rows must match rhs length");
     for row in a {
         assert_eq!(
@@ -203,6 +220,7 @@ pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutco
         obj: vec![0.0; num_cols + 1],
         num_cols,
         banned: vec![false; num_cols],
+        pivots: 0,
     };
 
     // ---- Phase 1: drive the artificial variables to zero -------------------
@@ -223,14 +241,14 @@ pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutco
         if tableau.iterate().is_err() {
             // Phase 1 objective is bounded by construction; reaching this
             // branch indicates numerical trouble, treat as infeasible.
-            return SimplexOutcome::Infeasible;
+            return (SimplexOutcome::Infeasible, tableau.pivots);
         }
         // With the update rule used by `pivot`, the last entry of the
         // objective row holds the *negated* objective value; for the phase-1
         // objective (maximize -Σ artificials) it therefore equals Σ artificials.
         let artificial_sum = tableau.obj[num_cols];
         if artificial_sum > 1e-7 {
-            return SimplexOutcome::Infeasible;
+            return (SimplexOutcome::Infeasible, tableau.pivots);
         }
         // Pivot any artificial variables that remain basic (at value zero)
         // out of the basis, or drop their (redundant) rows.
@@ -269,7 +287,7 @@ pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutco
         }
     }
     if tableau.iterate().is_err() {
-        return SimplexOutcome::Unbounded;
+        return (SimplexOutcome::Unbounded, tableau.pivots);
     }
 
     let mut x = vec![0.0; n];
@@ -279,7 +297,7 @@ pub fn solve_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64]) -> SimplexOutco
         }
     }
     let objective = x.iter().zip(c.iter()).map(|(xi, ci)| xi * ci).sum();
-    SimplexOutcome::Optimal { x, objective }
+    (SimplexOutcome::Optimal { x, objective }, tableau.pivots)
 }
 
 #[cfg(test)]
@@ -462,6 +480,24 @@ mod tests {
             solve_standard_form(&[], &[], &[1.0]),
             SimplexOutcome::Unbounded
         );
+    }
+
+    #[test]
+    fn pivot_counts_are_deterministic_and_meaningful() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]];
+        let b = vec![4.0, 12.0, 18.0];
+        let c = vec![3.0, 5.0];
+        let (out, pivots) = solve_standard_form_counted(&a, &b, &c);
+        assert_close(out.objective().expect("optimal"), 36.0);
+        assert!(pivots > 0, "reaching the optimum from the origin pivots");
+        // Same instance, same count — Bland's rule is deterministic.
+        assert_eq!(solve_standard_form_counted(&a, &b, &c).1, pivots);
+        // The counted and plain entry points agree on the outcome.
+        assert_eq!(solve_standard_form(&a, &b, &c), out);
+        // An already-optimal origin needs no pivots.
+        let (out, pivots) = solve_standard_form_counted(&[], &[], &[-1.0]);
+        assert_close(out.objective().expect("optimal"), 0.0);
+        assert_eq!(pivots, 0);
     }
 
     #[test]

@@ -411,6 +411,13 @@ pub struct Monitor {
     /// [`MonitorStats`] so the counters stay deterministic (differential
     /// tests compare them between indexed and full-scan registries).
     maintenance_nanos: u64,
+    /// Merged [`QueryStats`] of every engine re-run executed by maintenance
+    /// passes — the same per-phase breakdown (prep / expansion / LP /
+    /// dominance) served queries report, accumulated here because a re-run
+    /// answers no client request of its own.  Kept next to
+    /// [`Monitor::maintenance_nanos`] rather than in [`MonitorStats`]: the
+    /// phase fields are wall-clock metadata.
+    maintenance_engine_stats: QueryStats,
     /// `Some`: the spatial registry index (the default).  `None`: every
     /// update visits every query — kept for differential testing.
     index: Option<RegistryIndex>,
@@ -430,6 +437,7 @@ impl Monitor {
             next_id: 0,
             stats: MonitorStats::default(),
             maintenance_nanos: 0,
+            maintenance_engine_stats: QueryStats::new(),
             index: Some(RegistryIndex::default()),
         }
     }
@@ -470,6 +478,13 @@ impl Monitor {
     /// nondeterministic, so deliberately not part of [`MonitorStats`].
     pub fn maintenance_nanos(&self) -> u64 {
         self.maintenance_nanos
+    }
+
+    /// Merged engine statistics of every maintenance re-run, per-phase
+    /// wall-clock breakdown included.  [`MonitorStats::engine_runs`] counts
+    /// the runs; this is what they cost.
+    pub fn maintenance_engine_stats(&self) -> &QueryStats {
+        &self.maintenance_engine_stats
     }
 
     /// The standing query with the given id, if registered.
@@ -725,15 +740,23 @@ impl Monitor {
 
         let mut deltas = Vec::new();
         let stats = &mut self.stats;
+        let engine_stats = &mut self.maintenance_engine_stats;
         for (&id, q) in self.queries.iter_mut() {
             if let Some(visit) = &visit {
                 if !visit.contains(&id) {
                     continue;
                 }
             }
-            if let Some(delta) =
-                Self::maintain_batch(id, q, engine, updates, &mut delta_dominators, limit, stats)
-            {
+            if let Some(delta) = Self::maintain_batch(
+                id,
+                q,
+                engine,
+                updates,
+                &mut delta_dominators,
+                limit,
+                stats,
+                engine_stats,
+            ) {
                 deltas.push(delta);
             }
         }
@@ -751,6 +774,7 @@ impl Monitor {
     /// argument, in order; the first pair that demands a re-run marks the
     /// query stale and every later visible pair short-circuits into the same
     /// single post-batch engine run.
+    #[allow(clippy::too_many_arguments)]
     fn maintain_batch<E: MonitorEngine>(
         id: QueryId,
         q: &mut StandingQuery,
@@ -759,6 +783,7 @@ impl Monitor {
         delta_dominators: &mut [Option<usize>],
         limit: usize,
         stats: &mut MonitorStats,
+        engine_stats: &mut QueryStats,
     ) -> Option<ResultDelta> {
         // Pre-batch snapshot, taken lazily before the first mutation so the
         // all-unaffected walk stays allocation-free.
@@ -827,6 +852,7 @@ impl Monitor {
             }
             q.result = engine.run_query(q.algorithm, &q.focal, q.k);
             stats.engine_runs += 1;
+            engine_stats.merge(&q.result.stats);
         }
         // Reruns always notify — an identical rank signature does not prove
         // identical region geometry (see the ResultDelta docs).
@@ -1280,10 +1306,19 @@ mod tests {
 
         // The k = 3 P-CTA query has no 3-dominator witness for this record:
         // it must re-run (and agree with a fresh run).
+        assert_eq!(
+            monitored.monitor().maintenance_engine_stats().batches,
+            0,
+            "no engine run has been charged to maintenance yet"
+        );
         let (_, _) = monitored.insert(vec![0.25, 0.75, 0.5]);
         let after = monitored.monitor().stats();
         assert_eq!(after.reruns, before.reruns + 1);
         assert_fresh(&monitored, q, "unwitnessed insert reran");
+        // The re-run's engine cost lands in the maintenance accumulator.
+        let cost = monitored.monitor().maintenance_engine_stats();
+        assert!(cost.batches >= 1, "the rerun's stats were merged");
+        assert!(cost.processed_records > 0);
     }
 
     #[test]

@@ -12,9 +12,9 @@ use crate::admission::{AdmissionOptions, Stamp, Verdict};
 use crate::error::{ingest_error, ServeError};
 use crate::telemetry::{tier_index, LiveStats, ServeMetrics, SlowQuery, TIER_NAMES};
 use crate::ShardedEngine;
-use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryTier};
+use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprResult, QueryStats, QueryTier};
 use kspr_approx::TieredResult;
-use kspr_telemetry::{RequestTrace, Stage};
+use kspr_telemetry::{RequestTrace, SpanId, Stage};
 use std::sync::mpsc;
 
 /// Where a query's answer goes: the three client-facing ticket flavors.
@@ -139,6 +139,42 @@ const QUERY_STAGES: [Stage; 5] = [
     Stage::Engine,
     Stage::Ack,
 ];
+
+/// Lays the engine's per-phase breakdown under a traced query's `engine`
+/// span as child spans: `prep` (with the `dominance` kernel nested inside)
+/// followed by `expansion` (with the `lp` solves nested inside).  The
+/// windows come from [`kspr::PhaseNanos`], anchored at the engine span's
+/// start — prep runs first, expansion directly after; `child_span` clamps
+/// each window into its parent, so a phase can never overhang the engine
+/// span it decomposes.
+fn add_engine_phase_spans(trace: &mut RequestTrace, engine: SpanId, stats: &QueryStats) {
+    let Some((start, _)) = trace.span_bounds(engine) else {
+        return;
+    };
+    let phases = &stats.phases;
+    let prep_end = start.saturating_add(phases.prep_ns);
+    if let Some(prep) = trace.child_span(engine, "prep", start, prep_end) {
+        trace.child_span(
+            prep,
+            "dominance",
+            start,
+            start.saturating_add(phases.dominance_ns),
+        );
+    }
+    if let Some(expansion) = trace.child_span(
+        engine,
+        "expansion",
+        prep_end,
+        prep_end.saturating_add(phases.expansion_ns),
+    ) {
+        trace.child_span(
+            expansion,
+            "lp",
+            prep_end,
+            prep_end.saturating_add(phases.lp_ns),
+        );
+    }
+}
 
 /// Executes a batch of dequeued queries: applies each job's admission
 /// verdict (reject / degrade / accept — see the `admission` module),
@@ -284,10 +320,12 @@ pub(crate) fn run_jobs(
         match outcome {
             Ok(results) => {
                 // One Engine stamp per job as the group's run returns, so
-                // the per-job ack work below lands in the Ack stage.
-                for (_, trace, _) in &mut rest {
-                    trace.stamp(Stage::Engine);
-                }
+                // the per-job ack work below lands in the Ack stage.  The
+                // returned span ids anchor the per-phase child spans.
+                let engine_spans: Vec<Option<SpanId>> = rest
+                    .iter_mut()
+                    .map(|(_, trace, _)| trace.stamp(Stage::Engine))
+                    .collect();
                 live.batches.inc();
                 live.queries.add(focals.len() as u64);
                 live.exact_queries.add(focals.len() as u64);
@@ -297,17 +335,26 @@ pub(crate) fn run_jobs(
                 if intra_grant > 1 {
                     live.parallel_batches.inc();
                 }
-                for ((sink, mut trace, tier), result) in rest.into_iter().zip(results) {
+                for (((sink, mut trace, tier), result), engine_span) in
+                    rest.into_iter().zip(results).zip(engine_spans)
+                {
                     trace.stamp(Stage::Ack);
+                    if let Some(engine_span) = engine_span {
+                        add_engine_phase_spans(&mut trace, engine_span, &result.stats);
+                    }
                     let stages = trace.timings();
                     metrics.record_stages(&stages, &QUERY_STAGES);
+                    metrics.record_phases(&result.stats);
+                    let total_ns = trace.total_nanos();
+                    let trace_id = metrics.finish_trace(trace, total_ns);
                     metrics.record_query(SlowQuery {
                         algorithm,
                         k,
                         tier,
-                        total_ns: trace.total_nanos(),
+                        total_ns,
                         stages,
                         stats: Some(result.stats.clone()),
+                        trace_id,
                     });
                     sink.send_exact(result);
                 }
@@ -351,15 +398,18 @@ pub(crate) fn run_jobs(
                     trace.stamp(Stage::Ack);
                     let stages = trace.timings();
                     metrics.record_stages(&stages, &QUERY_STAGES);
+                    let total_ns = trace.total_nanos();
+                    let trace_id = metrics.finish_trace(trace, total_ns);
                     metrics.record_query(SlowQuery {
                         algorithm,
                         k,
                         tier,
-                        total_ns: trace.total_nanos(),
+                        total_ns,
                         stages,
                         // The sampler reports no QueryStats: the estimate
                         // *is* its whole answer.
                         stats: None,
+                        trace_id,
                     });
                     sink.send_approx(estimate);
                 }

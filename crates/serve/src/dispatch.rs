@@ -302,8 +302,9 @@ const DURABLE_UPDATE_STAGES: [Stage; 4] =
 
 /// Closes out an update's trace at acknowledgement time: everything between
 /// the Engine stamp and now was the batch's WAL commit (durable servers),
-/// then the ack itself.  Recorded *before* the ack is sent.
-fn finish_update_trace(trace: &mut RequestTrace, metrics: &ServeMetrics, durable: bool) {
+/// then the ack itself.  Recorded — stage histograms and, for traced
+/// updates, the flight recorder — *before* the ack is sent.
+fn finish_update_trace(mut trace: RequestTrace, metrics: &ServeMetrics, durable: bool) {
     let recorded: &[Stage] = if durable {
         trace.stamp(Stage::WalCommit);
         &DURABLE_UPDATE_STAGES
@@ -312,6 +313,8 @@ fn finish_update_trace(trace: &mut RequestTrace, metrics: &ServeMetrics, durable
     };
     trace.stamp(Stage::Ack);
     metrics.record_stages(&trace.timings(), recorded);
+    let total_ns = trace.total_nanos();
+    metrics.finish_trace(trace, total_ns);
 }
 
 impl StagedAck {
@@ -319,12 +322,12 @@ impl StagedAck {
     fn resolve(self, live: &LiveStats, metrics: &ServeMetrics, durable: bool) {
         live.updates.inc();
         match self {
-            StagedAck::Insert(tx, id, mut trace) => {
-                finish_update_trace(&mut trace, metrics, durable);
+            StagedAck::Insert(tx, id, trace) => {
+                finish_update_trace(trace, metrics, durable);
                 drop(tx.send(Ok(id)));
             }
-            StagedAck::Delete(tx, removed, mut trace) => {
-                finish_update_trace(&mut trace, metrics, durable);
+            StagedAck::Delete(tx, removed, trace) => {
+                finish_update_trace(trace, metrics, durable);
                 drop(tx.send(Ok(removed)));
             }
         }

@@ -95,7 +95,9 @@ pub use batch::MAX_APPROX_SAMPLES;
 pub use error::{ServeError, Ticket};
 pub use kspr_approx::TieredResult;
 pub use kspr_monitor::{QueryId, ResultDelta, UpdateClass};
-pub use kspr_telemetry::{HistogramSnapshot, MetricsSnapshot, Stage, StageTimings};
+pub use kspr_telemetry::{
+    HistogramSnapshot, MetricsSnapshot, Stage, StageTimings, TraceId, TraceRecord,
+};
 pub use net::NetServer;
 pub use persist::RecoverError;
 pub use server::{ServeHandle, ServeOptions, Server};
@@ -105,4 +107,4 @@ pub use subscription::{
     ApproxDelta, ApproxSubscribeTicket, ApproxSubscription, ApproxWatchId, SubscribeTicket,
     Subscription, MAX_PENDING_DELTAS,
 };
-pub use telemetry::{SlowQuery, SLOW_LOG_CAPACITY};
+pub use telemetry::{SlowQuery, FLIGHT_RECORDER_CAPACITY, SLOW_LOG_CAPACITY};

@@ -18,11 +18,13 @@
 use crate::error::ServeError;
 use crate::server::ServeHandle;
 use crate::subscription::Subscription;
+use crate::telemetry::next_server_trace_id;
 use kspr::Algorithm;
 use kspr_approx::TieredResult;
+use kspr_telemetry::{RequestTrace, TraceId};
 use kspr_wire::{
     read_frame, read_frame_body, write_frame, ApproxSummary, ErrorCode, FrameError,
-    HistogramSummary, MetricsReport, ResultSummary, WireRequest, WireResponse,
+    HistogramSummary, MetricsReport, ResultSummary, WireRequest, WireResponse, LEGACY_WIRE_VERSION,
 };
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
@@ -137,26 +139,58 @@ fn serve_connection(handle: ServeHandle, stream: TcpStream) {
                 return;
             }
         };
-        let response = match WireRequest::decode(&payload) {
-            None => error_response(ErrorCode::Malformed, "payload decoded to no valid request"),
-            Some(request) => answer(&handle, &mut subs, request),
+        // Respond in the dialect the request arrived in: a legacy (v1)
+        // frame gets a legacy response; a current frame gets the client's
+        // trace id echoed back (or none, if it sent none).
+        let legacy = payload.first() == Some(&LEGACY_WIRE_VERSION);
+        let (response, echo) = match WireRequest::decode_traced(&payload) {
+            None => (
+                error_response(ErrorCode::Malformed, "payload decoded to no valid request"),
+                None,
+            ),
+            Some((request, client_id)) => {
+                // A client-supplied trace id pins the span tree into the
+                // flight recorder; otherwise the request runs under a
+                // server-assigned id and is only retained when slow.
+                let mut trace = match client_id {
+                    Some(id) => RequestTrace::traced(TraceId(id), true),
+                    None => RequestTrace::traced(next_server_trace_id(), false),
+                };
+                trace.span("wire");
+                (answer(&handle, &mut subs, request, trace), client_id)
+            }
         };
-        if write_frame(&mut writer, &response.encode()).is_err() {
+        let encoded = if legacy {
+            response.encode_legacy()
+        } else {
+            response.encode_traced(echo)
+        };
+        if write_frame(&mut writer, &encoded).is_err() {
             return;
         }
     }
 }
 
-/// Answers one HTTP GET with the Prometheus text exposition and closes.
+/// Answers one HTTP GET and closes: `/trace` serves the flight recorder's
+/// retained span trees as Chrome Trace Event Format JSON (load it in
+/// `chrome://tracing` or Perfetto), every other path serves the Prometheus
+/// text exposition.
 ///
-/// Deliberately minimal: every path serves the metrics, the request
-/// headers are drained and ignored, and the response closes the
-/// connection — exactly what a scrape loop or `curl` needs, with no HTTP
-/// machinery the serving stack would otherwise never use.
+/// Deliberately minimal: the request headers are drained and ignored and
+/// the response closes the connection — exactly what a scrape loop or
+/// `curl` needs, with no HTTP machinery the serving stack would otherwise
+/// never use.
 fn serve_scrape(handle: &ServeHandle, reader: BufReader<TcpStream>, mut writer: TcpStream) {
-    // Drain the request line and headers up to the blank line.
     let mut reader = reader;
     let mut line = String::new();
+    // The dialect sniff already consumed `GET `, so the first line read is
+    // the rest of the request line: `<path> HTTP/1.1`.
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let path = line.split_whitespace().next().unwrap_or("");
+    let trace = path == "/trace" || path.starts_with("/trace?");
+    // Drain the remaining headers up to the blank line.
     loop {
         line.clear();
         match reader.read_line(&mut line) {
@@ -166,9 +200,16 @@ fn serve_scrape(handle: &ServeHandle, reader: BufReader<TcpStream>, mut writer: 
             Err(_) => return,
         }
     }
-    let body = handle.metrics().render_prometheus();
+    let (content_type, body) = if trace {
+        ("application/json", handle.chrome_trace())
+    } else {
+        (
+            "text/plain; version=0.0.4",
+            handle.metrics().render_prometheus(),
+        )
+    };
     let header = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     let _ = writer
@@ -246,11 +287,15 @@ fn stat_fields(stats: &crate::ServeStats) -> Vec<(String, u64)> {
     .collect()
 }
 
-/// Serves one decoded request through the handle.
+/// Serves one decoded request through the handle.  `trace` rides along
+/// into the dispatcher on the submission paths (query / tiered / insert /
+/// delete) so the whole request becomes one span tree; the control-plane
+/// requests answer inline and drop it.
 fn answer(
     handle: &ServeHandle,
     subs: &mut HashMap<u64, Subscription>,
     request: WireRequest,
+    trace: RequestTrace,
 ) -> WireResponse {
     match request {
         WireRequest::Ping => WireResponse::Pong,
@@ -258,7 +303,10 @@ fn answer(
             algorithm,
             focal,
             k,
-        } => match handle.submit_with(algorithm, focal, k as usize).wait() {
+        } => match handle
+            .submit_with_trace(algorithm, focal, k as usize, trace)
+            .wait()
+        {
             Ok(result) => WireResponse::Result(summarize(&result)),
             Err(err) => error_of(err),
         },
@@ -272,7 +320,7 @@ fn answer(
                 return error_response(ErrorCode::Invalid, "the tier's budget is malformed");
             };
             match handle
-                .submit_tiered(algorithm, focal, k as usize, tier)
+                .submit_tiered_trace(algorithm, focal, k as usize, tier, trace)
                 .wait()
             {
                 Ok(TieredResult::Exact(result)) => WireResponse::Result(summarize(&result)),
@@ -282,11 +330,11 @@ fn answer(
                 Err(err) => error_of(err),
             }
         }
-        WireRequest::Insert { values } => match handle.insert(values).wait() {
+        WireRequest::Insert { values } => match handle.insert_trace(values, trace).wait() {
             Ok(id) => WireResponse::Inserted { id: id as u64 },
             Err(err) => error_of(err),
         },
-        WireRequest::Delete { id } => match handle.delete(id as usize).wait() {
+        WireRequest::Delete { id } => match handle.delete_trace(id as usize, trace).wait() {
             Ok(removed) => WireResponse::Deleted { removed },
             Err(err) => error_of(err),
         },

@@ -95,7 +95,7 @@ use kspr::{Algorithm, ApproxImpact, ErrorBudget, KsprConfig, KsprResult, QueryTi
 use kspr_approx::TieredResult;
 use kspr_durable::DurableStore;
 use kspr_monitor::{Monitor, QueryId};
-use kspr_telemetry::{MetricsSnapshot, RequestTrace};
+use kspr_telemetry::{MetricsSnapshot, RequestTrace, TraceId, TraceRecord};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
@@ -125,6 +125,15 @@ pub struct ServeOptions {
     /// gauge) grows past this, the server logs one warning per snapshot
     /// epoch suggesting a compaction.  Default 64 MiB.
     pub wal_warn_bytes: u64,
+    /// How many [`SlowQuery`] entries the slow-query log retains before
+    /// evicting oldest-first.  Default [`crate::SLOW_LOG_CAPACITY`].
+    pub slow_log_capacity: usize,
+    /// How many complete span trees the flight recorder retains (most
+    /// recent wins).  Traced requests enter the recorder when the client
+    /// pinned them with a wire trace id or when they crossed
+    /// [`ServeOptions::slow_query_threshold`].  Default
+    /// [`crate::FLIGHT_RECORDER_CAPACITY`].
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -135,6 +144,8 @@ impl Default for ServeOptions {
             admission: AdmissionOptions::default(),
             slow_query_threshold: None,
             wal_warn_bytes: 64 << 20,
+            slow_log_capacity: crate::SLOW_LOG_CAPACITY,
+            flight_recorder_capacity: crate::FLIGHT_RECORDER_CAPACITY,
         }
     }
 }
@@ -208,6 +219,19 @@ impl ServeHandle {
         focal: Vec<f64>,
         k: usize,
     ) -> Ticket<KsprResult> {
+        self.submit_with_trace(algorithm, focal, k, RequestTrace::start())
+    }
+
+    /// [`ServeHandle::submit_with`] under a caller-built [`RequestTrace`]
+    /// (usually [`RequestTrace::traced`], so the request grows a span tree
+    /// the flight recorder can retain).
+    pub fn submit_with_trace(
+        &self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+        trace: RequestTrace,
+    ) -> Ticket<KsprResult> {
         let (tx, ticket) = Ticket::new();
         self.enqueue(Msg::Query(QueryJob {
             algorithm,
@@ -216,7 +240,7 @@ impl ServeHandle {
             tier: QueryTier::Exact,
             stamp: self.stamp(),
             sink: Sink::Exact(tx),
-            trace: RequestTrace::start(),
+            trace,
         }));
         ticket
     }
@@ -259,6 +283,18 @@ impl ServeHandle {
         k: usize,
         tier: QueryTier,
     ) -> Ticket<TieredResult> {
+        self.submit_tiered_trace(algorithm, focal, k, tier, RequestTrace::start())
+    }
+
+    /// [`ServeHandle::submit_tiered`] under a caller-built [`RequestTrace`].
+    pub fn submit_tiered_trace(
+        &self,
+        algorithm: Algorithm,
+        focal: Vec<f64>,
+        k: usize,
+        tier: QueryTier,
+        trace: RequestTrace,
+    ) -> Ticket<TieredResult> {
         let (tx, ticket) = Ticket::new();
         self.enqueue(Msg::Query(QueryJob {
             algorithm,
@@ -267,7 +303,7 @@ impl ServeHandle {
             tier,
             stamp: self.stamp(),
             sink: Sink::Tiered(tx),
-            trace: RequestTrace::start(),
+            trace,
         }));
         ticket
     }
@@ -296,23 +332,25 @@ impl ServeHandle {
 
     /// Enqueues an insert; resolves to the new record's global id.
     pub fn insert(&self, values: Vec<f64>) -> Ticket<RecordId> {
+        self.insert_trace(values, RequestTrace::start())
+    }
+
+    /// [`ServeHandle::insert`] under a caller-built [`RequestTrace`].
+    pub fn insert_trace(&self, values: Vec<f64>, trace: RequestTrace) -> Ticket<RecordId> {
         let (tx, ticket) = Ticket::new();
-        self.enqueue(Msg::Insert {
-            values,
-            tx,
-            trace: RequestTrace::start(),
-        });
+        self.enqueue(Msg::Insert { values, tx, trace });
         ticket
     }
 
     /// Enqueues a delete; resolves to whether a live record was removed.
     pub fn delete(&self, id: RecordId) -> Ticket<bool> {
+        self.delete_trace(id, RequestTrace::start())
+    }
+
+    /// [`ServeHandle::delete`] under a caller-built [`RequestTrace`].
+    pub fn delete_trace(&self, id: RecordId, trace: RequestTrace) -> Ticket<bool> {
         let (tx, ticket) = Ticket::new();
-        self.enqueue(Msg::Delete {
-            id,
-            tx,
-            trace: RequestTrace::start(),
-        });
+        self.enqueue(Msg::Delete { id, tx, trace });
         ticket
     }
 
@@ -443,6 +481,27 @@ impl ServeHandle {
     pub fn slow_queries(&self) -> Vec<SlowQuery> {
         self.metrics.slow_queries()
     }
+
+    /// The flight recorder's retained span trees, oldest first: every
+    /// client-pinned trace plus every traced request that crossed the
+    /// slow-query threshold, most recent
+    /// [`ServeOptions::flight_recorder_capacity`] wins.
+    pub fn traces(&self) -> Vec<Arc<TraceRecord>> {
+        self.metrics.traces()
+    }
+
+    /// The retained span tree of one request, if the flight recorder still
+    /// holds it.
+    pub fn trace(&self, trace_id: TraceId) -> Option<Arc<TraceRecord>> {
+        self.metrics.trace(trace_id)
+    }
+
+    /// The flight recorder's contents as Chrome Trace Event Format JSON —
+    /// open in `chrome://tracing` / Perfetto.  The same document the HTTP
+    /// front-end serves at `/trace`.
+    pub fn chrome_trace(&self) -> String {
+        kspr_telemetry::chrome_trace_json(&self.metrics.traces())
+    }
 }
 
 /// A running serving loop that owns a [`ShardedEngine`].
@@ -525,6 +584,8 @@ impl Server {
         let metrics = Arc::new(ServeMetrics::new(
             options.slow_query_threshold,
             options.wal_warn_bytes,
+            options.slow_log_capacity,
+            options.flight_recorder_capacity,
         ));
         let config = DispatchConfig {
             batch_limit: options.batch_limit,

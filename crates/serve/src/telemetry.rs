@@ -24,7 +24,8 @@ use crate::stats::{RejectionStats, ServeStats, REJECTION_VARIANTS};
 use kspr::{Algorithm, QueryStats, QueryTier};
 use kspr_monitor::MonitorStats;
 use kspr_telemetry::{
-    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Stage, StageTimings,
+    Counter, FlightRecorder, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, RequestTrace,
+    Stage, StageTimings, TraceId, TraceRecord,
 };
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -155,9 +156,25 @@ pub(crate) fn tier_index(tier: &QueryTier) -> usize {
 /// Metric-name component per algorithm (indexed by `Algorithm as usize`).
 const ALGORITHM_NAMES: [&str; 6] = ["cta", "pcta", "lp_cta", "k_skyband", "rtopk", "i_max_rank"];
 
-/// How many [`SlowQuery`] entries the ring buffer retains: old entries are
-/// evicted oldest-first once the log is full.
+/// How many [`SlowQuery`] entries the ring buffer retains by default: old
+/// entries are evicted oldest-first once the log is full.  Configurable per
+/// server via `ServeOptions::slow_log_capacity`.
 pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// How many complete span trees the flight recorder retains by default.
+/// Configurable per server via `ServeOptions::flight_recorder_capacity`.
+pub const FLIGHT_RECORDER_CAPACITY: usize = 64;
+
+/// Phase-histogram name components, in [`kspr::PhaseNanos::iter`] order.
+const PHASE_NAMES: [&str; 4] = ["prep", "expansion", "lp", "dominance"];
+
+/// Trace ids the server assigns to requests that arrive without one.  They
+/// start far above any plausible client-side counter so the two id spaces
+/// don't collide in the flight recorder.
+pub(crate) fn next_server_trace_id() -> TraceId {
+    static NEXT: AtomicU64 = AtomicU64::new(1 << 48);
+    TraceId(NEXT.fetch_add(1, Ordering::Relaxed))
+}
 
 /// One retained slow query: what ran, how long each pipeline stage took,
 /// and the engine's per-query side metrics when the exact engine produced
@@ -179,6 +196,9 @@ pub struct SlowQuery {
     /// The engine's side metrics (exact answers only; the approximate tier
     /// reports no `QueryStats`).
     pub stats: Option<QueryStats>,
+    /// The id of this query's span tree in the flight recorder, when one
+    /// was retained — look it up with `ServeHandle::trace`.
+    pub trace_id: Option<TraceId>,
 }
 
 /// Everything the serving stack records besides the [`ServeStats`]
@@ -196,6 +216,11 @@ pub(crate) struct ServeMetrics {
     /// The exact engine's own wall time per query (`kspr_engine_wall_ns`,
     /// from [`QueryStats`] — excludes queueing and batching).
     engine_wall: Arc<Histogram>,
+    /// Per-engine-phase wall time (`kspr_phase_<phase>_ns`, indexed in
+    /// [`PHASE_NAMES`] order).
+    phases: [Arc<Histogram>; PHASE_NAMES.len()],
+    /// Simplex pivots per exact query (`kspr_lp_pivots` — work, not time).
+    lp_pivots: Arc<Histogram>,
     /// WAL commit (write + fsync) latency (`kspr_wal_commit_ns`).
     wal_commit: Arc<Histogram>,
     /// Fsyncs issued by the WAL writer (`kspr_wal_fsyncs`).
@@ -212,20 +237,95 @@ pub(crate) struct ServeMetrics {
     /// log; `None` disables the log.
     slow_threshold_ns: Option<u64>,
     slow: Mutex<VecDeque<SlowQuery>>,
+    /// [`SlowQuery`] entries retained before oldest-first eviction.
+    slow_log_capacity: usize,
+    /// The bounded ring of retained span trees (client-pinned traces plus
+    /// every trace that crossed the slow-query threshold).
+    recorder: FlightRecorder,
     /// WAL size past which a warning is logged (once per epoch).
     wal_warn_bytes: u64,
     wal_warned: AtomicBool,
 }
 
 impl ServeMetrics {
-    pub(crate) fn new(slow_query_threshold: Option<Duration>, wal_warn_bytes: u64) -> Self {
+    pub(crate) fn new(
+        slow_query_threshold: Option<Duration>,
+        wal_warn_bytes: u64,
+        slow_log_capacity: usize,
+        flight_recorder_capacity: usize,
+    ) -> Self {
         let registry = MetricsRegistry::new();
-        let stages =
-            Stage::ALL.map(|stage| registry.histogram(&format!("kspr_stage_{}_ns", stage.name())));
-        let tiers = TIER_NAMES.map(|tier| registry.histogram(&format!("kspr_tier_{tier}_ns")));
-        let algorithms =
-            ALGORITHM_NAMES.map(|name| registry.histogram(&format!("kspr_algorithm_{name}_ns")));
+        let stages = Stage::ALL.map(|stage| {
+            let name = format!("kspr_stage_{}_ns", stage.name());
+            registry.describe(
+                &name,
+                &format!(
+                    "Latency of the {} pipeline stage, in nanoseconds",
+                    stage.name()
+                ),
+            );
+            registry.histogram(&name)
+        });
+        let tiers = TIER_NAMES.map(|tier| {
+            let name = format!("kspr_tier_{tier}_ns");
+            registry.describe(
+                &name,
+                &format!(
+                    "End-to-end latency of queries submitted under the {tier} tier, in nanoseconds"
+                ),
+            );
+            registry.histogram(&name)
+        });
+        let algorithms = ALGORITHM_NAMES.map(|algorithm| {
+            let name = format!("kspr_algorithm_{algorithm}_ns");
+            registry.describe(
+                &name,
+                &format!("End-to-end latency of {algorithm} queries, in nanoseconds"),
+            );
+            registry.histogram(&name)
+        });
+        let phases = PHASE_NAMES.map(|phase| {
+            let name = format!("kspr_phase_{phase}_ns");
+            registry.describe(
+                &name,
+                &format!(
+                    "Engine wall time spent in the {phase} phase per exact query, in nanoseconds"
+                ),
+            );
+            registry.histogram(&name)
+        });
+        for (name, help) in [
+            (
+                "kspr_engine_wall_ns",
+                "Exact engine wall time per query, excluding queueing and batching, in nanoseconds",
+            ),
+            (
+                "kspr_lp_pivots",
+                "Simplex pivots across the LP feasibility tests of one exact query",
+            ),
+            (
+                "kspr_wal_commit_ns",
+                "WAL commit (write + fsync) latency per update batch, in nanoseconds",
+            ),
+            ("kspr_wal_fsyncs", "Fsyncs issued by the WAL writer"),
+            (
+                "kspr_maintenance_ns",
+                "Cumulative standing-query maintenance time, in nanoseconds",
+            ),
+            ("kspr_wal_bytes", "Bytes in the WAL since the last snapshot"),
+            (
+                "kspr_snapshot_epoch",
+                "Snapshots installed since the store opened",
+            ),
+            (
+                "kspr_queue_depth",
+                "Pending request-queue depth at scrape time",
+            ),
+        ] {
+            registry.describe(name, help);
+        }
         let engine_wall = registry.histogram("kspr_engine_wall_ns");
+        let lp_pivots = registry.histogram("kspr_lp_pivots");
         let wal_commit = registry.histogram("kspr_wal_commit_ns");
         let wal_fsyncs = registry.counter("kspr_wal_fsyncs");
         let maintenance_ns = registry.counter("kspr_maintenance_ns");
@@ -238,6 +338,8 @@ impl ServeMetrics {
             tiers,
             algorithms,
             engine_wall,
+            phases,
+            lp_pivots,
             wal_commit,
             wal_fsyncs,
             maintenance_ns,
@@ -246,7 +348,9 @@ impl ServeMetrics {
             queue_depth,
             slow_threshold_ns: slow_query_threshold
                 .map(|t| u64::try_from(t.as_nanos()).unwrap_or(u64::MAX)),
-            slow: Mutex::new(VecDeque::with_capacity(SLOW_LOG_CAPACITY)),
+            slow: Mutex::new(VecDeque::with_capacity(slow_log_capacity)),
+            slow_log_capacity: slow_log_capacity.max(1),
+            recorder: FlightRecorder::new(flight_recorder_capacity),
             wal_warn_bytes,
             wal_warned: AtomicBool::new(false),
         }
@@ -277,11 +381,45 @@ impl ServeMetrics {
         }
         if self.slow_threshold_ns.is_some_and(|t| slow.total_ns >= t) {
             let mut log = unpoisoned(&self.slow);
-            if log.len() == SLOW_LOG_CAPACITY {
+            while log.len() >= self.slow_log_capacity {
                 log.pop_front();
             }
             log.push_back(slow);
         }
+    }
+
+    /// Records one exact answer's per-phase engine breakdown and its LP
+    /// pivot count.
+    pub(crate) fn record_phases(&self, stats: &QueryStats) {
+        for (histogram, (_, nanos)) in self.phases.iter().zip(stats.phases.iter()) {
+            histogram.record(nanos);
+        }
+        self.lp_pivots.record(stats.lp_pivots as u64);
+    }
+
+    /// Closes a finished request's span tree and retains it in the flight
+    /// recorder when it is worth keeping: the client pinned it (sent a
+    /// trace id on the wire) or the request crossed the slow-query
+    /// threshold.  Returns the trace id iff the tree was retained.
+    pub(crate) fn finish_trace(&self, trace: RequestTrace, total_ns: u64) -> Option<TraceId> {
+        let keep = trace.pinned() || self.slow_threshold_ns.is_some_and(|t| total_ns >= t);
+        if !keep {
+            return None;
+        }
+        let record = trace.finish()?;
+        let trace_id = record.trace_id;
+        self.recorder.record(record);
+        Some(trace_id)
+    }
+
+    /// The flight recorder's retained span trees, oldest first.
+    pub(crate) fn traces(&self) -> Vec<Arc<TraceRecord>> {
+        self.recorder.snapshot()
+    }
+
+    /// The retained span tree of `trace_id`, if the recorder still holds it.
+    pub(crate) fn trace(&self, trace_id: TraceId) -> Option<Arc<TraceRecord>> {
+        self.recorder.find(trace_id)
     }
 
     /// The retained slow queries, oldest first.
@@ -415,7 +553,12 @@ mod tests {
 
     #[test]
     fn slow_query_log_applies_threshold_and_capacity() {
-        let metrics = ServeMetrics::new(Some(Duration::from_nanos(1_000)), u64::MAX);
+        let metrics = ServeMetrics::new(
+            Some(Duration::from_nanos(1_000)),
+            u64::MAX,
+            SLOW_LOG_CAPACITY,
+            FLIGHT_RECORDER_CAPACITY,
+        );
         let query = |total_ns| SlowQuery {
             algorithm: Algorithm::LpCta,
             k: 2,
@@ -423,6 +566,7 @@ mod tests {
             total_ns,
             stages: StageTimings::default(),
             stats: None,
+            trace_id: None,
         };
         metrics.record_query(query(999)); // below threshold: not retained
         for i in 0..SLOW_LOG_CAPACITY + 3 {
@@ -446,7 +590,7 @@ mod tests {
 
     #[test]
     fn disabled_threshold_retains_nothing() {
-        let metrics = ServeMetrics::new(None, u64::MAX);
+        let metrics = ServeMetrics::new(None, u64::MAX, SLOW_LOG_CAPACITY, 4);
         metrics.record_query(SlowQuery {
             algorithm: Algorithm::Cta,
             k: 1,
@@ -454,13 +598,14 @@ mod tests {
             total_ns: u64::MAX,
             stages: StageTimings::default(),
             stats: None,
+            trace_id: None,
         });
         assert!(metrics.slow_queries().is_empty());
     }
 
     #[test]
     fn snapshot_folds_serve_counters_and_peak_gauges_in() {
-        let metrics = ServeMetrics::new(None, u64::MAX);
+        let metrics = ServeMetrics::new(None, u64::MAX, SLOW_LOG_CAPACITY, 4);
         let serve = ServeStats {
             queries: 9,
             largest_batch: 4,
@@ -483,8 +628,73 @@ mod tests {
     }
 
     #[test]
+    fn slow_log_capacity_is_configurable() {
+        let metrics = ServeMetrics::new(Some(Duration::from_nanos(1)), u64::MAX, 2, 4);
+        for i in 0..5u64 {
+            metrics.record_query(SlowQuery {
+                algorithm: Algorithm::LpCta,
+                k: 1,
+                tier: TIER_NAMES[0],
+                total_ns: 100 + i,
+                stages: StageTimings::default(),
+                stats: None,
+                trace_id: None,
+            });
+        }
+        let log = metrics.slow_queries();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].total_ns, 103);
+        assert_eq!(log[1].total_ns, 104);
+    }
+
+    #[test]
+    fn flight_recorder_keeps_pinned_and_slow_traces() {
+        let metrics = ServeMetrics::new(Some(Duration::from_nanos(1_000)), u64::MAX, 4, 4);
+        // A client-pinned trace is kept regardless of latency.
+        let pinned = RequestTrace::traced(TraceId(7), true);
+        assert_eq!(metrics.finish_trace(pinned, 0), Some(TraceId(7)));
+        // An unpinned fast trace is dropped ...
+        let fast = RequestTrace::traced(TraceId(8), false);
+        assert_eq!(metrics.finish_trace(fast, 0), None);
+        // ... an unpinned slow one is kept ...
+        let slow = RequestTrace::traced(TraceId(9), false);
+        assert_eq!(metrics.finish_trace(slow, 5_000), Some(TraceId(9)));
+        // ... and an untraced request never enters the recorder.
+        assert_eq!(metrics.finish_trace(RequestTrace::start(), 5_000), None);
+        assert!(metrics.trace(TraceId(7)).is_some());
+        assert!(metrics.trace(TraceId(8)).is_none());
+        assert_eq!(metrics.traces().len(), 2);
+    }
+
+    #[test]
+    fn phase_histograms_record_engine_breakdowns() {
+        let metrics = ServeMetrics::new(None, u64::MAX, SLOW_LOG_CAPACITY, 4);
+        let mut stats = QueryStats::new();
+        stats.phases.prep_ns = 100;
+        stats.phases.expansion_ns = 400;
+        stats.phases.lp_ns = 250;
+        stats.phases.dominance_ns = 30;
+        stats.lp_pivots = 17;
+        metrics.record_phases(&stats);
+        let snap = metrics.snapshot(0, &ServeStats::default());
+        for phase in PHASE_NAMES {
+            let histogram = snap.histogram(&format!("kspr_phase_{phase}_ns")).unwrap();
+            assert_eq!(histogram.count(), 1, "{phase}");
+        }
+        assert_eq!(snap.histogram("kspr_lp_pivots").unwrap().sum(), 17);
+    }
+
+    #[test]
+    fn server_trace_ids_are_unique_and_high() {
+        let a = next_server_trace_id();
+        let b = next_server_trace_id();
+        assert_ne!(a, b);
+        assert!(a.0 >= 1 << 48);
+    }
+
+    #[test]
     fn wal_watermark_warns_once_per_epoch() {
-        let metrics = ServeMetrics::new(None, 100);
+        let metrics = ServeMetrics::new(None, 100, SLOW_LOG_CAPACITY, 4);
         metrics.wal_committed(50, 10, true);
         assert!(!metrics.wal_warned.load(Ordering::Relaxed));
         metrics.wal_committed(150, 10, true);

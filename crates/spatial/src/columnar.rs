@@ -144,6 +144,17 @@ impl ColumnarBlock {
             _ => DomClass::Incomparable,
         }));
     }
+
+    /// [`ColumnarBlock::classify_into`] with the kernel's wall time
+    /// measured, returned in nanoseconds.  The timing lives here — next to
+    /// the kernel — so every caller attributes the dominance phase
+    /// identically; the classification itself is bit-identical to the
+    /// untimed entry point.
+    pub fn classify_into_timed(&self, probe: &[f64], out: &mut Vec<DomClass>) -> u64 {
+        let started = std::time::Instant::now();
+        self.classify_into(probe, out);
+        u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -222,6 +233,17 @@ mod tests {
         assert_eq!(classes[2], DomClass::Tie);
         assert_eq!(classes[4], DomClass::Dominates);
         assert_eq!(classes[5], DomClass::Dominated);
+    }
+
+    #[test]
+    fn timed_classification_matches_untimed() {
+        let b = block();
+        let probe = vec![5.0, 5.0, 7.0];
+        let (mut timed, mut untimed) = (Vec::new(), Vec::new());
+        let ns = b.classify_into_timed(&probe, &mut timed);
+        b.classify_into(&probe, &mut untimed);
+        assert_eq!(timed, untimed, "timing must not change the kernel");
+        assert!(ns < u64::MAX);
     }
 
     #[test]

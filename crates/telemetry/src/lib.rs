@@ -14,17 +14,27 @@
 //!   as `Arc` handles; [`MetricsSnapshot`] is the sorted plain-value export,
 //!   renderable as a Prometheus-style text exposition.
 //! * [`RequestTrace`] — a span that travels with one request and stamps
-//!   monotonic per-[`Stage`] timings that partition its total latency.
+//!   monotonic per-[`Stage`] timings that partition its total latency; in
+//!   traced mode ([`RequestTrace::traced`]) it also collects a span tree.
+//! * [`TraceRecord`] / [`FlightRecorder`] — completed span trees and the
+//!   bounded ring retaining the most recent ones; [`chrome_trace_json`]
+//!   exports any set of records as Chrome Trace Event Format JSON.
+//! * [`parse_json`] — a strict, dependency-free JSON reader for the
+//!   trace/perf tooling that consumes those exports.
 //!
 //! The crate deliberately has no dependencies (not even intra-workspace):
 //! every layer of the stack — `kspr-durable`'s WAL, `kspr-serve`'s
 //! dispatcher, the wire front-end — can link it without cycles.
 
 mod histogram;
+mod json;
 mod registry;
+mod span;
 mod trace;
 
 pub use histogram::{bucket_high, bucket_index, bucket_low, Histogram, HistogramSnapshot};
 pub use histogram::{NUM_BUCKETS, SUBBUCKETS};
+pub use json::{escape_json_into, parse_json, JsonValue};
 pub use registry::{Counter, Gauge, MetricsRegistry, MetricsSnapshot};
+pub use span::{chrome_trace_json, FlightRecorder, Span, SpanId, TraceId, TraceRecord};
 pub use trace::{RequestTrace, Stage, StageTimings};

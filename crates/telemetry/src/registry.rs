@@ -62,6 +62,7 @@ pub struct MetricsRegistry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    help: Mutex<BTreeMap<String, String>>,
 }
 
 fn unpoisoned<T>(lock: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -101,6 +102,12 @@ impl MetricsRegistry {
         )
     }
 
+    /// Attaches a human-readable description to the metric named `name`,
+    /// emitted as its `# HELP` line in the Prometheus exposition.
+    pub fn describe(&self, name: &str, help: &str) {
+        unpoisoned(&self.help).insert(name.to_string(), help.to_string());
+    }
+
     /// A plain-value export of every registered metric, sorted by name.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -116,6 +123,10 @@ impl MetricsRegistry {
                 .iter()
                 .map(|(name, h)| (name.clone(), h.snapshot()))
                 .collect(),
+            help: unpoisoned(&self.help)
+                .iter()
+                .map(|(name, h)| (name.clone(), h.clone()))
+                .collect(),
         }
     }
 }
@@ -130,6 +141,9 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, u64)>,
     /// Full histogram states as `(name, snapshot)`.
     pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// `# HELP` descriptions as `(name, text)` (metrics without one fall
+    /// back to their own name in the exposition).
+    pub help: Vec<(String, String)>,
 }
 
 impl MetricsSnapshot {
@@ -154,18 +168,32 @@ impl MetricsSnapshot {
             .map(|(_, h)| h)
     }
 
-    /// Renders the snapshot as a Prometheus-style text exposition:
-    /// counters and gauges as plain samples, histograms as summaries with
-    /// `quantile` labels plus `_sum` and `_count` series.
+    /// The `# HELP` text for `name`: its registered description, or the
+    /// name itself when none was registered.
+    fn help_text<'a>(&'a self, name: &'a str) -> &'a str {
+        self.help
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.as_str())
+            .unwrap_or(name)
+    }
+
+    /// Renders the snapshot as a Prometheus-style text exposition: every
+    /// series led by its `# HELP` and `# TYPE` lines, counters and gauges
+    /// as plain samples, histograms as summaries with `quantile` labels
+    /// plus `_sum` and `_count` series.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (name, value) in &self.counters {
+            let _ = writeln!(out, "# HELP {name} {}", self.help_text(name));
             let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
         }
         for (name, value) in &self.gauges {
+            let _ = writeln!(out, "# HELP {name} {}", self.help_text(name));
             let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
         }
         for (name, h) in &self.histograms {
+            let _ = writeln!(out, "# HELP {name} {}", self.help_text(name));
             let _ = writeln!(out, "# TYPE {name} summary");
             for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
                 let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", h.quantile(q));
@@ -208,15 +236,30 @@ mod tests {
         let h = registry.histogram("kspr_stage_engine_ns");
         h.record(100);
         h.record(200);
+        registry.describe("kspr_queries", "Queries answered since start.");
+        registry.describe("kspr_stage_engine_ns", "Engine-stage latency, ns.");
 
         let text = registry.snapshot().render_prometheus();
+        assert!(text.contains("# HELP kspr_queries Queries answered since start."));
         assert!(text.contains("# TYPE kspr_queries counter"));
         assert!(text.contains("kspr_queries 5"));
+        assert!(
+            text.contains("# HELP kspr_queue_depth kspr_queue_depth"),
+            "an undescribed metric falls back to its name as help text"
+        );
         assert!(text.contains("# TYPE kspr_queue_depth gauge"));
         assert!(text.contains("kspr_queue_depth 3"));
+        assert!(text.contains("# HELP kspr_stage_engine_ns Engine-stage latency, ns."));
         assert!(text.contains("# TYPE kspr_stage_engine_ns summary"));
         assert!(text.contains("kspr_stage_engine_ns{quantile=\"0.5\"}"));
         assert!(text.contains("kspr_stage_engine_ns_sum 300"));
         assert!(text.contains("kspr_stage_engine_ns_count 2"));
+        // Every series carries a HELP line: one per counter/gauge/histogram.
+        assert_eq!(text.matches("# HELP ").count(), 3);
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                assert!(!rest.trim().is_empty(), "HELP lines are never empty");
+            }
+        }
     }
 }

@@ -6,7 +6,16 @@
 //! stamp (or since creation) to that stage, so the stage durations partition
 //! the request's total latency.  All clocks are monotonic
 //! ([`std::time::Instant`]).
+//!
+//! A trace started with [`RequestTrace::traced`] additionally collects a
+//! span tree: every stamp becomes a child span of the root `"request"`
+//! span, custom windows can be added with [`RequestTrace::span`] and
+//! [`RequestTrace::child_span`], and [`RequestTrace::finish`] seals the tree
+//! into a [`TraceRecord`] for the flight recorder.  A plain
+//! [`RequestTrace::start`] trace carries no span state at all — the
+//! collecting path costs one `Option` check per stamp when disabled.
 
+use crate::span::{Span, SpanId, TraceId, TraceRecord};
 use std::time::{Duration, Instant};
 
 /// The pipeline stages a request can pass through, in pipeline order.
@@ -62,12 +71,23 @@ impl Stage {
     }
 }
 
-/// Monotonic per-stage timings for one request.
+/// The optional span-collection state of a traced request (boxed so the
+/// common untraced path stays one pointer wide).
+#[derive(Debug, Clone)]
+struct SpanLog {
+    trace_id: TraceId,
+    pinned: bool,
+    spans: Vec<Span>,
+}
+
+/// Monotonic per-stage timings for one request, optionally collecting a
+/// span tree.
 #[derive(Debug, Clone)]
 pub struct RequestTrace {
     start: Instant,
     last: Instant,
     nanos: [u64; Stage::COUNT],
+    spans: Option<Box<SpanLog>>,
 }
 
 impl Default for RequestTrace {
@@ -77,24 +97,139 @@ impl Default for RequestTrace {
 }
 
 impl RequestTrace {
-    /// Starts the trace clock (call at enqueue).
+    /// Starts the trace clock (call at enqueue).  No spans are collected.
     pub fn start() -> Self {
         let now = Instant::now();
         Self {
             start: now,
             last: now,
             nanos: [0; Stage::COUNT],
+            spans: None,
         }
+    }
+
+    /// Starts a **span-collecting** trace under `trace_id`: every stamp
+    /// also records a child span of the root `"request"` span.  A `pinned`
+    /// trace (client-supplied id) is always retained by the flight
+    /// recorder; an unpinned one only when it crosses the slow threshold.
+    pub fn traced(trace_id: TraceId, pinned: bool) -> Self {
+        let mut trace = Self::start();
+        trace.spans = Some(Box::new(SpanLog {
+            trace_id,
+            pinned,
+            spans: vec![Span {
+                id: SpanId(0),
+                parent: None,
+                name: "request",
+                start_ns: 0,
+                end_ns: 0,
+            }],
+        }));
+        trace
+    }
+
+    /// Nanosecond offset of `at` from the trace start.
+    fn offset_ns(&self, at: Instant) -> u64 {
+        u64::try_from(at.duration_since(self.start).as_nanos()).unwrap_or(u64::MAX)
+    }
+
+    /// Records the `[last, now]` window as a root-child span named `name`
+    /// (no-op unless span-collecting).
+    fn push_window(&mut self, name: &'static str, now: Instant) -> Option<SpanId> {
+        let start_ns = self.offset_ns(self.last);
+        let end_ns = self.offset_ns(now);
+        let log = self.spans.as_deref_mut()?;
+        let id = SpanId(log.spans.len() as u32);
+        log.spans.push(Span {
+            id,
+            parent: Some(SpanId(0)),
+            name,
+            start_ns,
+            end_ns,
+        });
+        Some(id)
     }
 
     /// Attributes the time since the previous stamp (or since the start) to
     /// `stage` and advances the stamp clock.  Stamping the same stage twice
-    /// accumulates.
-    pub fn stamp(&mut self, stage: Stage) {
+    /// accumulates.  On a span-collecting trace the stamped window is also
+    /// recorded as a child span of the root, and its id returned.
+    pub fn stamp(&mut self, stage: Stage) -> Option<SpanId> {
         let now = Instant::now();
         let elapsed = now.duration_since(self.last);
         self.nanos[stage.index()] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let span = self.push_window(stage.name(), now);
         self.last = now;
+        span
+    }
+
+    /// Records the time since the previous stamp as a root-child span named
+    /// `name` **without** attributing it to any [`Stage`], and advances the
+    /// stamp clock.  Used for windows outside the stage taxonomy (e.g. the
+    /// wire front-end's decode window).  No-op on an untraced request.
+    pub fn span(&mut self, name: &'static str) -> Option<SpanId> {
+        let now = Instant::now();
+        let span = self.push_window(name, now);
+        if span.is_some() {
+            self.last = now;
+        }
+        span
+    }
+
+    /// Adds a span under `parent` covering `[start_ns, end_ns]` (offsets
+    /// from the trace start), clamped into the parent's window so the tree
+    /// stays well-formed.  Used to lay engine-phase breakdowns under the
+    /// engine stage span after the fact.
+    pub fn child_span(
+        &mut self,
+        parent: SpanId,
+        name: &'static str,
+        start_ns: u64,
+        end_ns: u64,
+    ) -> Option<SpanId> {
+        let log = self.spans.as_deref_mut()?;
+        let window = log.spans.get(parent.0 as usize)?;
+        let start_ns = start_ns.clamp(window.start_ns, window.end_ns);
+        let end_ns = end_ns.clamp(start_ns, window.end_ns);
+        let id = SpanId(log.spans.len() as u32);
+        log.spans.push(Span {
+            id,
+            parent: Some(parent),
+            name,
+            start_ns,
+            end_ns,
+        });
+        Some(id)
+    }
+
+    /// The `[start_ns, end_ns]` window of a recorded span.
+    pub fn span_bounds(&self, id: SpanId) -> Option<(u64, u64)> {
+        let span = self.spans.as_deref()?.spans.get(id.0 as usize)?;
+        Some((span.start_ns, span.end_ns))
+    }
+
+    /// The trace id, if this request collects spans.
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.spans.as_deref().map(|log| log.trace_id)
+    }
+
+    /// Whether the span tree must be retained regardless of latency
+    /// (client-supplied trace ids are pinned).
+    pub fn pinned(&self) -> bool {
+        self.spans.as_deref().is_some_and(|log| log.pinned)
+    }
+
+    /// Seals the span tree: closes the root span at the current total and
+    /// returns the completed [`TraceRecord`] (`None` on an untraced
+    /// request).
+    pub fn finish(self) -> Option<TraceRecord> {
+        let total = self.total_nanos();
+        let mut log = self.spans?;
+        log.spans[0].end_ns = total;
+        Some(TraceRecord {
+            trace_id: log.trace_id,
+            spans: log.spans,
+        })
     }
 
     /// Nanoseconds attributed to `stage` so far.
@@ -192,5 +327,47 @@ mod tests {
         std::thread::sleep(Duration::from_millis(1));
         trace.stamp(Stage::Engine);
         assert!(trace.stage_nanos(Stage::Engine) >= 1_000_000);
+    }
+
+    #[test]
+    fn untraced_requests_collect_no_spans() {
+        let mut trace = RequestTrace::start();
+        assert_eq!(trace.trace_id(), None);
+        assert!(!trace.pinned());
+        assert_eq!(trace.stamp(Stage::Queue), None);
+        assert_eq!(trace.span("wire"), None);
+        assert!(trace.finish().is_none());
+    }
+
+    #[test]
+    fn traced_requests_build_a_well_formed_tree() {
+        let mut trace = RequestTrace::traced(TraceId(0xfeed), true);
+        assert_eq!(trace.trace_id(), Some(TraceId(0xfeed)));
+        assert!(trace.pinned());
+        let wire = trace.span("wire").expect("traced: wire span recorded");
+        std::thread::sleep(Duration::from_millis(1));
+        trace.stamp(Stage::Queue).expect("queue span");
+        let engine = trace.stamp(Stage::Engine).expect("engine span");
+        let (es, ee) = trace.span_bounds(engine).expect("engine bounds");
+        // A child laid past the engine window is clamped back inside it.
+        let lp = trace
+            .child_span(engine, "lp", es, ee + 1_000_000)
+            .expect("lp child");
+        assert_eq!(trace.span_bounds(lp), Some((es, ee)));
+        trace.stamp(Stage::Ack);
+
+        let record = trace.finish().expect("traced request seals to a record");
+        assert_eq!(record.trace_id, TraceId(0xfeed));
+        assert!(record.is_well_formed());
+        assert_eq!(record.root().name, "request");
+        let names: Vec<&str> = record.spans.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["request", "wire", "queue", "engine", "lp", "ack"]);
+        assert_eq!(record.find("lp").unwrap().parent, Some(engine));
+        assert_eq!(record.span(wire).unwrap().parent, Some(SpanId(0)));
+        assert!(
+            record.find("queue").unwrap().duration_ns() >= 1_000_000,
+            "the stamped window and the span agree"
+        );
+        assert!(record.root().end_ns >= record.find("ack").unwrap().end_ns);
     }
 }

@@ -1,0 +1,166 @@
+//! Property tests for the span-tree exporter: whatever tree the tracing
+//! layer records — including names that need escaping — the chrome-trace
+//! JSON must parse, keep every span, and preserve the tree's invariants.
+
+use kspr_telemetry::{
+    chrome_trace_json, parse_json, JsonValue, RequestTrace, Span, SpanId, Stage, TraceId,
+    TraceRecord,
+};
+use proptest::prelude::*;
+
+/// A fixed pool of span names, deliberately including characters the JSON
+/// escaper must handle: quotes, backslashes, control characters, non-ASCII.
+const NAMES: [&str; 6] = [
+    "request",
+    "lp \"solve\"",
+    "back\\slash",
+    "tab\tseparated",
+    "новый\nspan",
+    "engine",
+];
+
+const ROOT_NS: u64 = 1_000_000;
+
+/// Builds a well-formed record the same way `RequestTrace::child_span`
+/// does: each generated node picks an existing parent and has its window
+/// clamped into the parent's, so nesting holds by construction.
+fn build_record(trace: u64, nodes: &[(usize, usize, u64, u64)]) -> TraceRecord {
+    let mut spans = vec![Span {
+        id: SpanId(0),
+        parent: None,
+        name: "request",
+        start_ns: 0,
+        end_ns: ROOT_NS,
+    }];
+    for &(parent_pick, name_pick, a, b) in nodes {
+        let parent = parent_pick % spans.len();
+        let low = spans[parent].start_ns;
+        let high = spans[parent].end_ns;
+        let start_ns = (a % (ROOT_NS + 2)).clamp(low, high);
+        let end_ns = (b % (ROOT_NS + 2)).clamp(start_ns, high);
+        spans.push(Span {
+            id: SpanId(spans.len() as u32),
+            parent: Some(SpanId(parent as u32)),
+            name: NAMES[name_pick % NAMES.len()],
+            start_ns,
+            end_ns,
+        });
+    }
+    TraceRecord {
+        trace_id: TraceId(trace),
+        spans,
+    }
+}
+
+/// The `"X"` (complete-slice) events of a parsed chrome trace.
+fn slice_events(json: &JsonValue) -> Vec<&JsonValue> {
+    json.get("traceEvents")
+        .and_then(|v| v.as_array())
+        .expect("a traceEvents array")
+        .iter()
+        .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("X"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn chrome_trace_export_is_valid_json_and_lossless(
+        trees in prop::collection::vec(
+            prop::collection::vec(
+                (0usize..usize::MAX, 0usize..usize::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+                0..12,
+            ),
+            1..4,
+        ),
+    ) {
+        let records: Vec<TraceRecord> = trees
+            .iter()
+            .enumerate()
+            .map(|(i, nodes)| build_record(0xACE0 + i as u64, nodes))
+            .collect();
+        for record in &records {
+            prop_assert!(record.is_well_formed());
+        }
+
+        let text = chrome_trace_json(&records);
+        let json = parse_json(&text).expect("the export must be valid JSON");
+        prop_assert_eq!(
+            json.get("displayTimeUnit").and_then(|v| v.as_str()),
+            Some("ns")
+        );
+
+        // Lossless: one slice per span, in order, with the escaped name
+        // round-tripping back to the original and the clock staying
+        // consistent (ts/dur are non-negative fractional microseconds that
+        // reproduce the span window).
+        let slices = slice_events(&json);
+        let total_spans: usize = records.iter().map(|r| r.spans.len()).sum();
+        prop_assert_eq!(slices.len(), total_spans);
+        let spans = records.iter().flat_map(|r| r.spans.iter());
+        for (slice, span) in slices.iter().zip(spans) {
+            prop_assert_eq!(
+                slice.get("name").and_then(|v| v.as_str()),
+                Some(span.name)
+            );
+            let ts = slice.get("ts").and_then(|v| v.as_f64()).expect("ts");
+            let dur = slice.get("dur").and_then(|v| v.as_f64()).expect("dur");
+            prop_assert!((ts - span.start_ns as f64 / 1_000.0).abs() < 1e-6);
+            prop_assert!((dur - span.duration_ns() as f64 / 1_000.0).abs() < 1e-6);
+            let span_id = slice
+                .get("args")
+                .and_then(|a| a.get("span_id"))
+                .and_then(|v| v.as_f64())
+                .expect("span_id");
+            prop_assert_eq!(span_id as u32, span.id.0);
+        }
+
+        // Every trace contributes exactly one thread-name metadata event.
+        let metadata = json
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|v| v.as_str()) == Some("M"))
+            .count();
+        prop_assert_eq!(metadata, records.len());
+    }
+
+    /// Drives the live `RequestTrace` API with an arbitrary op sequence:
+    /// whatever interleaving of stage stamps, named windows, and
+    /// after-the-fact child spans a server thread produces, the finished
+    /// record keeps the tree invariants and exports parseable JSON.
+    #[test]
+    fn arbitrary_request_trace_histories_finish_well_formed(
+        ops in prop::collection::vec((0usize..16, 0u64..u64::MAX, 0u64..u64::MAX), 0..24),
+        pinned_bit in 0u8..2,
+    ) {
+        let pinned = pinned_bit == 1;
+        let mut trace = RequestTrace::traced(TraceId(0xBEEF), pinned);
+        for &(op, a, b) in &ops {
+            match op {
+                0..=6 => {
+                    trace.stamp(Stage::ALL[op]);
+                }
+                7 => {
+                    trace.span("wire");
+                }
+                _ => {
+                    // Parent picked from the ids handed out so far (the
+                    // root always exists); windows are arbitrary — the
+                    // clamp must keep the tree nested regardless.
+                    let parent = SpanId((a % (ops.len() as u64 + 1)) as u32);
+                    if trace.span_bounds(parent).is_some() {
+                        trace.child_span(parent, "phase", a.min(b), a.max(b));
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(trace.pinned(), pinned);
+        let record = trace.finish().expect("a traced request must finish into a record");
+        prop_assert!(record.is_well_formed());
+        let json = parse_json(&chrome_trace_json(&[record])).expect("valid JSON");
+        prop_assert!(!slice_events(&json).is_empty());
+    }
+}

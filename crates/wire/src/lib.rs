@@ -5,13 +5,22 @@
 //!
 //! ```text
 //! [len: u32 LE][payload: len bytes]
-//! payload = [WIRE_VERSION: u8][opcode: u8][fields...]
+//! payload v2 = [2: u8][opcode: u8][trace flag: u8][trace id: u64 LE, iff flag = 1][fields...]
+//! payload v1 = [1: u8][opcode: u8][fields...]
 //! ```
+//!
+//! Version 2 adds an optional **trace id** between the opcode and the
+//! fields: a client that supplies one gets it echoed on the response and can
+//! later fetch the server-side span tree for that request from the flight
+//! recorder.  Version-1 frames (no trace slot) still decode, and the client
+//! can emit them via the `encode_legacy` entry points, so old and new peers
+//! interoperate in both directions.
 //!
 //! The codec is hand-rolled (the workspace builds offline, so no serde):
 //! every field is little-endian fixed-width or a `u32`-counted sequence, and
-//! decoding is strict — unknown versions, unknown opcodes, truncated fields
-//! and trailing bytes all fail, never alias to another message.
+//! decoding is strict — unknown versions, unknown opcodes, bad trace flags,
+//! truncated fields and trailing bytes all fail, never alias to another
+//! message.
 //!
 //! Results cross the wire as **summaries** ([`ResultSummary`]): region
 //! count, whole-space flag and the sorted rank signature — the quantities
@@ -36,8 +45,12 @@ pub use message::{
 
 use std::io::{Read, Write};
 
-/// Protocol version carried in every payload.
-pub const WIRE_VERSION: u8 = 1;
+/// Protocol version carried in every payload this crate encodes.
+pub const WIRE_VERSION: u8 = 2;
+
+/// The previous protocol version (no trace-id slot), still accepted on
+/// decode so deployed peers keep working across the bump.
+pub const LEGACY_WIRE_VERSION: u8 = 1;
 
 /// A blocking request/response client over any framed byte stream.
 ///
@@ -70,5 +83,18 @@ impl<S: Read + Write> WireClient<S> {
         write_frame(&mut self.stream, &request.encode())?;
         let payload = read_frame(&mut self.stream)?;
         WireResponse::decode(&payload).ok_or(FrameError::Malformed)
+    }
+
+    /// Sends one request carrying an optional client-chosen trace id and
+    /// blocks for its response, returning the trace id the server echoed
+    /// (normally the one sent; `None` from a legacy peer).
+    pub fn call_traced(
+        &mut self,
+        request: &WireRequest,
+        trace_id: Option<u64>,
+    ) -> Result<(WireResponse, Option<u64>), FrameError> {
+        write_frame(&mut self.stream, &request.encode_traced(trace_id))?;
+        let payload = read_frame(&mut self.stream)?;
+        WireResponse::decode_traced(&payload).ok_or(FrameError::Malformed)
     }
 }

@@ -3,7 +3,7 @@
 use crate::codec::{
     get_f64, get_row, get_str, get_u32, get_u64, get_u8, put_f64, put_row, put_str, put_u64,
 };
-use crate::WIRE_VERSION;
+use crate::{LEGACY_WIRE_VERSION, WIRE_VERSION};
 use kspr::approximate::{ErrorBudget, QueryTier};
 use kspr::Algorithm;
 
@@ -477,17 +477,46 @@ fn get_histogram_summary(bytes: &[u8], at: &mut usize) -> Option<HistogramSummar
 }
 
 fn header(opcode: u8) -> Vec<u8> {
-    vec![WIRE_VERSION, opcode]
+    vec![WIRE_VERSION, opcode, 0]
 }
 
-/// Decodes the shared `[version][opcode]` prefix.
-fn open(payload: &[u8]) -> Option<(u8, usize)> {
+/// Decodes the shared prefix of both supported versions — v2
+/// `[version][opcode][trace flag][trace id?]`, v1 `[version][opcode]` —
+/// yielding the opcode, the field offset and the trace id (if any).
+fn open(payload: &[u8]) -> Option<(u8, usize, Option<u64>)> {
     let mut at = 0;
-    if get_u8(payload, &mut at)? != WIRE_VERSION {
-        return None;
-    }
+    let version = get_u8(payload, &mut at)?;
     let opcode = get_u8(payload, &mut at)?;
-    Some((opcode, at))
+    let trace_id = match version {
+        LEGACY_WIRE_VERSION => None,
+        WIRE_VERSION => match get_u8(payload, &mut at)? {
+            0 => None,
+            1 => Some(get_u64(payload, &mut at)?),
+            _ => return None,
+        },
+        _ => return None,
+    };
+    Some((opcode, at, trace_id))
+}
+
+/// Rewrites an [`header`]-prefixed v2 payload to carry `trace_id`.
+fn with_trace(out: Vec<u8>, trace_id: Option<u64>) -> Vec<u8> {
+    let Some(id) = trace_id else { return out };
+    let mut spliced = Vec::with_capacity(out.len() + 8);
+    spliced.extend_from_slice(&out[..2]);
+    spliced.push(1);
+    spliced.extend_from_slice(&id.to_le_bytes());
+    spliced.extend_from_slice(&out[3..]);
+    spliced
+}
+
+/// Rewrites an [`header`]-prefixed v2 payload (trace flag 0) into the v1
+/// framing a legacy peer expects.
+fn to_legacy(mut out: Vec<u8>) -> Vec<u8> {
+    debug_assert_eq!(out[2], 0, "legacy frames cannot carry a trace id");
+    out[0] = LEGACY_WIRE_VERSION;
+    out.remove(2);
+    out
 }
 
 /// Requires the whole payload to have been consumed.
@@ -561,9 +590,26 @@ impl WireRequest {
         }
     }
 
+    /// [`WireRequest::encode`] with an optional trace id in the v2 trace
+    /// slot.
+    pub fn encode_traced(&self, trace_id: Option<u64>) -> Vec<u8> {
+        with_trace(self.encode(), trace_id)
+    }
+
+    /// Encodes to a version-1 payload (no trace slot) for legacy peers.
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        to_legacy(self.encode())
+    }
+
     /// Decodes one frame payload; `None` on any structural problem.
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        let (opcode, mut at) = open(payload)?;
+        Self::decode_traced(payload).map(|(request, _)| request)
+    }
+
+    /// [`WireRequest::decode`] that also yields the trace id the frame
+    /// carried, if any.
+    pub fn decode_traced(payload: &[u8]) -> Option<(Self, Option<u64>)> {
+        let (opcode, mut at, trace_id) = open(payload)?;
         let request = match opcode {
             REQ_PING => WireRequest::Ping,
             REQ_QUERY => WireRequest::Query {
@@ -599,7 +645,7 @@ impl WireRequest {
             REQ_METRICS => WireRequest::Metrics,
             _ => return None,
         };
-        finish(request, at, payload)
+        finish((request, trace_id), at, payload)
     }
 }
 
@@ -679,9 +725,26 @@ impl WireResponse {
         }
     }
 
+    /// [`WireResponse::encode`] with an optional trace id in the v2 trace
+    /// slot (servers echo the id the request carried).
+    pub fn encode_traced(&self, trace_id: Option<u64>) -> Vec<u8> {
+        with_trace(self.encode(), trace_id)
+    }
+
+    /// Encodes to a version-1 payload (no trace slot) for legacy peers.
+    pub fn encode_legacy(&self) -> Vec<u8> {
+        to_legacy(self.encode())
+    }
+
     /// Decodes one frame payload; `None` on any structural problem.
     pub fn decode(payload: &[u8]) -> Option<Self> {
-        let (opcode, mut at) = open(payload)?;
+        Self::decode_traced(payload).map(|(response, _)| response)
+    }
+
+    /// [`WireResponse::decode`] that also yields the trace id the frame
+    /// carried, if any.
+    pub fn decode_traced(payload: &[u8]) -> Option<(Self, Option<u64>)> {
+        let (opcode, mut at, trace_id) = open(payload)?;
         let get_bool = |at: &mut usize| match get_u8(payload, at)? {
             0 => Some(false),
             1 => Some(true),
@@ -754,7 +817,7 @@ impl WireResponse {
             }
             _ => return None,
         };
-        finish(response, at, payload)
+        finish((response, trace_id), at, payload)
     }
 }
 
@@ -937,9 +1000,79 @@ mod tests {
         bytes[0] = WIRE_VERSION + 1;
         assert!(WireRequest::decode(&bytes).is_none());
 
-        let bytes = vec![WIRE_VERSION, 200];
+        let bytes = vec![WIRE_VERSION, 200, 0];
         assert!(WireRequest::decode(&bytes).is_none());
         assert!(WireResponse::decode(&bytes).is_none());
+    }
+
+    #[test]
+    fn trace_ids_round_trip() {
+        for request in every_request() {
+            let bytes = request.encode_traced(Some(0xDEAD_BEEF_u64));
+            assert_eq!(
+                WireRequest::decode_traced(&bytes),
+                Some((request.clone(), Some(0xDEAD_BEEF_u64))),
+                "{request:?}"
+            );
+            // Plain decode ignores (but tolerates) the trace id.
+            assert_eq!(WireRequest::decode(&bytes), Some(request.clone()));
+            // No id: encode_traced(None) is byte-identical to encode().
+            assert_eq!(request.encode_traced(None), request.encode());
+            assert_eq!(
+                WireRequest::decode_traced(&request.encode()),
+                Some((request.clone(), None))
+            );
+        }
+        for response in every_response() {
+            let bytes = response.encode_traced(Some(7));
+            assert_eq!(
+                WireResponse::decode_traced(&bytes),
+                Some((response.clone(), Some(7))),
+                "{response:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_frames_still_decode() {
+        for request in every_request() {
+            let bytes = request.encode_legacy();
+            assert_eq!(bytes[0], LEGACY_WIRE_VERSION);
+            assert_eq!(
+                WireRequest::decode_traced(&bytes),
+                Some((request.clone(), None)),
+                "{request:?}"
+            );
+            for cut in 0..bytes.len() {
+                assert!(
+                    WireRequest::decode(&bytes[..cut]).is_none(),
+                    "{request:?} cut at {cut}"
+                );
+            }
+        }
+        for response in every_response() {
+            let bytes = response.encode_legacy();
+            assert_eq!(
+                WireResponse::decode_traced(&bytes),
+                Some((response.clone(), None)),
+                "{response:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_trace_flags_and_truncated_ids_are_rejected() {
+        let mut bytes = WireRequest::Ping.encode();
+        bytes[2] = 2; // flags are 0 or 1
+        assert!(WireRequest::decode(&bytes).is_none());
+
+        let traced = WireRequest::Delete { id: 42 }.encode_traced(Some(9));
+        for cut in 0..traced.len() {
+            assert!(WireRequest::decode(&traced[..cut]).is_none(), "cut {cut}");
+        }
+        let mut trailing = traced;
+        trailing.push(0);
+        assert!(WireRequest::decode(&trailing).is_none());
     }
 
     #[test]
